@@ -1,0 +1,49 @@
+//! Criterion bench: §3.5.2 border-bin classification vs the naive
+//! per-neighbor slab scan.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tofumd_core::border_bin::BorderBins;
+use tofumd_md::domain::neighbor_offsets;
+use tofumd_md::region::Box3;
+
+fn bench_bins(c: &mut Criterion) {
+    let offsets = neighbor_offsets(1, true);
+    let bins = BorderBins::new(Box3::from_lengths([10.0; 3]), 2.8, &offsets);
+    let atoms: Vec<[f64; 3]> = (0..10_000)
+        .map(|i| {
+            let h = (i as f64 * 0.618_033_988_75).fract();
+            let k = (i as f64 * 0.754_877_666_2).fract();
+            let l = (i as f64 * 0.569_840_290_998).fract();
+            [h * 10.0, k * 10.0, l * 10.0]
+        })
+        .collect();
+    let mut g = c.benchmark_group("border_classification");
+    g.throughput(Throughput::Elements(atoms.len() as u64));
+    g.bench_function("bins_o1", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for x in &atoms {
+                bins.for_each_target(x, |_| n += 1);
+            }
+            black_box(n)
+        });
+    });
+    g.bench_function("naive_scan", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for x in &atoms {
+                n += bins.targets_naive(x, &offsets).len();
+            }
+            black_box(n)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bins
+}
+criterion_main!(benches);

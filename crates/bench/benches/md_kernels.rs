@@ -1,0 +1,88 @@
+//! Criterion bench: the MD substrate's hot kernels — neighbor-list build,
+//! LJ / EAM / SW force passes — at the paper's per-rank workload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tofumd_md::lattice::FccLattice;
+use tofumd_md::neighbor::{ListKind, NeighborList};
+use tofumd_md::potential::{EamCu, LjCut, ManyBodyPotential, PairPotential, StillingerWeber};
+use tofumd_md::Atoms;
+
+fn lj_system(cells: usize) -> (Atoms, [f64; 3]) {
+    let lat = FccLattice::from_reduced_density(0.8442);
+    let (b, pos) = lat.build(cells, cells, cells);
+    (Atoms::from_positions(pos, 1), b.lengths())
+}
+
+fn bench_neighbor_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("neighbor_build");
+    for &cells in &[4usize, 8] {
+        let (atoms, l) = lj_system(cells);
+        g.throughput(Throughput::Elements(atoms.nlocal as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(atoms.nlocal), &cells, |bch, _| {
+            bch.iter(|| {
+                NeighborList::build(&atoms, [0.0; 3], l, ListKind::HalfNewton, 2.5, 0.3)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_force_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("force_pass");
+    // LJ on 2048 atoms.
+    {
+        let (mut atoms, l) = lj_system(8);
+        let list = NeighborList::build(&atoms, [0.0; 3], l, ListKind::HalfNewton, 2.5, 0.3);
+        let lj = LjCut::lammps_bench();
+        g.throughput(Throughput::Elements(atoms.nlocal as u64));
+        g.bench_function("lj_2048", |b| {
+            b.iter(|| {
+                atoms.zero_forces();
+                lj.compute(&mut atoms, &list)
+            });
+        });
+    }
+    // EAM two-pass on 2048 atoms.
+    {
+        let lat = FccLattice::from_cell(3.615);
+        let (bx, pos) = lat.build(8, 8, 8);
+        let mut atoms = Atoms::from_positions(pos, 1);
+        let list =
+            NeighborList::build(&atoms, [0.0; 3], bx.lengths(), ListKind::HalfNewton, 4.95, 1.0);
+        let eam = EamCu::lammps_bench();
+        let mut rho = Vec::new();
+        let mut fp = Vec::new();
+        g.bench_function("eam_2048", |b| {
+            b.iter(|| {
+                atoms.zero_forces();
+                eam.compute_rho(&atoms, &list, &mut rho);
+                let e = eam.compute_embedding(&atoms, &rho, &mut fp);
+                let ev = eam.compute_force(&mut atoms, &list, &fp);
+                (e, ev)
+            });
+        });
+    }
+    // SW three-body on 1728 atoms.
+    {
+        let lat = FccLattice::from_cell(5.431);
+        let (bx, pos) = lat.build_diamond(6, 6, 6);
+        let mut atoms = Atoms::from_positions(pos, 1);
+        let sw = StillingerWeber::silicon();
+        let list =
+            NeighborList::build(&atoms, [0.0; 3], bx.lengths(), ListKind::Full, sw.r_cut(), 1.0);
+        g.bench_function("sw_1728", |b| {
+            b.iter(|| {
+                atoms.zero_forces();
+                sw.compute(&mut atoms, &list)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_neighbor_build, bench_force_kernels
+}
+criterion_main!(benches);

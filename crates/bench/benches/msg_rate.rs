@@ -1,0 +1,45 @@
+//! Criterion bench: simulator-side message injection throughput (how fast
+//! the fabric processes puts — host performance of the simulator itself,
+//! complementing fig08's virtual-time measurement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use tofumd_tofu::{CellGrid, NetParams, PutRequest, TofuNet};
+
+fn bench_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric_put");
+    for &size in &[64usize, 4096, 65536] {
+        let net = Arc::new(TofuNet::new(CellGrid::new([1, 1, 1]), NetParams::default()));
+        let (dst, _) = net.register_mem(1, size);
+        let payload = vec![0u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let mut now = 0.0;
+            b.iter(|| {
+                let r = net.put(PutRequest {
+                    src_node: 0,
+                    tni: 0,
+                    dst_node: 1,
+                    dst_stadd: dst,
+                    dst_offset: 0,
+                    data: &payload,
+                    piggyback: 0,
+                    src_rank: 0,
+                    now,
+                    cache_injection: true,
+                });
+                now = r.local_complete;
+                // Drain notifications so the MRQ doesn't grow unboundedly.
+                net.take_arrivals(1, |_| true);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_put
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: one full forward ghost exchange through the proxy
+//! cluster per communication variant — the host-time cost of simulating
+//! Fig. 6's measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tofumd_bench::PROXY_MESH;
+use tofumd_runtime::{Cluster, CommVariant, RunConfig};
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forward_exchange_sim");
+    for variant in [CommVariant::Ref, CommVariant::Utofu4TniP2p, CommVariant::Opt] {
+        let mut cluster = Cluster::proxy(
+            PROXY_MESH,
+            [8, 12, 8],
+            RunConfig::lj(65_536),
+            variant,
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, _| {
+                b.iter(|| cluster.bench_forward_exchange(1));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exchange
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: spin-pool vs fork-join parallel-region overhead
+//! (the §3.3 measurement behind the 1.1 us vs 5.8 us contrast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tofumd_threadpool::{fork_join, SpinPool};
+
+fn bench_pool(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
+    let mut g = c.benchmark_group("parallel_region_overhead");
+    let pool = SpinPool::new(threads);
+    g.bench_function("spin_pool_dispatch", |b| {
+        b.iter(|| {
+            pool.run(&|tid| {
+                black_box(tid);
+            });
+        });
+    });
+    g.bench_function("fork_join_dispatch", |b| {
+        b.iter(|| {
+            fork_join(threads, &|tid| {
+                black_box(tid);
+            });
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pool
+}
+criterion_main!(benches);

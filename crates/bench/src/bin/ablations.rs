@@ -1,0 +1,249 @@
+//! Ablations of the paper's individual design choices (DESIGN.md §5).
+//!
+//! 1. Newton's 3rd law: 13-neighbor half exchange vs 26-neighbor full.
+//! 2. Load balancing: LPT (size x hops) vs round-robin thread assignment.
+//! 3. Pre-registration: registration calls and buffer-growth events,
+//!    opt vs baseline uTofu.
+//! 4. Border bins: O(1) bin classification vs per-neighbor slab scan.
+//! 5. Message combine: one length-prefixed message vs length + payload.
+//! 6. Topology map: topo-aware placement vs shuffled (hop inflation and
+//!    its communication-time cost).
+//!
+//! Usage: `ablations [--iters N]` (default 300).
+
+use tofumd_bench::{fmt_time, render_table, PROXY_MESH};
+use tofumd_core::border_bin::BorderBins;
+use tofumd_core::fine;
+use tofumd_core::plan::{CommPlan, PlanConfig};
+use tofumd_core::topo_map::{Placement, RankMap};
+use tofumd_md::domain::neighbor_offsets;
+use tofumd_md::region::Box3;
+use tofumd_runtime::{Cluster, CommVariant, PotentialKind, RunConfig};
+use tofumd_tofu::{CellGrid, NetParams};
+
+fn arg(name: &str, default: u64) -> u64 {
+    std::env::args()
+        .skip_while(|a| a != name)
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let iters = arg("--iters", 300);
+    let target = [8u32, 12, 8];
+    println!("Ablations ({iters} exchange iterations where timed)\n");
+
+    // 1. Newton halving.
+    {
+        let half = RunConfig::lj(65_536);
+        let full = RunConfig {
+            kind: PotentialKind::LjFull,
+            ..half
+        };
+        let mut c_half = Cluster::proxy(PROXY_MESH, target, half, CommVariant::Opt);
+        let mut c_full = Cluster::proxy(PROXY_MESH, target, full, CommVariant::Opt);
+        let t_half = c_half.bench_forward_exchange(iters);
+        let t_full = c_full.bench_forward_exchange(iters);
+        let g_half: usize = c_half.states().iter().map(|s| s.atoms.nghost()).sum();
+        let g_full: usize = c_full.states().iter().map(|s| s.atoms.nghost()).sum();
+        println!("== 1. Newton's 3rd law (13 vs 26 neighbors) ==");
+        println!(
+            "{}",
+            render_table(
+                &["mode", "ghosts total", "exchange time"],
+                &[
+                    vec!["half (Newton on)".into(), g_half.to_string(), fmt_time(t_half)],
+                    vec!["full (Newton off)".into(), g_full.to_string(), fmt_time(t_full)],
+                ]
+            )
+        );
+        println!(
+            "ghost volume ratio {:.2} (theory 2.0), exchange-time ratio {:.2}\n",
+            g_full as f64 / g_half as f64,
+            t_full / t_half
+        );
+    }
+
+    // 2. LPT vs round-robin across 6 comm threads (CPU makespan: packing
+    // + posting; wire time overlaps with other threads' work).
+    {
+        let p = NetParams::default();
+        for (label, n_local) in [("65K workload", 21.3), ("1.7M workload", 553.0)] {
+            let geom = tofumd_model::Geometry::from_atoms_per_rank(n_local, 0.8442, 2.8);
+            let mut costs = Vec::new();
+            for row in geom.p2p_rows() {
+                for _ in 0..row.msgs {
+                    let bytes = (row.volume * 0.8442 * 24.0) as usize;
+                    costs.push(p.pack_cost(bytes) + p.cpu_per_put_utofu);
+                }
+            }
+            let lpt = fine::makespan(&fine::balance_lpt(&costs, 6), &costs);
+            let rr = fine::makespan(&fine::balance_round_robin(costs.len(), 6), &costs);
+            println!("== 2. Comm-thread load balancing, {label} ==");
+            println!(
+                "{}",
+                render_table(
+                    &["assignment", "CPU makespan"],
+                    &[
+                        vec!["LPT (size x hops)".into(), fmt_time(lpt)],
+                        vec!["round-robin".into(), fmt_time(rr)],
+                    ]
+                )
+            );
+            println!("LPT improves the critical path by {:.0}%\n", 100.0 * (1.0 - lpt / rr));
+        }
+    }
+
+    // 3. Pre-registration vs dynamic buffers.
+    {
+        let cfg = RunConfig::lj(1_700_000);
+        let mut opt = Cluster::proxy(PROXY_MESH, target, cfg, CommVariant::Opt);
+        let mut base = Cluster::proxy(PROXY_MESH, target, cfg, CommVariant::Utofu4TniP2p);
+        let (opt0, base0) = (opt.growth_events(), base.growth_events());
+        opt.run(25);
+        base.run(25);
+        println!("== 3. Pre-registered addresses (25 steps, 1.7M workload) ==");
+        println!(
+            "{}",
+            render_table(
+                &["variant", "re-registrations during run", "setup cost"],
+                &[
+                    vec![
+                        "opt (pre-registered)".into(),
+                        (opt.growth_events() - opt0).to_string(),
+                        fmt_time(opt.setup_cost()),
+                    ],
+                    vec![
+                        "baseline uTofu (grow on demand)".into(),
+                        (base.growth_events() - base0).to_string(),
+                        fmt_time(base.setup_cost()),
+                    ],
+                ]
+            )
+        );
+        println!("opt registers its theoretical maximum once at setup and never again;");
+        println!("the baseline stalls mid-run to re-register grown buffers\n");
+    }
+
+    // 4. Border bins vs naive neighbor scan.
+    {
+        let offsets = neighbor_offsets(1, true);
+        let sub = Box3::from_lengths([10.0; 3]);
+        let bins = BorderBins::new(sub, 2.8, &offsets);
+        let atoms: Vec<[f64; 3]> = (0..50_000)
+            .map(|i| {
+                let h = (i as f64 * 0.618_033_988_75).fract();
+                let k = (i as f64 * 0.754_877_666_2).fract();
+                let l = (i as f64 * 0.569_840_290_998).fract();
+                [h * 10.0, k * 10.0, l * 10.0]
+            })
+            .collect();
+        let t0 = std::time::Instant::now();
+        let mut n_fast = 0usize;
+        for x in &atoms {
+            bins.for_each_target(x, |_| n_fast += 1);
+        }
+        let fast = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let mut n_slow = 0usize;
+        for x in &atoms {
+            n_slow += bins.targets_naive(x, &offsets).len();
+        }
+        let slow = t1.elapsed().as_secs_f64();
+        assert_eq!(n_fast, n_slow, "classifiers must agree");
+        println!("== 4. Border bins vs per-neighbor scan (50K atoms, host time) ==");
+        println!(
+            "{}",
+            render_table(
+                &["classifier", "time", "per atom"],
+                &[
+                    vec!["3x3x3 bins".into(), fmt_time(fast), fmt_time(fast / 5e4)],
+                    vec!["naive scan".into(), fmt_time(slow), fmt_time(slow / 5e4)],
+                ]
+            )
+        );
+        println!("speedup {:.1}x\n", slow / fast);
+    }
+
+    // 5. Message combine.
+    {
+        let p = NetParams::default();
+        // One exchange, 13 links: combined = 1 message per link; split =
+        // a length message + a payload message per link.
+        let per_link_cost_combined = p.cpu_per_put_utofu + p.wire_time(512 + 8, 1);
+        let per_link_cost_split =
+            2.0 * p.cpu_per_put_utofu + p.wire_time(8, 1) + p.wire_time(512, 1);
+        println!("== 5. Message combine (length-prefixed single message) ==");
+        println!(
+            "{}",
+            render_table(
+                &["protocol", "per link", "per exchange (13 links)"],
+                &[
+                    vec![
+                        "combined".into(),
+                        fmt_time(per_link_cost_combined),
+                        fmt_time(13.0 * per_link_cost_combined),
+                    ],
+                    vec![
+                        "length + payload".into(),
+                        fmt_time(per_link_cost_split),
+                        fmt_time(13.0 * per_link_cost_split),
+                    ],
+                ]
+            )
+        );
+        println!(
+            "combine saves {:.2} us per exchange\n",
+            13.0 * (per_link_cost_split - per_link_cost_combined) * 1e6
+        );
+    }
+
+    // 6. Topology map.
+    {
+        let grid = CellGrid::from_node_mesh(target).unwrap();
+        let topo = RankMap::new(grid, Placement::TopoAware);
+        let rand = RankMap::new(grid, Placement::Shuffled { seed: 7 });
+        let p = NetParams::default();
+        // Mean per-message wire time over every rank's 13 recv links at
+        // the full 768-node scale (522-byte forward messages).
+        let mean_wire = |m: &RankMap| -> f64 {
+            let rg = m.rank_grid;
+            let global = Box3::from_lengths([
+                2.935 * f64::from(rg[0]),
+                2.935 * f64::from(rg[1]),
+                2.935 * f64::from(rg[2]),
+            ]);
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            for r in (0..m.nranks()).step_by(97) {
+                let plan = CommPlan::build(r, m, &global, 2.8, PlanConfig::NEWTON);
+                for l in &plan.recv_from {
+                    sum += p.wire_time(522, l.hops);
+                    n += 1;
+                }
+            }
+            sum / f64::from(n)
+        };
+        let mean_hops = |m: &RankMap| -> f64 {
+            (0..64).map(|r| m.mean_neighbor_hops(r * 37)).sum::<f64>() / 64.0
+        };
+        let (w_topo, w_rand) = (mean_wire(&topo), mean_wire(&rand));
+        println!("== 6. Topology mapping (768-node machine, 522 B forward messages) ==");
+        println!(
+            "{}",
+            render_table(
+                &["placement", "mean neighbor hops", "mean message wire time"],
+                &[
+                    vec!["topo-aware".into(), format!("{:.2}", mean_hops(&topo)), fmt_time(w_topo)],
+                    vec!["shuffled".into(), format!("{:.2}", mean_hops(&rand)), fmt_time(w_rand)],
+                ]
+            )
+        );
+        println!(
+            "hop inflation {:.1}x; per-message latency inflation {:.2}x",
+            mean_hops(&rand) / mean_hops(&topo),
+            w_rand / w_topo
+        );
+    }
+}

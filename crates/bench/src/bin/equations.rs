@@ -1,0 +1,58 @@
+//! Equations (3)–(8) — analytic pattern times across transports and sizes.
+//!
+//! Evaluates the six expressions for the 65K strong-scaling geometry and a
+//! large-message geometry under both MPI and uTofu injection costs,
+//! demonstrating the paper's §3.1/§3.2 conclusions: p2p loses under MPI's
+//! heavy T_inj but wins under uTofu's light one, and parallel injection
+//! benefits p2p most.
+//!
+//! Usage: `equations`.
+
+use tofumd_bench::{fmt_time, render_table};
+use tofumd_model::equations::{pattern_times, Transport};
+use tofumd_model::table1::Geometry;
+use tofumd_tofu::NetParams;
+
+fn main() {
+    println!("Equations (3)-(8) — analytic pattern times\n");
+    let p = NetParams::default();
+    for (label, n_local) in [("65K / 3072 ranks (small msgs)", 21.3), ("1.7M / 3072 ranks", 553.0)]
+    {
+        let geom = Geometry::from_atoms_per_rank(n_local, 0.8442, 2.8);
+        let mut rows = Vec::new();
+        for transport in [Transport::Mpi, Transport::Utofu] {
+            let t = pattern_times(&geom, 0.8442, 24.0, transport, &p);
+            let name = match transport {
+                Transport::Mpi => "MPI",
+                Transport::Utofu => "uTofu",
+            };
+            rows.push(vec![
+                name.to_string(),
+                fmt_time(t.three_stage_naive),
+                fmt_time(t.three_stage_opt),
+                fmt_time(t.three_stage_parallel),
+                fmt_time(t.p2p_naive),
+                fmt_time(t.p2p_opt),
+                fmt_time(t.p2p_parallel),
+            ]);
+        }
+        println!("== {label} ==");
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "transport",
+                    "3stage naive (3)",
+                    "3stage opt (5)",
+                    "3stage par (7)",
+                    "p2p naive (4)",
+                    "p2p opt (6)",
+                    "p2p par (8)"
+                ],
+                &rows
+            )
+        );
+    }
+    println!("paper anchors: under MPI, Eq.(4) > Eq.(5) for small messages (naive p2p");
+    println!("loses); under uTofu, Eq.(8) < Eq.(7) (p2p wins with parallel interfaces).");
+}

@@ -1,0 +1,83 @@
+//! Fig. 12 — step-by-step performance of the optimizations on 768 nodes.
+//!
+//! Reproduces all three panels for the 65 K and 1.7 M particle systems and
+//! both potentials: (a) total time per 99 steps and speedup over `ref`,
+//! (b) communication time, (c) pair-stage time. Paper anchors: 65 K
+//! speedups 3.01x (LJ) / 2.45x (EAM); 1.7 M speedups 1.6x / 1.4x;
+//! parallel-p2p cuts communication ~77 % and the pool cuts the pair stage
+//! ~43 % (LJ) / 56 % (EAM) in the 65 K case.
+//!
+//! Usage: `fig12 [--steps N]` (default 99).
+
+use tofumd_bench::{fmt_time, render_table, run_proxy, PAPER_STEPS};
+use tofumd_runtime::{CommVariant, RunConfig};
+
+fn main() {
+    let steps = std::env::args()
+        .skip_while(|a| a != "--steps")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PAPER_STEPS);
+    let mesh = [8u32, 12, 8]; // 768 nodes
+    println!("Fig. 12 — step-by-step optimization, 768 nodes, {steps} steps\n");
+
+    for (label, cfgs) in [
+        (
+            "65K particles",
+            vec![
+                ("L-J", RunConfig::lj(65_536)),
+                ("EAM", RunConfig::eam(65_536)),
+            ],
+        ),
+        (
+            "1.7M particles",
+            vec![
+                ("L-J", RunConfig::lj(1_700_000)),
+                ("EAM", RunConfig::eam(1_700_000)),
+            ],
+        ),
+    ] {
+        for (pot, cfg) in cfgs {
+            let mut rows = Vec::new();
+            let mut ref_total = 0.0;
+            let mut ref_comm = 0.0;
+            let mut ref_pair = 0.0;
+            for variant in CommVariant::STEP_BY_STEP {
+                let r = run_proxy(mesh, cfg, variant, steps);
+                let b = r.breakdown;
+                if variant == CommVariant::Ref {
+                    ref_total = b.total();
+                    ref_comm = b.comm;
+                    ref_pair = b.pair;
+                }
+                rows.push(vec![
+                    variant.label().to_string(),
+                    fmt_time(b.total() * steps as f64),
+                    format!("{:.2}x", ref_total / b.total()),
+                    fmt_time(b.comm * steps as f64),
+                    format!("{:.0}%", 100.0 * (1.0 - b.comm / ref_comm)),
+                    fmt_time(b.pair * steps as f64),
+                    format!("{:.0}%", 100.0 * (1.0 - b.pair / ref_pair)),
+                ]);
+            }
+            println!("== {label}, {pot} ==");
+            println!(
+                "{}",
+                render_table(
+                    &[
+                        "variant",
+                        "total/99stp",
+                        "speedup",
+                        "comm",
+                        "comm cut",
+                        "pair",
+                        "pair cut"
+                    ],
+                    &rows
+                )
+            );
+        }
+    }
+    println!("paper anchors: 65K speedup 3.01x (LJ) / 2.45x (EAM); 1.7M 1.6x / 1.4x;");
+    println!("comm cut ~77% and pair cut 43% (LJ) / 56% (EAM) for parallel-p2p at 65K.");
+}

@@ -1,0 +1,76 @@
+//! Fig. 13 + headline numbers — strong scaling from 768 to 36,864 nodes.
+//!
+//! LJ: 4,194,304 particles; EAM: 3,456,000. Reports per-step times,
+//! parallel efficiency relative to the 768-node point (Fig. 13a), the
+//! pair/comm stage times (Fig. 13b), speedup of `opt` over `ref`, and the
+//! tau/day / us/day headline throughputs.
+//!
+//! Paper anchors at 36,864 nodes: speedups 2.9x (LJ) and 2.2x (EAM);
+//! 8.77M tau/day and 2.87 us/day.
+//!
+//! Usage: `fig13 [--steps N]` (default 99).
+
+use tofumd_bench::{fmt_time, render_table, run_proxy, PAPER_STEPS, STRONG_SCALING_MESHES};
+use tofumd_model::scaling;
+use tofumd_runtime::{CommVariant, RunConfig};
+
+fn main() {
+    let steps = std::env::args()
+        .skip_while(|a| a != "--steps")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PAPER_STEPS);
+    println!("Fig. 13 — strong scaling, {steps} steps per point\n");
+
+    for (pot, cfg, natoms) in [
+        ("L-J", RunConfig::lj(4_194_304), 4_194_304usize),
+        ("EAM", RunConfig::eam(3_456_000), 3_456_000),
+    ] {
+        let mut rows = Vec::new();
+        let mut base = [0.0f64; 2]; // ref, opt step time at 768 nodes
+        let mut last = [0.0f64; 2];
+        for (nodes, mesh) in STRONG_SCALING_MESHES {
+            let rref = run_proxy(mesh, cfg, CommVariant::Ref, steps);
+            let ropt = run_proxy(mesh, cfg, CommVariant::Opt, steps);
+            if nodes == 768 {
+                base = [rref.step_time, ropt.step_time];
+            }
+            last = [rref.step_time, ropt.step_time];
+            let eff_ref = scaling::parallel_efficiency(768, base[0], nodes, rref.step_time);
+            let eff_opt = scaling::parallel_efficiency(768, base[1], nodes, ropt.step_time);
+            rows.push(vec![
+                nodes.to_string(),
+                format!("{:.1}", natoms as f64 / (4 * nodes * 12) as f64),
+                fmt_time(rref.step_time),
+                format!("{:.0}%", 100.0 * eff_ref),
+                fmt_time(ropt.step_time),
+                format!("{:.0}%", 100.0 * eff_opt),
+                format!("{:.2}x", rref.step_time / ropt.step_time),
+                fmt_time(rref.breakdown.pair),
+                fmt_time(ropt.breakdown.pair),
+                fmt_time(rref.breakdown.comm),
+                fmt_time(ropt.breakdown.comm),
+            ]);
+        }
+        println!("== {pot}, {natoms} particles ==");
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "nodes", "atoms/core", "ref/step", "eff", "opt/step", "eff", "speedup",
+                    "ref pair", "opt pair", "ref comm", "opt comm"
+                ],
+                &rows
+            )
+        );
+        let perf = scaling::units_per_day(0.005, last[1]);
+        if pot == "L-J" {
+            println!("opt throughput at 36,864 nodes: {:.2}M tau/day (paper: 8.77M)\n", perf / 1e6);
+        } else {
+            println!(
+                "opt throughput at 36,864 nodes: {:.2} us/day (paper: 2.87)\n",
+                scaling::ps_to_us_per_day(perf)
+            );
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Fig. 14 — weak scaling from 768 to 20,736 nodes.
+//!
+//! 100 K atoms *per core* for LJ and 72 K for EAM (1.2 M / 864 K per
+//! rank), reaching 99 / 72 billion atoms at 20,736 nodes. Per-rank
+//! workloads of this size cannot be instantiated with real atoms, so this
+//! experiment uses `tofumd-model`'s analytic path (stage costs + pattern
+//! equations) — the regime is overwhelmingly pair-dominated, which is
+//! exactly why the paper observes near-linear scaling.
+//!
+//! Usage: `fig14`.
+
+use tofumd_bench::render_table;
+use tofumd_model::analytic::{opt_step_time, AnalyticWorkload};
+use tofumd_model::{scaling, StageCosts};
+use tofumd_tofu::NetParams;
+
+const MESHES: [usize; 5] = [768, 2160, 6144, 18432, 20736];
+
+fn main() {
+    println!("Fig. 14 — weak scaling (opt variant, analytic path)\n");
+    let costs = StageCosts::default();
+    let p = NetParams::default();
+    for (name, w, unit) in [
+        (
+            "L-J (100K atoms/core)",
+            AnalyticWorkload::lj(100_000.0 * 12.0),
+            "tau",
+        ),
+        (
+            "EAM (72K atoms/core)",
+            AnalyticWorkload::eam(72_000.0 * 12.0),
+            "ps",
+        ),
+    ] {
+        let mut rows = Vec::new();
+        let base = opt_step_time(&w, 4.0 * 768.0, &costs, &p).total();
+        for nodes in MESHES {
+            let ranks = 4.0 * nodes as f64;
+            let t = opt_step_time(&w, ranks, &costs, &p).total();
+            let total_atoms = w.n_local * ranks;
+            rows.push(vec![
+                nodes.to_string(),
+                format!("{:.1}B", total_atoms / 1e9),
+                format!("{:.1} ms", t * 1e3),
+                format!("{:.2e} atom-steps/s", total_atoms / t),
+                format!("{:.1}%", 100.0 * base / t),
+                format!("{:.3} {unit}/day", scaling::units_per_day(0.005, t)),
+            ]);
+        }
+        println!("== {name} ==");
+        println!(
+            "{}",
+            render_table(
+                &["nodes", "atoms", "step time", "aggregate perf", "efficiency", "throughput"],
+                &rows
+            )
+        );
+    }
+    println!("paper anchors: 99 / 72 billion atoms at 20,736 nodes; nearly linear scaling");
+    println!("(aggregate performance grows ~linearly with node count, per-step time flat).");
+}

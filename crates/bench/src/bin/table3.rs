@@ -1,0 +1,73 @@
+//! Table 3 — strong-scaling stage breakdown at the last point
+//! (36,864 nodes; LJ 4,194,304 atoms, EAM 3,456,000 atoms; 99 steps).
+//!
+//! Prints per-stage times and percentage shares for Origin (ref) and Opt,
+//! next to the paper's percentage rows.
+//!
+//! Usage: `table3 [--steps N]` (default 99).
+
+use tofumd_bench::{fmt_time, render_table, run_proxy, PAPER_STEPS};
+use tofumd_runtime::{CommVariant, RunConfig, StageBreakdown};
+
+/// Paper percentage rows (Table 3).
+const PAPER: [(&str, [f64; 5]); 4] = [
+    ("Origin-L-J", [15.3, 1.5, 64.85, 9.36, 8.99]),
+    ("Opt-L-J", [26.71, 3.71, 43.67, 10.23, 15.68]),
+    ("Origin-EAM", [43.44, 2.3, 33.5, 3.85, 16.91]),
+    ("Opt-EAM", [40.85, 4.1, 20.02, 3.19, 31.84]),
+];
+
+fn row(name: &str, b: &StageBreakdown, paper_pct: [f64; 5]) -> Vec<Vec<String>> {
+    let pct = b.percentages();
+    vec![
+        vec![
+            name.to_string(),
+            fmt_time(b.pair),
+            fmt_time(b.neigh),
+            fmt_time(b.comm),
+            fmt_time(b.modify),
+            fmt_time(b.other),
+            fmt_time(b.total()),
+        ],
+        vec![
+            format!("{name} %"),
+            format!("{:.1} ({:.1})", pct[0], paper_pct[0]),
+            format!("{:.1} ({:.1})", pct[1], paper_pct[1]),
+            format!("{:.1} ({:.1})", pct[2], paper_pct[2]),
+            format!("{:.1} ({:.1})", pct[3], paper_pct[3]),
+            format!("{:.1} ({:.1})", pct[4], paper_pct[4]),
+            String::new(),
+        ],
+    ]
+}
+
+fn main() {
+    let steps = std::env::args()
+        .skip_while(|a| a != "--steps")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PAPER_STEPS);
+    let mesh = [32u32, 36, 32];
+    println!("Table 3 — breakdown at 36,864 nodes, {steps} steps (percentages: ours (paper))\n");
+
+    let mut rows = Vec::new();
+    for (i, (cfg, variant)) in [
+        (RunConfig::lj(4_194_304), CommVariant::Ref),
+        (RunConfig::lj(4_194_304), CommVariant::Opt),
+        (RunConfig::eam(3_456_000), CommVariant::Ref),
+        (RunConfig::eam(3_456_000), CommVariant::Opt),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let r = run_proxy(mesh, cfg, variant, steps);
+        rows.extend(row(PAPER[i].0, &r.breakdown, PAPER[i].1));
+    }
+    println!(
+        "{}",
+        render_table(
+            &["potential", "Pair", "Neigh", "Comm", "Modify", "Other", "total/step"],
+            &rows
+        )
+    );
+}

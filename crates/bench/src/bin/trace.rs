@@ -1,0 +1,40 @@
+//! Per-step virtual-time trace of a run — observability beyond the paper's
+//! aggregate numbers: which steps spike (reneighbor), how stages vary, and
+//! the rank-imbalance factor that gates bulk-synchronous execution.
+//!
+//! Usage: `trace [--steps N]` (default 40).
+
+use tofumd_bench::PROXY_MESH;
+use tofumd_runtime::{Cluster, CommVariant, RunConfig};
+
+fn main() {
+    let steps = std::env::args()
+        .skip_while(|a| a != "--steps")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    println!("Per-step trace — 65K LJ on 768 nodes, {steps} steps\n");
+    for variant in [CommVariant::Ref, CommVariant::Opt] {
+        let mut c = Cluster::proxy(PROXY_MESH, [8, 12, 8], RunConfig::lj(65_536), variant);
+        let trace = c.run_traced(steps);
+        println!("== {} ==", variant.label());
+        print!("{}", trace.report());
+        println!("rank imbalance factor: {:.3}", c.imbalance());
+        // Compact per-step view: total time with rebuild markers.
+        let mut line = String::from("steps:  ");
+        for r in &trace.steps {
+            let total: f64 = r.stages.iter().sum();
+            let mean = trace.mean().total();
+            line.push(if r.rebuilt {
+                'R'
+            } else if total > 1.2 * mean {
+                '^'
+            } else if total < 0.8 * mean {
+                '.'
+            } else {
+                '-'
+            });
+        }
+        println!("{line}   (R = reneighbor, ^ high, - typical, . low)\n");
+    }
+}

@@ -1,0 +1,144 @@
+//! # tofumd-bench — harness regenerating the paper's tables and figures
+//!
+//! Each `src/bin/*` binary reproduces one table or figure; Criterion
+//! benches under `benches/` cover the micro-measurements. This library
+//! holds the shared plumbing: proxy-mesh selection, run orchestration and
+//! plain-text table rendering.
+
+#![warn(missing_docs)]
+// Dimension loops (`for d in 0..3`) index by physical dimension on fixed
+// [f64; 3] vectors; the index is the semantics, so the iterator rewrite the
+// lint suggests would be less clear.
+#![allow(clippy::needless_range_loop)]
+
+use tofumd_runtime::{Cluster, CommVariant, RunConfig, StageBreakdown};
+
+/// The proxy torus used for large-target runs: 24 nodes (2 cells), 96
+/// ranks on a 4 x 6 x 4 rank grid — large enough that every rank has
+/// off-node neighbors in all directions, small enough to run thousands of
+/// steps in seconds.
+pub const PROXY_MESH: [u32; 3] = [4, 3, 2];
+
+/// The paper's strong-scaling node meshes (§4.3.1).
+pub const STRONG_SCALING_MESHES: [(usize, [u32; 3]); 5] = [
+    (768, [8, 12, 8]),
+    (2160, [12, 15, 12]),
+    (6144, [16, 24, 16]),
+    (18432, [24, 32, 24]),
+    (36864, [32, 36, 32]),
+];
+
+/// Number of timed steps (the paper's runs report 99-step timings).
+pub const PAPER_STEPS: u64 = 99;
+
+/// Outcome of one proxy run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Mean virtual seconds per step (slowest-rank clock).
+    pub step_time: f64,
+    /// Mean per-step stage breakdown.
+    pub breakdown: StageBreakdown,
+}
+
+/// Run `steps` timesteps of `cfg` on a proxy torus standing in for
+/// `target_mesh`, under `variant`; returns per-step timings.
+#[must_use]
+pub fn run_proxy(
+    target_mesh: [u32; 3],
+    cfg: RunConfig,
+    variant: CommVariant,
+    steps: u64,
+) -> RunResult {
+    let mut cluster = Cluster::proxy(PROXY_MESH, target_mesh, cfg, variant);
+    cluster.run(steps);
+    RunResult {
+        step_time: cluster.step_time(),
+        breakdown: cluster.breakdown(),
+    }
+}
+
+/// Format seconds as an adaptive human unit.
+#[must_use]
+pub fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Render an aligned plain-text table.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {c:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_mesh_folds() {
+        assert!(tofumd_tofu::CellGrid::from_node_mesh(PROXY_MESH).is_some());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("| name      | value |"));
+        assert!(t.contains("| long-name | 22    |"));
+    }
+
+    #[test]
+    fn time_formatting_units() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(2.5e-3), "2.50 ms");
+        assert_eq!(fmt_time(49.2e-6), "49.20 us");
+        assert!(fmt_time(3e-9).ends_with("ns"));
+    }
+
+    #[test]
+    fn smoke_proxy_run() {
+        let r = run_proxy([8, 12, 8], RunConfig::lj(65_536), CommVariant::Opt, 3);
+        assert!(r.step_time > 0.0);
+        assert!(r.breakdown.total() > 0.0);
+    }
+}

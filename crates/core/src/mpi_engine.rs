@@ -1,0 +1,645 @@
+//! Ghost engines over the MPI transport: the LAMMPS baseline 3-stage
+//! pattern ("ref") and the naive MPI p2p pattern that §3.2 shows is
+//! *slower* than the baseline because of MPI's per-message software cost.
+
+use crate::engine::{CommStats, GhostEngine, Op, RankState};
+use crate::border_bin::BorderBins;
+use crate::p2p::P2pGhosts;
+use crate::plan::NeighborLink;
+use crate::three_stage::{round_to_sweep, staged_links, StagedGhosts};
+use crate::topo_map::RankMap;
+use crate::wire;
+use std::sync::Arc;
+use tofumd_md::region::Box3;
+use tofumd_mpi::Communicator;
+
+fn op_base(op: Op) -> u32 {
+    match op {
+        Op::Border => 1,
+        Op::Forward => 2,
+        Op::Reverse => 3,
+        Op::ForwardScalar => 4,
+        Op::ReverseScalar => 5,
+        Op::Exchange => 6,
+    }
+}
+
+/// Tag for a staged (3-stage) message: op, sweep dimension, direction sent.
+fn staged_tag(op: Op, dim: usize, dir: usize) -> u32 {
+    op_base(op) * 64 + (dim as u32) * 2 + dir as u32
+}
+
+/// Tag for a p2p message: op and link index (identical on both sides).
+fn p2p_tag(op: Op, link: usize) -> u32 {
+    op_base(op) * 1024 + link as u32
+}
+
+/// The LAMMPS default: 6-message staged exchange over MPI.
+pub struct MpiThreeStage {
+    comm: Arc<Communicator>,
+    me: usize,
+    links: [[NeighborLink; 2]; 3],
+    ghosts: StagedGhosts,
+    stats: CommStats,
+    /// Swaps per dimension (the plan's shell count; 1 in the common case).
+    shells: usize,
+}
+
+impl MpiThreeStage {
+    /// Build the engine for one rank. `shells` is the plan's shell count:
+    /// each dimension performs that many successive swaps (Fig. 15's
+    /// long-cutoff regime needs more than one).
+    #[must_use]
+    pub fn new(
+        comm: Arc<Communicator>,
+        map: &RankMap,
+        rank: usize,
+        global: &Box3,
+        shells: usize,
+    ) -> Self {
+        assert!(shells >= 1);
+        MpiThreeStage {
+            comm,
+            me: rank,
+            links: staged_links(map, rank, global),
+            ghosts: StagedGhosts::default(),
+            stats: CommStats::default(),
+            shells,
+        }
+    }
+
+    fn send_both(&mut self, st: &mut RankState, op: Op, dim: usize, payloads: &[Vec<f64>; 2]) {
+        let p = *self.comm.net().params();
+        let bytes: usize = payloads.iter().map(|v| v.len() * 8).sum();
+        let mut now = st.clock;
+        now += p.pack_cost(bytes);
+        for (dir, payload) in payloads.iter().enumerate() {
+            self.stats.count(payload.len() * 8);
+            self.comm.send(
+                self.me,
+                self.links[dim][dir].rank,
+                staged_tag(op, dim, dir),
+                &wire::encode_f64s(payload),
+                &mut now,
+            );
+        }
+        let dt = now - st.clock;
+        st.charge(dt, op);
+    }
+
+    /// Receive the two sweep-`dim` messages: from `links[dim][dir]`, tagged
+    /// by the sender with direction `1 - dir`.
+    fn recv_both(&self, st: &mut RankState, op: Op, dim: usize) -> [Vec<f64>; 2] {
+        let mut out = [Vec::new(), Vec::new()];
+        let mut now = st.clock;
+        for dir in 0..2 {
+            let m = self.comm.recv(
+                self.me,
+                self.links[dim][dir].rank,
+                staged_tag(op, dim, 1 - dir),
+                now,
+            );
+            now = m.now;
+            out[dir] = wire::decode_f64s(&m.data);
+        }
+        let dt = now - st.clock;
+        st.charge(dt, op);
+        out
+    }
+}
+
+impl GhostEngine for MpiThreeStage {
+    fn name(&self) -> &'static str {
+        "mpi-3stage"
+    }
+
+    fn rounds(&self, op: Op) -> usize {
+        // Every ghost op sweeps the three dimensions `shells` times.
+        // Whether Reverse runs at all (Newton on/off) is the driver's
+        // decision, not the engine's. Migration stays one swap per
+        // dimension (atoms move less than a sub-box between rebuilds).
+        if op == Op::Exchange {
+            3
+        } else {
+            3 * self.shells
+        }
+    }
+
+    fn barrier_between_rounds(&self) -> bool {
+        true
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    fn post(&mut self, op: Op, round: usize, st: &mut RankState) {
+        match op {
+            Op::Border => {
+                if round == 0 {
+                    self.ghosts.reset(st, self.shells);
+                }
+                let (dim, swap) = round_to_sweep(round, self.shells);
+                let payloads = self.ghosts.pack_border(st, &self.links, dim, swap);
+                self.send_both(st, op, dim, &payloads);
+            }
+            Op::Forward => {
+                let (dim, swap) = round_to_sweep(round, self.shells);
+                let payloads = [
+                    self.ghosts.pack_forward(st, &self.links, dim, swap, 0),
+                    self.ghosts.pack_forward(st, &self.links, dim, swap, 1),
+                ];
+                self.send_both(st, op, dim, &payloads);
+            }
+            Op::ForwardScalar => {
+                let (dim, swap) = round_to_sweep(round, self.shells);
+                let payloads = [
+                    self.ghosts.pack_forward_scalar(st, dim, swap, 0),
+                    self.ghosts.pack_forward_scalar(st, dim, swap, 1),
+                ];
+                self.send_both(st, op, dim, &payloads);
+            }
+            Op::Reverse => {
+                // Reverse runs the sweeps backwards (z..x, last swap first).
+                let idx = 3 * self.shells - 1 - round;
+                let (dim, swap) = round_to_sweep(idx, self.shells);
+                let payloads = [
+                    self.ghosts.pack_reverse(st, dim, swap, 0),
+                    self.ghosts.pack_reverse(st, dim, swap, 1),
+                ];
+                self.send_both(st, op, dim, &payloads);
+            }
+            Op::ReverseScalar => {
+                let idx = 3 * self.shells - 1 - round;
+                let (dim, swap) = round_to_sweep(idx, self.shells);
+                let payloads = [
+                    self.ghosts.pack_reverse_scalar(st, dim, swap, 0),
+                    self.ghosts.pack_reverse_scalar(st, dim, swap, 1),
+                ];
+                self.send_both(st, op, dim, &payloads);
+            }
+            Op::Exchange => {
+                let payloads = st.pack_exchange(round);
+                self.send_both(st, op, round, &payloads);
+            }
+        }
+    }
+
+    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) {
+        match op {
+            Op::Border => {
+                let (dim, swap) = round_to_sweep(round, self.shells);
+                let payloads = self.recv_both(st, op, dim);
+                self.ghosts.unpack_border(st, dim, swap, &payloads);
+                // EAM scalar buffers must track the growing ghost tail.
+                st.scalar.resize(st.atoms.ntotal(), 0.0);
+            }
+            Op::Exchange => {
+                let payloads = self.recv_both(st, op, round);
+                for p in &payloads {
+                    st.unpack_exchange(p);
+                }
+            }
+            Op::Forward => {
+                let (dim, swap) = round_to_sweep(round, self.shells);
+                let payloads = self.recv_both(st, op, dim);
+                for dir in 0..2 {
+                    self.ghosts.unpack_forward(st, dim, swap, dir, &payloads[dir]);
+                }
+            }
+            Op::ForwardScalar => {
+                let (dim, swap) = round_to_sweep(round, self.shells);
+                let payloads = self.recv_both(st, op, dim);
+                for dir in 0..2 {
+                    self.ghosts
+                        .unpack_forward_scalar(st, dim, swap, dir, &payloads[dir]);
+                }
+            }
+            Op::Reverse => {
+                let idx = 3 * self.shells - 1 - round;
+                let (dim, swap) = round_to_sweep(idx, self.shells);
+                let payloads = self.recv_both(st, op, dim);
+                for dir in 0..2 {
+                    self.ghosts.unpack_reverse(st, dim, swap, dir, &payloads[dir]);
+                }
+            }
+            Op::ReverseScalar => {
+                let idx = 3 * self.shells - 1 - round;
+                let (dim, swap) = round_to_sweep(idx, self.shells);
+                let payloads = self.recv_both(st, op, dim);
+                for dir in 0..2 {
+                    self.ghosts
+                        .unpack_reverse_scalar(st, dim, swap, dir, &payloads[dir]);
+                }
+            }
+        }
+    }
+
+}
+
+/// Naive peer-to-peer over MPI: direct exchange with every plan neighbor.
+pub struct MpiP2p {
+    comm: Arc<Communicator>,
+    me: usize,
+    bins: Option<BorderBins>,
+    ghosts: P2pGhosts,
+    stats: CommStats,
+}
+
+impl MpiP2p {
+    /// Build the engine for one rank (bins are created lazily from the
+    /// plan carried by the first `RankState`).
+    #[must_use]
+    pub fn new(comm: Arc<Communicator>, rank: usize) -> Self {
+        MpiP2p {
+            comm,
+            me: rank,
+            bins: None,
+            ghosts: P2pGhosts::default(),
+            stats: CommStats::default(),
+        }
+    }
+
+    fn bins<'a>(bins: &'a mut Option<BorderBins>, st: &RankState) -> &'a BorderBins {
+        bins.get_or_insert_with(|| {
+            let offsets: Vec<_> = st.plan.send_to.iter().map(|l| l.offset).collect();
+            BorderBins::new(st.plan.sub, st.plan.r_ghost, &offsets)
+        })
+    }
+
+    fn send_all(&mut self, st: &mut RankState, op: Op, payloads: &[Vec<f64>], to_recv_side: bool) {
+        let p = *self.comm.net().params();
+        let bytes: usize = payloads.iter().map(|v| v.len() * 8).sum();
+        let mut now = st.clock + p.pack_cost(bytes);
+        for (k, payload) in payloads.iter().enumerate() {
+            self.stats.count(payload.len() * 8);
+            let link = if to_recv_side {
+                &st.plan.recv_from[k]
+            } else {
+                &st.plan.send_to[k]
+            };
+            self.comm.send(
+                self.me,
+                link.rank,
+                p2p_tag(op, k),
+                &wire::encode_f64s(payload),
+                &mut now,
+            );
+        }
+        st.charge(now - st.clock, op);
+    }
+
+    fn recv_all(&self, st: &mut RankState, op: Op, from_recv_side: bool) -> Vec<Vec<f64>> {
+        let n = st.plan.recv_from.len();
+        let mut out = Vec::with_capacity(n);
+        let mut now = st.clock;
+        for k in 0..n {
+            let link = if from_recv_side {
+                &st.plan.recv_from[k]
+            } else {
+                &st.plan.send_to[k]
+            };
+            let m = self.comm.recv(self.me, link.rank, p2p_tag(op, k), now);
+            now = m.now;
+            out.push(wire::decode_f64s(&m.data));
+        }
+        st.charge(now - st.clock, op);
+        out
+    }
+}
+
+impl GhostEngine for MpiP2p {
+    fn name(&self) -> &'static str {
+        "mpi-p2p"
+    }
+
+    fn rounds(&self, op: Op) -> usize {
+        // Migration sweeps the three dimensions even under p2p ghosts.
+        if op == Op::Exchange {
+            3
+        } else {
+            1
+        }
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    fn post(&mut self, op: Op, round: usize, st: &mut RankState) {
+        let _ = round;
+        match op {
+            Op::Border => {
+                let bins = Self::bins(&mut self.bins, st);
+                let payloads = self.ghosts.pack_border(st, bins);
+                self.send_all(st, op, &payloads, false);
+            }
+            Op::Forward => {
+                let payloads: Vec<_> = (0..st.plan.send_to.len())
+                    .map(|k| self.ghosts.pack_forward(st, k))
+                    .collect();
+                self.send_all(st, op, &payloads, false);
+            }
+            Op::ForwardScalar => {
+                let payloads: Vec<_> = (0..st.plan.send_to.len())
+                    .map(|k| self.ghosts.pack_forward_scalar(st, k))
+                    .collect();
+                self.send_all(st, op, &payloads, false);
+            }
+            Op::Reverse => {
+                let payloads: Vec<_> = (0..st.plan.recv_from.len())
+                    .map(|k| self.ghosts.pack_reverse(st, k))
+                    .collect();
+                self.send_all(st, op, &payloads, true);
+            }
+            Op::ReverseScalar => {
+                let payloads: Vec<_> = (0..st.plan.recv_from.len())
+                    .map(|k| self.ghosts.pack_reverse_scalar(st, k))
+                    .collect();
+                self.send_all(st, op, &payloads, true);
+            }
+            Op::Exchange => {
+                let dim = round;
+                let payloads = st.pack_exchange(dim);
+                let p = *self.comm.net().params();
+                let bytes: usize = payloads.iter().map(|v| v.len() * 8).sum();
+                let mut now = st.clock + p.pack_cost(bytes);
+                for (dir, payload) in payloads.iter().enumerate() {
+                    self.stats.count(payload.len() * 8);
+                    let link = st.plan.face_links[dim][dir];
+                    self.comm.send(
+                        self.me,
+                        link.rank,
+                        staged_tag(op, dim, dir),
+                        &wire::encode_f64s(payload),
+                        &mut now,
+                    );
+                }
+                st.charge(now - st.clock, op);
+            }
+        }
+    }
+
+    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) {
+        match op {
+            Op::Border => {
+                let payloads = self.recv_all(st, op, true);
+                self.ghosts.unpack_border(st, &payloads);
+                st.scalar.resize(st.atoms.ntotal(), 0.0);
+            }
+            Op::Exchange => {
+                let dim = round;
+                let mut now = st.clock;
+                for dir in 0..2 {
+                    let link = st.plan.face_links[dim][dir];
+                    let m = self
+                        .comm
+                        .recv(self.me, link.rank, staged_tag(op, dim, 1 - dir), now);
+                    now = m.now;
+                    st.unpack_exchange(&wire::decode_f64s(&m.data));
+                }
+                st.charge(now - st.clock, op);
+            }
+            Op::Forward => {
+                let payloads = self.recv_all(st, op, true);
+                for (k, v) in payloads.iter().enumerate() {
+                    self.ghosts.unpack_forward(st, k, v);
+                }
+            }
+            Op::ForwardScalar => {
+                let payloads = self.recv_all(st, op, true);
+                for (k, v) in payloads.iter().enumerate() {
+                    self.ghosts.unpack_forward_scalar(st, k, v);
+                }
+            }
+            Op::Reverse => {
+                let payloads = self.recv_all(st, op, false);
+                for (k, v) in payloads.iter().enumerate() {
+                    self.ghosts.unpack_reverse(st, k, v);
+                }
+            }
+            Op::ReverseScalar => {
+                let payloads = self.recv_all(st, op, false);
+                for (k, v) in payloads.iter().enumerate() {
+                    self.ghosts.unpack_reverse_scalar(st, k, v);
+                }
+            }
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_op_single;
+    use crate::plan::{CommPlan, PlanConfig};
+    use crate::topo_map::Placement;
+    use std::sync::Arc;
+    use tofumd_md::atom::Atoms;
+    use tofumd_tofu::{CellGrid, NetParams, TofuNet};
+
+    /// A 2-rank fixture where rank 0 and rank 1 are x-face neighbors; the
+    /// lockstep driver is emulated by posting both ranks then completing
+    /// both.
+    struct TwoRanks {
+        comm: Arc<Communicator>,
+        map: RankMap,
+        global: Box3,
+        states: [RankState; 2],
+    }
+
+    fn two_ranks(positions: [Vec<[f64; 3]>; 2]) -> TwoRanks {
+        let grid = CellGrid::new([1, 1, 1]); // 12 nodes, 48 ranks
+        let map = RankMap::new(grid, Placement::TopoAware);
+        let rg = map.rank_grid; // [2, 6, 4]
+        let global = Box3::from_lengths([
+            10.0 * f64::from(rg[0]),
+            10.0 * f64::from(rg[1]),
+            10.0 * f64::from(rg[2]),
+        ]);
+        let net = Arc::new(TofuNet::new(grid, NetParams::default()));
+        let comm = Arc::new(Communicator::new(net, map.nranks(), 4));
+        let mk = |rank: usize, pos: Vec<[f64; 3]>, map: &RankMap| {
+            let plan = CommPlan::build(rank, map, &global, 2.8, PlanConfig::NEWTON);
+            // Shift positions into this rank's sub-box.
+            let sub = plan.sub;
+            let pos = pos
+                .into_iter()
+                .map(|p| [sub.lo[0] + p[0], sub.lo[1] + p[1], sub.lo[2] + p[2]])
+                .collect();
+            RankState::new(
+                Atoms::from_positions(pos, rank as u64 * 1000 + 1),
+                plan,
+            )
+        };
+        let states = [
+            mk(0, positions[0].clone(), &map),
+            mk(1, positions[1].clone(), &map),
+        ];
+        TwoRanks {
+            comm,
+            map,
+            global,
+            states,
+        }
+    }
+
+    /// All 48 ranks exist in the map but only ranks 0 and 1 hold atoms;
+    /// the remaining ranks must still participate in the exchange for the
+    /// lockstep to complete, so the fixture drives every rank.
+    fn drive_all(
+        engines: &mut [Box<dyn GhostEngine>],
+        states: &mut [RankState],
+        op: Op,
+    ) {
+        let rounds = engines[0].rounds(op);
+        for round in 0..rounds {
+            for (e, st) in engines.iter_mut().zip(states.iter_mut()) {
+                e.post(op, round, st);
+            }
+            for (e, st) in engines.iter_mut().zip(states.iter_mut()) {
+                e.complete(op, round, st);
+            }
+        }
+    }
+
+    fn full_fixture<F>(mk_engine: F) -> (Vec<Box<dyn GhostEngine>>, Vec<RankState>, Box3)
+    where
+        F: Fn(Arc<Communicator>, &RankMap, usize, &Box3) -> Box<dyn GhostEngine>,
+    {
+        let t = two_ranks([vec![[9.5, 5.0, 5.0]], vec![[0.5, 5.0, 5.0]]]);
+        let nranks = t.map.nranks();
+        let mut engines = Vec::new();
+        let mut states = Vec::new();
+        for r in 0..nranks {
+            engines.push(mk_engine(t.comm.clone(), &t.map, r, &t.global));
+            let plan = CommPlan::build(r, &t.map, &t.global, 2.8, PlanConfig::NEWTON);
+            states.push(RankState::new(Atoms::default(), plan));
+        }
+        let [s0, s1] = t.states;
+        states[0] = s0;
+        states[1] = s1;
+        (engines, states, t.global)
+    }
+
+    #[test]
+    fn mpi_3stage_establishes_cross_rank_ghosts() {
+        let (mut engines, mut states, _g) = full_fixture(|c, m, r, g| {
+            Box::new(MpiThreeStage::new(c, m, r, g, 1)) as Box<dyn GhostEngine>
+        });
+        drive_all(&mut engines, &mut states, Op::Border);
+        // Rank 0's atom at x = hi - 0.5 must appear as a ghost on rank 1
+        // (its -x neighbor side), and vice versa.
+        assert!(
+            states[1].atoms.nghost() >= 1,
+            "rank 1 got {} ghosts",
+            states[1].atoms.nghost()
+        );
+        assert!(states[0].atoms.nghost() >= 1);
+        // Tags preserved across the wire.
+        let tags1: Vec<u64> =
+            states[1].atoms.tag[states[1].atoms.nlocal..].to_vec();
+        assert!(tags1.contains(&1), "rank 0's atom (tag 1) as ghost: {tags1:?}");
+    }
+
+    #[test]
+    fn mpi_3stage_forward_updates_ghost_positions() {
+        let (mut engines, mut states, _g) = full_fixture(|c, m, r, g| {
+            Box::new(MpiThreeStage::new(c, m, r, g, 1)) as Box<dyn GhostEngine>
+        });
+        drive_all(&mut engines, &mut states, Op::Border);
+        let before = states[1].atoms.x[states[1].atoms.nlocal];
+        // Move rank 0's atom and forward.
+        states[0].atoms.x[0][1] += 0.25;
+        drive_all(&mut engines, &mut states, Op::Forward);
+        let after = states[1].atoms.x[states[1].atoms.nlocal];
+        assert!((after[1] - before[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpi_p2p_reverse_returns_ghost_forces() {
+        // Fig. 5 semantics: rank 1 sends its -x-face atom to its *lower*
+        // neighbors (rank 0 among them); rank 0 holds the ghost, computes,
+        // and the reverse stage carries the force back to rank 1.
+        let (mut engines, mut states, _g) = full_fixture(|c, _m, r, _g| {
+            Box::new(MpiP2p::new(c, r)) as Box<dyn GhostEngine>
+        });
+        drive_all(&mut engines, &mut states, Op::Border);
+        assert!(
+            states[0].atoms.nghost() >= 1,
+            "rank 0 must hold rank 1's border atom as a ghost"
+        );
+        let n0 = states[0].atoms.nlocal;
+        for gi in n0..states[0].atoms.ntotal() {
+            states[0].atoms.f[gi] = [1.0, 2.0, 3.0];
+        }
+        states[1].atoms.zero_forces();
+        drive_all(&mut engines, &mut states, Op::Reverse);
+        assert!(states[1].atoms.f[0][0] >= 1.0 - 1e-12);
+        assert!((states[1].atoms.f[0][1] / states[1].atoms.f[0][0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tags_disambiguate_ops_and_links() {
+        // Distinct (op, link) pairs must map to distinct MPI tags.
+        let mut seen = std::collections::HashSet::new();
+        for op in [
+            Op::Border,
+            Op::Forward,
+            Op::Reverse,
+            Op::ForwardScalar,
+            Op::ReverseScalar,
+        ] {
+            for link in 0..124 {
+                assert!(seen.insert(p2p_tag(op, link)), "collision at {op:?} {link}");
+            }
+            for dim in 0..3 {
+                for dir in 0..2 {
+                    assert!(
+                        seen.insert(staged_tag(op, dim, dir) + 1_000_000),
+                        "staged collision"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engines_charge_time_to_the_right_buckets() {
+        let (mut engines, mut states, _g) = full_fixture(|c, _m, r, _g| {
+            Box::new(MpiP2p::new(c, r)) as Box<dyn GhostEngine>
+        });
+        drive_all(&mut engines, &mut states, Op::Border);
+        assert!(states[0].comm_time > 0.0);
+        let comm_before = states[0].comm_time;
+        for st in states.iter_mut() {
+            let n = st.atoms.ntotal();
+            st.scalar.resize(n, 1.0);
+        }
+        drive_all(&mut engines, &mut states, Op::ForwardScalar);
+        assert!(
+            states[0].pair_comm_time > 0.0,
+            "scalar ops book into the pair bucket"
+        );
+        assert_eq!(
+            states[0].comm_time, comm_before,
+            "scalar ops must not book into Comm"
+        );
+    }
+
+    #[test]
+    fn run_op_single_is_a_noop_safe_helper() {
+        // A rank alone in a 1-cell machine exchanging with itself is not a
+        // supported configuration; run_op_single simply drives rounds.
+        // Verify it compiles/links and the rounds accessor is sane.
+        let t = two_ranks([vec![[5.0, 5.0, 5.0]], vec![[5.0, 5.0, 5.0]]]);
+        let e = MpiThreeStage::new(t.comm.clone(), &t.map, 0, &t.global, 1);
+        assert_eq!(e.rounds(Op::Border), 3);
+        assert!(e.barrier_between_rounds());
+        let e2 = MpiP2p::new(t.comm, 0);
+        assert_eq!(e2.rounds(Op::Forward), 1);
+        assert!(!e2.barrier_between_rounds());
+        let _ = run_op_single; // referenced
+    }
+}

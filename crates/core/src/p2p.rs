@@ -1,0 +1,309 @@
+//! Shared bookkeeping for the peer-to-peer ghost pattern (§3.1, Fig. 5).
+//!
+//! Pure pack/unpack and layout logic, transport-agnostic: the MPI and
+//! uTofu engines both drive a [`P2pGhosts`] and differ only in how the
+//! payload bytes travel and what the transfer costs.
+//!
+//! Index discipline: `CommPlan::recv_from[i]` and `CommPlan::send_to[i]`
+//! are built from the same offset table, so link index `i` means the same
+//! pairing on both sides of every exchange — messages are tagged with the
+//! link index, which also disambiguates small periodic grids where one
+//! rank is a neighbor in several directions.
+
+use crate::border_bin::BorderBins;
+use crate::engine::RankState;
+use crate::wire;
+
+/// Send lists and ghost layout for the p2p pattern.
+#[derive(Debug, Clone, Default)]
+pub struct P2pGhosts {
+    /// Per `send_to` link: indices of my local atoms the neighbor needs.
+    pub send_lists: Vec<Vec<u32>>,
+    /// Per `recv_from` link: (first ghost index, count) in the atom array.
+    pub ghost_seg: Vec<(usize, usize)>,
+}
+
+impl P2pGhosts {
+    /// Build send lists from the border bins and produce the border
+    /// payloads (tag + shifted position per atom), one per `send_to` link.
+    pub fn pack_border(&mut self, st: &RankState, bins: &BorderBins) -> Vec<Vec<f64>> {
+        let n_links = st.plan.send_to.len();
+        self.send_lists = vec![Vec::new(); n_links];
+        let mut payloads = vec![Vec::new(); n_links];
+        for i in 0..st.atoms.nlocal {
+            let x = st.atoms.x[i];
+            bins.for_each_target(&x, |k| {
+                let k = k as usize;
+                let link = &st.plan.send_to[k];
+                self.send_lists[k].push(i as u32);
+                wire::push_border_record(
+                    &mut payloads[k],
+                    st.atoms.tag[i],
+                    st.atoms.typ[i],
+                    [
+                        x[0] + link.shift[0],
+                        x[1] + link.shift[1],
+                        x[2] + link.shift[2],
+                    ],
+                );
+            });
+        }
+        payloads
+    }
+
+    /// Append received border records as ghosts. `per_link[k]` is the
+    /// payload from `recv_from[k]` (empty if that neighbor sent nothing).
+    /// Ghosts are laid out in link order — deterministic across runs.
+    pub fn unpack_border(&mut self, st: &mut RankState, per_link: &[Vec<f64>]) {
+        st.atoms.clear_ghosts();
+        self.ghost_seg = Vec::with_capacity(per_link.len());
+        for payload in per_link {
+            let start = st.atoms.ntotal();
+            let records = wire::parse_border_records(payload);
+            for (tag, typ, x) in &records {
+                st.atoms.push_ghost(*x, *typ, *tag);
+            }
+            self.ghost_seg.push((start, records.len()));
+        }
+    }
+
+    /// Pack current positions of send list `k` (forward stage).
+    #[must_use]
+    pub fn pack_forward(&self, st: &RankState, k: usize) -> Vec<f64> {
+        let link = &st.plan.send_to[k];
+        let mut out = Vec::with_capacity(self.send_lists[k].len() * 3);
+        for &i in &self.send_lists[k] {
+            let x = st.atoms.x[i as usize];
+            out.push(x[0] + link.shift[0]);
+            out.push(x[1] + link.shift[1]);
+            out.push(x[2] + link.shift[2]);
+        }
+        out
+    }
+
+    /// Write received positions into ghost segment `k`.
+    pub fn unpack_forward(&self, st: &mut RankState, k: usize, values: &[f64]) {
+        let (start, count) = self.ghost_seg[k];
+        assert_eq!(values.len(), count * 3, "forward payload size mismatch");
+        for (g, xyz) in values.chunks_exact(3).enumerate() {
+            st.atoms.x[start + g] = [xyz[0], xyz[1], xyz[2]];
+        }
+    }
+
+    /// Pack ghost forces of segment `k` (reverse stage: back to the owner).
+    #[must_use]
+    pub fn pack_reverse(&self, st: &RankState, k: usize) -> Vec<f64> {
+        let (start, count) = self.ghost_seg[k];
+        let mut out = Vec::with_capacity(count * 3);
+        for g in 0..count {
+            let f = st.atoms.f[start + g];
+            out.extend_from_slice(&f);
+        }
+        out
+    }
+
+    /// Accumulate received forces into the atoms of send list `k`.
+    pub fn unpack_reverse(&self, st: &mut RankState, k: usize, values: &[f64]) {
+        let list = &self.send_lists[k];
+        assert_eq!(values.len(), list.len() * 3, "reverse payload size mismatch");
+        for (&i, fxyz) in list.iter().zip(values.chunks_exact(3)) {
+            let f = &mut st.atoms.f[i as usize];
+            f[0] += fxyz[0];
+            f[1] += fxyz[1];
+            f[2] += fxyz[2];
+        }
+    }
+
+    /// Pack local scalars (EAM fp) of send list `k` (forward-scalar).
+    #[must_use]
+    pub fn pack_forward_scalar(&self, st: &RankState, k: usize) -> Vec<f64> {
+        self.send_lists[k]
+            .iter()
+            .map(|&i| st.scalar[i as usize])
+            .collect()
+    }
+
+    /// Write received scalars into ghost segment `k` of `st.scalar`.
+    pub fn unpack_forward_scalar(&self, st: &mut RankState, k: usize, values: &[f64]) {
+        let (start, count) = self.ghost_seg[k];
+        assert_eq!(values.len(), count, "scalar payload size mismatch");
+        st.scalar[start..start + count].copy_from_slice(values);
+    }
+
+    /// Pack ghost scalars (EAM rho) of segment `k` (reverse-scalar).
+    #[must_use]
+    pub fn pack_reverse_scalar(&self, st: &RankState, k: usize) -> Vec<f64> {
+        let (start, count) = self.ghost_seg[k];
+        st.scalar[start..start + count].to_vec()
+    }
+
+    /// Accumulate received scalars into send list `k` of `st.scalar`.
+    pub fn unpack_reverse_scalar(&self, st: &mut RankState, k: usize, values: &[f64]) {
+        let list = &self.send_lists[k];
+        assert_eq!(values.len(), list.len(), "scalar payload size mismatch");
+        for (&i, v) in list.iter().zip(values) {
+            st.scalar[i as usize] += v;
+        }
+    }
+
+    /// Total atoms currently in all send lists (message-volume observable).
+    #[must_use]
+    pub fn total_send_atoms(&self) -> usize {
+        self.send_lists.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CommPlan, PlanConfig};
+    use crate::topo_map::{Placement, RankMap};
+    use tofumd_md::atom::Atoms;
+    use tofumd_md::region::Box3;
+    use tofumd_tofu::CellGrid;
+
+    /// Build a single-rank state with a 10^3 sub-box at the grid origin.
+    fn state_with_atoms(pos: Vec<[f64; 3]>) -> (RankState, BorderBins) {
+        let grid = CellGrid::from_node_mesh([8, 12, 8]).unwrap();
+        let map = RankMap::new(grid, Placement::TopoAware);
+        let rg = map.rank_grid;
+        let global = Box3::from_lengths([
+            10.0 * f64::from(rg[0]),
+            10.0 * f64::from(rg[1]),
+            10.0 * f64::from(rg[2]),
+        ]);
+        let plan = CommPlan::build(0, &map, &global, 2.0, PlanConfig::NEWTON);
+        let bins = BorderBins::new(
+            plan.sub,
+            plan.r_ghost,
+            &plan
+                .send_to
+                .iter()
+                .map(|l| l.offset)
+                .collect::<Vec<_>>(),
+        );
+        (RankState::new(Atoms::from_positions(pos, 1), plan), bins)
+    }
+
+    #[test]
+    fn interior_atoms_are_not_packed() {
+        let (st, bins) = state_with_atoms(vec![[5.0, 5.0, 5.0]]);
+        let mut g = P2pGhosts::default();
+        let payloads = g.pack_border(&st, &bins);
+        assert!(payloads.iter().all(Vec::is_empty));
+        assert_eq!(g.total_send_atoms(), 0);
+    }
+
+    #[test]
+    fn border_atom_packed_toward_matching_links() {
+        // Atom near the low-x low-y low-z corner: goes to every send link
+        // whose offset has non-positive components matching those faces.
+        let (st, bins) = state_with_atoms(vec![[0.5, 0.5, 0.5]]);
+        let mut g = P2pGhosts::default();
+        let payloads = g.pack_border(&st, &bins);
+        let sent: usize = payloads.iter().filter(|p| !p.is_empty()).count();
+        // send_to = lower-half offsets; the --- corner matches 7 of 13.
+        assert_eq!(sent, 7);
+        // Each payload is one full record.
+        for p in payloads.iter().filter(|p| !p.is_empty()) {
+            assert_eq!(p.len(), wire::BORDER_RECORD_F64S);
+        }
+    }
+
+    #[test]
+    fn forward_reverse_roundtrip_between_two_states() {
+        // Rank A (grid 0,0,0) border-packs toward its -x neighbor; simulate
+        // the neighbor side with a second state and check force return.
+        let (mut a, bins) = state_with_atoms(vec![[0.5, 5.0, 5.0]]);
+        let mut ga = P2pGhosts::default();
+        let payloads = ga.pack_border(&a, &bins);
+        // Find the link with offset (-1, 0, 0).
+        let k = a
+            .plan
+            .send_to
+            .iter()
+            .position(|l| l.offset.d == [-1, 0, 0])
+            .unwrap();
+        assert_eq!(payloads[k].len(), 4);
+
+        // Neighbor state B receives the border payload on its recv side
+        // (same link index by construction).
+        let (mut b, _) = state_with_atoms(vec![[9.5, 5.0, 5.0]]);
+        let n_links = b.plan.recv_from.len();
+        let mut per_link = vec![Vec::new(); n_links];
+        per_link[k] = payloads[k].clone();
+        let mut gb = P2pGhosts::default();
+        gb.unpack_border(&mut b, &per_link);
+        assert_eq!(b.atoms.nghost(), 1);
+        // The ghost carries A's tag and the PBC-shifted position.
+        assert_eq!(b.atoms.tag[b.atoms.nlocal], 1);
+
+        // Forward: A moves its atom, repacks, B sees the new position.
+        a.atoms.x[0] = [0.25, 5.5, 5.0];
+        let fwd = ga.pack_forward(&a, k);
+        gb.unpack_forward(&mut b, k, &fwd);
+        let g_idx = b.atoms.nlocal;
+        let shift = a.plan.send_to[k].shift;
+        assert!((b.atoms.x[g_idx][0] - (0.25 + shift[0])).abs() < 1e-12);
+        assert!((b.atoms.x[g_idx][1] - 5.5).abs() < 1e-12);
+
+        // Reverse: B accumulates force on the ghost; A folds it back.
+        b.atoms.f[g_idx] = [1.0, -2.0, 0.5];
+        let rev = gb.pack_reverse(&b, k);
+        a.atoms.f[0] = [0.1, 0.0, 0.0];
+        ga.unpack_reverse(&mut a, k, &rev);
+        assert!((a.atoms.f[0][0] - 1.1).abs() < 1e-12);
+        assert!((a.atoms.f[0][1] - -2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let (mut a, bins) = state_with_atoms(vec![[0.5, 5.0, 5.0]]);
+        let mut ga = P2pGhosts::default();
+        let payloads = ga.pack_border(&a, &bins);
+        let k = a
+            .plan
+            .send_to
+            .iter()
+            .position(|l| l.offset.d == [-1, 0, 0])
+            .unwrap();
+        let (mut b, _) = state_with_atoms(vec![[9.5, 5.0, 5.0]]);
+        let mut per_link = vec![Vec::new(); b.plan.recv_from.len()];
+        per_link[k] = payloads[k].clone();
+        let mut gb = P2pGhosts::default();
+        gb.unpack_border(&mut b, &per_link);
+
+        // Forward scalar: A's fp reaches B's ghost slot.
+        a.scalar = vec![7.5]; // one local atom
+        let fs = ga.pack_forward_scalar(&a, k);
+        b.scalar = vec![0.0; b.atoms.ntotal()];
+        gb.unpack_forward_scalar(&mut b, k, &fs);
+        assert_eq!(b.scalar[b.atoms.nlocal], 7.5);
+
+        // Reverse scalar: B's ghost rho folds into A's local rho.
+        b.scalar[b.atoms.nlocal] = 1.25;
+        let rs = gb.pack_reverse_scalar(&b, k);
+        a.scalar = vec![1.0];
+        ga.unpack_reverse_scalar(&mut a, k, &rs);
+        assert!((a.scalar[0] - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghost_layout_is_deterministic() {
+        let (mut st, _) = state_with_atoms(vec![[5.0; 3]]);
+        let mut g = P2pGhosts::default();
+        let mut per_link = vec![Vec::new(); st.plan.recv_from.len()];
+        let mut p0 = Vec::new();
+        wire::push_border_record(&mut p0, 11, 1, [1.0; 3]);
+        wire::push_border_record(&mut p0, 12, 1, [2.0; 3]);
+        per_link[0] = p0;
+        let mut p2 = Vec::new();
+        wire::push_border_record(&mut p2, 13, 1, [3.0; 3]);
+        per_link[2] = p2;
+        g.unpack_border(&mut st, &per_link);
+        assert_eq!(g.ghost_seg[0], (1, 2));
+        assert_eq!(g.ghost_seg[1], (3, 0));
+        assert_eq!(g.ghost_seg[2], (3, 1));
+        assert_eq!(st.atoms.nghost(), 3);
+    }
+}

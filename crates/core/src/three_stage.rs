@@ -1,0 +1,428 @@
+//! Shared bookkeeping for the default 3-stage exchange (§3.1, Fig. 4).
+//!
+//! LAMMPS's 6-way swap: sweep x, then y, then z; in each dimension send the
+//! atoms (locals *and already-received ghosts*) lying within the ghost
+//! cutoff of each face to the two face neighbors. The carry-forward makes
+//! edge and corner ghosts travel in up to three legs — which is why each
+//! stage must complete before the next starts, the serialization the p2p
+//! pattern removes. Reverse communication runs the sweeps backwards.
+//!
+//! When the cutoff exceeds the sub-box edge (Fig. 15's 62/124-neighbor
+//! regime), each dimension performs `shells` successive swaps: swap 0
+//! ships the local band, and swap `s` *relays* the ghosts that arrived
+//! from the opposite face in swap `s-1` — the receiver-side band test is
+//! identical in every frame, so the relay rule is uniform.
+
+use crate::engine::RankState;
+use crate::plan::NeighborLink;
+use crate::topo_map::RankMap;
+use crate::wire;
+use tofumd_md::domain::NeighborOffset;
+use tofumd_md::region::Box3;
+
+/// The six face links of a rank: `links[dim][0]` is the -dim neighbor,
+/// `links[dim][1]` the +dim neighbor.
+#[must_use]
+pub fn staged_links(map: &RankMap, rank: usize, global: &Box3) -> [[NeighborLink; 2]; 3] {
+    let c = map.rank_coord(rank);
+    let rg = map.rank_grid;
+    let l = global.lengths();
+    let mk = |dim: usize, dir: i64| -> NeighborLink {
+        let mut target = [i64::from(c[0]), i64::from(c[1]), i64::from(c[2])];
+        target[dim] += dir;
+        let nb = map.rank_at(target);
+        let mut shift = [0.0; 3];
+        let wrapped = target[dim].div_euclid(i64::from(rg[dim]));
+        shift[dim] = -(wrapped as f64) * l[dim];
+        let mut d = [0i8; 3];
+        d[dim] = dir as i8;
+        NeighborLink {
+            offset: NeighborOffset { d },
+            rank: nb,
+            node: map.node_of(nb),
+            hops: map.hops(rank, nb),
+            shift,
+        }
+    };
+    [
+        [mk(0, -1), mk(0, 1)],
+        [mk(1, -1), mk(1, 1)],
+        [mk(2, -1), mk(2, 1)],
+    ]
+}
+
+/// Map a flat border/forward round index to `(dim, swap)` for a given
+/// swap count per dimension.
+#[must_use]
+pub fn round_to_sweep(round: usize, swaps: usize) -> (usize, usize) {
+    (round / swaps, round % swaps)
+}
+
+/// Send lists and ghost layout for the staged pattern.
+#[derive(Debug, Clone, Default)]
+pub struct StagedGhosts {
+    /// Swaps per dimension (the plan's shell count).
+    swaps: usize,
+    /// `send_lists[dim][swap][dir]`: atom indices (locals or earlier
+    /// ghosts) sent toward that face in that swap.
+    pub send_lists: Vec<Vec<[Vec<u32>; 2]>>,
+    /// `ghost_seg[dim][swap][dir]`: (start, count) of ghosts received from
+    /// that face in that swap.
+    pub ghost_seg: Vec<Vec<[(usize, usize); 2]>>,
+}
+
+impl StagedGhosts {
+    /// Reset for a new border pass with `swaps` swaps per dimension.
+    pub fn reset(&mut self, st: &mut RankState, swaps: usize) {
+        assert!(swaps >= 1);
+        st.atoms.clear_ghosts();
+        self.swaps = swaps;
+        self.send_lists = vec![vec![[Vec::new(), Vec::new()]; swaps]; 3];
+        self.ghost_seg = vec![vec![[(0, 0); 2]; swaps]; 3];
+    }
+
+    /// Swaps per dimension configured at the last reset.
+    #[must_use]
+    pub fn swaps(&self) -> usize {
+        self.swaps
+    }
+
+    /// Build the send lists and payloads for `(dim, swap)`:
+    /// `[toward -dim, toward +dim]`.
+    ///
+    /// Swap 0 scans everything present (locals plus all earlier-dimension
+    /// ghosts); swap `s > 0` relays only the ghosts that arrived from the
+    /// *opposite* face in swap `s - 1`. The band test (within `r_ghost` of
+    /// the face) is the same in both cases.
+    pub fn pack_border(
+        &mut self,
+        st: &RankState,
+        links: &[[NeighborLink; 2]; 3],
+        dim: usize,
+        swap: usize,
+    ) -> [Vec<f64>; 2] {
+        let r = st.plan.r_ghost;
+        let (lo, hi) = (st.plan.sub.lo[dim], st.plan.sub.hi[dim]);
+        let mut payloads = [Vec::new(), Vec::new()];
+        for dir in 0..2 {
+            let candidates: Box<dyn Iterator<Item = usize>> = if swap == 0 {
+                Box::new(0..st.atoms.ntotal())
+            } else {
+                // Relay ghosts that came from the opposite face last swap.
+                let (start, count) = self.ghost_seg[dim][swap - 1][1 - dir];
+                Box::new(start..start + count)
+            };
+            for i in candidates {
+                let x = st.atoms.x[i];
+                let wanted = if dir == 0 {
+                    x[dim] < lo + r
+                } else {
+                    x[dim] >= hi - r
+                };
+                if !wanted {
+                    continue;
+                }
+                let link = &links[dim][dir];
+                self.send_lists[dim][swap][dir].push(i as u32);
+                wire::push_border_record(
+                    &mut payloads[dir],
+                    st.atoms.tag[i],
+                    st.atoms.typ[i],
+                    [
+                        x[0] + link.shift[0],
+                        x[1] + link.shift[1],
+                        x[2] + link.shift[2],
+                    ],
+                );
+            }
+        }
+        payloads
+    }
+
+    /// Append the ghosts received during `(dim, swap)` (payloads ordered
+    /// `[-dim, +dim]`).
+    pub fn unpack_border(
+        &mut self,
+        st: &mut RankState,
+        dim: usize,
+        swap: usize,
+        payloads: &[Vec<f64>; 2],
+    ) {
+        for (dir, payload) in payloads.iter().enumerate() {
+            let start = st.atoms.ntotal();
+            let records = wire::parse_border_records(payload);
+            for (tag, typ, x) in &records {
+                st.atoms.push_ghost(*x, *typ, *tag);
+            }
+            self.ghost_seg[dim][swap][dir] = (start, records.len());
+        }
+    }
+
+    /// Pack current positions of send list `(dim, swap, dir)` (forward).
+    #[must_use]
+    pub fn pack_forward(
+        &self,
+        st: &RankState,
+        links: &[[NeighborLink; 2]; 3],
+        dim: usize,
+        swap: usize,
+        dir: usize,
+    ) -> Vec<f64> {
+        let link = &links[dim][dir];
+        let list = &self.send_lists[dim][swap][dir];
+        let mut out = Vec::with_capacity(list.len() * 3);
+        for &i in list {
+            let x = st.atoms.x[i as usize];
+            out.push(x[0] + link.shift[0]);
+            out.push(x[1] + link.shift[1]);
+            out.push(x[2] + link.shift[2]);
+        }
+        out
+    }
+
+    /// Write received positions into ghost segment `(dim, swap, dir)`.
+    pub fn unpack_forward(
+        &self,
+        st: &mut RankState,
+        dim: usize,
+        swap: usize,
+        dir: usize,
+        values: &[f64],
+    ) {
+        let (start, count) = self.ghost_seg[dim][swap][dir];
+        assert_eq!(values.len(), count * 3, "forward payload size mismatch");
+        for (g, xyz) in values.chunks_exact(3).enumerate() {
+            st.atoms.x[start + g] = [xyz[0], xyz[1], xyz[2]];
+        }
+    }
+
+    /// Pack ghost forces of segment `(dim, swap, dir)` (reverse stage —
+    /// runs in the opposite sweep order).
+    #[must_use]
+    pub fn pack_reverse(&self, st: &RankState, dim: usize, swap: usize, dir: usize) -> Vec<f64> {
+        let (start, count) = self.ghost_seg[dim][swap][dir];
+        let mut out = Vec::with_capacity(count * 3);
+        for g in 0..count {
+            out.extend_from_slice(&st.atoms.f[start + g]);
+        }
+        out
+    }
+
+    /// Accumulate received forces into send list `(dim, swap, dir)` —
+    /// entries may themselves be ghosts, whose accumulated force continues
+    /// homeward in an earlier reverse round.
+    pub fn unpack_reverse(
+        &self,
+        st: &mut RankState,
+        dim: usize,
+        swap: usize,
+        dir: usize,
+        values: &[f64],
+    ) {
+        let list = &self.send_lists[dim][swap][dir];
+        assert_eq!(values.len(), list.len() * 3, "reverse payload size mismatch");
+        for (&i, fxyz) in list.iter().zip(values.chunks_exact(3)) {
+            let f = &mut st.atoms.f[i as usize];
+            f[0] += fxyz[0];
+            f[1] += fxyz[1];
+            f[2] += fxyz[2];
+        }
+    }
+
+    /// Pack local scalars of send list `(dim, swap, dir)` (EAM forward).
+    #[must_use]
+    pub fn pack_forward_scalar(
+        &self,
+        st: &RankState,
+        dim: usize,
+        swap: usize,
+        dir: usize,
+    ) -> Vec<f64> {
+        self.send_lists[dim][swap][dir]
+            .iter()
+            .map(|&i| st.scalar[i as usize])
+            .collect()
+    }
+
+    /// Write received scalars into ghost segment `(dim, swap, dir)`.
+    pub fn unpack_forward_scalar(
+        &self,
+        st: &mut RankState,
+        dim: usize,
+        swap: usize,
+        dir: usize,
+        values: &[f64],
+    ) {
+        let (start, count) = self.ghost_seg[dim][swap][dir];
+        assert_eq!(values.len(), count, "scalar payload size mismatch");
+        st.scalar[start..start + count].copy_from_slice(values);
+    }
+
+    /// Pack ghost scalars of segment `(dim, swap, dir)` (EAM reverse).
+    #[must_use]
+    pub fn pack_reverse_scalar(
+        &self,
+        st: &RankState,
+        dim: usize,
+        swap: usize,
+        dir: usize,
+    ) -> Vec<f64> {
+        let (start, count) = self.ghost_seg[dim][swap][dir];
+        st.scalar[start..start + count].to_vec()
+    }
+
+    /// Accumulate received scalars into send list `(dim, swap, dir)`.
+    pub fn unpack_reverse_scalar(
+        &self,
+        st: &mut RankState,
+        dim: usize,
+        swap: usize,
+        dir: usize,
+        values: &[f64],
+    ) {
+        let list = &self.send_lists[dim][swap][dir];
+        assert_eq!(values.len(), list.len(), "scalar payload size mismatch");
+        for (&i, v) in list.iter().zip(values) {
+            st.scalar[i as usize] += v;
+        }
+    }
+
+    /// Total records sent across all lists (Table 1 volume observable).
+    #[must_use]
+    pub fn total_send_atoms(&self) -> usize {
+        self.send_lists
+            .iter()
+            .flatten()
+            .map(|pair| pair[0].len() + pair[1].len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CommPlan, PlanConfig};
+    use crate::topo_map::Placement;
+    use tofumd_md::atom::Atoms;
+    use tofumd_tofu::CellGrid;
+
+    fn setup(pos: Vec<[f64; 3]>) -> (RankState, [[NeighborLink; 2]; 3]) {
+        let grid = CellGrid::from_node_mesh([8, 12, 8]).unwrap();
+        let map = RankMap::new(grid, Placement::TopoAware);
+        let rg = map.rank_grid;
+        let global = Box3::from_lengths([
+            10.0 * f64::from(rg[0]),
+            10.0 * f64::from(rg[1]),
+            10.0 * f64::from(rg[2]),
+        ]);
+        let links = staged_links(&map, 0, &global);
+        let plan = CommPlan::build(0, &map, &global, 2.0, PlanConfig::NEWTON);
+        (RankState::new(Atoms::from_positions(pos, 1), plan), links)
+    }
+
+    #[test]
+    fn face_links_point_at_grid_neighbors() {
+        let (st, links) = setup(vec![[5.0; 3]]);
+        let _ = st;
+        assert_eq!(links[0][1].offset.d, [1, 0, 0]);
+        assert_eq!(links[2][0].offset.d, [0, 0, -1]);
+        assert!(links[0][0].shift[0] > 0.0, "wrap at the origin");
+        assert_eq!(links[0][1].shift, [0.0; 3]);
+    }
+
+    #[test]
+    fn border_selects_slabs_only() {
+        let (mut st, links) = setup(vec![[0.5, 5.0, 5.0], [5.0, 5.0, 5.0], [9.5, 5.0, 5.0]]);
+        let mut g = StagedGhosts::default();
+        g.reset(&mut st, 1);
+        let p = g.pack_border(&st, &links, 0, 0);
+        assert_eq!(p[0].len(), wire::BORDER_RECORD_F64S);
+        assert_eq!(p[1].len(), wire::BORDER_RECORD_F64S);
+        assert_eq!(g.send_lists[0][0][0], vec![0]);
+        assert_eq!(g.send_lists[0][0][1], vec![2]);
+    }
+
+    #[test]
+    fn carry_forward_ships_prior_dim_ghosts() {
+        let (mut st, links) = setup(vec![[5.0, 5.0, 5.0]]);
+        let mut g = StagedGhosts::default();
+        g.reset(&mut st, 1);
+        let mut ghost_payload = Vec::new();
+        wire::push_border_record(&mut ghost_payload, 99, 1, [-0.5, 0.3, 5.0]);
+        g.unpack_border(&mut st, 0, 0, &[ghost_payload, Vec::new()]);
+        assert_eq!(st.atoms.nghost(), 1);
+        let p = g.pack_border(&st, &links, 1, 0);
+        assert_eq!(g.send_lists[1][0][0], vec![st.atoms.nlocal as u32]);
+        let recs = wire::parse_border_records(&p[0]);
+        assert_eq!(recs[0].0, 99, "carried ghost keeps its original tag");
+    }
+
+    #[test]
+    fn multi_swap_relays_opposite_face_ghosts() {
+        // Two swaps: a ghost received from the -x side in swap 0 must be
+        // relayed toward +x in swap 1 (and only there).
+        let (mut st, links) = setup(vec![[5.0, 5.0, 5.0]]);
+        let mut g = StagedGhosts::default();
+        g.reset(&mut st, 2);
+        // Swap 0: receive one ghost from the -x neighbor near my high face
+        // band (its shifted position sits below lo, within r of nothing
+        // upward... place it so the +x band test passes: r = 2.0, so use
+        // x in [hi - r, ...): the relay band in MY frame).
+        let mut from_minus = Vec::new();
+        wire::push_border_record(&mut from_minus, 77, 1, [8.5, 5.0, 5.0]);
+        g.unpack_border(&mut st, 0, 0, &[from_minus, Vec::new()]);
+        let p = g.pack_border(&st, &links, 0, 1);
+        // Relayed upward (dir 1), not downward.
+        assert_eq!(g.send_lists[0][1][1], vec![st.atoms.nlocal as u32]);
+        assert!(g.send_lists[0][1][0].is_empty());
+        assert_eq!(wire::parse_border_records(&p[1])[0].0, 77);
+        // Locals are NOT rescanned in swap 1 (they shipped in swap 0).
+        assert_eq!(p[1].len(), wire::BORDER_RECORD_F64S);
+    }
+
+    #[test]
+    fn forward_and_reverse_use_the_same_lists() {
+        let (mut st, links) = setup(vec![[0.5, 5.0, 5.0]]);
+        let mut g = StagedGhosts::default();
+        g.reset(&mut st, 1);
+        let _ = g.pack_border(&st, &links, 0, 0);
+        let fwd = g.pack_forward(&st, &links, 0, 0, 0);
+        assert_eq!(fwd.len(), 3);
+        assert!(fwd[0] > 10.0, "wrapped shift applied");
+        st.atoms.f[0] = [0.0; 3];
+        g.unpack_reverse(&mut st, 0, 0, 0, &[2.0, 0.0, -1.0]);
+        assert_eq!(st.atoms.f[0], [2.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn full_shell_volume_vs_p2p_half() {
+        let mut pos = Vec::new();
+        let n = 20;
+        for iz in 0..n {
+            for iy in 0..n {
+                for ix in 0..n {
+                    pos.push([
+                        (ix as f64 + 0.5) * 0.5,
+                        (iy as f64 + 0.5) * 0.5,
+                        (iz as f64 + 0.5) * 0.5,
+                    ]);
+                }
+            }
+        }
+        let natoms = pos.len() as f64;
+        let (mut st, links) = setup(pos);
+        let mut g = StagedGhosts::default();
+        g.reset(&mut st, 1);
+        for dim in 0..3 {
+            let p = g.pack_border(&st, &links, dim, 0);
+            g.unpack_border(&mut st, dim, 0, &p);
+        }
+        let a = 10.0f64;
+        let r = 2.0f64;
+        let density = natoms / a.powi(3);
+        let expect = density * (6.0 * a * a * r + 12.0 * a * r * r + 8.0 * r * r * r);
+        let got = g.total_send_atoms() as f64;
+        let rel = (got - expect).abs() / expect;
+        assert!(rel < 0.15, "staged volume {got} vs estimate {expect}");
+    }
+}

@@ -1,0 +1,1254 @@
+//! Ghost engines over the uTofu one-sided transport: the paper's
+//! contribution (§3.2–§3.4).
+//!
+//! Variants:
+//! * [`UtofuThreeStage`] — the staged pattern re-implemented on uTofu
+//!   (paper artifact `utofu_3stage`),
+//! * [`UtofuP2p`] with [`UtofuConfig::coarse4`] — coarse-grained p2p, one
+//!   VCQ per rank on its own TNI (`4tni_p2p`),
+//! * [`UtofuConfig::single6`] — single thread driving 6 VCQs, the §4.2
+//!   "abnormally poor" configuration (`6tni_p2p`),
+//! * [`UtofuConfig::pool6`] — the optimized code: 6 spin-pool comm threads,
+//!   one VCQ per TNI, pre-registered max-size buffers, ghost offsets
+//!   piggybacked, forward puts written directly into the remote position
+//!   array, 4 round-robin receive buffers (`opt`).
+//!
+//! The setup-stage address exchange (§3.4, Fig. 10: "all the registered
+//! addresses of receive buffers and atom position arrays are sent to
+//! neighbors") is modeled by a shared [`AddressBook`].
+
+use crate::border_bin::BorderBins;
+use crate::engine::{CommStats, GhostEngine, Op, RankState};
+use crate::fine;
+use crate::p2p::P2pGhosts;
+use crate::plan::{CommPlan, NeighborLink};
+use crate::three_stage::{round_to_sweep, staged_links, StagedGhosts};
+use crate::topo_map::RankMap;
+use crate::wire;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tofumd_md::region::Box3;
+use tofumd_tofu::{wait_arrivals, Stadd, TofuNet, Vcq, TNIS_PER_NODE};
+
+/// Buffer kinds published in the address book.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BufKind {
+    /// Receives border/forward/forward-scalar payloads (ghost-side inflow,
+    /// from `recv_from[k]`).
+    GhostIn,
+    /// Receives reverse/reverse-scalar payloads and piggybacks (owner-side
+    /// inflow, from `send_to[k]`).
+    OwnerIn,
+    /// The registered atom-position region (pre-registered direct writes).
+    XRegion,
+}
+
+/// Key of one published buffer: (rank, kind, link index, slot).
+type AddrKey = (u32, BufKind, u16, u8);
+
+/// Shared registry of every rank's registered buffer addresses — the
+/// simulated setup-stage address exchange.
+#[derive(Default)]
+pub struct AddressBook {
+    map: Mutex<HashMap<AddrKey, (Stadd, usize)>>,
+}
+
+impl AddressBook {
+    /// New empty book (one per cluster).
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn publish(&self, rank: u32, kind: BufKind, link: u16, slot: u8, stadd: Stadd, size: usize) {
+        self.map.lock().insert((rank, kind, link, slot), (stadd, size));
+    }
+
+    fn lookup(&self, rank: u32, kind: BufKind, link: u16, slot: u8) -> (Stadd, usize) {
+        *self
+            .map
+            .lock()
+            .get(&(rank, kind, link, slot))
+            .unwrap_or_else(|| panic!("no published buffer for rank {rank} {kind:?} {link} {slot}"))
+    }
+
+    fn update_size(&self, rank: u32, kind: BufKind, link: u16, slot: u8, size: usize) {
+        if let Some(e) = self.map.lock().get_mut(&(rank, kind, link, slot)) {
+            e.1 = size;
+        }
+    }
+}
+
+/// Configuration of a uTofu p2p engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UtofuConfig {
+    /// VCQs this rank creates (1 = own TNI only, 6 = one per TNI).
+    pub vcqs: usize,
+    /// Communication threads driving the VCQs (1 or 6; 6 requires 6 VCQs).
+    pub comm_threads: usize,
+    /// Pre-registered max-size buffers, direct forward writes and offset
+    /// piggybacking (§3.4) — the `opt` behaviour.
+    pub prereg: bool,
+    /// Round-robin receive buffers per link (1 baseline, 4 in `opt`).
+    pub slots: usize,
+}
+
+impl UtofuConfig {
+    /// Coarse-grained p2p: 1 thread, own TNI (`4tni_p2p`).
+    #[must_use]
+    pub fn coarse4() -> Self {
+        UtofuConfig {
+            vcqs: 1,
+            comm_threads: 1,
+            prereg: false,
+            slots: 1,
+        }
+    }
+
+    /// Single thread over all 6 TNIs (`6tni_p2p`).
+    #[must_use]
+    pub fn single6() -> Self {
+        UtofuConfig {
+            vcqs: TNIS_PER_NODE,
+            comm_threads: 1,
+            prereg: false,
+            slots: 1,
+        }
+    }
+
+    /// The optimized configuration: spin-pool threads, all TNIs,
+    /// pre-registration, 4 round-robin buffers (`opt`).
+    #[must_use]
+    pub fn pool6() -> Self {
+        UtofuConfig {
+            vcqs: TNIS_PER_NODE,
+            comm_threads: TNIS_PER_NODE,
+            prereg: true,
+            slots: 4,
+        }
+    }
+}
+
+/// How generously baseline (non-prereg) buffers are undersized at setup so
+/// dynamic growth — the §3.4 overhead — occurs and is accounted.
+const BASELINE_UNDERSIZE: usize = 4;
+
+/// Largest record width any op stores per atom (exchange: tag + x + v).
+const MAX_RECORD_F64S: usize = wire::EXCHANGE_RECORD_F64S;
+
+struct LinkBuffers {
+    /// `[link][slot]` receive buffers. (Capacities live in the address
+    /// book, which senders consult before writing.)
+    bufs: Vec<Vec<Stadd>>,
+}
+
+/// The uTofu p2p engine family.
+pub struct UtofuP2p {
+    net: Arc<TofuNet>,
+    book: Arc<AddressBook>,
+    node: usize,
+    cfg: UtofuConfig,
+    vcqs: Vec<Vcq>,
+    bins: Option<BorderBins>,
+    ghosts: P2pGhosts,
+    ghost_in: LinkBuffers,
+    owner_in: LinkBuffers,
+    x_region: Option<Stadd>,
+    /// Per send link: byte offset in the neighbor's x-region where our
+    /// forwarded positions land (learned via piggyback at border time).
+    remote_ghost_off: Vec<Option<usize>>,
+    /// Round-robin slot cursor, advanced once per posted op.
+    seq: usize,
+    setup_cost: f64,
+    /// Buffer-growth events observed (0 under prereg — test observable).
+    pub growth_events: u64,
+    stats: CommStats,
+}
+
+impl UtofuP2p {
+    /// Build the engine for one rank and publish its buffers.
+    ///
+    /// `density` sizes the §3.4 "theoretical upper limit" buffers.
+    #[must_use]
+    pub fn new(
+        net: Arc<TofuNet>,
+        book: Arc<AddressBook>,
+        plan: &CommPlan,
+        node: usize,
+        density: f64,
+        cfg: UtofuConfig,
+    ) -> Self {
+        assert!(cfg.vcqs >= 1 && cfg.vcqs <= TNIS_PER_NODE);
+        assert!(cfg.comm_threads == 1 || cfg.comm_threads == cfg.vcqs);
+        let me = plan.me;
+        let mut setup_cost = 0.0;
+        let mut vcqs = Vec::with_capacity(cfg.vcqs);
+        if cfg.vcqs == 1 {
+            // Coarse-grained: rank r binds its own TNI (4 ranks -> 4 TNIs).
+            let tni = me % 4;
+            vcqs.push(Vcq::create(net.clone(), node, tni, me as u32).expect("CQ available"));
+        } else {
+            for tni in 0..cfg.vcqs {
+                vcqs.push(Vcq::create(net.clone(), node, tni, me as u32).expect("CQ available"));
+            }
+        }
+        let n = plan.recv_from.len();
+        let mut mk_bufs = |links: &[NeighborLink], kind: BufKind| -> LinkBuffers {
+            let mut bufs = Vec::with_capacity(n);
+            for (k, link) in links.iter().enumerate() {
+                let est_atoms = plan.max_atoms_estimate(link.offset, density);
+                let full = wire::combined_size(est_atoms * MAX_RECORD_F64S);
+                let size = if cfg.prereg {
+                    full
+                } else {
+                    (full / BASELINE_UNDERSIZE).max(64)
+                };
+                let mut per_slot = Vec::with_capacity(cfg.slots);
+                for slot in 0..cfg.slots {
+                    let (stadd, cost) = net.register_mem(node, size);
+                    setup_cost += cost;
+                    book.publish(me as u32, kind, k as u16, slot as u8, stadd, size);
+                    per_slot.push(stadd);
+                }
+                bufs.push(per_slot);
+            }
+            LinkBuffers { bufs }
+        };
+        // Ghost-side inflow arrives from recv_from; its max size mirrors my
+        // own outgoing slab toward the opposite side — symmetric volumes.
+        let ghost_in = mk_bufs(&plan.recv_from, BufKind::GhostIn);
+        let owner_in = mk_bufs(&plan.send_to, BufKind::OwnerIn);
+        let x_region = if cfg.prereg {
+            // Position array registered once at its theoretical maximum:
+            // locals + full ghost shell, with the plan's 2x headroom.
+            let local_est = (density * plan.sub.volume() * 2.0) as usize + 64;
+            let ghost_est = (plan.total_ghost_estimate(density) * 2.0) as usize + 64;
+            let bytes = (local_est + ghost_est) * 24;
+            let (stadd, cost) = net.register_mem(node, bytes);
+            setup_cost += cost;
+            book.publish(me as u32, BufKind::XRegion, 0, 0, stadd, bytes);
+            Some(stadd)
+        } else {
+            None
+        };
+        UtofuP2p {
+            net,
+            book,
+            node,
+            cfg,
+            vcqs,
+            bins: None,
+            ghosts: P2pGhosts::default(),
+            ghost_in,
+            owner_in,
+            x_region,
+            remote_ghost_off: vec![None; n],
+            seq: 0,
+            setup_cost,
+            growth_events: 0,
+            stats: CommStats::default(),
+        }
+    }
+
+    fn bins<'a>(bins: &'a mut Option<BorderBins>, st: &RankState) -> &'a BorderBins {
+        bins.get_or_insert_with(|| {
+            let offsets: Vec<_> = st.plan.send_to.iter().map(|l| l.offset).collect();
+            BorderBins::new(st.plan.sub, st.plan.r_ghost, &offsets)
+        })
+    }
+
+    /// Destination buffer for a payload to link `k` of `op`.
+    fn dst_of(&self, st: &RankState, op: Op, k: usize, slot: u8) -> (usize, Stadd, usize) {
+        let (link, kind) = match op {
+            Op::Border | Op::Forward | Op::ForwardScalar => (&st.plan.send_to[k], BufKind::GhostIn),
+            Op::Reverse | Op::ReverseScalar => (&st.plan.recv_from[k], BufKind::OwnerIn),
+            Op::Exchange => unreachable!("exchange uses its own buffer path"),
+        };
+        let (stadd, size) = self.book.lookup(link.rank as u32, kind, k as u16, slot);
+        (link.node, stadd, size)
+    }
+
+    /// Grow an undersized remote buffer: handshake + re-registration (the
+    /// dynamic-expansion overhead pre-registration eliminates).
+    #[allow(clippy::too_many_arguments)]
+    fn grow_remote(
+        &mut self,
+        st: &mut RankState,
+        op: Op,
+        k: usize,
+        slot: u8,
+        dst_node: usize,
+        stadd: Stadd,
+        need: usize,
+    ) {
+        let p = *self.net.params();
+        let (link, kind) = match op {
+            Op::Border | Op::Forward | Op::ForwardScalar => (st.plan.send_to[k], BufKind::GhostIn),
+            Op::Reverse | Op::ReverseScalar => (st.plan.recv_from[k], BufKind::OwnerIn),
+            Op::Exchange => unreachable!("exchange uses its own buffer path"),
+        };
+        let new_size = need.next_power_of_two();
+        let cost = self.net.grow_mem(dst_node, stadd, new_size);
+        // Handshake round-trip + the remote registration stall.
+        let dt = 2.0 * p.wire_time(0, link.hops) + cost;
+        st.charge(dt, op);
+        self.book
+            .update_size(link.rank as u32, kind, k as u16, slot, new_size);
+        self.growth_events += 1;
+    }
+
+    /// Post the payloads of one op across the configured threads/VCQs.
+    /// Returns the post-phase completion time charged to the clock.
+    fn post_payloads(&mut self, st: &mut RankState, op: Op, payloads: &[Vec<f64>]) {
+        let p = *self.net.params();
+        let slot = (self.seq % self.cfg.slots) as u8;
+        self.seq += 1;
+        let n = payloads.len();
+        // Pre-resolve destinations, growing undersized buffers first.
+        let mut dsts = Vec::with_capacity(n);
+        for (k, payload) in payloads.iter().enumerate() {
+            let need = wire::combined_size(payload.len());
+            let (node, stadd, size) = self.dst_of(st, op, k, slot);
+            if need > size {
+                self.grow_remote(st, op, k, slot, node, stadd, need);
+            }
+            let (node, stadd, _) = self.dst_of(st, op, k, slot);
+            dsts.push((node, stadd));
+        }
+        // Forward under prereg writes straight into the remote x-region.
+        let direct_x = self.cfg.prereg && op == Op::Forward;
+        let start = st.clock;
+        let mut stats_counter: Vec<(usize, usize, usize)> = Vec::new();
+        let mut thread_ends = Vec::new();
+        let costs: Vec<f64> = payloads
+            .iter()
+            .enumerate()
+            .map(|(k, pl)| {
+                let link = match op {
+                    Op::Border | Op::Forward | Op::ForwardScalar => &st.plan.send_to[k],
+                    _ => &st.plan.recv_from[k],
+                };
+                fine::link_cost(pl.len() * 8, link.hops, &p)
+            })
+            .collect();
+        let assignment = if self.cfg.comm_threads > 1 {
+            fine::balance_lpt(&costs, self.cfg.comm_threads)
+        } else {
+            vec![(0..n).collect::<Vec<_>>()]
+        };
+        let region_overhead = if self.cfg.comm_threads > 1 {
+            p.pool_region_overhead
+        } else {
+            // A single thread driving v VCQs pays the per-VCQ software cost
+            // (§4.2's explanation for 6TNI-single-thread).
+            p.vcq_drive_overhead * self.cfg.vcqs as f64
+        };
+        for (t, links) in assignment.iter().enumerate() {
+            let mut now = start + region_overhead;
+            for &k in links {
+                let payload = &payloads[k];
+                let bytes = wire::frame_combined(payload);
+                stats_counter.push((k, payload.len() * 8, bytes.len()));
+                now += p.pack_cost(bytes.len());
+                let (dst_node, dst_stadd) = dsts[k];
+                let vcq = &mut self.vcqs[t % self.cfg.vcqs.max(1)];
+                if direct_x {
+                    // An empty forward (no atoms cross this link) sends
+                    // nothing; the receiver expects arrivals only for its
+                    // non-empty ghost segments.
+                    if payload.is_empty() {
+                        continue;
+                    }
+                    let off = self.remote_ghost_off[k]
+                        .expect("border must deliver ghost offsets before forward");
+                    let raw = wire::encode_f64s(payload);
+                    let (xs, _) =
+                        self.book
+                            .lookup(st.plan.send_to[k].rank as u32, BufKind::XRegion, 0, 0);
+                    vcq.put(&mut now, dst_node, xs, off, &raw, k as u64, true);
+                    continue;
+                }
+                vcq.put(&mut now, dst_node, dst_stadd, 0, &bytes, k as u64, true);
+            }
+            thread_ends.push(now);
+        }
+        let end = thread_ends.into_iter().fold(start, f64::max);
+        // Count payload messages (raw bytes for direct x-writes, framed
+        // otherwise; skipped empties under direct_x are not counted).
+        for (k, raw, framed) in stats_counter {
+            if direct_x {
+                if !payloads[k].is_empty() {
+                    self.stats.count(raw);
+                }
+            } else {
+                self.stats.count(framed);
+            }
+        }
+        st.charge(end - start, op);
+    }
+
+    /// Wait for the `n` messages of `op` and return payloads in link order.
+    fn wait_payloads(&mut self, st: &mut RankState, op: Op) -> Vec<Vec<f64>> {
+        let p = *self.net.params();
+        let n = st.plan.recv_from.len();
+        // Identify which stadds we expect for this op.
+        let expected: Vec<Stadd> = match op {
+            Op::Border | Op::Forward | Op::ForwardScalar => {
+                self.ghost_in.bufs.iter().flatten().copied().collect()
+            }
+            Op::Reverse | Op::ReverseScalar => {
+                self.owner_in.bufs.iter().flatten().copied().collect()
+            }
+            Op::Exchange => unreachable!("exchange has a dedicated receive path"),
+        };
+        let direct_x = self.cfg.prereg && op == Op::Forward;
+        let (arrivals, t) = if direct_x {
+            let xs = self.x_region.expect("prereg x region");
+            // Empty segments produce no message (§3.4 direct writes).
+            let expected_n = self
+                .ghosts
+                .ghost_seg
+                .iter()
+                .filter(|&&(_, count)| count > 0)
+                .count();
+            wait_arrivals(&self.net, self.node, st.clock, expected_n, |a| {
+                a.stadd == xs && a.len > 0
+            })
+        } else {
+            wait_arrivals(&self.net, self.node, st.clock, n, |a| {
+                a.len > 0 && expected.contains(&a.stadd)
+            })
+        };
+        // Map arrivals back to link indices.
+        let mut payloads = vec![Vec::new(); n];
+        let mut unpack_bytes = 0usize;
+        for a in &arrivals {
+            let k = if direct_x {
+                // Offset identifies the ghost segment, hence the link.
+                self.ghosts
+                    .ghost_seg
+                    .iter()
+                    .position(|&(start, count)| count > 0 && start * 24 == a.offset)
+                    .expect("arrival offset matches a ghost segment")
+            } else {
+                a.piggyback as usize
+            };
+            let raw = self.net.read_local(self.node, a.stadd, a.offset, a.len);
+            payloads[k] = if direct_x {
+                wire::decode_f64s(&raw)
+            } else {
+                wire::parse_combined(&raw)
+            };
+            if !direct_x {
+                unpack_bytes += a.len;
+            }
+            // Direct x-region writes need no unpack copy (§3.4).
+        }
+        // Receiver-side CPU: one MRQ poll/dequeue per message plus the
+        // linear-scan match against the posted buffer set (the O(N^2)
+        // term of Fig. 15), plus the unpack copy (skipped for direct
+        // x-region writes).
+        let n_bufs = if direct_x {
+            self.ghosts.ghost_seg.len()
+        } else {
+            expected.len()
+        };
+        let poll = arrivals.len() as f64
+            * (p.cpu_per_put_utofu + n_bufs as f64 * p.mrq_match_per_buffer);
+        let dt = if self.cfg.comm_threads > 1 {
+            // Polling and unpacking parallelize over the pool.
+            (t - st.clock)
+                + (poll + p.pack_cost(unpack_bytes)) / self.cfg.comm_threads as f64
+                + p.pool_region_overhead
+        } else {
+            t - st.clock + poll + p.pack_cost(unpack_bytes)
+        };
+        st.charge(dt, op);
+        payloads
+    }
+
+    /// After border unpack, send each ghost provider the offset where its
+    /// atoms landed (8-byte piggyback, §3.4).
+    fn send_ghost_offsets(&mut self, st: &mut RankState) {
+        let mut now = st.clock;
+        for k in 0..st.plan.recv_from.len() {
+            let (start, _count) = self.ghosts.ghost_seg[k];
+            let link = &st.plan.recv_from[k];
+            // Target the provider's OwnerIn buffer (same inflow direction
+            // as a reverse message); zero-length write, descriptor-only.
+            let (stadd, _) = self
+                .book
+                .lookup(link.rank as u32, BufKind::OwnerIn, k as u16, 0);
+            let vcq = &mut self.vcqs[0];
+            vcq.put(
+                &mut now,
+                link.node,
+                stadd,
+                0,
+                &[],
+                (k as u64) << 48 | (start * 24) as u64,
+                false,
+            );
+        }
+        st.charge(now - st.clock, Op::Border);
+    }
+
+    /// Consume the offset piggybacks from all send links (before the first
+    /// prereg forward). Piggybacks target *this rank's* OwnerIn buffers —
+    /// four ranks share each node's MRQ, so the address filter is what
+    /// keeps a rank from stealing its node-mates' descriptors.
+    fn recv_ghost_offsets(&mut self, st: &mut RankState) {
+        let n = st.plan.send_to.len();
+        let mine: Vec<Stadd> = self.owner_in.bufs.iter().map(|slots| slots[0]).collect();
+        let (arrivals, t) = wait_arrivals(&self.net, self.node, st.clock, n, |a| {
+            a.len == 0 && mine.contains(&a.stadd)
+        });
+        for a in &arrivals {
+            let k = (a.piggyback >> 48) as usize;
+            let off = (a.piggyback & 0xFFFF_FFFF_FFFF) as usize;
+            self.remote_ghost_off[k] = Some(off);
+        }
+        st.charge(t - st.clock, Op::Border);
+    }
+}
+
+impl UtofuP2p {
+    /// Indices of the pure-face links for sweep `dim`: the -face in
+    /// `send_to`, the +face in `recv_from` (present for every plan config).
+    fn face_indices(st: &RankState, dim: usize) -> (usize, usize) {
+        let mut want_minus = [0i8; 3];
+        want_minus[dim] = -1;
+        let mut want_plus = [0i8; 3];
+        want_plus[dim] = 1;
+        let k_minus = st
+            .plan
+            .send_to
+            .iter()
+            .position(|l| l.offset.d == want_minus)
+            .expect("-face in send_to");
+        let k_plus = st
+            .plan
+            .recv_from
+            .iter()
+            .position(|l| l.offset.d == want_plus)
+            .expect("+face in recv_from");
+        (k_minus, k_plus)
+    }
+
+    /// Send the two migration payloads of sweep `dim`: toward the -face
+    /// via the neighbor's GhostIn buffer (border-direction flow), toward
+    /// the +face via its OwnerIn buffer (reverse-direction flow).
+    fn post_exchange(&mut self, st: &mut RankState, dim: usize) {
+        let p = *self.net.params();
+        let payloads = st.pack_exchange(dim);
+        let (k_minus, k_plus) = Self::face_indices(st, dim);
+        let slot = (self.seq % self.cfg.slots) as u8;
+        self.seq += 1;
+        let mut now = st.clock;
+        for (dir, payload) in payloads.iter().enumerate() {
+            let (link, kind, k) = if dir == 0 {
+                (st.plan.send_to[k_minus], BufKind::GhostIn, k_minus)
+            } else {
+                (st.plan.recv_from[k_plus], BufKind::OwnerIn, k_plus)
+            };
+            let bytes = wire::frame_combined(payload);
+            let (stadd, size) = self.book.lookup(link.rank as u32, kind, k as u16, slot);
+            if bytes.len() > size {
+                let new_size = bytes.len().next_power_of_two();
+                let cost = self.net.grow_mem(link.node, stadd, new_size);
+                now += 2.0 * p.wire_time(0, link.hops) + cost;
+                self.book
+                    .update_size(link.rank as u32, kind, k as u16, slot, new_size);
+                self.growth_events += 1;
+            }
+            now += p.pack_cost(bytes.len());
+            self.stats.count(bytes.len());
+            self.vcqs[0].put(&mut now, link.node, stadd, 0, &bytes, k as u64, true);
+        }
+        st.charge(now - st.clock, Op::Exchange);
+    }
+
+    /// Receive the two migration payloads of sweep `dim` and append the
+    /// migrants as locals.
+    fn complete_exchange(&mut self, st: &mut RankState, dim: usize) {
+        let p = *self.net.params();
+        let (k_minus, k_plus) = Self::face_indices(st, dim);
+        let expect: Vec<Stadd> = self.ghost_in.bufs[k_plus]
+            .iter()
+            .chain(&self.owner_in.bufs[k_minus])
+            .copied()
+            .collect();
+        let (arrivals, t) = wait_arrivals(&self.net, self.node, st.clock, 2, |a| {
+            a.len > 0 && expect.contains(&a.stadd)
+        });
+        let mut unpack = 0usize;
+        for a in &arrivals {
+            let raw = self.net.read_local(self.node, a.stadd, a.offset, a.len);
+            st.unpack_exchange(&wire::parse_combined(&raw));
+            unpack += a.len;
+        }
+        let poll = 2.0 * p.cpu_per_put_utofu;
+        st.charge(t - st.clock + poll + p.pack_cost(unpack), Op::Exchange);
+    }
+}
+
+impl GhostEngine for UtofuP2p {
+    fn name(&self) -> &'static str {
+        match (self.cfg.comm_threads, self.cfg.vcqs, self.cfg.prereg) {
+            (1, 1, _) => "utofu-p2p-4tni",
+            (1, _, _) => "utofu-p2p-6tni",
+            _ => "utofu-p2p-pool",
+        }
+    }
+
+    fn rounds(&self, op: Op) -> usize {
+        // Migration sweeps the three dimensions even under p2p ghosts.
+        if op == Op::Exchange {
+            3
+        } else {
+            1
+        }
+    }
+
+    fn post(&mut self, op: Op, round: usize, st: &mut RankState) {
+        match op {
+            Op::Exchange => {
+                self.post_exchange(st, round);
+            }
+            Op::Border => {
+                let bins = Self::bins(&mut self.bins, st);
+                let payloads = self.ghosts.pack_border(st, bins);
+                self.post_payloads(st, op, &payloads);
+            }
+            Op::Forward => {
+                if self.cfg.prereg && self.remote_ghost_off.iter().any(Option::is_none) {
+                    self.recv_ghost_offsets(st);
+                }
+                let payloads: Vec<_> = (0..st.plan.send_to.len())
+                    .map(|k| self.ghosts.pack_forward(st, k))
+                    .collect();
+                self.post_payloads(st, op, &payloads);
+            }
+            Op::ForwardScalar => {
+                let payloads: Vec<_> = (0..st.plan.send_to.len())
+                    .map(|k| self.ghosts.pack_forward_scalar(st, k))
+                    .collect();
+                self.post_payloads(st, op, &payloads);
+            }
+            Op::Reverse => {
+                let payloads: Vec<_> = (0..st.plan.recv_from.len())
+                    .map(|k| self.ghosts.pack_reverse(st, k))
+                    .collect();
+                self.post_payloads(st, op, &payloads);
+            }
+            Op::ReverseScalar => {
+                let payloads: Vec<_> = (0..st.plan.recv_from.len())
+                    .map(|k| self.ghosts.pack_reverse_scalar(st, k))
+                    .collect();
+                self.post_payloads(st, op, &payloads);
+            }
+        }
+    }
+
+    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) {
+        if op == Op::Exchange {
+            self.complete_exchange(st, round);
+            return;
+        }
+        let payloads = self.wait_payloads(st, op);
+        match op {
+            Op::Border => {
+                self.ghosts.unpack_border(st, &payloads);
+                st.scalar.resize(st.atoms.ntotal(), 0.0);
+                if self.cfg.prereg {
+                    self.remote_ghost_off.fill(None);
+                    self.send_ghost_offsets(st);
+                }
+            }
+            Op::Forward => {
+                for (k, v) in payloads.iter().enumerate() {
+                    self.ghosts.unpack_forward(st, k, v);
+                }
+            }
+            Op::ForwardScalar => {
+                for (k, v) in payloads.iter().enumerate() {
+                    self.ghosts.unpack_forward_scalar(st, k, v);
+                }
+            }
+            Op::Reverse => {
+                for (k, v) in payloads.iter().enumerate() {
+                    self.ghosts.unpack_reverse(st, k, v);
+                }
+            }
+            Op::ReverseScalar => {
+                for (k, v) in payloads.iter().enumerate() {
+                    self.ghosts.unpack_reverse_scalar(st, k, v);
+                }
+            }
+            Op::Exchange => unreachable!("handled by the early return above"),
+        }
+    }
+
+    fn setup_cost(&self) -> f64 {
+        self.setup_cost
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+}
+
+/// The staged (3-stage) pattern carried over uTofu — `utofu_3stage`.
+pub struct UtofuThreeStage {
+    net: Arc<TofuNet>,
+    book: Arc<AddressBook>,
+    node: usize,
+    links: [[NeighborLink; 2]; 3],
+    ghosts: StagedGhosts,
+    /// Swaps per dimension (the plan's shell count).
+    shells: usize,
+    /// `[dim*2+dir][0]` inflow buffers (single slot).
+    ghost_in: Vec<Stadd>,
+    owner_in: Vec<Stadd>,
+    vcq: Vcq,
+    setup_cost: f64,
+    /// Growth events (same baseline dynamic-expansion accounting).
+    pub growth_events: u64,
+    stats: CommStats,
+}
+
+impl UtofuThreeStage {
+    /// Build the engine for one rank and publish its 12 face buffers.
+    #[must_use]
+    pub fn new(
+        net: Arc<TofuNet>,
+        book: Arc<AddressBook>,
+        map: &RankMap,
+        plan: &CommPlan,
+        node: usize,
+        density: f64,
+        global: &Box3,
+    ) -> Self {
+        let me = plan.me;
+        let shells = plan.config().shells;
+        let links = staged_links(map, me, global);
+        let vcq = Vcq::create(net.clone(), node, me % 4, me as u32).expect("CQ available");
+        let mut setup_cost = 0.0;
+        // Face messages carry up to the staged slab: (a+2r)^2 * r volume at
+        // the largest stage — size generously from the whole-shell estimate.
+        let a = plan.sub.lengths();
+        let r = plan.r_ghost;
+        let max_slab = (a[0] + 2.0 * r) * (a[1] + 2.0 * r) * r;
+        let est_atoms = (2.0 * density * max_slab) as usize + 16;
+        let size = wire::combined_size(est_atoms * MAX_RECORD_F64S) / BASELINE_UNDERSIZE;
+        let mut ghost_in = Vec::with_capacity(6);
+        let mut owner_in = Vec::with_capacity(6);
+        for idx in 0..6u16 {
+            let (s1, c1) = net.register_mem(node, size);
+            book.publish(me as u32, BufKind::GhostIn, idx, 0, s1, size);
+            let (s2, c2) = net.register_mem(node, size);
+            book.publish(me as u32, BufKind::OwnerIn, idx, 0, s2, size);
+            setup_cost += c1 + c2;
+            ghost_in.push(s1);
+            owner_in.push(s2);
+        }
+        UtofuThreeStage {
+            net,
+            book,
+            node,
+            links,
+            ghosts: StagedGhosts::default(),
+            shells,
+            ghost_in,
+            owner_in,
+            vcq,
+            setup_cost,
+            growth_events: 0,
+            stats: CommStats::default(),
+        }
+    }
+
+    /// Send the two payloads of sweep `dim`: ghost-side ops flow toward
+    /// `links[dim][dir]`'s GhostIn, reverse ops toward OwnerIn. The
+    /// receiver's buffer index encodes the *receiver-side* direction
+    /// `1 - dir`.
+    fn send_pair(&mut self, st: &mut RankState, op: Op, dim: usize, payloads: &[Vec<f64>; 2]) {
+        let p = *self.net.params();
+        let kind = match op {
+            Op::Border | Op::Forward | Op::ForwardScalar => BufKind::GhostIn,
+            _ => BufKind::OwnerIn,
+        };
+        let mut now = st.clock;
+        for (dir, payload) in payloads.iter().enumerate() {
+            let link = &self.links[dim][dir];
+            let rx_idx = (dim * 2 + (1 - dir)) as u16;
+            let (stadd, size) = self.book.lookup(link.rank as u32, kind, rx_idx, 0);
+            let bytes = wire::frame_combined(payload);
+            if bytes.len() > size {
+                let new_size = bytes.len().next_power_of_two();
+                let cost = self.net.grow_mem(link.node, stadd, new_size);
+                now += 2.0 * p.wire_time(0, link.hops) + cost;
+                self.book.update_size(link.rank as u32, kind, rx_idx, 0, new_size);
+                self.growth_events += 1;
+            }
+            now += p.pack_cost(bytes.len());
+            self.stats.count(bytes.len());
+            self.vcq
+                .put(&mut now, link.node, stadd, 0, &bytes, rx_idx as u64, true);
+        }
+        st.charge(now - st.clock, op);
+    }
+
+    /// Wait for the two sweep-`dim` messages; returns `[from -dim, from
+    /// +dim]` payloads.
+    fn recv_pair(&mut self, st: &mut RankState, op: Op, dim: usize) -> [Vec<f64>; 2] {
+        let p = *self.net.params();
+        let bufs = match op {
+            Op::Border | Op::Forward | Op::ForwardScalar => &self.ghost_in,
+            _ => &self.owner_in,
+        };
+        let want = [bufs[dim * 2], bufs[dim * 2 + 1]];
+        let (arrivals, t) = wait_arrivals(&self.net, self.node, st.clock, 2, |a| {
+            a.stadd == want[0] || a.stadd == want[1]
+        });
+        let mut out = [Vec::new(), Vec::new()];
+        let mut unpack = 0usize;
+        for a in &arrivals {
+            let dir = usize::from(a.stadd == want[1]);
+            let raw = self.net.read_local(self.node, a.stadd, a.offset, a.len);
+            out[dir] = wire::parse_combined(&raw);
+            unpack += a.len;
+        }
+        let poll = arrivals.len() as f64
+            * (p.cpu_per_put_utofu + 2.0 * p.mrq_match_per_buffer);
+        st.charge(t - st.clock + poll + p.pack_cost(unpack), op);
+        out
+    }
+}
+
+impl GhostEngine for UtofuThreeStage {
+    fn name(&self) -> &'static str {
+        "utofu-3stage"
+    }
+
+    fn rounds(&self, op: Op) -> usize {
+        if op == Op::Exchange {
+            3
+        } else {
+            3 * self.shells
+        }
+    }
+
+    fn post(&mut self, op: Op, round: usize, st: &mut RankState) {
+        match op {
+            Op::Border => {
+                if round == 0 {
+                    self.ghosts.reset(st, self.shells);
+                }
+                let (dim, swap) = round_to_sweep(round, self.shells);
+                let payloads = self.ghosts.pack_border(st, &self.links, dim, swap);
+                self.send_pair(st, op, dim, &payloads);
+            }
+            Op::Forward => {
+                let (dim, swap) = round_to_sweep(round, self.shells);
+                let payloads = [
+                    self.ghosts.pack_forward(st, &self.links, dim, swap, 0),
+                    self.ghosts.pack_forward(st, &self.links, dim, swap, 1),
+                ];
+                self.send_pair(st, op, dim, &payloads);
+            }
+            Op::ForwardScalar => {
+                let (dim, swap) = round_to_sweep(round, self.shells);
+                let payloads = [
+                    self.ghosts.pack_forward_scalar(st, dim, swap, 0),
+                    self.ghosts.pack_forward_scalar(st, dim, swap, 1),
+                ];
+                self.send_pair(st, op, dim, &payloads);
+            }
+            Op::Reverse => {
+                let idx = 3 * self.shells - 1 - round;
+                let (dim, swap) = round_to_sweep(idx, self.shells);
+                let payloads = [
+                    self.ghosts.pack_reverse(st, dim, swap, 0),
+                    self.ghosts.pack_reverse(st, dim, swap, 1),
+                ];
+                self.send_pair(st, op, dim, &payloads);
+            }
+            Op::ReverseScalar => {
+                let idx = 3 * self.shells - 1 - round;
+                let (dim, swap) = round_to_sweep(idx, self.shells);
+                let payloads = [
+                    self.ghosts.pack_reverse_scalar(st, dim, swap, 0),
+                    self.ghosts.pack_reverse_scalar(st, dim, swap, 1),
+                ];
+                self.send_pair(st, op, dim, &payloads);
+            }
+            Op::Exchange => {
+                let payloads = st.pack_exchange(round);
+                self.send_pair(st, op, round, &payloads);
+            }
+        }
+    }
+
+    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) {
+        match op {
+            Op::Border => {
+                let (dim, swap) = round_to_sweep(round, self.shells);
+                let payloads = self.recv_pair(st, op, dim);
+                self.ghosts.unpack_border(st, dim, swap, &payloads);
+                st.scalar.resize(st.atoms.ntotal(), 0.0);
+            }
+            Op::Exchange => {
+                let payloads = self.recv_pair(st, op, round);
+                for p in &payloads {
+                    st.unpack_exchange(p);
+                }
+            }
+            Op::Forward => {
+                let (dim, swap) = round_to_sweep(round, self.shells);
+                let payloads = self.recv_pair(st, op, dim);
+                for dir in 0..2 {
+                    self.ghosts
+                        .unpack_forward(st, dim, swap, dir, &payloads[dir]);
+                }
+            }
+            Op::ForwardScalar => {
+                let (dim, swap) = round_to_sweep(round, self.shells);
+                let payloads = self.recv_pair(st, op, dim);
+                for dir in 0..2 {
+                    self.ghosts
+                        .unpack_forward_scalar(st, dim, swap, dir, &payloads[dir]);
+                }
+            }
+            Op::Reverse => {
+                let idx = 3 * self.shells - 1 - round;
+                let (dim, swap) = round_to_sweep(idx, self.shells);
+                let payloads = self.recv_pair(st, op, dim);
+                for dir in 0..2 {
+                    self.ghosts
+                        .unpack_reverse(st, dim, swap, dir, &payloads[dir]);
+                }
+            }
+            Op::ReverseScalar => {
+                let idx = 3 * self.shells - 1 - round;
+                let (dim, swap) = round_to_sweep(idx, self.shells);
+                let payloads = self.recv_pair(st, op, dim);
+                for dir in 0..2 {
+                    self.ghosts
+                        .unpack_reverse_scalar(st, dim, swap, dir, &payloads[dir]);
+                }
+            }
+        }
+    }
+
+    fn setup_cost(&self) -> f64 {
+        self.setup_cost
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GhostEngine;
+    use crate::topo_map::{Placement, RankMap};
+    use tofumd_md::atom::Atoms;
+    use tofumd_tofu::NetParams;
+
+    /// Full-machine fixture on one TofuD cell (48 ranks): ranks 0 and 1
+    /// are x-face neighbors and hold one atom each near their shared face;
+    /// every rank participates in the lockstep rounds.
+    struct Fixture {
+        net: Arc<TofuNet>,
+        book: Arc<AddressBook>,
+        map: RankMap,
+        global: Box3,
+        engines: Vec<UtofuP2p>,
+        states: Vec<RankState>,
+    }
+
+    fn fixture(cfg: UtofuConfig) -> Fixture {
+        let grid = tofumd_tofu::CellGrid::new([1, 1, 1]);
+        let map = RankMap::new(grid, Placement::TopoAware);
+        let rg = map.rank_grid;
+        let global = Box3::from_lengths([
+            10.0 * f64::from(rg[0]),
+            10.0 * f64::from(rg[1]),
+            10.0 * f64::from(rg[2]),
+        ]);
+        let net = Arc::new(TofuNet::new(grid, NetParams::default()));
+        let book = AddressBook::new();
+        let plan_cfg = crate::plan::PlanConfig::NEWTON;
+        let mut engines = Vec::new();
+        let mut states = Vec::new();
+        for r in 0..map.nranks() {
+            let plan = crate::plan::CommPlan::build(r, &map, &global, 2.8, plan_cfg);
+            let node = map.node_of(r);
+            engines.push(UtofuP2p::new(
+                net.clone(),
+                book.clone(),
+                &plan,
+                node,
+                0.8442,
+                cfg,
+            ));
+            let atoms = match r {
+                0 => {
+                    let sub = plan.sub;
+                    Atoms::from_positions(vec![[sub.hi[0] - 0.5, sub.lo[1] + 5.0, sub.lo[2] + 5.0]], 1)
+                }
+                1 => {
+                    let sub = plan.sub;
+                    Atoms::from_positions(vec![[sub.lo[0] + 0.5, sub.lo[1] + 5.0, sub.lo[2] + 5.0]], 1001)
+                }
+                _ => Atoms::default(),
+            };
+            states.push(RankState::new(atoms, plan));
+        }
+        Fixture {
+            net,
+            book,
+            map,
+            global,
+            engines,
+            states,
+        }
+    }
+
+    fn drive(f: &mut Fixture, op: Op) {
+        for (e, st) in f.engines.iter_mut().zip(f.states.iter_mut()) {
+            e.post(op, 0, st);
+        }
+        for (e, st) in f.engines.iter_mut().zip(f.states.iter_mut()) {
+            e.complete(op, 0, st);
+        }
+    }
+
+    #[test]
+    fn border_then_forward_under_prereg() {
+        let mut f = fixture(UtofuConfig::pool6());
+        drive(&mut f, Op::Border);
+        // Rank 0 must hold rank 1's atom (Fig. 5: the lower rank holds).
+        assert!(f.states[0].atoms.nghost() >= 1);
+        let gidx = f.states[0].atoms.nlocal;
+        assert_eq!(f.states[0].atoms.tag[gidx], 1001);
+        let before = f.states[0].atoms.x[gidx];
+        // Move rank 1's atom; the forward must write the new position
+        // directly into rank 0's registered x-region.
+        f.states[1].atoms.x[0][2] += 0.375;
+        drive(&mut f, Op::Forward);
+        let after = f.states[0].atoms.x[gidx];
+        assert!((after[2] - before[2] - 0.375).abs() < 1e-12);
+        // No buffer growth under pre-registration.
+        assert_eq!(f.engines.iter().map(|e| e.growth_events).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn reverse_accumulates_on_the_owner() {
+        let mut f = fixture(UtofuConfig::coarse4());
+        drive(&mut f, Op::Border);
+        let n0 = f.states[0].atoms.nlocal;
+        for gi in n0..f.states[0].atoms.ntotal() {
+            f.states[0].atoms.f[gi] = [0.5, -1.0, 2.0];
+        }
+        f.states[1].atoms.zero_forces();
+        drive(&mut f, Op::Reverse);
+        assert!((f.states[1].atoms.f[0][0] - 0.5).abs() < 1e-12);
+        assert!((f.states[1].atoms.f[0][2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_ops_roundtrip_and_book_into_pair_bucket() {
+        let mut f = fixture(UtofuConfig::pool6());
+        drive(&mut f, Op::Border);
+        for st in f.states.iter_mut() {
+            let n = st.atoms.ntotal();
+            st.scalar.clear();
+            st.scalar.resize(n, 0.0);
+        }
+        // Rank 1's local fp = 7.25 must reach its ghost copy on rank 0.
+        f.states[1].scalar[0] = 7.25;
+        drive(&mut f, Op::ForwardScalar);
+        let gidx = f.states[0].atoms.nlocal;
+        assert_eq!(f.states[0].scalar[gidx], 7.25);
+        assert!(f.states[0].pair_comm_time > 0.0);
+        // Ghost rho on rank 0 folds back into rank 1's local.
+        f.states[0].scalar[gidx] = 0.125;
+        f.states[1].scalar[0] = 1.0;
+        drive(&mut f, Op::ReverseScalar);
+        assert!((f.states[1].scalar[0] - 1.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_robin_slots_rotate_across_ops() {
+        let mut f = fixture(UtofuConfig::pool6());
+        drive(&mut f, Op::Border);
+        let seq_after_border = f.engines[0].seq;
+        drive(&mut f, Op::Forward);
+        drive(&mut f, Op::Reverse);
+        // Each posted op advances the slot cursor once.
+        assert_eq!(f.engines[0].seq, seq_after_border + 2);
+        assert_eq!(f.engines[0].cfg.slots, 4);
+    }
+
+    #[test]
+    fn single6_charges_vcq_driving_overhead() {
+        // The same exchange costs more virtual time under 6 single-thread
+        // VCQs than under the dedicated-TNI coarse binding (§4.2).
+        let mut coarse = fixture(UtofuConfig::coarse4());
+        let mut six = fixture(UtofuConfig::single6());
+        drive(&mut coarse, Op::Border);
+        drive(&mut six, Op::Border);
+        drive(&mut coarse, Op::Forward);
+        drive(&mut six, Op::Forward);
+        let t4 = coarse.states[0].comm_time;
+        let t6 = six.states[0].comm_time;
+        assert!(t6 > t4, "6 VCQs single-thread {t6} must exceed 4TNI {t4}");
+    }
+
+    #[test]
+    fn baseline_buffers_grow_on_oversized_payloads() {
+        let mut f = fixture(UtofuConfig::coarse4());
+        // Overstuff rank 1's sub-box so its border payload exceeds the
+        // undersized baseline buffer on some link.
+        let sub = f.states[1].plan.sub;
+        let mut pos = Vec::new();
+        for i in 0..600 {
+            let t = i as f64 / 600.0;
+            pos.push([sub.lo[0] + 0.01 + 2.0 * t, sub.lo[1] + 5.0, sub.lo[2] + 5.0]);
+        }
+        f.states[1].atoms = Atoms::from_positions(pos, 5000);
+        drive(&mut f, Op::Border);
+        let grown: u64 = f.engines.iter().map(|e| e.growth_events).sum();
+        assert!(grown > 0, "dense border slab must trigger dynamic growth");
+    }
+
+    #[test]
+    fn utofu_3stage_carries_ghosts_both_directions() {
+        let grid = tofumd_tofu::CellGrid::new([1, 1, 1]);
+        let map = RankMap::new(grid, Placement::TopoAware);
+        let rg = map.rank_grid;
+        let global = Box3::from_lengths([
+            10.0 * f64::from(rg[0]),
+            10.0 * f64::from(rg[1]),
+            10.0 * f64::from(rg[2]),
+        ]);
+        let net = Arc::new(TofuNet::new(grid, NetParams::default()));
+        let book = AddressBook::new();
+        let mut engines = Vec::new();
+        let mut states = Vec::new();
+        for r in 0..map.nranks() {
+            let plan = crate::plan::CommPlan::build(
+                r,
+                &map,
+                &global,
+                2.8,
+                crate::plan::PlanConfig::NEWTON,
+            );
+            let node = map.node_of(r);
+            engines.push(UtofuThreeStage::new(
+                net.clone(),
+                book.clone(),
+                &map,
+                &plan,
+                node,
+                0.8442,
+                &global,
+            ));
+            let atoms = match r {
+                0 => Atoms::from_positions(vec![[plan.sub.hi[0] - 0.5, plan.sub.lo[1] + 5.0, plan.sub.lo[2] + 5.0]], 1),
+                1 => Atoms::from_positions(vec![[plan.sub.lo[0] + 0.5, plan.sub.lo[1] + 5.0, plan.sub.lo[2] + 5.0]], 1001),
+                _ => Atoms::default(),
+            };
+            states.push(RankState::new(atoms, plan));
+        }
+        for round in 0..3 {
+            for (e, st) in engines.iter_mut().zip(states.iter_mut()) {
+                e.post(Op::Border, round, st);
+            }
+            for (e, st) in engines.iter_mut().zip(states.iter_mut()) {
+                e.complete(Op::Border, round, st);
+            }
+        }
+        // The staged pattern ships the *full* shell: both ranks see each
+        // other's atom.
+        let tags0: Vec<u64> = states[0].atoms.tag[states[0].atoms.nlocal..].to_vec();
+        let tags1: Vec<u64> = states[1].atoms.tag[states[1].atoms.nlocal..].to_vec();
+        assert!(tags0.contains(&1001), "rank 0 ghosts: {tags0:?}");
+        assert!(tags1.contains(&1), "rank 1 ghosts: {tags1:?}");
+    }
+
+    #[test]
+    fn single_receive_buffer_overwrites_under_overlap() {
+        // §3.4's hazard, demonstrated with real bytes: two scalar stages
+        // posted back-to-back *before* the receiver consumes. With 1 slot
+        // the second put lands in the same registered buffer and destroys
+        // the first payload; 4 round-robin slots keep them apart.
+        let run = |slots: usize| -> f64 {
+            let cfg = UtofuConfig {
+                vcqs: 1,
+                comm_threads: 1,
+                prereg: false,
+                slots,
+            };
+            let mut f = fixture(cfg);
+            drive(&mut f, Op::Border);
+            for st in f.states.iter_mut() {
+                let n = st.atoms.ntotal();
+                st.scalar.clear();
+                st.scalar.resize(n, 0.0);
+            }
+            // Overlapped stages: rank 1 posts TWO forward-scalar stages
+            // before rank 0 completes the first.
+            f.states[1].scalar[0] = 111.0;
+            for (e, st) in f.engines.iter_mut().zip(f.states.iter_mut()) {
+                e.post(Op::ForwardScalar, 0, st);
+            }
+            f.states[1].scalar[0] = 222.0;
+            for (e, st) in f.engines.iter_mut().zip(f.states.iter_mut()) {
+                e.post(Op::ForwardScalar, 0, st);
+            }
+            // Rank 0 now completes the FIRST stage. It should read 111.
+            // (complete() takes one generation of arrivals per link; with
+            // two queued per link it reads whatever bytes sit in the
+            // buffers the arrivals point to.)
+            let n = f.states[0].plan.recv_from.len();
+            let expected: Vec<Stadd> =
+                f.engines[0].ghost_in.bufs.iter().flatten().copied().collect();
+            let (arrivals, _) = wait_arrivals(&f.net, f.engines[0].node, 0.0, n, |a| {
+                a.len > 0 && expected.contains(&a.stadd)
+            });
+            // Find the arrival from the link that carried rank 1's atom
+            // (non-trivial payload: 9 or 17 bytes framed = 1 scalar).
+            let a = arrivals
+                .iter()
+                .filter(|a| a.len > 8)
+                .min_by(|x, y| x.time.partial_cmp(&y.time).unwrap())
+                .expect("a non-empty scalar payload");
+            let raw = f.net.read_local(f.engines[0].node, a.stadd, a.offset, a.len);
+            wire::parse_combined(&raw)[0]
+        };
+        // One slot: the first-generation read observes the SECOND payload
+        // (overwritten). Four slots: the first payload is intact.
+        assert_eq!(run(1), 222.0, "1 buffer must exhibit the overwrite");
+        assert_eq!(run(4), 111.0, "4 round-robin buffers prevent it");
+    }
+
+    #[test]
+    fn setup_cost_scales_with_prereg() {
+        let coarse = fixture(UtofuConfig::coarse4());
+        let pool = fixture(UtofuConfig::pool6());
+        let c: f64 = coarse.engines.iter().map(|e| e.setup_cost()).sum();
+        let p: f64 = pool.engines.iter().map(|e| e.setup_cost()).sum();
+        assert!(
+            p > 2.0 * c,
+            "prereg setup {p} should far exceed baseline {c}"
+        );
+        // Keep the fixture fields alive (silence dead-code in this test).
+        let _ = (&coarse.net, &coarse.book, &coarse.map, &coarse.global);
+    }
+}

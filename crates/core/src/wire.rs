@@ -1,0 +1,209 @@
+//! Wire encoding of ghost data, including the message-combine framing.
+//!
+//! §3.5.1: MPI transfers of unknown-length arrays classically need a length
+//! message followed by a payload message; the paper *combines* them by
+//! making the first 8 bytes of the single message the element count. Both
+//! protocols are implemented here so the ablation bench can compare them.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Serialize a flat `f64` slice to little-endian bytes.
+#[must_use]
+pub fn encode_f64s(values: &[f64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(values.len() * 8);
+    for v in values {
+        buf.put_f64_le(*v);
+    }
+    buf.freeze()
+}
+
+/// Deserialize little-endian bytes into `f64`s. Panics if the length is not
+/// a multiple of 8 (a framing bug, not a recoverable condition).
+#[must_use]
+pub fn decode_f64s(mut bytes: &[u8]) -> Vec<f64> {
+    assert!(bytes.len().is_multiple_of(8), "payload not f64-aligned: {}", bytes.len());
+    let mut out = Vec::with_capacity(bytes.len() / 8);
+    while bytes.has_remaining() {
+        out.push(bytes.get_f64_le());
+    }
+    out
+}
+
+/// Message-combine framing: `[count: u64 LE][count * f64]` in one message.
+#[must_use]
+pub fn frame_combined(values: &[f64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + values.len() * 8);
+    buf.put_u64_le(values.len() as u64);
+    for v in values {
+        buf.put_f64_le(*v);
+    }
+    buf.freeze()
+}
+
+/// Parse a combined frame; tolerates trailing slack (receive buffers are
+/// sized for the maximum message, the count field says how much is real).
+#[must_use]
+pub fn parse_combined(bytes: &[u8]) -> Vec<f64> {
+    assert!(bytes.len() >= 8, "combined frame shorter than its header");
+    let mut hdr = &bytes[..8];
+    let count = hdr.get_u64_le() as usize;
+    let need = 8 + count * 8;
+    assert!(
+        bytes.len() >= need,
+        "combined frame truncated: header claims {count} values, only {} bytes",
+        bytes.len()
+    );
+    decode_f64s(&bytes[8..need])
+}
+
+/// Size in bytes of a combined frame carrying `n` values.
+#[must_use]
+pub fn combined_size(n: usize) -> usize {
+    8 + n * 8
+}
+
+/// Encode one border-stage atom record: tag and type packed into one f64
+/// (tag in the low 48 bits, type in the next 8 — both exact in a double's
+/// 53-bit mantissa), followed by x, y, z.
+pub fn push_border_record(out: &mut Vec<f64>, tag: u64, typ: u32, x: [f64; 3]) {
+    out.push(pack_id(tag, typ));
+    out.extend_from_slice(&x);
+}
+
+/// Number of f64 slots per border record.
+pub const BORDER_RECORD_F64S: usize = 4;
+
+/// Pack (tag, type) into one exactly-representable f64.
+#[must_use]
+pub fn pack_id(tag: u64, typ: u32) -> f64 {
+    assert!(tag < (1 << 48), "tag exceeds the 48-bit wire budget");
+    assert!(typ < (1 << 5), "type exceeds the 5-bit wire budget");
+    (tag | (u64::from(typ) << 48)) as f64
+}
+
+/// Unpack a [`pack_id`] value.
+#[must_use]
+pub fn unpack_id(v: f64) -> (u64, u32) {
+    let bits = v as u64;
+    (bits & ((1 << 48) - 1), (bits >> 48) as u32)
+}
+
+/// Decode border records; yields (tag, type, position).
+#[must_use]
+pub fn parse_border_records(values: &[f64]) -> Vec<(u64, u32, [f64; 3])> {
+    assert!(
+        values.len().is_multiple_of(BORDER_RECORD_F64S),
+        "border payload not a whole number of records"
+    );
+    values
+        .chunks_exact(BORDER_RECORD_F64S)
+        .map(|c| {
+            let (tag, typ) = unpack_id(c[0]);
+            (tag, typ, [c[1], c[2], c[3]])
+        })
+        .collect()
+}
+
+/// Encode one exchange-stage atom record: packed tag/type, x, v (7 slots).
+pub fn push_exchange_record(out: &mut Vec<f64>, tag: u64, typ: u32, x: [f64; 3], v: [f64; 3]) {
+    out.push(pack_id(tag, typ));
+    out.extend_from_slice(&x);
+    out.extend_from_slice(&v);
+}
+
+/// Number of f64 slots per exchange record.
+pub const EXCHANGE_RECORD_F64S: usize = 7;
+
+/// Decode exchange records; yields (tag, type, position, velocity).
+#[must_use]
+pub fn parse_exchange_records(values: &[f64]) -> Vec<(u64, u32, [f64; 3], [f64; 3])> {
+    assert!(
+        values.len().is_multiple_of(EXCHANGE_RECORD_F64S),
+        "exchange payload not a whole number of records"
+    );
+    values
+        .chunks_exact(EXCHANGE_RECORD_F64S)
+        .map(|c| {
+            let (tag, typ) = unpack_id(c[0]);
+            (tag, typ, [c[1], c[2], c[3]], [c[4], c[5], c[6]])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let vals = vec![0.0, -1.5, std::f64::consts::PI, 1e300, -0.0];
+        assert_eq!(decode_f64s(&encode_f64s(&vals)), vals);
+    }
+
+    #[test]
+    fn combined_frame_roundtrip() {
+        let vals = vec![1.0, 2.0, 3.5];
+        let frame = frame_combined(&vals);
+        assert_eq!(frame.len(), combined_size(3));
+        assert_eq!(parse_combined(&frame), vals);
+    }
+
+    #[test]
+    fn combined_frame_tolerates_slack() {
+        let vals = vec![9.0, -9.0];
+        let mut padded = frame_combined(&vals).to_vec();
+        padded.extend_from_slice(&[0u8; 64]); // max-size recv buffer slack
+        assert_eq!(parse_combined(&padded), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_frame_detected() {
+        let frame = frame_combined(&[1.0, 2.0, 3.0]);
+        let _ = parse_combined(&frame[..frame.len() - 8]);
+    }
+
+    #[test]
+    fn empty_combined_frame() {
+        let frame = frame_combined(&[]);
+        assert_eq!(frame.len(), 8);
+        assert!(parse_combined(&frame).is_empty());
+    }
+
+    #[test]
+    fn border_records_roundtrip() {
+        let mut buf = Vec::new();
+        push_border_record(&mut buf, 42, 1, [1.0, 2.0, 3.0]);
+        push_border_record(&mut buf, 7, 3, [-1.0, 0.0, 9.5]);
+        let recs = parse_border_records(&buf);
+        assert_eq!(
+            recs,
+            vec![(42, 1, [1.0, 2.0, 3.0]), (7, 3, [-1.0, 0.0, 9.5])]
+        );
+    }
+
+    #[test]
+    fn exchange_records_roundtrip() {
+        let mut buf = Vec::new();
+        push_exchange_record(&mut buf, 3, 2, [1.0; 3], [0.5, -0.5, 0.0]);
+        let recs = parse_exchange_records(&buf);
+        assert_eq!(recs, vec![(3, 2, [1.0; 3], [0.5, -0.5, 0.0])]);
+    }
+
+    #[test]
+    fn packed_ids_are_exact_at_the_budget_edges() {
+        let tag = (1u64 << 48) - 1;
+        for typ in [0u32, 1, 31] {
+            let (t, ty) = unpack_id(pack_id(tag, typ));
+            assert_eq!((t, ty), (tag, typ));
+        }
+        let (t, ty) = unpack_id(pack_id(1, 0));
+        assert_eq!((t, ty), (1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "48-bit")]
+    fn oversized_tag_rejected() {
+        let _ = pack_id(1 << 48, 0);
+    }
+}

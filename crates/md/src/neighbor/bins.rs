@@ -1,0 +1,162 @@
+//! Spatial cell bins used to build Verlet neighbor lists in O(N).
+
+/// A uniform grid of cells ("bins") covering an extended bounding region
+/// (sub-box plus ghost margin). Each bin stores the indices of the atoms
+/// inside it.
+#[derive(Debug, Clone)]
+pub struct CellBins {
+    lo: [f64; 3],
+    nbin: [usize; 3],
+    inv_size: [f64; 3],
+    /// Flattened per-bin atom index lists (CSR-style: heads + next chains
+    /// would be faster to rebuild, but Vec-of-Vec keeps the code clear and
+    /// rebuild cost is dominated by the pair pass anyway).
+    bins: Vec<Vec<u32>>,
+}
+
+impl CellBins {
+    /// Create bins covering `[lo, hi]` with cells no smaller than
+    /// `min_cell` per dimension (callers pass the neighbor-list cutoff so a
+    /// 27-bin stencil is sufficient).
+    #[must_use]
+    pub fn new(lo: [f64; 3], hi: [f64; 3], min_cell: f64) -> Self {
+        assert!(min_cell > 0.0, "cell size must be positive");
+        let mut nbin = [1usize; 3];
+        let mut inv_size = [0.0; 3];
+        for d in 0..3 {
+            let extent = hi[d] - lo[d];
+            assert!(extent > 0.0, "degenerate bin region in dim {d}");
+            nbin[d] = ((extent / min_cell).floor() as usize).max(1);
+            inv_size[d] = nbin[d] as f64 / extent;
+        }
+        let total = nbin[0] * nbin[1] * nbin[2];
+        CellBins {
+            lo,
+            nbin,
+            inv_size,
+            bins: vec![Vec::new(); total],
+        }
+    }
+
+    /// Bin grid dimensions.
+    #[must_use]
+    pub fn nbin(&self) -> [usize; 3] {
+        self.nbin
+    }
+
+    /// Index of the bin containing `x` (clamped to the grid so ghost atoms
+    /// slightly outside the region land in border bins).
+    #[must_use]
+    pub fn bin_of(&self, x: &[f64; 3]) -> usize {
+        let mut c = [0usize; 3];
+        for d in 0..3 {
+            let idx = ((x[d] - self.lo[d]) * self.inv_size[d]).floor() as i64;
+            c[d] = idx.clamp(0, self.nbin[d] as i64 - 1) as usize;
+        }
+        self.flat(c)
+    }
+
+    fn flat(&self, c: [usize; 3]) -> usize {
+        c[0] + self.nbin[0] * (c[1] + self.nbin[1] * c[2])
+    }
+
+    /// Clear and re-populate the bins from atom positions.
+    pub fn fill(&mut self, positions: &[[f64; 3]]) {
+        for b in &mut self.bins {
+            b.clear();
+        }
+        for (i, x) in positions.iter().enumerate() {
+            let b = self.bin_of(x);
+            self.bins[b].push(i as u32);
+        }
+    }
+
+    /// Atoms in the bin with flat index `b`.
+    #[must_use]
+    pub fn bin(&self, b: usize) -> &[u32] {
+        &self.bins[b]
+    }
+
+    /// Visit every atom in the 27-bin stencil around the bin containing `x`
+    /// (clamped at region edges — no periodic wrap here: ghost atoms make
+    /// the region self-contained).
+    pub fn for_each_candidate(&self, x: &[f64; 3], mut f: impl FnMut(u32)) {
+        let mut c = [0i64; 3];
+        for d in 0..3 {
+            let idx = ((x[d] - self.lo[d]) * self.inv_size[d]).floor() as i64;
+            c[d] = idx.clamp(0, self.nbin[d] as i64 - 1);
+        }
+        for dz in -1..=1i64 {
+            let z = c[2] + dz;
+            if z < 0 || z >= self.nbin[2] as i64 {
+                continue;
+            }
+            for dy in -1..=1i64 {
+                let y = c[1] + dy;
+                if y < 0 || y >= self.nbin[1] as i64 {
+                    continue;
+                }
+                for dx in -1..=1i64 {
+                    let xx = c[0] + dx;
+                    if xx < 0 || xx >= self.nbin[0] as i64 {
+                        continue;
+                    }
+                    let b = self.flat([xx as usize, y as usize, z as usize]);
+                    for &a in &self.bins[b] {
+                        f(a);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dimensions_respect_min_cell() {
+        let b = CellBins::new([0.0; 3], [10.0; 3], 2.5);
+        assert_eq!(b.nbin(), [4, 4, 4]);
+        // Cells must be at least min_cell wide.
+        let b2 = CellBins::new([0.0; 3], [10.0; 3], 3.0);
+        assert_eq!(b2.nbin(), [3, 3, 3]);
+    }
+
+    #[test]
+    fn tiny_region_gets_one_bin() {
+        let b = CellBins::new([0.0; 3], [1.0; 3], 5.0);
+        assert_eq!(b.nbin(), [1, 1, 1]);
+    }
+
+    #[test]
+    fn fill_and_lookup() {
+        let mut b = CellBins::new([0.0; 3], [10.0; 3], 2.5);
+        let pos = vec![[1.0, 1.0, 1.0], [9.0, 9.0, 9.0], [1.2, 1.1, 0.9]];
+        b.fill(&pos);
+        let bin0 = b.bin_of(&pos[0]);
+        assert_eq!(b.bin(bin0), &[0, 2]);
+        assert_ne!(b.bin_of(&pos[1]), bin0);
+    }
+
+    #[test]
+    fn out_of_region_points_clamp() {
+        let mut b = CellBins::new([0.0; 3], [10.0; 3], 2.5);
+        b.fill(&[[-0.5, 11.0, 5.0]]);
+        // Should not panic; the atom lands in an edge bin.
+        let idx = b.bin_of(&[-0.5, 11.0, 5.0]);
+        assert_eq!(b.bin(idx), &[0]);
+    }
+
+    #[test]
+    fn stencil_finds_all_nearby() {
+        let mut b = CellBins::new([0.0; 3], [10.0; 3], 2.5);
+        let pos = vec![[4.9, 5.0, 5.0], [5.1, 5.0, 5.0], [0.1, 0.1, 0.1]];
+        b.fill(&pos);
+        let mut seen = Vec::new();
+        b.for_each_candidate(&pos[0], |i| seen.push(i));
+        assert!(seen.contains(&0) && seen.contains(&1));
+        assert!(!seen.contains(&2), "far atom must not appear in stencil");
+    }
+}

@@ -1,0 +1,294 @@
+//! Verlet neighbor lists (half/Newton and full variants) with skin and
+//! the two rebuild policies of Table 2 (`check no` / `check yes`).
+
+use super::bins::CellBins;
+use crate::atom::Atoms;
+
+/// Which pairs a list stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListKind {
+    /// Each pair appears once. For local j, stored under i < j; for ghost j,
+    /// stored under the local atom per LAMMPS's coordinate-ordering rule.
+    /// Requires Newton's 3rd law (ghost forces are reverse-communicated).
+    HalfNewton,
+    /// Every neighbor j != i of each local atom i. Needed by potentials
+    /// like Tersoff/DeePMD (Fig. 15's 26-neighbor regime).
+    Full,
+    /// Half list for *one-sided half ghost shells* (the paper's p2p
+    /// pattern, Fig. 5): ghosts exist only from upper-half neighbors, so
+    /// every in-range local-ghost pair belongs to this rank; local-local
+    /// pairs are stored once (i < j). Using the coordinate rule here would
+    /// silently drop pairs — and using this rule with a full ghost shell
+    /// would double-count them.
+    HalfOneSided,
+}
+
+/// A built neighbor list in CSR layout.
+#[derive(Debug, Clone)]
+pub struct NeighborList {
+    /// Which pairs the list stores.
+    pub kind: ListKind,
+    /// CSR row offsets, `nlocal + 1` entries.
+    offsets: Vec<u32>,
+    /// Flattened neighbor indices (may point at ghost atoms).
+    neigh: Vec<u32>,
+    /// Force cutoff + skin used when the list was built.
+    pub cutoff_list: f64,
+    /// Local atom positions at build time (drives `check yes` rebuilds).
+    x_at_build: Vec<[f64; 3]>,
+}
+
+/// LAMMPS's half-list ordering rule for a local/ghost candidate pair:
+/// the pair belongs to atom i if j is "above" i in (z, y, x) coordinate
+/// order. Exactly one side of each cross-rank pair satisfies this, so every
+/// pair is computed exactly once across the whole machine.
+#[inline]
+#[must_use]
+pub fn ghost_pair_belongs_to_i(xi: &[f64; 3], xj: &[f64; 3]) -> bool {
+    if xj[2] != xi[2] {
+        return xj[2] > xi[2];
+    }
+    if xj[1] != xi[1] {
+        return xj[1] > xi[1];
+    }
+    xj[0] > xi[0]
+}
+
+impl NeighborList {
+    /// Build a list for the local atoms of `atoms`, binning local + ghost
+    /// positions over the extended bounds `[lo, hi]`.
+    ///
+    /// `cutoff_force` is the potential cutoff; `skin` is the extra Verlet
+    /// margin (Table 2: 0.3 for LJ, 1.0 for EAM).
+    #[must_use]
+    pub fn build(
+        atoms: &Atoms,
+        lo: [f64; 3],
+        hi: [f64; 3],
+        kind: ListKind,
+        cutoff_force: f64,
+        skin: f64,
+    ) -> Self {
+        let cutoff_list = cutoff_force + skin;
+        let cutsq = cutoff_list * cutoff_list;
+        let mut bins = CellBins::new(lo, hi, cutoff_list);
+        bins.fill(&atoms.x);
+
+        let nlocal = atoms.nlocal;
+        let mut offsets = Vec::with_capacity(nlocal + 1);
+        let mut neigh = Vec::new();
+        offsets.push(0u32);
+
+        for i in 0..nlocal {
+            let xi = atoms.x[i];
+            bins.for_each_candidate(&xi, |j| {
+                let j = j as usize;
+                if j == i {
+                    return;
+                }
+                let xj = atoms.x[j];
+                match kind {
+                    ListKind::Full => {}
+                    ListKind::HalfNewton => {
+                        if j < nlocal {
+                            // local-local: store once under the lower index
+                            if j < i {
+                                return;
+                            }
+                        } else if !ghost_pair_belongs_to_i(&xi, &xj) {
+                            return;
+                        }
+                    }
+                    ListKind::HalfOneSided => {
+                        // Ghost pairs always belong to the local side; the
+                        // half ghost shell guarantees uniqueness.
+                        if j < nlocal && j < i {
+                            return;
+                        }
+                    }
+                }
+                let mut r2 = 0.0;
+                for d in 0..3 {
+                    let dd = xi[d] - xj[d];
+                    r2 += dd * dd;
+                }
+                if r2 < cutsq {
+                    neigh.push(j as u32);
+                }
+            });
+            offsets.push(neigh.len() as u32);
+        }
+
+        NeighborList {
+            kind,
+            offsets,
+            neigh,
+            cutoff_list,
+            x_at_build: atoms.x[..nlocal].to_vec(),
+        }
+    }
+
+    /// Neighbors of local atom `i`.
+    #[must_use]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        let a = self.offsets[i] as usize;
+        let b = self.offsets[i + 1] as usize;
+        &self.neigh[a..b]
+    }
+
+    /// Number of local atoms the list covers.
+    #[must_use]
+    pub fn nlocal(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total stored pairs.
+    #[must_use]
+    pub fn npairs(&self) -> usize {
+        self.neigh.len()
+    }
+
+    /// `check yes` policy (Table 2, EAM): true if any local atom has moved
+    /// more than half the skin since the list was built. LAMMPS combines
+    /// this flag across ranks with an allreduce — the caller is responsible
+    /// for that reduction.
+    #[must_use]
+    pub fn any_moved_beyond_half_skin(&self, atoms: &Atoms, skin: f64) -> bool {
+        let lim2 = (0.5 * skin) * (0.5 * skin);
+        let n = self.x_at_build.len().min(atoms.nlocal);
+        for i in 0..n {
+            let mut d2 = 0.0;
+            for d in 0..3 {
+                let dd = atoms.x[i][d] - self.x_at_build[i][d];
+                d2 += dd * dd;
+            }
+            if d2 > lim2 {
+                return true;
+            }
+        }
+        // Migration changes local counts; treat that as "moved".
+        atoms.nlocal != self.x_at_build.len()
+    }
+}
+
+/// When the neighbor list should be rebuilt — LAMMPS `neigh_modify`
+/// (Table 2: LJ uses `every 20 check no`, EAM `every 5 check yes`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildPolicy {
+    /// Consider rebuilding every this many steps.
+    pub every: u32,
+    /// If true, only rebuild when some atom moved > skin/2 (requires a
+    /// global allreduce of the per-rank flags); if false, always rebuild at
+    /// the interval.
+    pub check: bool,
+}
+
+impl RebuildPolicy {
+    /// The LJ benchmark policy from Table 2.
+    pub const LJ: RebuildPolicy = RebuildPolicy {
+        every: 20,
+        check: false,
+    };
+    /// The EAM benchmark policy from Table 2.
+    pub const EAM: RebuildPolicy = RebuildPolicy {
+        every: 5,
+        check: true,
+    };
+
+    /// Is `step` an inspection step for this policy? (Step numbering is
+    /// 1-based like LAMMPS's: the first rebuild opportunity after setup is
+    /// at `step == every`.)
+    #[must_use]
+    pub fn is_check_step(&self, step: u64) -> bool {
+        self.every > 0 && step.is_multiple_of(u64::from(self.every))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two atoms within cutoff, one far away; no ghosts.
+    fn tiny() -> Atoms {
+        Atoms::from_positions(vec![[1.0, 1.0, 1.0], [2.0, 1.0, 1.0], [8.0, 8.0, 8.0]], 1)
+    }
+
+    #[test]
+    fn half_list_stores_each_pair_once() {
+        let a = tiny();
+        let l = NeighborList::build(&a, [0.0; 3], [10.0; 3], ListKind::HalfNewton, 1.5, 0.3);
+        assert_eq!(l.neighbors(0), &[1]);
+        assert!(l.neighbors(1).is_empty());
+        assert!(l.neighbors(2).is_empty());
+        assert_eq!(l.npairs(), 1);
+    }
+
+    #[test]
+    fn full_list_stores_both_directions() {
+        let a = tiny();
+        let l = NeighborList::build(&a, [0.0; 3], [10.0; 3], ListKind::Full, 1.5, 0.3);
+        assert_eq!(l.neighbors(0), &[1]);
+        assert_eq!(l.neighbors(1), &[0]);
+        assert_eq!(l.npairs(), 2);
+    }
+
+    #[test]
+    fn skin_extends_capture_radius() {
+        let a = tiny(); // pair distance 1.0
+        let no_skin = NeighborList::build(&a, [0.0; 3], [10.0; 3], ListKind::Full, 0.9, 0.0);
+        assert_eq!(no_skin.npairs(), 0);
+        let with_skin = NeighborList::build(&a, [0.0; 3], [10.0; 3], ListKind::Full, 0.9, 0.2);
+        assert_eq!(with_skin.npairs(), 2);
+    }
+
+    #[test]
+    fn ghost_pairs_use_coordinate_rule() {
+        let mut a = Atoms::from_positions(vec![[1.0, 1.0, 1.0]], 1);
+        // Ghost above in z: pair belongs to local atom.
+        a.push_ghost([1.0, 1.0, 1.8], 1, 99);
+        // Ghost below in z: pair belongs to the *other* rank's local atom.
+        a.push_ghost([1.0, 1.0, 0.2], 1, 98);
+        let l = NeighborList::build(&a, [0.0; 3], [3.0; 3], ListKind::HalfNewton, 1.0, 0.0);
+        assert_eq!(l.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn movement_check_triggers_at_half_skin() {
+        let mut a = tiny();
+        let l = NeighborList::build(&a, [0.0; 3], [10.0; 3], ListKind::HalfNewton, 1.5, 0.4);
+        assert!(!l.any_moved_beyond_half_skin(&a, 0.4));
+        a.x[0][0] += 0.19; // < skin/2 = 0.2
+        assert!(!l.any_moved_beyond_half_skin(&a, 0.4));
+        a.x[0][0] += 0.02; // now 0.21 > 0.2
+        assert!(l.any_moved_beyond_half_skin(&a, 0.4));
+    }
+
+    #[test]
+    fn one_sided_half_keeps_all_ghost_pairs() {
+        let mut a = Atoms::from_positions(vec![[1.0, 1.0, 1.0]], 1);
+        a.push_ghost([1.0, 1.0, 1.8], 1, 99); // "above" the local atom
+        a.push_ghost([1.0, 1.0, 0.2], 1, 98); // "below" it
+        let l = NeighborList::build(&a, [0.0; 3], [3.0; 3], ListKind::HalfOneSided, 1.0, 0.0);
+        // Both ghost pairs belong to the local rank under one-sided shells.
+        let mut n = l.neighbors(0).to_vec();
+        n.sort_unstable();
+        assert_eq!(n, vec![1, 2]);
+    }
+
+    #[test]
+    fn rebuild_policies_match_table2() {
+        assert_eq!(RebuildPolicy::LJ.every, 20);
+        assert_eq!(RebuildPolicy::EAM.every, 5);
+        let (lj, eam) = (RebuildPolicy::LJ, RebuildPolicy::EAM);
+        assert!(!lj.check && eam.check);
+        assert!(RebuildPolicy::LJ.is_check_step(20));
+        assert!(!RebuildPolicy::LJ.is_check_step(21));
+    }
+
+    #[test]
+    fn ordering_rule_is_antisymmetric() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.5, 2.0, 3.0];
+        assert!(ghost_pair_belongs_to_i(&a, &b) ^ ghost_pair_belongs_to_i(&b, &a));
+    }
+}

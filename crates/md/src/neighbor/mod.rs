@@ -1,0 +1,7 @@
+//! Cell-binned Verlet neighbor lists.
+
+pub mod bins;
+pub mod list;
+
+pub use bins::CellBins;
+pub use list::{ghost_pair_belongs_to_i, ListKind, NeighborList, RebuildPolicy};

@@ -1,0 +1,202 @@
+//! Structural and dynamic observables: radial distribution function and
+//! mean-squared displacement.
+//!
+//! These are the analyses a materials user runs on top of the engine (the
+//! paper's §1 motivations: melting, defects, diffusion); they also provide
+//! strong physics checks — an FCC crystal's RDF has sharp shell peaks, a
+//! melt's is smooth, and crystal MSD saturates while a liquid's grows
+//! linearly.
+
+use crate::atom::Atoms;
+use crate::region::Box3;
+
+/// A radial distribution function accumulated over snapshots.
+#[derive(Debug, Clone)]
+pub struct Rdf {
+    r_max: f64,
+    dr: f64,
+    hist: Vec<u64>,
+    samples: u64,
+    natoms: usize,
+}
+
+impl Rdf {
+    /// Histogram out to `r_max` with `bins` bins.
+    #[must_use]
+    pub fn new(r_max: f64, bins: usize) -> Self {
+        assert!(r_max > 0.0 && bins > 0);
+        Rdf {
+            r_max,
+            dr: r_max / bins as f64,
+            hist: vec![0; bins],
+            samples: 0,
+            natoms: 0,
+        }
+    }
+
+    /// Accumulate one snapshot (O(N^2) with minimum image — intended for
+    /// analysis-sized systems, not the multi-million benchmarks).
+    pub fn sample(&mut self, atoms: &Atoms, bounds: &Box3) {
+        let n = atoms.nlocal;
+        assert!(self.natoms == 0 || self.natoms == n, "atom count changed");
+        self.natoms = n;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = bounds.minimum_image(&atoms.x[i], &atoms.x[j]);
+                let r = (dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2]).sqrt();
+                if r < self.r_max {
+                    self.hist[(r / self.dr) as usize] += 2; // both directions
+                }
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// Normalized g(r) values with bin centers. Requires at least one
+    /// sample.
+    #[must_use]
+    pub fn g(&self, bounds: &Box3) -> Vec<(f64, f64)> {
+        assert!(self.samples > 0, "no samples accumulated");
+        let n = self.natoms as f64;
+        let density = n / bounds.volume();
+        let norm = self.samples as f64 * n * density;
+        self.hist
+            .iter()
+            .enumerate()
+            .map(|(b, &count)| {
+                let r_lo = b as f64 * self.dr;
+                let r_hi = r_lo + self.dr;
+                let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
+                ((r_lo + r_hi) / 2.0, count as f64 / (norm * shell))
+            })
+            .collect()
+    }
+
+    /// Location of the highest g(r) peak (first-shell distance).
+    #[must_use]
+    pub fn peak(&self, bounds: &Box3) -> (f64, f64) {
+        self.g(bounds)
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite g(r)"))
+            .expect("non-empty histogram")
+    }
+}
+
+/// Mean-squared displacement tracker with PBC unwrapping.
+#[derive(Debug, Clone)]
+pub struct Msd {
+    origin: Vec<[f64; 3]>,
+    /// Unwrapped positions (previous step, used to detect wrap jumps).
+    prev: Vec<[f64; 3]>,
+    unwrapped: Vec<[f64; 3]>,
+}
+
+impl Msd {
+    /// Start tracking from the current (tag-ordered) positions.
+    #[must_use]
+    pub fn new(atoms: &Atoms) -> Self {
+        let x: Vec<[f64; 3]> = atoms.x[..atoms.nlocal].to_vec();
+        Msd {
+            origin: x.clone(),
+            prev: x.clone(),
+            unwrapped: x,
+        }
+    }
+
+    /// Update with the current wrapped positions (same atom ordering).
+    pub fn update(&mut self, atoms: &Atoms, bounds: &Box3) {
+        assert_eq!(atoms.nlocal, self.prev.len(), "atom count changed");
+        for i in 0..atoms.nlocal {
+            // Shortest displacement since last update (assumes atoms move
+            // less than half a box length between updates).
+            let d = bounds.minimum_image(&atoms.x[i], &self.prev[i]);
+            for k in 0..3 {
+                self.unwrapped[i][k] += d[k];
+            }
+            self.prev[i] = atoms.x[i];
+        }
+    }
+
+    /// Current mean-squared displacement from the origin.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        let n = self.origin.len().max(1);
+        self.unwrapped
+            .iter()
+            .zip(&self.origin)
+            .map(|(u, o)| {
+                (u[0] - o[0]).powi(2) + (u[1] - o[1]).powi(2) + (u[2] - o[2]).powi(2)
+            })
+            .sum::<f64>()
+            / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::FccLattice;
+
+    #[test]
+    fn fcc_rdf_peaks_at_nearest_neighbor_shell() {
+        let lat = FccLattice::from_cell(3.615);
+        let (bounds, pos) = lat.build(3, 3, 3);
+        let atoms = Atoms::from_positions(pos, 1);
+        let mut rdf = Rdf::new(4.0, 200);
+        rdf.sample(&atoms, &bounds);
+        let (r_peak, g_peak) = rdf.peak(&bounds);
+        let nn = 3.615 / std::f64::consts::SQRT_2;
+        assert!(
+            (r_peak - nn).abs() < 0.05,
+            "first shell at {r_peak} (expect {nn})"
+        );
+        assert!(g_peak > 10.0, "crystal peak must be sharp, got {g_peak}");
+    }
+
+    #[test]
+    fn rdf_normalizes_to_unity_at_large_r_for_random_gas() {
+        // Quasi-random uniform gas: g(r) ~ 1 away from r = 0.
+        let n = 600;
+        let pos: Vec<[f64; 3]> = (0..n)
+            .map(|i| {
+                let h = (i as f64 * 0.618_033_988_75).fract();
+                let k = (i as f64 * 0.754_877_666_2).fract();
+                let l = (i as f64 * 0.569_840_290_998).fract();
+                [h * 10.0, k * 10.0, l * 10.0]
+            })
+            .collect();
+        let bounds = Box3::from_lengths([10.0; 3]);
+        let atoms = Atoms::from_positions(pos, 1);
+        let mut rdf = Rdf::new(4.0, 40);
+        rdf.sample(&atoms, &bounds);
+        let g = rdf.g(&bounds);
+        // Mean of g over r in [2, 4] should be near 1.
+        let tail: Vec<f64> = g.iter().filter(|(r, _)| *r > 2.0).map(|(_, v)| *v).collect();
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!((mean - 1.0).abs() < 0.15, "gas g(r) tail mean {mean}");
+    }
+
+    #[test]
+    fn msd_tracks_ballistic_motion_through_wrap() {
+        let bounds = Box3::from_lengths([5.0; 3]);
+        let mut atoms = Atoms::from_positions(vec![[4.0, 2.0, 2.0]], 1);
+        let mut msd = Msd::new(&atoms);
+        // Move +0.5 in x per update, wrapping at 5.0: after 4 updates the
+        // atom is at x = 1.0 wrapped but displacement is 2.0 unwrapped.
+        for _ in 0..4 {
+            let (w, _) = bounds.wrap([atoms.x[0][0] + 0.5, 2.0, 2.0]);
+            atoms.x[0] = w;
+            msd.update(&atoms, &bounds);
+        }
+        assert!((msd.value() - 4.0).abs() < 1e-12, "msd {}", msd.value());
+    }
+
+    #[test]
+    fn msd_zero_without_motion() {
+        let bounds = Box3::from_lengths([5.0; 3]);
+        let atoms = Atoms::from_positions(vec![[1.0; 3], [2.0; 3]], 1);
+        let mut msd = Msd::new(&atoms);
+        msd.update(&atoms, &bounds);
+        assert_eq!(msd.value(), 0.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Embedded-atom-method potential (Eq. 2 of the paper).
+//!
+//! LAMMPS's `pair_style eam` evaluates spline-interpolated tables read from
+//! a potential file; the paper uses the Cu system with `Cu_u3.eam` and a
+//! 4.95 angstrom cutoff (Table 2). That file is not redistributable here, so
+//! the tables are generated from smooth analytic Cu-like forms (Morse pair
+//! term, exponential density, square-root embedding — Finnis-Sinclair
+//! style), then evaluated through the same tabulate-plus-cubic-spline path
+//! LAMMPS uses. This preserves the two-pass computation structure — and
+//! therefore the two extra mid-pair-stage communications the paper
+//! optimizes — while using only self-contained data.
+
+use super::spline::Spline;
+use super::{ManyBodyPotential, PairEnergyVirial};
+use crate::atom::Atoms;
+use crate::neighbor::{ListKind, NeighborList};
+
+/// Cu-like EAM with spline-tabulated rho(r), phi(r) and F(rho).
+pub struct EamCu {
+    cutoff: f64,
+    cutsq: f64,
+    rho_r: Spline,
+    phi_r: Spline,
+    f_rho: Spline,
+}
+
+/// Analytic generating forms for the tables.
+#[derive(Debug, Clone, Copy)]
+pub struct EamParams {
+    /// Nearest-neighbor (equilibrium) distance, angstrom.
+    pub re: f64,
+    /// Density prefactor.
+    pub fe: f64,
+    /// Density decay exponent (dimensionless, in r/re).
+    pub beta: f64,
+    /// Morse well depth, eV.
+    pub d_morse: f64,
+    /// Morse width, 1/angstrom.
+    pub alpha: f64,
+    /// Embedding strength, eV.
+    pub f0: f64,
+    /// Equilibrium host density (sets the embedding scale).
+    pub rho_e: f64,
+    /// Force cutoff, angstrom.
+    pub cutoff: f64,
+}
+
+impl EamParams {
+    /// Cu-flavoured defaults: re = a/sqrt(2) for a = 3.615, cutoff 4.95
+    /// (Table 2), remaining constants chosen for a bound, stable FCC
+    /// crystal at that lattice constant.
+    #[must_use]
+    pub fn cu() -> Self {
+        EamParams {
+            re: 3.615 / std::f64::consts::SQRT_2,
+            fe: 1.0,
+            beta: 5.0,
+            d_morse: 0.35,
+            alpha: 1.7,
+            f0: 1.8,
+            rho_e: 13.0,
+            cutoff: 4.95,
+        }
+    }
+
+    /// Smooth cutoff switch: 1 below 0.9*rc, 0 above rc, C^2 in between.
+    #[must_use]
+    pub fn switch(&self, r: f64) -> f64 {
+        let rc = self.cutoff;
+        let rs = 0.9 * rc;
+        if r <= rs {
+            1.0
+        } else if r >= rc {
+            0.0
+        } else {
+            let t = (r - rs) / (rc - rs);
+            1.0 - t * t * t * (10.0 - 15.0 * t + 6.0 * t * t)
+        }
+    }
+
+    /// Analytic electron density contribution of a neighbor at distance r.
+    #[must_use]
+    pub fn rho(&self, r: f64) -> f64 {
+        self.fe * (-self.beta * (r / self.re - 1.0)).exp() * self.switch(r)
+    }
+
+    /// Analytic pair term (Morse), eV.
+    #[must_use]
+    pub fn phi(&self, r: f64) -> f64 {
+        let e = (-self.alpha * (r - self.re)).exp();
+        self.d_morse * (e * e - 2.0 * e) * self.switch(r)
+    }
+
+    /// Analytic embedding energy, eV.
+    #[must_use]
+    pub fn embed(&self, rho: f64) -> f64 {
+        -self.f0 * (rho.max(0.0) / self.rho_e).sqrt()
+    }
+}
+
+impl EamCu {
+    /// Number of table knots (LAMMPS eam files typically use 500-5000).
+    const NKNOTS: usize = 2000;
+
+    /// Build spline tables from analytic parameters.
+    #[must_use]
+    pub fn from_params(p: EamParams) -> Self {
+        let r_min = 0.5; // below any physical separation at MD temperatures
+        let dr = (p.cutoff - r_min) / (Self::NKNOTS - 1) as f64;
+        let rho_r = Spline::tabulate(r_min, dr, Self::NKNOTS, |r| p.rho(r));
+        let phi_r = Spline::tabulate(r_min, dr, Self::NKNOTS, |r| p.phi(r));
+        // Embedding domain: comfortably past any density reachable with
+        // this rho(r) (12 first-shell neighbors contribute ~rho_e).
+        let rho_max = 4.0 * p.rho_e;
+        let drho = rho_max / (Self::NKNOTS - 1) as f64;
+        let f_rho = Spline::tabulate(0.0, drho, Self::NKNOTS, |rho| p.embed(rho));
+        EamCu {
+            cutoff: p.cutoff,
+            cutsq: p.cutoff * p.cutoff,
+            rho_r,
+            phi_r,
+            f_rho,
+        }
+    }
+
+    /// The paper's EAM benchmark stand-in (Cu, cutoff 4.95).
+    #[must_use]
+    pub fn lammps_bench() -> Self {
+        Self::from_params(EamParams::cu())
+    }
+
+    /// Spline-evaluated density at r (exposed for tests).
+    #[must_use]
+    pub fn rho_at(&self, r: f64) -> f64 {
+        self.rho_r.eval(r)
+    }
+
+    /// Spline-evaluated pair energy at r (exposed for tests).
+    #[must_use]
+    pub fn phi_at(&self, r: f64) -> f64 {
+        self.phi_r.eval(r)
+    }
+
+    /// Spline-evaluated embedding energy at rho (exposed for tests).
+    #[must_use]
+    pub fn embed_at(&self, rho: f64) -> f64 {
+        self.f_rho.eval(rho)
+    }
+}
+
+impl ManyBodyPotential for EamCu {
+    fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    fn compute_rho(&self, atoms: &Atoms, list: &NeighborList, rho: &mut Vec<f64>) {
+        assert!(
+            !matches!(list.kind, ListKind::Full),
+            "EAM uses a half list"
+        );
+        rho.clear();
+        rho.resize(atoms.ntotal(), 0.0);
+        for i in 0..atoms.nlocal {
+            let xi = atoms.x[i];
+            for &j in list.neighbors(i) {
+                let j = j as usize;
+                let xj = atoms.x[j];
+                let mut r2 = 0.0;
+                for d in 0..3 {
+                    let dd = xi[d] - xj[d];
+                    r2 += dd * dd;
+                }
+                if r2 >= self.cutsq {
+                    continue;
+                }
+                let contrib = self.rho_r.eval(r2.sqrt());
+                rho[i] += contrib;
+                rho[j] += contrib; // half list: contribute to both endpoints
+            }
+        }
+    }
+
+    fn compute_embedding(&self, atoms: &Atoms, rho: &[f64], fp: &mut Vec<f64>) -> f64 {
+        fp.clear();
+        fp.resize(atoms.ntotal(), 0.0);
+        let mut energy = 0.0;
+        for i in 0..atoms.nlocal {
+            energy += self.f_rho.eval(rho[i]);
+            fp[i] = self.f_rho.eval_deriv(rho[i]);
+        }
+        energy
+    }
+
+    fn compute_force(
+        &self,
+        atoms: &mut Atoms,
+        list: &NeighborList,
+        fp: &[f64],
+    ) -> PairEnergyVirial {
+        assert!(fp.len() >= atoms.ntotal(), "fp must cover ghosts");
+        let mut energy = 0.0;
+        let mut virial = 0.0;
+        for i in 0..atoms.nlocal {
+            let xi = atoms.x[i];
+            let mut fi = [0.0f64; 3];
+            for &j in list.neighbors(i) {
+                let j = j as usize;
+                let xj = atoms.x[j];
+                let dx = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
+                let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+                if r2 >= self.cutsq {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let phip = self.phi_r.eval_deriv(r);
+                let rhop = self.rho_r.eval_deriv(r);
+                // dU/dr for the pair, including both embedding terms.
+                let dudr = phip + (fp[i] + fp[j]) * rhop;
+                let fpair = -dudr / r;
+                fi[0] += dx[0] * fpair;
+                fi[1] += dx[1] * fpair;
+                fi[2] += dx[2] * fpair;
+                atoms.f[j][0] -= dx[0] * fpair;
+                atoms.f[j][1] -= dx[1] * fpair;
+                atoms.f[j][2] -= dx[2] * fpair;
+                energy += self.phi_r.eval(r);
+                virial += r2 * fpair;
+            }
+            for d in 0..3 {
+                atoms.f[i][d] += fi[d];
+            }
+        }
+        PairEnergyVirial { energy, virial }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighbor::NeighborList;
+
+    #[test]
+    fn splines_match_analytic_forms() {
+        let p = EamParams::cu();
+        let eam = EamCu::from_params(p);
+        for i in 0..40 {
+            let r = 1.0 + i as f64 * 0.09;
+            assert!((eam.rho_at(r) - p.rho(r)).abs() < 1e-6, "rho at {r}");
+            assert!((eam.phi_at(r) - p.phi(r)).abs() < 1e-6, "phi at {r}");
+        }
+        for i in 1..40 {
+            let rho = i as f64 * 0.8;
+            assert!(
+                (eam.embed_at(rho) - p.embed(rho)).abs() < 1e-4,
+                "embed at {rho}"
+            );
+        }
+    }
+
+    #[test]
+    fn switch_function_is_smooth_and_clamped() {
+        let p = EamParams::cu();
+        assert_eq!(p.switch(1.0), 1.0);
+        assert_eq!(p.switch(p.cutoff), 0.0);
+        assert_eq!(p.switch(p.cutoff + 1.0), 0.0);
+        let mid = 0.95 * p.cutoff;
+        assert!(p.switch(mid) > 0.0 && p.switch(mid) < 1.0);
+    }
+
+    #[test]
+    fn phi_has_minimum_near_re() {
+        let p = EamParams::cu();
+        let e_re = p.phi(p.re);
+        assert!(e_re < 0.0, "pair term must be bound at re");
+        assert!(p.phi(p.re - 0.2) > e_re);
+        assert!(p.phi(p.re + 0.2) > e_re);
+    }
+
+    /// Full two-pass computation on a dimer, compared against a numerical
+    /// gradient of the analytic total energy.
+    #[test]
+    fn dimer_force_matches_numerical_gradient() {
+        let p = EamParams::cu();
+        let eam = EamCu::from_params(p);
+        let total_energy = |r: f64| -> f64 {
+            // Dimer: each atom sees rho(r); energy = 2 F(rho(r)) + phi(r).
+            2.0 * p.embed(p.rho(r)) + p.phi(r)
+        };
+        let r = 2.4;
+        let mut atoms = Atoms::from_positions(vec![[0.0; 3], [r, 0.0, 0.0]], 1);
+        let list = NeighborList::build(
+            &atoms,
+            [-1.0; 3],
+            [7.0; 3],
+            ListKind::HalfNewton,
+            p.cutoff,
+            0.0,
+        );
+        let mut rho = Vec::new();
+        let mut fp = Vec::new();
+        eam.compute_rho(&atoms, &list, &mut rho);
+        let e_embed = eam.compute_embedding(&atoms, &rho, &mut fp);
+        let ev = eam.compute_force(&mut atoms, &list, &fp);
+        let e_total = e_embed + ev.energy;
+        assert!((e_total - total_energy(r)).abs() < 1e-4, "energy mismatch");
+        let h = 1e-5;
+        let dudr = (total_energy(r + h) - total_energy(r - h)) / (2.0 * h);
+        // Force on atom 0 along x should be -dU/dx0 = +dU/dr.
+        assert!(
+            (atoms.f[0][0] - dudr).abs() < 1e-3,
+            "force {} vs gradient {}",
+            atoms.f[0][0],
+            dudr
+        );
+        // Newton's third law.
+        assert!((atoms.f[0][0] + atoms.f[1][0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_accumulates_on_both_pair_endpoints() {
+        let p = EamParams::cu();
+        let eam = EamCu::from_params(p);
+        let atoms = Atoms::from_positions(vec![[0.0; 3], [2.5, 0.0, 0.0]], 1);
+        let list = NeighborList::build(
+            &atoms,
+            [-1.0; 3],
+            [7.0; 3],
+            ListKind::HalfNewton,
+            p.cutoff,
+            0.0,
+        );
+        let mut rho = Vec::new();
+        eam.compute_rho(&atoms, &list, &mut rho);
+        assert!(rho[0] > 0.0);
+        assert!((rho[0] - rho[1]).abs() < 1e-12, "dimer densities must match");
+    }
+
+    #[test]
+    fn embedding_energy_is_negative_and_monotonic() {
+        let eam = EamCu::lammps_bench();
+        let atoms = Atoms::from_positions(vec![[0.0; 3]], 1);
+        let mut fp = Vec::new();
+        let e1 = eam.compute_embedding(&atoms, &[5.0], &mut fp);
+        let e2 = eam.compute_embedding(&atoms, &[10.0], &mut fp);
+        assert!(e1 < 0.0 && e2 < e1, "embedding must deepen with density");
+    }
+}

@@ -1,0 +1,157 @@
+//! Natural cubic spline tables.
+//!
+//! LAMMPS's `pair_style eam` reads tabulated rho(r), phi(r), F(rho) from a
+//! potential file (the paper uses `Cu_u3.eam`) and evaluates them through
+//! cubic spline interpolation. We reproduce that machinery: the tables here
+//! are filled from analytic generating functions (see `eam.rs`) since the
+//! proprietary-format file is not shipped, but evaluation goes through the
+//! same tabulate-then-spline path.
+
+/// A natural cubic spline over uniformly spaced samples of f on
+/// `[x0, x0 + (n-1)*dx]`.
+#[derive(Debug, Clone)]
+pub struct Spline {
+    x0: f64,
+    dx: f64,
+    inv_dx: f64,
+    y: Vec<f64>,
+    /// Second derivatives at the knots (natural boundary conditions).
+    y2: Vec<f64>,
+}
+
+impl Spline {
+    /// Tabulate `f` at `n >= 4` uniform points starting at `x0` with
+    /// spacing `dx`, and precompute spline coefficients.
+    #[must_use]
+    pub fn tabulate(x0: f64, dx: f64, n: usize, f: impl Fn(f64) -> f64) -> Self {
+        assert!(n >= 4, "need at least 4 knots");
+        assert!(dx > 0.0);
+        let y: Vec<f64> = (0..n).map(|i| f(x0 + i as f64 * dx)).collect();
+        let y2 = Self::second_derivatives(&y, dx);
+        Spline {
+            x0,
+            dx,
+            inv_dx: 1.0 / dx,
+            y,
+            y2,
+        }
+    }
+
+    /// Tridiagonal solve for natural-spline second derivatives.
+    fn second_derivatives(y: &[f64], dx: f64) -> Vec<f64> {
+        let n = y.len();
+        let mut y2 = vec![0.0; n];
+        let mut u = vec![0.0; n];
+        // Natural boundary: y2[0] = y2[n-1] = 0.
+        for i in 1..n - 1 {
+            let sig = 0.5;
+            let p = sig * y2[i - 1] + 2.0;
+            y2[i] = (sig - 1.0) / p;
+            let d2 = (y[i + 1] - 2.0 * y[i] + y[i - 1]) / dx;
+            u[i] = (6.0 * d2 / (2.0 * dx) - sig * u[i - 1]) / p;
+        }
+        for i in (1..n - 1).rev() {
+            y2[i] = y2[i] * y2[i + 1] + u[i];
+        }
+        y2
+    }
+
+    /// Domain upper bound.
+    #[must_use]
+    pub fn x_max(&self) -> f64 {
+        self.x0 + (self.y.len() - 1) as f64 * self.dx
+    }
+
+    /// Interpolated value at `x` (clamped to the table domain, matching
+    /// LAMMPS behaviour for out-of-range densities).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let (i, a, b) = self.locate(x);
+        let h = self.dx;
+        a * self.y[i]
+            + b * self.y[i + 1]
+            + ((a * a * a - a) * self.y2[i] + (b * b * b - b) * self.y2[i + 1]) * (h * h) / 6.0
+    }
+
+    /// Interpolated derivative df/dx at `x`.
+    #[must_use]
+    pub fn eval_deriv(&self, x: f64) -> f64 {
+        let (i, a, b) = self.locate(x);
+        let h = self.dx;
+        (self.y[i + 1] - self.y[i]) / h
+            + ((3.0 * b * b - 1.0) * self.y2[i + 1] - (3.0 * a * a - 1.0) * self.y2[i]) * h / 6.0
+    }
+
+    /// Locate the interval containing `x`; returns (index, a, b) with
+    /// `a + b == 1` barycentric weights.
+    fn locate(&self, x: f64) -> (usize, f64, f64) {
+        let n = self.y.len();
+        let t = ((x - self.x0) * self.inv_dx).clamp(0.0, (n - 1) as f64 - 1e-12);
+        let i = (t.floor() as usize).min(n - 2);
+        let b = t - i as f64;
+        (i, 1.0 - b, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_linear_exactly() {
+        let s = Spline::tabulate(0.0, 0.5, 11, |x| 3.0 * x - 1.0);
+        for &x in &[0.0, 0.3, 1.7, 4.9] {
+            assert!((s.eval(x) - (3.0 * x - 1.0)).abs() < 1e-10);
+            assert!((s.eval_deriv(x) - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn approximates_smooth_function() {
+        let s = Spline::tabulate(0.5, 0.01, 451, |x| (x * 1.3).sin() / x);
+        for i in 0..100 {
+            let x = 0.6 + i as f64 * 0.04;
+            let exact = (x * 1.3).sin() / x;
+            assert!(
+                (s.eval(x) - exact).abs() < 1e-6,
+                "value error at {x}: {} vs {exact}",
+                s.eval(x)
+            );
+            let h = 1e-5;
+            let dnum = ((x + h) * 1.3).sin() / (x + h) - ((x - h) * 1.3).sin() / (x - h);
+            let dnum = dnum / (2.0 * h);
+            assert!(
+                (s.eval_deriv(x) - dnum).abs() < 1e-4,
+                "deriv error at {x}: {} vs {dnum}",
+                s.eval_deriv(x)
+            );
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let s = Spline::tabulate(0.0, 1.0, 5, |x| x * x);
+        assert!((s.eval(-2.0) - s.eval(0.0)).abs() < 1e-12);
+        assert!((s.eval(99.0) - s.eval(4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derivative_consistent_with_value() {
+        let s = Spline::tabulate(1.0, 0.05, 101, |x| (-x).exp());
+        for i in 1..80 {
+            let x = 1.1 + i as f64 * 0.04;
+            let h = 1e-6;
+            let num = (s.eval(x + h) - s.eval(x - h)) / (2.0 * h);
+            assert!(
+                (s.eval_deriv(x) - num).abs() < 1e-6,
+                "spline self-consistency at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn x_max_matches_domain() {
+        let s = Spline::tabulate(2.0, 0.25, 9, |x| x);
+        assert!((s.x_max() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Maxwell-Boltzmann velocity initialization (LAMMPS `velocity create`).
+
+use crate::atom::Atoms;
+use crate::thermo;
+use crate::units::UnitSystem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Initialize local-atom velocities from a Gaussian distribution at
+/// temperature `t_target`, remove the center-of-mass drift, and rescale to
+/// hit the target exactly (matching `velocity all create T seed`).
+///
+/// Deterministic for a given `seed`, independent of atom count changes
+/// elsewhere — each atom's draw is keyed on its global tag so that
+/// decomposed and serial runs of the same system start identically.
+pub fn create_velocities(
+    atoms: &mut Atoms,
+    mass: f64,
+    t_target: f64,
+    units: UnitSystem,
+    seed: u64,
+) {
+    assert!(t_target >= 0.0);
+    let sigma = (units.boltzmann() * t_target / (units.mvv2e() * mass)).sqrt();
+    for i in 0..atoms.nlocal {
+        let mut rng = StdRng::seed_from_u64(seed ^ atoms.tag[i].wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for d in 0..3 {
+            atoms.v[i][d] = sigma * gaussian(&mut rng);
+        }
+    }
+}
+
+/// Remove the aggregate center-of-mass velocity `vcm` from local atoms and
+/// rescale kinetic energy so the *global* system of `natoms_global` atoms
+/// sits exactly at `t_target`. In a decomposed run, `vcm` and
+/// `ke_after_drift` must be globally reduced first; the serial path in
+/// [`finalize_velocities_serial`] does both steps in one call.
+pub fn apply_drift_and_scale(
+    atoms: &mut Atoms,
+    vcm: [f64; 3],
+    ke_after_drift: f64,
+    natoms_global: usize,
+    t_target: f64,
+    units: UnitSystem,
+) {
+    for i in 0..atoms.nlocal {
+        for d in 0..3 {
+            atoms.v[i][d] -= vcm[d];
+        }
+    }
+    if ke_after_drift > 0.0 && t_target > 0.0 {
+        let t_now = thermo::temperature(ke_after_drift, natoms_global, units);
+        let scale = (t_target / t_now).sqrt();
+        for i in 0..atoms.nlocal {
+            for d in 0..3 {
+                atoms.v[i][d] *= scale;
+            }
+        }
+    }
+}
+
+/// Serial convenience: create, de-drift and scale in one call.
+pub fn finalize_velocities_serial(
+    atoms: &mut Atoms,
+    mass: f64,
+    t_target: f64,
+    units: UnitSystem,
+    seed: u64,
+) {
+    create_velocities(atoms, mass, t_target, units, seed);
+    let vcm = center_of_mass_velocity(atoms);
+    let mut shifted = atoms.clone();
+    for i in 0..shifted.nlocal {
+        for d in 0..3 {
+            shifted.v[i][d] -= vcm[d];
+        }
+    }
+    let ke = thermo::kinetic_energy(&shifted, mass, units);
+    apply_drift_and_scale(atoms, vcm, ke, atoms.nlocal, t_target, units);
+}
+
+/// Mean velocity of local atoms (equal masses).
+#[must_use]
+pub fn center_of_mass_velocity(atoms: &Atoms) -> [f64; 3] {
+    let mut v = [0.0; 3];
+    if atoms.nlocal == 0 {
+        return v;
+    }
+    for i in 0..atoms.nlocal {
+        for d in 0..3 {
+            v[d] += atoms.v[i][d];
+        }
+    }
+    for d in &mut v {
+        *d /= atoms.nlocal as f64;
+    }
+    v
+}
+
+/// Box-Muller standard normal deviate.
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(n: usize) -> Atoms {
+        let mut pos = Vec::new();
+        for i in 0..n {
+            pos.push([i as f64, 0.0, 0.0]);
+        }
+        Atoms::from_positions(pos, 1)
+    }
+
+    #[test]
+    fn hits_target_temperature_exactly() {
+        let mut a = block(500);
+        finalize_velocities_serial(&mut a, 1.0, 1.44, UnitSystem::Lj, 42);
+        let ke = thermo::kinetic_energy(&a, 1.0, UnitSystem::Lj);
+        let t = thermo::temperature(ke, a.nlocal, UnitSystem::Lj);
+        assert!((t - 1.44).abs() < 1e-10, "temperature {t}");
+    }
+
+    #[test]
+    fn zero_net_momentum() {
+        let mut a = block(200);
+        finalize_velocities_serial(&mut a, 1.0, 2.0, UnitSystem::Lj, 7);
+        let vcm = center_of_mass_velocity(&a);
+        for d in 0..3 {
+            assert!(vcm[d].abs() < 1e-12, "residual drift {vcm:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_tag_keyed() {
+        let mut a1 = block(50);
+        let mut a2 = block(50);
+        create_velocities(&mut a1, 1.0, 1.0, UnitSystem::Lj, 99);
+        create_velocities(&mut a2, 1.0, 1.0, UnitSystem::Lj, 99);
+        assert_eq!(a1.v, a2.v);
+        // Different seed gives different velocities.
+        let mut a3 = block(50);
+        create_velocities(&mut a3, 1.0, 1.0, UnitSystem::Lj, 100);
+        assert_ne!(a1.v, a3.v);
+    }
+
+    #[test]
+    fn tag_keying_is_decomposition_invariant() {
+        // The same tags produce the same draws regardless of local ordering.
+        let mut whole = block(10);
+        create_velocities(&mut whole, 1.0, 1.5, UnitSystem::Lj, 5);
+        // A "rank" holding only atoms 6..10 (same tags).
+        let mut part = Atoms::from_positions(
+            (6..10).map(|i| [i as f64, 0.0, 0.0]).collect(),
+            7, // tags 7,8,9,10 — matches whole.tag[6..10]
+        );
+        create_velocities(&mut part, 1.0, 1.5, UnitSystem::Lj, 5);
+        for (k, i) in (6..10).enumerate() {
+            assert_eq!(whole.v[i], part.v[k]);
+        }
+    }
+
+    #[test]
+    fn zero_temperature_means_zero_velocities() {
+        let mut a = block(20);
+        finalize_velocities_serial(&mut a, 1.0, 0.0, UnitSystem::Lj, 3);
+        for i in 0..a.nlocal {
+            assert_eq!(a.v[i], [0.0; 3]);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! An MPI-like two-sided message layer over the simulated TofuD fabric.
+//!
+//! This is the *baseline* transport the paper optimizes away from: every
+//! message pays the heavy software stack (per-message posting cost,
+//! fragmentation above the eager limit, receiver-side tag matching, and a
+//! bounce-buffer copy on delivery). The uTofu path in `tofumd-core`
+//! bypasses all of it with pre-registered one-sided puts.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tofumd_tofu::{wait_arrivals, Stadd, TofuNet, TNIS_PER_NODE};
+
+/// Per-destination bounce-buffer capacity. Stage traffic into one rank must
+/// fit; the bump allocator panics otherwise (a real MPI would fall back to
+/// rendezvous flow control).
+const MAILBOX_BYTES: usize = 4 << 20;
+
+/// A communicator over `nranks` ranks placed `ranks_per_node` to a node.
+pub struct Communicator {
+    net: Arc<TofuNet>,
+    nranks: usize,
+    ranks_per_node: usize,
+    /// Bounce buffer (registered region) per rank.
+    mailbox: Vec<Stadd>,
+    /// Bump-allocation offset per rank's mailbox.
+    bump: Vec<Mutex<usize>>,
+}
+
+/// A received message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecvMsg {
+    /// Payload bytes (already copied out of the bounce buffer).
+    pub data: Vec<u8>,
+    /// Sender rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: u32,
+    /// Receiver's clock after matching and copying.
+    pub now: f64,
+}
+
+impl Communicator {
+    /// Build a communicator; registers one mailbox per rank.
+    #[must_use]
+    pub fn new(net: Arc<TofuNet>, nranks: usize, ranks_per_node: usize) -> Self {
+        assert!(nranks > 0 && ranks_per_node > 0);
+        assert!(
+            nranks.div_ceil(ranks_per_node) <= net.node_count(),
+            "not enough nodes for {nranks} ranks at {ranks_per_node}/node"
+        );
+        let mut mailbox = Vec::with_capacity(nranks);
+        let mut bump = Vec::with_capacity(nranks);
+        for r in 0..nranks {
+            let node = r / ranks_per_node;
+            let (stadd, _cost) = net.register_mem(node, MAILBOX_BYTES);
+            mailbox.push(stadd);
+            bump.push(Mutex::new(0));
+        }
+        Communicator {
+            net,
+            nranks,
+            ranks_per_node,
+            mailbox,
+            bump,
+        }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Ranks per node.
+    #[must_use]
+    pub fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
+    /// Node hosting a rank.
+    #[must_use]
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node
+    }
+
+    /// The underlying fabric.
+    #[must_use]
+    pub fn net(&self) -> &Arc<TofuNet> {
+        &self.net
+    }
+
+    /// Network hops between two ranks' nodes.
+    #[must_use]
+    pub fn hops_between(&self, a: usize, b: usize) -> u32 {
+        self.net.hops(self.node_of(a), self.node_of(b))
+    }
+
+    /// Reset all mailbox bump allocators (call once per timestep from the
+    /// lockstep driver, after all receives completed).
+    pub fn reset_mailboxes(&self) {
+        for b in &self.bump {
+            *b.lock() = 0;
+        }
+    }
+
+    /// Buffered send (MPI_Isend + the implementation's eager/rendezvous
+    /// protocol). Advances `*now` by the sender-side software cost and
+    /// returns immediately; the message is matched by `(src, tag)`.
+    pub fn send(&self, src: usize, dst: usize, tag: u32, data: &[u8], now: &mut f64) {
+        let p = *self.net.params();
+        let bytes = data.len();
+        // Fragmentation: each eager fragment pays the per-message CPU cost.
+        let frags = bytes.div_ceil(p.mpi_eager_limit).max(1);
+        *now += p.cpu_per_put_mpi * frags as f64;
+        // Rendezvous handshake for large transfers: one extra round trip
+        // before data moves.
+        let hops = self.hops_between(src, dst);
+        if bytes > p.mpi_eager_limit {
+            *now += 2.0 * p.wire_time(0, hops);
+        }
+        // Reserve mailbox space on the receiver.
+        let offset = {
+            let mut b = self.bump[dst].lock();
+            let off = *b;
+            assert!(
+                off + bytes <= MAILBOX_BYTES,
+                "mailbox overflow on rank {dst}: stage traffic exceeds {MAILBOX_BYTES} bytes"
+            );
+            *b += bytes.max(1);
+            off
+        };
+        // MPI internally spreads ranks over TNIs.
+        let tni = src % TNIS_PER_NODE;
+        self.net.put(tofumd_tofu::PutRequest {
+            src_node: self.node_of(src),
+            tni,
+            dst_node: self.node_of(dst),
+            dst_stadd: self.mailbox[dst],
+            dst_offset: offset,
+            data,
+            piggyback: u64::from(tag),
+            src_rank: src as u32,
+            now: *now,
+            cache_injection: false,
+        });
+    }
+
+    /// Blocking receive of one message matching `(src, tag)`. Returns the
+    /// payload and advances the receiver clock past arrival + matching +
+    /// bounce-buffer copy.
+    #[must_use]
+    pub fn recv(&self, dst: usize, src: usize, tag: u32, now: f64) -> RecvMsg {
+        let p = *self.net.params();
+        let node = self.node_of(dst);
+        let (mut arr, t) = wait_arrivals(&self.net, node, now, 1, |a| {
+            a.src_rank == src as u32 && a.piggyback == u64::from(tag) && a.stadd == self.mailbox[dst]
+        });
+        let a = arr.pop().expect("wait_arrivals returned empty");
+        let data = self.net.read_local(node, a.stadd, a.offset, a.len);
+        let now = t + p.mpi_match_cost + p.pack_cost(a.len);
+        RecvMsg {
+            data,
+            src,
+            tag,
+            now,
+        }
+    }
+
+    /// Receive `count` messages with tag `tag` from any source; returns them
+    /// with the advanced clock.
+    #[must_use]
+    pub fn recv_any(&self, dst: usize, tag: u32, count: usize, now: f64) -> (Vec<RecvMsg>, f64) {
+        let p = *self.net.params();
+        let node = self.node_of(dst);
+        let (arrs, t) = wait_arrivals(&self.net, node, now, count, |a| {
+            a.piggyback == u64::from(tag) && a.stadd == self.mailbox[dst]
+        });
+        let mut clock = t + (p.mpi_match_cost * arrs.len() as f64);
+        let msgs = arrs
+            .into_iter()
+            .map(|a| {
+                clock += p.pack_cost(a.len);
+                RecvMsg {
+                    data: self.net.read_local(node, a.stadd, a.offset, a.len),
+                    src: a.src_rank as usize,
+                    tag,
+                    now: clock,
+                }
+            })
+            .collect();
+        (msgs, clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tofumd_tofu::{CellGrid, NetParams};
+
+    fn comm(nranks: usize) -> Communicator {
+        let net = Arc::new(TofuNet::new(CellGrid::new([2, 2, 2]), NetParams::default()));
+        Communicator::new(net, nranks, 4)
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let c = comm(8);
+        let mut now = 0.0;
+        c.send(0, 5, 7, &[1, 2, 3], &mut now);
+        assert!(now > 0.0, "send must charge CPU time");
+        let m = c.recv(5, 0, 7, 0.0);
+        assert_eq!(m.data, vec![1, 2, 3]);
+        assert!(m.now > now, "receive completes after send");
+    }
+
+    #[test]
+    fn tags_are_matched() {
+        let c = comm(8);
+        let mut now = 0.0;
+        c.send(0, 1, 10, &[0xAA], &mut now);
+        c.send(0, 1, 11, &[0xBB], &mut now);
+        // Receive in reverse tag order.
+        let m11 = c.recv(1, 0, 11, 0.0);
+        let m10 = c.recv(1, 0, 10, 0.0);
+        assert_eq!(m11.data, vec![0xBB]);
+        assert_eq!(m10.data, vec![0xAA]);
+    }
+
+    #[test]
+    fn rendezvous_is_slower_per_byte_started() {
+        let c = comm(8);
+        let eager = c.net().params().mpi_eager_limit;
+        let mut t_small = 0.0;
+        c.send(0, 4, 1, &vec![0u8; eager], &mut t_small);
+        let mut t_big = 0.0;
+        c.send(2, 4, 2, &vec![0u8; eager + 1], &mut t_big);
+        assert!(
+            t_big > t_small,
+            "rendezvous + fragmentation must cost extra sender time"
+        );
+    }
+
+    #[test]
+    fn recv_any_collects_from_all_sources() {
+        let c = comm(8);
+        for src in 1..4 {
+            let mut now = 0.0;
+            c.send(src, 0, 42, &[src as u8], &mut now);
+        }
+        let (msgs, t) = c.recv_any(0, 42, 3, 0.0);
+        assert_eq!(msgs.len(), 3);
+        assert!(t > 0.0);
+        let mut srcs: Vec<_> = msgs.iter().map(|m| m.src).collect();
+        srcs.sort_unstable();
+        assert_eq!(srcs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mailbox_reset_allows_reuse() {
+        let c = comm(4);
+        for step in 0..10 {
+            let mut now = 0.0;
+            c.send(1, 0, step, &vec![7u8; 1 << 20], &mut now);
+            let m = c.recv(0, 1, step, 0.0);
+            assert_eq!(m.data.len(), 1 << 20);
+            c.reset_mailboxes();
+        }
+    }
+
+    #[test]
+    fn rank_node_mapping() {
+        let c = comm(16);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(3), 0);
+        assert_eq!(c.node_of(4), 1);
+        assert_eq!(c.hops_between(0, 1), 0, "same node");
+        assert!(c.hops_between(0, 15) > 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-step virtual-time tracing and load-imbalance statistics.
+//!
+//! The paper's strong-scaling regime leaves ~2 atoms per core, so the
+//! slowest rank — not the mean — gates every stage. This module records a
+//! per-step stage timeline from a [`crate::Cluster`] run and summarizes
+//! stage shares, step-to-step variation (reneighbor steps stand out), and
+//! the max/mean rank imbalance.
+
+use crate::cluster::StageBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// One step's stage record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Timestep number.
+    pub step: u64,
+    /// Stage durations for this step (mean over ranks).
+    pub stages: [f64; 5],
+    /// Slowest-rank clock advance this step.
+    pub max_clock_delta: f64,
+    /// Whether a neighbor rebuild (exchange + border + list) ran.
+    pub rebuilt: bool,
+}
+
+/// A recorded run trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Per-step records in order.
+    pub steps: Vec<StepRecord>,
+}
+
+/// Stage names in breakdown order.
+pub const STAGE_NAMES: [&str; 5] = ["Pair", "Neigh", "Comm", "Modify", "Other"];
+
+impl Trace {
+    /// Record count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when no steps were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, rec: StepRecord) {
+        self.steps.push(rec);
+    }
+
+    /// Mean breakdown over all recorded steps.
+    #[must_use]
+    pub fn mean(&self) -> StageBreakdown {
+        let n = self.steps.len().max(1) as f64;
+        let mut sum = [0.0; 5];
+        for r in &self.steps {
+            for (s, v) in sum.iter_mut().zip(&r.stages) {
+                *s += v;
+            }
+        }
+        StageBreakdown {
+            pair: sum[0] / n,
+            neigh: sum[1] / n,
+            comm: sum[2] / n,
+            modify: sum[3] / n,
+            other: sum[4] / n,
+        }
+    }
+
+    /// Per-stage (min, mean, max) across steps.
+    #[must_use]
+    pub fn stage_stats(&self) -> [(f64, f64, f64); 5] {
+        let mut out = [(f64::INFINITY, 0.0, f64::NEG_INFINITY); 5];
+        if self.steps.is_empty() {
+            return [(0.0, 0.0, 0.0); 5];
+        }
+        for r in &self.steps {
+            for (o, v) in out.iter_mut().zip(&r.stages) {
+                o.0 = o.0.min(*v);
+                o.1 += v;
+                o.2 = o.2.max(*v);
+            }
+        }
+        for o in &mut out {
+            o.1 /= self.steps.len() as f64;
+        }
+        out
+    }
+
+    /// Ratio of the mean rebuild-step total to the mean plain-step total —
+    /// how much a reneighbor step costs relative to a forward step.
+    #[must_use]
+    pub fn rebuild_cost_ratio(&self) -> Option<f64> {
+        let total = |r: &StepRecord| r.stages.iter().sum::<f64>();
+        let (mut rb, mut nrb, mut crb, mut cnrb) = (0.0, 0.0, 0u32, 0u32);
+        for r in &self.steps {
+            if r.rebuilt {
+                rb += total(r);
+                crb += 1;
+            } else {
+                nrb += total(r);
+                cnrb += 1;
+            }
+        }
+        if crb == 0 || cnrb == 0 {
+            return None;
+        }
+        Some((rb / f64::from(crb)) / (nrb / f64::from(cnrb)))
+    }
+
+    /// Render a compact text report.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let stats = self.stage_stats();
+        out.push_str("stage   min        mean       max (per step)\n");
+        for (name, (mn, mean, mx)) in STAGE_NAMES.iter().zip(stats) {
+            out.push_str(&format!(
+                "{name:<7} {:>8.2}us {:>8.2}us {:>8.2}us\n",
+                mn * 1e6,
+                mean * 1e6,
+                mx * 1e6
+            ));
+        }
+        if let Some(ratio) = self.rebuild_cost_ratio() {
+            out.push_str(&format!(
+                "reneighbor steps cost {ratio:.2}x a forward step\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: u64, comm: f64, rebuilt: bool) -> StepRecord {
+        StepRecord {
+            step,
+            stages: [10e-6, if rebuilt { 5e-6 } else { 0.0 }, comm, 2e-6, 1e-6],
+            max_clock_delta: 20e-6,
+            rebuilt,
+        }
+    }
+
+    #[test]
+    fn mean_over_steps() {
+        let mut t = Trace::default();
+        t.push(rec(1, 4e-6, false));
+        t.push(rec(2, 8e-6, false));
+        let m = t.mean();
+        assert!((m.comm - 6e-6).abs() < 1e-18);
+        assert!((m.pair - 10e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn stats_track_extremes() {
+        let mut t = Trace::default();
+        t.push(rec(1, 4e-6, false));
+        t.push(rec(2, 8e-6, true));
+        let s = t.stage_stats();
+        assert_eq!(s[2].0, 4e-6);
+        assert_eq!(s[2].2, 8e-6);
+    }
+
+    #[test]
+    fn rebuild_ratio_requires_both_kinds() {
+        let mut t = Trace::default();
+        t.push(rec(1, 4e-6, false));
+        assert!(t.rebuild_cost_ratio().is_none());
+        t.push(rec(2, 4e-6, true));
+        let r = t.rebuild_cost_ratio().unwrap();
+        assert!(r > 1.0, "rebuild steps carry the Neigh cost: {r}");
+    }
+
+    #[test]
+    fn report_renders_all_stages() {
+        let mut t = Trace::default();
+        t.push(rec(1, 4e-6, false));
+        let rep = t.report();
+        for name in STAGE_NAMES {
+            assert!(rep.contains(name), "missing {name} in report");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.stage_stats(), [(0.0, 0.0, 0.0); 5]);
+        assert_eq!(t.mean().total(), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! A test-and-test-and-set spin lock with exponential backoff.
+//!
+//! The paper replaces OpenMP's fork/join with a "spin lock thread pool"
+//! (§3.3) whose startup/synchronization overhead it measures at 1.1 us vs
+//! OpenMP's 5.8 us. This module provides the lock primitive; the pool
+//! built on busy-wait signalling lives in [`crate::pool`].
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A spin lock guarding a value of type `T`.
+///
+/// Intended for very short critical sections on dedicated cores (the HPC
+/// setting of the paper); it never parks the thread.
+pub struct SpinLock<T> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides exclusive access to the value; `T: Send` is
+// required to move values between threads.
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+unsafe impl<T: Send> Send for SpinLock<T> {}
+
+/// RAII guard; releases the lock on drop.
+pub struct SpinGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> SpinLock<T> {
+    /// Wrap a value in a new, unlocked lock.
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        SpinLock {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire the lock, spinning with test-and-test-and-set + backoff.
+    pub fn lock(&self) -> SpinGuard<'_, T> {
+        let mut spins = 0u32;
+        loop {
+            // Cheap read-only test first to avoid cache-line ping-pong.
+            while self.locked.load(Ordering::Relaxed) {
+                for _ in 0..(1 << spins.min(6)) {
+                    std::hint::spin_loop();
+                }
+                spins = spins.saturating_add(1);
+            }
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return SpinGuard { lock: self };
+            }
+        }
+    }
+
+    /// Try to acquire without spinning.
+    pub fn try_lock(&self) -> Option<SpinGuard<'_, T>> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(SpinGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard holds the lock exclusively.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_mutual_exclusion() {
+        let lock = Arc::new(SpinLock::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = lock.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *l.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), 40_000);
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let lock = SpinLock::new(5);
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(g);
+        assert_eq!(*lock.try_lock().unwrap(), 5);
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        let lock = SpinLock::new(vec![1, 2, 3]);
+        *lock.lock() = vec![9];
+        assert_eq!(lock.into_inner(), vec![9]);
+    }
+
+    #[test]
+    fn guard_releases_on_panic() {
+        let lock = Arc::new(SpinLock::new(0));
+        let l = lock.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l.lock();
+            panic!("poisoning check");
+        })
+        .join();
+        // Spin locks don't poison; the lock must be reacquirable.
+        assert_eq!(*lock.lock(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # tofumd-tofu — TofuD network + uTofu interface simulator
+//!
+//! A software stand-in for the Fugaku interconnect the paper builds on:
+//!
+//! * the 6D mesh/torus topology with its folded virtual-3D-torus view and
+//!   hop metric ([`topology`]),
+//! * shelf-unit job allocation with physical-coordinate queries ([`alloc`]),
+//! * per-node registered memory with modeled registration costs ([`mem`]),
+//! * the fabric itself — 6 TNIs per node with injection serialization,
+//!   RDMA put/get that move real bytes, MRQ notifications, piggyback
+//!   payloads and cache injection ([`net`]),
+//! * the uTofu-style VCQ user API whose `&mut`-based operations encode the
+//!   "CQs are not thread-safe" constraint the paper designs around
+//!   ([`rdma`]),
+//! * a calibrated timing model with every constant sourced from the paper
+//!   or the TofuD paper ([`timing`]).
+//!
+//! Virtual time: callers thread an `f64` clock through operations; the
+//! fabric accounts injection serialization per TNI and wire time per
+//! message. Real payload bytes are stored and copied — data correctness and
+//! timing fidelity are separated concerns.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tofumd_tofu::{wait_arrivals, CellGrid, NetParams, TofuNet, Vcq};
+//!
+//! // One TofuD cell: 12 nodes in the 2x3x2 block.
+//! let net = Arc::new(TofuNet::new(CellGrid::new([1, 1, 1]), NetParams::default()));
+//! // Register a receive region on node 3 and put 4 bytes into it.
+//! let (stadd, _reg_cost) = net.register_mem(3, 64);
+//! let mut vcq = Vcq::create(net.clone(), 0, 0, 7).unwrap();
+//! let mut clock = 0.0;
+//! let r = vcq.put(&mut clock, 3, stadd, 16, &[1, 2, 3, 4], 0xBEEF, true);
+//! assert!(r.remote_arrival > 0.0);
+//! // The receiver polls its MRQ and reads the bytes.
+//! let (arrivals, _now) = wait_arrivals(&net, 3, 0.0, 1, |a| a.piggyback == 0xBEEF);
+//! assert_eq!(arrivals[0].len, 4);
+//! assert_eq!(net.read_local(3, stadd, 16, 4), vec![1, 2, 3, 4]);
+//! ```
+
+#![warn(missing_docs)]
+// Dimension loops (`for d in 0..3`) index by physical dimension on fixed
+// [f64; 3] vectors; the index is the semantics, so the iterator rewrite the
+// lint suggests would be less clear.
+#![allow(clippy::needless_range_loop)]
+
+pub mod alloc;
+pub mod congestion;
+pub mod mem;
+pub mod net;
+pub mod rdma;
+pub mod timing;
+pub mod topology;
+
+pub use alloc::{AllocError, JobAllocation, SHELF_NODES};
+pub use congestion::CongestionModel;
+pub use mem::{MemRegistry, Stadd};
+pub use net::{Arrival, CqExhausted, PutRequest, PutResult, TofuNet, CQS_PER_TNI, TNIS_PER_NODE};
+pub use rdma::{wait_arrivals, Vcq};
+pub use timing::NetParams;
+pub use topology::{CellGrid, TofuCoord, CELL_DIMS, PAPER_NODE_MESHES};

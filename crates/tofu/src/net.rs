@@ -1,0 +1,484 @@
+//! The simulated fabric: nodes, TNIs, message delivery, virtual time.
+//!
+//! Real bytes move (puts copy into the destination node's registered
+//! memory) and virtual time advances through the [`NetParams`] model: each
+//! TNI serializes its injections, each message pays latency proportional to
+//! its folded-torus hop count plus a bandwidth term, and receivers observe
+//! arrivals through a notification queue (the uTofu MRQ).
+//!
+//! The fabric is thread-safe (per-node locks) but the intended use is the
+//! bulk-synchronous lockstep of `tofumd-runtime`: within one communication
+//! stage every rank first posts its sends, then resolves its receives.
+
+use crate::mem::{MemRegistry, Stadd};
+use crate::timing::NetParams;
+use crate::topology::CellGrid;
+use parking_lot::Mutex;
+
+/// Number of TNIs per node (§2.2).
+pub const TNIS_PER_NODE: usize = 6;
+/// Control queues per TNI (§3.3, Fig. 7).
+pub const CQS_PER_TNI: usize = 9;
+
+/// A remote-arrival notification (uTofu MRQ entry).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Virtual time at which the payload is fully visible at the receiver.
+    pub time: f64,
+    /// Sender's node id.
+    pub src_node: usize,
+    /// Sender-chosen tag identifying the logical source (we use global rank
+    /// ids); uTofu encodes this in the message descriptor.
+    pub src_rank: u32,
+    /// Destination region and range that was written.
+    pub stadd: Stadd,
+    /// Offset written within the region.
+    pub offset: usize,
+    /// Bytes written.
+    pub len: usize,
+    /// 8-byte piggyback payload embedded in the descriptor (§3.4 uses this
+    /// to carry the ghost-offset without a separate buffer write).
+    pub piggyback: u64,
+}
+
+/// Per-node fabric state.
+struct NodeState {
+    mem: Mutex<MemRegistry>,
+    /// Next-free injection time per TNI — this is where contention between
+    /// ranks/threads sharing a TNI materializes.
+    tni_free: Mutex<[f64; TNIS_PER_NODE]>,
+    /// Allocated CQ count per TNI.
+    cq_alloc: Mutex<[u8; TNIS_PER_NODE]>,
+    /// Arrived-but-unconsumed notifications.
+    mrq: Mutex<Vec<Arrival>>,
+}
+
+impl NodeState {
+    fn new() -> Self {
+        NodeState {
+            mem: Mutex::new(MemRegistry::default()),
+            tni_free: Mutex::new([0.0; TNIS_PER_NODE]),
+            cq_alloc: Mutex::new([0; TNIS_PER_NODE]),
+            mrq: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// One put request. `now` is the *caller's* virtual clock at the moment the
+/// descriptor reaches the TNI (any CPU posting cost must be charged by the
+/// caller beforehand — see `Vcq` in [`crate::rdma`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PutRequest<'a> {
+    /// Injecting node.
+    pub src_node: usize,
+    /// TNI the descriptor is posted to (0..6).
+    pub tni: usize,
+    /// Destination node.
+    pub dst_node: usize,
+    /// Destination registered region.
+    pub dst_stadd: Stadd,
+    /// Byte offset within the destination region.
+    pub dst_offset: usize,
+    /// Payload (may be empty for piggyback-only descriptors).
+    pub data: &'a [u8],
+    /// 8-byte descriptor-embedded payload.
+    pub piggyback: u64,
+    /// Sender-chosen logical-source tag.
+    pub src_rank: u32,
+    /// Caller's virtual clock when the descriptor reaches the TNI.
+    pub now: f64,
+    /// Use TofuD cache injection on the receive side.
+    pub cache_injection: bool,
+}
+
+/// Times produced by a put.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PutResult {
+    /// When the sender's TNI finished injecting (TCQ local completion; the
+    /// send buffer may be reused after this).
+    pub local_complete: f64,
+    /// When the payload is visible at the receiver.
+    pub remote_arrival: f64,
+}
+
+/// The simulated TofuD machine.
+pub struct TofuNet {
+    grid: CellGrid,
+    params: NetParams,
+    nodes: Vec<NodeState>,
+}
+
+impl TofuNet {
+    /// Build a fabric over a cell grid.
+    #[must_use]
+    pub fn new(grid: CellGrid, params: NetParams) -> Self {
+        let n = grid.node_count();
+        TofuNet {
+            grid,
+            params,
+            nodes: (0..n).map(|_| NodeState::new()).collect(),
+        }
+    }
+
+    /// The cell grid (for hop computations and rank mapping).
+    #[must_use]
+    pub fn grid(&self) -> &CellGrid {
+        &self.grid
+    }
+
+    /// The timing model in force.
+    #[must_use]
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+
+    /// Node count.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Hop count between two node ids on the folded torus.
+    #[must_use]
+    pub fn hops(&self, a: usize, b: usize) -> u32 {
+        self.grid.hops(self.grid.mesh_of_id(a), self.grid.mesh_of_id(b))
+    }
+
+    /// Allocate one CQ on `(node, tni)`; errors when the TNI's 9 CQs are
+    /// exhausted. Returns the CQ index.
+    pub fn allocate_cq(&self, node: usize, tni: usize) -> Result<usize, CqExhausted> {
+        let mut alloc = self.nodes[node].cq_alloc.lock();
+        let used = &mut alloc[tni];
+        if (*used as usize) >= CQS_PER_TNI {
+            return Err(CqExhausted { node, tni });
+        }
+        *used += 1;
+        Ok(usize::from(*used) - 1)
+    }
+
+    /// Register memory on a node; returns the handle and the modeled cost.
+    pub fn register_mem(&self, node: usize, len: usize) -> (Stadd, f64) {
+        self.nodes[node].mem.lock().register(len, &self.params)
+    }
+
+    /// Grow a registered region (dynamic expansion, baseline behaviour).
+    pub fn grow_mem(&self, node: usize, stadd: Stadd, new_len: usize) -> f64 {
+        self.nodes[node].mem.lock().grow(stadd, new_len, &self.params)
+    }
+
+    /// Write directly into one's own registered region (packing).
+    pub fn write_local(&self, node: usize, stadd: Stadd, offset: usize, data: &[u8]) {
+        self.nodes[node].mem.lock().write(stadd, offset, data);
+    }
+
+    /// Read from one's own registered region (unpacking).
+    pub fn read_local(&self, node: usize, stadd: Stadd, offset: usize, len: usize) -> Vec<u8> {
+        self.nodes[node].mem.lock().read(stadd, offset, len).to_vec()
+    }
+
+    /// Total modeled registration cost accumulated on a node.
+    #[must_use]
+    pub fn registration_cost_of(&self, node: usize) -> f64 {
+        self.nodes[node].mem.lock().total_reg_cost
+    }
+
+    /// Registration call count on a node.
+    #[must_use]
+    pub fn registration_calls_of(&self, node: usize) -> u64 {
+        self.nodes[node].mem.lock().reg_calls
+    }
+
+    /// Execute an RDMA put: serialize on the source TNI, copy the payload
+    /// into the destination region, enqueue the MRQ notification.
+    pub fn put(&self, req: PutRequest<'_>) -> PutResult {
+        assert!(req.tni < TNIS_PER_NODE, "TNI index out of range");
+        let bytes = req.data.len();
+        // Injection serialization on the source TNI.
+        let inject_start = {
+            let mut free = self.nodes[req.src_node].tni_free.lock();
+            let start = free[req.tni].max(req.now);
+            free[req.tni] = start + self.params.tni_occupancy(bytes);
+            start
+        };
+        let local_complete = inject_start + self.params.tni_occupancy(bytes);
+        let hops = self.hops(req.src_node, req.dst_node);
+        let mut remote_arrival = inject_start + self.params.wire_time(bytes, hops);
+        if req.cache_injection {
+            remote_arrival -= self.params.cache_injection_saving;
+        }
+        // Move the real bytes.
+        if bytes > 0 {
+            self.nodes[req.dst_node]
+                .mem
+                .lock()
+                .write(req.dst_stadd, req.dst_offset, req.data);
+        }
+        self.nodes[req.dst_node].mrq.lock().push(Arrival {
+            time: remote_arrival,
+            src_node: req.src_node,
+            src_rank: req.src_rank,
+            stadd: req.dst_stadd,
+            offset: req.dst_offset,
+            len: bytes,
+            piggyback: req.piggyback,
+        });
+        PutResult {
+            local_complete,
+            remote_arrival,
+        }
+    }
+
+    /// Execute an RDMA get: fetch `len` bytes from the remote region. Costs
+    /// a round trip (request + response) on the wire.
+    /// (The argument list mirrors utofu_get's descriptor fields.)
+    #[allow(clippy::too_many_arguments)]
+    pub fn get(
+        &self,
+        src_node: usize,
+        tni: usize,
+        dst_node: usize,
+        dst_stadd: Stadd,
+        dst_offset: usize,
+        len: usize,
+        now: f64,
+    ) -> (Vec<u8>, f64) {
+        let inject_start = {
+            let mut free = self.nodes[src_node].tni_free.lock();
+            let start = free[tni].max(now);
+            free[tni] = start + self.params.tni_occupancy(0);
+            start
+        };
+        let hops = self.hops(src_node, dst_node);
+        let complete =
+            inject_start + self.params.wire_time(0, hops) + self.params.wire_time(len, hops);
+        let data = self.nodes[dst_node]
+            .mem
+            .lock()
+            .read(dst_stadd, dst_offset, len)
+            .to_vec();
+        (data, complete)
+    }
+
+    /// Take *all* currently queued arrivals on `node` that match `pred`.
+    /// (In the lockstep driver, all sends of a stage precede all receives,
+    /// so everything a stage expects is already queued.)
+    pub fn take_arrivals(&self, node: usize, mut pred: impl FnMut(&Arrival) -> bool) -> Vec<Arrival> {
+        let mut mrq = self.nodes[node].mrq.lock();
+        let mut taken = Vec::new();
+        let mut i = 0;
+        while i < mrq.len() {
+            if pred(&mrq[i]) {
+                taken.push(mrq.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        taken
+    }
+
+    /// Number of queued (undelivered) notifications on a node.
+    #[must_use]
+    pub fn pending_arrivals(&self, node: usize) -> usize {
+        self.nodes[node].mrq.lock().len()
+    }
+
+    /// Reset all TNI injection clocks (between benchmark repetitions).
+    pub fn reset_clocks(&self) {
+        for n in &self.nodes {
+            *n.tni_free.lock() = [0.0; TNIS_PER_NODE];
+        }
+    }
+}
+
+/// Error: a TNI's 9 control queues are all allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CqExhausted {
+    /// Node whose TNI ran out of CQs.
+    pub node: usize,
+    /// The exhausted TNI.
+    pub tni: usize,
+}
+
+impl std::fmt::Display for CqExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "all {CQS_PER_TNI} CQs of TNI {} on node {} are allocated",
+            self.tni, self.node
+        )
+    }
+}
+
+impl std::error::Error for CqExhausted {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::CellGrid;
+
+    fn small_net() -> TofuNet {
+        TofuNet::new(CellGrid::new([2, 2, 2]), NetParams::default())
+    }
+
+    #[test]
+    fn put_moves_bytes_and_notifies() {
+        let net = small_net();
+        let (dst, _) = net.register_mem(1, 64);
+        let r = net.put(PutRequest {
+            src_node: 0,
+            tni: 0,
+            dst_node: 1,
+            dst_stadd: dst,
+            dst_offset: 8,
+            data: &[5, 6, 7],
+            piggyback: 42,
+            src_rank: 0,
+            now: 0.0,
+            cache_injection: false,
+        });
+        assert!(r.remote_arrival > 0.0);
+        assert!(r.local_complete <= r.remote_arrival);
+        assert_eq!(net.read_local(1, dst, 8, 3), vec![5, 6, 7]);
+        let a = net.take_arrivals(1, |_| true);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].piggyback, 42);
+        assert_eq!(net.pending_arrivals(1), 0);
+    }
+
+    #[test]
+    fn tni_serializes_injections() {
+        let net = small_net();
+        let (dst, _) = net.register_mem(1, 1 << 21);
+        let big = vec![0u8; 1 << 20];
+        let mk = |off| PutRequest {
+            src_node: 0,
+            tni: 2,
+            dst_node: 1,
+            dst_stadd: dst,
+            dst_offset: off,
+            data: &big,
+            piggyback: 0,
+            src_rank: 0,
+            now: 0.0,
+            cache_injection: false,
+        };
+        let r1 = net.put(mk(0));
+        let r2 = net.put(mk(1 << 20));
+        // Second message cannot start injecting before the first finished.
+        assert!(
+            r2.remote_arrival >= r1.local_complete,
+            "no TNI pipelining of full-size messages"
+        );
+    }
+
+    #[test]
+    fn different_tnis_inject_in_parallel() {
+        let net = small_net();
+        let (dst, _) = net.register_mem(1, 2 << 20);
+        let big = vec![0u8; 1 << 20];
+        let mk = |tni, off| PutRequest {
+            src_node: 0,
+            tni,
+            dst_node: 1,
+            dst_stadd: dst,
+            dst_offset: off,
+            data: &big,
+            piggyback: 0,
+            src_rank: 0,
+            now: 0.0,
+            cache_injection: false,
+        };
+        let r1 = net.put(mk(0, 0));
+        let r2 = net.put(mk(1, 1 << 20));
+        // Same start time: same arrival (the 6-TNI parallelism of §2.2).
+        assert!((r1.remote_arrival - r2.remote_arrival).abs() < 1e-12);
+    }
+
+    #[test]
+    fn farther_nodes_take_longer() {
+        let net = small_net(); // mesh 4 x 6 x 4
+        let (d1, _) = net.register_mem(1, 8);
+        let far = net.node_count() / 2 + 1;
+        let (d2, _) = net.register_mem(far, 8);
+        let mk = |dst_node, stadd, tni| PutRequest {
+            src_node: 0,
+            tni,
+            dst_node,
+            dst_stadd: stadd,
+            dst_offset: 0,
+            data: &[1],
+            piggyback: 0,
+            src_rank: 0,
+            now: 0.0,
+            cache_injection: false,
+        };
+        let near = net.put(mk(1, d1, 0));
+        let farr = net.put(mk(far, d2, 1));
+        assert!(farr.remote_arrival > near.remote_arrival);
+    }
+
+    #[test]
+    fn cq_allocation_exhausts_at_nine() {
+        let net = small_net();
+        for i in 0..CQS_PER_TNI {
+            assert_eq!(net.allocate_cq(0, 0).unwrap(), i);
+        }
+        assert!(net.allocate_cq(0, 0).is_err());
+        // Other TNIs unaffected.
+        assert_eq!(net.allocate_cq(0, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn cache_injection_reduces_latency() {
+        let net = small_net();
+        let (dst, _) = net.register_mem(1, 16);
+        let mk = |ci, tni| PutRequest {
+            src_node: 0,
+            tni,
+            dst_node: 1,
+            dst_stadd: dst,
+            dst_offset: 0,
+            data: &[1, 2],
+            piggyback: 0,
+            src_rank: 0,
+            now: 0.0,
+            cache_injection: ci,
+        };
+        let plain = net.put(mk(false, 0));
+        let ci = net.put(mk(true, 1));
+        assert!(ci.remote_arrival < plain.remote_arrival);
+    }
+
+    #[test]
+    fn get_round_trips() {
+        let net = small_net();
+        let (dst, _) = net.register_mem(1, 8);
+        net.write_local(1, dst, 0, &[9, 8, 7, 6]);
+        let (data, t) = net.get(0, 0, 1, dst, 1, 2, 0.0);
+        assert_eq!(data, vec![8, 7]);
+        // Round trip: at least twice the one-way base latency.
+        assert!(t >= 2.0 * net.params().base_latency);
+    }
+
+    #[test]
+    fn piggyback_only_put_carries_no_bytes() {
+        let net = small_net();
+        let (dst, _) = net.register_mem(1, 8);
+        net.put(PutRequest {
+            src_node: 0,
+            tni: 0,
+            dst_node: 1,
+            dst_stadd: dst,
+            dst_offset: 0,
+            data: &[],
+            piggyback: 0xDEAD_BEEF,
+            src_rank: 3,
+            now: 0.0,
+            cache_injection: false,
+        });
+        assert_eq!(net.read_local(1, dst, 0, 8), vec![0; 8]);
+        let a = net.take_arrivals(1, |a| a.src_rank == 3);
+        assert_eq!(a[0].piggyback, 0xDEAD_BEEF);
+        assert_eq!(a[0].len, 0);
+    }
+}

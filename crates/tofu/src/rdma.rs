@@ -1,0 +1,217 @@
+//! The uTofu-style user interface: VCQs and one-sided operations.
+//!
+//! Mirrors the structure of §3.3/Fig. 7: each TNI exposes 9 CQs; software
+//! creates *virtual* control queues (VCQs) bound to one CQ each and posts
+//! one-sided puts/gets through them. A CQ is **not thread-safe** — the
+//! paper builds its fine-grained design around this constraint — which the
+//! Rust API encodes by requiring `&mut Vcq` for every operation: ownership,
+//! not locking, serializes access.
+
+use crate::mem::Stadd;
+use crate::net::{Arrival, CqExhausted, PutRequest, PutResult, TofuNet};
+use std::sync::Arc;
+
+/// A virtual control queue bound to one hardware CQ of one TNI.
+pub struct Vcq {
+    net: Arc<TofuNet>,
+    node: usize,
+    tni: usize,
+    cq: usize,
+    /// Tag stamped on outgoing messages so receivers can identify the
+    /// logical sender (we use global rank ids).
+    rank_tag: u32,
+}
+
+impl Vcq {
+    /// Create a VCQ on `(node, tni)`, allocating one of the TNI's 9 CQs.
+    pub fn create(
+        net: Arc<TofuNet>,
+        node: usize,
+        tni: usize,
+        rank_tag: u32,
+    ) -> Result<Self, CqExhausted> {
+        let cq = net.allocate_cq(node, tni)?;
+        Ok(Vcq {
+            net,
+            node,
+            tni,
+            cq,
+            rank_tag,
+        })
+    }
+
+    /// The TNI this VCQ injects through.
+    #[must_use]
+    pub fn tni(&self) -> usize {
+        self.tni
+    }
+
+    /// The hardware CQ index backing this VCQ.
+    #[must_use]
+    pub fn cq(&self) -> usize {
+        self.cq
+    }
+
+    /// The node this VCQ lives on.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// One-sided put. Advances `*now` by the uTofu descriptor-posting CPU
+    /// cost, then injects. Returns completion times.
+    /// (The argument list mirrors utofu_put's descriptor fields.)
+    #[allow(clippy::too_many_arguments)]
+    pub fn put(
+        &mut self,
+        now: &mut f64,
+        dst_node: usize,
+        dst_stadd: Stadd,
+        dst_offset: usize,
+        data: &[u8],
+        piggyback: u64,
+        cache_injection: bool,
+    ) -> PutResult {
+        *now += self.net.params().cpu_per_put_utofu;
+        self.net.put(PutRequest {
+            src_node: self.node,
+            tni: self.tni,
+            dst_node,
+            dst_stadd,
+            dst_offset,
+            data,
+            piggyback,
+            src_rank: self.rank_tag,
+            now: *now,
+            cache_injection,
+        })
+    }
+
+    /// Piggyback-only put: 8 bytes embedded in the descriptor, no buffer
+    /// write (§3.4's low-latency offset exchange).
+    pub fn put_piggyback(
+        &mut self,
+        now: &mut f64,
+        dst_node: usize,
+        dst_stadd: Stadd,
+        piggyback: u64,
+    ) -> PutResult {
+        self.put(now, dst_node, dst_stadd, 0, &[], piggyback, false)
+    }
+
+    /// One-sided get of `len` bytes from a remote region.
+    pub fn get(
+        &mut self,
+        now: &mut f64,
+        dst_node: usize,
+        dst_stadd: Stadd,
+        dst_offset: usize,
+        len: usize,
+    ) -> (Vec<u8>, f64) {
+        *now += self.net.params().cpu_per_put_utofu;
+        self.net
+            .get(self.node, self.tni, dst_node, dst_stadd, dst_offset, len, *now)
+    }
+}
+
+/// Block until at least `count` arrivals matching `pred` are available on
+/// `node`; returns them and the advanced clock (max of `now` and the
+/// latest needed arrival — the receiver spins on its MRQ until then).
+///
+/// Panics if fewer than `count` matching messages are queued: in the
+/// lockstep bulk-synchronous driver every send of a stage precedes the
+/// receives, so a shortfall is a protocol bug (a real run would deadlock).
+pub fn wait_arrivals(
+    net: &TofuNet,
+    node: usize,
+    now: f64,
+    count: usize,
+    pred: impl FnMut(&Arrival) -> bool,
+) -> (Vec<Arrival>, f64) {
+    let arrivals = net.take_arrivals(node, pred);
+    assert!(
+        arrivals.len() >= count,
+        "deadlock: node {node} expected {count} arrivals, found {}",
+        arrivals.len()
+    );
+    let latest = arrivals
+        .iter()
+        .map(|a| a.time)
+        .fold(f64::NEG_INFINITY, f64::max);
+    (arrivals, now.max(latest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::NetParams;
+    use crate::topology::CellGrid;
+
+    fn net() -> Arc<TofuNet> {
+        Arc::new(TofuNet::new(CellGrid::new([1, 1, 1]), NetParams::default()))
+    }
+
+    #[test]
+    fn vcq_put_charges_cpu_cost() {
+        let net = net();
+        let (dst, _) = net.register_mem(1, 16);
+        let mut vcq = Vcq::create(net.clone(), 0, 0, 0).unwrap();
+        let mut now = 0.0;
+        let r = vcq.put(&mut now, 1, dst, 0, &[1, 2, 3, 4], 0, false);
+        assert!((now - net.params().cpu_per_put_utofu).abs() < 1e-15);
+        assert!(r.remote_arrival > now);
+        assert_eq!(net.read_local(1, dst, 0, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn vcqs_bind_distinct_cqs() {
+        let net = net();
+        let a = Vcq::create(net.clone(), 0, 0, 0).unwrap();
+        let b = Vcq::create(net.clone(), 0, 0, 0).unwrap();
+        assert_ne!(a.cq(), b.cq());
+        assert_eq!(a.tni(), b.tni());
+    }
+
+    #[test]
+    fn six_vcq_binding_like_fig7() {
+        // Fine-grained mode: one rank creates 6 VCQs, one per TNI; four
+        // ranks on a node can all do so (uses CQ slots 0..4 on each TNI).
+        let net = net();
+        for rank in 0..4u32 {
+            for tni in 0..6 {
+                let v = Vcq::create(net.clone(), 0, tni, rank).unwrap();
+                assert_eq!(v.cq(), rank as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn wait_arrivals_advances_clock() {
+        let net = net();
+        let (dst, _) = net.register_mem(1, 8);
+        let mut vcq = Vcq::create(net.clone(), 0, 0, 7).unwrap();
+        let mut now = 0.0;
+        vcq.put(&mut now, 1, dst, 0, &[9], 0, false);
+        let (arr, t) = wait_arrivals(&net, 1, 0.0, 1, |a| a.src_rank == 7);
+        assert_eq!(arr.len(), 1);
+        assert!(t >= arr[0].time);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn missing_arrivals_panic() {
+        let net = net();
+        wait_arrivals(&net, 0, 0.0, 1, |_| true);
+    }
+
+    #[test]
+    fn piggyback_round_trip() {
+        let net = net();
+        let (dst, _) = net.register_mem(1, 8);
+        let mut vcq = Vcq::create(net.clone(), 0, 3, 2).unwrap();
+        let mut now = 0.0;
+        vcq.put_piggyback(&mut now, 1, dst, 0x1234_5678_9ABC_DEF0);
+        let (arr, _) = wait_arrivals(&net, 1, 0.0, 1, |a| a.src_rank == 2);
+        assert_eq!(arr[0].piggyback, 0x1234_5678_9ABC_DEF0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use tofumd::comm::border_bin::BorderBins;
+use tofumd::comm::engine::RankState;
+use tofumd::comm::p2p::P2pGhosts;
+use tofumd::comm::plan::{CommPlan, PlanConfig};
+use tofumd::comm::topo_map::{Placement, RankMap};
+use tofumd::comm::wire;
+use tofumd::md::domain::neighbor_offsets;
+use tofumd::md::potential::eam::EamParams;
+use tofumd::md::potential::spline::Spline;
+use tofumd::md::{Atoms, Box3};
+use tofumd::tofu::CellGrid;
+
+proptest! {
+    /// PBC wrap always lands inside the box and preserves the point modulo
+    /// whole box lengths.
+    #[test]
+    fn wrap_is_a_projection(
+        x in -100.0f64..100.0, y in -100.0f64..100.0, z in -100.0f64..100.0,
+        lx in 1.0f64..20.0, ly in 1.0f64..20.0, lz in 1.0f64..20.0,
+    ) {
+        let b = Box3::from_lengths([lx, ly, lz]);
+        let (w, img) = b.wrap([x, y, z]);
+        prop_assert!(b.contains(&w));
+        // Wrapping again is the identity.
+        let (w2, img2) = b.wrap(w);
+        prop_assert_eq!(w, w2);
+        prop_assert_eq!(img2, [0, 0, 0]);
+        // Unwrapping reproduces the original point.
+        let l = b.lengths();
+        for (d, &len) in l.iter().enumerate() {
+            let orig = [x, y, z][d];
+            let back = w[d] + f64::from(img[d]) * len;
+            prop_assert!((back - orig).abs() < 1e-9 * (1.0 + orig.abs()));
+        }
+    }
+
+    /// Minimum-image displacement is never longer than half the diagonal.
+    #[test]
+    fn minimum_image_is_minimal(
+        ax in 0.0f64..10.0, ay in 0.0f64..10.0, az in 0.0f64..10.0,
+        bx in 0.0f64..10.0, by in 0.0f64..10.0, bz in 0.0f64..10.0,
+    ) {
+        let b = Box3::from_lengths([10.0; 3]);
+        let dx = b.minimum_image(&[ax, ay, az], &[bx, by, bz]);
+        for v in dx {
+            prop_assert!(v.abs() <= 5.0 + 1e-12);
+        }
+    }
+
+    /// Torus hop metric: symmetric, zero iff equal, triangle inequality.
+    #[test]
+    fn hops_is_a_metric(
+        seed in 0usize..1000,
+    ) {
+        let grid = CellGrid::new([3, 2, 2]);
+        let n = grid.node_count();
+        let a = grid.mesh_of_id(seed % n);
+        let b = grid.mesh_of_id((seed * 7 + 3) % n);
+        let c = grid.mesh_of_id((seed * 13 + 5) % n);
+        prop_assert_eq!(grid.hops(a, b), grid.hops(b, a));
+        prop_assert_eq!(grid.hops(a, a), 0);
+        prop_assert!(grid.hops(a, c) <= grid.hops(a, b) + grid.hops(b, c));
+    }
+
+    /// Wire encoding round-trips arbitrary payloads, with and without the
+    /// message-combine frame.
+    #[test]
+    fn wire_roundtrip(values in prop::collection::vec(-1e12f64..1e12, 0..200)) {
+        prop_assert_eq!(wire::decode_f64s(&wire::encode_f64s(&values)), values.clone());
+        prop_assert_eq!(wire::parse_combined(&wire::frame_combined(&values)), values);
+    }
+
+    /// Border-bin classification always matches the exact slab test.
+    #[test]
+    fn border_bins_match_naive(
+        x in 0.0f64..10.0, y in 0.0f64..10.0, z in 0.0f64..10.0,
+        r in 0.5f64..6.0,
+        half in any::<bool>(),
+    ) {
+        let offsets = neighbor_offsets(1, half);
+        let bins = BorderBins::new(Box3::from_lengths([10.0; 3]), r, &offsets);
+        let mut fast = bins.targets_of(&[x, y, z]);
+        let mut slow = bins.targets_naive(&[x, y, z], &offsets);
+        fast.sort_unstable();
+        slow.sort_unstable();
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Natural cubic splines reproduce smooth functions and their
+    /// derivatives to interpolation accuracy.
+    #[test]
+    fn spline_accuracy(a in 0.5f64..3.0, b in -2.0f64..2.0) {
+        let f = |x: f64| (a * x).sin() + b * x * x;
+        let s = Spline::tabulate(0.0, 0.01, 601, f);
+        for i in 0..40 {
+            let x = 0.3 + i as f64 * 0.13;
+            prop_assert!((s.eval(x) - f(x)).abs() < 1e-5);
+        }
+    }
+
+    /// The EAM cutoff switch keeps rho and phi exactly zero beyond the
+    /// cutoff and smooth below it.
+    #[test]
+    fn eam_forms_vanish_at_cutoff(r in 0.6f64..8.0) {
+        let p = EamParams::cu();
+        if r >= p.cutoff {
+            prop_assert_eq!(p.rho(r), 0.0);
+            prop_assert_eq!(p.phi(r), 0.0);
+        } else {
+            prop_assert!(p.rho(r) >= 0.0);
+            prop_assert!(p.rho(r).is_finite() && p.phi(r).is_finite());
+        }
+    }
+
+    /// Pack/unpack round-trip through the p2p ghost bookkeeping: forward
+    /// payloads reproduce positions exactly on the ghost side.
+    #[test]
+    fn p2p_forward_roundtrip(
+        atoms in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0), 1..60),
+    ) {
+        let grid = CellGrid::from_node_mesh([8, 12, 8]).unwrap();
+        let map = RankMap::new(grid, Placement::TopoAware);
+        let rg = map.rank_grid;
+        let global = Box3::from_lengths([
+            10.0 * f64::from(rg[0]),
+            10.0 * f64::from(rg[1]),
+            10.0 * f64::from(rg[2]),
+        ]);
+        let plan = CommPlan::build(0, &map, &global, 2.5, PlanConfig::NEWTON);
+        let pos: Vec<[f64; 3]> = atoms.iter().map(|&(x, y, z)| [x, y, z]).collect();
+        let mut st = RankState::new(Atoms::from_positions(pos, 1), plan);
+        let offsets: Vec<_> = st.plan.send_to.iter().map(|l| l.offset).collect();
+        let bins = BorderBins::new(st.plan.sub, st.plan.r_ghost, &offsets);
+        let mut g = P2pGhosts::default();
+        let payloads = g.pack_border(&st, &bins);
+        // Feed the payloads back as if we were our own neighbor: parse and
+        // confirm every record preserves the tag and the shifted position.
+        for (k, payload) in payloads.iter().enumerate() {
+            let shift = st.plan.send_to[k].shift;
+            for (tag, _typ, x) in wire::parse_border_records(payload) {
+                let i = (tag - 1) as usize;
+                for d in 0..3 {
+                    prop_assert!((x[d] - (st.atoms.x[i][d] + shift[d])).abs() < 1e-12);
+                }
+            }
+        }
+        // Forward payload lengths always match send-list lengths.
+        for k in 0..st.plan.send_to.len() {
+            let fwd = g.pack_forward(&st, k);
+            prop_assert_eq!(fwd.len(), g.send_lists[k].len() * 3);
+        }
+        let _ = &mut st;
+    }
+
+    /// Every neighbor-offset set splits face/edge/corner counts correctly
+    /// for any shell count.
+    #[test]
+    fn offset_counts(shells in 1usize..4) {
+        let full = neighbor_offsets(shells, false);
+        let half = neighbor_offsets(shells, true);
+        let s = 2 * shells + 1;
+        prop_assert_eq!(full.len(), s * s * s - 1);
+        prop_assert_eq!(half.len(), (s * s * s - 1) / 2);
+        // Half + opposites = full.
+        for o in &half {
+            prop_assert!(full.contains(o));
+            prop_assert!(full.contains(&o.opposite()));
+            prop_assert!(!half.contains(&o.opposite()));
+        }
+    }
+}
+
+proptest! {
+    /// Cell-binned neighbor lists agree with an O(N^2) brute-force
+    /// reference for arbitrary atom clouds and cutoffs.
+    #[test]
+    fn neighbor_list_matches_brute_force(
+        atoms in prop::collection::vec((0.5f64..9.5, 0.5f64..9.5, 0.5f64..9.5), 2..80),
+        cutoff in 0.8f64..3.0,
+    ) {
+        use tofumd::md::neighbor::{ListKind, NeighborList};
+        let pos: Vec<[f64; 3]> = atoms.iter().map(|&(x, y, z)| [x, y, z]).collect();
+        let a = tofumd::md::Atoms::from_positions(pos.clone(), 1);
+        let list = NeighborList::build(&a, [0.0; 3], [10.0; 3], ListKind::Full, cutoff, 0.0);
+        let c2 = cutoff * cutoff;
+        for i in 0..pos.len() {
+            let mut expect: Vec<u32> = (0..pos.len() as u32)
+                .filter(|&j| {
+                    let j = j as usize;
+                    if j == i {
+                        return false;
+                    }
+                    let d2: f64 = (0..3).map(|d| (pos[i][d] - pos[j][d]).powi(2)).sum();
+                    d2 < c2
+                })
+                .collect();
+            let mut got = list.neighbors(i).to_vec();
+            expect.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, expect, "atom {}", i);
+        }
+    }
+
+    /// The half-Newton list is exactly half of the full list's pairs when
+    /// there are no ghosts.
+    #[test]
+    fn half_list_is_half_of_full(
+        atoms in prop::collection::vec((0.5f64..9.5, 0.5f64..9.5, 0.5f64..9.5), 2..60),
+    ) {
+        use tofumd::md::neighbor::{ListKind, NeighborList};
+        let pos: Vec<[f64; 3]> = atoms.iter().map(|&(x, y, z)| [x, y, z]).collect();
+        let a = tofumd::md::Atoms::from_positions(pos, 1);
+        let full = NeighborList::build(&a, [0.0; 3], [10.0; 3], ListKind::Full, 2.0, 0.0);
+        let half = NeighborList::build(&a, [0.0; 3], [10.0; 3], ListKind::HalfNewton, 2.0, 0.0);
+        prop_assert_eq!(full.npairs(), 2 * half.npairs());
+    }
+
+    /// Slab volumes are monotone in the cutoff and bounded by the sub-box.
+    #[test]
+    fn slab_volumes_are_sane(r1 in 0.5f64..4.0, r2 in 0.5f64..4.0) {
+        use tofumd::comm::plan::{CommPlan, PlanConfig};
+        use tofumd::comm::topo_map::{Placement, RankMap};
+        let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+        let grid = CellGrid::from_node_mesh([8, 12, 8]).unwrap();
+        let map = RankMap::new(grid, Placement::TopoAware);
+        let rg = map.rank_grid;
+        let global = Box3::from_lengths([
+            10.0 * f64::from(rg[0]),
+            10.0 * f64::from(rg[1]),
+            10.0 * f64::from(rg[2]),
+        ]);
+        let p_lo = CommPlan::build(0, &map, &global, lo, PlanConfig::NEWTON);
+        let p_hi = CommPlan::build(0, &map, &global, hi, PlanConfig::NEWTON);
+        let v = |p: &CommPlan| -> f64 {
+            p.recv_from.iter().map(|l| p.slab_volume(l.offset)).sum()
+        };
+        prop_assert!(v(&p_hi) >= v(&p_lo) - 1e-12);
+        // Face slab never exceeds the sub-box volume at 1 shell.
+        for link in &p_lo.recv_from {
+            prop_assert!(p_lo.slab_volume(link.offset) <= p_lo.sub.volume() + 1e-9);
+        }
+    }
+}
