@@ -18,11 +18,15 @@ fn bench_neighbor_build(c: &mut Criterion) {
     for &cells in &[4usize, 8] {
         let (atoms, l) = lj_system(cells);
         g.throughput(Throughput::Elements(atoms.nlocal as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(atoms.nlocal), &cells, |bch, _| {
-            bch.iter(|| {
-                NeighborList::build(&atoms, [0.0; 3], l, ListKind::HalfNewton, 2.5, 0.3)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(atoms.nlocal),
+            &cells,
+            |bch, _| {
+                bch.iter(|| {
+                    NeighborList::build(&atoms, [0.0; 3], l, ListKind::HalfNewton, 2.5, 0.3)
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -47,8 +51,14 @@ fn bench_force_kernels(c: &mut Criterion) {
         let lat = FccLattice::from_cell(3.615);
         let (bx, pos) = lat.build(8, 8, 8);
         let mut atoms = Atoms::from_positions(pos, 1);
-        let list =
-            NeighborList::build(&atoms, [0.0; 3], bx.lengths(), ListKind::HalfNewton, 4.95, 1.0);
+        let list = NeighborList::build(
+            &atoms,
+            [0.0; 3],
+            bx.lengths(),
+            ListKind::HalfNewton,
+            4.95,
+            1.0,
+        );
         let eam = EamCu::lammps_bench();
         let mut rho = Vec::new();
         let mut fp = Vec::new();
@@ -68,8 +78,14 @@ fn bench_force_kernels(c: &mut Criterion) {
         let (bx, pos) = lat.build_diamond(6, 6, 6);
         let mut atoms = Atoms::from_positions(pos, 1);
         let sw = StillingerWeber::silicon();
-        let list =
-            NeighborList::build(&atoms, [0.0; 3], bx.lengths(), ListKind::Full, sw.r_cut(), 1.0);
+        let list = NeighborList::build(
+            &atoms,
+            [0.0; 3],
+            bx.lengths(),
+            ListKind::Full,
+            sw.r_cut(),
+            1.0,
+        );
         g.bench_function("sw_1728", |b| {
             b.iter(|| {
                 atoms.zero_forces();

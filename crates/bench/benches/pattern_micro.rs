@@ -8,13 +8,12 @@ use tofumd_runtime::{Cluster, CommVariant, RunConfig};
 
 fn bench_exchange(c: &mut Criterion) {
     let mut g = c.benchmark_group("forward_exchange_sim");
-    for variant in [CommVariant::Ref, CommVariant::Utofu4TniP2p, CommVariant::Opt] {
-        let mut cluster = Cluster::proxy(
-            PROXY_MESH,
-            [8, 12, 8],
-            RunConfig::lj(65_536),
-            variant,
-        );
+    for variant in [
+        CommVariant::Ref,
+        CommVariant::Utofu4TniP2p,
+        CommVariant::Opt,
+    ] {
+        let mut cluster = Cluster::proxy(PROXY_MESH, [8, 12, 8], RunConfig::lj(65_536), variant);
         g.bench_with_input(
             BenchmarkId::from_parameter(variant.label()),
             &variant,

@@ -53,8 +53,16 @@ fn main() {
             render_table(
                 &["mode", "ghosts total", "exchange time"],
                 &[
-                    vec!["half (Newton on)".into(), g_half.to_string(), fmt_time(t_half)],
-                    vec!["full (Newton off)".into(), g_full.to_string(), fmt_time(t_full)],
+                    vec![
+                        "half (Newton on)".into(),
+                        g_half.to_string(),
+                        fmt_time(t_half)
+                    ],
+                    vec![
+                        "full (Newton off)".into(),
+                        g_full.to_string(),
+                        fmt_time(t_full)
+                    ],
                 ]
             )
         );
@@ -91,7 +99,10 @@ fn main() {
                     ]
                 )
             );
-            println!("LPT improves the critical path by {:.0}%\n", 100.0 * (1.0 - lpt / rr));
+            println!(
+                "LPT improves the critical path by {:.0}%\n",
+                100.0 * (1.0 - lpt / rr)
+            );
         }
     }
 
@@ -235,8 +246,16 @@ fn main() {
             render_table(
                 &["placement", "mean neighbor hops", "mean message wire time"],
                 &[
-                    vec!["topo-aware".into(), format!("{:.2}", mean_hops(&topo)), fmt_time(w_topo)],
-                    vec!["shuffled".into(), format!("{:.2}", mean_hops(&rand)), fmt_time(w_rand)],
+                    vec![
+                        "topo-aware".into(),
+                        format!("{:.2}", mean_hops(&topo)),
+                        fmt_time(w_topo)
+                    ],
+                    vec![
+                        "shuffled".into(),
+                        format!("{:.2}", mean_hops(&rand)),
+                        fmt_time(w_rand)
+                    ],
                 ]
             )
         );

@@ -18,8 +18,18 @@ fn main() {
     let mesh = grid.node_mesh();
     let mut model = CongestionModel::new(&grid, NetParams::default());
     let offsets: [(u32, u32, u32); 13] = [
-        (1, 0, 0), (0, 1, 0), (0, 0, 1), (1, 1, 0), (1, 0, 1), (0, 1, 1),
-        (1, 1, 1), (1, 11, 0), (1, 0, 7), (0, 1, 7), (1, 11, 7), (1, 1, 7),
+        (1, 0, 0),
+        (0, 1, 0),
+        (0, 0, 1),
+        (1, 1, 0),
+        (1, 0, 1),
+        (0, 1, 1),
+        (1, 1, 1),
+        (1, 11, 0),
+        (1, 0, 7),
+        (0, 1, 7),
+        (1, 11, 7),
+        (1, 1, 7),
         (1, 11, 1),
     ];
     let mut rows = Vec::new();
@@ -34,22 +44,15 @@ fn main() {
                 for z in 0..mesh[2] {
                     for (k, &(dx, dy, dz)) in offsets.iter().enumerate() {
                         let from = [x, y, z];
-                        let to = [
-                            (x + dx) % mesh[0],
-                            (y + dy) % mesh[1],
-                            (z + dz) % mesh[2],
-                        ];
+                        let to = [(x + dx) % mesh[0], (y + dy) % mesh[1], (z + dz) % mesh[2]];
                         // Real departure schedule: messages leave a node
                         // spaced by the injection interval (4 ranks x 13
                         // messages over 6 TNIs), not all at t = 0.
                         // Desynchronize nodes slightly (packing time
                         // varies with local atom counts in reality).
-                        let jitter =
-                            f64::from((x * 7 + y * 13 + z * 29) % 11) * 0.03e-6;
+                        let jitter = f64::from((x * 7 + y * 13 + z * 29) % 11) * 0.03e-6;
                         let depart = jitter
-                            + k as f64
-                                * (p.cpu_per_put_utofu
-                                    + 4.0 * p.tni_occupancy(bytes) / 6.0);
+                            + k as f64 * (p.cpu_per_put_utofu + 4.0 * p.tni_occupancy(bytes) / 6.0);
                         let t = model.transmit(from, to, bytes, depart);
                         let f = model.free_flight(from, to, bytes, depart);
                         max_excess = max_excess.max(t - f);

@@ -16,8 +16,10 @@ use tofumd_tofu::NetParams;
 fn main() {
     println!("Equations (3)-(8) — analytic pattern times\n");
     let p = NetParams::default();
-    for (label, n_local) in [("65K / 3072 ranks (small msgs)", 21.3), ("1.7M / 3072 ranks", 553.0)]
-    {
+    for (label, n_local) in [
+        ("65K / 3072 ranks (small msgs)", 21.3),
+        ("1.7M / 3072 ranks", 553.0),
+    ] {
         let geom = Geometry::from_atoms_per_rank(n_local, 0.8442, 2.8);
         let mut rows = Vec::new();
         for transport in [Transport::Mpi, Transport::Utofu] {

@@ -40,7 +40,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["rank", "TNI0", "TNI1", "TNI2", "TNI3", "TNI4", "TNI5"], &rows)
+        render_table(
+            &["rank", "TNI0", "TNI1", "TNI2", "TNI3", "TNI4", "TNI5"],
+            &rows
+        )
     );
     println!("24 CQs in use (4 ranks x 6 TNIs); each TNI has {CQS_PER_TNI} CQs, so");
 

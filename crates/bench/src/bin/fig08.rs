@@ -59,7 +59,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(200usize);
     println!("Fig. 8 — one-node message rate vs size ({msgs} msgs/rank/config)\n");
-    let sizes = [8usize, 32, 128, 512, 1024, 4096, 16384, 65536, 262144, 1048576];
+    let sizes = [
+        8usize, 32, 128, 512, 1024, 4096, 16384, 65536, 262144, 1048576,
+    ];
     let mut rows = Vec::new();
     let mut crossover = None;
     for &size in &sizes {

@@ -42,7 +42,13 @@ fn main() {
         }
         gathered.sort_unstable_by_key(|g| g.0);
         let mut atoms = Atoms::from_positions(gathered.iter().map(|g| g.1).collect(), 1);
-        velocity::create_velocities(&mut atoms, cfg.mass(), cfg.temperature, cfg.units(), cfg.seed);
+        velocity::create_velocities(
+            &mut atoms,
+            cfg.mass(),
+            cfg.temperature,
+            cfg.units(),
+            cfg.seed,
+        );
         let vcm = velocity::center_of_mass_velocity(&atoms);
         let mut shifted = atoms.clone();
         for i in 0..shifted.nlocal {
@@ -83,7 +89,10 @@ fn main() {
         println!("== {pot} ==");
         println!(
             "{}",
-            render_table(&["step", "pressure (ref)", "pressure (opt)", "rel diff"], &rows)
+            render_table(
+                &["step", "pressure (ref)", "pressure (opt)", "rel diff"],
+                &rows
+            )
         );
     }
     println!("paper anchor: optimized and reference pressures agree (Fig. 11); small");

@@ -57,15 +57,27 @@ fn main() {
             "{}",
             render_table(
                 &[
-                    "nodes", "atoms/core", "ref/step", "eff", "opt/step", "eff", "speedup",
-                    "ref pair", "opt pair", "ref comm", "opt comm"
+                    "nodes",
+                    "atoms/core",
+                    "ref/step",
+                    "eff",
+                    "opt/step",
+                    "eff",
+                    "speedup",
+                    "ref pair",
+                    "opt pair",
+                    "ref comm",
+                    "opt comm"
                 ],
                 &rows
             )
         );
         let perf = scaling::units_per_day(0.005, last[1]);
         if pot == "L-J" {
-            println!("opt throughput at 36,864 nodes: {:.2}M tau/day (paper: 8.77M)\n", perf / 1e6);
+            println!(
+                "opt throughput at 36,864 nodes: {:.2}M tau/day (paper: 8.77M)\n",
+                perf / 1e6
+            );
         } else {
             println!(
                 "opt throughput at 36,864 nodes: {:.2} us/day (paper: 2.87)\n",

@@ -51,7 +51,14 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["nodes", "atoms", "step time", "aggregate perf", "efficiency", "throughput"],
+                &[
+                    "nodes",
+                    "atoms",
+                    "step time",
+                    "aggregate perf",
+                    "efficiency",
+                    "throughput"
+                ],
                 &rows
             )
         );

@@ -57,12 +57,19 @@ fn main() {
             label.to_string(),
             fmt_time(t_p2p),
             fmt_time(t_staged),
-            if t_p2p < t_staged { "p2p".into() } else { "3-stage".into() },
+            if t_p2p < t_staged {
+                "p2p".into()
+            } else {
+                "3-stage".into()
+            },
         ]);
     }
     println!(
         "{}",
-        render_table(&["scenario", "p2p (opt)", "3-stage (utofu)", "winner"], &rows)
+        render_table(
+            &["scenario", "p2p (opt)", "3-stage (utofu)", "winner"],
+            &rows
+        )
     );
     println!("\npaper anchor: the optimized p2p wins at 26 and 62 messages but loses at");
     println!("124 — the 3-stage message count scales linearly in the shell count, p2p's");

@@ -57,7 +57,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["pattern", "slab volume", "atoms", "fwd bytes", "hops", "msgs"],
+            &[
+                "pattern",
+                "slab volume",
+                "atoms",
+                "fwd bytes",
+                "hops",
+                "msgs"
+            ],
             &rows
         )
     );

@@ -66,7 +66,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["potential", "Pair", "Neigh", "Comm", "Modify", "Other", "total/step"],
+            &[
+                "potential",
+                "Pair",
+                "Neigh",
+                "Comm",
+                "Modify",
+                "Other",
+                "total/step"
+            ],
             &rows
         )
     );

@@ -76,11 +76,7 @@ impl BorderBins {
     #[must_use]
     pub fn new(sub: Box3, r_ghost: f64, neighbors: &[NeighborOffset]) -> Self {
         assert!(r_ghost > 0.0);
-        let min_edge = sub
-            .lengths()
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let min_edge = sub.lengths().iter().cloned().fold(f64::INFINITY, f64::min);
         let single_shell = neighbors.iter().all(|o| o.ring() <= 1);
         let mode = if single_shell && r_ghost <= 0.5 * min_edge {
             let mut targets = vec![Vec::new(); 27];
@@ -106,11 +102,7 @@ impl BorderBins {
                 offsets: neighbors.to_vec(),
             }
         };
-        BorderBins {
-            sub,
-            r_ghost,
-            mode,
-        }
+        BorderBins { sub, r_ghost, mode }
     }
 
     /// True when the O(1) bin table is in use (observable for the

@@ -8,10 +8,11 @@
 //! timestep while letting virtual time flow through the simulated fabric.
 
 use crate::plan::CommPlan;
+use serde::{Deserialize, Serialize};
 use tofumd_md::atom::Atoms;
 
 /// A ghost-communication operation within a timestep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Op {
     /// Establish ghost atoms (tags + positions); runs after exchange on
     /// reneighbor steps.
@@ -30,14 +31,60 @@ pub enum Op {
     Exchange,
 }
 
+/// Number of distinct [`Op`] kinds.
+pub const N_OPS: usize = 6;
+
+impl Op {
+    /// Every op kind in display order: migration first, then the
+    /// ghost-side ops, the owner-side fold, and EAM's scalar pair.
+    pub const ALL: [Op; N_OPS] = [
+        Op::Exchange,
+        Op::Border,
+        Op::Forward,
+        Op::Reverse,
+        Op::ForwardScalar,
+        Op::ReverseScalar,
+    ];
+
+    /// Dense index of this op into [`Op::ALL`]-ordered tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Op::Exchange => 0,
+            Op::Border => 1,
+            Op::Forward => 2,
+            Op::Reverse => 3,
+            Op::ForwardScalar => 4,
+            Op::ReverseScalar => 5,
+        }
+    }
+
+    /// Short lower-case label for report rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Op::Exchange => "exchange",
+            Op::Border => "border",
+            Op::Forward => "forward",
+            Op::Reverse => "reverse",
+            Op::ForwardScalar => "fwd-scalar",
+            Op::ReverseScalar => "rev-scalar",
+        }
+    }
+}
+
 /// Live communication counters (the in-vivo counterpart of Table 1's
 /// `total_msg` and `total_atom` columns).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommStats {
     /// Messages posted (payload puts; piggyback-only descriptors excluded).
     pub messages: u64,
     /// Payload bytes posted (framing included where the transport frames).
     pub bytes: u64,
+    /// Largest single message observed (bytes).
+    pub max_msg_bytes: u64,
+    /// Dynamic buffer-growth events (§3.4 re-registration handshakes).
+    pub growth_events: u64,
 }
 
 impl CommStats {
@@ -45,6 +92,106 @@ impl CommStats {
     pub fn count(&mut self, bytes: usize) {
         self.messages += 1;
         self.bytes += bytes as u64;
+        self.max_msg_bytes = self.max_msg_bytes.max(bytes as u64);
+    }
+
+    /// Fold another counter set into this one (messages and bytes add,
+    /// the max-message watermark takes the larger side).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.max_msg_bytes = self.max_msg_bytes.max(other.max_msg_bytes);
+        self.growth_events += other.growth_events;
+    }
+
+    /// Counter-wise difference against an earlier reading of the same
+    /// monotone counters (`max_msg_bytes` is a watermark and carries over).
+    #[must_use]
+    pub fn since(&self, earlier: &CommStats) -> CommStats {
+        CommStats {
+            messages: self.messages - earlier.messages,
+            bytes: self.bytes - earlier.bytes,
+            max_msg_bytes: self.max_msg_bytes,
+            growth_events: self.growth_events - earlier.growth_events,
+        }
+    }
+}
+
+/// [`CommStats`] resolved along the two axes the lockstep driver iterates:
+/// operation kind and round within the operation. Engines accumulate into
+/// this; the runtime aggregates it across ranks for telemetry reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// `rounds[op.index()][round]`, grown on first use per round.
+    rounds: [Vec<CommStats>; N_OPS],
+}
+
+impl OpStats {
+    fn slot(&mut self, op: Op, round: usize) -> &mut CommStats {
+        let v = &mut self.rounds[op.index()];
+        if v.len() <= round {
+            v.resize(round + 1, CommStats::default());
+        }
+        &mut v[round]
+    }
+
+    /// Count one message of `bytes` bytes under `(op, round)`.
+    pub fn count(&mut self, op: Op, round: usize, bytes: usize) {
+        self.slot(op, round).count(bytes);
+    }
+
+    /// Record one dynamic buffer-growth event under `(op, round)`.
+    pub fn growth(&mut self, op: Op, round: usize) {
+        self.slot(op, round).growth_events += 1;
+    }
+
+    /// Per-round counters recorded for `op` (may be empty).
+    #[must_use]
+    pub fn rounds_of(&self, op: Op) -> &[CommStats] {
+        &self.rounds[op.index()]
+    }
+
+    /// All rounds of `op` folded together.
+    #[must_use]
+    pub fn op_total(&self, op: Op) -> CommStats {
+        let mut total = CommStats::default();
+        for s in &self.rounds[op.index()] {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Everything folded together (the legacy flat [`CommStats`] view).
+    #[must_use]
+    pub fn total(&self) -> CommStats {
+        let mut total = CommStats::default();
+        for op in Op::ALL {
+            total.merge(&self.op_total(op));
+        }
+        total
+    }
+
+    /// Fold another rank's counters into this one, round by round.
+    pub fn merge(&mut self, other: &OpStats) {
+        for op in Op::ALL {
+            for (round, s) in other.rounds_of(op).iter().enumerate() {
+                self.slot(op, round).merge(s);
+            }
+        }
+    }
+
+    /// Per-(op, round) difference against an earlier reading.
+    #[must_use]
+    pub fn since(&self, earlier: &OpStats) -> OpStats {
+        let mut out = OpStats::default();
+        for op in Op::ALL {
+            let before = earlier.rounds_of(op);
+            for (round, s) in self.rounds_of(op).iter().enumerate() {
+                let b = before.get(round).copied().unwrap_or_default();
+                *out.slot(op, round) = s.since(&b);
+            }
+        }
+        out
     }
 }
 
@@ -110,15 +257,32 @@ impl RankState {
                 continue;
             };
             let link = &self.plan.face_links[dim][dir];
+            let mut nx = [
+                x[0] + link.shift[0],
+                x[1] + link.shift[1],
+                x[2] + link.shift[2],
+            ];
+            // Periodic-wrap guard: the receiving sub-box is half-open
+            // [lo, hi). An atom marginally outside the *global* lower face
+            // can round to exactly the global upper face after the +L
+            // shift (|x - lo| is far below one ulp of L), landing on the
+            // receiver's hi face — outside its box, so every subsequent
+            // rebuild re-migrates it and the atom ping-pongs between the
+            // boundary ranks. Nudge it one ulp inside. The mirror case
+            // (an atom at exactly the global upper face whose -L shift
+            // rounds below the global lower face) clamps to the face
+            // itself, which is inside the half-open box.
+            let s = link.shift[dim];
+            if s > 0.0 && nx[dim] >= lo + s {
+                nx[dim] = (lo + s).next_down();
+            } else if s < 0.0 && nx[dim] < hi + s {
+                nx[dim] = hi + s;
+            }
             crate::wire::push_exchange_record(
                 &mut out[dir],
                 self.atoms.tag[i],
                 self.atoms.typ[i],
-                [
-                    x[0] + link.shift[0],
-                    x[1] + link.shift[1],
-                    x[2] + link.shift[2],
-                ],
+                nx,
                 self.atoms.v[i],
             );
             self.atoms.swap_remove_local(i);
@@ -160,9 +324,14 @@ pub trait GhostEngine: Send {
         0.0
     }
 
-    /// Cumulative message counters since construction.
+    /// Cumulative message counters since construction (all ops folded).
     fn stats(&self) -> CommStats {
-        CommStats::default()
+        self.op_stats().total()
+    }
+
+    /// Cumulative per-(op, round) message counters since construction.
+    fn op_stats(&self) -> OpStats {
+        OpStats::default()
     }
 }
 
@@ -200,5 +369,91 @@ mod tests {
         assert_eq!(st.clock, 7.0);
         assert_eq!(st.comm_time, 5.0);
         assert_eq!(st.pair_comm_time, 2.0);
+    }
+
+    #[test]
+    fn op_indices_are_dense_and_labels_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, op) in Op::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert!(seen.insert(op.label()), "duplicate label {}", op.label());
+        }
+    }
+
+    #[test]
+    fn op_stats_accumulate_and_fold() {
+        let mut s = OpStats::default();
+        s.count(Op::Forward, 0, 100);
+        s.count(Op::Forward, 0, 300);
+        s.count(Op::Exchange, 2, 50);
+        s.growth(Op::Border, 1);
+        assert_eq!(s.op_total(Op::Forward).messages, 2);
+        assert_eq!(s.op_total(Op::Forward).max_msg_bytes, 300);
+        assert_eq!(s.rounds_of(Op::Exchange).len(), 3);
+        assert_eq!(s.rounds_of(Op::Exchange)[2].bytes, 50);
+        let t = s.total();
+        assert_eq!(t.messages, 3);
+        assert_eq!(t.bytes, 450);
+        assert_eq!(t.growth_events, 1);
+        let mut m = OpStats::default();
+        m.merge(&s);
+        m.merge(&s);
+        assert_eq!(m.total().bytes, 900);
+        let d = m.since(&s);
+        assert_eq!(d.total().bytes, 450);
+        assert_eq!(d.op_total(Op::Forward).messages, 2);
+    }
+
+    #[test]
+    fn exchange_wrap_never_lands_on_the_receiving_upper_face() {
+        let mut st = state();
+        assert_eq!(
+            st.plan.sub.lo[0], 0.0,
+            "rank 0 sits on the global lower face"
+        );
+        let shift = st.plan.face_links[0][0].shift[0];
+        assert!(shift > 0.0, "lower-face link wraps by +L");
+        // An atom marginally below the global lower face: x + L rounds to
+        // exactly L, the global (and receiving sub-box's) upper face.
+        let x = -1e-18;
+        assert_eq!(x + shift, shift, "premise: the shift absorbs the offset");
+        st.atoms = Atoms::from_positions(vec![[x, 1.0, 1.0]], 7);
+        let out = st.pack_exchange(0);
+        assert_eq!(st.atoms.nlocal, 0);
+        let recs = crate::wire::parse_exchange_records(&out[0]);
+        assert_eq!(recs.len(), 1);
+        let nx = recs[0].2[0];
+        assert!(
+            nx < shift,
+            "wrapped coordinate {nx} must stay below the global upper face {shift}"
+        );
+        assert!(
+            shift - nx < 1e-9,
+            "only a one-ulp nudge, got {}",
+            shift - nx
+        );
+    }
+
+    #[test]
+    fn wrapped_migrant_settles_on_the_receiving_rank() {
+        let grid = CellGrid::from_node_mesh([8, 12, 8]).unwrap();
+        let map = RankMap::new(grid, Placement::TopoAware);
+        let global = Box3::from_lengths([80.0, 240.0, 160.0]);
+        let rg = map.rank_grid;
+        let top = map.rank_at([i64::from(rg[0]) - 1, 0, 0]);
+        let mk = |rank| CommPlan::build(rank, &map, &global, 2.8, PlanConfig::NEWTON);
+        let mut sender = RankState::new(Atoms::from_positions(vec![[-1e-18, 1.0, 1.0]], 7), mk(0));
+        let mut receiver = RankState::new(Atoms::default(), mk(top));
+        let out = sender.pack_exchange(0);
+        receiver.unpack_exchange(&out[0]);
+        assert_eq!(receiver.atoms.nlocal, 1);
+        // The migrant sits strictly inside the receiver's half-open
+        // sub-box: a further exchange sweep must not move it again.
+        let again = receiver.pack_exchange(0);
+        assert!(
+            again[0].is_empty() && again[1].is_empty(),
+            "migrant must not ping-pong off the receiver"
+        );
+        assert_eq!(receiver.atoms.nlocal, 1);
     }
 }

@@ -2,8 +2,8 @@
 //! pattern ("ref") and the naive MPI p2p pattern that §3.2 shows is
 //! *slower* than the baseline because of MPI's per-message software cost.
 
-use crate::engine::{CommStats, GhostEngine, Op, RankState};
 use crate::border_bin::BorderBins;
+use crate::engine::{GhostEngine, Op, OpStats, RankState};
 use crate::p2p::P2pGhosts;
 use crate::plan::NeighborLink;
 use crate::three_stage::{round_to_sweep, staged_links, StagedGhosts};
@@ -40,7 +40,7 @@ pub struct MpiThreeStage {
     me: usize,
     links: [[NeighborLink; 2]; 3],
     ghosts: StagedGhosts,
-    stats: CommStats,
+    stats: OpStats,
     /// Swaps per dimension (the plan's shell count; 1 in the common case).
     shells: usize,
 }
@@ -63,18 +63,25 @@ impl MpiThreeStage {
             me: rank,
             links: staged_links(map, rank, global),
             ghosts: StagedGhosts::default(),
-            stats: CommStats::default(),
+            stats: OpStats::default(),
             shells,
         }
     }
 
-    fn send_both(&mut self, st: &mut RankState, op: Op, dim: usize, payloads: &[Vec<f64>; 2]) {
+    fn send_both(
+        &mut self,
+        st: &mut RankState,
+        op: Op,
+        round: usize,
+        dim: usize,
+        payloads: &[Vec<f64>; 2],
+    ) {
         let p = *self.comm.net().params();
         let bytes: usize = payloads.iter().map(|v| v.len() * 8).sum();
         let mut now = st.clock;
         now += p.pack_cost(bytes);
         for (dir, payload) in payloads.iter().enumerate() {
-            self.stats.count(payload.len() * 8);
+            self.stats.count(op, round, payload.len() * 8);
             self.comm.send(
                 self.me,
                 self.links[dim][dir].rank,
@@ -129,8 +136,8 @@ impl GhostEngine for MpiThreeStage {
         true
     }
 
-    fn stats(&self) -> CommStats {
-        self.stats
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
     }
 
     fn post(&mut self, op: Op, round: usize, st: &mut RankState) {
@@ -141,7 +148,7 @@ impl GhostEngine for MpiThreeStage {
                 }
                 let (dim, swap) = round_to_sweep(round, self.shells);
                 let payloads = self.ghosts.pack_border(st, &self.links, dim, swap);
-                self.send_both(st, op, dim, &payloads);
+                self.send_both(st, op, round, dim, &payloads);
             }
             Op::Forward => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
@@ -149,7 +156,7 @@ impl GhostEngine for MpiThreeStage {
                     self.ghosts.pack_forward(st, &self.links, dim, swap, 0),
                     self.ghosts.pack_forward(st, &self.links, dim, swap, 1),
                 ];
-                self.send_both(st, op, dim, &payloads);
+                self.send_both(st, op, round, dim, &payloads);
             }
             Op::ForwardScalar => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
@@ -157,7 +164,7 @@ impl GhostEngine for MpiThreeStage {
                     self.ghosts.pack_forward_scalar(st, dim, swap, 0),
                     self.ghosts.pack_forward_scalar(st, dim, swap, 1),
                 ];
-                self.send_both(st, op, dim, &payloads);
+                self.send_both(st, op, round, dim, &payloads);
             }
             Op::Reverse => {
                 // Reverse runs the sweeps backwards (z..x, last swap first).
@@ -167,7 +174,7 @@ impl GhostEngine for MpiThreeStage {
                     self.ghosts.pack_reverse(st, dim, swap, 0),
                     self.ghosts.pack_reverse(st, dim, swap, 1),
                 ];
-                self.send_both(st, op, dim, &payloads);
+                self.send_both(st, op, round, dim, &payloads);
             }
             Op::ReverseScalar => {
                 let idx = 3 * self.shells - 1 - round;
@@ -176,11 +183,11 @@ impl GhostEngine for MpiThreeStage {
                     self.ghosts.pack_reverse_scalar(st, dim, swap, 0),
                     self.ghosts.pack_reverse_scalar(st, dim, swap, 1),
                 ];
-                self.send_both(st, op, dim, &payloads);
+                self.send_both(st, op, round, dim, &payloads);
             }
             Op::Exchange => {
                 let payloads = st.pack_exchange(round);
-                self.send_both(st, op, round, &payloads);
+                self.send_both(st, op, round, round, &payloads);
             }
         }
     }
@@ -204,7 +211,8 @@ impl GhostEngine for MpiThreeStage {
                 let (dim, swap) = round_to_sweep(round, self.shells);
                 let payloads = self.recv_both(st, op, dim);
                 for dir in 0..2 {
-                    self.ghosts.unpack_forward(st, dim, swap, dir, &payloads[dir]);
+                    self.ghosts
+                        .unpack_forward(st, dim, swap, dir, &payloads[dir]);
                 }
             }
             Op::ForwardScalar => {
@@ -220,7 +228,8 @@ impl GhostEngine for MpiThreeStage {
                 let (dim, swap) = round_to_sweep(idx, self.shells);
                 let payloads = self.recv_both(st, op, dim);
                 for dir in 0..2 {
-                    self.ghosts.unpack_reverse(st, dim, swap, dir, &payloads[dir]);
+                    self.ghosts
+                        .unpack_reverse(st, dim, swap, dir, &payloads[dir]);
                 }
             }
             Op::ReverseScalar => {
@@ -234,7 +243,6 @@ impl GhostEngine for MpiThreeStage {
             }
         }
     }
-
 }
 
 /// Naive peer-to-peer over MPI: direct exchange with every plan neighbor.
@@ -243,7 +251,7 @@ pub struct MpiP2p {
     me: usize,
     bins: Option<BorderBins>,
     ghosts: P2pGhosts,
-    stats: CommStats,
+    stats: OpStats,
 }
 
 impl MpiP2p {
@@ -256,7 +264,7 @@ impl MpiP2p {
             me: rank,
             bins: None,
             ghosts: P2pGhosts::default(),
-            stats: CommStats::default(),
+            stats: OpStats::default(),
         }
     }
 
@@ -267,12 +275,19 @@ impl MpiP2p {
         })
     }
 
-    fn send_all(&mut self, st: &mut RankState, op: Op, payloads: &[Vec<f64>], to_recv_side: bool) {
+    fn send_all(
+        &mut self,
+        st: &mut RankState,
+        op: Op,
+        round: usize,
+        payloads: &[Vec<f64>],
+        to_recv_side: bool,
+    ) {
         let p = *self.comm.net().params();
         let bytes: usize = payloads.iter().map(|v| v.len() * 8).sum();
         let mut now = st.clock + p.pack_cost(bytes);
         for (k, payload) in payloads.iter().enumerate() {
-            self.stats.count(payload.len() * 8);
+            self.stats.count(op, round, payload.len() * 8);
             let link = if to_recv_side {
                 &st.plan.recv_from[k]
             } else {
@@ -322,41 +337,40 @@ impl GhostEngine for MpiP2p {
         }
     }
 
-    fn stats(&self) -> CommStats {
-        self.stats
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
     }
 
     fn post(&mut self, op: Op, round: usize, st: &mut RankState) {
-        let _ = round;
         match op {
             Op::Border => {
                 let bins = Self::bins(&mut self.bins, st);
                 let payloads = self.ghosts.pack_border(st, bins);
-                self.send_all(st, op, &payloads, false);
+                self.send_all(st, op, round, &payloads, false);
             }
             Op::Forward => {
                 let payloads: Vec<_> = (0..st.plan.send_to.len())
                     .map(|k| self.ghosts.pack_forward(st, k))
                     .collect();
-                self.send_all(st, op, &payloads, false);
+                self.send_all(st, op, round, &payloads, false);
             }
             Op::ForwardScalar => {
                 let payloads: Vec<_> = (0..st.plan.send_to.len())
                     .map(|k| self.ghosts.pack_forward_scalar(st, k))
                     .collect();
-                self.send_all(st, op, &payloads, false);
+                self.send_all(st, op, round, &payloads, false);
             }
             Op::Reverse => {
                 let payloads: Vec<_> = (0..st.plan.recv_from.len())
                     .map(|k| self.ghosts.pack_reverse(st, k))
                     .collect();
-                self.send_all(st, op, &payloads, true);
+                self.send_all(st, op, round, &payloads, true);
             }
             Op::ReverseScalar => {
                 let payloads: Vec<_> = (0..st.plan.recv_from.len())
                     .map(|k| self.ghosts.pack_reverse_scalar(st, k))
                     .collect();
-                self.send_all(st, op, &payloads, true);
+                self.send_all(st, op, round, &payloads, true);
             }
             Op::Exchange => {
                 let dim = round;
@@ -365,7 +379,7 @@ impl GhostEngine for MpiP2p {
                 let bytes: usize = payloads.iter().map(|v| v.len() * 8).sum();
                 let mut now = st.clock + p.pack_cost(bytes);
                 for (dir, payload) in payloads.iter().enumerate() {
-                    self.stats.count(payload.len() * 8);
+                    self.stats.count(op, round, payload.len() * 8);
                     let link = st.plan.face_links[dim][dir];
                     self.comm.send(
                         self.me,
@@ -426,7 +440,6 @@ impl GhostEngine for MpiP2p {
             }
         }
     }
-
 }
 
 #[cfg(test)]
@@ -468,10 +481,7 @@ mod tests {
                 .into_iter()
                 .map(|p| [sub.lo[0] + p[0], sub.lo[1] + p[1], sub.lo[2] + p[2]])
                 .collect();
-            RankState::new(
-                Atoms::from_positions(pos, rank as u64 * 1000 + 1),
-                plan,
-            )
+            RankState::new(Atoms::from_positions(pos, rank as u64 * 1000 + 1), plan)
         };
         let states = [
             mk(0, positions[0].clone(), &map),
@@ -488,11 +498,7 @@ mod tests {
     /// All 48 ranks exist in the map but only ranks 0 and 1 hold atoms;
     /// the remaining ranks must still participate in the exchange for the
     /// lockstep to complete, so the fixture drives every rank.
-    fn drive_all(
-        engines: &mut [Box<dyn GhostEngine>],
-        states: &mut [RankState],
-        op: Op,
-    ) {
+    fn drive_all(engines: &mut [Box<dyn GhostEngine>], states: &mut [RankState], op: Op) {
         let rounds = engines[0].rounds(op);
         for round in 0..rounds {
             for (e, st) in engines.iter_mut().zip(states.iter_mut()) {
@@ -538,9 +544,11 @@ mod tests {
         );
         assert!(states[0].atoms.nghost() >= 1);
         // Tags preserved across the wire.
-        let tags1: Vec<u64> =
-            states[1].atoms.tag[states[1].atoms.nlocal..].to_vec();
-        assert!(tags1.contains(&1), "rank 0's atom (tag 1) as ghost: {tags1:?}");
+        let tags1: Vec<u64> = states[1].atoms.tag[states[1].atoms.nlocal..].to_vec();
+        assert!(
+            tags1.contains(&1),
+            "rank 0's atom (tag 1) as ghost: {tags1:?}"
+        );
     }
 
     #[test]
@@ -562,9 +570,8 @@ mod tests {
         // Fig. 5 semantics: rank 1 sends its -x-face atom to its *lower*
         // neighbors (rank 0 among them); rank 0 holds the ghost, computes,
         // and the reverse stage carries the force back to rank 1.
-        let (mut engines, mut states, _g) = full_fixture(|c, _m, r, _g| {
-            Box::new(MpiP2p::new(c, r)) as Box<dyn GhostEngine>
-        });
+        let (mut engines, mut states, _g) =
+            full_fixture(|c, _m, r, _g| Box::new(MpiP2p::new(c, r)) as Box<dyn GhostEngine>);
         drive_all(&mut engines, &mut states, Op::Border);
         assert!(
             states[0].atoms.nghost() >= 1,
@@ -607,9 +614,8 @@ mod tests {
 
     #[test]
     fn engines_charge_time_to_the_right_buckets() {
-        let (mut engines, mut states, _g) = full_fixture(|c, _m, r, _g| {
-            Box::new(MpiP2p::new(c, r)) as Box<dyn GhostEngine>
-        });
+        let (mut engines, mut states, _g) =
+            full_fixture(|c, _m, r, _g| Box::new(MpiP2p::new(c, r)) as Box<dyn GhostEngine>);
         drive_all(&mut engines, &mut states, Op::Border);
         assert!(states[0].comm_time > 0.0);
         let comm_before = states[0].comm_time;

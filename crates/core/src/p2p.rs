@@ -105,7 +105,11 @@ impl P2pGhosts {
     /// Accumulate received forces into the atoms of send list `k`.
     pub fn unpack_reverse(&self, st: &mut RankState, k: usize, values: &[f64]) {
         let list = &self.send_lists[k];
-        assert_eq!(values.len(), list.len() * 3, "reverse payload size mismatch");
+        assert_eq!(
+            values.len(),
+            list.len() * 3,
+            "reverse payload size mismatch"
+        );
         for (&i, fxyz) in list.iter().zip(values.chunks_exact(3)) {
             let f = &mut st.atoms.f[i as usize];
             f[0] += fxyz[0];
@@ -176,11 +180,7 @@ mod tests {
         let bins = BorderBins::new(
             plan.sub,
             plan.r_ghost,
-            &plan
-                .send_to
-                .iter()
-                .map(|l| l.offset)
-                .collect::<Vec<_>>(),
+            &plan.send_to.iter().map(|l| l.offset).collect::<Vec<_>>(),
         );
         (RankState::new(Atoms::from_positions(pos, 1), plan), bins)
     }

@@ -109,8 +109,7 @@ impl CommPlan {
         // *opposite* offsets (for whom I sit in their recv set). The shift
         // attached to a send link applies to my outgoing atoms.
         let recv_from: Vec<NeighborLink> = recv_offsets.iter().map(|&o| link(o)).collect();
-        let send_to: Vec<NeighborLink> =
-            recv_offsets.iter().map(|&o| link(o.opposite())).collect();
+        let send_to: Vec<NeighborLink> = recv_offsets.iter().map(|&o| link(o.opposite())).collect();
         let face = |d: usize, dir: i8| -> NeighborLink {
             let mut off = [0i8; 3];
             off[d] = dir;
@@ -159,7 +158,7 @@ impl CommPlan {
                 s => {
                     // Shell s covers the band ((s-1)a, min(r, sa)] of ghost
                     // depth beyond s-1 whole sub-boxes.
-                    
+
                     (r - (f64::from(s) - 1.0) * a[d]).clamp(0.0, a[d])
                 }
             };

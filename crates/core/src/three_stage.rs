@@ -220,7 +220,11 @@ impl StagedGhosts {
         values: &[f64],
     ) {
         let list = &self.send_lists[dim][swap][dir];
-        assert_eq!(values.len(), list.len() * 3, "reverse payload size mismatch");
+        assert_eq!(
+            values.len(),
+            list.len() * 3,
+            "reverse payload size mismatch"
+        );
         for (&i, fxyz) in list.iter().zip(values.chunks_exact(3)) {
             let f = &mut st.atoms.f[i as usize];
             f[0] += fxyz[0];

@@ -18,7 +18,7 @@
 //! neighbors") is modeled by a shared [`AddressBook`].
 
 use crate::border_bin::BorderBins;
-use crate::engine::{CommStats, GhostEngine, Op, RankState};
+use crate::engine::{GhostEngine, Op, OpStats, RankState};
 use crate::fine;
 use crate::p2p::P2pGhosts;
 use crate::plan::{CommPlan, NeighborLink};
@@ -62,7 +62,9 @@ impl AddressBook {
     }
 
     fn publish(&self, rank: u32, kind: BufKind, link: u16, slot: u8, stadd: Stadd, size: usize) {
-        self.map.lock().insert((rank, kind, link, slot), (stadd, size));
+        self.map
+            .lock()
+            .insert((rank, kind, link, slot), (stadd, size));
     }
 
     fn lookup(&self, rank: u32, kind: BufKind, link: u16, slot: u8) -> (Stadd, usize) {
@@ -163,7 +165,7 @@ pub struct UtofuP2p {
     setup_cost: f64,
     /// Buffer-growth events observed (0 under prereg — test observable).
     pub growth_events: u64,
-    stats: CommStats,
+    stats: OpStats,
 }
 
 impl UtofuP2p {
@@ -247,7 +249,7 @@ impl UtofuP2p {
             seq: 0,
             setup_cost,
             growth_events: 0,
-            stats: CommStats::default(),
+            stats: OpStats::default(),
         }
     }
 
@@ -296,6 +298,7 @@ impl UtofuP2p {
         self.book
             .update_size(link.rank as u32, kind, k as u16, slot, new_size);
         self.growth_events += 1;
+        self.stats.growth(op, 0);
     }
 
     /// Post the payloads of one op across the configured threads/VCQs.
@@ -379,10 +382,10 @@ impl UtofuP2p {
         for (k, raw, framed) in stats_counter {
             if direct_x {
                 if !payloads[k].is_empty() {
-                    self.stats.count(raw);
+                    self.stats.count(op, 0, raw);
                 }
             } else {
-                self.stats.count(framed);
+                self.stats.count(op, 0, framed);
             }
         }
         st.charge(end - start, op);
@@ -454,8 +457,8 @@ impl UtofuP2p {
         } else {
             expected.len()
         };
-        let poll = arrivals.len() as f64
-            * (p.cpu_per_put_utofu + n_bufs as f64 * p.mrq_match_per_buffer);
+        let poll =
+            arrivals.len() as f64 * (p.cpu_per_put_utofu + n_bufs as f64 * p.mrq_match_per_buffer);
         let dt = if self.cfg.comm_threads > 1 {
             // Polling and unpacking parallelize over the pool.
             (t - st.clock)
@@ -561,9 +564,10 @@ impl UtofuP2p {
                 self.book
                     .update_size(link.rank as u32, kind, k as u16, slot, new_size);
                 self.growth_events += 1;
+                self.stats.growth(Op::Exchange, dim);
             }
             now += p.pack_cost(bytes.len());
-            self.stats.count(bytes.len());
+            self.stats.count(Op::Exchange, dim, bytes.len());
             self.vcqs[0].put(&mut now, link.node, stadd, 0, &bytes, k as u64, true);
         }
         st.charge(now - st.clock, Op::Exchange);
@@ -694,8 +698,8 @@ impl GhostEngine for UtofuP2p {
         self.setup_cost
     }
 
-    fn stats(&self) -> CommStats {
-        self.stats
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
     }
 }
 
@@ -715,7 +719,7 @@ pub struct UtofuThreeStage {
     setup_cost: f64,
     /// Growth events (same baseline dynamic-expansion accounting).
     pub growth_events: u64,
-    stats: CommStats,
+    stats: OpStats,
 }
 
 impl UtofuThreeStage {
@@ -765,7 +769,7 @@ impl UtofuThreeStage {
             vcq,
             setup_cost,
             growth_events: 0,
-            stats: CommStats::default(),
+            stats: OpStats::default(),
         }
     }
 
@@ -773,7 +777,14 @@ impl UtofuThreeStage {
     /// `links[dim][dir]`'s GhostIn, reverse ops toward OwnerIn. The
     /// receiver's buffer index encodes the *receiver-side* direction
     /// `1 - dir`.
-    fn send_pair(&mut self, st: &mut RankState, op: Op, dim: usize, payloads: &[Vec<f64>; 2]) {
+    fn send_pair(
+        &mut self,
+        st: &mut RankState,
+        op: Op,
+        round: usize,
+        dim: usize,
+        payloads: &[Vec<f64>; 2],
+    ) {
         let p = *self.net.params();
         let kind = match op {
             Op::Border | Op::Forward | Op::ForwardScalar => BufKind::GhostIn,
@@ -789,11 +800,13 @@ impl UtofuThreeStage {
                 let new_size = bytes.len().next_power_of_two();
                 let cost = self.net.grow_mem(link.node, stadd, new_size);
                 now += 2.0 * p.wire_time(0, link.hops) + cost;
-                self.book.update_size(link.rank as u32, kind, rx_idx, 0, new_size);
+                self.book
+                    .update_size(link.rank as u32, kind, rx_idx, 0, new_size);
                 self.growth_events += 1;
+                self.stats.growth(op, round);
             }
             now += p.pack_cost(bytes.len());
-            self.stats.count(bytes.len());
+            self.stats.count(op, round, bytes.len());
             self.vcq
                 .put(&mut now, link.node, stadd, 0, &bytes, rx_idx as u64, true);
         }
@@ -820,8 +833,7 @@ impl UtofuThreeStage {
             out[dir] = wire::parse_combined(&raw);
             unpack += a.len;
         }
-        let poll = arrivals.len() as f64
-            * (p.cpu_per_put_utofu + 2.0 * p.mrq_match_per_buffer);
+        let poll = arrivals.len() as f64 * (p.cpu_per_put_utofu + 2.0 * p.mrq_match_per_buffer);
         st.charge(t - st.clock + poll + p.pack_cost(unpack), op);
         out
     }
@@ -848,7 +860,7 @@ impl GhostEngine for UtofuThreeStage {
                 }
                 let (dim, swap) = round_to_sweep(round, self.shells);
                 let payloads = self.ghosts.pack_border(st, &self.links, dim, swap);
-                self.send_pair(st, op, dim, &payloads);
+                self.send_pair(st, op, round, dim, &payloads);
             }
             Op::Forward => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
@@ -856,7 +868,7 @@ impl GhostEngine for UtofuThreeStage {
                     self.ghosts.pack_forward(st, &self.links, dim, swap, 0),
                     self.ghosts.pack_forward(st, &self.links, dim, swap, 1),
                 ];
-                self.send_pair(st, op, dim, &payloads);
+                self.send_pair(st, op, round, dim, &payloads);
             }
             Op::ForwardScalar => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
@@ -864,7 +876,7 @@ impl GhostEngine for UtofuThreeStage {
                     self.ghosts.pack_forward_scalar(st, dim, swap, 0),
                     self.ghosts.pack_forward_scalar(st, dim, swap, 1),
                 ];
-                self.send_pair(st, op, dim, &payloads);
+                self.send_pair(st, op, round, dim, &payloads);
             }
             Op::Reverse => {
                 let idx = 3 * self.shells - 1 - round;
@@ -873,7 +885,7 @@ impl GhostEngine for UtofuThreeStage {
                     self.ghosts.pack_reverse(st, dim, swap, 0),
                     self.ghosts.pack_reverse(st, dim, swap, 1),
                 ];
-                self.send_pair(st, op, dim, &payloads);
+                self.send_pair(st, op, round, dim, &payloads);
             }
             Op::ReverseScalar => {
                 let idx = 3 * self.shells - 1 - round;
@@ -882,11 +894,11 @@ impl GhostEngine for UtofuThreeStage {
                     self.ghosts.pack_reverse_scalar(st, dim, swap, 0),
                     self.ghosts.pack_reverse_scalar(st, dim, swap, 1),
                 ];
-                self.send_pair(st, op, dim, &payloads);
+                self.send_pair(st, op, round, dim, &payloads);
             }
             Op::Exchange => {
                 let payloads = st.pack_exchange(round);
-                self.send_pair(st, op, round, &payloads);
+                self.send_pair(st, op, round, round, &payloads);
             }
         }
     }
@@ -946,8 +958,8 @@ impl GhostEngine for UtofuThreeStage {
         self.setup_cost
     }
 
-    fn stats(&self) -> CommStats {
-        self.stats
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
     }
 }
 
@@ -999,11 +1011,17 @@ mod tests {
             let atoms = match r {
                 0 => {
                     let sub = plan.sub;
-                    Atoms::from_positions(vec![[sub.hi[0] - 0.5, sub.lo[1] + 5.0, sub.lo[2] + 5.0]], 1)
+                    Atoms::from_positions(
+                        vec![[sub.hi[0] - 0.5, sub.lo[1] + 5.0, sub.lo[2] + 5.0]],
+                        1,
+                    )
                 }
                 1 => {
                     let sub = plan.sub;
-                    Atoms::from_positions(vec![[sub.lo[0] + 0.5, sub.lo[1] + 5.0, sub.lo[2] + 5.0]], 1001)
+                    Atoms::from_positions(
+                        vec![[sub.lo[0] + 0.5, sub.lo[1] + 5.0, sub.lo[2] + 5.0]],
+                        1001,
+                    )
                 }
                 _ => Atoms::default(),
             };
@@ -1160,8 +1178,22 @@ mod tests {
                 &global,
             ));
             let atoms = match r {
-                0 => Atoms::from_positions(vec![[plan.sub.hi[0] - 0.5, plan.sub.lo[1] + 5.0, plan.sub.lo[2] + 5.0]], 1),
-                1 => Atoms::from_positions(vec![[plan.sub.lo[0] + 0.5, plan.sub.lo[1] + 5.0, plan.sub.lo[2] + 5.0]], 1001),
+                0 => Atoms::from_positions(
+                    vec![[
+                        plan.sub.hi[0] - 0.5,
+                        plan.sub.lo[1] + 5.0,
+                        plan.sub.lo[2] + 5.0,
+                    ]],
+                    1,
+                ),
+                1 => Atoms::from_positions(
+                    vec![[
+                        plan.sub.lo[0] + 0.5,
+                        plan.sub.lo[1] + 5.0,
+                        plan.sub.lo[2] + 5.0,
+                    ]],
+                    1001,
+                ),
                 _ => Atoms::default(),
             };
             states.push(RankState::new(atoms, plan));
@@ -1217,8 +1249,13 @@ mod tests {
             // two queued per link it reads whatever bytes sit in the
             // buffers the arrivals point to.)
             let n = f.states[0].plan.recv_from.len();
-            let expected: Vec<Stadd> =
-                f.engines[0].ghost_in.bufs.iter().flatten().copied().collect();
+            let expected: Vec<Stadd> = f.engines[0]
+                .ghost_in
+                .bufs
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
             let (arrivals, _) = wait_arrivals(&f.net, f.engines[0].node, 0.0, n, |a| {
                 a.len > 0 && expected.contains(&a.stadd)
             });
@@ -1229,7 +1266,9 @@ mod tests {
                 .filter(|a| a.len > 8)
                 .min_by(|x, y| x.time.partial_cmp(&y.time).unwrap())
                 .expect("a non-empty scalar payload");
-            let raw = f.net.read_local(f.engines[0].node, a.stadd, a.offset, a.len);
+            let raw = f
+                .net
+                .read_local(f.engines[0].node, a.stadd, a.offset, a.len);
             wire::parse_combined(&raw)[0]
         };
         // One slot: the first-generation read observes the SECOND payload

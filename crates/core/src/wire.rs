@@ -21,7 +21,11 @@ pub fn encode_f64s(values: &[f64]) -> Bytes {
 /// a multiple of 8 (a framing bug, not a recoverable condition).
 #[must_use]
 pub fn decode_f64s(mut bytes: &[u8]) -> Vec<f64> {
-    assert!(bytes.len().is_multiple_of(8), "payload not f64-aligned: {}", bytes.len());
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "payload not f64-aligned: {}",
+        bytes.len()
+    );
     let mut out = Vec::with_capacity(bytes.len() / 8);
     while bytes.has_remaining() {
         out.push(bytes.get_f64_le());

@@ -93,7 +93,11 @@ impl Atoms {
     /// order-destroying — fine because neighbor lists are rebuilt after
     /// every exchange). Must be called only when no ghosts are present.
     pub fn swap_remove_local(&mut self, i: usize) {
-        assert_eq!(self.nghost(), 0, "cannot remove locals while ghosts present");
+        assert_eq!(
+            self.nghost(),
+            0,
+            "cannot remove locals while ghosts present"
+        );
         assert!(i < self.nlocal);
         self.x.swap_remove(i);
         self.v.swap_remove(i);

@@ -175,11 +175,8 @@ mod tests {
         a.typ[1] = 2;
         a.f[0] = [1.0, 0.0, 0.0];
         a.f[1] = [1.0, 0.0, 0.0];
-        let integ = NveIntegrator::with_masses(
-            0.01,
-            Masses::per_type(vec![1.0, 2.0]),
-            UnitSystem::Lj,
-        );
+        let integ =
+            NveIntegrator::with_masses(0.01, Masses::per_type(vec![1.0, 2.0]), UnitSystem::Lj);
         integ.final_integrate(&mut a);
         assert!((a.v[0][0] / a.v[1][0] - 2.0).abs() < 1e-12);
     }

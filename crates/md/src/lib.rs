@@ -74,17 +74,17 @@ pub mod units;
 pub mod velocity;
 
 pub use atom::Atoms;
-pub use dump::XyzTrajectory;
 pub use domain::{neighbor_offsets, Decomposition, NeighborOffset};
+pub use dump::XyzTrajectory;
 pub use integrate::{Masses, NveIntegrator};
 pub use lattice::FccLattice;
 pub use neighbor::{ListKind, NeighborList, RebuildPolicy};
+pub use observe::{Msd, Rdf};
 pub use potential::{
     EamCu, LjCut, LjCutMulti, ManyBodyPotential, PairPotential, Potential, StillingerWeber,
 };
-pub use observe::{Msd, Rdf};
 pub use region::Box3;
-pub use thermostat::Berendsen;
 pub use serial::SerialSim;
 pub use thermo::ThermoSnapshot;
+pub use thermostat::Berendsen;
 pub use units::UnitSystem;

@@ -124,9 +124,7 @@ impl Msd {
         self.unwrapped
             .iter()
             .zip(&self.origin)
-            .map(|(u, o)| {
-                (u[0] - o[0]).powi(2) + (u[1] - o[1]).powi(2) + (u[2] - o[2]).powi(2)
-            })
+            .map(|(u, o)| (u[0] - o[0]).powi(2) + (u[1] - o[1]).powi(2) + (u[2] - o[2]).powi(2))
             .sum::<f64>()
             / n as f64
     }
@@ -171,7 +169,11 @@ mod tests {
         rdf.sample(&atoms, &bounds);
         let g = rdf.g(&bounds);
         // Mean of g over r in [2, 4] should be near 1.
-        let tail: Vec<f64> = g.iter().filter(|(r, _)| *r > 2.0).map(|(_, v)| *v).collect();
+        let tail: Vec<f64> = g
+            .iter()
+            .filter(|(r, _)| *r > 2.0)
+            .map(|(_, v)| *v)
+            .collect();
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
         assert!((mean - 1.0).abs() < 0.15, "gas g(r) tail mean {mean}");
     }

@@ -154,10 +154,7 @@ impl ManyBodyPotential for EamCu {
     }
 
     fn compute_rho(&self, atoms: &Atoms, list: &NeighborList, rho: &mut Vec<f64>) {
-        assert!(
-            !matches!(list.kind, ListKind::Full),
-            "EAM uses a half list"
-        );
+        assert!(!matches!(list.kind, ListKind::Full), "EAM uses a half list");
         rho.clear();
         rho.resize(atoms.ntotal(), 0.0);
         for i in 0..atoms.nlocal {
@@ -332,7 +329,10 @@ mod tests {
         let mut rho = Vec::new();
         eam.compute_rho(&atoms, &list, &mut rho);
         assert!(rho[0] > 0.0);
-        assert!((rho[0] - rho[1]).abs() < 1e-12, "dimer densities must match");
+        assert!(
+            (rho[0] - rho[1]).abs() < 1e-12,
+            "dimer densities must match"
+        );
     }
 
     #[test]

@@ -199,14 +199,7 @@ mod tests {
         let rmin12 = 1.5 * 2f64.powf(1.0 / 6.0);
         let mut atoms = Atoms::from_positions(vec![[0.0; 3], [rmin12, 0.0, 0.0]], 1);
         atoms.typ[1] = 2;
-        let list = NeighborList::build(
-            &atoms,
-            [-2.0; 3],
-            [8.0; 3],
-            ListKind::HalfNewton,
-            6.0,
-            0.0,
-        );
+        let list = NeighborList::build(&atoms, [-2.0; 3], [8.0; 3], ListKind::HalfNewton, 6.0, 0.0);
         multi.compute(&mut atoms, &list);
         assert!(atoms.f[0][0].abs() < 1e-9, "mixed dimer at its minimum");
         // Same geometry with both atoms type 1 is deep on the repulsive

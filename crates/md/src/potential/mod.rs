@@ -85,12 +85,8 @@ pub trait ManyBodyPotential: Send + Sync {
     fn compute_embedding(&self, atoms: &Atoms, rho: &[f64], fp: &mut Vec<f64>) -> f64;
 
     /// Final force pass; `fp` must be valid for locals *and* ghosts.
-    fn compute_force(
-        &self,
-        atoms: &mut Atoms,
-        list: &NeighborList,
-        fp: &[f64],
-    ) -> PairEnergyVirial;
+    fn compute_force(&self, atoms: &mut Atoms, list: &NeighborList, fp: &[f64])
+        -> PairEnergyVirial;
 }
 
 /// Any potential the engines can run.

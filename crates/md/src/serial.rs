@@ -277,8 +277,7 @@ impl SerialSim {
     /// Current thermodynamic state.
     #[must_use]
     pub fn snapshot(&self) -> ThermoSnapshot {
-        let ke =
-            thermo::kinetic_energy_typed(&self.atoms, &self.integrator.masses, self.units);
+        let ke = thermo::kinetic_energy_typed(&self.atoms, &self.integrator.masses, self.units);
         let pe = self.last_pair.energy + self.last_embed;
         let t = thermo::temperature(ke, self.atoms.nlocal, self.units);
         let p = thermo::pressure(ke, self.last_pair.virial, self.bounds.volume(), self.units);
@@ -374,7 +373,9 @@ mod tests {
             let g = sim.atoms.x[sim.atoms.nlocal + gi];
             let rg = sim.ghost_cutoff();
             for d in 0..3 {
-                assert!(g[d] >= sim.bounds.lo[d] - rg - 1e-9 && g[d] <= sim.bounds.hi[d] + rg + 1e-9);
+                assert!(
+                    g[d] >= sim.bounds.lo[d] - rg - 1e-9 && g[d] <= sim.bounds.hi[d] + rg + 1e-9
+                );
             }
             // Every ghost must be an exact image of some local.
             let _ = l;

@@ -106,11 +106,8 @@ mod tests {
         a.v[0] = [1.0, 0.0, 0.0];
         a.v[1] = [0.0, 2.0, 0.0];
         let uniform = kinetic_energy(&a, 2.5, UnitSystem::Lj);
-        let typed = kinetic_energy_typed(
-            &a,
-            &crate::integrate::Masses::uniform(2.5),
-            UnitSystem::Lj,
-        );
+        let typed =
+            kinetic_energy_typed(&a, &crate::integrate::Masses::uniform(2.5), UnitSystem::Lj);
         assert!((uniform - typed).abs() < 1e-12);
         // A heavier second species raises the KE of that atom only.
         a.typ[1] = 2;

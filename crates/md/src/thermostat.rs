@@ -96,7 +96,10 @@ mod tests {
         for _ in 0..20 {
             th.apply(&mut a, 1.0, UnitSystem::Lj, 0.01);
             let gap = (temp(&a) - 1.0).abs();
-            assert!(gap <= prev_gap + 1e-12, "must approach target monotonically");
+            assert!(
+                gap <= prev_gap + 1e-12,
+                "must approach target monotonically"
+            );
             prev_gap = gap;
         }
         assert!(prev_gap < 0.15, "after 20 couplings gap = {prev_gap}");

@@ -23,7 +23,8 @@ pub fn create_velocities(
     assert!(t_target >= 0.0);
     let sigma = (units.boltzmann() * t_target / (units.mvv2e() * mass)).sqrt();
     for i in 0..atoms.nlocal {
-        let mut rng = StdRng::seed_from_u64(seed ^ atoms.tag[i].wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ atoms.tag[i].wrapping_mul(0x9E37_79B9_7F4A_7C15));
         for d in 0..3 {
             atoms.v[i][d] = sigma * gaussian(&mut rng);
         }

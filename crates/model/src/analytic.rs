@@ -167,8 +167,7 @@ pub fn ref_step_time(
     let t = pattern_times(&geom, w.density, 24.0, Transport::Mpi, p);
     let bytes = (w.density * geom.three_stage_total() * 24.0) as usize;
     // Staged exchange: Eq. 5 wire path + receiver match/copy per message.
-    let exchange =
-        t.three_stage_opt + p.pack_cost(bytes) * 2.0 + 6.0 * p.mpi_match_cost;
+    let exchange = t.three_stage_opt + p.pack_cost(bytes) * 2.0 + 6.0 * p.mpi_match_cost;
     let mut pair = costs.pair_time(&work, Threading::OpenMp, p);
     if w.eam {
         let ts = pattern_times(&geom, w.density, 8.0, Transport::Mpi, p);

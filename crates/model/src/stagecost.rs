@@ -109,12 +109,7 @@ impl StageCosts {
     /// Pair-stage compute time (excluding mid-stage communication, which
     /// the fabric provides).
     #[must_use]
-    pub fn pair_time(
-        &self,
-        w: &RankWork,
-        threading: Threading,
-        p: &tofumd_tofu::NetParams,
-    ) -> f64 {
+    pub fn pair_time(&self, w: &RankWork, threading: Threading, p: &tofumd_tofu::NetParams) -> f64 {
         let (f_int, f_atom, fixed) = if w.eam {
             (
                 self.eam_pair_factor,

@@ -153,7 +153,9 @@ impl Communicator {
         let p = *self.net.params();
         let node = self.node_of(dst);
         let (mut arr, t) = wait_arrivals(&self.net, node, now, 1, |a| {
-            a.src_rank == src as u32 && a.piggyback == u64::from(tag) && a.stadd == self.mailbox[dst]
+            a.src_rank == src as u32
+                && a.piggyback == u64::from(tag)
+                && a.stadd == self.mailbox[dst]
         });
         let a = arr.pop().expect("wait_arrivals returned empty");
         let data = self.net.read_local(node, a.stadd, a.offset, a.len);

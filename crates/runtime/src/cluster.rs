@@ -19,7 +19,7 @@
 use crate::config::RunConfig;
 use crate::variant::CommVariant;
 use std::sync::Arc;
-use tofumd_core::engine::{GhostEngine, Op, RankState};
+use tofumd_core::engine::{CommStats, GhostEngine, Op, OpStats, RankState};
 use tofumd_core::mpi_engine::{MpiP2p, MpiThreeStage};
 use tofumd_core::plan::{CommPlan, PlanConfig};
 use tofumd_core::topo_map::{Placement, RankMap};
@@ -71,6 +71,11 @@ impl StageBreakdown {
     }
 }
 
+/// Callback invoked after every completed communication round: `(op,
+/// round, rounds, states)`. Installed by the lockstep bisector to snapshot
+/// per-rank state at op granularity.
+pub type OpObserver = Box<dyn FnMut(Op, usize, usize, &[RankState]) + Send>;
+
 /// The lockstep simulated cluster.
 pub struct Cluster {
     /// The run configuration in force.
@@ -111,6 +116,7 @@ pub struct Cluster {
     thermo_log: Vec<ThermoSnapshot>,
     target_mesh: [u32; 3],
     target_ranks: usize,
+    op_observer: Option<OpObserver>,
 }
 
 impl Cluster {
@@ -138,7 +144,13 @@ impl Cluster {
             natoms_target: scaled,
             ..cfg
         };
-        Self::build(proxy_mesh, target_mesh, scaled_cfg, variant, Placement::TopoAware)
+        Self::build(
+            proxy_mesh,
+            target_mesh,
+            scaled_cfg,
+            variant,
+            Placement::TopoAware,
+        )
     }
 
     /// Full constructor with explicit placement (the topo-map ablation
@@ -233,25 +245,19 @@ impl Cluster {
                 cfg.seed,
             );
             let engine: Box<dyn GhostEngine> = match variant {
-                CommVariant::Ref => Box::new(MpiThreeStage::new(
-                    mpi.clone(),
-                    &map,
-                    rank,
-                    &global,
-                    shells,
-                )),
-                CommVariant::MpiP2p => Box::new(MpiP2p::new(mpi.clone(), rank)),
-                CommVariant::Utofu3Stage => {
-                    Box::new(UtofuThreeStage::new(
-                        net.clone(),
-                        book.clone(),
-                        &map,
-                        &plan,
-                        node,
-                        density,
-                        &global,
-                    ))
+                CommVariant::Ref => {
+                    Box::new(MpiThreeStage::new(mpi.clone(), &map, rank, &global, shells))
                 }
+                CommVariant::MpiP2p => Box::new(MpiP2p::new(mpi.clone(), rank)),
+                CommVariant::Utofu3Stage => Box::new(UtofuThreeStage::new(
+                    net.clone(),
+                    book.clone(),
+                    &map,
+                    &plan,
+                    node,
+                    density,
+                    &global,
+                )),
                 CommVariant::Utofu4TniP2p => Box::new(UtofuP2p::new(
                     net.clone(),
                     book.clone(),
@@ -347,6 +353,7 @@ impl Cluster {
             thermo_log: Vec::new(),
             target_mesh,
             target_ranks,
+            op_observer: None,
         };
         // Setup stage: establish ghosts, lists, initial forces.
         cluster.run_op(Op::Border);
@@ -455,8 +462,36 @@ impl Cluster {
             if barrier && round + 1 < rounds {
                 self.sync_barrier(op);
             }
+            if let Some(mut obs) = self.op_observer.take() {
+                obs(op, round, rounds, &self.states);
+                self.op_observer = Some(obs);
+            }
         }
         self.mpi.reset_mailboxes();
+    }
+
+    /// Install an [`OpObserver`] called after every completed round of
+    /// every op. Used by the lockstep bisector; replaces any previous
+    /// observer.
+    pub fn set_op_observer(&mut self, obs: OpObserver) {
+        self.op_observer = Some(obs);
+    }
+
+    /// Remove the installed [`OpObserver`], if any.
+    pub fn clear_op_observer(&mut self) {
+        self.op_observer = None;
+    }
+
+    /// Replace rank `rank`'s ghost engine with `wrap(old_engine)`. The
+    /// lockstep fault-injection tests use this to interpose a corrupting
+    /// shim around one rank's engine.
+    pub fn wrap_engine(
+        &mut self,
+        rank: usize,
+        wrap: impl FnOnce(Box<dyn GhostEngine>) -> Box<dyn GhostEngine>,
+    ) {
+        let old = std::mem::replace(&mut self.engines[rank], Box::new(PlaceholderEngine));
+        self.engines[rank] = wrap(old);
     }
 
     /// Mean per-round hop latency of the *target* machine's collectives.
@@ -731,8 +766,7 @@ impl Cluster {
             .iter()
             .map(|s| s.clock)
             .fold(f64::NEG_INFINITY, f64::max);
-        let mean =
-            self.states.iter().map(|s| s.clock).sum::<f64>() / self.nranks() as f64;
+        let mean = self.states.iter().map(|s| s.clock).sum::<f64>() / self.nranks() as f64;
         if mean <= 0.0 {
             1.0
         } else {
@@ -744,6 +778,7 @@ impl Cluster {
     pub fn run_traced(&mut self, n: u64) -> crate::trace::Trace {
         let mut trace = crate::trace::Trace::default();
         let nranks = self.nranks() as f64;
+        let ops_before = self.op_stats();
         for _ in 0..n {
             let before = self.stage_sums();
             let clock_before = self
@@ -770,6 +805,8 @@ impl Cluster {
                 rebuilt: self.rebuild_count > rebuilds_before,
             });
         }
+        let delta = self.op_stats().since(&ops_before);
+        trace.comm = crate::trace::comm_rows(&delta, nranks * n as f64);
         trace
     }
 
@@ -839,12 +876,21 @@ impl Cluster {
     /// Aggregate message counters across ranks (Table 1's live
     /// counterpart: messages posted and payload bytes moved).
     #[must_use]
-    pub fn comm_stats(&self) -> tofumd_core::engine::CommStats {
-        let mut total = tofumd_core::engine::CommStats::default();
+    pub fn comm_stats(&self) -> CommStats {
+        let mut total = CommStats::default();
         for e in &self.engines {
-            let s = e.stats();
-            total.messages += s.messages;
-            total.bytes += s.bytes;
+            total.merge(&e.stats());
+        }
+        total
+    }
+
+    /// Aggregate per-op / per-round message counters across ranks — the
+    /// deep-telemetry view behind [`Cluster::comm_stats`].
+    #[must_use]
+    pub fn op_stats(&self) -> OpStats {
+        let mut total = OpStats::default();
+        for e in &self.engines {
+            total.merge(&e.op_stats());
         }
         total
     }
@@ -889,6 +935,25 @@ impl Cluster {
         (0..self.net.node_count())
             .map(|n| self.net.registration_calls_of(n))
             .sum::<u64>()
+    }
+}
+
+/// Stand-in engine used only inside [`Cluster::wrap_engine`] while the
+/// real engine is temporarily moved out. Never posts or completes.
+struct PlaceholderEngine;
+
+impl GhostEngine for PlaceholderEngine {
+    fn name(&self) -> &'static str {
+        "placeholder"
+    }
+    fn rounds(&self, _op: Op) -> usize {
+        0
+    }
+    fn post(&mut self, _op: Op, _round: usize, _st: &mut RankState) {
+        unreachable!("placeholder engine must never run");
+    }
+    fn complete(&mut self, _op: Op, _round: usize, _st: &mut RankState) {
+        unreachable!("placeholder engine must never run");
     }
 }
 
@@ -1092,14 +1157,24 @@ mod tests {
         parallel.run(25);
         let a = serial.thermo();
         let b = parallel.thermo();
-        assert!((a.pe - b.pe).abs() / a.pe.abs() < 1e-12, "{} vs {}", a.pe, b.pe);
+        assert!(
+            (a.pe - b.pe).abs() / a.pe.abs() < 1e-12,
+            "{} vs {}",
+            a.pe,
+            b.pe
+        );
         assert!((a.ke - b.ke).abs() / a.ke < 1e-12);
         assert_eq!(serial.natoms(), parallel.natoms());
     }
 
     #[test]
     fn proxy_scales_workload_down() {
-        let c = Cluster::proxy(MESH, [32, 36, 32], RunConfig::lj(4_194_304), CommVariant::Opt);
+        let c = Cluster::proxy(
+            MESH,
+            [32, 36, 32],
+            RunConfig::lj(4_194_304),
+            CommVariant::Opt,
+        );
         // 4.2M atoms over 147,456 ranks ~ 28/rank; 48 proxy ranks ~ 1.4k.
         let per_rank = c.natoms() as f64 / c.nranks() as f64;
         assert!(

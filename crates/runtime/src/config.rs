@@ -194,10 +194,7 @@ impl RunConfig {
     /// Whether the ghost exchange is Newton-halved.
     #[must_use]
     pub fn newton_half(&self) -> bool {
-        matches!(
-            self.build_potential().list_kind(),
-            ListKind::HalfNewton
-        )
+        matches!(self.build_potential().list_kind(), ListKind::HalfNewton)
     }
 
     /// Is this an EAM-like (two-pass) run?

@@ -33,12 +33,17 @@
 
 pub mod cluster;
 pub mod config;
+pub mod lockstep;
 pub mod script;
 pub mod trace;
 pub mod variant;
 
 pub use cluster::{Cluster, StageBreakdown};
 pub use config::{PotentialKind, RunConfig};
+pub use lockstep::{
+    bisect_against_serial, bisect_clusters, bisect_variants, AtomDelta, Divergence,
+    DivergenceReport, FaultInjector, LockstepOptions,
+};
 pub use script::{parse_script, ScriptError, ScriptRun};
-pub use trace::{StepRecord, Trace};
+pub use trace::{OpCommRow, StepRecord, Trace};
 pub use variant::CommVariant;

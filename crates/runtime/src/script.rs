@@ -85,7 +85,9 @@ pub fn parse_script(text: &str) -> Result<ScriptRun, ScriptError> {
         let cmd = tokens[0];
         match cmd {
             "units" => {
-                let u = *tokens.get(1).ok_or_else(|| err(lineno, "units needs an argument"))?;
+                let u = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "units needs an argument"))?;
                 if u != "lj" && u != "metal" {
                     return Err(err(lineno, format!("unsupported units '{u}'")));
                 }
@@ -96,7 +98,9 @@ pub fn parse_script(text: &str) -> Result<ScriptRun, ScriptError> {
             }
             "lattice" => {
                 // lattice fcc|diamond <value>
-                let style = *tokens.get(1).ok_or_else(|| err(lineno, "lattice needs a style"))?;
+                let style = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "lattice needs a style"))?;
                 if style != "fcc" && style != "diamond" {
                     return Err(err(lineno, format!("unsupported lattice '{style}'")));
                 }
@@ -160,7 +164,9 @@ pub fn parse_script(text: &str) -> Result<ScriptRun, ScriptError> {
                 );
             }
             "pair_style" => {
-                let style = *tokens.get(1).ok_or_else(|| err(lineno, "pair_style needs a style"))?;
+                let style = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "pair_style needs a style"))?;
                 match style {
                     "lj/cut" => {
                         st.pair_style = Some("lj/cut".into());
@@ -292,7 +298,12 @@ fn finalize(st: State) -> Result<ScriptRun, ScriptError> {
         }
         ("metal", "eam") => PotentialKind::Eam,
         ("metal", "sw") => PotentialKind::Sw,
-        (u, s) => return Err(err(0, format!("units '{u}' with pair_style '{s}' unsupported"))),
+        (u, s) => {
+            return Err(err(
+                0,
+                format!("units '{u}' with pair_style '{s}' unsupported"),
+            ))
+        }
     };
     let base = match kind {
         PotentialKind::Eam => RunConfig::eam(natoms),
@@ -312,13 +323,19 @@ fn finalize(st: State) -> Result<ScriptRun, ScriptError> {
         if (skin - config.skin()).abs() > 1e-9 {
             return Err(err(
                 0,
-                format!("skin {skin} differs from the Table-2 value {}", config.skin()),
+                format!(
+                    "skin {skin} differs from the Table-2 value {}",
+                    config.skin()
+                ),
             ));
         }
     }
     if let Some(ts) = st.timestep {
         if (ts - config.timestep()).abs() > 1e-12 {
-            return Err(err(0, format!("timestep {ts} differs from Table 2's 0.005")));
+            return Err(err(
+                0,
+                format!("timestep {ts} differs from Table 2's 0.005"),
+            ));
         }
     }
     if let (Some(every), want) = (st.neigh_every, config.policy()) {
@@ -333,7 +350,9 @@ fn finalize(st: State) -> Result<ScriptRun, ScriptError> {
     }
     Ok(ScriptRun {
         config,
-        steps: st.run_steps.ok_or_else(|| err(0, "script never issued 'run'"))?,
+        steps: st
+            .run_steps
+            .ok_or_else(|| err(0, "script never issued 'run'"))?,
         thermo_every: st.thermo_every,
         ignored: st.ignored,
     })

@@ -8,6 +8,61 @@
 
 use crate::cluster::StageBreakdown;
 use serde::{Deserialize, Serialize};
+use tofumd_core::engine::{Op, OpStats};
+
+/// Payload f64s per atom record of each op (Exchange records also carry
+/// the tag and type; the small framing overhead is ignored).
+fn record_f64s(op: Op) -> f64 {
+    match op {
+        Op::Exchange => 7.0,
+        Op::Border => 4.0,
+        Op::Forward | Op::Reverse => 3.0,
+        Op::ForwardScalar | Op::ReverseScalar => 1.0,
+    }
+}
+
+/// One op's aggregate comm counters over a traced run, normalized per
+/// rank-step — the live counterpart of Table 1's `total_msg` /
+/// `total_atom` columns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpCommRow {
+    /// Op label ("exchange", "border", ...).
+    pub op: &'static str,
+    /// Messages posted per rank per step.
+    pub messages: f64,
+    /// Atom records moved per rank per step (estimated from payload bytes).
+    pub atoms: f64,
+    /// Payload bytes per rank per step.
+    pub bytes: f64,
+    /// Largest single message observed anywhere (bytes).
+    pub max_msg_bytes: u64,
+    /// Remote-buffer growth events over the whole trace.
+    pub growth_events: u64,
+}
+
+/// Fold an [`OpStats`] delta into per-op rows normalized by `rank_steps`
+/// (= ranks × steps). Ops that moved nothing are omitted.
+#[must_use]
+pub fn comm_rows(stats: &OpStats, rank_steps: f64) -> Vec<OpCommRow> {
+    let norm = rank_steps.max(1.0);
+    Op::ALL
+        .iter()
+        .filter_map(|&op| {
+            let t = stats.op_total(op);
+            if t.messages == 0 && t.growth_events == 0 {
+                return None;
+            }
+            Some(OpCommRow {
+                op: op.label(),
+                messages: t.messages as f64 / norm,
+                atoms: t.bytes as f64 / (8.0 * record_f64s(op)) / norm,
+                bytes: t.bytes as f64 / norm,
+                max_msg_bytes: t.max_msg_bytes,
+                growth_events: t.growth_events,
+            })
+        })
+        .collect()
+}
 
 /// One step's stage record.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -27,6 +82,8 @@ pub struct StepRecord {
 pub struct Trace {
     /// Per-step records in order.
     pub steps: Vec<StepRecord>,
+    /// Per-op comm counters over the traced window (per rank-step).
+    pub comm: Vec<OpCommRow>,
 }
 
 /// Stage names in breakdown order.
@@ -129,6 +186,17 @@ impl Trace {
                 "reneighbor steps cost {ratio:.2}x a forward step\n"
             ));
         }
+        if !self.comm.is_empty() {
+            out.push_str(
+                "op          msg/rank/step  atoms/rank/step  bytes/rank/step  max_msg  growth\n",
+            );
+            for r in &self.comm {
+                out.push_str(&format!(
+                    "{:<11} {:>13.2} {:>16.1} {:>16.1} {:>8} {:>7}\n",
+                    r.op, r.messages, r.atoms, r.bytes, r.max_msg_bytes, r.growth_events
+                ));
+            }
+        }
         out
     }
 }
@@ -184,6 +252,28 @@ mod tests {
         for name in STAGE_NAMES {
             assert!(rep.contains(name), "missing {name} in report");
         }
+    }
+
+    #[test]
+    fn comm_rows_normalize_and_render() {
+        let mut stats = OpStats::default();
+        // 96 forward messages of 30 atoms (3 f64s each) over 2 rank-steps.
+        for _ in 0..96 {
+            stats.count(Op::Forward, 0, 30 * 3 * 8);
+        }
+        stats.growth(Op::Border, 0);
+        let rows = comm_rows(&stats, 2.0);
+        assert_eq!(rows.len(), 2, "border (growth only) + forward");
+        let fwd = rows.iter().find(|r| r.op == "forward").unwrap();
+        assert!((fwd.messages - 48.0).abs() < 1e-12);
+        assert!((fwd.atoms - 48.0 * 30.0).abs() < 1e-9);
+        assert_eq!(fwd.max_msg_bytes, 720);
+        let mut t = Trace::default();
+        t.push(rec(1, 4e-6, false));
+        t.comm = rows;
+        let rep = t.report();
+        assert!(rep.contains("forward"), "per-op table missing: {rep}");
+        assert!(rep.contains("msg/rank/step"));
     }
 
     #[test]

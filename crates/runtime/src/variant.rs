@@ -45,6 +45,22 @@ impl CommVariant {
         }
     }
 
+    /// Parse a figure label (as printed by [`CommVariant::label`]) back
+    /// into a variant; accepts the paper's `opt` as an alias for
+    /// `parallel-p2p`.
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "ref" => Some(CommVariant::Ref),
+            "mpi-p2p" => Some(CommVariant::MpiP2p),
+            "utofu-3stage" => Some(CommVariant::Utofu3Stage),
+            "4tni-p2p" => Some(CommVariant::Utofu4TniP2p),
+            "6tni-p2p" => Some(CommVariant::Utofu6TniP2p),
+            "parallel-p2p" | "opt" => Some(CommVariant::Opt),
+            _ => None,
+        }
+    }
+
     /// Which threading runtime executes the compute stages under this
     /// variant (§4.2: only the thread-pool version switches off OpenMP).
     #[must_use]
@@ -81,7 +97,13 @@ mod tests {
             .collect();
         assert_eq!(
             labels,
-            vec!["ref", "utofu-3stage", "4tni-p2p", "6tni-p2p", "parallel-p2p"]
+            vec![
+                "ref",
+                "utofu-3stage",
+                "4tni-p2p",
+                "6tni-p2p",
+                "parallel-p2p"
+            ]
         );
     }
 
@@ -91,6 +113,19 @@ mod tests {
             let expect = v == CommVariant::Opt;
             assert_eq!(v.threading() == Threading::SpinPool, expect);
         }
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for v in CommVariant::STEP_BY_STEP {
+            assert_eq!(CommVariant::from_label(v.label()), Some(v));
+        }
+        assert_eq!(CommVariant::from_label("opt"), Some(CommVariant::Opt));
+        assert_eq!(
+            CommVariant::from_label("mpi-p2p"),
+            Some(CommVariant::MpiP2p)
+        );
+        assert_eq!(CommVariant::from_label("nope"), None);
     }
 
     #[test]

@@ -95,8 +95,16 @@ mod tests {
     #[test]
     fn overheads_are_sane_magnitudes() {
         let r = measure_overheads(2, 100);
-        let budget = if multicore() { (1e-3, 1e-2) } else { (0.5, 0.5) };
+        let budget = if multicore() {
+            (1e-3, 1e-2)
+        } else {
+            (0.5, 0.5)
+        };
         assert!(r.pool < budget.0, "pool overhead {} s", r.pool);
-        assert!(r.fork_join < budget.1, "fork-join overhead {} s", r.fork_join);
+        assert!(
+            r.fork_join < budget.1,
+            "fork-join overhead {} s",
+            r.fork_join
+        );
     }
 }

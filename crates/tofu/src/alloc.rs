@@ -28,10 +28,16 @@ impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AllocError::NotFoldable(m) => {
-                write!(f, "node mesh {m:?} does not fold onto cells of {CELL_DIMS:?}")
+                write!(
+                    f,
+                    "node mesh {m:?} does not fold onto cells of {CELL_DIMS:?}"
+                )
             }
             AllocError::NotShelfMultiple(n) => {
-                write!(f, "{n} nodes is not a multiple of the {SHELF_NODES}-node shelf")
+                write!(
+                    f,
+                    "{n} nodes is not a multiple of the {SHELF_NODES}-node shelf"
+                )
             }
         }
     }

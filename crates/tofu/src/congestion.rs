@@ -63,7 +63,11 @@ impl CongestionModel {
             let fwd = (to[d] + size - cur[d]) % size;
             let bwd = (cur[d] + size - to[d]) % size;
             // Tie-break toward the positive direction.
-            let (steps, dir_positive) = if fwd <= bwd { (fwd, true) } else { (bwd, false) };
+            let (steps, dir_positive) = if fwd <= bwd {
+                (fwd, true)
+            } else {
+                (bwd, false)
+            };
             for _ in 0..steps {
                 let dir = 2 * d + usize::from(!dir_positive);
                 hops.push((self.node_id(cur), dir));
@@ -205,11 +209,7 @@ mod tests {
                 for z in 0..mesh[2] {
                     let from = [x, y, z];
                     for (dx, dy, dz) in [(1, 0, 0), (0, 1, 0), (0, 0, 1), (1, 1, 0), (1, 1, 1)] {
-                        let to = [
-                            (x + dx) % mesh[0],
-                            (y + dy) % mesh[1],
-                            (z + dz) % mesh[2],
-                        ];
+                        let to = [(x + dx) % mesh[0], (y + dy) % mesh[1], (z + dz) % mesh[2]];
                         let t = m.transmit(from, to, 522, 0.0);
                         let f = m.free_flight(from, to, 522, 0.0);
                         max_arrival_excess = max_arrival_excess.max(t - f);

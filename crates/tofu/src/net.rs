@@ -141,7 +141,8 @@ impl TofuNet {
     /// Hop count between two node ids on the folded torus.
     #[must_use]
     pub fn hops(&self, a: usize, b: usize) -> u32 {
-        self.grid.hops(self.grid.mesh_of_id(a), self.grid.mesh_of_id(b))
+        self.grid
+            .hops(self.grid.mesh_of_id(a), self.grid.mesh_of_id(b))
     }
 
     /// Allocate one CQ on `(node, tni)`; errors when the TNI's 9 CQs are
@@ -163,7 +164,10 @@ impl TofuNet {
 
     /// Grow a registered region (dynamic expansion, baseline behaviour).
     pub fn grow_mem(&self, node: usize, stadd: Stadd, new_len: usize) -> f64 {
-        self.nodes[node].mem.lock().grow(stadd, new_len, &self.params)
+        self.nodes[node]
+            .mem
+            .lock()
+            .grow(stadd, new_len, &self.params)
     }
 
     /// Write directly into one's own registered region (packing).
@@ -173,7 +177,11 @@ impl TofuNet {
 
     /// Read from one's own registered region (unpacking).
     pub fn read_local(&self, node: usize, stadd: Stadd, offset: usize, len: usize) -> Vec<u8> {
-        self.nodes[node].mem.lock().read(stadd, offset, len).to_vec()
+        self.nodes[node]
+            .mem
+            .lock()
+            .read(stadd, offset, len)
+            .to_vec()
     }
 
     /// Total modeled registration cost accumulated on a node.
@@ -262,7 +270,11 @@ impl TofuNet {
     /// Take *all* currently queued arrivals on `node` that match `pred`.
     /// (In the lockstep driver, all sends of a stage precede all receives,
     /// so everything a stage expects is already queued.)
-    pub fn take_arrivals(&self, node: usize, mut pred: impl FnMut(&Arrival) -> bool) -> Vec<Arrival> {
+    pub fn take_arrivals(
+        &self,
+        node: usize,
+        mut pred: impl FnMut(&Arrival) -> bool,
+    ) -> Vec<Arrival> {
         let mut mrq = self.nodes[node].mrq.lock();
         let mut taken = Vec::new();
         let mut i = 0;

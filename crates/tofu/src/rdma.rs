@@ -109,8 +109,9 @@ impl Vcq {
         len: usize,
     ) -> (Vec<u8>, f64) {
         *now += self.net.params().cpu_per_put_utofu;
-        self.net
-            .get(self.node, self.tni, dst_node, dst_stadd, dst_offset, len, *now)
+        self.net.get(
+            self.node, self.tni, dst_node, dst_stadd, dst_offset, len, *now,
+        )
     }
 }
 

@@ -48,10 +48,18 @@ impl CellGrid {
     #[must_use]
     pub fn with_intra(cells: [u32; 3], intra: [u32; 3]) -> Self {
         assert!(cells.iter().all(|&c| c > 0), "empty cell grid");
-        assert_eq!(intra.iter().product::<u32>(), 12, "intra dims must cover a cell");
+        assert_eq!(
+            intra.iter().product::<u32>(),
+            12,
+            "intra dims must cover a cell"
+        );
         let mut sorted = intra;
         sorted.sort_unstable();
-        assert_eq!(sorted, [2, 2, 3], "intra dims must be a permutation of (2,3,2)");
+        assert_eq!(
+            sorted,
+            [2, 2, 3],
+            "intra dims must be a permutation of (2,3,2)"
+        );
         Self { cells, intra }
     }
 

@@ -30,7 +30,10 @@ fn main() {
             }
         }
     }
-    println!("{} atoms: {n1} of species A, {n2} of species B", cluster.natoms());
+    println!(
+        "{} atoms: {n1} of species A, {n2} of species B",
+        cluster.natoms()
+    );
     cluster.run(60);
     let t = cluster.thermo();
     println!(

@@ -10,8 +10,9 @@ use tofumd::runtime::{parse_script, Cluster, CommVariant};
 
 fn main() {
     let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => tofumd::runtime::script::IN_THREADPOOL_LJ.to_string(),
     };
     let run = match parse_script(&text) {
@@ -34,12 +35,19 @@ fn main() {
         "\nrunning on the simulated 768-node machine ({} proxy ranks)...",
         cluster.nranks()
     );
-    let every = if run.thermo_every == 0 { run.steps } else { run.thermo_every.min(run.steps) };
+    let every = if run.thermo_every == 0 {
+        run.steps
+    } else {
+        run.thermo_every.min(run.steps)
+    };
     let mut done = 0;
     let t0 = cluster.thermo();
     println!(
         "step {:>6}  T {:>9.4}  P {:>12.4}  E {:>14.4}",
-        0, t0.temperature, t0.pressure, t0.total_energy()
+        0,
+        t0.temperature,
+        t0.pressure,
+        t0.total_energy()
     );
     while done < run.steps {
         let n = every.min(run.steps - done);
@@ -48,7 +56,10 @@ fn main() {
         let t = cluster.thermo();
         println!(
             "step {:>6}  T {:>9.4}  P {:>12.4}  E {:>14.4}",
-            done, t.temperature, t.pressure, t.total_energy()
+            done,
+            t.temperature,
+            t.pressure,
+            t.total_energy()
         );
     }
     let b = cluster.breakdown();
@@ -59,6 +70,10 @@ fn main() {
     println!(
         "performance: {:.3} {}-units/day per the paper's metric",
         tofumd::model::scaling::units_per_day(0.005, b.total()),
-        if matches!(run.config.kind, tofumd::runtime::PotentialKind::Eam) { "ps" } else { "tau" },
+        if matches!(run.config.kind, tofumd::runtime::PotentialKind::Eam) {
+            "ps"
+        } else {
+            "tau"
+        },
     );
 }

@@ -9,11 +9,18 @@ use tofumd::tofu::{wait_arrivals, CellGrid, NetParams, TofuNet, Vcq, CQS_PER_TNI
 fn main() {
     // A single TofuD cell: 12 nodes in the 2x3x2 block.
     let net = Arc::new(TofuNet::new(CellGrid::new([1, 1, 1]), NetParams::default()));
-    println!("machine: {} nodes, folded mesh {:?}\n", net.node_count(), net.grid().node_mesh());
+    println!(
+        "machine: {} nodes, folded mesh {:?}\n",
+        net.node_count(),
+        net.grid().node_mesh()
+    );
 
     // Register a receive region on node 5 and publish its STADD.
     let (stadd, reg_cost) = net.register_mem(5, 4096);
-    println!("registered 4 KiB on node 5: {stadd:?} (modeled cost {:.2} us)", reg_cost * 1e6);
+    println!(
+        "registered 4 KiB on node 5: {stadd:?} (modeled cost {:.2} us)",
+        reg_cost * 1e6
+    );
 
     // Create a VCQ on node 0, TNI 2, and put a payload with a piggyback.
     let mut vcq = Vcq::create(net.clone(), 0, 2, 0).expect("CQ available");
@@ -32,7 +39,10 @@ fn main() {
     let a = &arrivals[0];
     println!(
         "node 5 sees {} B at offset {} (piggyback {:#x}) at t = {:.3} us",
-        a.len, a.offset, a.piggyback, now * 1e6
+        a.len,
+        a.offset,
+        a.piggyback,
+        now * 1e6
     );
     assert_eq!(net.read_local(5, stadd, 128, 64), payload);
     println!("payload bytes verified in the registered region\n");

@@ -62,9 +62,7 @@ fn main() {
     let mut opt = Cluster::proxy([4, 3, 2], [8, 12, 8], cfg, CommVariant::Opt);
     opt.run(30);
     let opt_days = days(opt.step_time());
-    println!(
-        "\nAt the 65K sweet spot the optimized communication cuts time-to-solution by"
-    );
+    println!("\nAt the 65K sweet spot the optimized communication cuts time-to-solution by");
     println!(
         "{:.1}x: {:.2} -> {:.2} days per microsecond of physical time.",
         baseline_days / opt_days,

@@ -12,8 +12,8 @@
 //! Default run holds 800 K (solid); `--hot` drives 3500 K (melt) — watch
 //! the RDF second shell wash out and the MSD turn diffusive.
 
-use tofumd::md::{thermostat::Berendsen, Atoms, Msd, Potential, Rdf, SerialSim, StillingerWeber};
 use tofumd::md::{lattice::FccLattice, neighbor::RebuildPolicy, units::UnitSystem, velocity};
+use tofumd::md::{thermostat::Berendsen, Atoms, Msd, Potential, Rdf, SerialSim, StillingerWeber};
 
 fn main() {
     let hot = std::env::args().any(|a| a == "--hot");
@@ -46,7 +46,10 @@ fn main() {
     let thermostat = Berendsen::new(t_target, 0.1);
     let mut msd = Msd::new(&sim.atoms);
     let mut traj = tofumd::md::XyzTrajectory::new(Vec::new(), "Si");
-    println!("\n{:>6} {:>10} {:>12} {:>12}", "step", "T (K)", "PE/atom", "MSD (A^2)");
+    println!(
+        "\n{:>6} {:>10} {:>12} {:>12}",
+        "step", "T (K)", "PE/atom", "MSD (A^2)"
+    );
     for block in 0..10 {
         sim.run(100);
         thermostat.apply(&mut sim.atoms, 28.0855, UnitSystem::Metal, 0.1);

@@ -284,6 +284,10 @@ fn long_cutoff_staged_engines_match_serial() {
             t.pe,
             snap.pe
         );
-        assert!((t.ke - snap.ke).abs() / snap.ke < 1e-9, "{}", variant.label());
+        assert!(
+            (t.ke - snap.ke).abs() / snap.ke < 1e-9,
+            "{}",
+            variant.label()
+        );
     }
 }

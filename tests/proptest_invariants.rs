@@ -244,3 +244,91 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Exchange records (packed tag/type + x + v) survive the wire intact,
+    /// including through the combined frame.
+    #[test]
+    fn exchange_records_roundtrip(
+        records in prop::collection::vec(
+            ((0u64..(1 << 48)), (0u32..32),
+             prop::array::uniform3(-1e6f64..1e6), prop::array::uniform3(-1e3f64..1e3)),
+            0..40,
+        ),
+    ) {
+        let mut payload = Vec::new();
+        for (tag, typ, x, v) in &records {
+            wire::push_exchange_record(&mut payload, *tag, *typ, *x, *v);
+        }
+        prop_assert_eq!(payload.len(), records.len() * wire::EXCHANGE_RECORD_F64S);
+        prop_assert_eq!(wire::parse_exchange_records(&payload), records.clone());
+        let framed = wire::frame_combined(&payload);
+        prop_assert_eq!(framed.len(), wire::combined_size(payload.len()));
+        prop_assert_eq!(wire::parse_exchange_records(&wire::parse_combined(&framed)), records);
+    }
+
+    /// Border records (packed tag/type + x) survive the wire intact,
+    /// including through the combined frame.
+    #[test]
+    fn border_records_roundtrip(
+        records in prop::collection::vec(
+            ((0u64..(1 << 48)), (0u32..32), prop::array::uniform3(-1e6f64..1e6)),
+            0..40,
+        ),
+    ) {
+        let mut payload = Vec::new();
+        for (tag, typ, x) in &records {
+            wire::push_border_record(&mut payload, *tag, *typ, *x);
+        }
+        prop_assert_eq!(payload.len(), records.len() * wire::BORDER_RECORD_F64S);
+        prop_assert_eq!(wire::parse_border_records(&payload), records.clone());
+        let framed = wire::frame_combined(&payload);
+        prop_assert_eq!(wire::parse_border_records(&wire::parse_combined(&framed)), records);
+    }
+
+    /// The combine frame is exactly self-describing: its length header
+    /// matches `combined_size`, and parsing ignores trailing slack the way
+    /// a fixed remote buffer delivers it.
+    #[test]
+    fn combined_frame_tolerates_oversized_buffers(
+        values in prop::collection::vec(-1e12f64..1e12, 0..64),
+        slack in 0usize..64,
+    ) {
+        let mut framed = wire::frame_combined(&values).to_vec();
+        prop_assert_eq!(framed.len(), wire::combined_size(values.len()));
+        framed.extend(std::iter::repeat_n(0xAAu8, slack * 8));
+        prop_assert_eq!(wire::parse_combined(&framed), values);
+    }
+}
+
+/// The wire edge cases a shrinking proptest run may never pin exactly:
+/// the empty payload and the tag/type budget boundaries.
+#[test]
+fn wire_edge_cases_exact() {
+    assert_eq!(wire::parse_exchange_records(&[]), vec![]);
+    assert_eq!(wire::parse_border_records(&[]), vec![]);
+    assert_eq!(
+        wire::parse_combined(&wire::frame_combined(&[])),
+        Vec::<f64>::new()
+    );
+    let max_tag = (1u64 << 48) - 1;
+    let max_typ = 31u32;
+    assert_eq!(
+        wire::unpack_id(wire::pack_id(max_tag, max_typ)),
+        (max_tag, max_typ)
+    );
+    assert_eq!(wire::unpack_id(wire::pack_id(0, 0)), (0, 0));
+    let mut payload = Vec::new();
+    wire::push_exchange_record(
+        &mut payload,
+        max_tag,
+        max_typ,
+        [f64::MIN, 0.0, f64::MAX],
+        [0.0; 3],
+    );
+    let back = wire::parse_exchange_records(&payload);
+    assert_eq!(
+        back,
+        vec![(max_tag, max_typ, [f64::MIN, 0.0, f64::MAX], [0.0; 3])]
+    );
+}

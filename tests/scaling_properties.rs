@@ -87,7 +87,10 @@ fn six_tni_single_thread_is_an_antipattern() {
     let mut six = Cluster::proxy(PROXY, [8, 12, 8], cfg, CommVariant::Utofu6TniP2p);
     let t4 = four.bench_forward_exchange(300);
     let t6 = six.bench_forward_exchange(300);
-    assert!(t6 > t4, "6TNI single-thread ({t6}) must lose to 4TNI ({t4})");
+    assert!(
+        t6 > t4,
+        "6TNI single-thread ({t6}) must lose to 4TNI ({t4})"
+    );
 }
 
 #[test]
@@ -150,8 +153,13 @@ fn proxy_and_analytic_models_agree_on_magnitude() {
     let proxy = c.step_time();
     let n_local = cfg.natoms_target as f64 / (4.0 * 768.0);
     let w = AnalyticWorkload::lj(n_local);
-    let analytic = opt_step_time(&w, 4.0 * 768.0, &StageCosts::default(), &NetParams::default())
-        .total();
+    let analytic = opt_step_time(
+        &w,
+        4.0 * 768.0,
+        &StageCosts::default(),
+        &NetParams::default(),
+    )
+    .total();
     let ratio = proxy / analytic;
     assert!(
         (0.5..2.0).contains(&ratio),
@@ -163,7 +171,12 @@ fn proxy_and_analytic_models_agree_on_magnitude() {
 fn rebuild_steps_dominate_trace_spikes() {
     // The per-step trace must show reneighbor steps as the expensive
     // outliers (exchange + border + list rebuild all land there).
-    let mut c = Cluster::proxy(PROXY, [8, 12, 8], RunConfig::lj(1_700_000), CommVariant::Opt);
+    let mut c = Cluster::proxy(
+        PROXY,
+        [8, 12, 8],
+        RunConfig::lj(1_700_000),
+        CommVariant::Opt,
+    );
     let trace = c.run_traced(25);
     let ratio = trace.rebuild_cost_ratio().expect("both step kinds present");
     assert!(

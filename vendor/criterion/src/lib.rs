@@ -1,0 +1,216 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the macro and builder surface (`criterion_group!`,
+//! `criterion_main!`, groups, throughput, `Bencher::iter`) so the bench
+//! targets compile and run offline. Measurement is a simple best-of-N
+//! wall-clock loop printed to stdout — no statistics, plots or baselines.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    #[must_use]
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs one benchmark body repeatedly and records the best iteration time.
+pub struct Bencher {
+    samples: usize,
+    best_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up once, then take the best of `samples` timed runs.
+        black_box(routine());
+        let mut best = f64::INFINITY;
+        let mut iters = 1u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+            if elapsed < best {
+                best = elapsed;
+            }
+            // Re-calibrate so each sample runs at least ~1 ms.
+            if best * (iters as f64) < 1e6 {
+                iters = ((1e6 / best).ceil() as u64).clamp(iters, 1 << 20);
+            }
+        }
+        self.best_ns = best;
+        self.iters = iters;
+    }
+}
+
+/// Top-level benchmark driver (subset of criterion's `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    #[must_use]
+    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    #[must_use]
+    pub fn warm_up_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(name, None, sample_size, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        best_ns: f64::NAN,
+        iters: 0,
+    };
+    f(&mut b);
+    let mut line = format!("{label:<48} {:>12.1} ns/iter", b.best_ns);
+    match throughput {
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+            let gbps = n as f64 / b.best_ns;
+            line.push_str(&format!("  ({gbps:.3} GB/s)"));
+        }
+        Some(Throughput::Elements(n)) => {
+            let meps = n as f64 * 1e3 / b.best_ns;
+            line.push_str(&format!("  ({meps:.2} Melem/s)"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

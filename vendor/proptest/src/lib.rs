@@ -1,0 +1,555 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace builds with no crates.io access, so the real proptest is
+//! replaced by this minimal, dependency-free harness. It keeps the same
+//! surface syntax (`proptest! { ... }`, range / tuple / collection
+//! strategies, `prop_assert*`, `ProptestConfig::with_cases`) but trades
+//! away shrinking and persistence: each test runs a fixed number of
+//! deterministic cases seeded from the test's module path, so failures
+//! reproduce exactly across runs and machines.
+
+pub mod test_runner {
+    /// Run configuration (subset of proptest's `ProptestConfig`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; 128 keeps the heavier numeric
+            // properties fast while still exploring broadly.
+            ProptestConfig { cases: 128 }
+        }
+    }
+
+    /// FNV-1a hash of a static string — used to derive a per-test seed.
+    #[must_use]
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Deterministic xoshiro256++ generator for case generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Build the generator for one (test, case) pair.
+        #[must_use]
+        pub fn new(seed_base: u64, case: u64) -> Self {
+            let mut sm = seed_base ^ case.wrapping_mul(0xA076_1D64_78BD_642F);
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in [0, bound).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            // Modulo bias is irrelevant at test-generation quality.
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A value generator (simplified: no shrinking trees).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map + filter in one step; retries until the closure accepts.
+        fn prop_filter_map<O, F>(self, whence: &'static str, fun: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap {
+                source: self,
+                whence,
+                fun,
+            }
+        }
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, fun: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, fun }
+        }
+
+        /// Keep only values the predicate accepts.
+        fn prop_filter<F>(self, whence: &'static str, fun: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                whence,
+                fun,
+            }
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct FilterMap<S, F> {
+        source: S,
+        whence: &'static str,
+        fun: F,
+    }
+
+    const MAX_REJECTS: usize = 100_000;
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            for _ in 0..MAX_REJECTS {
+                if let Some(v) = (self.fun)(self.source.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map rejected {MAX_REJECTS} candidates: {}", self.whence)
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        fun: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.fun)(self.source.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        source: S,
+        whence: &'static str,
+        fun: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..MAX_REJECTS {
+                let v = self.source.generate(rng);
+                if (self.fun)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected {MAX_REJECTS} candidates: {}", self.whence)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            // Guard against rounding up to the exclusive endpoint.
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty f32 range strategy");
+            let v = self.start + (rng.unit_f64() as f32) * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty integer range strategy");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + rng.below(span) as i128) as $t
+                    }
+                }
+
+                impl Strategy for RangeInclusive<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty inclusive range strategy");
+                        let span = (hi as i128 - lo as i128 + 1) as u64;
+                        (lo as i128 + rng.below(span) as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident . $idx:tt),+)),* $(,)?) => {
+            $(
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$idx.generate(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    );
+}
+
+pub mod array {
+    //! Fixed-size-array strategies (subset: `uniform3`).
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `[S::Value; 3]` from one element strategy.
+    pub struct UniformArray3<S>(S);
+
+    /// Three independent draws from `element`, as an array.
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArray3<S> {
+        UniformArray3(element)
+    }
+
+    impl<S: Strategy> Strategy for UniformArray3<S> {
+        type Value = [S::Value; 3];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            [
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+            ]
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Strategy for "any value of T" (subset of proptest's `Arbitrary`).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for a type.
+    #[must_use]
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! any_int {
+        ($($t:ty => $conv:expr),* $(,)?) => {
+            $(
+                impl Strategy for Any<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        let raw = rng.next_u64();
+                        #[allow(clippy::redundant_closure_call)]
+                        ($conv)(raw)
+                    }
+                }
+            )*
+        };
+    }
+
+    any_int!(
+        u8 => |r: u64| (r >> 56) as u8,
+        u16 => |r: u64| (r >> 48) as u16,
+        u32 => |r: u64| (r >> 32) as u32,
+        u64 => |r: u64| r,
+        usize => |r: u64| r as usize,
+        i8 => |r: u64| (r >> 56) as u8 as i8,
+        i16 => |r: u64| (r >> 48) as u16 as i16,
+        i32 => |r: u64| (r >> 32) as u32 as i32,
+        i64 => |r: u64| r as i64,
+        bool => |r: u64| r & 1 == 1,
+    );
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // Finite, wide-ranged values; avoids NaN/inf which the real
+            // proptest also deprioritizes for most numeric properties.
+            let mag = rng.unit_f64() * 600.0 - 300.0;
+            let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+            sign * mag.exp2()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for collection strategies: `[min, max]`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for vectors (mirrors `prop::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of proptest's `prelude::prop`.
+    pub mod prop {
+        pub use crate::{array, collection};
+    }
+}
+
+/// Assert inside a property (simplified: panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Define property tests. Each function body runs `config.cases` times
+/// with deterministically seeded inputs drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __seed_base = $crate::test_runner::fnv1a(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                let __strat = ($($strat,)+);
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::new(__seed_base, u64::from(__case));
+                    let ($($arg,)+) = $crate::strategy::Strategy::generate(&__strat, &mut __rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.5f64..2.0, n in 3usize..10, b in any::<bool>()) {
+            prop_assert!((0.5..2.0).contains(&x));
+            prop_assert!((3..10).contains(&n));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn filter_map_applies(x in (0.0f64..1.0).prop_filter_map("upper half", |x| {
+            if x >= 0.5 { Some(x * 2.0) } else { None }
+        })) {
+            prop_assert!((1.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = 0.0f64..1.0;
+        let mut a = crate::test_runner::TestRng::new(1, 2);
+        let mut b = crate::test_runner::TestRng::new(1, 2);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

@@ -1,0 +1,55 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds with no crates.io access, so the real serde is
+//! replaced by this minimal local crate. `Serialize` / `Deserialize` are
+//! marker traits here: the codebase annotates its data types for
+//! forward-compatibility (and tooling), but nothing serializes through
+//! serde's data model at runtime — report rendering is hand-written
+//! (see `tofumd-runtime`'s `lockstep` module for an example).
+//!
+//! The derive macros (re-exported from the sibling `serde_derive` stub)
+//! parse the item and emit the matching marker impl, so `T: Serialize`
+//! bounds keep working for derived types.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type opted into serialization via `#[derive(Serialize)]`.
+pub trait Serialize {}
+
+/// Marker: the type opted into deserialization via `#[derive(Deserialize)]`.
+pub trait Deserialize<'de> {}
+
+/// Owned-deserialization alias mirroring serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String,
+    ()
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}

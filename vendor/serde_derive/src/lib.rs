@@ -1,0 +1,133 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! real serde is replaced by a minimal local crate (see `vendor/serde`).
+//! Nothing in the codebase serializes through serde's data model at
+//! runtime; the derives only need to *parse* so that the many
+//! `#[derive(Serialize, Deserialize)]` annotations stay valid. Each derive
+//! therefore expands to an empty (marker) trait impl.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name and a usable impl-generics snippet from a
+/// struct/enum definition. Handles `struct Foo`, `struct Foo<T: B, 'a>`,
+/// `enum Foo`, including `where` clauses by ignoring them (marker traits
+/// place no additional bounds).
+fn parse_item(item: TokenStream) -> Option<(String, String)> {
+    let mut iter = item.into_iter().peekable();
+    // Skip attributes and visibility, find `struct` or `enum` keyword.
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(ref id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    // Collect generics `<...>` if present (depth-matched on < >).
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for tt in iter.by_ref() {
+                let s = tt.to_string();
+                generics.push_str(&s);
+                generics.push(' ');
+                match tt {
+                    TokenTree::Punct(ref p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(ref p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some((name, generics))
+}
+
+/// Strip bounds/defaults from a generics snippet to produce the type
+/// arguments for the impl target (`<T: Clone>` -> `<T>`).
+fn type_args(generics: &str) -> String {
+    if generics.is_empty() {
+        return String::new();
+    }
+    let inner = generics
+        .trim()
+        .trim_start_matches('<')
+        .trim_end_matches('>');
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in inner.chars() {
+        match c {
+            '<' | '(' | '[' => {
+                depth += 1;
+                current.push(c);
+            }
+            '>' | ')' | ']' => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                args.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        args.push(current);
+    }
+    let names: Vec<String> = args
+        .iter()
+        .map(|a| {
+            let head = a.split([':', '=']).next().unwrap_or("").trim();
+            head.trim_start_matches("const ").trim().to_string()
+        })
+        .filter(|s| !s.is_empty())
+        .collect();
+    format!("<{}>", names.join(", "))
+}
+
+fn marker_impl(item: TokenStream, trait_path: &str, lifetime: bool) -> TokenStream {
+    let Some((name, generics)) = parse_item(item) else {
+        return TokenStream::new();
+    };
+    let args = type_args(&generics);
+    let gen_decl = generics.trim().to_string();
+    let code = if lifetime {
+        if gen_decl.is_empty() {
+            format!("impl<'de> {trait_path}<'de> for {name} {{}}")
+        } else {
+            let inner = gen_decl.trim_start_matches('<').trim_end_matches('>');
+            format!("impl<'de, {inner}> {trait_path}<'de> for {name}{args} {{}}")
+        }
+    } else if gen_decl.is_empty() {
+        format!("impl {trait_path} for {name} {{}}")
+    } else {
+        format!("impl{gen_decl} {trait_path} for {name}{args} {{}}")
+    };
+    code.parse().unwrap_or_default()
+}
+
+/// Stub `#[derive(Serialize)]`: implements the marker `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    marker_impl(item, "::serde::Serialize", false)
+}
+
+/// Stub `#[derive(Deserialize)]`: implements the marker `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    marker_impl(item, "::serde::Deserialize", true)
+}
