@@ -1,0 +1,39 @@
+//! Criterion bench: wall-clock scaling of the phase driver with host
+//! thread count (the DESIGN.md §9 executor). The work item is the fig13
+//! first scaling point — a 24-node proxy torus carrying the 768-node
+//! per-rank LJ workload — run for a handful of steps at 1/2/4/8 driver
+//! threads. Results are bit-identical across the group (the determinism
+//! contract); only wall-clock changes. Committed numbers live in
+//! `results/driver_scaling.txt` together with the host's core count,
+//! which bounds the achievable speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tofumd_bench::PROXY_MESH;
+use tofumd_runtime::{Cluster, CommVariant, RunConfig};
+
+const TARGET: [u32; 3] = [8, 12, 8]; // fig13 first point: 768 nodes
+const STEPS: u64 = 3;
+
+fn bench_driver_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("driver_scaling");
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let mut cluster =
+                    Cluster::proxy(PROXY_MESH, TARGET, RunConfig::lj(65_536), CommVariant::Opt);
+                cluster.set_driver_threads(threads);
+                cluster.run(STEPS);
+                black_box(cluster.step_time());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_driver_scaling
+}
+criterion_main!(benches);

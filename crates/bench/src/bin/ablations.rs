@@ -9,9 +9,10 @@
 //! 6. Topology map: topo-aware placement vs shuffled (hop inflation and
 //!    its communication-time cost).
 //!
-//! Usage: `ablations [--iters N]` (default 300).
+//! Usage: `ablations [--iters N] [--threads N]` (default 300 iterations,
+//! all host cores).
 
-use tofumd_bench::{fmt_time, render_table, PROXY_MESH};
+use tofumd_bench::{fmt_time, render_table, threads_arg, PROXY_MESH};
 use tofumd_core::border_bin::BorderBins;
 use tofumd_core::fine;
 use tofumd_core::plan::{CommPlan, PlanConfig};
@@ -31,6 +32,7 @@ fn arg(name: &str, default: u64) -> u64 {
 
 fn main() {
     let iters = arg("--iters", 300);
+    let threads = threads_arg();
     let target = [8u32, 12, 8];
     println!("Ablations ({iters} exchange iterations where timed)\n");
 
@@ -43,6 +45,8 @@ fn main() {
         };
         let mut c_half = Cluster::proxy(PROXY_MESH, target, half, CommVariant::Opt);
         let mut c_full = Cluster::proxy(PROXY_MESH, target, full, CommVariant::Opt);
+        c_half.set_driver_threads(threads);
+        c_full.set_driver_threads(threads);
         let t_half = c_half.bench_forward_exchange(iters);
         let t_full = c_full.bench_forward_exchange(iters);
         let g_half: usize = c_half.states().iter().map(|s| s.atoms.nghost()).sum();
@@ -111,6 +115,8 @@ fn main() {
         let cfg = RunConfig::lj(1_700_000);
         let mut opt = Cluster::proxy(PROXY_MESH, target, cfg, CommVariant::Opt);
         let mut base = Cluster::proxy(PROXY_MESH, target, cfg, CommVariant::Utofu4TniP2p);
+        opt.set_driver_threads(threads);
+        base.set_driver_threads(threads);
         let (opt0, base0) = (opt.growth_events(), base.growth_events());
         opt.run(25);
         base.run(25);

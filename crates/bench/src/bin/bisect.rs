@@ -5,11 +5,13 @@
 //!
 //! Usage:
 //!   bisect [--variant LABEL] [--against ref|serial|LABEL]
-//!          [--steps N] [--atoms N] [--tol X]
+//!          [--steps N] [--atoms N] [--tol X] [--threads N]
 //!
 //! Defaults: `--variant opt --against ref --steps 30 --atoms 6000` on the
-//! 12-node / 48-rank test mesh. Exits 0 when no divergence is found, 1 on
-//! the first divergence, 2 on a usage error.
+//! 12-node / 48-rank test mesh, driving ranks with all host cores
+//! (determinism contract: thread count never changes the verdict). Exits 0
+//! when no divergence is found, 1 on the first divergence, 2 on a usage
+//! error.
 
 use tofumd_runtime::lockstep::{bisect_against_serial, bisect_variants, LockstepOptions};
 use tofumd_runtime::{CommVariant, RunConfig};
@@ -18,9 +20,7 @@ const MESH: [u32; 3] = [2, 3, 2]; // 12 nodes, 48 ranks
 
 fn arg(name: &str) -> Option<String> {
     let mut args = std::env::args().skip_while(|a| a != name);
-    if args.next().is_none() {
-        return None;
-    }
+    args.next()?;
     let Some(value) = args.next() else {
         eprintln!("{name} requires a value");
         std::process::exit(2);
@@ -51,6 +51,7 @@ fn main() {
     let opts = LockstepOptions {
         steps,
         tol,
+        driver_threads: tofumd_bench::threads_arg(),
         ..LockstepOptions::default()
     };
     let cfg = RunConfig::lj(atoms);

@@ -6,9 +6,10 @@
 //! small messages); uTofu flips the comparison; uTofu-p2p cuts ~79 % off
 //! MPI-3-stage; the thread-pool version is fastest.
 //!
-//! Usage: `fig06 [--iters N]` (default 2000; the paper used 10000).
+//! Usage: `fig06 [--iters N] [--threads N]` (default 2000 iterations — the
+//! paper used 10000 — and all host cores).
 
-use tofumd_bench::{fmt_time, render_table, PROXY_MESH};
+use tofumd_bench::{fmt_time, render_table, threads_arg, PROXY_MESH};
 use tofumd_runtime::{Cluster, CommVariant, RunConfig};
 
 fn main() {
@@ -17,6 +18,7 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(2000);
+    let threads = threads_arg();
     let target = [8u32, 12, 8];
     println!("Fig. 6 — message transmission time, 768 nodes, 65K atoms, {iters} iterations\n");
 
@@ -31,6 +33,7 @@ fn main() {
     let mut mpi_3stage = 0.0;
     for variant in variants {
         let mut cluster = Cluster::proxy(PROXY_MESH, target, RunConfig::lj(65_536), variant);
+        cluster.set_driver_threads(threads);
         let t = cluster.bench_forward_exchange(iters);
         if variant == CommVariant::Ref {
             mpi_3stage = t;

@@ -6,10 +6,11 @@
 //! serial engine provides the reference trajectory and the opt-variant
 //! cluster the optimized one; agreement is reported per sample.
 //!
-//! Usage: `fig11 [--steps N] [--atoms N]` (defaults 400 steps, 4000 atoms;
-//! pass `--steps 50000 --atoms 65536` for the paper's full setting).
+//! Usage: `fig11 [--steps N] [--atoms N] [--threads N]` (defaults 400
+//! steps, 4000 atoms, all host cores; pass `--steps 50000 --atoms 65536`
+//! for the paper's full setting).
 
-use tofumd_bench::{render_table, PROXY_MESH};
+use tofumd_bench::{render_table, threads_arg, PROXY_MESH};
 use tofumd_md::{velocity, Atoms, SerialSim};
 use tofumd_runtime::{Cluster, CommVariant, RunConfig};
 
@@ -33,6 +34,7 @@ fn main() {
     ] {
         // Optimized cluster.
         let mut opt = Cluster::new(PROXY_MESH, cfg, CommVariant::Opt);
+        opt.set_driver_threads(threads_arg());
         // Serial reference on the identical initial state.
         let mut gathered: Vec<(u64, [f64; 3])> = Vec::new();
         for st in opt.states() {

@@ -7,9 +7,10 @@
 //! parallel-p2p cuts communication ~77 % and the pool cuts the pair stage
 //! ~43 % (LJ) / 56 % (EAM) in the 65 K case.
 //!
-//! Usage: `fig12 [--steps N]` (default 99).
+//! Usage: `fig12 [--steps N] [--threads N]` (default 99 steps, all host
+//! cores).
 
-use tofumd_bench::{fmt_time, render_table, run_proxy, PAPER_STEPS};
+use tofumd_bench::{fmt_time, render_table, run_proxy, threads_arg, PAPER_STEPS};
 use tofumd_runtime::{CommVariant, RunConfig};
 
 fn main() {
@@ -18,8 +19,11 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(PAPER_STEPS);
+    let threads = threads_arg();
     let mesh = [8u32, 12, 8]; // 768 nodes
-    println!("Fig. 12 — step-by-step optimization, 768 nodes, {steps} steps\n");
+    println!(
+        "Fig. 12 — step-by-step optimization, 768 nodes, {steps} steps, {threads} host threads\n"
+    );
 
     for (label, cfgs) in [
         (
@@ -43,7 +47,7 @@ fn main() {
             let mut ref_comm = 0.0;
             let mut ref_pair = 0.0;
             for variant in CommVariant::STEP_BY_STEP {
-                let r = run_proxy(mesh, cfg, variant, steps);
+                let r = run_proxy(mesh, cfg, variant, steps, threads);
                 let b = r.breakdown;
                 if variant == CommVariant::Ref {
                     ref_total = b.total();

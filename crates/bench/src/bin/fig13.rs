@@ -8,9 +8,12 @@
 //! Paper anchors at 36,864 nodes: speedups 2.9x (LJ) and 2.2x (EAM);
 //! 8.77M tau/day and 2.87 us/day.
 //!
-//! Usage: `fig13 [--steps N]` (default 99).
+//! Usage: `fig13 [--steps N] [--threads N]` (default 99 steps, all host
+//! cores).
 
-use tofumd_bench::{fmt_time, render_table, run_proxy, PAPER_STEPS, STRONG_SCALING_MESHES};
+use tofumd_bench::{
+    fmt_time, render_table, run_proxy, threads_arg, PAPER_STEPS, STRONG_SCALING_MESHES,
+};
 use tofumd_model::scaling;
 use tofumd_runtime::{CommVariant, RunConfig};
 
@@ -20,7 +23,8 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(PAPER_STEPS);
-    println!("Fig. 13 — strong scaling, {steps} steps per point\n");
+    let threads = threads_arg();
+    println!("Fig. 13 — strong scaling, {steps} steps per point, {threads} host threads\n");
 
     for (pot, cfg, natoms) in [
         ("L-J", RunConfig::lj(4_194_304), 4_194_304usize),
@@ -30,8 +34,8 @@ fn main() {
         let mut base = [0.0f64; 2]; // ref, opt step time at 768 nodes
         let mut last = [0.0f64; 2];
         for (nodes, mesh) in STRONG_SCALING_MESHES {
-            let rref = run_proxy(mesh, cfg, CommVariant::Ref, steps);
-            let ropt = run_proxy(mesh, cfg, CommVariant::Opt, steps);
+            let rref = run_proxy(mesh, cfg, CommVariant::Ref, steps, threads);
+            let ropt = run_proxy(mesh, cfg, CommVariant::Opt, steps, threads);
             if nodes == 768 {
                 base = [rref.step_time, ropt.step_time];
             }

@@ -11,9 +11,10 @@
 //! exact slab classification, and the staged engine relays ghosts across
 //! multiple swaps per dimension.
 //!
-//! Usage: `fig15 [--iters N]` (default 500).
+//! Usage: `fig15 [--iters N] [--threads N]` (default 500 iterations, all
+//! host cores).
 
-use tofumd_bench::{fmt_time, render_table, PROXY_MESH};
+use tofumd_bench::{fmt_time, render_table, threads_arg, PROXY_MESH};
 use tofumd_runtime::{Cluster, CommVariant, PotentialKind, RunConfig};
 
 fn main() {
@@ -22,6 +23,7 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(500);
+    let threads = threads_arg();
     let target = [8u32, 12, 8];
     println!("Fig. 15 — 26/62/124-message exchanges, 768 nodes, {iters} iterations\n");
 
@@ -50,8 +52,10 @@ fn main() {
             ..RunConfig::lj(65_536)
         };
         let mut opt = Cluster::proxy(PROXY_MESH, target, cfg, CommVariant::Opt);
+        opt.set_driver_threads(threads);
         let t_p2p = opt.bench_forward_exchange(iters);
         let mut staged = Cluster::proxy(PROXY_MESH, target, cfg, CommVariant::Utofu3Stage);
+        staged.set_driver_threads(threads);
         let t_staged = staged.bench_forward_exchange(iters);
         rows.push(vec![
             label.to_string(),

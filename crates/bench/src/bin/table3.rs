@@ -4,7 +4,8 @@
 //! Prints per-stage times and percentage shares for Origin (ref) and Opt,
 //! next to the paper's percentage rows.
 //!
-//! Usage: `table3 [--steps N]` (default 99).
+//! Usage: `table3 [--steps N] [--threads N]` (default 99 steps, all host
+//! cores).
 
 use tofumd_bench::{fmt_time, render_table, run_proxy, PAPER_STEPS};
 use tofumd_runtime::{CommVariant, RunConfig, StageBreakdown};
@@ -47,6 +48,7 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(PAPER_STEPS);
+    let threads = tofumd_bench::threads_arg();
     let mesh = [32u32, 36, 32];
     println!("Table 3 — breakdown at 36,864 nodes, {steps} steps (percentages: ours (paper))\n");
 
@@ -60,7 +62,7 @@ fn main() {
     .into_iter()
     .enumerate()
     {
-        let r = run_proxy(mesh, cfg, variant, steps);
+        let r = run_proxy(mesh, cfg, variant, steps, threads);
         rows.extend(row(PAPER[i].0, &r.breakdown, PAPER[i].1));
     }
     println!(

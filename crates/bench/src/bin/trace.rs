@@ -2,9 +2,10 @@
 //! aggregate numbers: which steps spike (reneighbor), how stages vary, and
 //! the rank-imbalance factor that gates bulk-synchronous execution.
 //!
-//! Usage: `trace [--steps N]` (default 40).
+//! Usage: `trace [--steps N] [--threads N]` (default 40 steps, all host
+//! cores).
 
-use tofumd_bench::PROXY_MESH;
+use tofumd_bench::{threads_arg, PROXY_MESH};
 use tofumd_runtime::{Cluster, CommVariant, RunConfig};
 
 fn main() {
@@ -13,9 +14,11 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(40);
+    let threads = threads_arg();
     println!("Per-step trace — 65K LJ on 768 nodes, {steps} steps\n");
     for variant in [CommVariant::Ref, CommVariant::Opt] {
         let mut c = Cluster::proxy(PROXY_MESH, [8, 12, 8], RunConfig::lj(65_536), variant);
+        c.set_driver_threads(threads);
         let trace = c.run_traced(steps);
         println!("== {} ==", variant.label());
         print!("{}", trace.report());

@@ -41,20 +41,40 @@ pub struct RunResult {
 }
 
 /// Run `steps` timesteps of `cfg` on a proxy torus standing in for
-/// `target_mesh`, under `variant`; returns per-step timings.
+/// `target_mesh`, under `variant`, driving ranks with `threads` host
+/// workers; returns per-step timings. Results are bit-identical at any
+/// thread count (the phase-executor determinism contract), so `threads`
+/// only changes wall-clock time.
 #[must_use]
 pub fn run_proxy(
     target_mesh: [u32; 3],
     cfg: RunConfig,
     variant: CommVariant,
     steps: u64,
+    threads: usize,
 ) -> RunResult {
     let mut cluster = Cluster::proxy(PROXY_MESH, target_mesh, cfg, variant);
+    cluster.set_driver_threads(threads);
     cluster.run(steps);
     RunResult {
         step_time: cluster.step_time(),
         breakdown: cluster.breakdown(),
     }
+}
+
+/// Parse `--threads N` from the process args; defaults to the host's
+/// available parallelism. Shared by every figure/table binary.
+#[must_use]
+pub fn threads_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .max(1)
 }
 
 /// Format seconds as an adaptive human unit.
@@ -137,7 +157,7 @@ mod tests {
 
     #[test]
     fn smoke_proxy_run() {
-        let r = run_proxy([8, 12, 8], RunConfig::lj(65_536), CommVariant::Opt, 3);
+        let r = run_proxy([8, 12, 8], RunConfig::lj(65_536), CommVariant::Opt, 3, 2);
         assert!(r.step_time > 0.0);
         assert!(r.breakdown.total() > 0.0);
     }

@@ -25,7 +25,7 @@ use crate::plan::{CommPlan, NeighborLink};
 use crate::three_stage::{round_to_sweep, staged_links, StagedGhosts};
 use crate::topo_map::RankMap;
 use crate::wire;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tofumd_md::region::Box3;
@@ -49,9 +49,13 @@ type AddrKey = (u32, BufKind, u16, u8);
 
 /// Shared registry of every rank's registered buffer addresses — the
 /// simulated setup-stage address exchange.
+///
+/// Read-mostly after setup: every post consults it, writes happen only at
+/// registration and on buffer growth. An `RwLock` keeps the host-parallel
+/// phase driver's concurrent lookups from serializing on one mutex.
 #[derive(Default)]
 pub struct AddressBook {
-    map: Mutex<HashMap<AddrKey, (Stadd, usize)>>,
+    map: RwLock<HashMap<AddrKey, (Stadd, usize)>>,
 }
 
 impl AddressBook {
@@ -63,20 +67,20 @@ impl AddressBook {
 
     fn publish(&self, rank: u32, kind: BufKind, link: u16, slot: u8, stadd: Stadd, size: usize) {
         self.map
-            .lock()
+            .write()
             .insert((rank, kind, link, slot), (stadd, size));
     }
 
     fn lookup(&self, rank: u32, kind: BufKind, link: u16, slot: u8) -> (Stadd, usize) {
         *self
             .map
-            .lock()
+            .read()
             .get(&(rank, kind, link, slot))
             .unwrap_or_else(|| panic!("no published buffer for rank {rank} {kind:?} {link} {slot}"))
     }
 
     fn update_size(&self, rank: u32, kind: BufKind, link: u16, slot: u8, size: usize) {
-        if let Some(e) = self.map.lock().get_mut(&(rank, kind, link, slot)) {
+        if let Some(e) = self.map.write().get_mut(&(rank, kind, link, slot)) {
             e.1 = size;
         }
     }

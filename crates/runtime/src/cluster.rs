@@ -4,72 +4,45 @@
 //! as real bytes through the chosen [`CommVariant`]'s engine. Time is
 //! *virtual*: communication time flows from the fabric's calibrated model,
 //! compute-stage time from [`StageCosts`] applied to the rank's actual
-//! workload (its true atom, ghost and pair counts). The per-stage
-//! accounting mirrors LAMMPS's timing breakdown (Table 3): Pair (including
-//! EAM's mid-stage communication), Neigh, Comm (forward + reverse + border
-//! + exchange), Modify, Other (collectives + bookkeeping).
+//! workload. The per-stage accounting mirrors LAMMPS's timing breakdown
+//! (Table 3): Pair, Neigh, Comm, Modify, Other.
+//!
+//! `Cluster` is a thin façade: each timestep executes the ordered
+//! [`Phase`](crate::driver::Phase) plan of [`crate::driver`], per-rank
+//! compute lives in [`crate::physics`], and virtual-time bookkeeping in
+//! [`crate::accounting`]. Host parallelism comes from the driver's
+//! node-aligned [`Team`] on the spin pool — bit-identical results at any
+//! thread count (DESIGN.md §9).
 //!
 //! The same type serves correctness runs (compare against
 //! [`tofumd_md::SerialSim`]) and performance runs (a small *proxy* torus
-//! carrying the per-rank workload of a much larger target machine — valid
-//! because the ghost exchange is nearest-neighbor and therefore
-//! scale-invariant per rank, while collective costs are modeled at the
-//! target's rank count).
+//! carrying the per-rank workload of a much larger target machine).
 
+use crate::accounting::{self, SyncBucket};
 use crate::config::RunConfig;
+use crate::driver::{Lane, Phase, Team};
+use crate::physics;
 use crate::variant::CommVariant;
 use std::sync::Arc;
-use tofumd_core::engine::{CommStats, GhostEngine, Op, OpStats, RankState};
-use tofumd_core::mpi_engine::{MpiP2p, MpiThreeStage};
-use tofumd_core::plan::{CommPlan, PlanConfig};
+use tofumd_core::engine::{GhostEngine, Op, RankState};
 use tofumd_core::topo_map::{Placement, RankMap};
-use tofumd_core::utofu_engine::{AddressBook, UtofuConfig, UtofuP2p, UtofuThreeStage};
-use tofumd_md::atom::Atoms;
 use tofumd_md::integrate::NveIntegrator;
-use tofumd_md::neighbor::NeighborList;
-use tofumd_md::potential::{PairEnergyVirial, Potential};
+use tofumd_md::potential::Potential;
 use tofumd_md::region::Box3;
-use tofumd_md::thermo::{self, ThermoSnapshot};
-use tofumd_md::velocity;
-use tofumd_model::{RankWork, StageCosts};
+use tofumd_md::thermo::ThermoSnapshot;
+use tofumd_model::StageCosts;
 use tofumd_mpi::Communicator;
-use tofumd_tofu::{CellGrid, NetParams, TofuNet};
+use tofumd_tofu::{NetParams, TofuNet};
 
-/// Per-step mean stage times (seconds), the Table 3 row format.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct StageBreakdown {
-    /// Pair stage (force kernels + EAM mid-stage comm).
-    pub pair: f64,
-    /// Neighbor-list rebuild (amortized per step).
-    pub neigh: f64,
-    /// Ghost communication: border + forward + reverse + exchange.
-    pub comm: f64,
-    /// Position/velocity updates.
-    pub modify: f64,
-    /// Collectives, output, bookkeeping.
-    pub other: f64,
-}
+pub use crate::accounting::StageBreakdown;
 
-impl StageBreakdown {
-    /// Total per-step time.
-    #[must_use]
-    pub fn total(&self) -> f64 {
-        self.pair + self.neigh + self.comm + self.modify + self.other
-    }
-
-    /// Stage shares in percent, Table 3's second rows.
-    #[must_use]
-    pub fn percentages(&self) -> [f64; 5] {
-        let t = self.total().max(1e-300);
-        [
-            100.0 * self.pair / t,
-            100.0 * self.neigh / t,
-            100.0 * self.comm / t,
-            100.0 * self.modify / t,
-            100.0 * self.other / t,
-        ]
-    }
-}
+// Child modules of the façade: system construction (lattice, engines,
+// velocity init, setup phases) and the read-side metrics/observability
+// surface. Split out so this file stays the step driver alone.
+#[path = "cluster_build.rs"]
+mod build;
+#[path = "cluster_report.rs"]
+mod report;
 
 /// Callback invoked after every completed communication round: `(op,
 /// round, rounds, states)`. Installed by the lockstep bisector to snapshot
@@ -89,25 +62,16 @@ pub struct Cluster {
     potential: Arc<Potential>,
     integrator: NveIntegrator,
     states: Vec<RankState>,
-    engines: Vec<Box<dyn GhostEngine>>,
-    lists: Vec<Option<NeighborList>>,
-    energies: Vec<PairEnergyVirial>,
-    embeds: Vec<f64>,
-    fp_bufs: Vec<Vec<f64>>,
-    pair_acc: Vec<f64>,
-    neigh_acc: Vec<f64>,
-    modify_acc: Vec<f64>,
-    other_acc: Vec<f64>,
+    lanes: Vec<Lane>,
+    team: Team,
     costs: StageCosts,
     /// Completed timesteps since construction.
     pub step: u64,
     /// Neighbor-list rebuilds performed (including setup).
     pub rebuild_count: u64,
     steps_run: u64,
-    /// Host threads used to drive ranks within each lockstep phase (1 =
-    /// serial). Physics is identical either way; only virtual-time TNI
-    /// ordering may vary at the nanosecond level.
-    driver_threads: usize,
+    /// This step's reneighbor verdict (set by the check phase).
+    rebuild: bool,
     /// Whether the reverse (ghost-force) exchange runs each step.
     reverse_needed: bool,
     /// LAMMPS `thermo N`: global thermo reduction every N steps (0 = off).
@@ -165,207 +129,6 @@ impl Cluster {
         Self::build(mesh, mesh, cfg, variant, placement)
     }
 
-    fn build(
-        proxy_mesh: [u32; 3],
-        target_mesh: [u32; 3],
-        cfg: RunConfig,
-        variant: CommVariant,
-        placement: Placement,
-    ) -> Self {
-        let grid = CellGrid::from_node_mesh(proxy_mesh)
-            .unwrap_or_else(|| panic!("node mesh {proxy_mesh:?} does not fold onto TofuD cells"));
-        let map = RankMap::new(grid, placement);
-        let nranks = map.nranks();
-        let target_ranks = 4 * target_mesh.iter().map(|&d| d as usize).product::<usize>();
-
-        // Build the global system with the lattice proportioned to the
-        // rank grid so each rank's sub-box is (near-)cubic — the paper's
-        // Table 1 analysis and Fig. 1 assume cubic sub-boxes.
-        let rg_pre = {
-            let mesh = grid.node_mesh();
-            [
-                mesh[0] * tofumd_core::topo_map::RANKS_PER_NODE_SPLIT[0],
-                mesh[1] * tofumd_core::topo_map::RANKS_PER_NODE_SPLIT[1],
-                mesh[2] * tofumd_core::topo_map::RANKS_PER_NODE_SPLIT[2],
-            ]
-        };
-        let nranks_f = f64::from(rg_pre[0]) * f64::from(rg_pre[1]) * f64::from(rg_pre[2]);
-        let apc = cfg.atoms_per_cell() as f64;
-        let cells_per_rank = (cfg.natoms_target as f64 / (apc * nranks_f)).cbrt();
-        let (cx, cy, cz) = (
-            (cells_per_rank * f64::from(rg_pre[0])).ceil() as usize,
-            (cells_per_rank * f64::from(rg_pre[1])).ceil() as usize,
-            (cells_per_rank * f64::from(rg_pre[2])).ceil() as usize,
-        );
-        let (global, pos) = cfg.build_lattice(cx.max(1), cy.max(1), cz.max(1));
-
-        // Fabric + MPI layer.
-        let net = Arc::new(TofuNet::new(grid, NetParams::default()));
-        let mpi = Arc::new(Communicator::new(net.clone(), nranks, 4));
-
-        // Plans.
-        let rg = map.rank_grid;
-        let r_ghost = cfg.ghost_cutoff();
-        let gl = global.lengths();
-        let min_edge = (0..3)
-            .map(|d| gl[d] / f64::from(rg[d]))
-            .fold(f64::INFINITY, f64::min);
-        let shells = ((r_ghost / min_edge).ceil() as usize).max(1);
-        let plan_cfg = PlanConfig {
-            shells,
-            half: cfg.newton_half(),
-        };
-
-        // Distribute atoms to owners.
-        let mut per_rank: Vec<Vec<([f64; 3], u64)>> = vec![Vec::new(); nranks];
-        for (i, p) in pos.iter().enumerate() {
-            let owner = owner_of(&global, rg, &map, p);
-            per_rank[owner].push((*p, i as u64 + 1));
-        }
-
-        let potential = Arc::new(cfg.build_potential());
-        let integrator = NveIntegrator::new(cfg.timestep(), cfg.mass(), cfg.units());
-        let density = cfg.density();
-        let book = AddressBook::new();
-
-        let mut states = Vec::with_capacity(nranks);
-        let mut engines: Vec<Box<dyn GhostEngine>> = Vec::with_capacity(nranks);
-        for rank in 0..nranks {
-            let plan = CommPlan::build(rank, &map, &global, r_ghost, plan_cfg);
-            let node = map.node_of(rank);
-            let mut atoms = Atoms::default();
-            for (x, tag) in &per_rank[rank] {
-                atoms.push_local(*x, [0.0; 3], cfg.type_of_tag(*tag), *tag);
-            }
-            velocity::create_velocities(
-                &mut atoms,
-                cfg.mass(),
-                cfg.temperature,
-                cfg.units(),
-                cfg.seed,
-            );
-            let engine: Box<dyn GhostEngine> = match variant {
-                CommVariant::Ref => {
-                    Box::new(MpiThreeStage::new(mpi.clone(), &map, rank, &global, shells))
-                }
-                CommVariant::MpiP2p => Box::new(MpiP2p::new(mpi.clone(), rank)),
-                CommVariant::Utofu3Stage => Box::new(UtofuThreeStage::new(
-                    net.clone(),
-                    book.clone(),
-                    &map,
-                    &plan,
-                    node,
-                    density,
-                    &global,
-                )),
-                CommVariant::Utofu4TniP2p => Box::new(UtofuP2p::new(
-                    net.clone(),
-                    book.clone(),
-                    &plan,
-                    node,
-                    density,
-                    UtofuConfig::coarse4(),
-                )),
-                CommVariant::Utofu6TniP2p => Box::new(UtofuP2p::new(
-                    net.clone(),
-                    book.clone(),
-                    &plan,
-                    node,
-                    density,
-                    UtofuConfig::single6(),
-                )),
-                CommVariant::Opt => Box::new(UtofuP2p::new(
-                    net.clone(),
-                    book.clone(),
-                    &plan,
-                    node,
-                    density,
-                    UtofuConfig::pool6(),
-                )),
-            };
-            states.push(RankState::new(atoms, plan));
-            engines.push(engine);
-        }
-
-        // Zero total momentum and scale to the target temperature, using
-        // globally reduced quantities so the result matches a serial run.
-        let natoms_global: usize = states.iter().map(|s| s.atoms.nlocal).sum();
-        let mut vcm = [0.0f64; 3];
-        for st in &states {
-            for i in 0..st.atoms.nlocal {
-                for d in 0..3 {
-                    vcm[d] += st.atoms.v[i][d];
-                }
-            }
-        }
-        for v in &mut vcm {
-            *v /= natoms_global as f64;
-        }
-        let mut ke_after = 0.0;
-        for st in &states {
-            for i in 0..st.atoms.nlocal {
-                let mut s = 0.0;
-                for d in 0..3 {
-                    let dv = st.atoms.v[i][d] - vcm[d];
-                    s += dv * dv;
-                }
-                ke_after += 0.5 * cfg.units().mvv2e() * cfg.mass() * s;
-            }
-        }
-        for st in &mut states {
-            velocity::apply_drift_and_scale(
-                &mut st.atoms,
-                vcm,
-                ke_after,
-                natoms_global,
-                cfg.temperature,
-                cfg.units(),
-            );
-        }
-
-        let half = cfg.needs_reverse();
-        let mut cluster = Cluster {
-            cfg,
-            variant,
-            map,
-            global,
-            net,
-            mpi,
-            potential,
-            integrator,
-            states,
-            engines,
-            lists: (0..nranks).map(|_| None).collect(),
-            energies: vec![PairEnergyVirial::default(); nranks],
-            embeds: vec![0.0; nranks],
-            fp_bufs: vec![Vec::new(); nranks],
-            pair_acc: vec![0.0; nranks],
-            neigh_acc: vec![0.0; nranks],
-            modify_acc: vec![0.0; nranks],
-            other_acc: vec![0.0; nranks],
-            costs: StageCosts::default(),
-            step: 0,
-            rebuild_count: 0,
-            steps_run: 0,
-            driver_threads: 1,
-            reverse_needed: half,
-            thermo_every: 0,
-            thermo_log: Vec::new(),
-            target_mesh,
-            target_ranks,
-            op_observer: None,
-        };
-        // Setup stage: establish ghosts, lists, initial forces.
-        cluster.run_op(Op::Border);
-        cluster.rebuild_lists();
-        cluster.compute_pair();
-        if cluster.reverse_needed {
-            cluster.run_op(Op::Reverse);
-        }
-        cluster.reset_timers();
-        cluster
-    }
-
     /// Number of ranks.
     #[must_use]
     pub fn nranks(&self) -> usize {
@@ -405,62 +168,86 @@ impl Cluster {
             st.pair_comm_time = 0.0;
         }
         self.net.reset_clocks();
-        self.pair_acc.fill(0.0);
-        self.neigh_acc.fill(0.0);
-        self.modify_acc.fill(0.0);
-        self.other_acc.fill(0.0);
+        for lane in &mut self.lanes {
+            lane.acc.reset();
+        }
         self.steps_run = 0;
     }
 
-    /// Drive ranks with `threads` host threads inside each lockstep phase.
-    /// The fabric is thread-safe and every rank's data is disjoint, so the
-    /// physics is identical to the serial driver; only the order in which
-    /// puts reach a shared TNI can differ, perturbing virtual times at the
-    /// sub-microsecond level.
+    /// Drive the lockstep phases with `threads` host threads (1 = serial).
+    /// Results are bit-identical at any thread count: the team's static
+    /// node-aligned partition keeps every shared-TNI ordering fixed
+    /// (DESIGN.md §9).
     pub fn set_driver_threads(&mut self, threads: usize) {
         assert!(threads >= 1);
-        self.driver_threads = threads;
+        if threads != self.team.threads() {
+            self.team = Team::new(threads, &self.map);
+        }
     }
 
-    /// Apply `f` to every (engine, state) pair, possibly across threads.
-    fn for_each_rank(
-        engines: &mut [Box<dyn GhostEngine>],
-        states: &mut [RankState],
-        threads: usize,
-        f: impl Fn(&mut dyn GhostEngine, &mut RankState) + Sync,
-    ) {
-        if threads <= 1 {
-            for (e, st) in engines.iter_mut().zip(states.iter_mut()) {
-                f(e.as_mut(), st);
-            }
-            return;
+    /// Host threads currently driving the phases.
+    #[must_use]
+    pub fn driver_threads(&self) -> usize {
+        self.team.threads()
+    }
+
+    fn physics_ctx<'a>(
+        potential: &Potential,
+        variant: CommVariant,
+        cfg: &RunConfig,
+        costs: &'a StageCosts,
+        params: NetParams,
+    ) -> physics::Ctx<'a> {
+        physics::Ctx {
+            costs,
+            params,
+            threading: variant.threading(),
+            cutoff: potential.cutoff(),
+            skin: cfg.skin(),
+            list_kind: match potential.list_kind() {
+                tofumd_md::neighbor::ListKind::HalfNewton if variant.is_p2p() => {
+                    tofumd_md::neighbor::ListKind::HalfOneSided
+                }
+                k => k,
+            },
+            eam: cfg.is_eam(),
         }
-        let chunk = engines.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (ec, sc) in engines.chunks_mut(chunk).zip(states.chunks_mut(chunk)) {
-                let f = &f;
-                scope.spawn(move || {
-                    for (e, st) in ec.iter_mut().zip(sc.iter_mut()) {
-                        f(e.as_mut(), st);
-                    }
-                });
-            }
-        });
     }
 
     fn run_op(&mut self, op: Op) {
-        let rounds = self.engines[0].rounds(op);
-        let barrier = self.engines[0].barrier_between_rounds();
-        let threads = self.driver_threads;
+        let rounds = self.lanes[0].engine.rounds(op);
+        let barrier = self.lanes[0].engine.barrier_between_rounds();
+        // A wrapper that fails to delegate rounds()/barrier_between_rounds()
+        // silently changes every rank's round count (the driver reads rank
+        // 0 only) — catch the disagreement here.
+        debug_assert!(
+            self.lanes
+                .iter()
+                .all(|l| l.engine.rounds(op) == rounds
+                    && l.engine.barrier_between_rounds() == barrier),
+            "engines disagree on rounds({op:?})/barrier: engine wrappers must \
+             delegate rounds() and barrier_between_rounds()"
+        );
         for round in 0..rounds {
-            Self::for_each_rank(&mut self.engines, &mut self.states, threads, |e, st| {
-                e.post(op, round, st);
-            });
-            Self::for_each_rank(&mut self.engines, &mut self.states, threads, |e, st| {
-                e.complete(op, round, st);
-            });
+            self.team
+                .for_each(&mut self.lanes, &mut self.states, &|_, lane, st| {
+                    lane.engine.post(op, round, st);
+                });
+            self.team
+                .for_each(&mut self.lanes, &mut self.states, &|_, lane, st| {
+                    lane.engine.complete(op, round, st);
+                });
             if barrier && round + 1 < rounds {
-                self.sync_barrier(op);
+                // Stage synchronization of the 3-stage pattern ("an MPI
+                // barrier is mandatory between stages", §3.1), realized by
+                // LAMMPS's sendrecv dependency chain: a global stall plus
+                // one notification, not a log-P collective.
+                accounting::global_sync(
+                    &mut self.states,
+                    self.lanes.iter_mut().map(|l| &mut l.acc),
+                    self.net.params().mpi_match_cost,
+                    SyncBucket::Comm(op),
+                );
             }
             if let Some(mut obs) = self.op_observer.take() {
                 obs(op, round, rounds, &self.states);
@@ -490,250 +277,163 @@ impl Cluster {
         rank: usize,
         wrap: impl FnOnce(Box<dyn GhostEngine>) -> Box<dyn GhostEngine>,
     ) {
-        let old = std::mem::replace(&mut self.engines[rank], Box::new(PlaceholderEngine));
-        self.engines[rank] = wrap(old);
+        let old = std::mem::replace(&mut self.lanes[rank].engine, Box::new(PlaceholderEngine));
+        self.lanes[rank].engine = wrap(old);
     }
 
-    /// Mean per-round hop latency of the *target* machine's collectives.
-    fn target_hop_latency(&self) -> f64 {
-        let p = self.net.params();
-        let diameter: u32 = self.target_mesh.iter().map(|&d| d / 2).sum();
-        f64::from(diameter) * 0.5 * p.hop_latency
-    }
-
-    fn allreduce_cost_target(&self, bytes: usize) -> f64 {
-        let p = self.net.params();
-        let rounds = 2.0 * (self.target_ranks as f64).log2().ceil().max(1.0);
-        rounds
-            * (p.base_latency
-                + p.cpu_per_put_mpi
-                + p.mpi_match_cost
-                + self.target_hop_latency()
-                + bytes as f64 / p.link_bandwidth)
-    }
-
-    /// Stage synchronization of the 3-stage pattern: every rank must see
-    /// its neighbors' stage-k data before stage k+1 ("an MPI barrier is
-    /// mandatory between stages", §3.1). LAMMPS realizes this through the
-    /// sendrecv dependency chain, so the cost modeled here is the global
-    /// stall (clock alignment) plus one notification — not a log-P
-    /// collective.
-    fn sync_barrier(&mut self, op: Op) {
-        let latest = self
-            .states
-            .iter()
-            .map(|s| s.clock)
-            .fold(f64::NEG_INFINITY, f64::max);
-        let done = latest + self.net.params().mpi_match_cost;
-        for st in &mut self.states {
-            let dt = done - st.clock;
-            st.clock = done;
-            match op {
-                Op::ForwardScalar | Op::ReverseScalar => st.pair_comm_time += dt,
-                _ => st.comm_time += dt,
-            }
+    /// Decide whether this step reneighbors: rebuild-policy schedule plus
+    /// (for EAM) the every-5-step displacement check, whose allreduce is
+    /// booked into Other at the target machine's scale.
+    fn reneighbor_check(&mut self) {
+        let policy = self.cfg.policy();
+        self.rebuild = false;
+        if !policy.is_check_step(self.step) {
+            return;
         }
-    }
-
-    /// Exchange stage: LAMMPS's three staged migration sweeps through the
-    /// engines (real payloads on the engine's transport; time lands in the
-    /// Comm bucket).
-    ///
-    /// Positions are deliberately *not* wrapped into the global box first:
-    /// an atom that crossed the global boundary sits just outside its old
-    /// sub-box, and the face link's periodic shift re-wraps it while
-    /// sending it one hop to its true neighbor. A global wrap beforehand
-    /// would teleport the coordinate across the box and the staged sweep
-    /// would route it the long way around the torus.
-    fn exchange(&mut self) {
-        for st in &mut self.states {
-            st.atoms.clear_ghosts();
+        if !policy.check {
+            self.rebuild = true;
+            return;
         }
-        self.run_op(Op::Exchange);
+        physics::check_displacements(
+            &self.team,
+            self.cfg.skin(),
+            &mut self.lanes,
+            &mut self.states,
+        );
+        self.rebuild = self.lanes.iter().any(|l| l.moved);
+        let cost = accounting::allreduce_cost_target(
+            self.net.params(),
+            self.target_mesh,
+            self.target_ranks,
+            1,
+        );
+        accounting::global_sync(
+            &mut self.states,
+            self.lanes.iter_mut().map(|l| &mut l.acc),
+            cost,
+            SyncBucket::Other,
+        );
     }
 
-    fn rebuild_lists(&mut self) {
-        let cutoff = self.potential.cutoff();
-        // p2p engines deliver only the upper-half ghost shell, where every
-        // local-ghost pair belongs to the local rank; the staged engines
-        // deliver the full shell and use the coordinate-ordering rule.
-        let kind = match self.potential.list_kind() {
-            tofumd_md::neighbor::ListKind::HalfNewton if self.variant.is_p2p() => {
-                tofumd_md::neighbor::ListKind::HalfOneSided
-            }
-            k => k,
-        };
-        let skin = self.cfg.skin();
-        let threading = self.variant.threading();
-        let p = *self.net.params();
-        let eam = self.cfg.is_eam();
-        for r in 0..self.nranks() {
-            let st = &mut self.states[r];
-            let sub = st.plan.sub;
-            let rg = st.plan.r_ghost;
-            let lo = [sub.lo[0] - rg, sub.lo[1] - rg, sub.lo[2] - rg];
-            let hi = [sub.hi[0] + rg, sub.hi[1] + rg, sub.hi[2] + rg];
-            let list = NeighborList::build(&st.atoms, lo, hi, kind, cutoff, skin);
-            let work = RankWork {
-                n_local: st.atoms.nlocal as f64,
-                n_ghost: st.atoms.nghost() as f64,
-                interactions: list.npairs() as f64,
-                eam,
-            };
-            let dt = self.costs.neigh_time(&work, threading, &p);
-            st.clock += dt;
-            self.neigh_acc[r] += dt;
-            self.lists[r] = Some(list);
-        }
-        self.rebuild_count += 1;
-    }
-
-    fn rank_work(&self, r: usize) -> RankWork {
-        let st = &self.states[r];
-        let list = self.lists[r].as_ref().expect("list built");
-        RankWork {
-            n_local: st.atoms.nlocal as f64,
-            n_ghost: st.atoms.nghost() as f64,
-            interactions: list.npairs() as f64,
-            eam: self.cfg.is_eam(),
-        }
-    }
-
+    /// Pair phase: single pass, or the EAM pipeline with its two
+    /// mid-stage scalar exchanges.
     fn compute_pair(&mut self) {
-        let threading = self.variant.threading();
-        let p = *self.net.params();
         let potential = self.potential.clone();
         match &*potential {
-            Potential::Pair(pot) => {
-                for r in 0..self.nranks() {
-                    let st = &mut self.states[r];
-                    st.atoms.zero_forces();
-                    let list = self.lists[r].as_ref().expect("list built");
-                    self.energies[r] = pot.compute(&mut st.atoms, list);
-                    self.embeds[r] = 0.0;
-                }
+            Potential::Pair(_) => {
+                physics::pair_single(&self.team, &potential, &mut self.lanes, &mut self.states);
             }
-            Potential::ManyBody(pot) => {
-                // Pass 1: densities; ghost contributions reverse-folded.
-                for r in 0..self.nranks() {
-                    let st = &mut self.states[r];
-                    st.atoms.zero_forces();
-                    let list = self.lists[r].as_ref().expect("list built");
-                    pot.compute_rho(&st.atoms, list, &mut st.scalar);
-                }
+            Potential::ManyBody(_) => {
+                physics::eam_rho(&self.team, &potential, &mut self.lanes, &mut self.states);
                 self.run_op(Op::ReverseScalar);
-                // Embedding energy + F' for locals; fp forward to ghosts.
-                for r in 0..self.nranks() {
-                    let st = &mut self.states[r];
-                    self.embeds[r] =
-                        pot.compute_embedding(&st.atoms, &st.scalar, &mut self.fp_bufs[r]);
-                    std::mem::swap(&mut st.scalar, &mut self.fp_bufs[r]);
-                }
+                physics::eam_embed(&self.team, &potential, &mut self.lanes, &mut self.states);
                 self.run_op(Op::ForwardScalar);
-                // Pass 2: forces.
-                for r in 0..self.nranks() {
-                    let st = &mut self.states[r];
-                    let list = self.lists[r].as_ref().expect("list built");
-                    self.energies[r] = pot.compute_force(&mut st.atoms, list, &st.scalar);
-                }
+                physics::eam_force(&self.team, &potential, &mut self.lanes, &mut self.states);
             }
         }
-        for r in 0..self.nranks() {
-            let work = self.rank_work(r);
-            let dt = self.costs.pair_time(&work, threading, &p);
-            self.states[r].clock += dt;
-            self.pair_acc[r] += dt;
-        }
+        let ctx = Self::physics_ctx(
+            &self.potential,
+            self.variant,
+            &self.cfg,
+            &self.costs,
+            *self.net.params(),
+        );
+        physics::charge_pair(&self.team, &ctx, &mut self.lanes, &mut self.states);
     }
 
-    /// Advance one timestep.
-    pub fn run_step(&mut self) {
-        self.step += 1;
-        let p = *self.net.params();
-        let threading = self.variant.threading();
-
-        // Modify, first half (cost charged once for both halves below).
-        for st in &mut self.states {
-            self.integrator.initial_integrate(&mut st.atoms);
-        }
-
-        // Reneighbor decision.
-        let policy = self.cfg.policy();
-        let mut rebuild = false;
-        if policy.is_check_step(self.step) {
-            if policy.check {
-                // The EAM every-5-step displacement check: allreduce of the
-                // per-rank flags, booked into "Other" (§4.3.1 / Table 3).
-                let flags: Vec<bool> = (0..self.nranks())
-                    .map(|r| {
-                        self.lists[r]
-                            .as_ref()
-                            .expect("list built")
-                            .any_moved_beyond_half_skin(&self.states[r].atoms, self.cfg.skin())
-                    })
-                    .collect();
-                rebuild = flags.iter().any(|&f| f);
-                let latest = self
-                    .states
-                    .iter()
-                    .map(|s| s.clock)
-                    .fold(f64::NEG_INFINITY, f64::max);
-                let done = latest + self.allreduce_cost_target(1);
-                for (r, st) in self.states.iter_mut().enumerate() {
-                    self.other_acc[r] += done - st.clock;
-                    st.clock = done;
-                }
-            } else {
-                rebuild = true;
-            }
-        }
-
-        if rebuild {
-            self.exchange();
-            self.run_op(Op::Border);
-            self.rebuild_lists();
-        } else {
-            self.run_op(Op::Forward);
-        }
-
-        self.compute_pair();
-        if self.reverse_needed {
-            self.run_op(Op::Reverse);
-        }
-
-        // Modify, second half + cost for both halves.
-        for r in 0..self.nranks() {
-            self.integrator.final_integrate(&mut self.states[r].atoms);
-            let work = self.rank_work(r);
-            let dt = self.costs.modify_time(&work, threading, &p);
-            self.states[r].clock += dt;
-            self.modify_acc[r] += dt;
-        }
-
-        // Other: per-step bookkeeping floor.
-        for r in 0..self.nranks() {
-            let dt = self.costs.other_time();
-            self.states[r].clock += dt;
-            self.other_acc[r] += dt;
-        }
-
-        // LAMMPS `thermo N`: a global reduction of PE/KE/virial, booked
-        // into Other like LAMMPS's output stage.
+    /// Per-step Other floor plus the optional LAMMPS `thermo N`
+    /// reduction, booked into Other like LAMMPS's output stage.
+    fn accounting_phase(&mut self) {
+        let ctx = Self::physics_ctx(
+            &self.potential,
+            self.variant,
+            &self.cfg,
+            &self.costs,
+            *self.net.params(),
+        );
+        physics::charge_other_floor(&self.team, &ctx, &mut self.lanes, &mut self.states);
         if self.thermo_every > 0 && self.step.is_multiple_of(self.thermo_every) {
-            let latest = self
-                .states
-                .iter()
-                .map(|s| s.clock)
-                .fold(f64::NEG_INFINITY, f64::max);
-            let done = latest + self.allreduce_cost_target(3 * 8);
-            for (r, st) in self.states.iter_mut().enumerate() {
-                self.other_acc[r] += done - st.clock;
-                st.clock = done;
-            }
+            let cost = accounting::allreduce_cost_target(
+                self.net.params(),
+                self.target_mesh,
+                self.target_ranks,
+                3 * 8,
+            );
+            accounting::global_sync(
+                &mut self.states,
+                self.lanes.iter_mut().map(|l| &mut l.acc),
+                cost,
+                SyncBucket::Other,
+            );
             let snap = self.thermo();
             self.thermo_log.push(snap);
         }
+    }
 
+    /// Execute one phase of the step plan.
+    fn run_phase(&mut self, phase: Phase) {
+        match phase {
+            Phase::InitialIntegrate => physics::integrate_initial(
+                &self.team,
+                &self.integrator,
+                &mut self.lanes,
+                &mut self.states,
+            ),
+            Phase::ReneighborCheck => self.reneighbor_check(),
+            Phase::Exchange => {
+                // Positions are deliberately *not* wrapped into the global
+                // box first: the face link's periodic shift re-wraps a
+                // boundary-crossing atom while sending it one hop; a global
+                // wrap would route it the long way around the torus.
+                for st in &mut self.states {
+                    st.atoms.clear_ghosts();
+                }
+                self.run_op(Op::Exchange);
+            }
+            Phase::Border => self.run_op(Op::Border),
+            Phase::RebuildLists => {
+                let ctx = Self::physics_ctx(
+                    &self.potential,
+                    self.variant,
+                    &self.cfg,
+                    &self.costs,
+                    *self.net.params(),
+                );
+                physics::rebuild_lists(&self.team, &ctx, &mut self.lanes, &mut self.states);
+                self.rebuild_count += 1;
+            }
+            Phase::Forward => self.run_op(Op::Forward),
+            Phase::Pair => self.compute_pair(),
+            Phase::Reverse => self.run_op(Op::Reverse),
+            Phase::FinalIntegrate => {
+                let ctx = Self::physics_ctx(
+                    &self.potential,
+                    self.variant,
+                    &self.cfg,
+                    &self.costs,
+                    *self.net.params(),
+                );
+                physics::integrate_final(
+                    &self.team,
+                    &ctx,
+                    &self.integrator,
+                    &mut self.lanes,
+                    &mut self.states,
+                );
+            }
+            Phase::Accounting => self.accounting_phase(),
+        }
+    }
+
+    /// Advance one timestep: walk the static phase plan, honoring each
+    /// phase's condition against this step's reneighbor verdict.
+    pub fn run_step(&mut self) {
+        self.step += 1;
+        for planned in Phase::step_plan(self.reverse_needed) {
+            if planned.cond.applies(self.rebuild) {
+                self.run_phase(planned.phase);
+            }
+        }
         self.steps_run += 1;
     }
 
@@ -742,199 +442,6 @@ impl Cluster {
         for _ in 0..n {
             self.run_step();
         }
-    }
-
-    /// Raw per-stage sums across ranks (un-normalized; used by tracing).
-    fn stage_sums(&self) -> [f64; 5] {
-        let mut s = [0.0; 5];
-        for r in 0..self.nranks() {
-            s[0] += self.pair_acc[r] + self.states[r].pair_comm_time;
-            s[1] += self.neigh_acc[r];
-            s[2] += self.states[r].comm_time;
-            s[3] += self.modify_acc[r];
-            s[4] += self.other_acc[r];
-        }
-        s
-    }
-
-    /// Slowest-rank clock divided by the mean rank clock — the
-    /// load-imbalance factor that gates bulk-synchronous steps.
-    #[must_use]
-    pub fn imbalance(&self) -> f64 {
-        let max = self
-            .states
-            .iter()
-            .map(|s| s.clock)
-            .fold(f64::NEG_INFINITY, f64::max);
-        let mean = self.states.iter().map(|s| s.clock).sum::<f64>() / self.nranks() as f64;
-        if mean <= 0.0 {
-            1.0
-        } else {
-            max / mean
-        }
-    }
-
-    /// Run `n` steps recording a per-step stage trace.
-    pub fn run_traced(&mut self, n: u64) -> crate::trace::Trace {
-        let mut trace = crate::trace::Trace::default();
-        let nranks = self.nranks() as f64;
-        let ops_before = self.op_stats();
-        for _ in 0..n {
-            let before = self.stage_sums();
-            let clock_before = self
-                .states
-                .iter()
-                .map(|s| s.clock)
-                .fold(f64::NEG_INFINITY, f64::max);
-            let rebuilds_before = self.rebuild_count;
-            self.run_step();
-            let after = self.stage_sums();
-            let clock_after = self
-                .states
-                .iter()
-                .map(|s| s.clock)
-                .fold(f64::NEG_INFINITY, f64::max);
-            let mut stages = [0.0; 5];
-            for (st, (a, b)) in stages.iter_mut().zip(after.iter().zip(&before)) {
-                *st = (a - b) / nranks;
-            }
-            trace.push(crate::trace::StepRecord {
-                step: self.step,
-                stages,
-                max_clock_delta: clock_after - clock_before,
-                rebuilt: self.rebuild_count > rebuilds_before,
-            });
-        }
-        let delta = self.op_stats().since(&ops_before);
-        trace.comm = crate::trace::comm_rows(&delta, nranks * n as f64);
-        trace
-    }
-
-    /// Mean per-step stage breakdown over all ranks since the last
-    /// `reset_timers`.
-    #[must_use]
-    pub fn breakdown(&self) -> StageBreakdown {
-        let n = self.nranks() as f64;
-        let steps = self.steps_run.max(1) as f64;
-        let mut b = StageBreakdown::default();
-        for r in 0..self.nranks() {
-            b.pair += self.pair_acc[r] + self.states[r].pair_comm_time;
-            b.neigh += self.neigh_acc[r];
-            b.comm += self.states[r].comm_time;
-            b.modify += self.modify_acc[r];
-            b.other += self.other_acc[r];
-        }
-        b.pair /= n * steps;
-        b.neigh /= n * steps;
-        b.comm /= n * steps;
-        b.modify /= n * steps;
-        b.other /= n * steps;
-        b
-    }
-
-    /// Wall-clock (virtual) seconds per step: the slowest rank's clock
-    /// averaged over the steps run.
-    #[must_use]
-    pub fn step_time(&self) -> f64 {
-        let latest = self
-            .states
-            .iter()
-            .map(|s| s.clock)
-            .fold(f64::NEG_INFINITY, f64::max);
-        latest / self.steps_run.max(1) as f64
-    }
-
-    /// Globally-reduced thermodynamic snapshot.
-    #[must_use]
-    pub fn thermo(&self) -> ThermoSnapshot {
-        let units = self.cfg.units();
-        let mass = self.cfg.mass();
-        let mut pe = 0.0;
-        let mut virial = 0.0;
-        let mut ke = 0.0;
-        for (r, st) in self.states.iter().enumerate() {
-            pe += self.energies[r].energy + self.embeds[r];
-            virial += self.energies[r].virial;
-            ke += thermo::kinetic_energy(&st.atoms, mass, units);
-        }
-        let n = self.natoms();
-        ThermoSnapshot {
-            step: self.step,
-            pe,
-            ke,
-            temperature: thermo::temperature(ke, n, units),
-            pressure: thermo::pressure(ke, virial, self.global.volume(), units),
-        }
-    }
-
-    /// Sum of modeled setup costs (registrations, pre-sizing) across ranks.
-    #[must_use]
-    pub fn setup_cost(&self) -> f64 {
-        self.engines.iter().map(|e| e.setup_cost()).sum()
-    }
-
-    /// Aggregate message counters across ranks (Table 1's live
-    /// counterpart: messages posted and payload bytes moved).
-    #[must_use]
-    pub fn comm_stats(&self) -> CommStats {
-        let mut total = CommStats::default();
-        for e in &self.engines {
-            total.merge(&e.stats());
-        }
-        total
-    }
-
-    /// Aggregate per-op / per-round message counters across ranks — the
-    /// deep-telemetry view behind [`Cluster::comm_stats`].
-    #[must_use]
-    pub fn op_stats(&self) -> OpStats {
-        let mut total = OpStats::default();
-        for e in &self.engines {
-            total.merge(&e.op_stats());
-        }
-        total
-    }
-
-    /// Enable LAMMPS-style `thermo N` output: every N steps the cluster
-    /// performs (and charges) a global thermodynamic reduction and logs
-    /// the snapshot.
-    pub fn set_thermo_every(&mut self, every: u64) {
-        self.thermo_every = every;
-    }
-
-    /// Snapshots collected at thermo steps since construction.
-    #[must_use]
-    pub fn thermo_log(&self) -> &[ThermoSnapshot] {
-        &self.thermo_log
-    }
-
-    /// Fig. 6's micro-measurement: run only the forward ghost exchange
-    /// `iters` times and return the mean per-exchange time (max over
-    /// ranks). Positions are frozen, so this isolates the message path.
-    #[must_use]
-    pub fn bench_forward_exchange(&mut self, iters: u64) -> f64 {
-        self.reset_timers();
-        for _ in 0..iters {
-            self.run_op(Op::Forward);
-        }
-        let latest = self
-            .states
-            .iter()
-            .map(|s| s.clock)
-            .fold(f64::NEG_INFINITY, f64::max);
-        self.reset_timers();
-        latest / iters as f64
-    }
-
-    /// Total buffer-growth events across all ranks (the §3.4 dynamic
-    /// expansion overhead; zero under pre-registration).
-    #[must_use]
-    pub fn growth_events(&self) -> u64 {
-        // Growth is observable through registration call counts: every
-        // grow re-registers. Subtract the initial registrations.
-        (0..self.net.node_count())
-            .map(|n| self.net.registration_calls_of(n))
-            .sum::<u64>()
     }
 }
 
@@ -954,232 +461,5 @@ impl GhostEngine for PlaceholderEngine {
     }
     fn complete(&mut self, _op: Op, _round: usize, _st: &mut RankState) {
         unreachable!("placeholder engine must never run");
-    }
-}
-
-/// Which rank's sub-box contains the (wrapped) position.
-fn owner_of(global: &Box3, rg: [u32; 3], map: &RankMap, x: &[f64; 3]) -> usize {
-    let l = global.lengths();
-    let mut c = [0i64; 3];
-    for d in 0..3 {
-        let frac = (x[d] - global.lo[d]) / l[d];
-        let idx = (frac * f64::from(rg[d])).floor() as i64;
-        c[d] = idx.clamp(0, i64::from(rg[d]) - 1);
-    }
-    map.rank_at(c)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// Smallest foldable machine: one cell = 12 nodes = 48 ranks.
-    const MESH: [u32; 3] = [2, 3, 2];
-
-    fn small_lj(variant: CommVariant) -> Cluster {
-        Cluster::new(MESH, RunConfig::lj(8000), variant)
-    }
-
-    #[test]
-    fn construction_distributes_all_atoms() {
-        let c = small_lj(CommVariant::Opt);
-        assert_eq!(c.nranks(), 48);
-        // 8000 target -> rounded up to whole FCC cells.
-        assert!(c.natoms() >= 8000);
-        // Ghosts exist after setup.
-        assert!(c.states().iter().all(|s| s.atoms.nghost() > 0));
-    }
-
-    #[test]
-    fn forces_match_serial_reference_at_setup() {
-        use tofumd_md::neighbor::RebuildPolicy;
-        use tofumd_md::SerialSim;
-        let cfg = RunConfig::lj(8000);
-        let cluster = small_lj(CommVariant::Opt);
-        // Serial reference on the identical system: gather the cluster's
-        // own atoms (pre-step positions) into one box.
-        let mut gathered: Vec<(u64, [f64; 3])> = Vec::new();
-        for st in cluster.states() {
-            for i in 0..st.atoms.nlocal {
-                gathered.push((st.atoms.tag[i], st.atoms.x[i]));
-            }
-        }
-        gathered.sort_unstable_by_key(|(tag, _)| *tag);
-        let mut atoms = Atoms::from_positions(gathered.iter().map(|g| g.1).collect(), 1);
-        velocity::create_velocities(&mut atoms, 1.0, cfg.temperature, cfg.units(), cfg.seed);
-        let serial = SerialSim::new(
-            atoms,
-            cluster.global_box(),
-            cfg.build_potential(),
-            cfg.units(),
-            cfg.skin(),
-            RebuildPolicy::LJ,
-            cfg.timestep(),
-            cfg.mass(),
-        );
-        // Compare forces atom-by-atom via tags.
-        let mut serial_f = std::collections::HashMap::new();
-        for i in 0..serial.atoms.nlocal {
-            serial_f.insert(serial.atoms.tag[i], serial.atoms.f[i]);
-        }
-        let mut checked = 0;
-        for st in cluster.states() {
-            for i in 0..st.atoms.nlocal {
-                let expect = serial_f[&st.atoms.tag[i]];
-                for d in 0..3 {
-                    assert!(
-                        (st.atoms.f[i][d] - expect[d]).abs() < 1e-9,
-                        "force mismatch on tag {} dim {d}: {} vs {}",
-                        st.atoms.tag[i],
-                        st.atoms.f[i][d],
-                        expect[d]
-                    );
-                }
-                checked += 1;
-            }
-        }
-        assert_eq!(checked, serial.atoms.nlocal);
-    }
-
-    #[test]
-    fn all_variants_agree_on_physics() {
-        let mut reference: Option<ThermoSnapshot> = None;
-        for variant in CommVariant::STEP_BY_STEP {
-            let mut c = small_lj(variant);
-            c.run(10);
-            let t = c.thermo();
-            if let Some(r) = &reference {
-                assert!(
-                    (t.pe - r.pe).abs() / r.pe.abs() < 1e-9,
-                    "{}: pe {} vs {}",
-                    variant.label(),
-                    t.pe,
-                    r.pe
-                );
-                assert!((t.ke - r.ke).abs() / r.ke < 1e-9, "{}", variant.label());
-            } else {
-                reference = Some(t);
-            }
-        }
-    }
-
-    #[test]
-    fn energy_is_conserved_across_rebuilds() {
-        let mut c = small_lj(CommVariant::Opt);
-        let e0 = c.thermo().total_energy();
-        c.run(25); // crosses the every-20 rebuild
-        let e1 = c.thermo().total_energy();
-        let drift = (e1 - e0).abs() / c.natoms() as f64;
-        assert!(drift < 2e-2, "per-atom energy drift {drift}");
-        assert!(c.rebuild_count >= 2, "setup + step-20 rebuild");
-    }
-
-    #[test]
-    fn opt_variant_is_fastest_ref_is_slower() {
-        let mut times = std::collections::HashMap::new();
-        for variant in [CommVariant::Ref, CommVariant::Opt] {
-            let mut c = small_lj(variant);
-            c.run(5);
-            times.insert(variant.label(), c.step_time());
-        }
-        assert!(
-            times["parallel-p2p"] < times["ref"],
-            "opt {} should beat ref {}",
-            times["parallel-p2p"],
-            times["ref"]
-        );
-    }
-
-    #[test]
-    fn breakdown_sums_to_positive_stages() {
-        let mut c = small_lj(CommVariant::Ref);
-        c.run(5);
-        let b = c.breakdown();
-        assert!(b.pair > 0.0 && b.comm > 0.0 && b.modify > 0.0 && b.other > 0.0);
-        let pct = b.percentages();
-        assert!((pct.iter().sum::<f64>() - 100.0).abs() < 1e-6);
-    }
-
-    #[test]
-    fn eam_cluster_runs_and_conserves() {
-        let mut c = Cluster::new(MESH, RunConfig::eam(8000), CommVariant::Opt);
-        let e0 = c.thermo().total_energy();
-        c.run(10);
-        let e1 = c.thermo().total_energy();
-        let drift = (e1 - e0).abs() / c.natoms() as f64;
-        assert!(drift < 5e-3, "EAM per-atom drift {drift} eV");
-    }
-
-    #[test]
-    fn thermo_output_logs_and_charges_other() {
-        let mut quiet = small_lj(CommVariant::Opt);
-        let mut chatty = small_lj(CommVariant::Opt);
-        chatty.set_thermo_every(5);
-        quiet.run(20);
-        chatty.run(20);
-        assert_eq!(chatty.thermo_log().len(), 4);
-        assert!(quiet.thermo_log().is_empty());
-        // The reductions cost Other time.
-        assert!(chatty.breakdown().other > quiet.breakdown().other);
-        // Logged steps are the multiples of 5.
-        assert_eq!(chatty.thermo_log()[0].step, 5);
-        assert_eq!(chatty.thermo_log()[3].step, 20);
-    }
-
-    #[test]
-    fn traced_run_matches_cumulative_breakdown() {
-        let mut c = small_lj(CommVariant::Opt);
-        let trace = c.run_traced(25);
-        assert_eq!(trace.len(), 25);
-        // Trace mean must equal the cluster's cumulative breakdown.
-        let tm = trace.mean();
-        let cb = c.breakdown();
-        assert!((tm.total() - cb.total()).abs() / cb.total() < 1e-9);
-        // The step-20 rebuild shows up as a marked, more expensive step.
-        let rebuilt: Vec<_> = trace.steps.iter().filter(|r| r.rebuilt).collect();
-        assert_eq!(rebuilt.len(), 1);
-        assert_eq!(rebuilt[0].step, 20);
-        assert!(trace.rebuild_cost_ratio().unwrap() > 1.2);
-        // Imbalance factor is sane (>= 1, not huge on a uniform lattice).
-        let imb = c.imbalance();
-        assert!((1.0..1.5).contains(&imb), "imbalance {imb}");
-    }
-
-    #[test]
-    fn parallel_driver_preserves_physics() {
-        // Two host threads driving the lockstep phases must produce the
-        // same trajectory as the serial driver (per-rank data is disjoint;
-        // the fabric is thread-safe).
-        let mut serial = small_lj(CommVariant::Opt);
-        let mut parallel = small_lj(CommVariant::Opt);
-        parallel.set_driver_threads(2);
-        serial.run(25);
-        parallel.run(25);
-        let a = serial.thermo();
-        let b = parallel.thermo();
-        assert!(
-            (a.pe - b.pe).abs() / a.pe.abs() < 1e-12,
-            "{} vs {}",
-            a.pe,
-            b.pe
-        );
-        assert!((a.ke - b.ke).abs() / a.ke < 1e-12);
-        assert_eq!(serial.natoms(), parallel.natoms());
-    }
-
-    #[test]
-    fn proxy_scales_workload_down() {
-        let c = Cluster::proxy(
-            MESH,
-            [32, 36, 32],
-            RunConfig::lj(4_194_304),
-            CommVariant::Opt,
-        );
-        // 4.2M atoms over 147,456 ranks ~ 28/rank; 48 proxy ranks ~ 1.4k.
-        let per_rank = c.natoms() as f64 / c.nranks() as f64;
-        assert!(
-            (20.0..60.0).contains(&per_rank),
-            "proxy per-rank atoms {per_rank}"
-        );
     }
 }

@@ -1,0 +1,232 @@
+//! Construction of a [`Cluster`]: lattice sizing proportioned to the rank
+//! grid, atom distribution, engine instantiation per [`CommVariant`],
+//! global velocity initialization and the setup phases (ghosts, lists,
+//! initial forces). Child module of [`crate::cluster`] so it can fill the
+//! façade's private fields without widening their visibility.
+
+use super::Cluster;
+use crate::config::RunConfig;
+use crate::driver::{Lane, Phase, Team};
+use crate::variant::CommVariant;
+use std::sync::Arc;
+use tofumd_core::engine::{GhostEngine, Op, RankState};
+use tofumd_core::mpi_engine::{MpiP2p, MpiThreeStage};
+use tofumd_core::plan::{CommPlan, PlanConfig};
+use tofumd_core::topo_map::{Placement, RankMap};
+use tofumd_core::utofu_engine::{AddressBook, UtofuConfig, UtofuP2p, UtofuThreeStage};
+use tofumd_md::atom::Atoms;
+use tofumd_md::integrate::NveIntegrator;
+use tofumd_md::region::Box3;
+use tofumd_md::velocity;
+use tofumd_model::StageCosts;
+use tofumd_mpi::Communicator;
+use tofumd_tofu::{CellGrid, NetParams, TofuNet};
+
+impl Cluster {
+    pub(super) fn build(
+        proxy_mesh: [u32; 3],
+        target_mesh: [u32; 3],
+        cfg: RunConfig,
+        variant: CommVariant,
+        placement: Placement,
+    ) -> Self {
+        let grid = CellGrid::from_node_mesh(proxy_mesh)
+            .unwrap_or_else(|| panic!("node mesh {proxy_mesh:?} does not fold onto TofuD cells"));
+        let map = RankMap::new(grid, placement);
+        let nranks = map.nranks();
+        let target_ranks = 4 * target_mesh.iter().map(|&d| d as usize).product::<usize>();
+
+        // Build the global system with the lattice proportioned to the
+        // rank grid so each rank's sub-box is (near-)cubic — the paper's
+        // Table 1 analysis and Fig. 1 assume cubic sub-boxes.
+        let rg_pre = {
+            let mesh = grid.node_mesh();
+            [
+                mesh[0] * tofumd_core::topo_map::RANKS_PER_NODE_SPLIT[0],
+                mesh[1] * tofumd_core::topo_map::RANKS_PER_NODE_SPLIT[1],
+                mesh[2] * tofumd_core::topo_map::RANKS_PER_NODE_SPLIT[2],
+            ]
+        };
+        let nranks_f = f64::from(rg_pre[0]) * f64::from(rg_pre[1]) * f64::from(rg_pre[2]);
+        let apc = cfg.atoms_per_cell() as f64;
+        let cells_per_rank = (cfg.natoms_target as f64 / (apc * nranks_f)).cbrt();
+        let (cx, cy, cz) = (
+            (cells_per_rank * f64::from(rg_pre[0])).ceil() as usize,
+            (cells_per_rank * f64::from(rg_pre[1])).ceil() as usize,
+            (cells_per_rank * f64::from(rg_pre[2])).ceil() as usize,
+        );
+        let (global, pos) = cfg.build_lattice(cx.max(1), cy.max(1), cz.max(1));
+
+        // Fabric + MPI layer.
+        let net = Arc::new(TofuNet::new(grid, NetParams::default()));
+        let mpi = Arc::new(Communicator::new(net.clone(), nranks, 4));
+
+        // Plans.
+        let rg = map.rank_grid;
+        let r_ghost = cfg.ghost_cutoff();
+        let gl = global.lengths();
+        let min_edge = (0..3)
+            .map(|d| gl[d] / f64::from(rg[d]))
+            .fold(f64::INFINITY, f64::min);
+        let shells = ((r_ghost / min_edge).ceil() as usize).max(1);
+        let plan_cfg = PlanConfig {
+            shells,
+            half: cfg.newton_half(),
+        };
+
+        // Distribute atoms to owners.
+        let mut per_rank: Vec<Vec<([f64; 3], u64)>> = vec![Vec::new(); nranks];
+        for (i, p) in pos.iter().enumerate() {
+            let owner = owner_of(&global, rg, &map, p);
+            per_rank[owner].push((*p, i as u64 + 1));
+        }
+
+        let potential = Arc::new(cfg.build_potential());
+        let integrator = NveIntegrator::new(cfg.timestep(), cfg.mass(), cfg.units());
+        let density = cfg.density();
+        let book = AddressBook::new();
+
+        let mut states = Vec::with_capacity(nranks);
+        let mut lanes: Vec<Lane> = Vec::with_capacity(nranks);
+        for rank in 0..nranks {
+            let plan = CommPlan::build(rank, &map, &global, r_ghost, plan_cfg);
+            let node = map.node_of(rank);
+            let mut atoms = Atoms::default();
+            for (x, tag) in &per_rank[rank] {
+                atoms.push_local(*x, [0.0; 3], cfg.type_of_tag(*tag), *tag);
+            }
+            velocity::create_velocities(
+                &mut atoms,
+                cfg.mass(),
+                cfg.temperature,
+                cfg.units(),
+                cfg.seed,
+            );
+            let engine: Box<dyn GhostEngine> = match variant {
+                CommVariant::Ref => {
+                    Box::new(MpiThreeStage::new(mpi.clone(), &map, rank, &global, shells))
+                }
+                CommVariant::MpiP2p => Box::new(MpiP2p::new(mpi.clone(), rank)),
+                CommVariant::Utofu3Stage => Box::new(UtofuThreeStage::new(
+                    net.clone(),
+                    book.clone(),
+                    &map,
+                    &plan,
+                    node,
+                    density,
+                    &global,
+                )),
+                CommVariant::Utofu4TniP2p => Box::new(UtofuP2p::new(
+                    net.clone(),
+                    book.clone(),
+                    &plan,
+                    node,
+                    density,
+                    UtofuConfig::coarse4(),
+                )),
+                CommVariant::Utofu6TniP2p => Box::new(UtofuP2p::new(
+                    net.clone(),
+                    book.clone(),
+                    &plan,
+                    node,
+                    density,
+                    UtofuConfig::single6(),
+                )),
+                CommVariant::Opt => Box::new(UtofuP2p::new(
+                    net.clone(),
+                    book.clone(),
+                    &plan,
+                    node,
+                    density,
+                    UtofuConfig::pool6(),
+                )),
+            };
+            states.push(RankState::new(atoms, plan));
+            lanes.push(Lane::new(engine));
+        }
+
+        // Zero total momentum and scale to the target temperature, using
+        // globally reduced quantities so the result matches a serial run.
+        let natoms_global: usize = states.iter().map(|s| s.atoms.nlocal).sum();
+        let mut vcm = [0.0f64; 3];
+        for st in &states {
+            for i in 0..st.atoms.nlocal {
+                for d in 0..3 {
+                    vcm[d] += st.atoms.v[i][d];
+                }
+            }
+        }
+        for v in &mut vcm {
+            *v /= natoms_global as f64;
+        }
+        let mut ke_after = 0.0;
+        for st in &states {
+            for i in 0..st.atoms.nlocal {
+                let mut s = 0.0;
+                for d in 0..3 {
+                    let dv = st.atoms.v[i][d] - vcm[d];
+                    s += dv * dv;
+                }
+                ke_after += 0.5 * cfg.units().mvv2e() * cfg.mass() * s;
+            }
+        }
+        for st in &mut states {
+            velocity::apply_drift_and_scale(
+                &mut st.atoms,
+                vcm,
+                ke_after,
+                natoms_global,
+                cfg.temperature,
+                cfg.units(),
+            );
+        }
+
+        let half = cfg.needs_reverse();
+        let team = Team::new(1, &map);
+        let mut cluster = Cluster {
+            cfg,
+            variant,
+            map,
+            global,
+            net,
+            mpi,
+            potential,
+            integrator,
+            states,
+            lanes,
+            team,
+            costs: StageCosts::default(),
+            step: 0,
+            rebuild_count: 0,
+            steps_run: 0,
+            rebuild: false,
+            reverse_needed: half,
+            thermo_every: 0,
+            thermo_log: Vec::new(),
+            target_mesh,
+            target_ranks,
+            op_observer: None,
+        };
+        // Setup stage: establish ghosts, lists, initial forces.
+        cluster.run_op(Op::Border);
+        cluster.run_phase(Phase::RebuildLists);
+        cluster.compute_pair();
+        if cluster.reverse_needed {
+            cluster.run_op(Op::Reverse);
+        }
+        cluster.reset_timers();
+        cluster
+    }
+}
+
+/// Which rank's sub-box contains the (wrapped) position.
+fn owner_of(global: &Box3, rg: [u32; 3], map: &RankMap, x: &[f64; 3]) -> usize {
+    let l = global.lengths();
+    let mut c = [0i64; 3];
+    for d in 0..3 {
+        let frac = (x[d] - global.lo[d]) / l[d];
+        let idx = (frac * f64::from(rg[d])).floor() as i64;
+        c[d] = idx.clamp(0, i64::from(rg[d]) - 1);
+    }
+    map.rank_at(c)
+}

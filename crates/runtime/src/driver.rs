@@ -1,0 +1,373 @@
+//! The deterministic host-parallel phase executor.
+//!
+//! A timestep is an ordered list of [`Phase`]s — per-rank work items
+//! (integrate, reneighbor-check, ghost ops, pair passes, accounting)
+//! executed over all simulated ranks by a persistent [`Team`] of host
+//! threads built on `tofumd-threadpool`'s spin pool (the paper's §3.3
+//! design, dogfooded as our own step driver).
+//!
+//! # Determinism contract (DESIGN.md §9)
+//!
+//! Results are **bit-identical at any thread count** because rank→worker
+//! assignment is static and *node-aligned*:
+//!
+//! * The only cross-rank mutable state whose ordering is observable in
+//!   virtual time is the per-`(node, TNI)` injection clock inside
+//!   [`tofumd_tofu::TofuNet`] — and only ranks sharing a *node* share
+//!   TNIs. Cross-node interactions fold arrival times with `max` and
+//!   match payloads by content (piggyback / stadd / (src, tag)), so their
+//!   ordering is unobservable.
+//! * Therefore the team partitions work by **node**: all four ranks of a
+//!   node are always driven by the same worker, nodes in ascending id
+//!   order and ranks in ascending order within each node — exactly the
+//!   serial order restricted to each worker's node range. No phase result
+//!   can depend on the interleaving between workers.
+//!
+//! Note the 1×2×2 rank-per-node split means a node's four ranks are *not*
+//! contiguous in rank order, which is why chunking is over node groups
+//! rather than rank ranges.
+
+use crate::accounting::StageAcc;
+use tofumd_core::engine::GhostEngine;
+use tofumd_core::topo_map::RankMap;
+use tofumd_md::neighbor::NeighborList;
+use tofumd_md::potential::PairEnergyVirial;
+use tofumd_threadpool::SpinPool;
+
+/// Per-rank execution context owned by the driver: everything a phase
+/// needs besides the [`tofumd_core::engine::RankState`] itself. Keeping
+/// it in one struct lets the team hand a worker `(&mut Lane, &mut
+/// RankState)` for each rank it owns without aliasing.
+pub struct Lane {
+    /// The rank's communication engine.
+    pub engine: Box<dyn GhostEngine>,
+    /// Current Verlet list (`None` only before the setup build).
+    pub list: Option<NeighborList>,
+    /// Pair energy/virial of the last force evaluation.
+    pub energy: PairEnergyVirial,
+    /// EAM embedding energy of the last evaluation.
+    pub embed: f64,
+    /// Scratch buffer for the EAM F' forward (swapped with `scalar`).
+    pub fp_buf: Vec<f64>,
+    /// Reneighbor-check verdict of this rank (set by the check phase).
+    pub moved: bool,
+    /// Compute-stage time accumulators.
+    pub acc: StageAcc,
+}
+
+impl Lane {
+    /// Fresh lane around `engine` with empty derived state.
+    #[must_use]
+    pub fn new(engine: Box<dyn GhostEngine>) -> Self {
+        Lane {
+            engine,
+            list: None,
+            energy: PairEnergyVirial::default(),
+            embed: 0.0,
+            fp_buf: Vec::new(),
+            moved: false,
+            acc: StageAcc::default(),
+        }
+    }
+}
+
+/// One work item of a timestep, in execution order. The comm phases run
+/// the engine's post/complete rounds; the compute phases fan per-rank
+/// closures out over the [`Team`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// First velocity-Verlet half-kick + drift.
+    InitialIntegrate,
+    /// Decide whether this step reneighbors (policy + displacement
+    /// allreduce).
+    ReneighborCheck,
+    /// Staged atom migration (reneighbor steps only).
+    Exchange,
+    /// Ghost-region rebuild (reneighbor steps only).
+    Border,
+    /// Verlet-list rebuild (reneighbor steps only).
+    RebuildLists,
+    /// Ghost position update (non-reneighbor steps).
+    Forward,
+    /// Pair force evaluation (single pass, or the EAM rho/embed/force
+    /// pipeline with its mid-stage scalar exchanges).
+    Pair,
+    /// Ghost force fold-back (Newton-half runs).
+    Reverse,
+    /// Second velocity-Verlet half-kick + Modify charge.
+    FinalIntegrate,
+    /// Per-step Other floor + the optional thermo reduction.
+    Accounting,
+}
+
+/// When a planned phase actually runs, given the step's reneighbor
+/// verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Every step.
+    Always,
+    /// Only on reneighbor steps.
+    IfRebuild,
+    /// Only on non-reneighbor steps.
+    IfNoRebuild,
+}
+
+/// A phase plus its execution condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedPhase {
+    /// The work item.
+    pub phase: Phase,
+    /// When it runs.
+    pub cond: Cond,
+}
+
+impl Phase {
+    /// The ordered phase list of one timestep. The reneighbor decision is
+    /// made *during* the `ReneighborCheck` phase, so the branch between
+    /// the exchange path and the forward path is expressed as conditions
+    /// evaluated by the executor, keeping the plan itself static.
+    #[must_use]
+    pub fn step_plan(reverse_needed: bool) -> Vec<PlannedPhase> {
+        let mut plan = vec![
+            PlannedPhase {
+                phase: Phase::InitialIntegrate,
+                cond: Cond::Always,
+            },
+            PlannedPhase {
+                phase: Phase::ReneighborCheck,
+                cond: Cond::Always,
+            },
+            PlannedPhase {
+                phase: Phase::Exchange,
+                cond: Cond::IfRebuild,
+            },
+            PlannedPhase {
+                phase: Phase::Border,
+                cond: Cond::IfRebuild,
+            },
+            PlannedPhase {
+                phase: Phase::RebuildLists,
+                cond: Cond::IfRebuild,
+            },
+            PlannedPhase {
+                phase: Phase::Forward,
+                cond: Cond::IfNoRebuild,
+            },
+            PlannedPhase {
+                phase: Phase::Pair,
+                cond: Cond::Always,
+            },
+        ];
+        if reverse_needed {
+            plan.push(PlannedPhase {
+                phase: Phase::Reverse,
+                cond: Cond::Always,
+            });
+        }
+        plan.push(PlannedPhase {
+            phase: Phase::FinalIntegrate,
+            cond: Cond::Always,
+        });
+        plan.push(PlannedPhase {
+            phase: Phase::Accounting,
+            cond: Cond::Always,
+        });
+        plan
+    }
+}
+
+impl Cond {
+    /// Does the phase run on a step with this reneighbor verdict?
+    #[must_use]
+    pub fn applies(self, rebuild: bool) -> bool {
+        match self {
+            Cond::Always => true,
+            Cond::IfRebuild => rebuild,
+            Cond::IfNoRebuild => !rebuild,
+        }
+    }
+}
+
+/// Raw-pointer wrapper that lets the pool's scoped closures index into
+/// the lane/state slices. Safe because the team's node partition gives
+/// every index to exactly one worker per region (see `for_each`).
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Pointer to element `i`. Taking the receiver by value (Copy-free via
+    /// `&self`) keeps edition-2021 closures capturing the whole wrapper
+    /// rather than the raw-pointer field, which would lose the Sync impl.
+    fn slot(&self, i: usize) -> *mut T {
+        self.0.wrapping_add(i)
+    }
+}
+
+/// The persistent worker team driving per-rank phases.
+///
+/// Built once per `(thread count, rank map)`; dispatching a phase is one
+/// spin-pool region (a single atomic store + spin join), not a round of
+/// thread spawns like the old `thread::scope` driver.
+pub struct Team {
+    pool: SpinPool,
+    /// Rank ids grouped by node: `order[node_starts[n]..node_starts[n+1]]`
+    /// are node `n`'s ranks in ascending rank order.
+    order: Vec<usize>,
+    node_starts: Vec<usize>,
+}
+
+impl Team {
+    /// Build a team of `threads` host threads over `map`'s ranks.
+    #[must_use]
+    pub fn new(threads: usize, map: &RankMap) -> Self {
+        assert!(threads >= 1, "team needs at least one thread");
+        let nranks = map.nranks();
+        let nnodes = (0..nranks).map(|r| map.node_of(r) + 1).max().unwrap_or(0);
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); nnodes];
+        for r in 0..nranks {
+            groups[map.node_of(r)].push(r);
+        }
+        let mut order = Vec::with_capacity(nranks);
+        let mut node_starts = Vec::with_capacity(nnodes + 1);
+        node_starts.push(0);
+        for g in &groups {
+            order.extend_from_slice(g);
+            node_starts.push(order.len());
+        }
+        Team {
+            pool: SpinPool::new(threads),
+            order,
+            node_starts,
+        }
+    }
+
+    /// Parallelism of the team.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Number of node groups in the partition.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.node_starts.len() - 1
+    }
+
+    /// Run `f(rank, &mut a[rank], &mut b[rank])` for every rank, fanned
+    /// out over the team with the static node-aligned partition. With one
+    /// thread this degrades to the plain serial loop in the same order,
+    /// so the 1-thread and N-thread schedules are literally the same
+    /// per-node instruction streams.
+    pub fn for_each<A: Send, B: Send>(
+        &self,
+        a: &mut [A],
+        b: &mut [B],
+        f: &(dyn Fn(usize, &mut A, &mut B) + Sync),
+    ) {
+        assert_eq!(a.len(), self.order.len());
+        assert_eq!(b.len(), self.order.len());
+        let threads = self.pool.threads();
+        if threads <= 1 {
+            for &r in &self.order {
+                f(r, &mut a[r], &mut b[r]);
+            }
+            return;
+        }
+        let nnodes = self.nodes();
+        let chunk = nnodes.div_ceil(threads);
+        let pa = SendPtr(a.as_mut_ptr());
+        let pb = SendPtr(b.as_mut_ptr());
+        self.pool.run(&|tid| {
+            let lo = tid * chunk;
+            let hi = ((tid + 1) * chunk).min(nnodes);
+            for n in lo..hi {
+                for &r in &self.order[self.node_starts[n]..self.node_starts[n + 1]] {
+                    // SAFETY: the node ranges [lo, hi) are disjoint across
+                    // tids and every rank id appears exactly once in
+                    // `order`, so each element of `a`/`b` is accessed by
+                    // exactly one thread for the duration of this region;
+                    // `run` does not return until all workers are done.
+                    let ea = unsafe { &mut *pa.slot(r) };
+                    let eb = unsafe { &mut *pb.slot(r) };
+                    f(r, ea, eb);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tofumd_core::topo_map::Placement;
+    use tofumd_tofu::CellGrid;
+
+    fn map() -> RankMap {
+        RankMap::new(
+            CellGrid::from_node_mesh([2, 3, 2]).unwrap(),
+            Placement::TopoAware,
+        )
+    }
+
+    #[test]
+    fn partition_is_node_aligned_and_complete() {
+        let m = map();
+        let team = Team::new(3, &m);
+        assert_eq!(team.nodes(), 12);
+        assert_eq!(team.order.len(), m.nranks());
+        // Every rank appears exactly once.
+        let mut seen = vec![false; m.nranks()];
+        for &r in &team.order {
+            assert!(!seen[r]);
+            seen[r] = true;
+        }
+        // Each node group holds exactly that node's ranks, ascending.
+        for n in 0..team.nodes() {
+            let g = &team.order[team.node_starts[n]..team.node_starts[n + 1]];
+            assert_eq!(g.len(), 4);
+            assert!(g.windows(2).all(|w| w[0] < w[1]));
+            assert!(g.iter().all(|&r| m.node_of(r) == n));
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_rank_once_at_any_thread_count() {
+        let m = map();
+        for threads in [1, 2, 5, 8] {
+            let team = Team::new(threads, &m);
+            let mut hits = vec![0u32; m.nranks()];
+            let mut ids = vec![0usize; m.nranks()];
+            team.for_each(&mut hits, &mut ids, &|r, h, id| {
+                *h += 1;
+                *id = r;
+            });
+            assert!(hits.iter().all(|&h| h == 1), "threads={threads}");
+            assert!(ids.iter().enumerate().all(|(i, &id)| i == id));
+        }
+    }
+
+    #[test]
+    fn step_plan_orders_phases() {
+        let plan = Phase::step_plan(true);
+        let phases: Vec<Phase> = plan.iter().map(|p| p.phase).collect();
+        assert_eq!(phases[0], Phase::InitialIntegrate);
+        assert_eq!(phases[1], Phase::ReneighborCheck);
+        assert!(phases.contains(&Phase::Reverse));
+        assert_eq!(*phases.last().unwrap(), Phase::Accounting);
+        let no_rev = Phase::step_plan(false);
+        assert!(no_rev.iter().all(|p| p.phase != Phase::Reverse));
+        // The rebuild and forward paths are mutually exclusive.
+        for p in &plan {
+            match p.phase {
+                Phase::Exchange | Phase::Border | Phase::RebuildLists => {
+                    assert_eq!(p.cond, Cond::IfRebuild);
+                }
+                Phase::Forward => assert_eq!(p.cond, Cond::IfNoRebuild),
+                _ => assert_eq!(p.cond, Cond::Always),
+            }
+        }
+        assert!(Cond::IfRebuild.applies(true) && !Cond::IfRebuild.applies(false));
+        assert!(!Cond::IfNoRebuild.applies(true) && Cond::IfNoRebuild.applies(false));
+    }
+}

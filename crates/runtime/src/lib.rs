@@ -5,10 +5,18 @@
 //!
 //! * [`config`] — run configurations mirroring the paper's Table 2 inputs,
 //! * [`variant`] — the step-by-step communication designs of Fig. 12,
-//! * [`cluster`] — the lockstep multi-rank driver with the LAMMPS stage
+//! * [`cluster`] — the lockstep multi-rank façade with the LAMMPS stage
 //!   breakdown (Pair / Neigh / Comm / Modify / Other) in virtual time;
 //!   supports proxy-torus runs that carry a larger machine's per-rank
-//!   workload for the scaling studies.
+//!   workload for the scaling studies,
+//! * [`driver`] — the deterministic host-parallel phase executor: a
+//!   static per-step [`driver::Phase`] plan fanned out over a persistent
+//!   node-aligned [`driver::Team`] on the spin pool (bit-identical at any
+//!   thread count; DESIGN.md §9),
+//! * [`physics`] — the per-rank compute kernels (neighbor rebuild, pair
+//!   passes, NVE integration),
+//! * [`accounting`] — stage accumulators, `global_sync` clock alignment
+//!   and the target-scale collective cost models.
 //!
 //! # Example
 //!
@@ -31,15 +39,20 @@
 // lint suggests would be less clear.
 #![allow(clippy::needless_range_loop)]
 
+pub mod accounting;
 pub mod cluster;
 pub mod config;
+pub mod driver;
 pub mod lockstep;
+pub mod physics;
 pub mod script;
 pub mod trace;
 pub mod variant;
 
+pub use accounting::{StageAcc, SyncBucket};
 pub use cluster::{Cluster, StageBreakdown};
 pub use config::{PotentialKind, RunConfig};
+pub use driver::{Lane, Phase, Team};
 pub use lockstep::{
     bisect_against_serial, bisect_clusters, bisect_variants, AtomDelta, Divergence,
     DivergenceReport, FaultInjector, LockstepOptions,

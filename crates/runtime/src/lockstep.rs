@@ -42,6 +42,10 @@ pub struct LockstepOptions {
     pub tol: f64,
     /// Cap on per-divergence atom deltas kept in the report.
     pub max_deltas: usize,
+    /// Host threads for the phase driver on each side. Thread count never
+    /// changes results (the determinism contract), so any value bisects
+    /// identically — larger values just run faster on multicore hosts.
+    pub driver_threads: usize,
 }
 
 impl Default for LockstepOptions {
@@ -50,6 +54,7 @@ impl Default for LockstepOptions {
             steps: 30,
             tol: 1e-7,
             max_deltas: 8,
+            driver_threads: 1,
         }
     }
 }
@@ -625,6 +630,8 @@ pub fn bisect_variants(
 ) -> DivergenceReport {
     let mut a = Cluster::new(mesh, cfg, va);
     let mut b = Cluster::new(mesh, cfg, vb);
+    a.set_driver_threads(opts.driver_threads);
+    b.set_driver_threads(opts.driver_threads);
     bisect_clusters(&mut a, &mut b, opts)
 }
 
@@ -639,6 +646,7 @@ pub fn bisect_against_serial(
     opts: &LockstepOptions,
 ) -> DivergenceReport {
     let mut cluster = Cluster::new(mesh, cfg, variant);
+    cluster.set_driver_threads(opts.driver_threads);
     let global = cluster.global_box();
 
     // Gather the cluster's initial state into one tag-sorted serial system.

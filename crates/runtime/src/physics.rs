@@ -1,0 +1,197 @@
+//! The per-rank compute kernels of a timestep — neighbor rebuilds, pair
+//! passes (including the EAM two-pass pipeline) and NVE integration —
+//! extracted from the `Cluster` monolith and fanned out over the
+//! [`Team`](crate::driver::Team).
+//!
+//! Every function here is a pure per-rank map: rank `r` touches only
+//! `lanes[r]` / `states[r]` plus shared read-only context, so the team
+//! can run them at any thread count with bit-identical results (the
+//! virtual-time charges depend only on the rank's own workload).
+
+use crate::driver::{Lane, Team};
+use tofumd_core::engine::RankState;
+use tofumd_md::integrate::NveIntegrator;
+use tofumd_md::neighbor::{ListKind, NeighborList};
+use tofumd_md::potential::Potential;
+use tofumd_model::{RankWork, StageCosts, Threading};
+use tofumd_tofu::NetParams;
+
+/// Shared read-only context for the physics phases: the potential's
+/// cutoff, the cost model and the threading mode the *virtual* machine
+/// charges for (orthogonal to the host team's thread count).
+pub struct Ctx<'a> {
+    /// Stage cost model.
+    pub costs: &'a StageCosts,
+    /// Fabric timing constants.
+    pub params: NetParams,
+    /// The virtual compute-threading mode of the variant under test.
+    pub threading: Threading,
+    /// Force cutoff of the potential.
+    pub cutoff: f64,
+    /// Verlet skin.
+    pub skin: f64,
+    /// Neighbor-list flavor the variant needs.
+    pub list_kind: ListKind,
+    /// EAM workload flag for the cost model.
+    pub eam: bool,
+}
+
+/// The cost-model workload descriptor of one rank.
+#[must_use]
+pub fn rank_work(lane: &Lane, st: &RankState, eam: bool) -> RankWork {
+    let list = lane.list.as_ref().expect("list built");
+    RankWork {
+        n_local: st.atoms.nlocal as f64,
+        n_ghost: st.atoms.nghost() as f64,
+        interactions: list.npairs() as f64,
+        eam,
+    }
+}
+
+/// Rebuild every rank's Verlet list and charge Neigh time.
+pub fn rebuild_lists(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [RankState]) {
+    team.for_each(lanes, states, &|_, lane, st| {
+        let sub = st.plan.sub;
+        let rg = st.plan.r_ghost;
+        let lo = [sub.lo[0] - rg, sub.lo[1] - rg, sub.lo[2] - rg];
+        let hi = [sub.hi[0] + rg, sub.hi[1] + rg, sub.hi[2] + rg];
+        let list = NeighborList::build(&st.atoms, lo, hi, ctx.list_kind, ctx.cutoff, ctx.skin);
+        let work = RankWork {
+            n_local: st.atoms.nlocal as f64,
+            n_ghost: st.atoms.nghost() as f64,
+            interactions: list.npairs() as f64,
+            eam: ctx.eam,
+        };
+        let dt = ctx.costs.neigh_time(&work, ctx.threading, &ctx.params);
+        st.clock += dt;
+        lane.acc.neigh += dt;
+        lane.list = Some(list);
+    });
+}
+
+/// Single-pass pair potential: zero forces, compute, store energy/virial.
+///
+/// # Panics
+/// If `potential` is not a single-pass pair style.
+pub fn pair_single(
+    team: &Team,
+    potential: &Potential,
+    lanes: &mut [Lane],
+    states: &mut [RankState],
+) {
+    let Potential::Pair(pot) = potential else {
+        panic!("pair_single requires a single-pass potential");
+    };
+    team.for_each(lanes, states, &|_, lane, st| {
+        st.atoms.zero_forces();
+        let list = lane.list.as_ref().expect("list built");
+        lane.energy = pot.compute(&mut st.atoms, list);
+        lane.embed = 0.0;
+    });
+}
+
+/// EAM pass 1: electron densities into `st.scalar` (ghost contributions
+/// are reverse-folded by the scalar op the caller runs next).
+///
+/// # Panics
+/// If `potential` is not many-body.
+pub fn eam_rho(team: &Team, potential: &Potential, lanes: &mut [Lane], states: &mut [RankState]) {
+    let Potential::ManyBody(pot) = potential else {
+        panic!("eam_rho requires a many-body potential");
+    };
+    team.for_each(lanes, states, &|_, lane, st| {
+        st.atoms.zero_forces();
+        let list = lane.list.as_ref().expect("list built");
+        pot.compute_rho(&st.atoms, list, &mut st.scalar);
+    });
+}
+
+/// EAM mid-stage: embedding energy + F' for locals; leaves F' in
+/// `st.scalar` for the forward-scalar op.
+///
+/// # Panics
+/// If `potential` is not many-body.
+pub fn eam_embed(team: &Team, potential: &Potential, lanes: &mut [Lane], states: &mut [RankState]) {
+    let Potential::ManyBody(pot) = potential else {
+        panic!("eam_embed requires a many-body potential");
+    };
+    team.for_each(lanes, states, &|_, lane, st| {
+        lane.embed = pot.compute_embedding(&st.atoms, &st.scalar, &mut lane.fp_buf);
+        std::mem::swap(&mut st.scalar, &mut lane.fp_buf);
+    });
+}
+
+/// EAM pass 2: forces from the exchanged F' values.
+///
+/// # Panics
+/// If `potential` is not many-body.
+pub fn eam_force(team: &Team, potential: &Potential, lanes: &mut [Lane], states: &mut [RankState]) {
+    let Potential::ManyBody(pot) = potential else {
+        panic!("eam_force requires a many-body potential");
+    };
+    team.for_each(lanes, states, &|_, lane, st| {
+        let list = lane.list.as_ref().expect("list built");
+        lane.energy = pot.compute_force(&mut st.atoms, list, &st.scalar);
+    });
+}
+
+/// Charge every rank's Pair-stage time from its actual workload.
+pub fn charge_pair(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [RankState]) {
+    team.for_each(lanes, states, &|_, lane, st| {
+        let work = rank_work(lane, st, ctx.eam);
+        let dt = ctx.costs.pair_time(&work, ctx.threading, &ctx.params);
+        st.clock += dt;
+        lane.acc.pair += dt;
+    });
+}
+
+/// First velocity-Verlet half (cost charged once, in
+/// [`integrate_final`]).
+pub fn integrate_initial(
+    team: &Team,
+    integrator: &NveIntegrator,
+    lanes: &mut [Lane],
+    states: &mut [RankState],
+) {
+    team.for_each(lanes, states, &|_, _lane, st| {
+        integrator.initial_integrate(&mut st.atoms);
+    });
+}
+
+/// Second velocity-Verlet half + the Modify charge for both halves.
+pub fn integrate_final(
+    team: &Team,
+    ctx: &Ctx,
+    integrator: &NveIntegrator,
+    lanes: &mut [Lane],
+    states: &mut [RankState],
+) {
+    team.for_each(lanes, states, &|_, lane, st| {
+        integrator.final_integrate(&mut st.atoms);
+        let work = rank_work(lane, st, ctx.eam);
+        let dt = ctx.costs.modify_time(&work, ctx.threading, &ctx.params);
+        st.clock += dt;
+        lane.acc.modify += dt;
+    });
+}
+
+/// Per-rank displacement check: set `lane.moved` when any atom drifted
+/// beyond half the skin since the last rebuild.
+pub fn check_displacements(team: &Team, skin: f64, lanes: &mut [Lane], states: &mut [RankState]) {
+    team.for_each(lanes, states, &|_, lane, st| {
+        lane.moved = lane
+            .list
+            .as_ref()
+            .expect("list built")
+            .any_moved_beyond_half_skin(&st.atoms, skin);
+    });
+}
+
+/// Charge the per-step bookkeeping floor into Other.
+pub fn charge_other_floor(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [RankState]) {
+    let dt = ctx.costs.other_time();
+    team.for_each(lanes, states, &|_, lane, st| {
+        st.clock += dt;
+        lane.acc.other += dt;
+    });
+}
