@@ -25,6 +25,7 @@ fn bench_put(c: &mut Criterion) {
                     data: &payload,
                     piggyback: 0,
                     src_rank: 0,
+                    seq: 0,
                     now,
                     cache_injection: true,
                 });

@@ -6,15 +6,23 @@
 //! Usage:
 //!   bisect [--variant LABEL] [--against ref|serial|LABEL]
 //!          [--steps N] [--atoms N] [--tol X] [--threads N]
+//!          [--fault-seed N]
 //!
 //! Defaults: `--variant opt --against ref --steps 30 --atoms 6000` on the
 //! 12-node / 48-rank test mesh, driving ranks with all host cores
 //! (determinism contract: thread count never changes the verdict). Exits 0
 //! when no divergence is found, 1 on the first divergence, 2 on a usage
 //! error.
+//!
+//! `--fault-seed N` installs a seeded recoverable fault plan
+//! (`FaultRates::light`) on side A's fabric — the DESIGN.md §10 guarantee
+//! says the verdict must stay clean anyway (faults only move virtual
+//! time), so a divergence under a seed is a recovery-path bug. The fault
+//! totals side A absorbed are printed with the report.
 
-use tofumd_runtime::lockstep::{bisect_against_serial, bisect_variants, LockstepOptions};
-use tofumd_runtime::{CommVariant, RunConfig};
+use tofumd_runtime::lockstep::{bisect_cluster_against_serial, bisect_clusters, LockstepOptions};
+use tofumd_runtime::{Cluster, CommVariant, RunConfig};
+use tofumd_tofu::{FaultPlan, FaultRates};
 
 const MESH: [u32; 3] = [2, 3, 2]; // 12 nodes, 48 ranks
 
@@ -43,6 +51,12 @@ fn main() {
     let steps = num("--steps", 30);
     let atoms = num("--atoms", 6000);
     let tol = num("--tol", 1e-7);
+    let fault_seed: Option<u64> = arg("--fault-seed").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--fault-seed {v:?} is not a valid seed");
+            std::process::exit(2);
+        })
+    });
 
     let Some(variant) = CommVariant::from_label(&variant_label) else {
         eprintln!("unknown variant {variant_label:?}; use ref, mpi-p2p, utofu-3stage, 4tni-p2p, 6tni-p2p or opt");
@@ -56,16 +70,47 @@ fn main() {
     };
     let cfg = RunConfig::lj(atoms);
 
+    let build = |v: CommVariant, faulted: bool| -> Cluster {
+        let mut c = match (faulted, fault_seed) {
+            (true, Some(seed)) => {
+                Cluster::with_fault_plan(MESH, cfg, v, FaultPlan::seeded(seed, FaultRates::light()))
+            }
+            _ => Cluster::new(MESH, cfg, v),
+        };
+        c.set_driver_threads(opts.driver_threads);
+        c
+    };
+
+    let mut a = build(variant, true);
     let report = if against == "serial" {
-        bisect_against_serial(MESH, cfg, variant, &opts)
+        bisect_cluster_against_serial(&mut a, &opts)
     } else {
         let Some(reference) = CommVariant::from_label(&against) else {
             eprintln!("unknown reference {against:?}; use serial or a variant label");
             std::process::exit(2);
         };
-        bisect_variants(MESH, cfg, variant, reference, &opts)
+        let mut b = build(reference, false);
+        bisect_clusters(&mut a, &mut b, &opts)
     };
 
     print!("{}", report.render());
+    if fault_seed.is_some() {
+        let c = a.fault_counters();
+        println!(
+            "faults absorbed by side A (seed {}): {} total \
+             ({} drops, {} delays, {} dups, {} truncations){}",
+            fault_seed.unwrap_or(0),
+            c.total(),
+            c.drops,
+            c.delays,
+            c.duplicates,
+            c.truncations,
+            if a.demoted() {
+                " — DEMOTED to ref"
+            } else {
+                ""
+            },
+        );
+    }
     std::process::exit(i32::from(!report.is_clean()));
 }

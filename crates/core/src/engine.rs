@@ -10,6 +10,7 @@
 use crate::plan::CommPlan;
 use serde::{Deserialize, Serialize};
 use tofumd_md::atom::Atoms;
+use tofumd_tofu::TofuError;
 
 /// A ghost-communication operation within a timestep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -85,6 +86,17 @@ pub struct CommStats {
     pub max_msg_bytes: u64,
     /// Dynamic buffer-growth events (§3.4 re-registration handshakes).
     pub growth_events: u64,
+    /// Put retransmissions after a transport error (each also charged
+    /// backoff on the virtual clock).
+    pub retries: u64,
+    /// Messages handed to the reliable stack after the retry budget was
+    /// exhausted (each one requests engine fallback).
+    pub fallback_sends: u64,
+    /// Duplicate deliveries detected and discarded on receive.
+    pub dup_drops: u64,
+    /// Receive-buffer overwrites detected (a newer sequence landed on an
+    /// unconsumed round-robin slot).
+    pub overwrites: u64,
 }
 
 impl CommStats {
@@ -95,6 +107,12 @@ impl CommStats {
         self.max_msg_bytes = self.max_msg_bytes.max(bytes as u64);
     }
 
+    /// Transport-anomaly total: everything that is not plain traffic.
+    #[must_use]
+    pub fn faults(&self) -> u64 {
+        self.fallback_sends + self.dup_drops + self.overwrites
+    }
+
     /// Fold another counter set into this one (messages and bytes add,
     /// the max-message watermark takes the larger side).
     pub fn merge(&mut self, other: &CommStats) {
@@ -102,6 +120,10 @@ impl CommStats {
         self.bytes += other.bytes;
         self.max_msg_bytes = self.max_msg_bytes.max(other.max_msg_bytes);
         self.growth_events += other.growth_events;
+        self.retries += other.retries;
+        self.fallback_sends += other.fallback_sends;
+        self.dup_drops += other.dup_drops;
+        self.overwrites += other.overwrites;
     }
 
     /// Counter-wise difference against an earlier reading of the same
@@ -113,6 +135,10 @@ impl CommStats {
             bytes: self.bytes - earlier.bytes,
             max_msg_bytes: self.max_msg_bytes,
             growth_events: self.growth_events - earlier.growth_events,
+            retries: self.retries - earlier.retries,
+            fallback_sends: self.fallback_sends - earlier.fallback_sends,
+            dup_drops: self.dup_drops - earlier.dup_drops,
+            overwrites: self.overwrites - earlier.overwrites,
         }
     }
 }
@@ -143,6 +169,26 @@ impl OpStats {
     /// Record one dynamic buffer-growth event under `(op, round)`.
     pub fn growth(&mut self, op: Op, round: usize) {
         self.slot(op, round).growth_events += 1;
+    }
+
+    /// Record one put retransmission under `(op, round)`.
+    pub fn retry(&mut self, op: Op, round: usize) {
+        self.slot(op, round).retries += 1;
+    }
+
+    /// Record one budget-exhausted reliable-stack send under `(op, round)`.
+    pub fn fallback(&mut self, op: Op, round: usize) {
+        self.slot(op, round).fallback_sends += 1;
+    }
+
+    /// Record `n` discarded duplicate deliveries under `(op, round)`.
+    pub fn add_dup_drops(&mut self, op: Op, round: usize, n: u64) {
+        self.slot(op, round).dup_drops += n;
+    }
+
+    /// Record `n` detected receive-buffer overwrites under `(op, round)`.
+    pub fn add_overwrites(&mut self, op: Op, round: usize, n: u64) {
+        self.slot(op, round).overwrites += n;
     }
 
     /// Per-round counters recorded for `op` (may be empty).
@@ -313,10 +359,15 @@ pub trait GhostEngine: Send {
     }
 
     /// Pack and send this rank's messages for `(op, round)`.
-    fn post(&mut self, op: Op, round: usize, st: &mut RankState);
+    ///
+    /// An `Err` is a transport failure the engine could not absorb through
+    /// its own recovery (retry, reliable-stack escape) — the driver treats
+    /// it as fatal for the run. Recoverable faults are handled internally
+    /// and only surface through counters and [`Self::fallback_requested`].
+    fn post(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError>;
 
     /// Receive and unpack this rank's messages for `(op, round)`.
-    fn complete(&mut self, op: Op, round: usize, st: &mut RankState);
+    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError>;
 
     /// Setup-stage modeled cost already paid (memory registrations, buffer
     /// pre-sizing): reported separately, not charged to step time.
@@ -333,14 +384,21 @@ pub trait GhostEngine: Send {
     fn op_stats(&self) -> OpStats {
         OpStats::default()
     }
+
+    /// True once the engine has exhausted a retry budget and wants the
+    /// driver to demote the whole cluster to a reliable transport at the
+    /// next safe point (end of step). Sticky once set.
+    fn fallback_requested(&self) -> bool {
+        false
+    }
 }
 
 /// Run one complete ghost operation through an engine for a *single rank
 /// in isolation* (test helper; the real driver interleaves many ranks).
 pub fn run_op_single(engine: &mut dyn GhostEngine, op: Op, st: &mut RankState) {
     for round in 0..engine.rounds(op) {
-        engine.post(op, round, st);
-        engine.complete(op, round, st);
+        engine.post(op, round, st).expect("post failed");
+        engine.complete(op, round, st).expect("complete failed");
     }
 }
 

@@ -12,6 +12,7 @@ use crate::wire;
 use std::sync::Arc;
 use tofumd_md::region::Box3;
 use tofumd_mpi::Communicator;
+use tofumd_tofu::TofuError;
 
 fn op_base(op: Op) -> u32 {
     match op {
@@ -140,7 +141,7 @@ impl GhostEngine for MpiThreeStage {
         self.stats.clone()
     }
 
-    fn post(&mut self, op: Op, round: usize, st: &mut RankState) {
+    fn post(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
         match op {
             Op::Border => {
                 if round == 0 {
@@ -190,9 +191,10 @@ impl GhostEngine for MpiThreeStage {
                 self.send_both(st, op, round, round, &payloads);
             }
         }
+        Ok(())
     }
 
-    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) {
+    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
         match op {
             Op::Border => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
@@ -242,6 +244,7 @@ impl GhostEngine for MpiThreeStage {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -341,7 +344,7 @@ impl GhostEngine for MpiP2p {
         self.stats.clone()
     }
 
-    fn post(&mut self, op: Op, round: usize, st: &mut RankState) {
+    fn post(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
         match op {
             Op::Border => {
                 let bins = Self::bins(&mut self.bins, st);
@@ -392,9 +395,10 @@ impl GhostEngine for MpiP2p {
                 st.charge(now - st.clock, op);
             }
         }
+        Ok(())
     }
 
-    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) {
+    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
         match op {
             Op::Border => {
                 let payloads = self.recv_all(st, op, true);
@@ -439,6 +443,7 @@ impl GhostEngine for MpiP2p {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -502,10 +507,10 @@ mod tests {
         let rounds = engines[0].rounds(op);
         for round in 0..rounds {
             for (e, st) in engines.iter_mut().zip(states.iter_mut()) {
-                e.post(op, round, st);
+                e.post(op, round, st).unwrap();
             }
             for (e, st) in engines.iter_mut().zip(states.iter_mut()) {
-                e.complete(op, round, st);
+                e.complete(op, round, st).unwrap();
             }
         }
     }

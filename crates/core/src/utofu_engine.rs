@@ -29,7 +29,10 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tofumd_md::region::Box3;
-use tofumd_tofu::{wait_arrivals, Stadd, TofuNet, Vcq, TNIS_PER_NODE};
+use tofumd_tofu::{
+    dedupe_arrivals, try_wait_arrivals, Arrival, CqExhausted, DeliveryAnomalies, PutResult, Stadd,
+    TofuError, TofuNet, Vcq, TNIS_PER_NODE,
+};
 
 /// Buffer kinds published in the address book.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,6 +45,16 @@ enum BufKind {
     OwnerIn,
     /// The registered atom-position region (pre-registered direct writes).
     XRegion,
+}
+
+impl BufKind {
+    fn label(self) -> &'static str {
+        match self {
+            BufKind::GhostIn => "ghost-in",
+            BufKind::OwnerIn => "owner-in",
+            BufKind::XRegion => "x-region",
+        }
+    }
 }
 
 /// Key of one published buffer: (rank, kind, link index, slot).
@@ -71,12 +84,23 @@ impl AddressBook {
             .insert((rank, kind, link, slot), (stadd, size));
     }
 
-    fn lookup(&self, rank: u32, kind: BufKind, link: u16, slot: u8) -> (Stadd, usize) {
-        *self
-            .map
+    fn lookup(
+        &self,
+        rank: u32,
+        kind: BufKind,
+        link: u16,
+        slot: u8,
+    ) -> Result<(Stadd, usize), TofuError> {
+        self.map
             .read()
             .get(&(rank, kind, link, slot))
-            .unwrap_or_else(|| panic!("no published buffer for rank {rank} {kind:?} {link} {slot}"))
+            .copied()
+            .ok_or(TofuError::MissingBuffer {
+                rank,
+                kind: kind.label(),
+                link: usize::from(link),
+                slot: usize::from(slot),
+            })
     }
 
     fn update_size(&self, rank: u32, kind: BufKind, link: u16, slot: u8, size: usize) {
@@ -98,9 +122,16 @@ pub struct UtofuConfig {
     pub prereg: bool,
     /// Round-robin receive buffers per link (1 baseline, 4 in `opt`).
     pub slots: usize,
+    /// Retransmissions allowed per failed put before the engine escapes to
+    /// the reliable stack and requests fallback to an MPI transport.
+    pub retry_budget: u32,
 }
 
 impl UtofuConfig {
+    /// Default put-retry budget: enough to absorb any recoverable fault a
+    /// seeded plan produces (those only hit a message's first attempt).
+    pub const DEFAULT_RETRY_BUDGET: u32 = 3;
+
     /// Coarse-grained p2p: 1 thread, own TNI (`4tni_p2p`).
     #[must_use]
     pub fn coarse4() -> Self {
@@ -109,6 +140,7 @@ impl UtofuConfig {
             comm_threads: 1,
             prereg: false,
             slots: 1,
+            retry_budget: Self::DEFAULT_RETRY_BUDGET,
         }
     }
 
@@ -120,6 +152,7 @@ impl UtofuConfig {
             comm_threads: 1,
             prereg: false,
             slots: 1,
+            retry_budget: Self::DEFAULT_RETRY_BUDGET,
         }
     }
 
@@ -132,6 +165,7 @@ impl UtofuConfig {
             comm_threads: TNIS_PER_NODE,
             prereg: true,
             slots: 4,
+            retry_budget: Self::DEFAULT_RETRY_BUDGET,
         }
     }
 }
@@ -147,6 +181,160 @@ struct LinkBuffers {
     /// `[link][slot]` receive buffers. (Capacities live in the address
     /// book, which senders consult before writing.)
     bufs: Vec<Vec<Stadd>>,
+}
+
+/// Take all arrivals matching `pred`, canonicalize them with
+/// [`dedupe_arrivals`] (deterministic order; duplicate and overwritten
+/// deliveries collapsed), and require at least `count` *distinct*
+/// deliveries to survive — a post-dedupe shortfall means a message is
+/// genuinely missing even though retransmissions padded the raw count.
+fn wait_deduped(
+    net: &TofuNet,
+    node: usize,
+    now: f64,
+    count: usize,
+    pred: impl FnMut(&Arrival) -> bool,
+) -> Result<(Vec<Arrival>, f64, DeliveryAnomalies), TofuError> {
+    let (mut arrivals, t) = try_wait_arrivals(net, node, now, count, pred)?;
+    let anomalies = dedupe_arrivals(&mut arrivals);
+    if arrivals.len() < count {
+        return Err(TofuError::Deadlock {
+            node,
+            expected: count,
+            found: arrivals.len(),
+        });
+    }
+    Ok((arrivals, t, anomalies))
+}
+
+/// Post one logical message on the faultable path, retrying with
+/// exponential backoff (charged to the virtual clock) up to `budget`
+/// resends. Retransmissions reuse `seq` so the receiver's duplicate
+/// detection coalesces partial deliveries. When the budget is exhausted
+/// the payload is handed to the reliable stack ([`Vcq::put_reliable`]) —
+/// which cannot lose it — and the engine flags a fallback request so the
+/// driver demotes the cluster to an MPI transport at the end of the step.
+#[allow(clippy::too_many_arguments)]
+fn put_with_retry(
+    vcq: &mut Vcq,
+    budget: u32,
+    stats: &mut OpStats,
+    op: Op,
+    round: usize,
+    fallback_wanted: &mut bool,
+    now: &mut f64,
+    dst_node: usize,
+    dst_stadd: Stadd,
+    dst_offset: usize,
+    data: &[u8],
+    piggyback: u64,
+    seq: u64,
+    cache_injection: bool,
+) -> PutResult {
+    let p = *vcq.net().params();
+    let mut attempt = 0u32;
+    loop {
+        match vcq.try_put(
+            now,
+            dst_node,
+            dst_stadd,
+            dst_offset,
+            data,
+            piggyback,
+            seq,
+            attempt,
+            cache_injection,
+        ) {
+            Ok(r) => return r,
+            Err(_) if attempt < budget => {
+                stats.retry(op, round);
+                *now += p.retry_backoff * f64::from(1u32 << attempt.min(16));
+                attempt += 1;
+            }
+            Err(_) => {
+                stats.fallback(op, round);
+                *fallback_wanted = true;
+                *now += p.fallback_penalty + p.cpu_per_put_mpi;
+                return vcq.put_reliable(
+                    now,
+                    dst_node,
+                    dst_stadd,
+                    dst_offset,
+                    data,
+                    piggyback,
+                    seq,
+                    cache_injection,
+                );
+            }
+        }
+    }
+}
+
+/// Register memory through the faultable path, absorbing transient
+/// registration refusals: each refused attempt still pays the kernel
+/// transition (`mem_reg_base`), charged to `setup_cost`. After `budget`
+/// refusals the engine registers through the reliable path, which cannot
+/// fail. Refused attempts consume no region handle, so the address
+/// sequence stays identical to a fault-free build.
+fn register_with_retry(
+    net: &Arc<TofuNet>,
+    node: usize,
+    len: usize,
+    budget: u32,
+    setup_cost: &mut f64,
+) -> Stadd {
+    for _ in 0..=budget {
+        match net.try_register_mem(node, len) {
+            Ok((stadd, cost)) => {
+                *setup_cost += cost;
+                return stadd;
+            }
+            Err(_) => *setup_cost += net.params().mem_reg_base,
+        }
+    }
+    let (stadd, cost) = net.register_mem(node, len);
+    *setup_cost += cost;
+    stadd
+}
+
+/// Up to three creation attempts on one `(node, tni)` — rides out a
+/// transiently exhausted CQ pool (an `ExhaustCq { times: <3 }` fault)
+/// without giving up the preferred TNI binding.
+fn create_vcq_retry(
+    net: &Arc<TofuNet>,
+    node: usize,
+    tni: usize,
+    tag: u32,
+) -> Result<Vcq, CqExhausted> {
+    for _ in 0..2 {
+        if let Ok(v) = Vcq::create(net.clone(), node, tni, tag) {
+            return Ok(v);
+        }
+    }
+    Vcq::create(net.clone(), node, tni, tag)
+}
+
+/// Create a VCQ on the first TNI with a free CQ, preferring `first`.
+/// Returns the exhaustion report for `first` when a different TNI had to
+/// be used. Panics only when every TNI on the node is exhausted — with
+/// 9 CQs x 6 TNIs against 4 ranks that is real resource starvation, not
+/// a transient fault.
+fn create_vcq_scan(
+    net: &Arc<TofuNet>,
+    node: usize,
+    first: usize,
+    tag: u32,
+) -> (Vcq, Option<CqExhausted>) {
+    let displaced = match create_vcq_retry(net, node, first, tag) {
+        Ok(v) => return (v, None),
+        Err(e) => Some(e),
+    };
+    for tni in (0..TNIS_PER_NODE).filter(|&t| t != first) {
+        if let Ok(v) = create_vcq_retry(net, node, tni, tag) {
+            return (v, displaced);
+        }
+    }
+    panic!("node {node}: every TNI's CQ pool is exhausted (rank tag {tag})");
 }
 
 /// The uTofu p2p engine family.
@@ -166,6 +354,15 @@ pub struct UtofuP2p {
     remote_ghost_off: Vec<Option<usize>>,
     /// Round-robin slot cursor, advanced once per posted op.
     seq: usize,
+    /// Sequence stamp for the *next* logical message; retransmissions of a
+    /// message reuse its number, so receivers can detect duplicates.
+    send_seq: u64,
+    /// Sticky flag: a retry budget was exhausted and the payload escaped
+    /// to the reliable stack — the driver should demote this cluster.
+    fallback_wanted: bool,
+    /// Set when CQ exhaustion at build time forced the shared single-VCQ
+    /// configuration instead of the requested one.
+    cq_fallback: Option<CqExhausted>,
     setup_cost: f64,
     /// Buffer-growth events observed (0 under prereg — test observable).
     pub growth_events: u64,
@@ -188,16 +385,37 @@ impl UtofuP2p {
         assert!(cfg.vcqs >= 1 && cfg.vcqs <= TNIS_PER_NODE);
         assert!(cfg.comm_threads == 1 || cfg.comm_threads == cfg.vcqs);
         let me = plan.me;
+        let mut cfg = cfg;
         let mut setup_cost = 0.0;
+        let mut cq_fallback = None;
         let mut vcqs = Vec::with_capacity(cfg.vcqs);
-        if cfg.vcqs == 1 {
-            // Coarse-grained: rank r binds its own TNI (4 ranks -> 4 TNIs).
-            let tni = me % 4;
-            vcqs.push(Vcq::create(net.clone(), node, tni, me as u32).expect("CQ available"));
+        // Coarse-grained (1 VCQ): rank r binds its own TNI (4 ranks -> 4
+        // TNIs); fine-grained binds every TNI.
+        let wanted: Vec<usize> = if cfg.vcqs == 1 {
+            vec![me % 4]
         } else {
-            for tni in 0..cfg.vcqs {
-                vcqs.push(Vcq::create(net.clone(), node, tni, me as u32).expect("CQ available"));
+            (0..cfg.vcqs).collect()
+        };
+        let mut exhausted = None;
+        for &tni in &wanted {
+            match create_vcq_retry(&net, node, tni, me as u32) {
+                Ok(v) => vcqs.push(v),
+                Err(e) => {
+                    exhausted = Some(e);
+                    break;
+                }
             }
+        }
+        if let Some(e) = exhausted {
+            // Persistent CQ exhaustion: return the partial set to the pool
+            // (each Vcq frees its CQ on drop) and degrade to the shared
+            // single-VCQ configuration on whichever TNI has room.
+            vcqs.clear();
+            cq_fallback = Some(e);
+            cfg.vcqs = 1;
+            cfg.comm_threads = 1;
+            let (v, _) = create_vcq_scan(&net, node, me % 4, me as u32);
+            vcqs.push(v);
         }
         let n = plan.recv_from.len();
         let mut mk_bufs = |links: &[NeighborLink], kind: BufKind| -> LinkBuffers {
@@ -212,8 +430,8 @@ impl UtofuP2p {
                 };
                 let mut per_slot = Vec::with_capacity(cfg.slots);
                 for slot in 0..cfg.slots {
-                    let (stadd, cost) = net.register_mem(node, size);
-                    setup_cost += cost;
+                    let stadd =
+                        register_with_retry(&net, node, size, cfg.retry_budget, &mut setup_cost);
                     book.publish(me as u32, kind, k as u16, slot as u8, stadd, size);
                     per_slot.push(stadd);
                 }
@@ -231,8 +449,7 @@ impl UtofuP2p {
             let local_est = (density * plan.sub.volume() * 2.0) as usize + 64;
             let ghost_est = (plan.total_ghost_estimate(density) * 2.0) as usize + 64;
             let bytes = (local_est + ghost_est) * 24;
-            let (stadd, cost) = net.register_mem(node, bytes);
-            setup_cost += cost;
+            let stadd = register_with_retry(&net, node, bytes, cfg.retry_budget, &mut setup_cost);
             book.publish(me as u32, BufKind::XRegion, 0, 0, stadd, bytes);
             Some(stadd)
         } else {
@@ -251,10 +468,20 @@ impl UtofuP2p {
             x_region,
             remote_ghost_off: vec![None; n],
             seq: 0,
+            send_seq: 0,
+            fallback_wanted: false,
+            cq_fallback,
             setup_cost,
             growth_events: 0,
             stats: OpStats::default(),
         }
+    }
+
+    /// The CQ-exhaustion event that forced this engine into the shared
+    /// single-VCQ configuration at build time, if any.
+    #[must_use]
+    pub fn cq_fallback(&self) -> Option<CqExhausted> {
+        self.cq_fallback
     }
 
     fn bins<'a>(bins: &'a mut Option<BorderBins>, st: &RankState) -> &'a BorderBins {
@@ -265,14 +492,20 @@ impl UtofuP2p {
     }
 
     /// Destination buffer for a payload to link `k` of `op`.
-    fn dst_of(&self, st: &RankState, op: Op, k: usize, slot: u8) -> (usize, Stadd, usize) {
+    fn dst_of(
+        &self,
+        st: &RankState,
+        op: Op,
+        k: usize,
+        slot: u8,
+    ) -> Result<(usize, Stadd, usize), TofuError> {
         let (link, kind) = match op {
             Op::Border | Op::Forward | Op::ForwardScalar => (&st.plan.send_to[k], BufKind::GhostIn),
             Op::Reverse | Op::ReverseScalar => (&st.plan.recv_from[k], BufKind::OwnerIn),
             Op::Exchange => unreachable!("exchange uses its own buffer path"),
         };
-        let (stadd, size) = self.book.lookup(link.rank as u32, kind, k as u16, slot);
-        (link.node, stadd, size)
+        let (stadd, size) = self.book.lookup(link.rank as u32, kind, k as u16, slot)?;
+        Ok((link.node, stadd, size))
     }
 
     /// Grow an undersized remote buffer: handshake + re-registration (the
@@ -307,20 +540,29 @@ impl UtofuP2p {
 
     /// Post the payloads of one op across the configured threads/VCQs.
     /// Returns the post-phase completion time charged to the clock.
-    fn post_payloads(&mut self, st: &mut RankState, op: Op, payloads: &[Vec<f64>]) {
+    fn post_payloads(
+        &mut self,
+        st: &mut RankState,
+        op: Op,
+        payloads: &[Vec<f64>],
+    ) -> Result<(), TofuError> {
         let p = *self.net.params();
         let slot = (self.seq % self.cfg.slots) as u8;
         self.seq += 1;
         let n = payloads.len();
+        // One sequence number per logical message, assigned in link order
+        // so the numbering is independent of the thread assignment below.
+        let seq_base = self.send_seq;
+        self.send_seq += n as u64;
         // Pre-resolve destinations, growing undersized buffers first.
         let mut dsts = Vec::with_capacity(n);
         for (k, payload) in payloads.iter().enumerate() {
             let need = wire::combined_size(payload.len());
-            let (node, stadd, size) = self.dst_of(st, op, k, slot);
+            let (node, stadd, size) = self.dst_of(st, op, k, slot)?;
             if need > size {
                 self.grow_remote(st, op, k, slot, node, stadd, need);
             }
-            let (node, stadd, _) = self.dst_of(st, op, k, slot);
+            let (node, stadd, _) = self.dst_of(st, op, k, slot)?;
             dsts.push((node, stadd));
         }
         // Forward under prereg writes straight into the remote x-region.
@@ -372,11 +614,41 @@ impl UtofuP2p {
                     let raw = wire::encode_f64s(payload);
                     let (xs, _) =
                         self.book
-                            .lookup(st.plan.send_to[k].rank as u32, BufKind::XRegion, 0, 0);
-                    vcq.put(&mut now, dst_node, xs, off, &raw, k as u64, true);
+                            .lookup(st.plan.send_to[k].rank as u32, BufKind::XRegion, 0, 0)?;
+                    put_with_retry(
+                        vcq,
+                        self.cfg.retry_budget,
+                        &mut self.stats,
+                        op,
+                        0,
+                        &mut self.fallback_wanted,
+                        &mut now,
+                        dst_node,
+                        xs,
+                        off,
+                        &raw,
+                        k as u64,
+                        seq_base + 1 + k as u64,
+                        true,
+                    );
                     continue;
                 }
-                vcq.put(&mut now, dst_node, dst_stadd, 0, &bytes, k as u64, true);
+                put_with_retry(
+                    vcq,
+                    self.cfg.retry_budget,
+                    &mut self.stats,
+                    op,
+                    0,
+                    &mut self.fallback_wanted,
+                    &mut now,
+                    dst_node,
+                    dst_stadd,
+                    0,
+                    &bytes,
+                    k as u64,
+                    seq_base + 1 + k as u64,
+                    true,
+                );
             }
             thread_ends.push(now);
         }
@@ -393,10 +665,11 @@ impl UtofuP2p {
             }
         }
         st.charge(end - start, op);
+        Ok(())
     }
 
     /// Wait for the `n` messages of `op` and return payloads in link order.
-    fn wait_payloads(&mut self, st: &mut RankState, op: Op) -> Vec<Vec<f64>> {
+    fn wait_payloads(&mut self, st: &mut RankState, op: Op) -> Result<Vec<Vec<f64>>, TofuError> {
         let p = *self.net.params();
         let n = st.plan.recv_from.len();
         // Identify which stadds we expect for this op.
@@ -410,7 +683,7 @@ impl UtofuP2p {
             Op::Exchange => unreachable!("exchange has a dedicated receive path"),
         };
         let direct_x = self.cfg.prereg && op == Op::Forward;
-        let (arrivals, t) = if direct_x {
+        let (arrivals, t, anomalies) = if direct_x {
             let xs = self.x_region.expect("prereg x region");
             // Empty segments produce no message (§3.4 direct writes).
             let expected_n = self
@@ -419,14 +692,16 @@ impl UtofuP2p {
                 .iter()
                 .filter(|&&(_, count)| count > 0)
                 .count();
-            wait_arrivals(&self.net, self.node, st.clock, expected_n, |a| {
+            wait_deduped(&self.net, self.node, st.clock, expected_n, |a| {
                 a.stadd == xs && a.len > 0
-            })
+            })?
         } else {
-            wait_arrivals(&self.net, self.node, st.clock, n, |a| {
+            wait_deduped(&self.net, self.node, st.clock, n, |a| {
                 a.len > 0 && expected.contains(&a.stadd)
-            })
+            })?
         };
+        self.stats.add_dup_drops(op, 0, anomalies.duplicates);
+        self.stats.add_overwrites(op, 0, anomalies.overwrites);
         // Map arrivals back to link indices.
         let mut payloads = vec![Vec::new(); n];
         let mut unpack_bytes = 0usize;
@@ -472,51 +747,66 @@ impl UtofuP2p {
             t - st.clock + poll + p.pack_cost(unpack_bytes)
         };
         st.charge(dt, op);
-        payloads
+        Ok(payloads)
     }
 
     /// After border unpack, send each ghost provider the offset where its
     /// atoms landed (8-byte piggyback, §3.4).
-    fn send_ghost_offsets(&mut self, st: &mut RankState) {
+    fn send_ghost_offsets(&mut self, st: &mut RankState) -> Result<(), TofuError> {
         let mut now = st.clock;
-        for k in 0..st.plan.recv_from.len() {
+        let n = st.plan.recv_from.len();
+        let seq_base = self.send_seq;
+        self.send_seq += n as u64;
+        for k in 0..n {
             let (start, _count) = self.ghosts.ghost_seg[k];
             let link = &st.plan.recv_from[k];
             // Target the provider's OwnerIn buffer (same inflow direction
             // as a reverse message); zero-length write, descriptor-only.
             let (stadd, _) = self
                 .book
-                .lookup(link.rank as u32, BufKind::OwnerIn, k as u16, 0);
-            let vcq = &mut self.vcqs[0];
-            vcq.put(
+                .lookup(link.rank as u32, BufKind::OwnerIn, k as u16, 0)?;
+            put_with_retry(
+                &mut self.vcqs[0],
+                self.cfg.retry_budget,
+                &mut self.stats,
+                Op::Border,
+                0,
+                &mut self.fallback_wanted,
                 &mut now,
                 link.node,
                 stadd,
                 0,
                 &[],
                 (k as u64) << 48 | (start * 24) as u64,
+                seq_base + 1 + k as u64,
                 false,
             );
         }
         st.charge(now - st.clock, Op::Border);
+        Ok(())
     }
 
     /// Consume the offset piggybacks from all send links (before the first
     /// prereg forward). Piggybacks target *this rank's* OwnerIn buffers —
     /// four ranks share each node's MRQ, so the address filter is what
     /// keeps a rank from stealing its node-mates' descriptors.
-    fn recv_ghost_offsets(&mut self, st: &mut RankState) {
+    fn recv_ghost_offsets(&mut self, st: &mut RankState) -> Result<(), TofuError> {
         let n = st.plan.send_to.len();
         let mine: Vec<Stadd> = self.owner_in.bufs.iter().map(|slots| slots[0]).collect();
-        let (arrivals, t) = wait_arrivals(&self.net, self.node, st.clock, n, |a| {
+        let (arrivals, t, anomalies) = wait_deduped(&self.net, self.node, st.clock, n, |a| {
             a.len == 0 && mine.contains(&a.stadd)
-        });
+        })?;
+        self.stats
+            .add_dup_drops(Op::Border, 0, anomalies.duplicates);
+        self.stats
+            .add_overwrites(Op::Border, 0, anomalies.overwrites);
         for a in &arrivals {
             let k = (a.piggyback >> 48) as usize;
             let off = (a.piggyback & 0xFFFF_FFFF_FFFF) as usize;
             self.remote_ghost_off[k] = Some(off);
         }
         st.charge(t - st.clock, Op::Border);
+        Ok(())
     }
 }
 
@@ -546,12 +836,14 @@ impl UtofuP2p {
     /// Send the two migration payloads of sweep `dim`: toward the -face
     /// via the neighbor's GhostIn buffer (border-direction flow), toward
     /// the +face via its OwnerIn buffer (reverse-direction flow).
-    fn post_exchange(&mut self, st: &mut RankState, dim: usize) {
+    fn post_exchange(&mut self, st: &mut RankState, dim: usize) -> Result<(), TofuError> {
         let p = *self.net.params();
         let payloads = st.pack_exchange(dim);
         let (k_minus, k_plus) = Self::face_indices(st, dim);
         let slot = (self.seq % self.cfg.slots) as u8;
         self.seq += 1;
+        let seq_base = self.send_seq;
+        self.send_seq += 2;
         let mut now = st.clock;
         for (dir, payload) in payloads.iter().enumerate() {
             let (link, kind, k) = if dir == 0 {
@@ -560,7 +852,7 @@ impl UtofuP2p {
                 (st.plan.recv_from[k_plus], BufKind::OwnerIn, k_plus)
             };
             let bytes = wire::frame_combined(payload);
-            let (stadd, size) = self.book.lookup(link.rank as u32, kind, k as u16, slot);
+            let (stadd, size) = self.book.lookup(link.rank as u32, kind, k as u16, slot)?;
             if bytes.len() > size {
                 let new_size = bytes.len().next_power_of_two();
                 let cost = self.net.grow_mem(link.node, stadd, new_size);
@@ -572,14 +864,30 @@ impl UtofuP2p {
             }
             now += p.pack_cost(bytes.len());
             self.stats.count(Op::Exchange, dim, bytes.len());
-            self.vcqs[0].put(&mut now, link.node, stadd, 0, &bytes, k as u64, true);
+            put_with_retry(
+                &mut self.vcqs[0],
+                self.cfg.retry_budget,
+                &mut self.stats,
+                Op::Exchange,
+                dim,
+                &mut self.fallback_wanted,
+                &mut now,
+                link.node,
+                stadd,
+                0,
+                &bytes,
+                k as u64,
+                seq_base + 1 + dir as u64,
+                true,
+            );
         }
         st.charge(now - st.clock, Op::Exchange);
+        Ok(())
     }
 
     /// Receive the two migration payloads of sweep `dim` and append the
     /// migrants as locals.
-    fn complete_exchange(&mut self, st: &mut RankState, dim: usize) {
+    fn complete_exchange(&mut self, st: &mut RankState, dim: usize) -> Result<(), TofuError> {
         let p = *self.net.params();
         let (k_minus, k_plus) = Self::face_indices(st, dim);
         let expect: Vec<Stadd> = self.ghost_in.bufs[k_plus]
@@ -587,9 +895,13 @@ impl UtofuP2p {
             .chain(&self.owner_in.bufs[k_minus])
             .copied()
             .collect();
-        let (arrivals, t) = wait_arrivals(&self.net, self.node, st.clock, 2, |a| {
+        let (arrivals, t, anomalies) = wait_deduped(&self.net, self.node, st.clock, 2, |a| {
             a.len > 0 && expect.contains(&a.stadd)
-        });
+        })?;
+        self.stats
+            .add_dup_drops(Op::Exchange, dim, anomalies.duplicates);
+        self.stats
+            .add_overwrites(Op::Exchange, dim, anomalies.overwrites);
         let mut unpack = 0usize;
         for a in &arrivals {
             let raw = self.net.read_local(self.node, a.stadd, a.offset, a.len);
@@ -598,6 +910,7 @@ impl UtofuP2p {
         }
         let poll = 2.0 * p.cpu_per_put_utofu;
         st.charge(t - st.clock + poll + p.pack_cost(unpack), Op::Exchange);
+        Ok(())
     }
 }
 
@@ -619,59 +932,56 @@ impl GhostEngine for UtofuP2p {
         }
     }
 
-    fn post(&mut self, op: Op, round: usize, st: &mut RankState) {
+    fn post(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
         match op {
-            Op::Exchange => {
-                self.post_exchange(st, round);
-            }
+            Op::Exchange => self.post_exchange(st, round),
             Op::Border => {
                 let bins = Self::bins(&mut self.bins, st);
                 let payloads = self.ghosts.pack_border(st, bins);
-                self.post_payloads(st, op, &payloads);
+                self.post_payloads(st, op, &payloads)
             }
             Op::Forward => {
                 if self.cfg.prereg && self.remote_ghost_off.iter().any(Option::is_none) {
-                    self.recv_ghost_offsets(st);
+                    self.recv_ghost_offsets(st)?;
                 }
                 let payloads: Vec<_> = (0..st.plan.send_to.len())
                     .map(|k| self.ghosts.pack_forward(st, k))
                     .collect();
-                self.post_payloads(st, op, &payloads);
+                self.post_payloads(st, op, &payloads)
             }
             Op::ForwardScalar => {
                 let payloads: Vec<_> = (0..st.plan.send_to.len())
                     .map(|k| self.ghosts.pack_forward_scalar(st, k))
                     .collect();
-                self.post_payloads(st, op, &payloads);
+                self.post_payloads(st, op, &payloads)
             }
             Op::Reverse => {
                 let payloads: Vec<_> = (0..st.plan.recv_from.len())
                     .map(|k| self.ghosts.pack_reverse(st, k))
                     .collect();
-                self.post_payloads(st, op, &payloads);
+                self.post_payloads(st, op, &payloads)
             }
             Op::ReverseScalar => {
                 let payloads: Vec<_> = (0..st.plan.recv_from.len())
                     .map(|k| self.ghosts.pack_reverse_scalar(st, k))
                     .collect();
-                self.post_payloads(st, op, &payloads);
+                self.post_payloads(st, op, &payloads)
             }
         }
     }
 
-    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) {
+    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
         if op == Op::Exchange {
-            self.complete_exchange(st, round);
-            return;
+            return self.complete_exchange(st, round);
         }
-        let payloads = self.wait_payloads(st, op);
+        let payloads = self.wait_payloads(st, op)?;
         match op {
             Op::Border => {
                 self.ghosts.unpack_border(st, &payloads);
                 st.scalar.resize(st.atoms.ntotal(), 0.0);
                 if self.cfg.prereg {
                     self.remote_ghost_off.fill(None);
-                    self.send_ghost_offsets(st);
+                    self.send_ghost_offsets(st)?;
                 }
             }
             Op::Forward => {
@@ -696,6 +1006,7 @@ impl GhostEngine for UtofuP2p {
             }
             Op::Exchange => unreachable!("handled by the early return above"),
         }
+        Ok(())
     }
 
     fn setup_cost(&self) -> f64 {
@@ -704,6 +1015,10 @@ impl GhostEngine for UtofuP2p {
 
     fn op_stats(&self) -> OpStats {
         self.stats.clone()
+    }
+
+    fn fallback_requested(&self) -> bool {
+        self.fallback_wanted
     }
 }
 
@@ -720,6 +1035,10 @@ pub struct UtofuThreeStage {
     ghost_in: Vec<Stadd>,
     owner_in: Vec<Stadd>,
     vcq: Vcq,
+    /// Sequence stamp for the next logical message (see [`UtofuP2p`]).
+    send_seq: u64,
+    /// Sticky retry-budget-exhausted flag (see [`UtofuP2p`]).
+    fallback_wanted: bool,
     setup_cost: f64,
     /// Growth events (same baseline dynamic-expansion accounting).
     pub growth_events: u64,
@@ -741,7 +1060,9 @@ impl UtofuThreeStage {
         let me = plan.me;
         let shells = plan.config().shells;
         let links = staged_links(map, me, global);
-        let vcq = Vcq::create(net.clone(), node, me % 4, me as u32).expect("CQ available");
+        // Prefer the rank's own TNI; a transiently or persistently
+        // exhausted CQ pool shifts the binding to any TNI with room.
+        let (vcq, _displaced) = create_vcq_scan(&net, node, me % 4, me as u32);
         let mut setup_cost = 0.0;
         // Face messages carry up to the staged slab: (a+2r)^2 * r volume at
         // the largest stage — size generously from the whole-shell estimate.
@@ -752,12 +1073,12 @@ impl UtofuThreeStage {
         let size = wire::combined_size(est_atoms * MAX_RECORD_F64S) / BASELINE_UNDERSIZE;
         let mut ghost_in = Vec::with_capacity(6);
         let mut owner_in = Vec::with_capacity(6);
+        let budget = UtofuConfig::DEFAULT_RETRY_BUDGET;
         for idx in 0..6u16 {
-            let (s1, c1) = net.register_mem(node, size);
+            let s1 = register_with_retry(&net, node, size, budget, &mut setup_cost);
             book.publish(me as u32, BufKind::GhostIn, idx, 0, s1, size);
-            let (s2, c2) = net.register_mem(node, size);
+            let s2 = register_with_retry(&net, node, size, budget, &mut setup_cost);
             book.publish(me as u32, BufKind::OwnerIn, idx, 0, s2, size);
-            setup_cost += c1 + c2;
             ghost_in.push(s1);
             owner_in.push(s2);
         }
@@ -771,6 +1092,8 @@ impl UtofuThreeStage {
             ghost_in,
             owner_in,
             vcq,
+            send_seq: 0,
+            fallback_wanted: false,
             setup_cost,
             growth_events: 0,
             stats: OpStats::default(),
@@ -788,17 +1111,19 @@ impl UtofuThreeStage {
         round: usize,
         dim: usize,
         payloads: &[Vec<f64>; 2],
-    ) {
+    ) -> Result<(), TofuError> {
         let p = *self.net.params();
         let kind = match op {
             Op::Border | Op::Forward | Op::ForwardScalar => BufKind::GhostIn,
             _ => BufKind::OwnerIn,
         };
+        let seq_base = self.send_seq;
+        self.send_seq += 2;
         let mut now = st.clock;
         for (dir, payload) in payloads.iter().enumerate() {
-            let link = &self.links[dim][dir];
+            let link = self.links[dim][dir];
             let rx_idx = (dim * 2 + (1 - dir)) as u16;
-            let (stadd, size) = self.book.lookup(link.rank as u32, kind, rx_idx, 0);
+            let (stadd, size) = self.book.lookup(link.rank as u32, kind, rx_idx, 0)?;
             let bytes = wire::frame_combined(payload);
             if bytes.len() > size {
                 let new_size = bytes.len().next_power_of_two();
@@ -811,24 +1136,46 @@ impl UtofuThreeStage {
             }
             now += p.pack_cost(bytes.len());
             self.stats.count(op, round, bytes.len());
-            self.vcq
-                .put(&mut now, link.node, stadd, 0, &bytes, rx_idx as u64, true);
+            put_with_retry(
+                &mut self.vcq,
+                UtofuConfig::DEFAULT_RETRY_BUDGET,
+                &mut self.stats,
+                op,
+                round,
+                &mut self.fallback_wanted,
+                &mut now,
+                link.node,
+                stadd,
+                0,
+                &bytes,
+                rx_idx as u64,
+                seq_base + 1 + dir as u64,
+                true,
+            );
         }
         st.charge(now - st.clock, op);
+        Ok(())
     }
 
     /// Wait for the two sweep-`dim` messages; returns `[from -dim, from
     /// +dim]` payloads.
-    fn recv_pair(&mut self, st: &mut RankState, op: Op, dim: usize) -> [Vec<f64>; 2] {
+    fn recv_pair(
+        &mut self,
+        st: &mut RankState,
+        op: Op,
+        dim: usize,
+    ) -> Result<[Vec<f64>; 2], TofuError> {
         let p = *self.net.params();
         let bufs = match op {
             Op::Border | Op::Forward | Op::ForwardScalar => &self.ghost_in,
             _ => &self.owner_in,
         };
         let want = [bufs[dim * 2], bufs[dim * 2 + 1]];
-        let (arrivals, t) = wait_arrivals(&self.net, self.node, st.clock, 2, |a| {
+        let (arrivals, t, anomalies) = wait_deduped(&self.net, self.node, st.clock, 2, |a| {
             a.stadd == want[0] || a.stadd == want[1]
-        });
+        })?;
+        self.stats.add_dup_drops(op, dim, anomalies.duplicates);
+        self.stats.add_overwrites(op, dim, anomalies.overwrites);
         let mut out = [Vec::new(), Vec::new()];
         let mut unpack = 0usize;
         for a in &arrivals {
@@ -839,7 +1186,7 @@ impl UtofuThreeStage {
         }
         let poll = arrivals.len() as f64 * (p.cpu_per_put_utofu + 2.0 * p.mrq_match_per_buffer);
         st.charge(t - st.clock + poll + p.pack_cost(unpack), op);
-        out
+        Ok(out)
     }
 }
 
@@ -856,7 +1203,7 @@ impl GhostEngine for UtofuThreeStage {
         }
     }
 
-    fn post(&mut self, op: Op, round: usize, st: &mut RankState) {
+    fn post(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
         match op {
             Op::Border => {
                 if round == 0 {
@@ -864,7 +1211,7 @@ impl GhostEngine for UtofuThreeStage {
                 }
                 let (dim, swap) = round_to_sweep(round, self.shells);
                 let payloads = self.ghosts.pack_border(st, &self.links, dim, swap);
-                self.send_pair(st, op, round, dim, &payloads);
+                self.send_pair(st, op, round, dim, &payloads)
             }
             Op::Forward => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
@@ -872,7 +1219,7 @@ impl GhostEngine for UtofuThreeStage {
                     self.ghosts.pack_forward(st, &self.links, dim, swap, 0),
                     self.ghosts.pack_forward(st, &self.links, dim, swap, 1),
                 ];
-                self.send_pair(st, op, round, dim, &payloads);
+                self.send_pair(st, op, round, dim, &payloads)
             }
             Op::ForwardScalar => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
@@ -880,7 +1227,7 @@ impl GhostEngine for UtofuThreeStage {
                     self.ghosts.pack_forward_scalar(st, dim, swap, 0),
                     self.ghosts.pack_forward_scalar(st, dim, swap, 1),
                 ];
-                self.send_pair(st, op, round, dim, &payloads);
+                self.send_pair(st, op, round, dim, &payloads)
             }
             Op::Reverse => {
                 let idx = 3 * self.shells - 1 - round;
@@ -889,7 +1236,7 @@ impl GhostEngine for UtofuThreeStage {
                     self.ghosts.pack_reverse(st, dim, swap, 0),
                     self.ghosts.pack_reverse(st, dim, swap, 1),
                 ];
-                self.send_pair(st, op, round, dim, &payloads);
+                self.send_pair(st, op, round, dim, &payloads)
             }
             Op::ReverseScalar => {
                 let idx = 3 * self.shells - 1 - round;
@@ -898,32 +1245,32 @@ impl GhostEngine for UtofuThreeStage {
                     self.ghosts.pack_reverse_scalar(st, dim, swap, 0),
                     self.ghosts.pack_reverse_scalar(st, dim, swap, 1),
                 ];
-                self.send_pair(st, op, round, dim, &payloads);
+                self.send_pair(st, op, round, dim, &payloads)
             }
             Op::Exchange => {
                 let payloads = st.pack_exchange(round);
-                self.send_pair(st, op, round, round, &payloads);
+                self.send_pair(st, op, round, round, &payloads)
             }
         }
     }
 
-    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) {
+    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
         match op {
             Op::Border => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
-                let payloads = self.recv_pair(st, op, dim);
+                let payloads = self.recv_pair(st, op, dim)?;
                 self.ghosts.unpack_border(st, dim, swap, &payloads);
                 st.scalar.resize(st.atoms.ntotal(), 0.0);
             }
             Op::Exchange => {
-                let payloads = self.recv_pair(st, op, round);
+                let payloads = self.recv_pair(st, op, round)?;
                 for p in &payloads {
                     st.unpack_exchange(p);
                 }
             }
             Op::Forward => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
-                let payloads = self.recv_pair(st, op, dim);
+                let payloads = self.recv_pair(st, op, dim)?;
                 for dir in 0..2 {
                     self.ghosts
                         .unpack_forward(st, dim, swap, dir, &payloads[dir]);
@@ -931,7 +1278,7 @@ impl GhostEngine for UtofuThreeStage {
             }
             Op::ForwardScalar => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
-                let payloads = self.recv_pair(st, op, dim);
+                let payloads = self.recv_pair(st, op, dim)?;
                 for dir in 0..2 {
                     self.ghosts
                         .unpack_forward_scalar(st, dim, swap, dir, &payloads[dir]);
@@ -940,7 +1287,7 @@ impl GhostEngine for UtofuThreeStage {
             Op::Reverse => {
                 let idx = 3 * self.shells - 1 - round;
                 let (dim, swap) = round_to_sweep(idx, self.shells);
-                let payloads = self.recv_pair(st, op, dim);
+                let payloads = self.recv_pair(st, op, dim)?;
                 for dir in 0..2 {
                     self.ghosts
                         .unpack_reverse(st, dim, swap, dir, &payloads[dir]);
@@ -949,13 +1296,14 @@ impl GhostEngine for UtofuThreeStage {
             Op::ReverseScalar => {
                 let idx = 3 * self.shells - 1 - round;
                 let (dim, swap) = round_to_sweep(idx, self.shells);
-                let payloads = self.recv_pair(st, op, dim);
+                let payloads = self.recv_pair(st, op, dim)?;
                 for dir in 0..2 {
                     self.ghosts
                         .unpack_reverse_scalar(st, dim, swap, dir, &payloads[dir]);
                 }
             }
         }
+        Ok(())
     }
 
     fn setup_cost(&self) -> f64 {
@@ -965,6 +1313,10 @@ impl GhostEngine for UtofuThreeStage {
     fn op_stats(&self) -> OpStats {
         self.stats.clone()
     }
+
+    fn fallback_requested(&self) -> bool {
+        self.fallback_wanted
+    }
 }
 
 #[cfg(test)]
@@ -973,7 +1325,7 @@ mod tests {
     use crate::engine::GhostEngine;
     use crate::topo_map::{Placement, RankMap};
     use tofumd_md::atom::Atoms;
-    use tofumd_tofu::NetParams;
+    use tofumd_tofu::{wait_arrivals, NetParams};
 
     /// Full-machine fixture on one TofuD cell (48 ranks): ranks 0 and 1
     /// are x-face neighbors and hold one atom each near their shared face;
@@ -1043,10 +1395,10 @@ mod tests {
 
     fn drive(f: &mut Fixture, op: Op) {
         for (e, st) in f.engines.iter_mut().zip(f.states.iter_mut()) {
-            e.post(op, 0, st);
+            e.post(op, 0, st).unwrap();
         }
         for (e, st) in f.engines.iter_mut().zip(f.states.iter_mut()) {
-            e.complete(op, 0, st);
+            e.complete(op, 0, st).unwrap();
         }
     }
 
@@ -1204,10 +1556,10 @@ mod tests {
         }
         for round in 0..3 {
             for (e, st) in engines.iter_mut().zip(states.iter_mut()) {
-                e.post(Op::Border, round, st);
+                e.post(Op::Border, round, st).unwrap();
             }
             for (e, st) in engines.iter_mut().zip(states.iter_mut()) {
-                e.complete(Op::Border, round, st);
+                e.complete(Op::Border, round, st).unwrap();
             }
         }
         // The staged pattern ships the *full* shell: both ranks see each
@@ -1230,6 +1582,7 @@ mod tests {
                 comm_threads: 1,
                 prereg: false,
                 slots,
+                retry_budget: UtofuConfig::DEFAULT_RETRY_BUDGET,
             };
             let mut f = fixture(cfg);
             drive(&mut f, Op::Border);
@@ -1242,11 +1595,11 @@ mod tests {
             // before rank 0 completes the first.
             f.states[1].scalar[0] = 111.0;
             for (e, st) in f.engines.iter_mut().zip(f.states.iter_mut()) {
-                e.post(Op::ForwardScalar, 0, st);
+                e.post(Op::ForwardScalar, 0, st).unwrap();
             }
             f.states[1].scalar[0] = 222.0;
             for (e, st) in f.engines.iter_mut().zip(f.states.iter_mut()) {
-                e.post(Op::ForwardScalar, 0, st);
+                e.post(Op::ForwardScalar, 0, st).unwrap();
             }
             // Rank 0 now completes the FIRST stage. It should read 111.
             // (complete() takes one generation of arrivals per link; with
@@ -1268,7 +1621,7 @@ mod tests {
             let a = arrivals
                 .iter()
                 .filter(|a| a.len > 8)
-                .min_by(|x, y| x.time.partial_cmp(&y.time).unwrap())
+                .min_by(|x, y| x.time.total_cmp(&y.time))
                 .expect("a non-empty scalar payload");
             let raw = f
                 .net
@@ -1279,6 +1632,24 @@ mod tests {
         // (overwritten). Four slots: the first payload is intact.
         assert_eq!(run(1), 222.0, "1 buffer must exhibit the overwrite");
         assert_eq!(run(4), 111.0, "4 round-robin buffers prevent it");
+    }
+
+    #[test]
+    fn address_book_miss_is_a_typed_error() {
+        let book = AddressBook::new();
+        let err = book
+            .lookup(9, BufKind::GhostIn, 3, 1)
+            .expect_err("empty book must miss");
+        assert_eq!(
+            err,
+            TofuError::MissingBuffer {
+                rank: 9,
+                kind: "ghost-in",
+                link: 3,
+                slot: 1,
+            }
+        );
+        assert!(err.to_string().contains("ghost-in"), "{err}");
     }
 
     #[test]

@@ -140,6 +140,7 @@ impl Communicator {
             data,
             piggyback: u64::from(tag),
             src_rank: src as u32,
+            seq: 0,
             now: *now,
             cache_injection: false,
         });

@@ -24,7 +24,8 @@ use crate::driver::{Lane, Phase, Team};
 use crate::physics;
 use crate::variant::CommVariant;
 use std::sync::Arc;
-use tofumd_core::engine::{GhostEngine, Op, RankState};
+use tofumd_core::engine::{GhostEngine, Op, OpStats, RankState};
+use tofumd_core::mpi_engine::MpiThreeStage;
 use tofumd_core::topo_map::{Placement, RankMap};
 use tofumd_md::integrate::NveIntegrator;
 use tofumd_md::potential::Potential;
@@ -32,7 +33,7 @@ use tofumd_md::region::Box3;
 use tofumd_md::thermo::ThermoSnapshot;
 use tofumd_model::StageCosts;
 use tofumd_mpi::Communicator;
-use tofumd_tofu::{NetParams, TofuNet};
+use tofumd_tofu::{FaultCounters, FaultPlan, NetParams, TofuNet};
 
 pub use crate::accounting::StageBreakdown;
 
@@ -81,6 +82,18 @@ pub struct Cluster {
     target_mesh: [u32; 3],
     target_ranks: usize,
     op_observer: Option<OpObserver>,
+    /// Ghost-shell depth of the built plans (needed to rebuild engines on
+    /// a mid-run demotion).
+    pub(crate) shells: usize,
+    /// Counters of engines retired by a mid-run demotion, folded into the
+    /// telemetry views so history survives the engine swap.
+    pub(crate) retired_stats: OpStats,
+    /// True once the cluster has swapped its engines for the MPI 3-stage
+    /// reference after a retry budget was exhausted.
+    pub(crate) demoted: bool,
+    /// Forces the next step to reneighbor (set on demotion: the fresh
+    /// engines have no ghost send lists until a Border pass runs).
+    pub(crate) force_rebuild: bool,
 }
 
 impl Cluster {
@@ -127,6 +140,46 @@ impl Cluster {
         placement: Placement,
     ) -> Self {
         Self::build(mesh, mesh, cfg, variant, placement)
+    }
+
+    /// Build a cluster with a deterministic [`FaultPlan`] installed on the
+    /// fabric *before* any engine construction, so registration and CQ
+    /// faults already apply to the build itself (keyed under
+    /// [`tofumd_tofu::OP_SETUP`] / step 0).
+    #[must_use]
+    pub fn with_fault_plan(
+        mesh: [u32; 3],
+        cfg: RunConfig,
+        variant: CommVariant,
+        plan: FaultPlan,
+    ) -> Self {
+        Self::build_with_faults(mesh, mesh, cfg, variant, Placement::TopoAware, Some(plan))
+    }
+
+    /// Install (or replace) a fault plan on the running fabric; it takes
+    /// effect at the next communication op.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.net.set_fault_plan(plan);
+    }
+
+    /// Running totals of the faults the fabric has injected.
+    #[must_use]
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.net.fault_counters()
+    }
+
+    /// True once a retry-budget exhaustion demoted the cluster to the MPI
+    /// 3-stage reference engine.
+    #[must_use]
+    pub fn demoted(&self) -> bool {
+        self.demoted
+    }
+
+    /// The communication variant currently in force (changes to
+    /// [`CommVariant::Ref`] after a mid-run demotion).
+    #[must_use]
+    pub fn variant(&self) -> CommVariant {
+        self.variant
     }
 
     /// Number of ranks.
@@ -214,7 +267,23 @@ impl Cluster {
         }
     }
 
+    /// After a parallel phase region joined, raise the first captured
+    /// engine failure. Recoverable faults never reach here (the engines
+    /// absorb them by retry or reliable-stack fallback); anything left is
+    /// a protocol violation a real run could not survive either, so the
+    /// typed context is surfaced as a panic message rather than silently
+    /// corrupting physics.
+    fn raise_lane_failures(&mut self, op: Op, round: usize, stage: &str) {
+        for (rank, lane) in self.lanes.iter_mut().enumerate() {
+            if let Some(e) = lane.failed.take() {
+                panic!("rank {rank}: {stage}({op:?}, round {round}) failed: {e}");
+            }
+        }
+    }
+
     fn run_op(&mut self, op: Op) {
+        // Key every fault decision this op makes on (step, op).
+        self.net.set_fault_context(self.step, op.index() as u8);
         let rounds = self.lanes[0].engine.rounds(op);
         let barrier = self.lanes[0].engine.barrier_between_rounds();
         // A wrapper that fails to delegate rounds()/barrier_between_rounds()
@@ -231,12 +300,18 @@ impl Cluster {
         for round in 0..rounds {
             self.team
                 .for_each(&mut self.lanes, &mut self.states, &|_, lane, st| {
-                    lane.engine.post(op, round, st);
+                    if let Err(e) = lane.engine.post(op, round, st) {
+                        lane.failed = Some(e);
+                    }
                 });
+            self.raise_lane_failures(op, round, "post");
             self.team
                 .for_each(&mut self.lanes, &mut self.states, &|_, lane, st| {
-                    lane.engine.complete(op, round, st);
+                    if let Err(e) = lane.engine.complete(op, round, st) {
+                        lane.failed = Some(e);
+                    }
                 });
+            self.raise_lane_failures(op, round, "complete");
             if barrier && round + 1 < rounds {
                 // Stage synchronization of the 3-stage pattern ("an MPI
                 // barrier is mandatory between stages", §3.1), realized by
@@ -285,6 +360,13 @@ impl Cluster {
     /// (for EAM) the every-5-step displacement check, whose allreduce is
     /// booked into Other at the target machine's scale.
     fn reneighbor_check(&mut self) {
+        if self.force_rebuild {
+            // A demotion swapped in engines with empty ghost send lists;
+            // only a full exchange + border pass can populate them.
+            self.force_rebuild = false;
+            self.rebuild = true;
+            return;
+        }
         let policy = self.cfg.policy();
         self.rebuild = false;
         if !policy.is_check_step(self.step) {
@@ -426,7 +508,9 @@ impl Cluster {
     }
 
     /// Advance one timestep: walk the static phase plan, honoring each
-    /// phase's condition against this step's reneighbor verdict.
+    /// phase's condition against this step's reneighbor verdict. If any
+    /// engine exhausted its put retry budget during the step, the whole
+    /// cluster demotes to the MPI 3-stage reference before the next step.
     pub fn run_step(&mut self) {
         self.step += 1;
         for planned in Phase::step_plan(self.reverse_needed) {
@@ -435,6 +519,31 @@ impl Cluster {
             }
         }
         self.steps_run += 1;
+        if !self.demoted && self.lanes.iter().any(|l| l.engine.fallback_requested()) {
+            self.demote_to_ref();
+        }
+    }
+
+    /// Graceful degradation: retire every lane's engine (folding its
+    /// counters into [`Self::retired_stats`]) and replace it with the MPI
+    /// 3-stage reference. The demotion is *collective* — the lockstep ops
+    /// require all ranks to speak the same protocol — and forces a
+    /// reneighbor pass next step so the fresh engines build their ghost
+    /// lists before any forward exchange.
+    fn demote_to_ref(&mut self) {
+        for (rank, lane) in self.lanes.iter_mut().enumerate() {
+            self.retired_stats.merge(&lane.engine.op_stats());
+            lane.engine = Box::new(MpiThreeStage::new(
+                self.mpi.clone(),
+                &self.map,
+                rank,
+                &self.global,
+                self.shells,
+            ));
+        }
+        self.variant = CommVariant::Ref;
+        self.demoted = true;
+        self.force_rebuild = true;
     }
 
     /// Advance `n` timesteps.
@@ -456,10 +565,20 @@ impl GhostEngine for PlaceholderEngine {
     fn rounds(&self, _op: Op) -> usize {
         0
     }
-    fn post(&mut self, _op: Op, _round: usize, _st: &mut RankState) {
+    fn post(
+        &mut self,
+        _op: Op,
+        _round: usize,
+        _st: &mut RankState,
+    ) -> Result<(), tofumd_tofu::TofuError> {
         unreachable!("placeholder engine must never run");
     }
-    fn complete(&mut self, _op: Op, _round: usize, _st: &mut RankState) {
+    fn complete(
+        &mut self,
+        _op: Op,
+        _round: usize,
+        _st: &mut RankState,
+    ) -> Result<(), tofumd_tofu::TofuError> {
         unreachable!("placeholder engine must never run");
     }
 }

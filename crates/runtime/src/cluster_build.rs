@@ -20,7 +20,7 @@ use tofumd_md::region::Box3;
 use tofumd_md::velocity;
 use tofumd_model::StageCosts;
 use tofumd_mpi::Communicator;
-use tofumd_tofu::{CellGrid, NetParams, TofuNet};
+use tofumd_tofu::{CellGrid, FaultPlan, NetParams, TofuNet};
 
 impl Cluster {
     pub(super) fn build(
@@ -29,6 +29,17 @@ impl Cluster {
         cfg: RunConfig,
         variant: CommVariant,
         placement: Placement,
+    ) -> Self {
+        Self::build_with_faults(proxy_mesh, target_mesh, cfg, variant, placement, None)
+    }
+
+    pub(super) fn build_with_faults(
+        proxy_mesh: [u32; 3],
+        target_mesh: [u32; 3],
+        cfg: RunConfig,
+        variant: CommVariant,
+        placement: Placement,
+        fault_plan: Option<FaultPlan>,
     ) -> Self {
         let grid = CellGrid::from_node_mesh(proxy_mesh)
             .unwrap_or_else(|| panic!("node mesh {proxy_mesh:?} does not fold onto TofuD cells"));
@@ -57,8 +68,12 @@ impl Cluster {
         );
         let (global, pos) = cfg.build_lattice(cx.max(1), cy.max(1), cz.max(1));
 
-        // Fabric + MPI layer.
+        // Fabric + MPI layer. A fault plan must be live before the first
+        // engine is built so registration / CQ faults hit the build too.
         let net = Arc::new(TofuNet::new(grid, NetParams::default()));
+        if let Some(plan) = fault_plan {
+            net.set_fault_plan(plan);
+        }
         let mpi = Arc::new(Communicator::new(net.clone(), nranks, 4));
 
         // Plans.
@@ -206,6 +221,10 @@ impl Cluster {
             target_mesh,
             target_ranks,
             op_observer: None,
+            shells,
+            retired_stats: tofumd_core::engine::OpStats::default(),
+            demoted: false,
+            force_rebuild: false,
         };
         // Setup stage: establish ghosts, lists, initial forces.
         cluster.run_op(Op::Border);

@@ -135,7 +135,7 @@ impl Cluster {
     /// counterpart: messages posted and payload bytes moved).
     #[must_use]
     pub fn comm_stats(&self) -> CommStats {
-        let mut total = CommStats::default();
+        let mut total = self.retired_stats.total();
         for lane in &self.lanes {
             total.merge(&lane.engine.stats());
         }
@@ -143,10 +143,11 @@ impl Cluster {
     }
 
     /// Aggregate per-op / per-round message counters across ranks — the
-    /// deep-telemetry view behind [`Cluster::comm_stats`].
+    /// deep-telemetry view behind [`Cluster::comm_stats`]. Includes the
+    /// counters of engines retired by a mid-run demotion.
     #[must_use]
     pub fn op_stats(&self) -> OpStats {
-        let mut total = OpStats::default();
+        let mut total = self.retired_stats.clone();
         for lane in &self.lanes {
             total.merge(&lane.engine.op_stats());
         }

@@ -33,6 +33,7 @@ use tofumd_core::topo_map::RankMap;
 use tofumd_md::neighbor::NeighborList;
 use tofumd_md::potential::PairEnergyVirial;
 use tofumd_threadpool::SpinPool;
+use tofumd_tofu::TofuError;
 
 /// Per-rank execution context owned by the driver: everything a phase
 /// needs besides the [`tofumd_core::engine::RankState`] itself. Keeping
@@ -53,6 +54,10 @@ pub struct Lane {
     pub moved: bool,
     /// Compute-stage time accumulators.
     pub acc: StageAcc,
+    /// Typed engine failure captured inside a parallel phase region (the
+    /// pool's closures cannot propagate `Result`s); the step driver
+    /// inspects and raises it after the region joins.
+    pub failed: Option<TofuError>,
 }
 
 impl Lane {
@@ -67,6 +72,7 @@ impl Lane {
             fp_buf: Vec::new(),
             moved: false,
             acc: StageAcc::default(),
+            failed: None,
         }
     }
 }

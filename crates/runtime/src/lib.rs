@@ -54,8 +54,8 @@ pub use cluster::{Cluster, StageBreakdown};
 pub use config::{PotentialKind, RunConfig};
 pub use driver::{Lane, Phase, Team};
 pub use lockstep::{
-    bisect_against_serial, bisect_clusters, bisect_variants, AtomDelta, Divergence,
-    DivergenceReport, FaultInjector, LockstepOptions,
+    bisect_against_serial, bisect_cluster_against_serial, bisect_clusters, bisect_variants,
+    AtomDelta, Divergence, DivergenceReport, FaultInjector, LockstepOptions,
 };
 pub use script::{parse_script, ScriptError, ScriptRun};
 pub use trace::{OpCommRow, StepRecord, Trace};

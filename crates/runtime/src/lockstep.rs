@@ -30,6 +30,7 @@ use tofumd_core::engine::{GhostEngine, Op, OpStats, RankState};
 use tofumd_md::atom::Atoms;
 use tofumd_md::region::Box3;
 use tofumd_md::serial::SerialSim;
+use tofumd_tofu::TofuError;
 
 /// Knobs for a bisect run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -647,6 +648,19 @@ pub fn bisect_against_serial(
 ) -> DivergenceReport {
     let mut cluster = Cluster::new(mesh, cfg, variant);
     cluster.set_driver_threads(opts.driver_threads);
+    bisect_cluster_against_serial(&mut cluster, opts)
+}
+
+/// [`bisect_against_serial`] over an already-built cluster — the entry
+/// point for runs with non-default construction (installed fault plans,
+/// custom placement) that still need the serial-twin oracle.
+#[must_use]
+pub fn bisect_cluster_against_serial(
+    cluster: &mut Cluster,
+    opts: &LockstepOptions,
+) -> DivergenceReport {
+    let cfg = cluster.cfg;
+    let variant = cluster.variant;
     let global = cluster.global_box();
 
     // Gather the cluster's initial state into one tag-sorted serial system.
@@ -660,7 +674,7 @@ pub fn bisect_against_serial(
         out.sort_unstable_by_key(|e| e.0);
         out
     };
-    let g0 = gather(&cluster);
+    let g0 = gather(cluster);
     let mut atoms = Atoms::from_positions(g0.iter().map(|e| e.1).collect(), 1);
     for (i, e) in g0.iter().enumerate() {
         atoms.v[i] = e.2;
@@ -690,7 +704,7 @@ pub fn bisect_against_serial(
         cluster.run_step();
         serial.run_step();
         report.steps_run = step;
-        let gc = gather(&cluster);
+        let gc = gather(cluster);
         let owner: BTreeMap<u64, usize> = cluster
             .states()
             .iter()
@@ -790,7 +804,7 @@ impl GhostEngine for FaultInjector {
         self.inner.op_stats()
     }
 
-    fn post(&mut self, op: Op, round: usize, st: &mut RankState) {
+    fn post(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
         let fault = op == self.op && round == 0 && {
             let hit = self.seen == self.nth;
             self.seen += 1;
@@ -800,17 +814,22 @@ impl GhostEngine for FaultInjector {
             for i in 0..st.atoms.nlocal {
                 st.atoms.x[i][0] += self.bump;
             }
-            self.inner.post(op, round, st);
+            let r = self.inner.post(op, round, st);
             for i in 0..st.atoms.nlocal {
                 st.atoms.x[i][0] -= self.bump;
             }
+            r
         } else {
-            self.inner.post(op, round, st);
+            self.inner.post(op, round, st)
         }
     }
 
-    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) {
-        self.inner.complete(op, round, st);
+    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
+        self.inner.complete(op, round, st)
+    }
+
+    fn fallback_requested(&self) -> bool {
+        self.inner.fallback_requested()
     }
 }
 

@@ -38,10 +38,16 @@ pub struct OpCommRow {
     pub max_msg_bytes: u64,
     /// Remote-buffer growth events over the whole trace.
     pub growth_events: u64,
+    /// Put retransmissions over the whole trace (fault-injection runs).
+    pub retries: u64,
+    /// Transport anomalies over the whole trace: reliable-stack fallback
+    /// sends + duplicate deliveries dropped + overwrites detected.
+    pub faults: u64,
 }
 
 /// Fold an [`OpStats`] delta into per-op rows normalized by `rank_steps`
-/// (= ranks × steps). Ops that moved nothing are omitted.
+/// (= ranks × steps). Ops that moved nothing and saw no faults are
+/// omitted.
 #[must_use]
 pub fn comm_rows(stats: &OpStats, rank_steps: f64) -> Vec<OpCommRow> {
     let norm = rank_steps.max(1.0);
@@ -49,7 +55,7 @@ pub fn comm_rows(stats: &OpStats, rank_steps: f64) -> Vec<OpCommRow> {
         .iter()
         .filter_map(|&op| {
             let t = stats.op_total(op);
-            if t.messages == 0 && t.growth_events == 0 {
+            if t.messages == 0 && t.growth_events == 0 && t.retries == 0 && t.faults() == 0 {
                 return None;
             }
             Some(OpCommRow {
@@ -59,6 +65,8 @@ pub fn comm_rows(stats: &OpStats, rank_steps: f64) -> Vec<OpCommRow> {
                 bytes: t.bytes as f64 / norm,
                 max_msg_bytes: t.max_msg_bytes,
                 growth_events: t.growth_events,
+                retries: t.retries,
+                faults: t.faults(),
             })
         })
         .collect()
@@ -188,12 +196,20 @@ impl Trace {
         }
         if !self.comm.is_empty() {
             out.push_str(
-                "op          msg/rank/step  atoms/rank/step  bytes/rank/step  max_msg  growth\n",
+                "op          msg/rank/step  atoms/rank/step  bytes/rank/step  max_msg  growth  \
+                 retries  faults\n",
             );
             for r in &self.comm {
                 out.push_str(&format!(
-                    "{:<11} {:>13.2} {:>16.1} {:>16.1} {:>8} {:>7}\n",
-                    r.op, r.messages, r.atoms, r.bytes, r.max_msg_bytes, r.growth_events
+                    "{:<11} {:>13.2} {:>16.1} {:>16.1} {:>8} {:>7} {:>8} {:>7}\n",
+                    r.op,
+                    r.messages,
+                    r.atoms,
+                    r.bytes,
+                    r.max_msg_bytes,
+                    r.growth_events,
+                    r.retries,
+                    r.faults
                 ));
             }
         }
@@ -262,18 +278,31 @@ mod tests {
             stats.count(Op::Forward, 0, 30 * 3 * 8);
         }
         stats.growth(Op::Border, 0);
+        stats.retry(Op::Forward, 0);
+        stats.retry(Op::Forward, 0);
+        stats.fallback(Op::Forward, 0);
+        stats.add_dup_drops(Op::Exchange, 0, 3);
         let rows = comm_rows(&stats, 2.0);
-        assert_eq!(rows.len(), 2, "border (growth only) + forward");
+        assert_eq!(
+            rows.len(),
+            3,
+            "exchange (faults only) + border (growth only) + forward"
+        );
         let fwd = rows.iter().find(|r| r.op == "forward").unwrap();
         assert!((fwd.messages - 48.0).abs() < 1e-12);
         assert!((fwd.atoms - 48.0 * 30.0).abs() < 1e-9);
         assert_eq!(fwd.max_msg_bytes, 720);
+        assert_eq!(fwd.retries, 2);
+        assert_eq!(fwd.faults, 1, "fallback send counts as a fault");
+        let exch = rows.iter().find(|r| r.op == "exchange").unwrap();
+        assert_eq!(exch.faults, 3, "duplicate drops count as faults");
         let mut t = Trace::default();
         t.push(rec(1, 4e-6, false));
         t.comm = rows;
         let rep = t.report();
         assert!(rep.contains("forward"), "per-op table missing: {rep}");
         assert!(rep.contains("msg/rank/step"));
+        assert!(rep.contains("retries"), "retry column missing: {rep}");
     }
 
     #[test]

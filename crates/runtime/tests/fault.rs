@@ -1,0 +1,187 @@
+//! End-to-end fault-injection coverage: a seeded recoverable plan must be
+//! physics-invisible (faults only move virtual time — retries, dedupe and
+//! overwrite detection absorb them), while an unrecoverable plan must
+//! demote the cluster to the MPI reference engine mid-run instead of
+//! panicking. See DESIGN.md §10 for the fault model.
+
+use tofumd_core::engine::Op;
+use tofumd_md::thermo::ThermoSnapshot;
+use tofumd_runtime::{
+    bisect_cluster_against_serial, Cluster, CommVariant, LockstepOptions, RunConfig,
+};
+use tofumd_tofu::{FaultKind, FaultPlan, FaultRates, FaultRule};
+
+const MESH: [u32; 3] = [2, 3, 2];
+const SEED: u64 = 0xC0FFEE;
+
+/// Bit-level view of the thermo log (step + all four columns).
+fn thermo_bits(log: &[ThermoSnapshot]) -> Vec<(u64, u64, u64, u64, u64)> {
+    log.iter()
+        .map(|t| {
+            (
+                t.step,
+                t.pe.to_bits(),
+                t.ke.to_bits(),
+                t.temperature.to_bits(),
+                t.pressure.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// Tag-sorted bit-level view of every owned atom's position and velocity,
+/// across all ranks — migration-order independent.
+fn state_fingerprint(c: &Cluster) -> Vec<(u64, [u64; 3], [u64; 3])> {
+    let mut rows: Vec<_> = c
+        .states()
+        .iter()
+        .flat_map(|s| {
+            (0..s.atoms.nlocal).map(move |i| {
+                (
+                    s.atoms.tag[i],
+                    s.atoms.x[i].map(f64::to_bits),
+                    s.atoms.v[i].map(f64::to_bits),
+                )
+            })
+        })
+        .collect();
+    rows.sort_unstable_by_key(|r| r.0);
+    rows
+}
+
+fn recoverable_plan() -> FaultPlan {
+    FaultPlan::seeded(SEED, FaultRates::light())
+}
+
+#[test]
+fn recoverable_faults_leave_physics_bit_identical() {
+    let cfg = RunConfig::lj(4_000);
+    let mut clean = Cluster::new(MESH, cfg, CommVariant::Opt);
+    let mut faulty = Cluster::with_fault_plan(MESH, cfg, CommVariant::Opt, recoverable_plan());
+    clean.set_thermo_every(5);
+    faulty.set_thermo_every(5);
+    clean.run(25);
+    faulty.run(25);
+
+    let injected = faulty.fault_counters();
+    assert!(
+        injected.total() > 0,
+        "the seeded plan must actually fire: {injected:?}"
+    );
+    assert!(!faulty.demoted(), "a light seeded plan is recoverable");
+    assert_eq!(
+        thermo_bits(clean.thermo_log()),
+        thermo_bits(faulty.thermo_log()),
+        "recoverable faults must not perturb the thermo log"
+    );
+    assert_eq!(
+        state_fingerprint(&clean),
+        state_fingerprint(&faulty),
+        "recoverable faults must not perturb per-rank state"
+    );
+    assert!(
+        faulty.step_time() >= clean.step_time(),
+        "faults only ever add virtual time: faulty {} < clean {}",
+        faulty.step_time(),
+        clean.step_time()
+    );
+}
+
+#[test]
+#[allow(clippy::type_complexity)]
+fn fault_runs_are_thread_schedule_invariant() {
+    let cfg = RunConfig::lj(4_000);
+    let mut reference: Option<(
+        Vec<(u64, u64, u64, u64, u64)>,
+        Vec<(u64, [u64; 3], [u64; 3])>,
+    )> = None;
+    for threads in [1usize, 2, 8] {
+        let mut c = Cluster::with_fault_plan(MESH, cfg, CommVariant::Opt, recoverable_plan());
+        c.set_driver_threads(threads);
+        c.set_thermo_every(5);
+        c.run(20);
+        assert!(c.fault_counters().total() > 0);
+        let fp = (thermo_bits(c.thermo_log()), state_fingerprint(&c));
+        match &reference {
+            None => reference = Some(fp),
+            Some(r) => assert_eq!(r, &fp, "divergence at driver_threads={threads}"),
+        }
+    }
+}
+
+#[test]
+fn faulted_runs_complete_and_report_retries() {
+    for cfg in [RunConfig::lj(4_000), RunConfig::eam(4_000)] {
+        let mut c = Cluster::with_fault_plan(MESH, cfg, CommVariant::Opt, recoverable_plan());
+        let trace = c.run_traced(15);
+        assert!(!c.demoted());
+        let totals = c.op_stats().total();
+        assert!(
+            totals.retries > 0,
+            "seeded drops/truncations must surface as engine retries ({:?})",
+            c.fault_counters()
+        );
+        let report = trace.report();
+        assert!(report.contains("retries"), "report: {report}");
+    }
+}
+
+#[test]
+fn exhausted_retries_demote_to_reference_and_finish() {
+    // A permanent drop of rank 7's step-2 Forward puts: no retry budget can
+    // clear it, so the engine requests fallback and the cluster swaps every
+    // lane to the MPI 3-stage reference engine, then keeps stepping.
+    let unrecoverable = FaultPlan::new().with_rule(FaultRule {
+        step: Some(2),
+        op: Some(Op::Forward.index() as u8),
+        src: Some(7),
+        ..FaultRule::any(FaultKind::Drop { times: u32::MAX })
+    });
+    let cfg = RunConfig::lj(4_000);
+    let mut c = Cluster::with_fault_plan(MESH, cfg, CommVariant::Opt, unrecoverable.clone());
+    c.run(10);
+    assert!(c.demoted(), "retry exhaustion must demote, not panic");
+    assert_eq!(c.variant(), CommVariant::Ref);
+    assert!(
+        c.op_stats().total().fallback_sends > 0,
+        "the reliable-path escape hatch must be counted"
+    );
+    // The demoted run is still correct physics: lockstep against the
+    // serial twin stays clean through and past the demotion step.
+    let mut again = Cluster::with_fault_plan(MESH, cfg, CommVariant::Opt, unrecoverable);
+    let report = bisect_cluster_against_serial(
+        &mut again,
+        &LockstepOptions {
+            steps: 6,
+            ..LockstepOptions::default()
+        },
+    );
+    assert!(again.demoted());
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn transient_cq_exhaustion_is_absorbed_at_build() {
+    let plan = FaultPlan::new().with_rule(FaultRule::any(FaultKind::ExhaustCq { times: 2 }));
+    let mut c = Cluster::with_fault_plan(MESH, RunConfig::lj(4_000), CommVariant::Opt, plan);
+    c.run(3);
+    assert!(
+        c.fault_counters().cq_rejections > 0,
+        "the build must have hit (and recovered from) CQ rejections"
+    );
+    assert!(!c.demoted());
+}
+
+#[test]
+fn permanent_cq_exhaustion_on_one_tni_degrades_gracefully() {
+    // TNI 2's control queues never come back; the builder's scan must
+    // settle on other TNIs and the run still completes.
+    let plan = FaultPlan::new().with_rule(FaultRule {
+        tni: Some(2),
+        ..FaultRule::any(FaultKind::ExhaustCq { times: u32::MAX })
+    });
+    let mut c = Cluster::with_fault_plan(MESH, RunConfig::lj(4_000), CommVariant::Opt, plan);
+    c.run(3);
+    assert!(c.fault_counters().cq_rejections > 0);
+    assert!(!c.demoted());
+}

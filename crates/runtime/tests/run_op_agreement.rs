@@ -7,6 +7,7 @@
 use std::panic::AssertUnwindSafe;
 use tofumd_core::engine::{CommStats, GhostEngine, Op, OpStats, RankState};
 use tofumd_runtime::{Cluster, CommVariant, FaultInjector, RunConfig};
+use tofumd_tofu::TofuError;
 
 const MESH: [u32; 3] = [2, 3, 2];
 
@@ -23,11 +24,11 @@ impl GhostEngine for NoDelegate {
     fn rounds(&self, op: Op) -> usize {
         self.inner.rounds(op) + 1
     }
-    fn post(&mut self, op: Op, round: usize, st: &mut RankState) {
-        self.inner.post(op, round, st);
+    fn post(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
+        self.inner.post(op, round, st)
     }
-    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) {
-        self.inner.complete(op, round, st);
+    fn complete(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
+        self.inner.complete(op, round, st)
     }
     fn setup_cost(&self) -> f64 {
         self.inner.setup_cost()

@@ -41,6 +41,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// The robustness layer guarantees typed error paths: anomalies in
+// non-test code must surface as `TofuError`, never as an unwrap panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 // Dimension loops (`for d in 0..3`) index by physical dimension on fixed
 // [f64; 3] vectors; the index is the semantics, so the iterator rewrite the
 // lint suggests would be less clear.
@@ -48,6 +51,7 @@
 
 pub mod alloc;
 pub mod congestion;
+pub mod fault;
 pub mod mem;
 pub mod net;
 pub mod rdma;
@@ -56,8 +60,12 @@ pub mod topology;
 
 pub use alloc::{AllocError, JobAllocation, SHELF_NODES};
 pub use congestion::CongestionModel;
+pub use fault::{
+    FaultAction, FaultCounters, FaultKey, FaultKind, FaultPlan, FaultRates, FaultRule, TofuError,
+    OP_SETUP,
+};
 pub use mem::{MemRegistry, Stadd};
 pub use net::{Arrival, CqExhausted, PutRequest, PutResult, TofuNet, CQS_PER_TNI, TNIS_PER_NODE};
-pub use rdma::{wait_arrivals, Vcq};
+pub use rdma::{dedupe_arrivals, try_wait_arrivals, wait_arrivals, DeliveryAnomalies, Vcq};
 pub use timing::NetParams;
 pub use topology::{CellGrid, TofuCoord, CELL_DIMS, PAPER_NODE_MESHES};

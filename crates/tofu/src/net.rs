@@ -10,10 +10,12 @@
 //! bulk-synchronous lockstep of `tofumd-runtime`: within one communication
 //! stage every rank first posts its sends, then resolves its receives.
 
+use crate::fault::{FaultAction, FaultCounters, FaultKey, FaultPlan, TofuError, OP_SETUP};
 use crate::mem::{MemRegistry, Stadd};
 use crate::timing::NetParams;
 use crate::topology::CellGrid;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 
 /// Number of TNIs per node (§2.2).
 pub const TNIS_PER_NODE: usize = 6;
@@ -39,6 +41,37 @@ pub struct Arrival {
     /// 8-byte piggyback payload embedded in the descriptor (§3.4 uses this
     /// to carry the ghost-offset without a separate buffer write).
     pub piggyback: u64,
+    /// Sender-assigned sequence number of the logical message (0 on the
+    /// legacy reliable path). Retransmissions reuse the sequence number of
+    /// the original message, so receivers can detect duplicate delivery.
+    pub seq: u64,
+}
+
+/// Fault-injection state: the active plan, the current `(step, op)`
+/// context stamped on fault keys, fault totals, and per-target attempt
+/// counters for `times`-gated registration/CQ faults.
+struct FaultState {
+    plan: FaultPlan,
+    step: u64,
+    op: u8,
+    counters: FaultCounters,
+    /// Failed registration attempts so far, per node.
+    reg_failures: HashMap<usize, u32>,
+    /// Rejected CQ allocations so far, per `(node, tni)`.
+    cq_failures: HashMap<(usize, usize), u32>,
+}
+
+impl FaultState {
+    fn new() -> Self {
+        FaultState {
+            plan: FaultPlan::default(),
+            step: 0,
+            op: OP_SETUP,
+            counters: FaultCounters::default(),
+            reg_failures: HashMap::new(),
+            cq_failures: HashMap::new(),
+        }
+    }
 }
 
 /// Per-node fabric state.
@@ -85,6 +118,9 @@ pub struct PutRequest<'a> {
     pub piggyback: u64,
     /// Sender-chosen logical-source tag.
     pub src_rank: u32,
+    /// Sequence number stamped on the MRQ arrival (see [`Arrival::seq`]);
+    /// retransmissions must reuse the original message's number.
+    pub seq: u64,
     /// Caller's virtual clock when the descriptor reaches the TNI.
     pub now: f64,
     /// Use TofuD cache injection on the receive side.
@@ -106,6 +142,7 @@ pub struct TofuNet {
     grid: CellGrid,
     params: NetParams,
     nodes: Vec<NodeState>,
+    fault: Mutex<FaultState>,
 }
 
 impl TofuNet {
@@ -117,7 +154,30 @@ impl TofuNet {
             grid,
             params,
             nodes: (0..n).map(|_| NodeState::new()).collect(),
+            fault: Mutex::new(FaultState::new()),
         }
+    }
+
+    /// Install a fault plan. The default (empty) plan makes every fault
+    /// query a no-op; installing replaces any previous plan but keeps the
+    /// accumulated [`FaultCounters`].
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.fault.lock().plan = plan;
+    }
+
+    /// Stamp the `(step, op)` context used on subsequent fault keys. The
+    /// lockstep driver calls this at the top of every engine operation;
+    /// outside operations the op is [`OP_SETUP`].
+    pub fn set_fault_context(&self, step: u64, op: u8) {
+        let mut fs = self.fault.lock();
+        fs.step = step;
+        fs.op = op;
+    }
+
+    /// Totals of every fault injected so far.
+    #[must_use]
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault.lock().counters
     }
 
     /// The cell grid (for hop computations and rank mapping).
@@ -146,8 +206,28 @@ impl TofuNet {
     }
 
     /// Allocate one CQ on `(node, tni)`; errors when the TNI's 9 CQs are
-    /// exhausted. Returns the CQ index.
+    /// exhausted — or when the active fault plan transiently rejects the
+    /// allocation (indistinguishable from real exhaustion to the caller,
+    /// as on hardware). Returns the CQ index.
     pub fn allocate_cq(&self, node: usize, tni: usize) -> Result<usize, CqExhausted> {
+        {
+            let mut fs = self.fault.lock();
+            if !fs.plan.is_empty() {
+                let attempt = fs.cq_failures.get(&(node, tni)).copied().unwrap_or(0);
+                let key = FaultKey {
+                    step: fs.step,
+                    op: fs.op,
+                    src: node as u32,
+                    dst: node as u32,
+                    tni: tni as u8,
+                };
+                if fs.plan.decide_cq(&key, attempt) {
+                    fs.counters.cq_rejections += 1;
+                    *fs.cq_failures.entry((node, tni)).or_insert(0) += 1;
+                    return Err(CqExhausted { node, tni });
+                }
+            }
+        }
         let mut alloc = self.nodes[node].cq_alloc.lock();
         let used = &mut alloc[tni];
         if (*used as usize) >= CQS_PER_TNI {
@@ -157,9 +237,45 @@ impl TofuNet {
         Ok(usize::from(*used) - 1)
     }
 
+    /// Return one CQ of `(node, tni)` to the pool. Capacity accounting
+    /// only: indices are handed out as a bump counter, so a released index
+    /// is reused only in LIFO order — sufficient for the engine lifecycle
+    /// (an engine frees all its VCQs at once when it is replaced).
+    pub fn release_cq(&self, node: usize, tni: usize) {
+        let mut alloc = self.nodes[node].cq_alloc.lock();
+        alloc[tni] = alloc[tni].saturating_sub(1);
+    }
+
     /// Register memory on a node; returns the handle and the modeled cost.
     pub fn register_mem(&self, node: usize, len: usize) -> (Stadd, f64) {
         self.nodes[node].mem.lock().register(len, &self.params)
+    }
+
+    /// Register memory, consulting the fault plan first. A faulted
+    /// registration consumes no region handle and accrues no registration
+    /// cost or call count in the registry (the kernel refused before
+    /// pinning anything) — the caller decides what the failed attempt
+    /// costs and whether to retry.
+    pub fn try_register_mem(&self, node: usize, len: usize) -> Result<(Stadd, f64), TofuError> {
+        {
+            let mut fs = self.fault.lock();
+            if !fs.plan.is_empty() {
+                let attempt = fs.reg_failures.get(&node).copied().unwrap_or(0);
+                let key = FaultKey {
+                    step: fs.step,
+                    op: fs.op,
+                    src: node as u32,
+                    dst: node as u32,
+                    tni: 0,
+                };
+                if fs.plan.decide_registration(&key, attempt) {
+                    fs.counters.reg_failures += 1;
+                    *fs.reg_failures.entry(node).or_insert(0) += 1;
+                    return Err(TofuError::RegistrationFailed { node, len });
+                }
+            }
+        }
+        Ok(self.register_mem(node, len))
     }
 
     /// Grow a registered region (dynamic expansion, baseline behaviour).
@@ -196,32 +312,99 @@ impl TofuNet {
         self.nodes[node].mem.lock().reg_calls
     }
 
-    /// Execute an RDMA put: serialize on the source TNI, copy the payload
-    /// into the destination region, enqueue the MRQ notification.
+    /// Execute an RDMA put on the reliable path: serialize on the source
+    /// TNI, copy the payload into the destination region, enqueue the MRQ
+    /// notification. Never consults the fault plan — this is the transport
+    /// the MPI layer (with its own reliability protocol) and legacy
+    /// callers ride on; the faultable bare-uTofu path is [`Self::try_put`].
     pub fn put(&self, req: PutRequest<'_>) -> PutResult {
+        match self.execute_put(&req, 0, None) {
+            Ok(r) => r,
+            Err(_) => unreachable!("fault-free put cannot fail"),
+        }
+    }
+
+    /// Execute an RDMA put, first consulting the active fault plan for
+    /// attempt `attempt` of this message. Drop and truncate faults return
+    /// the corresponding [`TofuError`] (the sender observes a TCQ error
+    /// code); delay and duplicate faults succeed with perturbed delivery.
+    pub fn try_put(&self, req: PutRequest<'_>, attempt: u32) -> Result<PutResult, TofuError> {
+        let faulted = {
+            let mut fs = self.fault.lock();
+            if fs.plan.is_empty() {
+                None
+            } else {
+                let key = FaultKey {
+                    step: fs.step,
+                    op: fs.op,
+                    src: req.src_rank,
+                    dst: req.dst_node as u32,
+                    tni: req.tni as u8,
+                };
+                let action = fs.plan.decide_put(&key, req.seq, req.data.len(), attempt);
+                match action {
+                    Some(FaultAction::Drop) => fs.counters.drops += 1,
+                    Some(FaultAction::Delay(_)) => fs.counters.delays += 1,
+                    Some(FaultAction::Duplicate) => fs.counters.duplicates += 1,
+                    Some(FaultAction::Truncate(_)) => fs.counters.truncations += 1,
+                    None => {}
+                }
+                action.map(|a| (a, key))
+            }
+        };
+        match faulted {
+            None => self.execute_put(&req, attempt, None),
+            Some((action, key)) => self.execute_put(&req, attempt, Some((action, key))),
+        }
+    }
+
+    fn execute_put(
+        &self,
+        req: &PutRequest<'_>,
+        attempt: u32,
+        fault: Option<(FaultAction, FaultKey)>,
+    ) -> Result<PutResult, TofuError> {
         assert!(req.tni < TNIS_PER_NODE, "TNI index out of range");
-        let bytes = req.data.len();
-        // Injection serialization on the source TNI.
+        let posted = req.data.len();
+        // A truncated put still occupies the TNI for the full descriptor
+        // but delivers only the cut prefix.
+        let bytes = match fault {
+            Some((FaultAction::Truncate(cut), _)) => cut.min(posted),
+            _ => posted,
+        };
+        // Injection serialization on the source TNI — charged even for a
+        // dropped put (the descriptor was injected; delivery failed).
         let inject_start = {
             let mut free = self.nodes[req.src_node].tni_free.lock();
             let start = free[req.tni].max(req.now);
-            free[req.tni] = start + self.params.tni_occupancy(bytes);
+            free[req.tni] = start + self.params.tni_occupancy(posted);
             start
         };
-        let local_complete = inject_start + self.params.tni_occupancy(bytes);
+        let local_complete = inject_start + self.params.tni_occupancy(posted);
+        if let Some((FaultAction::Drop, key)) = fault {
+            return Err(TofuError::PutDropped {
+                key,
+                seq: req.seq,
+                attempt,
+            });
+        }
         let hops = self.hops(req.src_node, req.dst_node);
-        let mut remote_arrival = inject_start + self.params.wire_time(bytes, hops);
+        let mut remote_arrival = inject_start + self.params.wire_time(posted, hops);
         if req.cache_injection {
             remote_arrival -= self.params.cache_injection_saving;
         }
+        if let Some((FaultAction::Delay(dt), _)) = fault {
+            remote_arrival += dt;
+        }
         // Move the real bytes.
         if bytes > 0 {
-            self.nodes[req.dst_node]
-                .mem
-                .lock()
-                .write(req.dst_stadd, req.dst_offset, req.data);
+            self.nodes[req.dst_node].mem.lock().write(
+                req.dst_stadd,
+                req.dst_offset,
+                &req.data[..bytes],
+            );
         }
-        self.nodes[req.dst_node].mrq.lock().push(Arrival {
+        let arrival = Arrival {
             time: remote_arrival,
             src_node: req.src_node,
             src_rank: req.src_rank,
@@ -229,11 +412,28 @@ impl TofuNet {
             offset: req.dst_offset,
             len: bytes,
             piggyback: req.piggyback,
-        });
-        PutResult {
+            seq: req.seq,
+        };
+        {
+            let mut mrq = self.nodes[req.dst_node].mrq.lock();
+            mrq.push(arrival);
+            if matches!(fault, Some((FaultAction::Duplicate, _))) {
+                mrq.push(arrival);
+            }
+        }
+        if let Some((FaultAction::Truncate(_), key)) = fault {
+            return Err(TofuError::PutTruncated {
+                key,
+                seq: req.seq,
+                attempt,
+                delivered: bytes,
+                expected: posted,
+            });
+        }
+        Ok(PutResult {
             local_complete,
             remote_arrival,
-        }
+        })
     }
 
     /// Execute an RDMA get: fetch `len` bytes from the remote region. Costs
@@ -345,6 +545,7 @@ mod tests {
             data: &[5, 6, 7],
             piggyback: 42,
             src_rank: 0,
+            seq: 0,
             now: 0.0,
             cache_injection: false,
         });
@@ -371,6 +572,7 @@ mod tests {
             data: &big,
             piggyback: 0,
             src_rank: 0,
+            seq: 0,
             now: 0.0,
             cache_injection: false,
         };
@@ -397,6 +599,7 @@ mod tests {
             data: &big,
             piggyback: 0,
             src_rank: 0,
+            seq: 0,
             now: 0.0,
             cache_injection: false,
         };
@@ -421,6 +624,7 @@ mod tests {
             data: &[1],
             piggyback: 0,
             src_rank: 0,
+            seq: 0,
             now: 0.0,
             cache_injection: false,
         };
@@ -453,6 +657,7 @@ mod tests {
             data: &[1, 2],
             piggyback: 0,
             src_rank: 0,
+            seq: 0,
             now: 0.0,
             cache_injection: ci,
         };
@@ -485,6 +690,7 @@ mod tests {
             data: &[],
             piggyback: 0xDEAD_BEEF,
             src_rank: 3,
+            seq: 0,
             now: 0.0,
             cache_injection: false,
         });

@@ -7,6 +7,7 @@
 //! Rust API encodes by requiring `&mut Vcq` for every operation: ownership,
 //! not locking, serializes access.
 
+use crate::fault::TofuError;
 use crate::mem::Stadd;
 use crate::net::{Arrival, CqExhausted, PutRequest, PutResult, TofuNet};
 use std::sync::Arc;
@@ -82,6 +83,76 @@ impl Vcq {
             data,
             piggyback,
             src_rank: self.rank_tag,
+            seq: 0,
+            now: *now,
+            cache_injection,
+        })
+    }
+
+    /// One-sided put on the *faultable* path: like [`Vcq::put`] but stamped
+    /// with the message sequence number `seq` and subject to the fabric's
+    /// active fault plan. The posting CPU cost is charged per attempt
+    /// (`*now` advances even when the put fails).
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_put(
+        &mut self,
+        now: &mut f64,
+        dst_node: usize,
+        dst_stadd: Stadd,
+        dst_offset: usize,
+        data: &[u8],
+        piggyback: u64,
+        seq: u64,
+        attempt: u32,
+        cache_injection: bool,
+    ) -> Result<PutResult, TofuError> {
+        *now += self.net.params().cpu_per_put_utofu;
+        self.net.try_put(
+            PutRequest {
+                src_node: self.node,
+                tni: self.tni,
+                dst_node,
+                dst_stadd,
+                dst_offset,
+                data,
+                piggyback,
+                src_rank: self.rank_tag,
+                seq,
+                now: *now,
+                cache_injection,
+            },
+            attempt,
+        )
+    }
+
+    /// One-sided put on the reliable path carrying a real sequence number —
+    /// the escape hatch after a retry budget is exhausted (the payload is
+    /// handed to the reliable software stack, modeled as never faulting).
+    /// Reusing the message's sequence number lets the receiver's duplicate
+    /// detection coalesce it with any truncated earlier delivery.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_reliable(
+        &mut self,
+        now: &mut f64,
+        dst_node: usize,
+        dst_stadd: Stadd,
+        dst_offset: usize,
+        data: &[u8],
+        piggyback: u64,
+        seq: u64,
+        cache_injection: bool,
+    ) -> PutResult {
+        *now += self.net.params().cpu_per_put_utofu;
+        self.net.put(PutRequest {
+            src_node: self.node,
+            tni: self.tni,
+            dst_node,
+            dst_stadd,
+            dst_offset,
+            data,
+            piggyback,
+            src_rank: self.rank_tag,
+            seq,
             now: *now,
             cache_injection,
         })
@@ -97,6 +168,12 @@ impl Vcq {
         piggyback: u64,
     ) -> PutResult {
         self.put(now, dst_node, dst_stadd, 0, &[], piggyback, false)
+    }
+
+    /// The fabric this VCQ is bound to.
+    #[must_use]
+    pub fn net(&self) -> &Arc<TofuNet> {
+        &self.net
     }
 
     /// One-sided get of `len` bytes from a remote region.
@@ -115,6 +192,15 @@ impl Vcq {
     }
 }
 
+/// A VCQ frees its CQ when it goes away, so a replaced engine returns its
+/// control queues to the pool (capacity accounting; see
+/// [`TofuNet::release_cq`]).
+impl Drop for Vcq {
+    fn drop(&mut self) {
+        self.net.release_cq(self.node, self.tni);
+    }
+}
+
 /// Block until at least `count` arrivals matching `pred` are available on
 /// `node`; returns them and the advanced clock (max of `now` and the
 /// latest needed arrival — the receiver spins on its MRQ until then).
@@ -122,6 +208,7 @@ impl Vcq {
 /// Panics if fewer than `count` matching messages are queued: in the
 /// lockstep bulk-synchronous driver every send of a stage precedes the
 /// receives, so a shortfall is a protocol bug (a real run would deadlock).
+/// Recovery-aware callers use [`try_wait_arrivals`] instead.
 pub fn wait_arrivals(
     net: &TofuNet,
     node: usize,
@@ -129,17 +216,98 @@ pub fn wait_arrivals(
     count: usize,
     pred: impl FnMut(&Arrival) -> bool,
 ) -> (Vec<Arrival>, f64) {
+    match try_wait_arrivals(net, node, now, count, pred) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`wait_arrivals`]: a shortfall returns
+/// [`TofuError::Deadlock`] instead of panicking, so engines can surface
+/// the protocol violation as a typed error.
+pub fn try_wait_arrivals(
+    net: &TofuNet,
+    node: usize,
+    now: f64,
+    count: usize,
+    pred: impl FnMut(&Arrival) -> bool,
+) -> Result<(Vec<Arrival>, f64), TofuError> {
     let arrivals = net.take_arrivals(node, pred);
-    assert!(
-        arrivals.len() >= count,
-        "deadlock: node {node} expected {count} arrivals, found {}",
-        arrivals.len()
-    );
+    if arrivals.len() < count {
+        return Err(TofuError::Deadlock {
+            node,
+            expected: count,
+            found: arrivals.len(),
+        });
+    }
     let latest = arrivals
         .iter()
         .map(|a| a.time)
         .fold(f64::NEG_INFINITY, f64::max);
-    (arrivals, now.max(latest))
+    Ok((arrivals, now.max(latest)))
+}
+
+/// What [`dedupe_arrivals`] removed: anomalies a perfect fabric never
+/// produces, counted so engines can report *detected* duplicate delivery
+/// and buffer overwrites instead of silently unpacking corrupt ghosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeliveryAnomalies {
+    /// Arrivals discarded because an equal-sequence delivery to the same
+    /// buffer range superseded them (duplicate delivery / retransmission).
+    pub duplicates: u64,
+    /// Arrivals discarded because a *newer-sequence* delivery landed on
+    /// the same buffer range before this one was consumed (round-robin
+    /// slot overwrite).
+    pub overwrites: u64,
+}
+
+impl DeliveryAnomalies {
+    /// Total discarded arrivals.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.duplicates + self.overwrites
+    }
+}
+
+/// Canonicalize a batch of arrivals taken off the MRQ: sort them into a
+/// deterministic, time-independent order and collapse deliveries that
+/// landed on the same `(buffer, offset, sender)` range, keeping the
+/// authoritative one (highest sequence, then longest — a full
+/// retransmission supersedes a truncated first delivery — then latest).
+///
+/// Engines run this on *every* receive, faulted or not: the canonical
+/// order makes unpack order independent of MRQ queue order, and under a
+/// recoverable fault plan the surviving set is byte-identical to the
+/// fault-free run's.
+pub fn dedupe_arrivals(arrivals: &mut Vec<Arrival>) -> DeliveryAnomalies {
+    arrivals.sort_by(|a, b| {
+        (a.stadd.0, a.offset, a.src_rank, a.seq, a.len)
+            .cmp(&(b.stadd.0, b.offset, b.src_rank, b.seq, b.len))
+            .then(a.time.total_cmp(&b.time))
+    });
+    let mut anomalies = DeliveryAnomalies::default();
+    // Within each (stadd, offset, src_rank) group the sort puts the
+    // authoritative arrival last; discard the rest.
+    let mut w = 0;
+    for i in 0..arrivals.len() {
+        let last_of_group = match arrivals.get(i + 1) {
+            None => true,
+            Some(n) => {
+                (n.stadd, n.offset, n.src_rank)
+                    != (arrivals[i].stadd, arrivals[i].offset, arrivals[i].src_rank)
+            }
+        };
+        if last_of_group {
+            arrivals[w] = arrivals[i];
+            w += 1;
+        } else if arrivals[i + 1].seq == arrivals[i].seq {
+            anomalies.duplicates += 1;
+        } else {
+            anomalies.overwrites += 1;
+        }
+    }
+    arrivals.truncate(w);
+    anomalies
 }
 
 #[cfg(test)]
@@ -177,13 +345,97 @@ mod tests {
     fn six_vcq_binding_like_fig7() {
         // Fine-grained mode: one rank creates 6 VCQs, one per TNI; four
         // ranks on a node can all do so (uses CQ slots 0..4 on each TNI).
+        // The VCQs must be held concurrently: dropping one releases its CQ.
         let net = net();
+        let mut held = Vec::new();
         for rank in 0..4u32 {
             for tni in 0..6 {
                 let v = Vcq::create(net.clone(), 0, tni, rank).unwrap();
                 assert_eq!(v.cq(), rank as usize);
+                held.push(v);
             }
         }
+    }
+
+    #[test]
+    fn dropping_a_vcq_releases_its_cq() {
+        let net = net();
+        {
+            let _v = Vcq::create(net.clone(), 0, 0, 0).unwrap();
+        }
+        // The slot freed by the drop is handed out again.
+        let v = Vcq::create(net.clone(), 0, 0, 1).unwrap();
+        assert_eq!(v.cq(), 0);
+    }
+
+    #[test]
+    fn dedupe_keeps_authoritative_arrival_and_counts_anomalies() {
+        let mk = |offset: usize, seq: u64, len: usize, time: f64| Arrival {
+            time,
+            src_node: 0,
+            src_rank: 4,
+            stadd: Stadd(7),
+            offset,
+            len,
+            piggyback: 0,
+            seq,
+        };
+        // A truncated first delivery + full retransmission (same seq), an
+        // exact duplicate pair, and a stale slot overwritten by a newer
+        // sequence — interleaved out of order.
+        let mut arrivals = vec![
+            mk(64, 3, 96, 5.0), // newer write to the 64-offset slot
+            mk(0, 1, 48, 1.0),  // truncated first delivery
+            mk(32, 2, 96, 2.0), // duplicate (a)
+            mk(0, 1, 96, 3.0),  // full retransmission
+            mk(64, 1, 96, 1.5), // stale slot content
+            mk(32, 2, 96, 2.0), // duplicate (b)
+        ];
+        let an = dedupe_arrivals(&mut arrivals);
+        assert_eq!(
+            an,
+            DeliveryAnomalies {
+                duplicates: 2,
+                overwrites: 1,
+            }
+        );
+        assert_eq!(an.total(), 3);
+        let kept: Vec<_> = arrivals.iter().map(|a| (a.offset, a.seq, a.len)).collect();
+        assert_eq!(kept, vec![(0, 1, 96), (32, 2, 96), (64, 3, 96)]);
+    }
+
+    #[test]
+    fn dedupe_is_identity_on_distinct_buffers() {
+        let mk = |stadd: u32, seq: u64| Arrival {
+            time: 1.0,
+            src_node: 0,
+            src_rank: 1,
+            stadd: Stadd(stadd),
+            offset: 0,
+            len: 8,
+            piggyback: 0,
+            seq,
+        };
+        let mut arrivals = vec![mk(3, 1), mk(1, 2), mk(2, 3)];
+        let an = dedupe_arrivals(&mut arrivals);
+        assert_eq!(an.total(), 0);
+        // Canonical order is by buffer, independent of arrival order.
+        let stadds: Vec<_> = arrivals.iter().map(|a| a.stadd.0).collect();
+        assert_eq!(stadds, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_wait_reports_shortfall_as_typed_deadlock() {
+        let net = net();
+        let err = try_wait_arrivals(&net, 0, 0.0, 2, |_| true).unwrap_err();
+        assert_eq!(
+            err,
+            TofuError::Deadlock {
+                node: 0,
+                expected: 2,
+                found: 0
+            }
+        );
     }
 
     #[test]

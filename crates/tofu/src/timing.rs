@@ -69,6 +69,14 @@ pub struct NetParams {
     pub pool_region_overhead: f64,
     /// OpenMP parallel-region fork/join overhead: 5.8 us (§3.3).
     pub omp_region_overhead: f64,
+    /// Base sender-side backoff before retransmitting a failed put (TCQ
+    /// error observed; doubled per attempt). Order of ten descriptor
+    /// postings.
+    pub retry_backoff: f64,
+    /// One-time penalty for handing a message to the reliable software
+    /// stack after the retry budget is exhausted (protocol switch +
+    /// heavy-stack posting; order of one MPI rendezvous).
+    pub fallback_penalty: f64,
 }
 
 impl Default for NetParams {
@@ -90,6 +98,8 @@ impl Default for NetParams {
             pack_per_byte: 0.06e-9,
             pool_region_overhead: 1.1e-6,
             omp_region_overhead: 5.8e-6,
+            retry_backoff: 2.0e-6,
+            fallback_penalty: 20.0e-6,
         }
     }
 }

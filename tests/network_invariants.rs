@@ -30,6 +30,7 @@ proptest! {
                 data: p,
                 piggyback: i as u64,
                 src_rank: 0,
+                seq: 0,
                 now: 0.0,
                 cache_injection: false,
             });
@@ -76,6 +77,7 @@ proptest! {
                 data,
                 piggyback: 0,
                 src_rank: 0,
+                seq: 0,
                 now,
                 cache_injection: false,
             })
@@ -103,6 +105,7 @@ proptest! {
             data: &data_small,
             piggyback: 0,
             src_rank: 0,
+            seq: 0,
             now: t0,
             cache_injection: false,
         }).remote_arrival;
@@ -132,6 +135,7 @@ proptest! {
                 data: &vec![0u8; *s],
                 piggyback: 0,
                 src_rank: 0,
+                seq: 0,
                 now: 0.0,
                 cache_injection: false,
             });
