@@ -2,10 +2,12 @@
 //! LJ / EAM / SW force passes — at the paper's per-rank workload sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tofumd_md::kernels::PairScratch;
 use tofumd_md::lattice::FccLattice;
-use tofumd_md::neighbor::{ListKind, NeighborList};
+use tofumd_md::neighbor::{sort_locals_by_bin, ListKind, NeighborList};
 use tofumd_md::potential::{EamCu, LjCut, ManyBodyPotential, PairPotential, StillingerWeber};
 use tofumd_md::Atoms;
+use tofumd_threadpool::{ChunkExec, SpinPool};
 
 fn lj_system(cells: usize) -> (Atoms, [f64; 3]) {
     let lat = FccLattice::from_reduced_density(0.8442);
@@ -96,9 +98,87 @@ fn bench_force_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+/// The chunk-parallel kernels (bit-identical to the serial seed path) on
+/// the spin pool: sorted half-stencil list build plus LJ / EAM chunked
+/// force passes, serially and at 8 workers.
+fn bench_chunked_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunked");
+    let pool = SpinPool::new(8);
+
+    // Sorted locals engage the half-stencil fast path in the build.
+    let (mut atoms, l) = lj_system(8);
+    sort_locals_by_bin(&mut atoms, [0.0; 3], l, 2.5 + 0.3);
+    let list = NeighborList::build(&atoms, [0.0; 3], l, ListKind::HalfNewton, 2.5, 0.3);
+    let lj = LjCut::lammps_bench();
+
+    let lat = FccLattice::from_cell(3.615);
+    let (bx, pos) = lat.build(8, 8, 8);
+    let mut eam_atoms = Atoms::from_positions(pos, 1);
+    sort_locals_by_bin(&mut eam_atoms, [0.0; 3], bx.lengths(), 4.95 + 1.0);
+    let eam_list = NeighborList::build(
+        &eam_atoms,
+        [0.0; 3],
+        bx.lengths(),
+        ListKind::HalfNewton,
+        4.95,
+        1.0,
+    );
+    let eam = EamCu::lammps_bench();
+
+    g.throughput(Throughput::Elements(atoms.nlocal as u64));
+    g.bench_function("build_sorted_2048", |b| {
+        b.iter(|| NeighborList::build(&atoms, [0.0; 3], l, ListKind::HalfNewton, 2.5, 0.3));
+    });
+
+    for threads in [1usize, 8] {
+        let exec = if threads == 1 {
+            ChunkExec::Serial
+        } else {
+            ChunkExec::Pool(&pool)
+        };
+        let mut scratch = PairScratch::new();
+        g.bench_with_input(
+            BenchmarkId::new("build_chunked_2048", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    NeighborList::build_chunked(
+                        &atoms,
+                        [0.0; 3],
+                        l,
+                        ListKind::HalfNewton,
+                        2.5,
+                        0.3,
+                        &exec,
+                    )
+                });
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("lj_2048", threads), &threads, |b, _| {
+            b.iter(|| {
+                atoms.zero_forces();
+                lj.compute_chunked(&mut atoms, &list, &exec, &mut scratch)
+            });
+        });
+        let mut rho = Vec::new();
+        let mut fp = Vec::new();
+        g.bench_with_input(BenchmarkId::new("eam_2048", threads), &threads, |b, _| {
+            b.iter(|| {
+                eam_atoms.zero_forces();
+                eam.compute_rho_chunked(&eam_atoms, &eam_list, &mut rho, &exec, &mut scratch);
+                let e = eam.compute_embedding_chunked(&eam_atoms, &rho, &mut fp, &exec);
+                let ev =
+                    eam.compute_force_chunked(&mut eam_atoms, &eam_list, &fp, &exec, &mut scratch);
+                (e, ev)
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_neighbor_build, bench_force_kernels
+    targets = bench_neighbor_build, bench_force_kernels, bench_chunked_kernels
 }
 criterion_main!(benches);

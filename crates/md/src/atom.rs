@@ -107,6 +107,28 @@ impl Atoms {
         self.nlocal -= 1;
     }
 
+    /// Permute the local atoms so that new slot `k` holds the atom
+    /// previously at `perm[k]` (all per-atom arrays move together; tags
+    /// travel with their atoms, so identity is preserved). Must be called
+    /// only when no ghosts are present — ghost indices into the old order
+    /// would dangle.
+    pub fn reorder_locals(&mut self, perm: &[u32]) {
+        assert_eq!(
+            self.nghost(),
+            0,
+            "cannot reorder locals while ghosts present"
+        );
+        assert_eq!(perm.len(), self.nlocal);
+        fn apply<T: Copy>(src: &[T], perm: &[u32]) -> Vec<T> {
+            perm.iter().map(|&p| src[p as usize]).collect()
+        }
+        self.x = apply(&self.x, perm);
+        self.v = apply(&self.v, perm);
+        self.f = apply(&self.f, perm);
+        self.typ = apply(&self.typ, perm);
+        self.tag = apply(&self.tag, perm);
+    }
+
     /// Zero all force entries (local and ghost).
     pub fn zero_forces(&mut self) {
         for f in &mut self.f {
@@ -171,6 +193,25 @@ mod tests {
         let mut a = three_atoms();
         a.push_ghost([9.0; 3], 1, 7);
         a.push_local([0.5; 3], [0.0; 3], 1, 99);
+    }
+
+    #[test]
+    fn reorder_moves_all_arrays_together() {
+        let mut a = three_atoms();
+        a.v[2] = [9.0; 3];
+        a.reorder_locals(&[2, 0, 1]);
+        assert_eq!(a.tag, vec![3, 1, 2]);
+        assert_eq!(a.x[0], [2.0; 3]);
+        assert_eq!(a.v[0], [9.0; 3]);
+        assert!(a.is_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "ghosts present")]
+    fn reorder_with_ghosts_panics() {
+        let mut a = three_atoms();
+        a.push_ghost([9.0; 3], 1, 7);
+        a.reorder_locals(&[0, 1, 2]);
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Deterministic chunk-parallel kernel support.
+//!
+//! The force and density passes parallelize by splitting a rank's neighbor
+//! rows into fixed-size chunks, but their serial counterparts accumulate
+//! with floating-point `+=` in one specific order — and this codebase
+//! promises bit-identical results at any `--threads`. Per-thread partial
+//! sums reduced afterwards would change the addition order, so the chunked
+//! kernels never sum concurrently. Instead each chunk *logs* the updates
+//! its rows would perform, in exactly the serial order, and the logs are
+//! replayed afterwards:
+//!
+//! * **Force/density scatters** are bucketed by target-index range. Each
+//!   bucket owns a disjoint slice of the output array, so buckets replay in
+//!   parallel; within a bucket the chunks replay in ascending chunk order,
+//!   making every individual element's update sequence exactly the serial
+//!   kernel's. Since IEEE-754 addition is deterministic (just not
+//!   associative), same sequence ⇒ same bits.
+//! * **Energy/virial** contributions are logged per pair and folded on one
+//!   thread in chunk/pair order — again the serial addition sequence.
+//!
+//! No atomics anywhere: atomic float accumulation would make results
+//! depend on thread interleaving, which is exactly the nondeterminism this
+//! design exists to rule out. The chunk size and bucket count affect only
+//! wall-clock, never results.
+
+use tofumd_threadpool::ChunkExec;
+
+/// Rows per dispatch chunk for neighbor builds and force passes.
+pub const CHUNK_ROWS: usize = 256;
+
+/// Number of disjoint target-index ranges the scatter replay splits the
+/// output array into (the replay's parallelism ceiling).
+pub const SCATTER_BUCKETS: usize = 16;
+
+/// Width of each scatter bucket for an output array of `ntotal` elements.
+#[must_use]
+pub fn bucket_size(ntotal: usize) -> usize {
+    ntotal.div_ceil(SCATTER_BUCKETS).max(1)
+}
+
+/// One chunk's logged updates: scatter entries bucketed by target range,
+/// plus the chunk's per-pair energy/virial stream.
+#[derive(Debug, Default)]
+pub struct ChunkLog {
+    vec_buckets: Vec<Vec<(u32, [f64; 3])>>,
+    scalar_buckets: Vec<Vec<(u32, f64)>>,
+    ev: Vec<(f64, f64)>,
+}
+
+impl ChunkLog {
+    /// Clear all logs, keeping their capacity for the next step.
+    fn reset(&mut self) {
+        self.vec_buckets.resize_with(SCATTER_BUCKETS, Vec::new);
+        self.scalar_buckets.resize_with(SCATTER_BUCKETS, Vec::new);
+        for b in &mut self.vec_buckets {
+            b.clear();
+        }
+        for b in &mut self.scalar_buckets {
+            b.clear();
+        }
+        self.ev.clear();
+    }
+
+    /// Log `out[target] += delta` for a `[f64; 3]` output array whose
+    /// bucket width is `bs` (from [`bucket_size`] of the array length).
+    #[inline]
+    pub fn push_force(&mut self, bs: usize, target: u32, delta: [f64; 3]) {
+        self.vec_buckets[target as usize / bs].push((target, delta));
+    }
+
+    /// Log `out[target] += delta` for a scalar output array.
+    #[inline]
+    pub fn push_scalar(&mut self, bs: usize, target: u32, delta: f64) {
+        self.scalar_buckets[target as usize / bs].push((target, delta));
+    }
+
+    /// Log one pair's energy and virial contribution.
+    #[inline]
+    pub fn push_ev(&mut self, energy: f64, virial: f64) {
+        self.ev.push((energy, virial));
+    }
+}
+
+/// Reusable per-rank scratch for the chunked kernels: one [`ChunkLog`] per
+/// row chunk, retained across steps so steady-state runs don't allocate.
+#[derive(Debug, Default)]
+pub struct PairScratch {
+    chunks: Vec<ChunkLog>,
+}
+
+impl PairScratch {
+    /// Empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        PairScratch::default()
+    }
+
+    /// Hand out `nchunks` cleared logs (capacity retained from prior steps).
+    pub fn prepare(&mut self, nchunks: usize) -> &mut [ChunkLog] {
+        if self.chunks.len() < nchunks {
+            self.chunks.resize_with(nchunks, ChunkLog::default);
+        }
+        let slice = &mut self.chunks[..nchunks];
+        for log in slice.iter_mut() {
+            log.reset();
+        }
+        slice
+    }
+}
+
+/// Split `out` into its scatter-bucket ranges: `(base, slice)` pairs of
+/// disjoint sub-slices, each `bucket_size(out.len())` wide (last one
+/// shorter).
+fn bucket_slices<T>(out: &mut [T]) -> Vec<(usize, &mut [T])> {
+    let n = out.len();
+    let bs = bucket_size(n);
+    let mut slices = Vec::with_capacity(n.div_ceil(bs.max(1)));
+    let mut rest = out;
+    let mut start = 0;
+    while start < n {
+        let len = bs.min(n - start);
+        let (head, tail) = std::mem::take(&mut rest).split_at_mut(len);
+        slices.push((start, head));
+        rest = tail;
+        start += len;
+    }
+    slices
+}
+
+/// Replay every chunk's `[f64; 3]` scatter log into `out`. Buckets run in
+/// parallel (disjoint target ranges); within each bucket, chunks replay in
+/// ascending order, so each element receives its updates in exactly the
+/// serial kernel's sequence.
+pub fn replay_forces(chunks: &[ChunkLog], out: &mut [[f64; 3]], exec: &ChunkExec<'_>) {
+    let mut slices = bucket_slices(out);
+    exec.for_each_mut(&mut slices, &|b, (base, slice)| {
+        for log in chunks {
+            for &(t, d) in &log.vec_buckets[b] {
+                let k = t as usize - *base;
+                slice[k][0] += d[0];
+                slice[k][1] += d[1];
+                slice[k][2] += d[2];
+            }
+        }
+    });
+}
+
+/// Scalar-array variant of [`replay_forces`] (EAM electron density).
+pub fn replay_scalars(chunks: &[ChunkLog], out: &mut [f64], exec: &ChunkExec<'_>) {
+    let mut slices = bucket_slices(out);
+    exec.for_each_mut(&mut slices, &|b, (base, slice)| {
+        for log in chunks {
+            for &(t, d) in &log.scalar_buckets[b] {
+                slice[t as usize - *base] += d;
+            }
+        }
+    });
+}
+
+/// Fold the per-pair energy/virial streams on one thread, in chunk then
+/// pair order — the serial kernel's exact addition sequence.
+#[must_use]
+pub fn fold_ev(chunks: &[ChunkLog]) -> (f64, f64) {
+    let mut energy = 0.0;
+    let mut virial = 0.0;
+    for log in chunks {
+        for &(de, dv) in &log.ev {
+            energy += de;
+            virial += dv;
+        }
+    }
+    (energy, virial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tofumd_threadpool::SpinPool;
+
+    /// A synthetic update stream applied three ways: directly (serial
+    /// reference), via serial replay, via pooled replay.
+    fn updates(n: usize) -> Vec<(u32, [f64; 3])> {
+        // Deterministic pseudo-random targets with awkward magnitudes so
+        // any reordering of a target's updates changes the bits.
+        let mut out = Vec::new();
+        let mut s = 0x9e3779b97f4a7c15u64;
+        for k in 0..4 * n {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let t = (s >> 33) as usize % n;
+            let v = (k as f64).sin() * 1e3 + 1e-7 * k as f64;
+            out.push((t as u32, [v, -v * 0.5, v * 1e-6]));
+        }
+        out
+    }
+
+    #[test]
+    fn replay_matches_direct_application_bitwise() {
+        let n = 103;
+        let ups = updates(n);
+        let mut direct = vec![[0.0f64; 3]; n];
+        for &(t, d) in &ups {
+            for dim in 0..3 {
+                direct[t as usize][dim] += d[dim];
+            }
+        }
+
+        // Log across 4 chunks in stream order, then replay.
+        let bs = bucket_size(n);
+        let mut scratch = PairScratch::new();
+        let chunks = scratch.prepare(4);
+        for (k, &(t, d)) in ups.iter().enumerate() {
+            chunks[k * 4 / ups.len()].push_force(bs, t, d);
+        }
+        let mut serial = vec![[0.0f64; 3]; n];
+        replay_forces(chunks, &mut serial, &ChunkExec::Serial);
+        assert_eq!(serial, direct);
+
+        let pool = SpinPool::new(4);
+        let mut pooled = vec![[0.0f64; 3]; n];
+        replay_forces(chunks, &mut pooled, &ChunkExec::Pool(&pool));
+        assert_eq!(pooled, direct);
+    }
+
+    #[test]
+    fn scalar_replay_and_ev_fold_match_serial() {
+        let n = 57;
+        let ups = updates(n);
+        let mut direct = vec![0.0f64; n];
+        let mut e_ref = 0.0;
+        let mut v_ref = 0.0;
+        for &(t, d) in &ups {
+            direct[t as usize] += d[0];
+            e_ref += d[1];
+            v_ref += d[2];
+        }
+        let bs = bucket_size(n);
+        let mut scratch = PairScratch::new();
+        let chunks = scratch.prepare(3);
+        for (k, &(t, d)) in ups.iter().enumerate() {
+            let c = &mut chunks[k * 3 / ups.len()];
+            c.push_scalar(bs, t, d[0]);
+            c.push_ev(d[1], d[2]);
+        }
+        let pool = SpinPool::new(2);
+        let mut replayed = vec![0.0f64; n];
+        replay_scalars(chunks, &mut replayed, &ChunkExec::Pool(&pool));
+        assert_eq!(replayed, direct);
+        let (e, v) = fold_ev(chunks);
+        assert_eq!(e.to_bits(), e_ref.to_bits());
+        assert_eq!(v.to_bits(), v_ref.to_bits());
+    }
+
+    #[test]
+    fn prepare_clears_previous_step() {
+        let mut scratch = PairScratch::new();
+        let chunks = scratch.prepare(2);
+        chunks[0].push_ev(1.0, 2.0);
+        chunks[1].push_force(bucket_size(8), 3, [1.0; 3]);
+        let chunks = scratch.prepare(2);
+        assert_eq!(fold_ev(chunks), (0.0, 0.0));
+        let mut out = vec![[0.0f64; 3]; 8];
+        replay_forces(chunks, &mut out, &ChunkExec::Serial);
+        assert!(out.iter().all(|v| *v == [0.0; 3]));
+    }
+
+    #[test]
+    fn tiny_output_arrays_bucket_safely() {
+        // ntotal < SCATTER_BUCKETS: bucket width clamps to 1.
+        let mut scratch = PairScratch::new();
+        let chunks = scratch.prepare(1);
+        let bs = bucket_size(3);
+        chunks[0].push_force(bs, 2, [1.0, 0.0, 0.0]);
+        chunks[0].push_force(bs, 0, [0.5, 0.0, 0.0]);
+        let mut out = vec![[0.0f64; 3]; 3];
+        replay_forces(chunks, &mut out, &ChunkExec::Serial);
+        assert_eq!(out[2][0], 1.0);
+        assert_eq!(out[0][0], 0.5);
+        // Zero-length output: nothing logged, replay is a no-op.
+        let chunks = scratch.prepare(1);
+        replay_forces(chunks, &mut [], &ChunkExec::Serial);
+    }
+}

@@ -53,6 +53,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Panicking escape hatches are reserved for tests; library paths must
+// propagate errors through the typed-error plumbing instead.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 // Dimension loops (`for d in 0..3`) index by physical dimension on fixed
 // [f64; 3] vectors; the index is the semantics, so the iterator rewrite the
 // lint suggests would be less clear.
@@ -62,6 +65,7 @@ pub mod atom;
 pub mod domain;
 pub mod dump;
 pub mod integrate;
+pub mod kernels;
 pub mod lattice;
 pub mod neighbor;
 pub mod observe;
@@ -77,8 +81,9 @@ pub use atom::Atoms;
 pub use domain::{neighbor_offsets, Decomposition, NeighborOffset};
 pub use dump::XyzTrajectory;
 pub use integrate::{Masses, NveIntegrator};
+pub use kernels::PairScratch;
 pub use lattice::FccLattice;
-pub use neighbor::{ListKind, NeighborList, RebuildPolicy};
+pub use neighbor::{sort_locals_by_bin, ListKind, NeighborList, RebuildPolicy};
 pub use observe::{Msd, Rdf};
 pub use potential::{
     EamCu, LjCut, LjCutMulti, ManyBodyPotential, PairPotential, Potential, StillingerWeber,

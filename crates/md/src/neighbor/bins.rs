@@ -1,17 +1,34 @@
 //! Spatial cell bins used to build Verlet neighbor lists in O(N).
 
 /// A uniform grid of cells ("bins") covering an extended bounding region
-/// (sub-box plus ghost margin). Each bin stores the indices of the atoms
-/// inside it.
+/// (sub-box plus ghost margin), storing atom indices in a flat CSR layout:
+/// one counting pass, one prefix sum, one scatter pass — no per-bin
+/// allocation on rebuild, and each bin's atoms are contiguous in memory.
+///
+/// Because the scatter walks atoms in index order and local atoms precede
+/// ghosts in [`crate::atom::Atoms`], every bin's slice is automatically
+/// partitioned locals-first; `ghost_start` records the split so traversals
+/// can visit only a bin's ghost segment.
 #[derive(Debug, Clone)]
 pub struct CellBins {
     lo: [f64; 3],
     nbin: [usize; 3],
     inv_size: [f64; 3],
-    /// Flattened per-bin atom index lists (CSR-style: heads + next chains
-    /// would be faster to rebuild, but Vec-of-Vec keeps the code clear and
-    /// rebuild cost is dominated by the pair pass anyway).
-    bins: Vec<Vec<u32>>,
+    /// CSR row offsets into `atoms`, `nbins + 1` entries.
+    starts: Vec<u32>,
+    /// Absolute offset of the first ghost atom within each bin's slice.
+    ghost_start: Vec<u32>,
+    /// Atom indices, grouped by bin, ascending within each bin.
+    atoms: Vec<u32>,
+    /// Per-atom flat bin index, kept between the counting and scatter
+    /// passes (reused across fills).
+    flat_scratch: Vec<u32>,
+    /// Per-bin scatter cursors (reused across fills).
+    cursor_scratch: Vec<u32>,
+    /// True when the local atoms' flat bin indices were nondecreasing in
+    /// index order at the last [`CellBins::fill`] — i.e. the caller has
+    /// spatially sorted them on this exact grid.
+    sorted_locals: bool,
 }
 
 impl CellBins {
@@ -34,7 +51,12 @@ impl CellBins {
             lo,
             nbin,
             inv_size,
-            bins: vec![Vec::new(); total],
+            starts: vec![0; total + 1],
+            ghost_start: vec![0; total],
+            atoms: Vec::new(),
+            flat_scratch: Vec::new(),
+            cursor_scratch: Vec::new(),
+            sorted_locals: false,
         }
     }
 
@@ -44,48 +66,111 @@ impl CellBins {
         self.nbin
     }
 
-    /// Index of the bin containing `x` (clamped to the grid so ghost atoms
-    /// slightly outside the region land in border bins).
+    /// Total number of bins.
     #[must_use]
-    pub fn bin_of(&self, x: &[f64; 3]) -> usize {
+    pub fn nbins(&self) -> usize {
+        self.nbin[0] * self.nbin[1] * self.nbin[2]
+    }
+
+    /// Grid coordinate of the cell containing `x` (clamped to the grid so
+    /// ghost atoms slightly outside the region land in border bins).
+    #[must_use]
+    pub fn coord_of(&self, x: &[f64; 3]) -> [usize; 3] {
         let mut c = [0usize; 3];
         for d in 0..3 {
             let idx = ((x[d] - self.lo[d]) * self.inv_size[d]).floor() as i64;
             c[d] = idx.clamp(0, self.nbin[d] as i64 - 1) as usize;
         }
-        self.flat(c)
+        c
     }
 
-    fn flat(&self, c: [usize; 3]) -> usize {
+    /// Flat (row-major) index of grid coordinate `c`.
+    #[must_use]
+    pub fn flat(&self, c: [usize; 3]) -> usize {
         c[0] + self.nbin[0] * (c[1] + self.nbin[1] * c[2])
     }
 
-    /// Clear and re-populate the bins from atom positions.
-    pub fn fill(&mut self, positions: &[[f64; 3]]) {
-        for b in &mut self.bins {
-            b.clear();
-        }
-        for (i, x) in positions.iter().enumerate() {
-            let b = self.bin_of(x);
-            self.bins[b].push(i as u32);
-        }
+    /// Index of the bin containing `x`.
+    #[must_use]
+    pub fn bin_of(&self, x: &[f64; 3]) -> usize {
+        self.flat(self.coord_of(x))
     }
 
-    /// Atoms in the bin with flat index `b`.
+    /// Clear and re-populate the bins from atom positions; the first
+    /// `nlocal` positions are local atoms, the rest ghosts.
+    pub fn fill(&mut self, positions: &[[f64; 3]], nlocal: usize) {
+        let nbins = self.nbins();
+        // Counting pass (starts[b + 1] accumulates bin b's population), plus
+        // the sorted-locals detection on this grid's flat order.
+        self.starts.iter_mut().for_each(|s| *s = 0);
+        let mut sorted = true;
+        let mut prev = 0usize;
+        let mut flats = std::mem::take(&mut self.flat_scratch);
+        flats.clear();
+        flats.reserve(positions.len());
+        for (i, x) in positions.iter().enumerate() {
+            let b = self.bin_of(x);
+            flats.push(b as u32);
+            self.starts[b + 1] += 1;
+            if i < nlocal {
+                sorted &= b >= prev;
+                prev = b;
+            }
+        }
+        self.sorted_locals = sorted;
+        // Prefix sum.
+        for b in 0..nbins {
+            self.starts[b + 1] += self.starts[b];
+        }
+        // Scatter pass in index order: within a bin, indices ascend and
+        // locals (smaller indices) precede ghosts. `ghost_start` starts at
+        // the bin head and advances past each local as it lands, ending at
+        // the local/ghost boundary.
+        self.ghost_start.copy_from_slice(&self.starts[..nbins]);
+        let mut cursor = std::mem::take(&mut self.cursor_scratch);
+        cursor.clear();
+        cursor.extend_from_slice(&self.starts[..nbins]);
+        self.atoms.clear();
+        self.atoms.resize(positions.len(), 0);
+        for (i, &b) in flats.iter().enumerate() {
+            let b = b as usize;
+            self.atoms[cursor[b] as usize] = i as u32;
+            cursor[b] += 1;
+            if i < nlocal {
+                self.ghost_start[b] = cursor[b];
+            }
+        }
+        self.flat_scratch = flats;
+        self.cursor_scratch = cursor;
+    }
+
+    /// Atoms in the bin with flat index `b` (locals first, then ghosts).
     #[must_use]
     pub fn bin(&self, b: usize) -> &[u32] {
-        &self.bins[b]
+        &self.atoms[self.starts[b] as usize..self.starts[b + 1] as usize]
+    }
+
+    /// Only the ghost atoms of bin `b`.
+    #[must_use]
+    pub fn ghosts(&self, b: usize) -> &[u32] {
+        &self.atoms[self.ghost_start[b] as usize..self.starts[b + 1] as usize]
+    }
+
+    /// Were the local atoms sorted by this grid's flat bin index at the
+    /// last fill? When true, every local atom in a strictly lower bin has
+    /// a strictly lower index — the precondition for the half-stencil
+    /// neighbor traversal.
+    #[must_use]
+    pub fn sorted_locals(&self) -> bool {
+        self.sorted_locals
     }
 
     /// Visit every atom in the 27-bin stencil around the bin containing `x`
     /// (clamped at region edges — no periodic wrap here: ghost atoms make
     /// the region self-contained).
     pub fn for_each_candidate(&self, x: &[f64; 3], mut f: impl FnMut(u32)) {
-        let mut c = [0i64; 3];
-        for d in 0..3 {
-            let idx = ((x[d] - self.lo[d]) * self.inv_size[d]).floor() as i64;
-            c[d] = idx.clamp(0, self.nbin[d] as i64 - 1);
-        }
+        let c = self.coord_of(x);
+        let c = [c[0] as i64, c[1] as i64, c[2] as i64];
         for dz in -1..=1i64 {
             let z = c[2] + dz;
             if z < 0 || z >= self.nbin[2] as i64 {
@@ -102,7 +187,7 @@ impl CellBins {
                         continue;
                     }
                     let b = self.flat([xx as usize, y as usize, z as usize]);
-                    for &a in &self.bins[b] {
+                    for &a in self.bin(b) {
                         f(a);
                     }
                 }
@@ -134,7 +219,7 @@ mod tests {
     fn fill_and_lookup() {
         let mut b = CellBins::new([0.0; 3], [10.0; 3], 2.5);
         let pos = vec![[1.0, 1.0, 1.0], [9.0, 9.0, 9.0], [1.2, 1.1, 0.9]];
-        b.fill(&pos);
+        b.fill(&pos, pos.len());
         let bin0 = b.bin_of(&pos[0]);
         assert_eq!(b.bin(bin0), &[0, 2]);
         assert_ne!(b.bin_of(&pos[1]), bin0);
@@ -143,7 +228,7 @@ mod tests {
     #[test]
     fn out_of_region_points_clamp() {
         let mut b = CellBins::new([0.0; 3], [10.0; 3], 2.5);
-        b.fill(&[[-0.5, 11.0, 5.0]]);
+        b.fill(&[[-0.5, 11.0, 5.0]], 1);
         // Should not panic; the atom lands in an edge bin.
         let idx = b.bin_of(&[-0.5, 11.0, 5.0]);
         assert_eq!(b.bin(idx), &[0]);
@@ -153,10 +238,50 @@ mod tests {
     fn stencil_finds_all_nearby() {
         let mut b = CellBins::new([0.0; 3], [10.0; 3], 2.5);
         let pos = vec![[4.9, 5.0, 5.0], [5.1, 5.0, 5.0], [0.1, 0.1, 0.1]];
-        b.fill(&pos);
+        b.fill(&pos, pos.len());
         let mut seen = Vec::new();
         b.for_each_candidate(&pos[0], |i| seen.push(i));
         assert!(seen.contains(&0) && seen.contains(&1));
         assert!(!seen.contains(&2), "far atom must not appear in stencil");
+    }
+
+    #[test]
+    fn ghost_segments_split_each_bin() {
+        let mut b = CellBins::new([0.0; 3], [10.0; 3], 2.5);
+        // Atoms 0-1 local, 2-3 ghosts; 0 and 2 share a bin, 1 and 3 share
+        // another.
+        let pos = vec![
+            [1.0, 1.0, 1.0],
+            [9.0, 9.0, 9.0],
+            [1.1, 1.0, 1.0],
+            [9.1, 9.0, 9.0],
+        ];
+        b.fill(&pos, 2);
+        let b0 = b.bin_of(&pos[0]);
+        let b1 = b.bin_of(&pos[1]);
+        assert_eq!(b.bin(b0), &[0, 2]);
+        assert_eq!(b.ghosts(b0), &[2]);
+        assert_eq!(b.bin(b1), &[1, 3]);
+        assert_eq!(b.ghosts(b1), &[3]);
+        // An empty bin has an empty ghost segment.
+        let empty = (0..b.nbins()).find(|&k| b.bin(k).is_empty()).unwrap();
+        assert!(b.ghosts(empty).is_empty());
+    }
+
+    #[test]
+    fn sorted_detection_tracks_local_order() {
+        let mut b = CellBins::new([0.0; 3], [10.0; 3], 2.5);
+        // Ascending flat bins: sorted.
+        let sorted = vec![[1.0, 1.0, 1.0], [4.0, 1.0, 1.0], [1.0, 4.0, 1.0]];
+        b.fill(&sorted, 3);
+        assert!(b.sorted_locals());
+        // Swap two locals: unsorted.
+        let unsorted = vec![[4.0, 1.0, 1.0], [1.0, 1.0, 1.0]];
+        b.fill(&unsorted, 2);
+        assert!(!b.sorted_locals());
+        // Ghost order must not affect the verdict.
+        let ghost_tail = vec![[1.0, 1.0, 1.0], [4.0, 1.0, 1.0], [1.0, 1.0, 1.0]];
+        b.fill(&ghost_tail, 2);
+        assert!(b.sorted_locals());
     }
 }

@@ -3,6 +3,8 @@
 
 use super::bins::CellBins;
 use crate::atom::Atoms;
+use crate::kernels::CHUNK_ROWS;
+use tofumd_threadpool::ChunkExec;
 
 /// Which pairs a list stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +56,119 @@ pub fn ghost_pair_belongs_to_i(xi: &[f64; 3], xj: &[f64; 3]) -> bool {
     xj[0] > xi[0]
 }
 
+/// Append row `i`'s accepted neighbors to `out`, in exactly the order the
+/// 27-bin stencil scan produces (bins in ascending `(dz, dy, dx)` order,
+/// atoms in ascending index order within each bin).
+///
+/// When `skip_lower_locals` is set (local atoms sorted by flat bin index,
+/// half-list build), the *local* segments of the 13 lexicographically lower
+/// stencil cells are skipped: a lex-lower in-range cell always has a
+/// strictly lower flat index, so with bin-sorted locals every local atom
+/// there has `j < i` and would be rejected by the half-list predicate
+/// anyway. Ghost segments are still scanned — the HalfNewton coordinate
+/// rule can assign a pair to `i` even when the ghost sits in a lower bin —
+/// so the accepted-neighbor sequence is *identical* to the full scan, and
+/// the resulting forces are bit-for-bit the same.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn append_row_neighbors(
+    bins: &CellBins,
+    x: &[[f64; 3]],
+    nlocal: usize,
+    kind: ListKind,
+    cutsq: f64,
+    skip_lower_locals: bool,
+    i: usize,
+    out: &mut Vec<u32>,
+) {
+    let xi = x[i];
+    let c = bins.coord_of(&xi);
+    let c = [c[0] as i64, c[1] as i64, c[2] as i64];
+    let nb = bins.nbin();
+    for dz in -1..=1i64 {
+        let z = c[2] + dz;
+        if z < 0 || z >= nb[2] as i64 {
+            continue;
+        }
+        for dy in -1..=1i64 {
+            let y = c[1] + dy;
+            if y < 0 || y >= nb[1] as i64 {
+                continue;
+            }
+            for dx in -1..=1i64 {
+                let xx = c[0] + dx;
+                if xx < 0 || xx >= nb[0] as i64 {
+                    continue;
+                }
+                let b = bins.flat([xx as usize, y as usize, z as usize]);
+                let cand = if skip_lower_locals && (dz, dy, dx) < (0, 0, 0) {
+                    bins.ghosts(b)
+                } else {
+                    bins.bin(b)
+                };
+                for &ju in cand {
+                    let j = ju as usize;
+                    if j == i {
+                        continue;
+                    }
+                    let xj = x[j];
+                    match kind {
+                        ListKind::Full => {}
+                        ListKind::HalfNewton => {
+                            if j < nlocal {
+                                // local-local: store once under the lower
+                                // index
+                                if j < i {
+                                    continue;
+                                }
+                            } else if !ghost_pair_belongs_to_i(&xi, &xj) {
+                                continue;
+                            }
+                        }
+                        ListKind::HalfOneSided => {
+                            // Ghost pairs always belong to the local side;
+                            // the half ghost shell guarantees uniqueness.
+                            if j < nlocal && j < i {
+                                continue;
+                            }
+                        }
+                    }
+                    let dd0 = xi[0] - xj[0];
+                    let dd1 = xi[1] - xj[1];
+                    let dd2 = xi[2] - xj[2];
+                    let r2 = dd0 * dd0 + dd1 * dd1 + dd2 * dd2;
+                    if r2 < cutsq {
+                        out.push(ju);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-chunk output of the parallel neighbor build: the chunk's flattened
+/// neighbor indices plus per-row lengths, stitched into the CSR arrays in
+/// chunk order afterwards.
+struct RowChunk {
+    neigh: Vec<u32>,
+    lens: Vec<u32>,
+}
+
 impl NeighborList {
+    /// An empty placeholder list covering zero atoms (used before the
+    /// first real build; any displacement check against it reports
+    /// "moved" as soon as atoms exist).
+    #[must_use]
+    pub fn empty(kind: ListKind) -> Self {
+        NeighborList {
+            kind,
+            offsets: vec![0],
+            neigh: Vec::new(),
+            cutoff_list: 0.0,
+            x_at_build: Vec::new(),
+        }
+    }
+
     /// Build a list for the local atoms of `atoms`, binning local + ghost
     /// positions over the extended bounds `[lo, hi]`.
     ///
@@ -72,7 +186,8 @@ impl NeighborList {
         let cutoff_list = cutoff_force + skin;
         let cutsq = cutoff_list * cutoff_list;
         let mut bins = CellBins::new(lo, hi, cutoff_list);
-        bins.fill(&atoms.x);
+        bins.fill(&atoms.x, atoms.nlocal);
+        let skip_lower = bins.sorted_locals() && !matches!(kind, ListKind::Full);
 
         let nlocal = atoms.nlocal;
         let mut offsets = Vec::with_capacity(nlocal + 1);
@@ -80,43 +195,82 @@ impl NeighborList {
         offsets.push(0u32);
 
         for i in 0..nlocal {
-            let xi = atoms.x[i];
-            bins.for_each_candidate(&xi, |j| {
-                let j = j as usize;
-                if j == i {
-                    return;
-                }
-                let xj = atoms.x[j];
-                match kind {
-                    ListKind::Full => {}
-                    ListKind::HalfNewton => {
-                        if j < nlocal {
-                            // local-local: store once under the lower index
-                            if j < i {
-                                return;
-                            }
-                        } else if !ghost_pair_belongs_to_i(&xi, &xj) {
-                            return;
-                        }
-                    }
-                    ListKind::HalfOneSided => {
-                        // Ghost pairs always belong to the local side; the
-                        // half ghost shell guarantees uniqueness.
-                        if j < nlocal && j < i {
-                            return;
-                        }
-                    }
-                }
-                let mut r2 = 0.0;
-                for d in 0..3 {
-                    let dd = xi[d] - xj[d];
-                    r2 += dd * dd;
-                }
-                if r2 < cutsq {
-                    neigh.push(j as u32);
-                }
-            });
+            append_row_neighbors(
+                &bins, &atoms.x, nlocal, kind, cutsq, skip_lower, i, &mut neigh,
+            );
             offsets.push(neigh.len() as u32);
+        }
+
+        NeighborList {
+            kind,
+            offsets,
+            neigh,
+            cutoff_list,
+            x_at_build: atoms.x[..nlocal].to_vec(),
+        }
+    }
+
+    /// Chunk-parallel [`NeighborList::build`]: rows are split into
+    /// fixed-size chunks fanned out over `exec`, and the per-chunk results
+    /// stitched back in chunk order — the produced list is identical to
+    /// the serial build at any thread count.
+    #[must_use]
+    pub fn build_chunked(
+        atoms: &Atoms,
+        lo: [f64; 3],
+        hi: [f64; 3],
+        kind: ListKind,
+        cutoff_force: f64,
+        skin: f64,
+        exec: &ChunkExec<'_>,
+    ) -> Self {
+        let cutoff_list = cutoff_force + skin;
+        let cutsq = cutoff_list * cutoff_list;
+        let mut bins = CellBins::new(lo, hi, cutoff_list);
+        bins.fill(&atoms.x, atoms.nlocal);
+        let skip_lower = bins.sorted_locals() && !matches!(kind, ListKind::Full);
+
+        let nlocal = atoms.nlocal;
+        let nchunks = nlocal.div_ceil(CHUNK_ROWS);
+        let mut chunks: Vec<RowChunk> = (0..nchunks)
+            .map(|_| RowChunk {
+                neigh: Vec::new(),
+                lens: Vec::new(),
+            })
+            .collect();
+        let bins_ref = &bins;
+        let x = &atoms.x;
+        exec.for_each_mut(&mut chunks, &|c, chunk| {
+            let row_lo = c * CHUNK_ROWS;
+            let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
+            for i in row_lo..row_hi {
+                let before = chunk.neigh.len();
+                append_row_neighbors(
+                    bins_ref,
+                    x,
+                    nlocal,
+                    kind,
+                    cutsq,
+                    skip_lower,
+                    i,
+                    &mut chunk.neigh,
+                );
+                chunk.lens.push((chunk.neigh.len() - before) as u32);
+            }
+        });
+
+        let mut offsets = Vec::with_capacity(nlocal + 1);
+        offsets.push(0u32);
+        let mut total = 0u32;
+        for chunk in &chunks {
+            for &len in &chunk.lens {
+                total += len;
+                offsets.push(total);
+            }
+        }
+        let mut neigh = Vec::with_capacity(total as usize);
+        for chunk in &chunks {
+            neigh.extend_from_slice(&chunk.neigh);
         }
 
         NeighborList {

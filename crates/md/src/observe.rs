@@ -72,13 +72,14 @@ impl Rdf {
             .collect()
     }
 
-    /// Location of the highest g(r) peak (first-shell distance).
+    /// Location of the highest g(r) peak (first-shell distance); `(0, 0)`
+    /// for an empty histogram.
     #[must_use]
     pub fn peak(&self, bounds: &Box3) -> (f64, f64) {
         self.g(bounds)
             .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite g(r)"))
-            .expect("non-empty histogram")
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or((0.0, 0.0))
     }
 }
 

@@ -13,7 +13,9 @@
 use super::spline::Spline;
 use super::{ManyBodyPotential, PairEnergyVirial};
 use crate::atom::Atoms;
+use crate::kernels::{self, PairScratch, CHUNK_ROWS};
 use crate::neighbor::{ListKind, NeighborList};
+use tofumd_threadpool::ChunkExec;
 
 /// Cu-like EAM with spline-tabulated rho(r), phi(r) and F(rho).
 pub struct EamCu {
@@ -227,6 +229,135 @@ impl ManyBodyPotential for EamCu {
                 atoms.f[i][d] += fi[d];
             }
         }
+        PairEnergyVirial { energy, virial }
+    }
+
+    fn compute_rho_chunked(
+        &self,
+        atoms: &Atoms,
+        list: &NeighborList,
+        rho: &mut Vec<f64>,
+        exec: &ChunkExec<'_>,
+        scratch: &mut PairScratch,
+    ) {
+        assert!(!matches!(list.kind, ListKind::Full), "EAM uses a half list");
+        let nlocal = atoms.nlocal;
+        let ntotal = atoms.ntotal();
+        rho.clear();
+        rho.resize(ntotal, 0.0);
+        let bs = kernels::bucket_size(ntotal);
+        let cutsq = self.cutsq;
+        let chunks = scratch.prepare(nlocal.div_ceil(CHUNK_ROWS));
+        let x = &atoms.x;
+        exec.for_each_mut(chunks, &|c, log| {
+            let row_lo = c * CHUNK_ROWS;
+            let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
+            for i in row_lo..row_hi {
+                let xi = x[i];
+                for &j in list.neighbors(i) {
+                    let j = j as usize;
+                    let xj = x[j];
+                    let mut r2 = 0.0;
+                    for d in 0..3 {
+                        let dd = xi[d] - xj[d];
+                        r2 += dd * dd;
+                    }
+                    if r2 >= cutsq {
+                        continue;
+                    }
+                    let contrib = self.rho_r.eval(r2.sqrt());
+                    // Serial order: rho[i] first, then rho[j].
+                    log.push_scalar(bs, i as u32, contrib);
+                    log.push_scalar(bs, j as u32, contrib);
+                }
+            }
+        });
+        kernels::replay_scalars(chunks, rho, exec);
+    }
+
+    fn compute_embedding_chunked(
+        &self,
+        atoms: &Atoms,
+        rho: &[f64],
+        fp: &mut Vec<f64>,
+        exec: &ChunkExec<'_>,
+    ) -> f64 {
+        let nlocal = atoms.nlocal;
+        fp.clear();
+        fp.resize(atoms.ntotal(), 0.0);
+        // Rows write disjoint fp slots, so chunks mutate their own slice
+        // directly; per-row energies are logged and folded in row order.
+        let mut items: Vec<(&mut [f64], Vec<f64>)> = fp[..nlocal]
+            .chunks_mut(CHUNK_ROWS)
+            .map(|s| (s, Vec::new()))
+            .collect();
+        exec.for_each_mut(&mut items, &|c, item| {
+            let (fp_chunk, energies) = item;
+            let row_lo = c * CHUNK_ROWS;
+            for (k, slot) in fp_chunk.iter_mut().enumerate() {
+                let r = rho[row_lo + k];
+                energies.push(self.f_rho.eval(r));
+                *slot = self.f_rho.eval_deriv(r);
+            }
+        });
+        let mut energy = 0.0;
+        for (_, energies) in &items {
+            for &e in energies {
+                energy += e;
+            }
+        }
+        energy
+    }
+
+    fn compute_force_chunked(
+        &self,
+        atoms: &mut Atoms,
+        list: &NeighborList,
+        fp: &[f64],
+        exec: &ChunkExec<'_>,
+        scratch: &mut PairScratch,
+    ) -> PairEnergyVirial {
+        assert!(fp.len() >= atoms.ntotal(), "fp must cover ghosts");
+        let nlocal = atoms.nlocal;
+        let ntotal = atoms.ntotal();
+        let bs = kernels::bucket_size(ntotal);
+        let cutsq = self.cutsq;
+        let chunks = scratch.prepare(nlocal.div_ceil(CHUNK_ROWS));
+        let x = &atoms.x;
+        exec.for_each_mut(chunks, &|c, log| {
+            let row_lo = c * CHUNK_ROWS;
+            let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
+            for i in row_lo..row_hi {
+                let xi = x[i];
+                let mut fi = [0.0f64; 3];
+                for &j in list.neighbors(i) {
+                    let j = j as usize;
+                    let xj = x[j];
+                    let dx = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
+                    let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+                    if r2 >= cutsq {
+                        continue;
+                    }
+                    let r = r2.sqrt();
+                    let phip = self.phi_r.eval_deriv(r);
+                    let rhop = self.rho_r.eval_deriv(r);
+                    let dudr = phip + (fp[i] + fp[j]) * rhop;
+                    let fpair = -dudr / r;
+                    fi[0] += dx[0] * fpair;
+                    fi[1] += dx[1] * fpair;
+                    fi[2] += dx[2] * fpair;
+                    log.push_force(
+                        bs,
+                        j as u32,
+                        [-(dx[0] * fpair), -(dx[1] * fpair), -(dx[2] * fpair)],
+                    );
+                    log.push_ev(self.phi_r.eval(r), r2 * fpair);
+                }
+                log.push_force(bs, i as u32, fi);
+            }
+        });
+        kernels::replay_forces(chunks, &mut atoms.f, exec);
+        let (energy, virial) = kernels::fold_ev(chunks);
         PairEnergyVirial { energy, virial }
     }
 }

@@ -2,7 +2,9 @@
 
 use super::{PairEnergyVirial, PairPotential};
 use crate::atom::Atoms;
+use crate::kernels::{self, PairScratch, CHUNK_ROWS};
 use crate::neighbor::{ListKind, NeighborList};
+use tofumd_threadpool::ChunkExec;
 
 /// `pair_style lj/cut` equivalent: U(r) = 4 eps [ (sigma/r)^12 - (sigma/r)^6 ]
 /// for r < r_cut, unshifted (LAMMPS default).
@@ -70,6 +72,7 @@ impl LjCut {
     }
 
     /// Pair energy at distance r (for tests / tabulation).
+    #[inline]
     #[must_use]
     pub fn pair_energy(&self, r: f64) -> f64 {
         if r >= self.cutoff {
@@ -81,6 +84,7 @@ impl LjCut {
 
     /// Magnitude of -dU/dr divided by r ("fpair" in LAMMPS terms):
     /// force vector on i from j is `fpair * (xi - xj)`.
+    #[inline]
     #[must_use]
     pub fn fpair(&self, r2: f64) -> f64 {
         let inv2 = 1.0 / r2;
@@ -103,6 +107,7 @@ impl PairPotential for LjCut {
         let mut virial = 0.0;
         let half = !matches!(list.kind, ListKind::Full);
         let nlocal = atoms.nlocal;
+        let cutsq = self.cutsq;
         for i in 0..nlocal {
             let xi = atoms.x[i];
             let mut fi = [0.0f64; 3];
@@ -111,7 +116,7 @@ impl PairPotential for LjCut {
                 let xj = atoms.x[j];
                 let dx = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
                 let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
-                if r2 >= self.cutsq {
+                if r2 >= cutsq {
                     continue;
                 }
                 let fpair = self.fpair(r2);
@@ -136,6 +141,61 @@ impl PairPotential for LjCut {
                 atoms.f[i][d] += fi[d];
             }
         }
+        PairEnergyVirial { energy, virial }
+    }
+
+    fn compute_chunked(
+        &self,
+        atoms: &mut Atoms,
+        list: &NeighborList,
+        exec: &ChunkExec<'_>,
+        scratch: &mut PairScratch,
+    ) -> PairEnergyVirial {
+        let half = !matches!(list.kind, ListKind::Full);
+        let nlocal = atoms.nlocal;
+        let ntotal = atoms.ntotal();
+        let bs = kernels::bucket_size(ntotal);
+        let cutsq = self.cutsq;
+        let chunks = scratch.prepare(nlocal.div_ceil(CHUNK_ROWS));
+        let x = &atoms.x;
+        // Phase 1: each chunk logs the updates its rows would perform, in
+        // the serial kernel's order — no shared mutation.
+        exec.for_each_mut(chunks, &|c, log| {
+            let row_lo = c * CHUNK_ROWS;
+            let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
+            for i in row_lo..row_hi {
+                let xi = x[i];
+                let mut fi = [0.0f64; 3];
+                for &j in list.neighbors(i) {
+                    let j = j as usize;
+                    let xj = x[j];
+                    let dx = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
+                    let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+                    if r2 >= cutsq {
+                        continue;
+                    }
+                    let fpair = self.fpair(r2);
+                    fi[0] += dx[0] * fpair;
+                    fi[1] += dx[1] * fpair;
+                    fi[2] += dx[2] * fpair;
+                    if half {
+                        log.push_force(
+                            bs,
+                            j as u32,
+                            [-(dx[0] * fpair), -(dx[1] * fpair), -(dx[2] * fpair)],
+                        );
+                        log.push_ev(self.pair_energy(r2.sqrt()), r2 * fpair);
+                    } else {
+                        log.push_ev(0.5 * self.pair_energy(r2.sqrt()), 0.5 * r2 * fpair);
+                    }
+                }
+                log.push_force(bs, i as u32, fi);
+            }
+        });
+        // Phase 2: replay scatters (parallel over disjoint target ranges)
+        // and fold energy/virial in the serial addition order.
+        kernels::replay_forces(chunks, &mut atoms.f, exec);
+        let (energy, virial) = kernels::fold_ev(chunks);
         PairEnergyVirial { energy, virial }
     }
 }

@@ -15,7 +15,9 @@ pub mod spline;
 pub mod sw;
 
 use crate::atom::Atoms;
+use crate::kernels::PairScratch;
 use crate::neighbor::{ListKind, NeighborList};
+use tofumd_threadpool::ChunkExec;
 
 pub use eam::EamCu;
 pub use lj::LjCut;
@@ -55,6 +57,22 @@ pub trait PairPotential: Send + Sync {
     /// is half/Newton) and return energy/virial contributions of this rank.
     fn compute(&self, atoms: &mut Atoms, list: &NeighborList) -> PairEnergyVirial;
 
+    /// Chunk-parallel [`PairPotential::compute`]: must produce bit-identical
+    /// forces, energy, and virial at any thread count (see
+    /// [`crate::kernels`]). The default falls back to the serial pass, so
+    /// potentials without a chunked implementation stay correct — just not
+    /// parallel.
+    fn compute_chunked(
+        &self,
+        atoms: &mut Atoms,
+        list: &NeighborList,
+        exec: &ChunkExec<'_>,
+        scratch: &mut PairScratch,
+    ) -> PairEnergyVirial {
+        let _ = (exec, scratch);
+        self.compute(atoms, list)
+    }
+
     /// Does the compute pass accumulate forces on ghost atoms (requiring a
     /// reverse exchange)? Half-list potentials always do; full-list pair
     /// potentials don't; full-list *many-body* potentials (SW, Tersoff) do.
@@ -79,14 +97,56 @@ pub trait ManyBodyPotential: Send + Sync {
     /// (half/Newton list: each pair contributes to both endpoints).
     fn compute_rho(&self, atoms: &Atoms, list: &NeighborList, rho: &mut Vec<f64>);
 
+    /// Chunk-parallel [`ManyBodyPotential::compute_rho`], bit-identical to
+    /// it at any thread count. Defaults to the serial pass.
+    fn compute_rho_chunked(
+        &self,
+        atoms: &Atoms,
+        list: &NeighborList,
+        rho: &mut Vec<f64>,
+        exec: &ChunkExec<'_>,
+        scratch: &mut PairScratch,
+    ) {
+        let _ = (exec, scratch);
+        self.compute_rho(atoms, list, rho);
+    }
+
     /// Compute the embedding energy for local atoms from the fully-reduced
     /// density, filling `fp[i] = F'(rho_i)`; returns the summed embedding
     /// energy of local atoms.
     fn compute_embedding(&self, atoms: &Atoms, rho: &[f64], fp: &mut Vec<f64>) -> f64;
 
+    /// Chunk-parallel [`ManyBodyPotential::compute_embedding`],
+    /// bit-identical to it at any thread count. Defaults to the serial
+    /// pass.
+    fn compute_embedding_chunked(
+        &self,
+        atoms: &Atoms,
+        rho: &[f64],
+        fp: &mut Vec<f64>,
+        exec: &ChunkExec<'_>,
+    ) -> f64 {
+        let _ = exec;
+        self.compute_embedding(atoms, rho, fp)
+    }
+
     /// Final force pass; `fp` must be valid for locals *and* ghosts.
     fn compute_force(&self, atoms: &mut Atoms, list: &NeighborList, fp: &[f64])
         -> PairEnergyVirial;
+
+    /// Chunk-parallel [`ManyBodyPotential::compute_force`], bit-identical
+    /// to it at any thread count. Defaults to the serial pass.
+    fn compute_force_chunked(
+        &self,
+        atoms: &mut Atoms,
+        list: &NeighborList,
+        fp: &[f64],
+        exec: &ChunkExec<'_>,
+        scratch: &mut PairScratch,
+    ) -> PairEnergyVirial {
+        let _ = (exec, scratch);
+        self.compute_force(atoms, list, fp)
+    }
 }
 
 /// Any potential the engines can run.

@@ -41,7 +41,7 @@ pub struct SerialSim {
     pub integrator: NveIntegrator,
     /// Completed timesteps.
     pub step: u64,
-    list: Option<NeighborList>,
+    list: NeighborList,
     ghosts: Vec<GhostRef>,
     last_pair: PairEnergyVirial,
     last_embed: f64,
@@ -76,6 +76,9 @@ impl SerialSim {
             );
         }
         let integrator = NveIntegrator::new(dt, mass, units);
+        // Placeholder list; `reneighbor` below builds the real one before
+        // any force evaluation.
+        let list = NeighborList::empty(potential.list_kind());
         let mut sim = SerialSim {
             atoms,
             bounds,
@@ -85,7 +88,7 @@ impl SerialSim {
             policy,
             integrator,
             step: 0,
-            list: None,
+            list,
             ghosts: Vec::new(),
             last_pair: PairEnergyVirial::default(),
             last_embed: 0.0,
@@ -164,14 +167,14 @@ impl SerialSim {
         // Neighbor stage.
         let ext_lo = [lo[0] - rg, lo[1] - rg, lo[2] - rg];
         let ext_hi = [hi[0] + rg, hi[1] + rg, hi[2] + rg];
-        self.list = Some(NeighborList::build(
+        self.list = NeighborList::build(
             &self.atoms,
             ext_lo,
             ext_hi,
             self.potential.list_kind(),
             self.potential.cutoff(),
             self.skin,
-        ));
+        );
         self.rebuild_count += 1;
     }
 
@@ -218,7 +221,7 @@ impl SerialSim {
     /// Pair stage: compute all forces (+ mid-stage comm for EAM).
     pub fn compute_forces(&mut self) {
         self.atoms.zero_forces();
-        let list = self.list.as_ref().expect("neighbor list not built");
+        let list = &self.list;
         match &self.potential {
             Potential::Pair(p) => {
                 self.last_pair = p.compute(&mut self.atoms, list);
@@ -249,8 +252,7 @@ impl SerialSim {
         if !self.policy.check {
             return true;
         }
-        let list = self.list.as_ref().expect("list");
-        list.any_moved_beyond_half_skin(&self.atoms, self.skin)
+        self.list.any_moved_beyond_half_skin(&self.atoms, self.skin)
     }
 
     /// Advance one NVE timestep (LAMMPS stage order: initial integrate /

@@ -281,6 +281,16 @@ impl Cluster {
         }
     }
 
+    /// Raise the first typed failure a physics phase recorded (a phase
+    /// sequencing violation, e.g. a force pass before any list build).
+    fn raise_physics_failures(&mut self, stage: &str) {
+        for (rank, lane) in self.lanes.iter_mut().enumerate() {
+            if let Some(e) = lane.failed.take() {
+                panic!("rank {rank}: {stage} failed: {e}");
+            }
+        }
+    }
+
     fn run_op(&mut self, op: Op) {
         // Key every fault decision this op makes on (step, op).
         self.net.set_fault_context(self.step, op.index() as u8);
@@ -382,6 +392,7 @@ impl Cluster {
             &mut self.lanes,
             &mut self.states,
         );
+        self.raise_physics_failures("check_displacements");
         self.rebuild = self.lanes.iter().any(|l| l.moved);
         let cost = accounting::allreduce_cost_target(
             self.net.params(),
@@ -404,13 +415,16 @@ impl Cluster {
         match &*potential {
             Potential::Pair(_) => {
                 physics::pair_single(&self.team, &potential, &mut self.lanes, &mut self.states);
+                self.raise_physics_failures("pair");
             }
             Potential::ManyBody(_) => {
                 physics::eam_rho(&self.team, &potential, &mut self.lanes, &mut self.states);
+                self.raise_physics_failures("eam_rho");
                 self.run_op(Op::ReverseScalar);
                 physics::eam_embed(&self.team, &potential, &mut self.lanes, &mut self.states);
                 self.run_op(Op::ForwardScalar);
                 physics::eam_force(&self.team, &potential, &mut self.lanes, &mut self.states);
+                self.raise_physics_failures("eam_force");
             }
         }
         let ctx = Self::physics_ctx(
@@ -421,6 +435,7 @@ impl Cluster {
             *self.net.params(),
         );
         physics::charge_pair(&self.team, &ctx, &mut self.lanes, &mut self.states);
+        self.raise_physics_failures("charge_pair");
     }
 
     /// Per-step Other floor plus the optional LAMMPS `thermo N`
@@ -472,6 +487,16 @@ impl Cluster {
                 }
                 self.run_op(Op::Exchange);
             }
+            Phase::SpatialSort => {
+                let ctx = Self::physics_ctx(
+                    &self.potential,
+                    self.variant,
+                    &self.cfg,
+                    &self.costs,
+                    *self.net.params(),
+                );
+                physics::spatial_sort(&self.team, &ctx, &mut self.lanes, &mut self.states);
+            }
             Phase::Border => self.run_op(Op::Border),
             Phase::RebuildLists => {
                 let ctx = Self::physics_ctx(
@@ -502,6 +527,7 @@ impl Cluster {
                     &mut self.lanes,
                     &mut self.states,
                 );
+                self.raise_physics_failures("integrate_final");
             }
             Phase::Accounting => self.accounting_phase(),
         }

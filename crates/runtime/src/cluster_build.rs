@@ -226,7 +226,9 @@ impl Cluster {
             demoted: false,
             force_rebuild: false,
         };
-        // Setup stage: establish ghosts, lists, initial forces.
+        // Setup stage: sort locals into bin order (no ghosts exist yet),
+        // then establish ghosts, lists, initial forces.
+        cluster.run_phase(Phase::SpatialSort);
         cluster.run_op(Op::Border);
         cluster.run_phase(Phase::RebuildLists);
         cluster.compute_pair();

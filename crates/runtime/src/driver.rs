@@ -30,9 +30,10 @@
 use crate::accounting::StageAcc;
 use tofumd_core::engine::GhostEngine;
 use tofumd_core::topo_map::RankMap;
+use tofumd_md::kernels::PairScratch;
 use tofumd_md::neighbor::NeighborList;
 use tofumd_md::potential::PairEnergyVirial;
-use tofumd_threadpool::SpinPool;
+use tofumd_threadpool::{ChunkExec, SpinPool};
 use tofumd_tofu::TofuError;
 
 /// Per-rank execution context owned by the driver: everything a phase
@@ -58,6 +59,9 @@ pub struct Lane {
     /// pool's closures cannot propagate `Result`s); the step driver
     /// inspects and raises it after the region joins.
     pub failed: Option<TofuError>,
+    /// Chunk-log scratch for the deterministic parallel force kernels
+    /// (retained across steps so the hot path does not allocate).
+    pub scratch: PairScratch,
 }
 
 impl Lane {
@@ -73,6 +77,7 @@ impl Lane {
             moved: false,
             acc: StageAcc::default(),
             failed: None,
+            scratch: PairScratch::new(),
         }
     }
 }
@@ -89,6 +94,10 @@ pub enum Phase {
     ReneighborCheck,
     /// Staged atom migration (reneighbor steps only).
     Exchange,
+    /// Spatial sort of local atoms into bin order (reneighbor steps only,
+    /// after Exchange while no ghosts exist and before Border rebuilds the
+    /// send lists against the new order).
+    SpatialSort,
     /// Ghost-region rebuild (reneighbor steps only).
     Border,
     /// Verlet-list rebuild (reneighbor steps only).
@@ -145,6 +154,10 @@ impl Phase {
             },
             PlannedPhase {
                 phase: Phase::Exchange,
+                cond: Cond::IfRebuild,
+            },
+            PlannedPhase {
+                phase: Phase::SpatialSort,
                 cond: Cond::IfRebuild,
             },
             PlannedPhase {
@@ -301,6 +314,60 @@ impl Team {
             }
         });
     }
+
+    /// Like [`Team::for_each`], but hands each rank closure a
+    /// [`ChunkExec`] so the per-rank kernels can themselves go parallel.
+    /// The parallelism budget is spent at exactly one level — the spin
+    /// pool is not reentrant:
+    ///
+    /// * more threads than node groups → walk ranks serially (team order)
+    ///   and give every rank the pooled executor, so wide-thread runs on
+    ///   few ranks still use all workers;
+    /// * otherwise → the node-aligned rank fan-out of `for_each` with a
+    ///   serial executor inside each rank.
+    ///
+    /// Results are identical either way because every chunked kernel is
+    /// bit-identical to its serial form at any thread count — the mode
+    /// choice (and the thread count) affects only wall-clock.
+    pub fn for_each_chunk<A: Send, B: Send>(
+        &self,
+        a: &mut [A],
+        b: &mut [B],
+        f: &(dyn Fn(usize, &mut A, &mut B, &ChunkExec<'_>) + Sync),
+    ) {
+        assert_eq!(a.len(), self.order.len());
+        assert_eq!(b.len(), self.order.len());
+        let threads = self.pool.threads();
+        if threads <= 1 {
+            for &r in &self.order {
+                f(r, &mut a[r], &mut b[r], &ChunkExec::Serial);
+            }
+            return;
+        }
+        if threads > self.nodes() {
+            let exec = ChunkExec::Pool(&self.pool);
+            for &r in &self.order {
+                f(r, &mut a[r], &mut b[r], &exec);
+            }
+            return;
+        }
+        let nnodes = self.nodes();
+        let chunk = nnodes.div_ceil(threads);
+        let pa = SendPtr(a.as_mut_ptr());
+        let pb = SendPtr(b.as_mut_ptr());
+        self.pool.run(&|tid| {
+            let lo = tid * chunk;
+            let hi = ((tid + 1) * chunk).min(nnodes);
+            for n in lo..hi {
+                for &r in &self.order[self.node_starts[n]..self.node_starts[n + 1]] {
+                    // SAFETY: same disjointness argument as `for_each`.
+                    let ea = unsafe { &mut *pa.slot(r) };
+                    let eb = unsafe { &mut *pb.slot(r) };
+                    f(r, ea, eb, &ChunkExec::Serial);
+                }
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -366,7 +433,7 @@ mod tests {
         // The rebuild and forward paths are mutually exclusive.
         for p in &plan {
             match p.phase {
-                Phase::Exchange | Phase::Border | Phase::RebuildLists => {
+                Phase::Exchange | Phase::SpatialSort | Phase::Border | Phase::RebuildLists => {
                     assert_eq!(p.cond, Cond::IfRebuild);
                 }
                 Phase::Forward => assert_eq!(p.cond, Cond::IfNoRebuild),

@@ -11,10 +11,20 @@
 use crate::driver::{Lane, Team};
 use tofumd_core::engine::RankState;
 use tofumd_md::integrate::NveIntegrator;
-use tofumd_md::neighbor::{ListKind, NeighborList};
+use tofumd_md::neighbor::{sort_locals_by_bin, ListKind, NeighborList};
 use tofumd_md::potential::Potential;
 use tofumd_model::{RankWork, StageCosts, Threading};
-use tofumd_tofu::NetParams;
+use tofumd_tofu::{NetParams, TofuError};
+
+/// Record a phase-order violation (state consumed before it was built) on
+/// the lane; the step driver raises it after the phase joins.
+fn fail_missing_list(lane: &mut Lane, rank: usize, phase: &'static str) {
+    lane.failed = Some(TofuError::PhaseOrder {
+        node: rank,
+        phase,
+        missing: "neighbor list",
+    });
+}
 
 /// Shared read-only context for the physics phases: the potential's
 /// cutoff, the cost model and the threading mode the *virtual* machine
@@ -36,26 +46,52 @@ pub struct Ctx<'a> {
     pub eam: bool,
 }
 
-/// The cost-model workload descriptor of one rank.
+/// The cost-model workload descriptor of one rank; `None` when the rank's
+/// neighbor list has not been built yet (a phase-ordering bug the caller
+/// reports through the lane's typed-error path).
 #[must_use]
-pub fn rank_work(lane: &Lane, st: &RankState, eam: bool) -> RankWork {
-    let list = lane.list.as_ref().expect("list built");
-    RankWork {
+pub fn rank_work(lane: &Lane, st: &RankState, eam: bool) -> Option<RankWork> {
+    let list = lane.list.as_ref()?;
+    Some(RankWork {
         n_local: st.atoms.nlocal as f64,
         n_ghost: st.atoms.nghost() as f64,
         interactions: list.npairs() as f64,
         eam,
-    }
+    })
 }
 
-/// Rebuild every rank's Verlet list and charge Neigh time.
-pub fn rebuild_lists(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [RankState]) {
-    team.for_each(lanes, states, &|_, lane, st| {
+/// Sort every rank's local atoms into row-major bin order on the *same*
+/// grid the list rebuild bins over, so the half-stencil fast path engages
+/// on the next build. Runs between Exchange and Border: no ghosts exist,
+/// and the Border phase rebuilds its send lists against the new order.
+/// A host-side layout optimization only — no virtual time is charged.
+pub fn spatial_sort(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [RankState]) {
+    team.for_each(lanes, states, &|_, _lane, st| {
         let sub = st.plan.sub;
         let rg = st.plan.r_ghost;
         let lo = [sub.lo[0] - rg, sub.lo[1] - rg, sub.lo[2] - rg];
         let hi = [sub.hi[0] + rg, sub.hi[1] + rg, sub.hi[2] + rg];
-        let list = NeighborList::build(&st.atoms, lo, hi, ctx.list_kind, ctx.cutoff, ctx.skin);
+        sort_locals_by_bin(&mut st.atoms, lo, hi, ctx.cutoff + ctx.skin);
+    });
+}
+
+/// Rebuild every rank's Verlet list (chunk-parallel, bit-identical to the
+/// serial build) and charge Neigh time.
+pub fn rebuild_lists(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [RankState]) {
+    team.for_each_chunk(lanes, states, &|_, lane, st, exec| {
+        let sub = st.plan.sub;
+        let rg = st.plan.r_ghost;
+        let lo = [sub.lo[0] - rg, sub.lo[1] - rg, sub.lo[2] - rg];
+        let hi = [sub.hi[0] + rg, sub.hi[1] + rg, sub.hi[2] + rg];
+        let list = NeighborList::build_chunked(
+            &st.atoms,
+            lo,
+            hi,
+            ctx.list_kind,
+            ctx.cutoff,
+            ctx.skin,
+            exec,
+        );
         let work = RankWork {
             n_local: st.atoms.nlocal as f64,
             n_ghost: st.atoms.nghost() as f64,
@@ -82,10 +118,13 @@ pub fn pair_single(
     let Potential::Pair(pot) = potential else {
         panic!("pair_single requires a single-pass potential");
     };
-    team.for_each(lanes, states, &|_, lane, st| {
+    team.for_each_chunk(lanes, states, &|r, lane, st, exec| {
         st.atoms.zero_forces();
-        let list = lane.list.as_ref().expect("list built");
-        lane.energy = pot.compute(&mut st.atoms, list);
+        let Some(list) = lane.list.as_ref() else {
+            fail_missing_list(lane, r, "pair");
+            return;
+        };
+        lane.energy = pot.compute_chunked(&mut st.atoms, list, exec, &mut lane.scratch);
         lane.embed = 0.0;
     });
 }
@@ -99,10 +138,13 @@ pub fn eam_rho(team: &Team, potential: &Potential, lanes: &mut [Lane], states: &
     let Potential::ManyBody(pot) = potential else {
         panic!("eam_rho requires a many-body potential");
     };
-    team.for_each(lanes, states, &|_, lane, st| {
+    team.for_each_chunk(lanes, states, &|r, lane, st, exec| {
         st.atoms.zero_forces();
-        let list = lane.list.as_ref().expect("list built");
-        pot.compute_rho(&st.atoms, list, &mut st.scalar);
+        let Some(list) = lane.list.as_ref() else {
+            fail_missing_list(lane, r, "eam_rho");
+            return;
+        };
+        pot.compute_rho_chunked(&st.atoms, list, &mut st.scalar, exec, &mut lane.scratch);
     });
 }
 
@@ -115,8 +157,8 @@ pub fn eam_embed(team: &Team, potential: &Potential, lanes: &mut [Lane], states:
     let Potential::ManyBody(pot) = potential else {
         panic!("eam_embed requires a many-body potential");
     };
-    team.for_each(lanes, states, &|_, lane, st| {
-        lane.embed = pot.compute_embedding(&st.atoms, &st.scalar, &mut lane.fp_buf);
+    team.for_each_chunk(lanes, states, &|_, lane, st, exec| {
+        lane.embed = pot.compute_embedding_chunked(&st.atoms, &st.scalar, &mut lane.fp_buf, exec);
         std::mem::swap(&mut st.scalar, &mut lane.fp_buf);
     });
 }
@@ -129,16 +171,23 @@ pub fn eam_force(team: &Team, potential: &Potential, lanes: &mut [Lane], states:
     let Potential::ManyBody(pot) = potential else {
         panic!("eam_force requires a many-body potential");
     };
-    team.for_each(lanes, states, &|_, lane, st| {
-        let list = lane.list.as_ref().expect("list built");
-        lane.energy = pot.compute_force(&mut st.atoms, list, &st.scalar);
+    team.for_each_chunk(lanes, states, &|r, lane, st, exec| {
+        let Some(list) = lane.list.as_ref() else {
+            fail_missing_list(lane, r, "eam_force");
+            return;
+        };
+        lane.energy =
+            pot.compute_force_chunked(&mut st.atoms, list, &st.scalar, exec, &mut lane.scratch);
     });
 }
 
 /// Charge every rank's Pair-stage time from its actual workload.
 pub fn charge_pair(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [RankState]) {
-    team.for_each(lanes, states, &|_, lane, st| {
-        let work = rank_work(lane, st, ctx.eam);
+    team.for_each(lanes, states, &|r, lane, st| {
+        let Some(work) = rank_work(lane, st, ctx.eam) else {
+            fail_missing_list(lane, r, "charge_pair");
+            return;
+        };
         let dt = ctx.costs.pair_time(&work, ctx.threading, &ctx.params);
         st.clock += dt;
         lane.acc.pair += dt;
@@ -166,9 +215,12 @@ pub fn integrate_final(
     lanes: &mut [Lane],
     states: &mut [RankState],
 ) {
-    team.for_each(lanes, states, &|_, lane, st| {
+    team.for_each(lanes, states, &|r, lane, st| {
         integrator.final_integrate(&mut st.atoms);
-        let work = rank_work(lane, st, ctx.eam);
+        let Some(work) = rank_work(lane, st, ctx.eam) else {
+            fail_missing_list(lane, r, "integrate_final");
+            return;
+        };
         let dt = ctx.costs.modify_time(&work, ctx.threading, &ctx.params);
         st.clock += dt;
         lane.acc.modify += dt;
@@ -178,12 +230,12 @@ pub fn integrate_final(
 /// Per-rank displacement check: set `lane.moved` when any atom drifted
 /// beyond half the skin since the last rebuild.
 pub fn check_displacements(team: &Team, skin: f64, lanes: &mut [Lane], states: &mut [RankState]) {
-    team.for_each(lanes, states, &|_, lane, st| {
-        lane.moved = lane
-            .list
-            .as_ref()
-            .expect("list built")
-            .any_moved_beyond_half_skin(&st.atoms, skin);
+    team.for_each(lanes, states, &|r, lane, st| {
+        let Some(list) = lane.list.as_ref() else {
+            fail_missing_list(lane, r, "check_displacements");
+            return;
+        };
+        lane.moved = list.any_moved_beyond_half_skin(&st.atoms, skin);
     });
 }
 

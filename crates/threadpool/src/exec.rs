@@ -1,0 +1,108 @@
+//! Intra-rank chunk dispatch over the spin pool.
+//!
+//! The MD kernels split a rank's rows into fixed-size chunks whose results
+//! are combined in *chunk order*, so the outcome is independent of how the
+//! chunks are distributed over threads. [`ChunkExec`] is the dispatch
+//! handle the kernels receive: either a serial loop (when the caller's
+//! parallelism budget is already spent at a coarser level) or the
+//! persistent [`SpinPool`]. Both execute the same closures on the same
+//! chunk ids — only wall-clock differs, never results.
+
+use crate::SpinPool;
+
+/// How a kernel's per-chunk closures run. The pool variant must never be
+/// used from inside another pool region: the spin pool is not reentrant.
+pub enum ChunkExec<'a> {
+    /// Run chunks one after another on the calling thread.
+    Serial,
+    /// Fan chunks out over the persistent spin pool.
+    Pool(&'a SpinPool),
+}
+
+/// Raw-pointer wrapper so the pool's scoped closures can index into the
+/// item slice. Safe because `run_chunked` hands each index to exactly one
+/// thread and `run` does not return until every worker is done.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    // Accessor (rather than direct field use) so closures capture the
+    // `Sync` wrapper, not the raw pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl ChunkExec<'_> {
+    /// Parallelism of this executor (1 for the serial variant).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        match self {
+            ChunkExec::Serial => 1,
+            ChunkExec::Pool(p) => p.threads(),
+        }
+    }
+
+    /// Run `f(k, &mut items[k])` for every `k`, each item visited exactly
+    /// once. Items must not depend on each other: the serial variant runs
+    /// them in index order, the pool variant in contiguous per-thread
+    /// blocks — callers get determinism by combining per-item results in
+    /// index order afterwards, never from the execution order here.
+    pub fn for_each_mut<T: Send>(&self, items: &mut [T], f: &(dyn Fn(usize, &mut T) + Sync)) {
+        match self {
+            ChunkExec::Serial => {
+                for (k, item) in items.iter_mut().enumerate() {
+                    f(k, item);
+                }
+            }
+            ChunkExec::Pool(pool) => {
+                let ptr = SendPtr(items.as_mut_ptr());
+                pool.run_chunked(items.len(), &|_tid, range| {
+                    for k in range {
+                        // SAFETY: `run_chunked` ranges are disjoint and
+                        // cover each index exactly once; `run` joins all
+                        // workers before returning, so no reference
+                        // outlives the region.
+                        let item = unsafe { &mut *ptr.get().add(k) };
+                        f(k, item);
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_visits_in_order() {
+        let mut seen = vec![0usize; 7];
+        ChunkExec::Serial.for_each_mut(&mut seen, &|k, v| *v = k + 1);
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(ChunkExec::Serial.threads(), 1);
+    }
+
+    #[test]
+    fn pool_visits_every_item_once() {
+        let pool = SpinPool::new(4);
+        let exec = ChunkExec::Pool(&pool);
+        assert_eq!(exec.threads(), 4);
+        let mut hits = vec![0u32; 103];
+        exec.for_each_mut(&mut hits, &|_k, v| *v += 1);
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn pool_and_serial_produce_identical_results() {
+        let pool = SpinPool::new(3);
+        let mut a = vec![0.0f64; 50];
+        let mut b = vec![0.0f64; 50];
+        let work = |k: usize, v: &mut f64| *v = (k as f64).sin() * 3.5;
+        ChunkExec::Serial.for_each_mut(&mut a, &work);
+        ChunkExec::Pool(&pool).for_each_mut(&mut b, &work);
+        assert_eq!(a, b);
+    }
+}

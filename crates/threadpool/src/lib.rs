@@ -43,11 +43,13 @@
 // lint suggests would be less clear.
 #![allow(clippy::needless_range_loop)]
 
+pub mod exec;
 pub mod forkjoin;
 pub mod pool;
 pub mod spin;
 pub mod stats;
 
+pub use exec::ChunkExec;
 pub use forkjoin::{fork_join, fork_join_chunked};
 pub use pool::SpinPool;
 pub use spin::{SpinGuard, SpinLock};

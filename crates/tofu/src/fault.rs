@@ -404,6 +404,17 @@ pub enum TofuError {
         /// Arrivals actually queued.
         found: usize,
     },
+    /// A physics phase ran before the per-rank state it consumes was built
+    /// (e.g. a force pass before the neighbor list) — a driver sequencing
+    /// bug, reported instead of panicking mid-phase.
+    PhaseOrder {
+        /// The rank whose state was missing.
+        node: usize,
+        /// The phase that ran out of order.
+        phase: &'static str,
+        /// The state it needed.
+        missing: &'static str,
+    },
 }
 
 impl std::fmt::Display for TofuError {
@@ -449,6 +460,14 @@ impl std::fmt::Display for TofuError {
             } => write!(
                 f,
                 "deadlock: node {node} expected {expected} arrivals, found {found}"
+            ),
+            TofuError::PhaseOrder {
+                node,
+                phase,
+                missing,
+            } => write!(
+                f,
+                "phase order violation: {phase} on node {node} ran without {missing}"
             ),
         }
     }
