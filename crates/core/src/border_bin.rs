@@ -45,6 +45,20 @@ fn side(x: f64, lo: f64, hi: f64, r: f64) -> usize {
     }
 }
 
+/// Geometric interior classification for comm/compute overlap: flag the
+/// local atoms strictly farther than `r` from every face of `sub` (the
+/// `side() == 1` zone of the border bins in all three dims). With
+/// `r >= cutoff + skin`, such an atom is not sent to any neighbor and no
+/// incoming ghost can fall within the neighbor-list cutoff of it, so its
+/// CSR row and pair updates are computable before the halo arrives.
+#[must_use]
+pub fn interior_flags(x: &[[f64; 3]], nlocal: usize, sub: &Box3, r: f64) -> Vec<bool> {
+    x[..nlocal]
+        .iter()
+        .map(|p| (0..3).all(|d| side(p[d], sub.lo[d], sub.hi[d], r) == 1))
+        .collect()
+}
+
 /// Exact slab test: does the neighbor at `off` (possibly several shells
 /// out) need an atom at `x`? The neighbor's box along dim d spans
 /// `[lo + o*a, lo + (o+1)*a)`; it needs atoms within `r` of that box.
@@ -217,6 +231,29 @@ mod tests {
         // +++ corner: the 7 all-non-negative offsets, all in the upper half.
         let t = bins.targets_of(&[9.9, 9.9, 9.9]);
         assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn interior_flags_match_border_shell_complement() {
+        let sub = Box3::new([0.0; 3], [10.0; 3]);
+        let r = 2.0;
+        let x = vec![
+            [5.0, 5.0, 5.0],  // deep interior
+            [2.0, 5.0, 5.0],  // exactly lo + r: interior (side uses x < lo + r)
+            [1.99, 5.0, 5.0], // inside the low-x shell
+            [5.0, 8.0, 5.0],  // exactly hi - r: in the shell (x >= hi - r)
+            [5.0, 7.99, 5.0], // just inside
+            [9.9, 9.9, 9.9],  // corner shell
+            [3.0, 3.0, 3.0],  // ghost slot — must be ignored
+        ];
+        let flags = interior_flags(&x, 6, &sub, r);
+        assert_eq!(flags, vec![true, true, false, false, true, false]);
+        // Consistency with the bin classifier: interior atoms are exactly
+        // the ones the border packer sends nowhere.
+        let (bins, _) = setup(false);
+        for (p, &f) in x[..6].iter().zip(&flags) {
+            assert_eq!(bins.targets_of(p).is_empty(), f, "at {p:?}");
+        }
     }
 
     #[test]

@@ -257,6 +257,12 @@ pub struct RankState {
     pub pair_comm_time: f64,
     /// Scalar work buffer for EAM (rho or fp), len == atoms.ntotal().
     pub scalar: Vec<f64>,
+    /// Latest raw payload-arrival instant folded in by the engine's
+    /// complete path (`NEG_INFINITY` when nothing arrived since the last
+    /// reset). The DAG executor reads this to credit overlap: wait charged
+    /// against an arrival that lands before interior compute finishes was
+    /// hidden, not paid.
+    pub arrival_horizon: f64,
 }
 
 impl RankState {
@@ -270,6 +276,7 @@ impl RankState {
             comm_time: 0.0,
             pair_comm_time: 0.0,
             scalar: Vec::new(),
+            arrival_horizon: f64::NEG_INFINITY,
         }
     }
 
@@ -395,6 +402,7 @@ pub trait GhostEngine: Send {
 
 /// Run one complete ghost operation through an engine for a *single rank
 /// in isolation* (test helper; the real driver interleaves many ranks).
+#[cfg(test)]
 pub fn run_op_single(engine: &mut dyn GhostEngine, op: Op, st: &mut RankState) {
     for round in 0..engine.rounds(op) {
         engine.post(op, round, st).expect("post failed");

@@ -25,16 +25,16 @@ pub fn link_cost(bytes: usize, hops: u32, p: &NetParams) -> f64 {
 pub fn balance_lpt(costs: &[f64], nthreads: usize) -> Vec<Vec<usize>> {
     assert!(nthreads >= 1);
     let mut order: Vec<usize> = (0..costs.len()).collect();
-    order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).expect("NaN cost"));
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]));
     let mut loads = vec![0.0f64; nthreads];
     let mut out = vec![Vec::new(); nthreads];
     for idx in order {
-        let t = loads
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN load"))
-            .map(|(i, _)| i)
-            .expect("at least one thread");
+        let mut t = 0;
+        for (i, load) in loads.iter().enumerate().skip(1) {
+            if load.total_cmp(&loads[t]).is_lt() {
+                t = i;
+            }
+        }
         loads[t] += costs[idx];
         out[t].push(idx);
     }

@@ -319,6 +319,7 @@ impl MpiP2p {
             };
             let m = self.comm.recv(self.me, link.rank, p2p_tag(op, k), now);
             now = m.now;
+            st.arrival_horizon = st.arrival_horizon.max(m.arrival);
             out.push(wire::decode_f64s(&m.data));
         }
         st.charge(now - st.clock, op);

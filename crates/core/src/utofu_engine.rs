@@ -609,8 +609,11 @@ impl UtofuP2p {
                     if payload.is_empty() {
                         continue;
                     }
-                    let off = self.remote_ghost_off[k]
-                        .expect("border must deliver ghost offsets before forward");
+                    let off = self.remote_ghost_off[k].ok_or(TofuError::PhaseOrder {
+                        node: self.node,
+                        phase: "forward",
+                        missing: "ghost offsets from border",
+                    })?;
                     let raw = wire::encode_f64s(payload);
                     let (xs, _) =
                         self.book
@@ -684,7 +687,11 @@ impl UtofuP2p {
         };
         let direct_x = self.cfg.prereg && op == Op::Forward;
         let (arrivals, t, anomalies) = if direct_x {
-            let xs = self.x_region.expect("prereg x region");
+            let xs = self.x_region.ok_or(TofuError::PhaseOrder {
+                node: self.node,
+                phase: "forward",
+                missing: "preregistered x region",
+            })?;
             // Empty segments produce no message (§3.4 direct writes).
             let expected_n = self
                 .ghosts
@@ -706,13 +713,18 @@ impl UtofuP2p {
         let mut payloads = vec![Vec::new(); n];
         let mut unpack_bytes = 0usize;
         for a in &arrivals {
+            st.arrival_horizon = st.arrival_horizon.max(a.time);
             let k = if direct_x {
                 // Offset identifies the ghost segment, hence the link.
                 self.ghosts
                     .ghost_seg
                     .iter()
                     .position(|&(start, count)| count > 0 && start * 24 == a.offset)
-                    .expect("arrival offset matches a ghost segment")
+                    .ok_or(TofuError::PhaseOrder {
+                        node: self.node,
+                        phase: "forward",
+                        missing: "ghost segment matching arrival offset",
+                    })?
             } else {
                 a.piggyback as usize
             };
@@ -812,8 +824,9 @@ impl UtofuP2p {
 
 impl UtofuP2p {
     /// Indices of the pure-face links for sweep `dim`: the -face in
-    /// `send_to`, the +face in `recv_from` (present for every plan config).
-    fn face_indices(st: &RankState, dim: usize) -> (usize, usize) {
+    /// `send_to`, the +face in `recv_from` (present for every plan config;
+    /// their absence is a malformed plan, reported rather than panicking).
+    fn face_indices(st: &RankState, dim: usize) -> Result<(usize, usize), TofuError> {
         let mut want_minus = [0i8; 3];
         want_minus[dim] = -1;
         let mut want_plus = [0i8; 3];
@@ -823,14 +836,22 @@ impl UtofuP2p {
             .send_to
             .iter()
             .position(|l| l.offset.d == want_minus)
-            .expect("-face in send_to");
+            .ok_or(TofuError::PhaseOrder {
+                node: st.plan.me,
+                phase: "exchange",
+                missing: "-face link in send_to",
+            })?;
         let k_plus = st
             .plan
             .recv_from
             .iter()
             .position(|l| l.offset.d == want_plus)
-            .expect("+face in recv_from");
-        (k_minus, k_plus)
+            .ok_or(TofuError::PhaseOrder {
+                node: st.plan.me,
+                phase: "exchange",
+                missing: "+face link in recv_from",
+            })?;
+        Ok((k_minus, k_plus))
     }
 
     /// Send the two migration payloads of sweep `dim`: toward the -face
@@ -839,7 +860,7 @@ impl UtofuP2p {
     fn post_exchange(&mut self, st: &mut RankState, dim: usize) -> Result<(), TofuError> {
         let p = *self.net.params();
         let payloads = st.pack_exchange(dim);
-        let (k_minus, k_plus) = Self::face_indices(st, dim);
+        let (k_minus, k_plus) = Self::face_indices(st, dim)?;
         let slot = (self.seq % self.cfg.slots) as u8;
         self.seq += 1;
         let seq_base = self.send_seq;
@@ -889,7 +910,7 @@ impl UtofuP2p {
     /// migrants as locals.
     fn complete_exchange(&mut self, st: &mut RankState, dim: usize) -> Result<(), TofuError> {
         let p = *self.net.params();
-        let (k_minus, k_plus) = Self::face_indices(st, dim);
+        let (k_minus, k_plus) = Self::face_indices(st, dim)?;
         let expect: Vec<Stadd> = self.ghost_in.bufs[k_plus]
             .iter()
             .chain(&self.owner_in.bufs[k_minus])

@@ -112,8 +112,13 @@ impl PairScratch {
 /// disjoint sub-slices, each `bucket_size(out.len())` wide (last one
 /// shorter).
 fn bucket_slices<T>(out: &mut [T]) -> Vec<(usize, &mut [T])> {
+    bucket_slices_with(out, bucket_size(out.len()))
+}
+
+/// [`bucket_slices`] with an explicit bucket width `bs` (the split logs
+/// fix their width from `nlocal` before the ghost count is known).
+fn bucket_slices_with<T>(out: &mut [T], bs: usize) -> Vec<(usize, &mut [T])> {
     let n = out.len();
-    let bs = bucket_size(n);
     let mut slices = Vec::with_capacity(n.div_ceil(bs.max(1)));
     let mut rest = out;
     let mut start = 0;
@@ -167,6 +172,220 @@ pub fn fold_ev(chunks: &[ChunkLog]) -> (f64, f64) {
         for &(de, dv) in &log.ev {
             energy += de;
             virial += dv;
+        }
+    }
+    (energy, virial)
+}
+
+/// One chunk's updates for *one side* (interior or boundary) of a
+/// row-partitioned pass, with every entry tagged by its source row.
+///
+/// The interior side of a pass is logged while halo messages are still in
+/// flight and the boundary side only after they arrive, so the two sides
+/// of a chunk are filled at different times — but the serial kernel
+/// interleaves their rows. The row tags let the replay re-create that
+/// interleaving exactly: a row lives wholly on one side, each side's
+/// stream is row-ascending, so a two-pointer merge by row id restores the
+/// serial per-target update sequence (and the serial energy/virial fold
+/// order) bit-for-bit.
+#[derive(Debug, Default)]
+pub struct SplitLog {
+    vec_buckets: Vec<Vec<(u32, u32, [f64; 3])>>,
+    scalar_buckets: Vec<Vec<(u32, u32, f64)>>,
+    ev: Vec<(u32, f64, f64)>,
+}
+
+impl SplitLog {
+    fn reset(&mut self) {
+        for b in &mut self.vec_buckets {
+            b.clear();
+        }
+        for b in &mut self.scalar_buckets {
+            b.clear();
+        }
+        self.ev.clear();
+    }
+
+    /// Bucket `idx`, growing the bucket list on demand: the width is fixed
+    /// from `nlocal`, but boundary rows scatter to ghost targets past it.
+    #[inline]
+    fn bucket<T>(buckets: &mut Vec<Vec<T>>, idx: usize) -> &mut Vec<T> {
+        if buckets.len() <= idx {
+            buckets.resize_with(idx + 1, Vec::new);
+        }
+        &mut buckets[idx]
+    }
+
+    /// Log `out[target] += delta` from neighbor row `row`.
+    #[inline]
+    pub fn push_force(&mut self, bs: usize, row: u32, target: u32, delta: [f64; 3]) {
+        Self::bucket(&mut self.vec_buckets, target as usize / bs).push((row, target, delta));
+    }
+
+    /// Scalar-array variant of [`SplitLog::push_force`].
+    #[inline]
+    pub fn push_scalar(&mut self, bs: usize, row: u32, target: u32, delta: f64) {
+        Self::bucket(&mut self.scalar_buckets, target as usize / bs).push((row, target, delta));
+    }
+
+    /// Log one pair's energy/virial contribution from row `row`.
+    #[inline]
+    pub fn push_ev(&mut self, row: u32, energy: f64, virial: f64) {
+        self.ev.push((row, energy, virial));
+    }
+}
+
+/// Reusable per-rank scratch for a row-partitioned pass: one interior and
+/// one boundary [`SplitLog`] per row chunk.
+///
+/// The bucket width is derived from `nlocal` alone (not `ntotal`) so the
+/// interior side can be logged before the ghost shell — and therefore the
+/// final array length — is known; ghost targets land in buckets grown on
+/// demand past the local range.
+#[derive(Debug, Default)]
+pub struct SplitScratch {
+    bs: usize,
+    nchunks: usize,
+    interior: Vec<SplitLog>,
+    boundary: Vec<SplitLog>,
+}
+
+impl SplitScratch {
+    /// Empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        SplitScratch::default()
+    }
+
+    /// Reset for a pass over `nlocal` rows (both sides cleared, capacity
+    /// retained). Call once per pass, before logging either side.
+    pub fn prepare(&mut self, nlocal: usize) {
+        self.bs = nlocal.div_ceil(SCATTER_BUCKETS).max(1);
+        self.nchunks = nlocal.div_ceil(CHUNK_ROWS);
+        if self.interior.len() < self.nchunks {
+            self.interior.resize_with(self.nchunks, SplitLog::default);
+            self.boundary.resize_with(self.nchunks, SplitLog::default);
+        }
+        for log in &mut self.interior[..self.nchunks] {
+            log.reset();
+        }
+        for log in &mut self.boundary[..self.nchunks] {
+            log.reset();
+        }
+    }
+
+    /// Bucket width fixed by the last [`SplitScratch::prepare`].
+    #[must_use]
+    pub fn bs(&self) -> usize {
+        self.bs
+    }
+
+    /// The per-chunk logs of one side (`true` = interior).
+    pub fn side_mut(&mut self, interior: bool) -> &mut [SplitLog] {
+        if interior {
+            &mut self.interior[..self.nchunks]
+        } else {
+            &mut self.boundary[..self.nchunks]
+        }
+    }
+}
+
+/// Merge one chunk's interior and boundary streams by ascending row tag
+/// (ties impossible: a row lives wholly on one side) and apply each entry
+/// through `f` — the serial kernel's exact visit order for that chunk.
+#[inline]
+fn merge_rows<T: Copy>(ia: &[(u32, u32, T)], ba: &[(u32, u32, T)], mut f: impl FnMut(u32, T)) {
+    let (mut p, mut q) = (0, 0);
+    while p < ia.len() && q < ba.len() {
+        if ia[p].0 <= ba[q].0 {
+            f(ia[p].1, ia[p].2);
+            p += 1;
+        } else {
+            f(ba[q].1, ba[q].2);
+            q += 1;
+        }
+    }
+    for &(_, t, d) in &ia[p..] {
+        f(t, d);
+    }
+    for &(_, t, d) in &ba[q..] {
+        f(t, d);
+    }
+}
+
+/// Replay a split pass's `[f64; 3]` scatter logs into `out`. Buckets run
+/// in parallel; within each bucket the chunks replay in ascending order
+/// with the two sides of each chunk merged by row, so every element's
+/// update sequence is exactly the unpartitioned serial kernel's.
+pub fn replay_forces_split(scratch: &SplitScratch, out: &mut [[f64; 3]], exec: &ChunkExec<'_>) {
+    let mut slices = bucket_slices_with(out, scratch.bs);
+    exec.for_each_mut(&mut slices, &|b, (base, slice)| {
+        for c in 0..scratch.nchunks {
+            let ia = scratch.interior[c]
+                .vec_buckets
+                .get(b)
+                .map_or(&[][..], |v| v);
+            let ba = scratch.boundary[c]
+                .vec_buckets
+                .get(b)
+                .map_or(&[][..], |v| v);
+            merge_rows(ia, ba, |t, d: [f64; 3]| {
+                let k = t as usize - *base;
+                slice[k][0] += d[0];
+                slice[k][1] += d[1];
+                slice[k][2] += d[2];
+            });
+        }
+    });
+}
+
+/// Scalar-array variant of [`replay_forces_split`] (EAM electron density).
+pub fn replay_scalars_split(scratch: &SplitScratch, out: &mut [f64], exec: &ChunkExec<'_>) {
+    let mut slices = bucket_slices_with(out, scratch.bs);
+    exec.for_each_mut(&mut slices, &|b, (base, slice)| {
+        for c in 0..scratch.nchunks {
+            let ia = scratch.interior[c]
+                .scalar_buckets
+                .get(b)
+                .map_or(&[][..], |v| v);
+            let ba = scratch.boundary[c]
+                .scalar_buckets
+                .get(b)
+                .map_or(&[][..], |v| v);
+            merge_rows(ia, ba, |t, d: f64| slice[t as usize - *base] += d);
+        }
+    });
+}
+
+/// Fold a split pass's energy/virial streams on one thread: chunks in
+/// ascending order, each chunk's two sides merged by row — the serial
+/// kernel's exact addition sequence.
+#[must_use]
+pub fn fold_ev_split(scratch: &SplitScratch) -> (f64, f64) {
+    let mut energy = 0.0;
+    let mut virial = 0.0;
+    for c in 0..scratch.nchunks {
+        let ia = &scratch.interior[c].ev;
+        let ba = &scratch.boundary[c].ev;
+        let (mut p, mut q) = (0, 0);
+        let mut fold = |e: f64, v: f64| {
+            energy += e;
+            virial += v;
+        };
+        while p < ia.len() && q < ba.len() {
+            if ia[p].0 <= ba[q].0 {
+                fold(ia[p].1, ia[p].2);
+                p += 1;
+            } else {
+                fold(ba[q].1, ba[q].2);
+                q += 1;
+            }
+        }
+        for &(_, e, v) in &ia[p..] {
+            fold(e, v);
+        }
+        for &(_, e, v) in &ba[q..] {
+            fold(e, v);
         }
     }
     (energy, virial)
@@ -263,6 +482,94 @@ mod tests {
         let mut out = vec![[0.0f64; 3]; 8];
         replay_forces(chunks, &mut out, &ChunkExec::Serial);
         assert!(out.iter().all(|v| *v == [0.0; 3]));
+    }
+
+    /// Drive the same row-ordered update stream through (a) direct serial
+    /// application and (b) a split log whose rows are partitioned by a
+    /// pseudo-random interior mask and logged side-by-side, then merged.
+    #[test]
+    fn split_replay_matches_direct_application_bitwise() {
+        let nrows = 700; // > 2 chunks of 256
+        let ntotal = 900; // targets include a "ghost" range past nlocal
+        let interior: Vec<bool> = (0..nrows).map(|i| (i * 2654435761usize) % 3 != 0).collect();
+        // Per row: a few scatter updates + one ev entry, serial row order.
+        let mut s = 0x243f6a8885a308d3u64;
+        let mut rnd = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let mut stream: Vec<(u32, u32, [f64; 3], f64, f64)> = Vec::new();
+        for i in 0..nrows {
+            for _ in 0..3 {
+                // Interior rows only hit local targets; boundary rows may
+                // scatter into the ghost range (mirrors the pair kernels).
+                let range = if interior[i] { nrows } else { ntotal };
+                let t = (rnd() as usize % range) as u32;
+                let v = (rnd() as f64).sin() * 1e3 + 1e-7 * i as f64;
+                stream.push((i as u32, t, [v, -0.5 * v, 1e-6 * v], v * 0.25, -v));
+            }
+        }
+
+        let mut direct = vec![[0.0f64; 3]; ntotal];
+        let mut dscalar = vec![0.0f64; ntotal];
+        let (mut e_ref, mut v_ref) = (0.0, 0.0);
+        for &(_, t, d, e, v) in &stream {
+            for dim in 0..3 {
+                direct[t as usize][dim] += d[dim];
+            }
+            dscalar[t as usize] += d[0];
+            e_ref += e;
+            v_ref += v;
+        }
+
+        let mut scratch = SplitScratch::new();
+        scratch.prepare(nrows);
+        let bs = scratch.bs();
+        // Log the two sides separately (as the partitioned passes do):
+        // first every interior row in order, then every boundary row.
+        for select in [true, false] {
+            let logs = scratch.side_mut(select);
+            for &(row, t, d, e, v) in &stream {
+                if interior[row as usize] != select {
+                    continue;
+                }
+                let log = &mut logs[row as usize / CHUNK_ROWS];
+                log.push_force(bs, row, t, d);
+                log.push_scalar(bs, row, t, d[0]);
+                log.push_ev(row, e, v);
+            }
+        }
+        // Each row pushed one ev entry per update; dedupe not needed —
+        // the fold just replays the merged stream.
+        for exec in [ChunkExec::Serial, ChunkExec::Pool(&SpinPool::new(4))] {
+            let mut f = vec![[0.0f64; 3]; ntotal];
+            replay_forces_split(&scratch, &mut f, &exec);
+            assert_eq!(f, direct);
+            let mut sc = vec![0.0f64; ntotal];
+            replay_scalars_split(&scratch, &mut sc, &exec);
+            assert_eq!(sc, dscalar);
+        }
+        let (e, v) = fold_ev_split(&scratch);
+        assert_eq!(e.to_bits(), e_ref.to_bits());
+        assert_eq!(v.to_bits(), v_ref.to_bits());
+    }
+
+    /// `prepare` must clear both sides, and an empty scratch replays as a
+    /// no-op even over a non-empty output array.
+    #[test]
+    fn split_prepare_clears_both_sides() {
+        let mut scratch = SplitScratch::new();
+        scratch.prepare(300);
+        let bs = scratch.bs();
+        scratch.side_mut(true)[0].push_force(bs, 0, 1, [1.0; 3]);
+        scratch.side_mut(false)[1].push_ev(256, 2.0, 3.0);
+        scratch.prepare(300);
+        let mut out = vec![[0.0f64; 3]; 300];
+        replay_forces_split(&scratch, &mut out, &ChunkExec::Serial);
+        assert!(out.iter().all(|v| *v == [0.0; 3]));
+        assert_eq!(fold_ev_split(&scratch), (0.0, 0.0));
     }
 
     #[test]

@@ -259,18 +259,150 @@ impl NeighborList {
             }
         });
 
+        Self::stitch(&chunks, nlocal, kind, cutoff_list, &atoms.x)
+    }
+
+    /// Build only the *interior* rows of a split rebuild: rows flagged
+    /// `true` in `interior`, binned over the local atoms alone. Boundary
+    /// rows are present but empty.
+    ///
+    /// Intended to run while the Border halo exchange is still in flight,
+    /// i.e. **before any ghosts exist** (`atoms.nghost() == 0`). The grid
+    /// is the same `[lo, hi]` grid the full build uses, and with no ghosts
+    /// the fill, the sorted-locals detection and every interior row's
+    /// 27-bin scan see exactly the candidates the full build would show
+    /// them: an interior row's ghost candidates all sit beyond the
+    /// classification shell and would be distance-rejected anyway. The
+    /// produced rows are therefore bit-identical to the same rows of
+    /// [`NeighborList::build_chunked`] after the halo lands — provided the
+    /// flags are sound (no interior atom within `cutoff_force + skin` of a
+    /// sub-box face).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_interior(
+        atoms: &Atoms,
+        lo: [f64; 3],
+        hi: [f64; 3],
+        kind: ListKind,
+        cutoff_force: f64,
+        skin: f64,
+        interior: &[bool],
+        exec: &ChunkExec<'_>,
+    ) -> Self {
+        debug_assert_eq!(atoms.nghost(), 0, "interior build runs pre-ghost");
+        let cutoff_list = cutoff_force + skin;
+        let cutsq = cutoff_list * cutoff_list;
+        let mut bins = CellBins::new(lo, hi, cutoff_list);
+        bins.fill(&atoms.x, atoms.nlocal);
+        let skip_lower = bins.sorted_locals() && !matches!(kind, ListKind::Full);
+
+        let nlocal = atoms.nlocal;
+        let nchunks = nlocal.div_ceil(CHUNK_ROWS);
+        let mut chunks: Vec<RowChunk> = (0..nchunks)
+            .map(|_| RowChunk {
+                neigh: Vec::new(),
+                lens: Vec::new(),
+            })
+            .collect();
+        let bins_ref = &bins;
+        let x = &atoms.x;
+        exec.for_each_mut(&mut chunks, &|c, chunk| {
+            let row_lo = c * CHUNK_ROWS;
+            let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
+            for i in row_lo..row_hi {
+                let before = chunk.neigh.len();
+                if interior[i] {
+                    append_row_neighbors(
+                        bins_ref,
+                        x,
+                        nlocal,
+                        kind,
+                        cutsq,
+                        skip_lower,
+                        i,
+                        &mut chunk.neigh,
+                    );
+                }
+                chunk.lens.push((chunk.neigh.len() - before) as u32);
+            }
+        });
+
+        Self::stitch(&chunks, nlocal, kind, cutoff_list, &atoms.x)
+    }
+
+    /// Complete a split rebuild: build the rows flagged `false` in
+    /// `interior` against the full (locals + ghosts) bins and merge them
+    /// with the interior rows built by [`NeighborList::build_interior`].
+    ///
+    /// Runs after the Border halo has landed. Local positions must not
+    /// have moved since the interior half (nothing between the two halves
+    /// integrates), so the merged list is bit-identical to one
+    /// [`NeighborList::build_chunked`] pass over the same state.
+    #[must_use]
+    pub fn build_boundary(
+        atoms: &Atoms,
+        lo: [f64; 3],
+        hi: [f64; 3],
+        interior_list: &NeighborList,
+        interior: &[bool],
+        exec: &ChunkExec<'_>,
+    ) -> Self {
+        let kind = interior_list.kind;
+        let cutoff_list = interior_list.cutoff_list;
+        let cutsq = cutoff_list * cutoff_list;
+        let mut bins = CellBins::new(lo, hi, cutoff_list);
+        bins.fill(&atoms.x, atoms.nlocal);
+        let skip_lower = bins.sorted_locals() && !matches!(kind, ListKind::Full);
+
+        let nlocal = atoms.nlocal;
+        let nchunks = nlocal.div_ceil(CHUNK_ROWS);
+        let mut chunks: Vec<RowChunk> = (0..nchunks)
+            .map(|_| RowChunk {
+                neigh: Vec::new(),
+                lens: Vec::new(),
+            })
+            .collect();
+        let bins_ref = &bins;
+        let x = &atoms.x;
+        exec.for_each_mut(&mut chunks, &|c, chunk| {
+            let row_lo = c * CHUNK_ROWS;
+            let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
+            for i in row_lo..row_hi {
+                let before = chunk.neigh.len();
+                if !interior[i] {
+                    append_row_neighbors(
+                        bins_ref,
+                        x,
+                        nlocal,
+                        kind,
+                        cutsq,
+                        skip_lower,
+                        i,
+                        &mut chunk.neigh,
+                    );
+                }
+                chunk.lens.push((chunk.neigh.len() - before) as u32);
+            }
+        });
+
+        // Merge row-by-row: interior rows from the pre-ghost half,
+        // boundary rows from this pass.
         let mut offsets = Vec::with_capacity(nlocal + 1);
         offsets.push(0u32);
-        let mut total = 0u32;
-        for chunk in &chunks {
-            for &len in &chunk.lens {
-                total += len;
-                offsets.push(total);
+        let mut neigh = Vec::new();
+        let mut cursors = vec![0usize; nchunks];
+        for i in 0..nlocal {
+            let c = i / CHUNK_ROWS;
+            let len = chunks[c].lens[i - c * CHUNK_ROWS] as usize;
+            if interior[i] {
+                debug_assert_eq!(len, 0, "row {i} built on both sides");
+                neigh.extend_from_slice(interior_list.neighbors(i));
+            } else {
+                let at = cursors[c];
+                neigh.extend_from_slice(&chunks[c].neigh[at..at + len]);
             }
-        }
-        let mut neigh = Vec::with_capacity(total as usize);
-        for chunk in &chunks {
-            neigh.extend_from_slice(&chunk.neigh);
+            cursors[c] += len;
+            offsets.push(neigh.len() as u32);
         }
 
         NeighborList {
@@ -280,6 +412,58 @@ impl NeighborList {
             cutoff_list,
             x_at_build: atoms.x[..nlocal].to_vec(),
         }
+    }
+
+    /// Stitch per-chunk rows into a CSR list (chunk order = row order).
+    fn stitch(
+        chunks: &[RowChunk],
+        nlocal: usize,
+        kind: ListKind,
+        cutoff_list: f64,
+        x: &[[f64; 3]],
+    ) -> Self {
+        let mut offsets = Vec::with_capacity(nlocal + 1);
+        offsets.push(0u32);
+        let mut total = 0u32;
+        for chunk in chunks {
+            for &len in &chunk.lens {
+                total += len;
+                offsets.push(total);
+            }
+        }
+        let mut neigh = Vec::with_capacity(total as usize);
+        for chunk in chunks {
+            neigh.extend_from_slice(&chunk.neigh);
+        }
+        NeighborList {
+            kind,
+            offsets,
+            neigh,
+            cutoff_list,
+            x_at_build: x[..nlocal].to_vec(),
+        }
+    }
+
+    /// Flag every row whose stored neighbors are all local (`j < nlocal`).
+    /// These rows never read ghost state, so their force/density
+    /// contributions can be computed while a halo exchange is in flight —
+    /// the *exact* (list-content) form of the interior classification,
+    /// a superset of the geometric cutoff+skin shell test.
+    #[must_use]
+    pub fn local_only_rows(&self) -> Vec<bool> {
+        let nl = self.nlocal() as u32;
+        (0..self.nlocal())
+            .map(|i| self.neighbors(i).iter().all(|&j| j < nl))
+            .collect()
+    }
+
+    /// Stored pairs in the selected row class of a `flags` partition.
+    #[must_use]
+    pub fn pairs_in(&self, flags: &[bool], select: bool) -> usize {
+        (0..self.nlocal())
+            .filter(|&i| flags[i] == select)
+            .map(|i| self.neighbors(i).len())
+            .sum()
     }
 
     /// Neighbors of local atom `i`.
@@ -437,6 +621,104 @@ mod tests {
         assert!(!lj.check && eam.check);
         assert!(RebuildPolicy::LJ.is_check_step(20));
         assert!(!RebuildPolicy::LJ.is_check_step(21));
+    }
+
+    /// Split interior/boundary rebuild over a sub-box with a ghost shell
+    /// must reproduce the one-pass chunked build bit-for-bit, sorted or
+    /// not, for every list kind.
+    #[test]
+    fn split_build_matches_one_pass_build() {
+        use crate::neighbor::sort_locals_by_bin;
+        let (cut, skin) = (1.1, 0.3);
+        let r = cut + skin;
+        let (sub_lo, sub_hi) = ([0.0; 3], [6.0; 3]);
+        let lo = [sub_lo[0] - r, sub_lo[1] - r, sub_lo[2] - r];
+        let hi = [sub_hi[0] + r, sub_hi[1] + r, sub_hi[2] + r];
+        // Deterministic jittered grid of locals inside the sub-box.
+        let mut pos = Vec::new();
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut rnd = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for gz in 0..7 {
+            for gy in 0..7 {
+                for gx in 0..7 {
+                    pos.push([
+                        0.3 + 0.8 * f64::from(gx) + 0.2 * rnd(),
+                        0.3 + 0.8 * f64::from(gy) + 0.2 * rnd(),
+                        0.3 + 0.8 * f64::from(gz) + 0.2 * rnd(),
+                    ]);
+                }
+            }
+        }
+        for sorted in [false, true] {
+            for kind in [ListKind::HalfNewton, ListKind::HalfOneSided, ListKind::Full] {
+                let mut bare = Atoms::from_positions(pos.clone(), 1);
+                if sorted {
+                    sort_locals_by_bin(&mut bare, lo, hi, r);
+                }
+                // Geometric interior flags against the cutoff+skin shell.
+                let flags: Vec<bool> = (0..bare.nlocal)
+                    .map(|i| {
+                        (0..3).all(|d| bare.x[i][d] > sub_lo[d] + r && bare.x[i][d] < sub_hi[d] - r)
+                    })
+                    .collect();
+                assert!(flags.iter().any(|&f| f), "test needs interior rows");
+                assert!(flags.iter().any(|&f| !f), "test needs boundary rows");
+                // Interior half runs pre-ghost.
+                let int = NeighborList::build_interior(
+                    &bare,
+                    lo,
+                    hi,
+                    kind,
+                    cut,
+                    skin,
+                    &flags,
+                    &ChunkExec::Serial,
+                );
+                // The halo lands: ghosts in the shell just outside.
+                let mut full = bare.clone();
+                let mut tag = 10_000;
+                for k in 0..160 {
+                    let face = k % 6;
+                    let off = 0.2 + 1.0 * rnd();
+                    let mut g = [1.0 + 4.0 * rnd(), 1.0 + 4.0 * rnd(), 1.0 + 4.0 * rnd()];
+                    if face < 3 {
+                        g[face] = sub_lo[face] - off;
+                    } else {
+                        g[face - 3] = sub_hi[face - 3] + off;
+                    }
+                    full.push_ghost(g, 1, tag);
+                    tag += 1;
+                }
+                let split =
+                    NeighborList::build_boundary(&full, lo, hi, &int, &flags, &ChunkExec::Serial);
+                let one =
+                    NeighborList::build_chunked(&full, lo, hi, kind, cut, skin, &ChunkExec::Serial);
+                assert_eq!(split.npairs(), one.npairs(), "{kind:?} sorted={sorted}");
+                for i in 0..one.nlocal() {
+                    assert_eq!(
+                        split.neighbors(i),
+                        one.neighbors(i),
+                        "row {i} {kind:?} sorted={sorted}"
+                    );
+                }
+                // Interior rows of a sound partition contain no ghosts.
+                let lor = one.local_only_rows();
+                for (i, &f) in flags.iter().enumerate() {
+                    if f {
+                        assert!(lor[i], "geometric interior row {i} saw a ghost");
+                    }
+                }
+                assert_eq!(
+                    one.pairs_in(&flags, true) + one.pairs_in(&flags, false),
+                    one.npairs()
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //! optimizes — while using only self-contained data.
 
 use super::spline::Spline;
-use super::{ManyBodyPotential, PairEnergyVirial};
+use super::{ManyBodyPotential, PairEnergyVirial, SplitManyBodyKernel};
 use crate::atom::Atoms;
-use crate::kernels::{self, PairScratch, CHUNK_ROWS};
+use crate::kernels::{self, PairScratch, SplitScratch, CHUNK_ROWS};
 use crate::neighbor::{ListKind, NeighborList};
 use tofumd_threadpool::ChunkExec;
 
@@ -360,6 +360,110 @@ impl ManyBodyPotential for EamCu {
         let (energy, virial) = kernels::fold_ev(chunks);
         PairEnergyVirial { energy, virial }
     }
+
+    fn as_split(&self) -> Option<&dyn SplitManyBodyKernel> {
+        Some(self)
+    }
+}
+
+impl SplitManyBodyKernel for EamCu {
+    fn log_rho_rows(
+        &self,
+        atoms: &Atoms,
+        list: &NeighborList,
+        flags: &[bool],
+        select: bool,
+        exec: &ChunkExec<'_>,
+        scratch: &mut SplitScratch,
+    ) {
+        assert!(!matches!(list.kind, ListKind::Full), "EAM uses a half list");
+        let nlocal = atoms.nlocal;
+        let cutsq = self.cutsq;
+        let bs = scratch.bs();
+        let x = &atoms.x;
+        let logs = scratch.side_mut(select);
+        exec.for_each_mut(logs, &|c, log| {
+            let row_lo = c * CHUNK_ROWS;
+            let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
+            for i in row_lo..row_hi {
+                if flags[i] != select {
+                    continue;
+                }
+                let row = i as u32;
+                let xi = x[i];
+                for &j in list.neighbors(i) {
+                    let j = j as usize;
+                    let xj = x[j];
+                    let mut r2 = 0.0;
+                    for d in 0..3 {
+                        let dd = xi[d] - xj[d];
+                        r2 += dd * dd;
+                    }
+                    if r2 >= cutsq {
+                        continue;
+                    }
+                    let contrib = self.rho_r.eval(r2.sqrt());
+                    // Serial order: rho[i] first, then rho[j].
+                    log.push_scalar(bs, row, row, contrib);
+                    log.push_scalar(bs, row, j as u32, contrib);
+                }
+            }
+        });
+    }
+
+    fn log_force_rows(
+        &self,
+        atoms: &Atoms,
+        list: &NeighborList,
+        fp: &[f64],
+        flags: &[bool],
+        select: bool,
+        exec: &ChunkExec<'_>,
+        scratch: &mut SplitScratch,
+    ) {
+        let nlocal = atoms.nlocal;
+        let cutsq = self.cutsq;
+        let bs = scratch.bs();
+        let x = &atoms.x;
+        let logs = scratch.side_mut(select);
+        exec.for_each_mut(logs, &|c, log| {
+            let row_lo = c * CHUNK_ROWS;
+            let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
+            for i in row_lo..row_hi {
+                if flags[i] != select {
+                    continue;
+                }
+                let row = i as u32;
+                let xi = x[i];
+                let mut fi = [0.0f64; 3];
+                for &j in list.neighbors(i) {
+                    let j = j as usize;
+                    let xj = x[j];
+                    let dx = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
+                    let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+                    if r2 >= cutsq {
+                        continue;
+                    }
+                    let r = r2.sqrt();
+                    let phip = self.phi_r.eval_deriv(r);
+                    let rhop = self.rho_r.eval_deriv(r);
+                    let dudr = phip + (fp[i] + fp[j]) * rhop;
+                    let fpair = -dudr / r;
+                    fi[0] += dx[0] * fpair;
+                    fi[1] += dx[1] * fpair;
+                    fi[2] += dx[2] * fpair;
+                    log.push_force(
+                        bs,
+                        row,
+                        j as u32,
+                        [-(dx[0] * fpair), -(dx[1] * fpair), -(dx[2] * fpair)],
+                    );
+                    log.push_ev(row, self.phi_r.eval(r), r2 * fpair);
+                }
+                log.push_force(bs, row, row, fi);
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -464,6 +568,90 @@ mod tests {
             (rho[0] - rho[1]).abs() < 1e-12,
             "dimer densities must match"
         );
+    }
+
+    /// Split rho and force logging must reproduce the chunked passes bit
+    /// for bit once both sides are replayed in merged row order.
+    #[test]
+    fn split_rho_and_force_match_chunked_bitwise() {
+        use crate::kernels::{self, PairScratch, SplitScratch};
+        use tofumd_threadpool::{ChunkExec, SpinPool};
+        let mut s = 0x2545_f491_4f6c_dd1du64;
+        let mut rnd = move || {
+            s = s
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (s >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut pos = Vec::new();
+        for ix in 0..5 {
+            for iy in 0..5 {
+                for iz in 0..5 {
+                    pos.push([
+                        ix as f64 * 2.4 + 0.3 * rnd(),
+                        iy as f64 * 2.4 + 0.3 * rnd(),
+                        iz as f64 * 2.4 + 0.3 * rnd(),
+                    ]);
+                }
+            }
+        }
+        let mut base = Atoms::from_positions(pos, 1);
+        let nlocal = base.nlocal;
+        for k in 0..40 {
+            base.push_ghost(
+                [12.2 + 2.0 * rnd(), 12.5 * rnd(), 12.5 * rnd()],
+                1,
+                9000 + k,
+            );
+        }
+        let eam = EamCu::lammps_bench();
+        let list = NeighborList::build(
+            &base,
+            [-1.0; 3],
+            [16.0; 3],
+            ListKind::HalfNewton,
+            eam.cutoff,
+            0.3,
+        );
+        let flags: Vec<bool> = (0..nlocal).map(|i| (i * 2_654_435_761) % 3 != 0).collect();
+        let ntotal = base.ntotal();
+        // Reference chunked passes.
+        let mut scratch = PairScratch::new();
+        let mut rho_ref = Vec::new();
+        eam.compute_rho_chunked(&base, &list, &mut rho_ref, &ChunkExec::Serial, &mut scratch);
+        let mut fp = Vec::new();
+        eam.compute_embedding(&base, &rho_ref, &mut fp);
+        for i in nlocal..ntotal {
+            fp[i] = 0.01 * (i as f64); // stand-in for forward-communicated fp
+        }
+        let mut a_ref = base.clone();
+        let ev_ref =
+            eam.compute_force_chunked(&mut a_ref, &list, &fp, &ChunkExec::Serial, &mut scratch);
+        let pool = SpinPool::new(4);
+        for exec in [ChunkExec::Serial, ChunkExec::Pool(&pool)] {
+            let mut split = SplitScratch::new();
+            split.prepare(nlocal);
+            eam.log_rho_rows(&base, &list, &flags, true, &exec, &mut split);
+            eam.log_rho_rows(&base, &list, &flags, false, &exec, &mut split);
+            let mut rho = vec![0.0; ntotal];
+            kernels::replay_scalars_split(&split, &mut rho, &exec);
+            for i in 0..ntotal {
+                assert_eq!(rho[i].to_bits(), rho_ref[i].to_bits(), "rho [{i}]");
+            }
+            let mut a = base.clone();
+            split.prepare(nlocal);
+            eam.log_force_rows(&a, &list, &fp, &flags, true, &exec, &mut split);
+            eam.log_force_rows(&a, &list, &fp, &flags, false, &exec, &mut split);
+            kernels::replay_forces_split(&split, &mut a.f, &exec);
+            let (energy, virial) = kernels::fold_ev_split(&split);
+            assert_eq!(energy.to_bits(), ev_ref.energy.to_bits());
+            assert_eq!(virial.to_bits(), ev_ref.virial.to_bits());
+            for i in 0..ntotal {
+                for d in 0..3 {
+                    assert_eq!(a.f[i][d].to_bits(), a_ref.f[i][d].to_bits(), "f [{i}][{d}]");
+                }
+            }
+        }
     }
 
     #[test]

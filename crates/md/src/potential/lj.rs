@@ -1,8 +1,8 @@
 //! Lennard-Jones 12-6 potential with cutoff (Eq. 1 of the paper).
 
-use super::{PairEnergyVirial, PairPotential};
+use super::{PairEnergyVirial, PairPotential, SplitPairKernel};
 use crate::atom::Atoms;
-use crate::kernels::{self, PairScratch, CHUNK_ROWS};
+use crate::kernels::{self, PairScratch, SplitScratch, CHUNK_ROWS};
 use crate::neighbor::{ListKind, NeighborList};
 use tofumd_threadpool::ChunkExec;
 
@@ -198,6 +198,66 @@ impl PairPotential for LjCut {
         let (energy, virial) = kernels::fold_ev(chunks);
         PairEnergyVirial { energy, virial }
     }
+
+    fn as_split(&self) -> Option<&dyn SplitPairKernel> {
+        Some(self)
+    }
+}
+
+impl SplitPairKernel for LjCut {
+    fn log_rows(
+        &self,
+        atoms: &Atoms,
+        list: &NeighborList,
+        flags: &[bool],
+        select: bool,
+        exec: &ChunkExec<'_>,
+        scratch: &mut SplitScratch,
+    ) {
+        let half = !matches!(list.kind, ListKind::Full);
+        let nlocal = atoms.nlocal;
+        let cutsq = self.cutsq;
+        let bs = scratch.bs();
+        let x = &atoms.x;
+        let logs = scratch.side_mut(select);
+        exec.for_each_mut(logs, &|c, log| {
+            let row_lo = c * CHUNK_ROWS;
+            let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
+            for i in row_lo..row_hi {
+                if flags[i] != select {
+                    continue;
+                }
+                let row = i as u32;
+                let xi = x[i];
+                let mut fi = [0.0f64; 3];
+                for &j in list.neighbors(i) {
+                    let j = j as usize;
+                    let xj = x[j];
+                    let dx = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
+                    let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+                    if r2 >= cutsq {
+                        continue;
+                    }
+                    let fpair = self.fpair(r2);
+                    fi[0] += dx[0] * fpair;
+                    fi[1] += dx[1] * fpair;
+                    fi[2] += dx[2] * fpair;
+                    if half {
+                        log.push_force(
+                            bs,
+                            row,
+                            j as u32,
+                            [-(dx[0] * fpair), -(dx[1] * fpair), -(dx[2] * fpair)],
+                        );
+                        log.push_ev(row, self.pair_energy(r2.sqrt()), r2 * fpair);
+                    } else {
+                        log.push_ev(row, 0.5 * self.pair_energy(r2.sqrt()), 0.5 * r2 * fpair);
+                    }
+                }
+                log.push_force(bs, row, row, fi);
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +336,68 @@ mod tests {
         assert!(lj.pair_energy(rmin) > unshifted.pair_energy(rmin));
         // Forces unchanged by the shift.
         assert_eq!(lj.fpair(1.44), unshifted.fpair(1.44));
+    }
+
+    /// Split logging (interior rows, then boundary rows, then merged
+    /// replay) must reproduce `compute_chunked` — and hence the serial
+    /// kernel — bit for bit, for half and full lists, serial and pooled.
+    #[test]
+    fn split_log_rows_matches_chunked_bitwise() {
+        use crate::kernels::{self, PairScratch, SplitScratch};
+        use tofumd_threadpool::SpinPool;
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rnd = move || {
+            s = s
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (s >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut pos = Vec::new();
+        for ix in 0..6 {
+            for iy in 0..6 {
+                for iz in 0..6 {
+                    pos.push([
+                        ix as f64 * 1.1 + 0.2 * rnd(),
+                        iy as f64 * 1.1 + 0.2 * rnd(),
+                        iz as f64 * 1.1 + 0.2 * rnd(),
+                    ]);
+                }
+            }
+        }
+        let mut base = Atoms::from_positions(pos, 1);
+        let nlocal = base.nlocal;
+        for k in 0..50 {
+            base.push_ghost([6.0 + 0.8 * rnd(), 6.2 * rnd(), 6.2 * rnd()], 1, 5000 + k);
+        }
+        let flags: Vec<bool> = (0..nlocal).map(|i| (i * 2_654_435_761) % 3 != 0).collect();
+        let pool = SpinPool::new(4);
+        for kind in [ListKind::HalfNewton, ListKind::Full] {
+            let lj = LjCut::new(1.0, 1.0, 2.5, kind);
+            let list = NeighborList::build(&base, [-1.0; 3], [8.0; 3], kind, 2.5, 0.3);
+            let mut a_ref = base.clone();
+            let mut scratch = PairScratch::new();
+            let ev_ref = lj.compute_chunked(&mut a_ref, &list, &ChunkExec::Serial, &mut scratch);
+            for exec in [ChunkExec::Serial, ChunkExec::Pool(&pool)] {
+                let mut a = base.clone();
+                let mut split = SplitScratch::new();
+                split.prepare(nlocal);
+                lj.log_rows(&a, &list, &flags, true, &exec, &mut split);
+                lj.log_rows(&a, &list, &flags, false, &exec, &mut split);
+                kernels::replay_forces_split(&split, &mut a.f, &exec);
+                let (energy, virial) = kernels::fold_ev_split(&split);
+                assert_eq!(energy.to_bits(), ev_ref.energy.to_bits(), "{kind:?}");
+                assert_eq!(virial.to_bits(), ev_ref.virial.to_bits(), "{kind:?}");
+                for i in 0..a.ntotal() {
+                    for d in 0..3 {
+                        assert_eq!(
+                            a.f[i][d].to_bits(),
+                            a_ref.f[i][d].to_bits(),
+                            "{kind:?} force [{i}][{d}]"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub mod spline;
 pub mod sw;
 
 use crate::atom::Atoms;
-use crate::kernels::PairScratch;
+use crate::kernels::{PairScratch, SplitScratch};
 use crate::neighbor::{ListKind, NeighborList};
 use tofumd_threadpool::ChunkExec;
 
@@ -79,6 +79,68 @@ pub trait PairPotential: Send + Sync {
     fn writes_ghost_forces(&self) -> bool {
         !matches!(self.list_kind(), ListKind::Full)
     }
+
+    /// Row-partitioned logging kernel for comm/compute overlap, or `None`
+    /// when the potential has no split implementation (the DAG executor
+    /// then falls back to the barrier-equivalent whole-pass nodes).
+    fn as_split(&self) -> Option<&dyn SplitPairKernel> {
+        None
+    }
+}
+
+/// Row-partitioned half of a chunk-parallel pair pass. The caller logs the
+/// interior rows (`select = true`) while halo puts are in flight, the
+/// boundary rows (`select = false`) once ghosts have arrived, and then
+/// replays both sides with [`crate::kernels::replay_forces_split`] /
+/// [`crate::kernels::fold_ev_split`] — the merged replay is bit-identical
+/// to `compute_chunked` over all rows because every row logs exactly the
+/// updates the serial kernel would perform, in the same per-pair order, and
+/// the merge re-interleaves rows ascending within each chunk.
+pub trait SplitPairKernel: Send + Sync {
+    /// Log the updates of rows with `flags[i] == select` into the matching
+    /// side of `scratch` (which must have been `prepare`d for this
+    /// `atoms.nlocal`). Rows with `flags[i] != select` contribute nothing.
+    fn log_rows(
+        &self,
+        atoms: &Atoms,
+        list: &NeighborList,
+        flags: &[bool],
+        select: bool,
+        exec: &ChunkExec<'_>,
+        scratch: &mut SplitScratch,
+    );
+}
+
+/// Row-partitioned halves of the EAM two-pass computation (density pass and
+/// force pass); same contract as [`SplitPairKernel`]. The embedding pass is
+/// local-only and needs no split.
+pub trait SplitManyBodyKernel: Send + Sync {
+    /// Log the density contributions of rows with `flags[i] == select`
+    /// (scalar scatter, both pair endpoints). Replay with
+    /// [`crate::kernels::replay_scalars_split`] onto a zeroed `rho`.
+    fn log_rho_rows(
+        &self,
+        atoms: &Atoms,
+        list: &NeighborList,
+        flags: &[bool],
+        select: bool,
+        exec: &ChunkExec<'_>,
+        scratch: &mut SplitScratch,
+    );
+
+    /// Log the force/energy updates of rows with `flags[i] == select`;
+    /// `fp` must be valid for every neighbor those rows touch.
+    #[allow(clippy::too_many_arguments)]
+    fn log_force_rows(
+        &self,
+        atoms: &Atoms,
+        list: &NeighborList,
+        fp: &[f64],
+        flags: &[bool],
+        select: bool,
+        exec: &ChunkExec<'_>,
+        scratch: &mut SplitScratch,
+    );
 }
 
 /// A two-pass (EAM-like) potential with mid-pair-stage communication.
@@ -146,6 +208,12 @@ pub trait ManyBodyPotential: Send + Sync {
     ) -> PairEnergyVirial {
         let _ = (exec, scratch);
         self.compute_force(atoms, list, fp)
+    }
+
+    /// Row-partitioned logging kernels for comm/compute overlap, or `None`
+    /// when the potential has no split implementation.
+    fn as_split(&self) -> Option<&dyn SplitManyBodyKernel> {
+        None
     }
 }
 

@@ -37,6 +37,9 @@ pub struct RecvMsg {
     pub tag: u32,
     /// Receiver's clock after matching and copying.
     pub now: f64,
+    /// Raw fabric arrival instant of the payload, before matching and copy
+    /// costs (overlap accounting reads this; `now` still drives the clock).
+    pub arrival: f64,
 }
 
 impl Communicator {
@@ -158,7 +161,11 @@ impl Communicator {
                 && a.piggyback == u64::from(tag)
                 && a.stadd == self.mailbox[dst]
         });
-        let a = arr.pop().expect("wait_arrivals returned empty");
+        // wait_arrivals blocks until `count` matches exist, so one is
+        // always present here.
+        let a = arr
+            .pop()
+            .unwrap_or_else(|| unreachable!("wait_arrivals(.., 1, ..) returned empty"));
         let data = self.net.read_local(node, a.stadd, a.offset, a.len);
         let now = t + p.mpi_match_cost + p.pack_cost(a.len);
         RecvMsg {
@@ -166,6 +173,7 @@ impl Communicator {
             src,
             tag,
             now,
+            arrival: a.time,
         }
     }
 
@@ -188,6 +196,7 @@ impl Communicator {
                     src: a.src_rank as usize,
                     tag,
                     now: clock,
+                    arrival: a.time,
                 }
             })
             .collect();

@@ -20,7 +20,7 @@
 
 use crate::accounting::{self, SyncBucket};
 use crate::config::RunConfig;
-use crate::driver::{Lane, Phase, Team};
+use crate::driver::{DagPhase, Lane, Phase, PlanMode, StepDag, Team};
 use crate::physics;
 use crate::variant::CommVariant;
 use std::sync::Arc;
@@ -94,6 +94,8 @@ pub struct Cluster {
     /// Forces the next step to reneighbor (set on demotion: the fresh
     /// engines have no ghost send lists until a Border pass runs).
     pub(crate) force_rebuild: bool,
+    /// How timesteps are sequenced (barrier plan or overlap DAG).
+    plan_mode: PlanMode,
 }
 
 impl Cluster {
@@ -244,6 +246,19 @@ impl Cluster {
         self.team.threads()
     }
 
+    /// Select how timesteps are sequenced. [`PlanMode::Dag`] (the
+    /// default) overlaps halo exchange with interior compute; physics is
+    /// bit-identical to [`PlanMode::Barrier`] either way.
+    pub fn set_plan_mode(&mut self, mode: PlanMode) {
+        self.plan_mode = mode;
+    }
+
+    /// The step-sequencing mode in force.
+    #[must_use]
+    pub fn plan_mode(&self) -> PlanMode {
+        self.plan_mode
+    }
+
     fn physics_ctx<'a>(
         potential: &Potential,
         variant: CommVariant,
@@ -340,6 +355,197 @@ impl Cluster {
             }
         }
         self.mpi.reset_mailboxes();
+    }
+
+    /// Can this step's halo ops overlap with interior compute? Requires a
+    /// p2p variant whose Border/Forward ops are single-round without a
+    /// stage barrier, and a potential that implements the split kernels.
+    /// Re-evaluated every step, so a mid-run demotion (to the 3-stage
+    /// reference) degrades the DAG to its barrier-mirroring shape.
+    fn overlap_eligible(&self) -> bool {
+        if !self.variant.is_p2p() {
+            return false;
+        }
+        let engine = &self.lanes[0].engine;
+        if engine.barrier_between_rounds()
+            || engine.rounds(Op::Border) != 1
+            || engine.rounds(Op::Forward) != 1
+        {
+            return false;
+        }
+        match &*self.potential {
+            Potential::Pair(p) => p.as_split().is_some(),
+            Potential::ManyBody(p) => p.as_split().is_some(),
+        }
+    }
+
+    /// Post half of an overlapped single-round op: identical to the post
+    /// side of [`Cluster::run_op`], plus each rank records the clock at
+    /// which its halo went out (the start of the overlap window).
+    fn window_post(&mut self, op: Op) {
+        self.net.set_fault_context(self.step, op.index() as u8);
+        debug_assert_eq!(self.lanes[0].engine.rounds(op), 1);
+        self.team
+            .for_each(&mut self.lanes, &mut self.states, &|_, lane, st| {
+                if let Err(e) = lane.engine.post(op, 0, st) {
+                    lane.failed = Some(e);
+                }
+                lane.overlap_c0 = st.clock;
+            });
+        self.raise_lane_failures(op, 0, "post");
+    }
+
+    /// Complete half of an overlapped op: identical to the complete side
+    /// of [`Cluster::run_op`] (including the observer callback and the
+    /// mailbox reset), plus the overlap credit. The rank spent
+    /// `clock − overlap_c0` on interior compute since the post; any part
+    /// of the raw arrival horizon covered by that window is comm time the
+    /// barrier plan would have waited out, booked into `acc.overlapped`.
+    fn window_complete(&mut self, op: Op) {
+        self.net.set_fault_context(self.step, op.index() as u8);
+        self.team
+            .for_each(&mut self.lanes, &mut self.states, &|_, lane, st| {
+                let c1 = st.clock;
+                st.arrival_horizon = f64::NEG_INFINITY;
+                if let Err(e) = lane.engine.complete(op, 0, st) {
+                    lane.failed = Some(e);
+                }
+                let hidden = (st.arrival_horizon.min(c1) - lane.overlap_c0).max(0.0);
+                lane.acc.overlapped += hidden;
+            });
+        self.raise_lane_failures(op, 0, "complete");
+        if let Some(mut obs) = self.op_observer.take() {
+            obs(op, 0, 1, &self.states);
+            self.op_observer = Some(obs);
+        }
+        self.mpi.reset_mailboxes();
+    }
+
+    /// Execute one node of the step DAG.
+    fn run_dag_phase(&mut self, phase: DagPhase) {
+        let ctx = Self::physics_ctx(
+            &self.potential,
+            self.variant,
+            &self.cfg,
+            &self.costs,
+            *self.net.params(),
+        );
+        let potential = self.potential.clone();
+        match phase {
+            DagPhase::Exchange => self.run_phase(Phase::Exchange),
+            DagPhase::SpatialSort => self.run_phase(Phase::SpatialSort),
+            DagPhase::BorderPost => self.window_post(Op::Border),
+            DagPhase::BorderComplete => self.window_complete(Op::Border),
+            DagPhase::ForwardPost => self.window_post(Op::Forward),
+            DagPhase::ForwardComplete => self.window_complete(Op::Forward),
+            DagPhase::FwdScalarPost => self.window_post(Op::ForwardScalar),
+            DagPhase::FwdScalarComplete => self.window_complete(Op::ForwardScalar),
+            DagPhase::InteriorBuild => {
+                physics::build_interior_lists(&self.team, &ctx, &mut self.lanes, &mut self.states);
+                self.raise_physics_failures("interior_build");
+            }
+            DagPhase::BoundaryBuild => {
+                physics::build_boundary_lists(&self.team, &ctx, &mut self.lanes, &mut self.states);
+                self.raise_physics_failures("boundary_build");
+                self.rebuild_count += 1;
+            }
+            DagPhase::InteriorPair => {
+                physics::pair_interior_log(
+                    &self.team,
+                    &ctx,
+                    &potential,
+                    self.rebuild,
+                    &mut self.lanes,
+                    &mut self.states,
+                );
+                self.raise_physics_failures("interior_pair");
+            }
+            DagPhase::BoundaryPair => {
+                physics::pair_boundary_finish(
+                    &self.team,
+                    &ctx,
+                    &potential,
+                    self.rebuild,
+                    &mut self.lanes,
+                    &mut self.states,
+                );
+                self.raise_physics_failures("boundary_pair");
+            }
+            DagPhase::InteriorRho => {
+                physics::rho_interior_log(
+                    &self.team,
+                    &ctx,
+                    &potential,
+                    self.rebuild,
+                    &mut self.lanes,
+                    &mut self.states,
+                );
+                self.raise_physics_failures("interior_rho");
+            }
+            DagPhase::BoundaryRho => {
+                physics::rho_boundary_finish(
+                    &self.team,
+                    &ctx,
+                    &potential,
+                    self.rebuild,
+                    &mut self.lanes,
+                    &mut self.states,
+                );
+                self.raise_physics_failures("boundary_rho");
+            }
+            DagPhase::RhoReduce => self.run_op(Op::ReverseScalar),
+            DagPhase::Embed => {
+                physics::eam_embed(&self.team, &potential, &mut self.lanes, &mut self.states);
+            }
+            DagPhase::InteriorForce => {
+                physics::force_interior_log(
+                    &self.team,
+                    &ctx,
+                    &potential,
+                    &mut self.lanes,
+                    &mut self.states,
+                );
+                self.raise_physics_failures("interior_force");
+            }
+            DagPhase::BoundaryForce => {
+                physics::force_boundary_finish(
+                    &self.team,
+                    &ctx,
+                    &potential,
+                    &mut self.lanes,
+                    &mut self.states,
+                );
+                self.raise_physics_failures("boundary_force");
+            }
+            DagPhase::Reverse => self.run_phase(Phase::Reverse),
+            DagPhase::FinalIntegrate => self.run_phase(Phase::FinalIntegrate),
+            DagPhase::Accounting => self.run_phase(Phase::Accounting),
+            DagPhase::BorderOp => self.run_phase(Phase::Border),
+            DagPhase::RebuildLists => self.run_phase(Phase::RebuildLists),
+            DagPhase::ForwardOp => self.run_phase(Phase::Forward),
+            DagPhase::PairCompute => self.compute_pair(),
+        }
+    }
+
+    /// DAG plan of one timestep: the integrate + reneighbor-check prefix
+    /// is shared with the barrier plan (the verdict shapes the DAG), then
+    /// the step DAG executes in its deterministic lowest-id-ready order.
+    fn run_step_dag(&mut self) {
+        self.run_phase(Phase::InitialIntegrate);
+        self.run_phase(Phase::ReneighborCheck);
+        // A rebuild step creates its own partition; a forward step can
+        // only split rows if a DAG rebuild already classified them for
+        // the current list epoch (barrier rebuilds invalidate it).
+        let partitioned = self.rebuild || self.lanes.iter().all(|l| l.part.is_some());
+        let dag = StepDag::build(
+            self.rebuild,
+            self.cfg.is_eam(),
+            self.reverse_needed,
+            self.overlap_eligible() && partitioned,
+        );
+        for phase in dag.execution_order() {
+            self.run_dag_phase(phase);
+        }
     }
 
     /// Install an [`OpObserver`] called after every completed round of
@@ -533,16 +739,23 @@ impl Cluster {
         }
     }
 
-    /// Advance one timestep: walk the static phase plan, honoring each
-    /// phase's condition against this step's reneighbor verdict. If any
-    /// engine exhausted its put retry budget during the step, the whole
-    /// cluster demotes to the MPI 3-stage reference before the next step.
+    /// Advance one timestep under the selected [`PlanMode`]: the barrier
+    /// plan walks the static phase list; the DAG plan executes the
+    /// per-rank dependency DAG with halo/compute overlap. Physics is
+    /// bit-identical between the two. If any engine exhausted its put
+    /// retry budget during the step, the whole cluster demotes to the MPI
+    /// 3-stage reference before the next step.
     pub fn run_step(&mut self) {
         self.step += 1;
-        for planned in Phase::step_plan(self.reverse_needed) {
-            if planned.cond.applies(self.rebuild) {
-                self.run_phase(planned.phase);
+        match self.plan_mode {
+            PlanMode::Barrier => {
+                for planned in Phase::step_plan(self.reverse_needed) {
+                    if planned.cond.applies(self.rebuild) {
+                        self.run_phase(planned.phase);
+                    }
+                }
             }
+            PlanMode::Dag => self.run_step_dag(),
         }
         self.steps_run += 1;
         if !self.demoted && self.lanes.iter().any(|l| l.engine.fallback_requested()) {

@@ -6,7 +6,7 @@
 
 use super::Cluster;
 use crate::config::RunConfig;
-use crate::driver::{Lane, Phase, Team};
+use crate::driver::{Lane, Phase, PlanMode, Team};
 use crate::variant::CommVariant;
 use std::sync::Arc;
 use tofumd_core::engine::{GhostEngine, Op, RankState};
@@ -225,6 +225,7 @@ impl Cluster {
             retired_stats: tofumd_core::engine::OpStats::default(),
             demoted: false,
             force_rebuild: false,
+            plan_mode: PlanMode::default(),
         };
         // Setup stage: sort locals into bin order (no ghosts exist yet),
         // then establish ghosts, lists, initial forces.

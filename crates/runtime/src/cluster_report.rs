@@ -51,6 +51,7 @@ impl Cluster {
                 .map(|s| s.clock)
                 .fold(f64::NEG_INFINITY, f64::max);
             let rebuilds_before = self.rebuild_count;
+            let overlapped_before = self.overlapped_total();
             self.run_step();
             let after = self.stage_sums();
             let clock_after = self
@@ -67,11 +68,20 @@ impl Cluster {
                 stages,
                 max_clock_delta: clock_after - clock_before,
                 rebuilt: self.rebuild_count > rebuilds_before,
+                overlapped: (self.overlapped_total() - overlapped_before) / nranks,
             });
         }
         let delta = self.op_stats().since(&ops_before);
         trace.comm = crate::trace::comm_rows(&delta, nranks * n as f64);
         trace
+    }
+
+    /// Total comm time hidden behind interior compute across all ranks
+    /// since the last `reset_timers` — the DAG plan's overlap win. Not
+    /// part of any stage sum: it is wait the ranks never incurred.
+    #[must_use]
+    pub fn overlapped_total(&self) -> f64 {
+        self.lanes.iter().map(|l| l.acc.overlapped).sum()
     }
 
     /// Mean per-step stage breakdown over all ranks since the last

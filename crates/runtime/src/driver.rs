@@ -30,11 +30,40 @@
 use crate::accounting::StageAcc;
 use tofumd_core::engine::GhostEngine;
 use tofumd_core::topo_map::RankMap;
-use tofumd_md::kernels::PairScratch;
+use tofumd_md::kernels::{PairScratch, SplitScratch};
 use tofumd_md::neighbor::NeighborList;
 use tofumd_md::potential::PairEnergyVirial;
 use tofumd_threadpool::{ChunkExec, SpinPool};
 use tofumd_tofu::TofuError;
+
+/// The rank's interior/boundary row partition for one overlap window
+/// (rebuilt on reneighbor steps, reused in between).
+///
+/// Two tiers of "interior" exist because the two split points need
+/// different guarantees:
+///
+/// * `geo` — geometric: the atom sits deeper than `cutoff + skin` from
+///   every face of the rank's subdomain, so *no* atom it could ever list
+///   as a neighbor is a ghost. Safe for the rebuild-step split, where the
+///   interior half runs before the ghost shell exists.
+/// * `pair` — list-content: the row's stored neighbor rows are all local.
+///   A superset of `geo`; safe for forward-step splits, where the list is
+///   fixed and only ghost *positions* are in flight.
+#[derive(Debug, Default, Clone)]
+pub struct Partition {
+    /// Geometric interior flags per local atom.
+    pub geo: Vec<bool>,
+    /// List-content interior flags per local atom.
+    pub pair: Vec<bool>,
+    /// Count of `geo` rows.
+    pub n_geo: usize,
+    /// Stored pairs on `geo` rows.
+    pub geo_pairs: usize,
+    /// Count of `pair` rows.
+    pub n_pair: usize,
+    /// Stored pairs on `pair` rows.
+    pub pair_pairs: usize,
+}
 
 /// Per-rank execution context owned by the driver: everything a phase
 /// needs besides the [`tofumd_core::engine::RankState`] itself. Keeping
@@ -62,6 +91,17 @@ pub struct Lane {
     /// Chunk-log scratch for the deterministic parallel force kernels
     /// (retained across steps so the hot path does not allocate).
     pub scratch: PairScratch,
+    /// Row-tagged scatter logs of the current split pass (interior side
+    /// filled while halo messages are in flight, boundary side after).
+    pub split: SplitScratch,
+    /// Interior/boundary row partition of the current neighbor epoch.
+    pub part: Option<Partition>,
+    /// Interior-only list built pre-ghost on rebuild steps, consumed by
+    /// the boundary build after the Border op lands.
+    pub interior_list: Option<NeighborList>,
+    /// The rank's clock right after the last overlapped post — the start
+    /// of the window whose hidden comm time the complete side credits.
+    pub overlap_c0: f64,
 }
 
 impl Lane {
@@ -78,6 +118,10 @@ impl Lane {
             acc: StageAcc::default(),
             failed: None,
             scratch: PairScratch::new(),
+            split: SplitScratch::new(),
+            part: None,
+            interior_list: None,
+            overlap_c0: 0.0,
         }
     }
 }
@@ -204,6 +248,202 @@ impl Cond {
             Cond::IfRebuild => rebuild,
             Cond::IfNoRebuild => !rebuild,
         }
+    }
+}
+
+/// How the cluster sequences a timestep's work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// The static barrier plan: every comm op posts and completes
+    /// back-to-back, compute strictly between ops.
+    Barrier,
+    /// The per-rank dependency DAG: halo posts overlap with interior
+    /// compute, completes are reordered behind it (the default).
+    #[default]
+    Dag,
+}
+
+/// One node of the per-rank step DAG. The overlap nodes split each halo
+/// op into a post half and a complete half with interior compute between
+/// them; the `*Op` nodes are degenerate single-node stand-ins that run
+/// the corresponding barrier phase unchanged (used when the variant or
+/// potential cannot overlap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DagPhase {
+    /// Staged atom migration (3 rounds, never split).
+    Exchange,
+    /// Bin-order sort of locals between Exchange and Border.
+    SpatialSort,
+    /// Post the ghost-region halo (Border) puts.
+    BorderPost,
+    /// Classify rows geometrically and build the interior-only Verlet
+    /// list while Border messages are in flight.
+    InteriorBuild,
+    /// Log the interior rows of the pair pass (single-pass potentials).
+    InteriorPair,
+    /// Log the interior rows of the EAM density pass.
+    InteriorRho,
+    /// Wait on the Border halo.
+    BorderComplete,
+    /// Build the boundary rows against the arrived ghosts and merge into
+    /// the full list; derive the list-content partition.
+    BoundaryBuild,
+    /// Log the boundary pair rows, then replay both sides in serial row
+    /// order (single-pass potentials).
+    BoundaryPair,
+    /// Boundary half of the EAM density pass + merged replay.
+    BoundaryRho,
+    /// Post the ghost position update (Forward).
+    ForwardPost,
+    /// Wait on the Forward halo.
+    ForwardComplete,
+    /// Fold ghost densities back to their owners (ReverseScalar op).
+    RhoReduce,
+    /// EAM embedding energy + F' for locals.
+    Embed,
+    /// Post the F' forward exchange (ForwardScalar).
+    FwdScalarPost,
+    /// Log the interior rows of the EAM force pass while F' ghosts are in
+    /// flight.
+    InteriorForce,
+    /// Wait on the F' halo.
+    FwdScalarComplete,
+    /// Boundary half of the EAM force pass + merged replay.
+    BoundaryForce,
+    /// Ghost force fold-back (Reverse op).
+    Reverse,
+    /// Second velocity-Verlet half + Modify charge.
+    FinalIntegrate,
+    /// Per-step Other floor + optional thermo reduction.
+    Accounting,
+    /// Degenerate node: the whole Border op, post+complete back-to-back.
+    BorderOp,
+    /// Degenerate node: the barrier-plan full list rebuild.
+    RebuildLists,
+    /// Degenerate node: the whole Forward op.
+    ForwardOp,
+    /// Degenerate node: the barrier-plan pair phase (including the EAM
+    /// pipeline and the Pair charge).
+    PairCompute,
+}
+
+/// A DAG node: its phase and the ids of the nodes it depends on.
+#[derive(Debug, Clone)]
+pub struct DagNode {
+    /// The work item.
+    pub phase: DagPhase,
+    /// Ids of nodes that must execute first (always smaller than this
+    /// node's own id, so id order is a topological order).
+    pub deps: Vec<usize>,
+}
+
+/// The dependency DAG of one timestep, built after the reneighbor verdict
+/// is known. Node ids are assigned in a valid topological order and the
+/// executor dispatches the lowest-id ready node, so the execution order
+/// is a pure function of the step's shape — independent of host thread
+/// count, wall-clock, or any virtual-time value (DESIGN.md §12).
+#[derive(Debug)]
+pub struct StepDag {
+    /// The nodes, id-indexed.
+    pub nodes: Vec<DagNode>,
+}
+
+impl StepDag {
+    /// Build the step DAG. `overlap` selects the split (overlapping)
+    /// shape; without it every node is a degenerate stand-in for the
+    /// matching barrier phase, in the barrier plan's exact order.
+    #[must_use]
+    pub fn build(rebuild: bool, eam: bool, reverse_needed: bool, overlap: bool) -> Self {
+        let mut nodes: Vec<DagNode> = Vec::new();
+        let mut push = |nodes: &mut Vec<DagNode>, phase: DagPhase, deps: Vec<usize>| -> usize {
+            nodes.push(DagNode { phase, deps });
+            nodes.len() - 1
+        };
+        let pair_done = if !overlap {
+            let prev = if rebuild {
+                let ex = push(&mut nodes, DagPhase::Exchange, vec![]);
+                let sort = push(&mut nodes, DagPhase::SpatialSort, vec![ex]);
+                let border = push(&mut nodes, DagPhase::BorderOp, vec![sort]);
+                push(&mut nodes, DagPhase::RebuildLists, vec![border])
+            } else {
+                push(&mut nodes, DagPhase::ForwardOp, vec![])
+            };
+            push(&mut nodes, DagPhase::PairCompute, vec![prev])
+        } else if rebuild {
+            let ex = push(&mut nodes, DagPhase::Exchange, vec![]);
+            let sort = push(&mut nodes, DagPhase::SpatialSort, vec![ex]);
+            let bpost = push(&mut nodes, DagPhase::BorderPost, vec![sort]);
+            let ibuild = push(&mut nodes, DagPhase::InteriorBuild, vec![sort]);
+            let ilog = if eam {
+                push(&mut nodes, DagPhase::InteriorRho, vec![ibuild])
+            } else {
+                push(&mut nodes, DagPhase::InteriorPair, vec![ibuild])
+            };
+            let bdone = push(&mut nodes, DagPhase::BorderComplete, vec![bpost]);
+            let bbuild = push(&mut nodes, DagPhase::BoundaryBuild, vec![ibuild, bdone]);
+            if eam {
+                let brho = push(&mut nodes, DagPhase::BoundaryRho, vec![ilog, bbuild]);
+                Self::push_eam_tail(&mut nodes, &mut push, brho)
+            } else {
+                push(&mut nodes, DagPhase::BoundaryPair, vec![ilog, bbuild])
+            }
+        } else {
+            let fpost = push(&mut nodes, DagPhase::ForwardPost, vec![]);
+            let ilog = if eam {
+                push(&mut nodes, DagPhase::InteriorRho, vec![])
+            } else {
+                push(&mut nodes, DagPhase::InteriorPair, vec![])
+            };
+            let fdone = push(&mut nodes, DagPhase::ForwardComplete, vec![fpost]);
+            if eam {
+                let brho = push(&mut nodes, DagPhase::BoundaryRho, vec![ilog, fdone]);
+                Self::push_eam_tail(&mut nodes, &mut push, brho)
+            } else {
+                push(&mut nodes, DagPhase::BoundaryPair, vec![ilog, fdone])
+            }
+        };
+        let mut prev = pair_done;
+        if reverse_needed {
+            prev = push(&mut nodes, DagPhase::Reverse, vec![prev]);
+        }
+        let fin = push(&mut nodes, DagPhase::FinalIntegrate, vec![prev]);
+        push(&mut nodes, DagPhase::Accounting, vec![fin]);
+        StepDag { nodes }
+    }
+
+    /// The shared EAM tail after the density replay: fold ghost rho back,
+    /// embed, then overlap the F' forward with the interior force rows.
+    fn push_eam_tail(
+        nodes: &mut Vec<DagNode>,
+        push: &mut impl FnMut(&mut Vec<DagNode>, DagPhase, Vec<usize>) -> usize,
+        rho_done: usize,
+    ) -> usize {
+        let reduce = push(nodes, DagPhase::RhoReduce, vec![rho_done]);
+        let embed = push(nodes, DagPhase::Embed, vec![reduce]);
+        let fpost = push(nodes, DagPhase::FwdScalarPost, vec![embed]);
+        let iforce = push(nodes, DagPhase::InteriorForce, vec![embed]);
+        let fdone = push(nodes, DagPhase::FwdScalarComplete, vec![fpost]);
+        push(nodes, DagPhase::BoundaryForce, vec![iforce, fdone])
+    }
+
+    /// Execute order: repeatedly dispatch the lowest-id node whose deps
+    /// have all run. Because ids are assigned topologically this equals
+    /// plain id order, but computing it through the ready set keeps the
+    /// scheduling rule explicit (and lets tests validate the dep edges).
+    #[must_use]
+    pub fn execution_order(&self) -> Vec<DagPhase> {
+        let n = self.nodes.len();
+        let mut done = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        while order.len() < n {
+            let ready = (0..n).find(|&i| !done[i] && self.nodes[i].deps.iter().all(|&d| done[d]));
+            let Some(i) = ready else {
+                unreachable!("step DAG has a dependency cycle");
+            };
+            done[i] = true;
+            order.push(self.nodes[i].phase);
+        }
+        order
     }
 }
 
@@ -442,5 +682,95 @@ mod tests {
         }
         assert!(Cond::IfRebuild.applies(true) && !Cond::IfRebuild.applies(false));
         assert!(!Cond::IfNoRebuild.applies(true) && Cond::IfNoRebuild.applies(false));
+    }
+
+    fn pos(order: &[DagPhase], p: DagPhase) -> usize {
+        order
+            .iter()
+            .position(|&q| q == p)
+            .unwrap_or_else(|| panic!("{p:?} missing from {order:?}"))
+    }
+
+    #[test]
+    fn dag_ids_are_topological_and_execution_is_id_order() {
+        for rebuild in [false, true] {
+            for eam in [false, true] {
+                for overlap in [false, true] {
+                    let dag = StepDag::build(rebuild, eam, true, overlap);
+                    for (i, n) in dag.nodes.iter().enumerate() {
+                        assert!(n.deps.iter().all(|&d| d < i), "dep edge forward at {i}");
+                    }
+                    let order = dag.execution_order();
+                    let by_id: Vec<DagPhase> = dag.nodes.iter().map(|n| n.phase).collect();
+                    assert_eq!(order, by_id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_dag_mirrors_barrier_plan() {
+        let order = StepDag::build(true, false, true, false).execution_order();
+        assert_eq!(
+            order,
+            vec![
+                DagPhase::Exchange,
+                DagPhase::SpatialSort,
+                DagPhase::BorderOp,
+                DagPhase::RebuildLists,
+                DagPhase::PairCompute,
+                DagPhase::Reverse,
+                DagPhase::FinalIntegrate,
+                DagPhase::Accounting,
+            ]
+        );
+        let fwd = StepDag::build(false, true, false, false).execution_order();
+        assert_eq!(
+            fwd,
+            vec![
+                DagPhase::ForwardOp,
+                DagPhase::PairCompute,
+                DagPhase::FinalIntegrate,
+                DagPhase::Accounting,
+            ]
+        );
+    }
+
+    #[test]
+    fn overlap_dag_interleaves_interior_compute_inside_halo_windows() {
+        // LJ rebuild: interior build + pair logging run between the Border
+        // post and its complete.
+        let o = StepDag::build(true, false, true, true).execution_order();
+        let (bp, bc) = (
+            pos(&o, DagPhase::BorderPost),
+            pos(&o, DagPhase::BorderComplete),
+        );
+        assert!(bp < pos(&o, DagPhase::InteriorBuild) || pos(&o, DagPhase::InteriorBuild) < bc);
+        assert!(pos(&o, DagPhase::InteriorBuild) < bc && bp < bc);
+        assert!(pos(&o, DagPhase::InteriorPair) < bc);
+        assert!(pos(&o, DagPhase::BoundaryBuild) > bc);
+        assert!(pos(&o, DagPhase::BoundaryPair) > pos(&o, DagPhase::BoundaryBuild));
+        // LJ forward: interior pair logging inside the Forward window.
+        let f = StepDag::build(false, false, true, true).execution_order();
+        let (fp, fc) = (
+            pos(&f, DagPhase::ForwardPost),
+            pos(&f, DagPhase::ForwardComplete),
+        );
+        assert!(fp < pos(&f, DagPhase::InteriorPair) && pos(&f, DagPhase::InteriorPair) < fc);
+        // EAM forward: interior force rows inside the F' window.
+        let e = StepDag::build(false, true, true, true).execution_order();
+        let (sp, sc) = (
+            pos(&e, DagPhase::FwdScalarPost),
+            pos(&e, DagPhase::FwdScalarComplete),
+        );
+        assert!(sp < pos(&e, DagPhase::InteriorForce) && pos(&e, DagPhase::InteriorForce) < sc);
+        assert!(pos(&e, DagPhase::InteriorRho) < pos(&e, DagPhase::ForwardComplete));
+        assert!(pos(&e, DagPhase::RhoReduce) > pos(&e, DagPhase::BoundaryRho));
+        // Tail order is fixed in every shape.
+        for order in [&o, &f, &e] {
+            let rev = pos(order, DagPhase::Reverse);
+            assert!(rev < pos(order, DagPhase::FinalIntegrate));
+            assert_eq!(*order.last().unwrap(), DagPhase::Accounting);
+        }
     }
 }

@@ -34,6 +34,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Panicking escape hatches are reserved for tests; library paths must
+// propagate errors through the typed-error plumbing instead.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 // Dimension loops (`for d in 0..3`) index by physical dimension on fixed
 // [f64; 3] vectors; the index is the semantics, so the iterator rewrite the
 // lint suggests would be less clear.
@@ -52,7 +55,7 @@ pub mod variant;
 pub use accounting::{StageAcc, SyncBucket};
 pub use cluster::{Cluster, StageBreakdown};
 pub use config::{PotentialKind, RunConfig};
-pub use driver::{Lane, Phase, Team};
+pub use driver::{DagPhase, Lane, Partition, Phase, PlanMode, StepDag, Team};
 pub use lockstep::{
     bisect_against_serial, bisect_cluster_against_serial, bisect_clusters, bisect_variants,
     AtomDelta, Divergence, DivergenceReport, FaultInjector, LockstepOptions,

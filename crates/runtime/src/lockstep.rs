@@ -236,6 +236,18 @@ struct RankSnap {
     ghost_scalars: BTreeMap<u64, Vec<f64>>,
 }
 
+/// Total lexicographic order on raw coordinates. Uses `f64::total_cmp` per
+/// component so a NaN coordinate still sorts deterministically — the
+/// bisector exists to diagnose bad numbers and must not panic on them;
+/// the NaN itself is reported as a divergence by the field comparison.
+fn total_cmp3(p: &[f64; 3], q: &[f64; 3]) -> std::cmp::Ordering {
+    p.iter()
+        .zip(q)
+        .map(|(a, b)| a.total_cmp(b))
+        .find(|o| o.is_ne())
+        .unwrap_or(std::cmp::Ordering::Equal)
+}
+
 impl RankSnap {
     fn capture(st: &RankState) -> Self {
         let at = &st.atoms;
@@ -248,7 +260,7 @@ impl RankSnap {
             ghosts.entry(at.tag[i]).or_default().push(at.x[i]);
         }
         for v in ghosts.values_mut() {
-            v.sort_by(|p, q| p.partial_cmp(q).expect("finite coordinates"));
+            v.sort_by(total_cmp3);
         }
         let has_scalar = st.scalar.len() == at.ntotal() && at.ntotal() > 0;
         let mut local_scalars = Vec::new();
@@ -263,7 +275,7 @@ impl RankSnap {
                     .push(st.scalar[i]);
             }
             for v in ghost_scalars.values_mut() {
-                v.sort_by(|p, q| p.partial_cmp(q).expect("finite scalar"));
+                v.sort_by(f64::total_cmp);
             }
         }
         RankSnap {
@@ -289,28 +301,51 @@ fn capture_step(cluster: &mut Cluster) -> Vec<OpSnap> {
     let sink: Arc<Mutex<Vec<OpSnap>>> = Arc::new(Mutex::new(Vec::new()));
     let tap = sink.clone();
     cluster.set_op_observer(Box::new(move |op, round, rounds, states| {
-        tap.lock().expect("observer sink").push(OpSnap {
-            op,
-            round,
-            rounds,
-            ranks: states.iter().map(RankSnap::capture).collect(),
-        });
+        tap.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(OpSnap {
+                op,
+                round,
+                rounds,
+                ranks: states.iter().map(RankSnap::capture).collect(),
+            });
     }));
     cluster.run_step();
     cluster.clear_op_observer();
-    let snaps = std::mem::take(&mut *sink.lock().expect("observer sink"));
+    let snaps = std::mem::take(
+        &mut *sink
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
     snaps
 }
 
 /// Largest per-component min-image difference between two coordinates.
+/// NaN anywhere yields NaN (a plain `f64::max` fold would silently drop
+/// it, hiding exactly the corruption the bisector hunts).
 fn mi_delta(global: &Box3, a: &[f64; 3], b: &[f64; 3]) -> f64 {
     let d = global.minimum_image(a, b);
-    d.iter().fold(0.0f64, |m, c| m.max(c.abs()))
+    let mut m = 0.0f64;
+    for c in d {
+        if c.is_nan() {
+            return f64::NAN;
+        }
+        m = m.max(c.abs());
+    }
+    m
 }
 
-/// Largest plain per-component difference.
+/// Largest plain per-component difference; NaN anywhere yields NaN.
 fn abs_delta(a: &[f64; 3], b: &[f64; 3]) -> f64 {
-    (0..3).fold(0.0f64, |m, d| m.max((a[d] - b[d]).abs()))
+    let mut m = 0.0f64;
+    for d in 0..3 {
+        let c = (a[d] - b[d]).abs();
+        if c.is_nan() {
+            return f64::NAN;
+        }
+        m = m.max(c);
+    }
+    m
 }
 
 struct CompareCtx<'c> {
@@ -347,7 +382,8 @@ fn field_divergence(
             } else {
                 abs_delta(xa, xb)
             };
-            if d > ctx.tol {
+            // A NaN delta IS a divergence (`>` alone is false for NaN).
+            if d > ctx.tol || d.is_nan() {
                 deltas.push(AtomDelta {
                     tag: *t,
                     a: **xa,
@@ -360,7 +396,8 @@ fn field_divergence(
     if missing_tags.is_empty() && extra_tags.is_empty() && deltas.is_empty() {
         return None;
     }
-    deltas.sort_by(|p, q| q.abs_delta.partial_cmp(&p.abs_delta).expect("finite delta"));
+    // Descending by total order: NaN deltas sort first, largest finite next.
+    deltas.sort_by(|p, q| q.abs_delta.total_cmp(&p.abs_delta));
     deltas.truncate(ctx.max_deltas);
     let first_tag = deltas
         .first()
@@ -499,10 +536,10 @@ fn compare_op(ctx: &CompareCtx<'_>, op: Op, a: &[RankSnap], b: &[RankSnap]) -> O
 fn occurrences(snaps: Vec<OpSnap>) -> Vec<Vec<OpSnap>> {
     let mut out: Vec<Vec<OpSnap>> = Vec::new();
     for s in snaps {
-        if s.round == 0 || out.is_empty() {
-            out.push(Vec::new());
+        match out.last_mut() {
+            Some(cur) if s.round != 0 => cur.push(s),
+            _ => out.push(vec![s]),
         }
-        out.last_mut().expect("just pushed").push(s);
     }
     out
 }
@@ -577,7 +614,9 @@ pub fn bisect_clusters(
             let pairs: Vec<(&OpSnap, &OpSnap)> = if strict_rounds && oa.len() == ob.len() {
                 oa.iter().zip(ob.iter()).collect()
             } else {
-                vec![(oa.last().expect("nonempty"), ob.last().expect("nonempty"))]
+                // Occurrences are nonempty by construction; compare the
+                // completed-op states.
+                oa.last().zip(ob.last()).into_iter().collect()
             };
             for (sa, sb) in pairs {
                 if let Some(mut d) = compare_op(&ctx, op, &sa.ranks, &sb.ranks) {
@@ -873,6 +912,39 @@ mod tests {
             &opts,
         );
         assert!(report.is_clean(), "{}", report.render());
+    }
+
+    /// Satellite regression for the `partial_cmp(..).expect(..)` panic:
+    /// a NaN put on the wire must surface as a *reported divergence* with
+    /// a NaN delta (sorted first by `total_cmp`), never as a bisector
+    /// crash — the tool exists precisely to diagnose bad numbers.
+    #[test]
+    fn nan_on_the_wire_is_reported_as_divergence_not_a_panic() {
+        let cfg = RunConfig::lj(4000);
+        let mut a = Cluster::new(MESH, cfg, CommVariant::Opt);
+        let mut b = Cluster::new(MESH, cfg, CommVariant::Opt);
+        b.wrap_engine(7, |inner| {
+            Box::new(FaultInjector::new(inner, Op::Forward, 0, f64::NAN))
+        });
+        let opts = LockstepOptions {
+            steps: 3,
+            ..LockstepOptions::default()
+        };
+        let report = bisect_clusters(&mut a, &mut b, &opts);
+        let d = report.divergence.as_ref().unwrap_or_else(|| {
+            panic!("NaN corruption must be detected:\n{}", report.render());
+        });
+        assert_eq!(d.step, 1, "{}", report.render());
+        assert_eq!(d.op, Some(Op::Forward), "{}", report.render());
+        assert!(
+            d.deltas.iter().any(|ad| ad.abs_delta.is_nan()),
+            "the NaN itself must appear among the reported deltas:\n{}",
+            report.render()
+        );
+        // NaN deltas outrank every finite one in the report ordering.
+        assert!(d.deltas[0].abs_delta.is_nan(), "{}", report.render());
+        // And the human-readable rendering survives the NaN.
+        assert!(!report.render().is_empty());
     }
 
     #[test]

@@ -8,21 +8,28 @@
 //! can run them at any thread count with bit-identical results (the
 //! virtual-time charges depend only on the rank's own workload).
 
-use crate::driver::{Lane, Team};
+use crate::driver::{Lane, Partition, Team};
+use tofumd_core::border_bin;
 use tofumd_core::engine::RankState;
 use tofumd_md::integrate::NveIntegrator;
+use tofumd_md::kernels;
 use tofumd_md::neighbor::{sort_locals_by_bin, ListKind, NeighborList};
-use tofumd_md::potential::Potential;
+use tofumd_md::potential::{PairEnergyVirial, Potential};
 use tofumd_model::{RankWork, StageCosts, Threading};
 use tofumd_tofu::{NetParams, TofuError};
 
 /// Record a phase-order violation (state consumed before it was built) on
 /// the lane; the step driver raises it after the phase joins.
 fn fail_missing_list(lane: &mut Lane, rank: usize, phase: &'static str) {
+    fail_missing(lane, rank, phase, "neighbor list");
+}
+
+/// Like [`fail_missing_list`] for other prerequisite state.
+fn fail_missing(lane: &mut Lane, rank: usize, phase: &'static str, missing: &'static str) {
     lane.failed = Some(TofuError::PhaseOrder {
         node: rank,
         phase,
-        missing: "neighbor list",
+        missing,
     });
 }
 
@@ -102,6 +109,10 @@ pub fn rebuild_lists(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [R
         st.clock += dt;
         lane.acc.neigh += dt;
         lane.list = Some(list);
+        // A one-pass rebuild starts a new list epoch without classifying
+        // rows; any partition from an earlier epoch is now stale.
+        lane.part = None;
+        lane.interior_list = None;
     });
 }
 
@@ -245,5 +256,428 @@ pub fn charge_other_floor(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &m
     team.for_each(lanes, states, &|_, lane, st| {
         st.clock += dt;
         lane.acc.other += dt;
+    });
+}
+
+// ---------------------------------------------------------------------
+// Split (overlap) phases: the interior halves run while halo messages
+// are in flight; the boundary halves run after arrival and replay both
+// sides in exact serial row order (DESIGN.md §12).
+// ---------------------------------------------------------------------
+
+/// Geometric classification radius: a hair beyond the list cutoff so
+/// float jitter at the shell boundary can only *shrink* the interior —
+/// a misclassified row would silently read stale ghosts.
+fn classify_radius(ctx: &Ctx) -> f64 {
+    (ctx.cutoff + ctx.skin) * (1.0 + 1e-9)
+}
+
+/// Cost-model workload of an interior row set (no ghosts by definition).
+fn interior_work(n_rows: usize, pairs: usize, eam: bool) -> RankWork {
+    RankWork {
+        n_local: n_rows as f64,
+        n_ghost: 0.0,
+        interactions: pairs as f64,
+        eam,
+    }
+}
+
+/// The flag set and its workload counts for one split pass: geometric on
+/// rebuild steps (the list is being rebuilt pre-ghost), list-content on
+/// forward steps (the list is fixed, only ghost positions are stale).
+fn split_sel(part: &Partition, rebuild: bool) -> (&[bool], usize, usize) {
+    if rebuild {
+        (&part.geo, part.n_geo, part.geo_pairs)
+    } else {
+        (&part.pair, part.n_pair, part.pair_pairs)
+    }
+}
+
+/// Classify every rank's rows geometrically and build the interior-only
+/// Verlet list — all before any ghost exists, while the Border halo is in
+/// flight. Charges the interior share of Neigh.
+pub fn build_interior_lists(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [RankState]) {
+    team.for_each_chunk(lanes, states, &|_, lane, st, exec| {
+        let sub = st.plan.sub;
+        let rg = st.plan.r_ghost;
+        let lo = [sub.lo[0] - rg, sub.lo[1] - rg, sub.lo[2] - rg];
+        let hi = [sub.hi[0] + rg, sub.hi[1] + rg, sub.hi[2] + rg];
+        let geo =
+            border_bin::interior_flags(&st.atoms.x, st.atoms.nlocal, &sub, classify_radius(ctx));
+        let ilist = NeighborList::build_interior(
+            &st.atoms,
+            lo,
+            hi,
+            ctx.list_kind,
+            ctx.cutoff,
+            ctx.skin,
+            &geo,
+            exec,
+        );
+        let n_geo = geo.iter().filter(|&&b| b).count();
+        let geo_pairs = ilist.npairs();
+        let dt = ctx.costs.neigh_time(
+            &interior_work(n_geo, geo_pairs, ctx.eam),
+            ctx.threading,
+            &ctx.params,
+        );
+        st.clock += dt;
+        lane.acc.neigh += dt;
+        lane.interior_list = Some(ilist);
+        lane.part = Some(Partition {
+            geo,
+            n_geo,
+            geo_pairs,
+            ..Partition::default()
+        });
+    });
+}
+
+/// Build the boundary rows against the arrived ghost shell, merge with
+/// the interior list into the full list (bit-identical to the one-pass
+/// build) and derive the list-content partition for forward-step splits.
+/// Charges the remainder of the full rebuild's Neigh time.
+pub fn build_boundary_lists(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [RankState]) {
+    team.for_each_chunk(lanes, states, &|r, lane, st, exec| {
+        let Some(ilist) = lane.interior_list.take() else {
+            fail_missing(lane, r, "boundary_build", "interior list");
+            return;
+        };
+        let Some(part) = lane.part.as_mut() else {
+            fail_missing(lane, r, "boundary_build", "row partition");
+            return;
+        };
+        let sub = st.plan.sub;
+        let rg = st.plan.r_ghost;
+        let lo = [sub.lo[0] - rg, sub.lo[1] - rg, sub.lo[2] - rg];
+        let hi = [sub.hi[0] + rg, sub.hi[1] + rg, sub.hi[2] + rg];
+        let full = NeighborList::build_boundary(&st.atoms, lo, hi, &ilist, &part.geo, exec);
+        part.pair = full.local_only_rows();
+        part.n_pair = part.pair.iter().filter(|&&b| b).count();
+        part.pair_pairs = full.pairs_in(&part.pair, true);
+        let w_full = RankWork {
+            n_local: st.atoms.nlocal as f64,
+            n_ghost: st.atoms.nghost() as f64,
+            interactions: full.npairs() as f64,
+            eam: ctx.eam,
+        };
+        let t_full = ctx.costs.neigh_time(&w_full, ctx.threading, &ctx.params);
+        let t_int = ctx.costs.neigh_time(
+            &interior_work(part.n_geo, part.geo_pairs, ctx.eam),
+            ctx.threading,
+            &ctx.params,
+        );
+        let dt = (t_full - t_int).max(0.0);
+        st.clock += dt;
+        lane.acc.neigh += dt;
+        lane.list = Some(full);
+    });
+}
+
+/// Log the interior rows of a single-pass pair potential into the split
+/// scratch (no force array is touched — the halo may still be in
+/// flight). Charges the interior share of Pair.
+///
+/// # Panics
+/// If `potential` is not a split-capable single-pass style.
+pub fn pair_interior_log(
+    team: &Team,
+    ctx: &Ctx,
+    potential: &Potential,
+    rebuild: bool,
+    lanes: &mut [Lane],
+    states: &mut [RankState],
+) {
+    let Potential::Pair(pot) = potential else {
+        panic!("pair_interior_log requires a single-pass potential");
+    };
+    let Some(split) = pot.as_split() else {
+        panic!("pair_interior_log requires a split-capable potential");
+    };
+    team.for_each_chunk(lanes, states, &|r, lane, st, exec| {
+        let Some(part) = lane.part.as_ref() else {
+            fail_missing(lane, r, "interior_pair", "row partition");
+            return;
+        };
+        let (flags, n_int, int_pairs) = split_sel(part, rebuild);
+        let list = if rebuild {
+            lane.interior_list.as_ref()
+        } else {
+            lane.list.as_ref()
+        };
+        let Some(list) = list else {
+            fail_missing_list(lane, r, "interior_pair");
+            return;
+        };
+        lane.split.prepare(st.atoms.nlocal);
+        split.log_rows(&st.atoms, list, flags, true, exec, &mut lane.split);
+        let dt = ctx.costs.pair_time(
+            &interior_work(n_int, int_pairs, ctx.eam),
+            ctx.threading,
+            &ctx.params,
+        );
+        st.clock += dt;
+        lane.acc.pair += dt;
+    });
+}
+
+/// Log the boundary rows of a single-pass pair potential against the
+/// arrived ghosts, then replay both sides in exact serial row order into
+/// freshly zeroed forces. Charges the remainder of the full Pair time.
+///
+/// # Panics
+/// If `potential` is not a split-capable single-pass style.
+pub fn pair_boundary_finish(
+    team: &Team,
+    ctx: &Ctx,
+    potential: &Potential,
+    rebuild: bool,
+    lanes: &mut [Lane],
+    states: &mut [RankState],
+) {
+    let Potential::Pair(pot) = potential else {
+        panic!("pair_boundary_finish requires a single-pass potential");
+    };
+    let Some(split) = pot.as_split() else {
+        panic!("pair_boundary_finish requires a split-capable potential");
+    };
+    team.for_each_chunk(lanes, states, &|r, lane, st, exec| {
+        let Some(part) = lane.part.as_ref() else {
+            fail_missing(lane, r, "boundary_pair", "row partition");
+            return;
+        };
+        let (flags, n_int, int_pairs) = split_sel(part, rebuild);
+        let Some(list) = lane.list.as_ref() else {
+            fail_missing_list(lane, r, "boundary_pair");
+            return;
+        };
+        split.log_rows(&st.atoms, list, flags, false, exec, &mut lane.split);
+        st.atoms.zero_forces();
+        kernels::replay_forces_split(&lane.split, &mut st.atoms.f, exec);
+        let (energy, virial) = kernels::fold_ev_split(&lane.split);
+        lane.energy = PairEnergyVirial { energy, virial };
+        lane.embed = 0.0;
+        let w_full = RankWork {
+            n_local: st.atoms.nlocal as f64,
+            n_ghost: st.atoms.nghost() as f64,
+            interactions: list.npairs() as f64,
+            eam: ctx.eam,
+        };
+        let t_full = ctx.costs.pair_time(&w_full, ctx.threading, &ctx.params);
+        let t_int = ctx.costs.pair_time(
+            &interior_work(n_int, int_pairs, ctx.eam),
+            ctx.threading,
+            &ctx.params,
+        );
+        let dt = (t_full - t_int).max(0.0);
+        st.clock += dt;
+        lane.acc.pair += dt;
+    });
+}
+
+/// Log the interior rows of the EAM density pass. Charges half the
+/// interior Pair share (the other half belongs to the force pass).
+///
+/// # Panics
+/// If `potential` is not a split-capable many-body style.
+pub fn rho_interior_log(
+    team: &Team,
+    ctx: &Ctx,
+    potential: &Potential,
+    rebuild: bool,
+    lanes: &mut [Lane],
+    states: &mut [RankState],
+) {
+    let Potential::ManyBody(pot) = potential else {
+        panic!("rho_interior_log requires a many-body potential");
+    };
+    let Some(split) = pot.as_split() else {
+        panic!("rho_interior_log requires a split-capable potential");
+    };
+    team.for_each_chunk(lanes, states, &|r, lane, st, exec| {
+        let Some(part) = lane.part.as_ref() else {
+            fail_missing(lane, r, "interior_rho", "row partition");
+            return;
+        };
+        let (flags, n_int, int_pairs) = split_sel(part, rebuild);
+        let list = if rebuild {
+            lane.interior_list.as_ref()
+        } else {
+            lane.list.as_ref()
+        };
+        let Some(list) = list else {
+            fail_missing_list(lane, r, "interior_rho");
+            return;
+        };
+        lane.split.prepare(st.atoms.nlocal);
+        split.log_rho_rows(&st.atoms, list, flags, true, exec, &mut lane.split);
+        let dt = 0.5
+            * ctx.costs.pair_time(
+                &interior_work(n_int, int_pairs, ctx.eam),
+                ctx.threading,
+                &ctx.params,
+            );
+        st.clock += dt;
+        lane.acc.pair += dt;
+    });
+}
+
+/// Log the boundary rows of the EAM density pass and replay both sides
+/// into a zeroed `st.scalar` — bit-identical to the one-pass density.
+/// Charges the density pass's remaining Pair share.
+///
+/// # Panics
+/// If `potential` is not a split-capable many-body style.
+pub fn rho_boundary_finish(
+    team: &Team,
+    ctx: &Ctx,
+    potential: &Potential,
+    rebuild: bool,
+    lanes: &mut [Lane],
+    states: &mut [RankState],
+) {
+    let Potential::ManyBody(pot) = potential else {
+        panic!("rho_boundary_finish requires a many-body potential");
+    };
+    let Some(split) = pot.as_split() else {
+        panic!("rho_boundary_finish requires a split-capable potential");
+    };
+    team.for_each_chunk(lanes, states, &|r, lane, st, exec| {
+        let Some(part) = lane.part.as_ref() else {
+            fail_missing(lane, r, "boundary_rho", "row partition");
+            return;
+        };
+        let (flags, n_int, int_pairs) = split_sel(part, rebuild);
+        let Some(list) = lane.list.as_ref() else {
+            fail_missing_list(lane, r, "boundary_rho");
+            return;
+        };
+        split.log_rho_rows(&st.atoms, list, flags, false, exec, &mut lane.split);
+        st.scalar.clear();
+        st.scalar.resize(st.atoms.ntotal(), 0.0);
+        kernels::replay_scalars_split(&lane.split, &mut st.scalar, exec);
+        let w_full = RankWork {
+            n_local: st.atoms.nlocal as f64,
+            n_ghost: st.atoms.nghost() as f64,
+            interactions: list.npairs() as f64,
+            eam: ctx.eam,
+        };
+        let t_full = ctx.costs.pair_time(&w_full, ctx.threading, &ctx.params);
+        let t_int = ctx.costs.pair_time(
+            &interior_work(n_int, int_pairs, ctx.eam),
+            ctx.threading,
+            &ctx.params,
+        );
+        let dt = 0.5 * (t_full - t_int).max(0.0);
+        st.clock += dt;
+        lane.acc.pair += dt;
+    });
+}
+
+/// Log the interior rows of the EAM force pass — rows whose stored
+/// neighbors are all local, so every F' they read is already valid while
+/// the F' forward is still in flight. Charges half the interior share.
+///
+/// # Panics
+/// If `potential` is not a split-capable many-body style.
+pub fn force_interior_log(
+    team: &Team,
+    ctx: &Ctx,
+    potential: &Potential,
+    lanes: &mut [Lane],
+    states: &mut [RankState],
+) {
+    let Potential::ManyBody(pot) = potential else {
+        panic!("force_interior_log requires a many-body potential");
+    };
+    let Some(split) = pot.as_split() else {
+        panic!("force_interior_log requires a split-capable potential");
+    };
+    team.for_each_chunk(lanes, states, &|r, lane, st, exec| {
+        let Some(part) = lane.part.as_ref() else {
+            fail_missing(lane, r, "interior_force", "row partition");
+            return;
+        };
+        let Some(list) = lane.list.as_ref() else {
+            fail_missing_list(lane, r, "interior_force");
+            return;
+        };
+        lane.split.prepare(st.atoms.nlocal);
+        split.log_force_rows(
+            &st.atoms,
+            list,
+            &st.scalar,
+            &part.pair,
+            true,
+            exec,
+            &mut lane.split,
+        );
+        let dt = 0.5
+            * ctx.costs.pair_time(
+                &interior_work(part.n_pair, part.pair_pairs, ctx.eam),
+                ctx.threading,
+                &ctx.params,
+            );
+        st.clock += dt;
+        lane.acc.pair += dt;
+    });
+}
+
+/// Log the boundary rows of the EAM force pass with the arrived ghost F'
+/// values, then replay both sides into zeroed forces. Charges the force
+/// pass's remaining Pair share.
+///
+/// # Panics
+/// If `potential` is not a split-capable many-body style.
+pub fn force_boundary_finish(
+    team: &Team,
+    ctx: &Ctx,
+    potential: &Potential,
+    lanes: &mut [Lane],
+    states: &mut [RankState],
+) {
+    let Potential::ManyBody(pot) = potential else {
+        panic!("force_boundary_finish requires a many-body potential");
+    };
+    let Some(split) = pot.as_split() else {
+        panic!("force_boundary_finish requires a split-capable potential");
+    };
+    team.for_each_chunk(lanes, states, &|r, lane, st, exec| {
+        let Some(part) = lane.part.as_ref() else {
+            fail_missing(lane, r, "boundary_force", "row partition");
+            return;
+        };
+        let Some(list) = lane.list.as_ref() else {
+            fail_missing_list(lane, r, "boundary_force");
+            return;
+        };
+        split.log_force_rows(
+            &st.atoms,
+            list,
+            &st.scalar,
+            &part.pair,
+            false,
+            exec,
+            &mut lane.split,
+        );
+        st.atoms.zero_forces();
+        kernels::replay_forces_split(&lane.split, &mut st.atoms.f, exec);
+        let (energy, virial) = kernels::fold_ev_split(&lane.split);
+        lane.energy = PairEnergyVirial { energy, virial };
+        let w_full = RankWork {
+            n_local: st.atoms.nlocal as f64,
+            n_ghost: st.atoms.nghost() as f64,
+            interactions: list.npairs() as f64,
+            eam: ctx.eam,
+        };
+        let t_full = ctx.costs.pair_time(&w_full, ctx.threading, &ctx.params);
+        let t_int = ctx.costs.pair_time(
+            &interior_work(part.n_pair, part.pair_pairs, ctx.eam),
+            ctx.threading,
+            &ctx.params,
+        );
+        let dt = 0.5 * (t_full - t_int).max(0.0);
+        st.clock += dt;
+        lane.acc.pair += dt;
     });
 }

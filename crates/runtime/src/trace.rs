@@ -83,6 +83,10 @@ pub struct StepRecord {
     pub max_clock_delta: f64,
     /// Whether a neighbor rebuild (exchange + border + list) ran.
     pub rebuilt: bool,
+    /// Comm time hidden behind interior compute this step (mean over
+    /// ranks); zero under the barrier plan or a non-overlapping variant.
+    #[serde(default)]
+    pub overlapped: f64,
 }
 
 /// A recorded run trace.
@@ -175,6 +179,22 @@ impl Trace {
         Some((rb / f64::from(crb)) / (nrb / f64::from(cnrb)))
     }
 
+    /// Per-step (min, mean, max) of the overlapped comm time.
+    #[must_use]
+    pub fn overlap_stats(&self) -> (f64, f64, f64) {
+        if self.steps.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let mut stats = (f64::INFINITY, 0.0, f64::NEG_INFINITY);
+        for r in &self.steps {
+            stats.0 = stats.0.min(r.overlapped);
+            stats.1 += r.overlapped;
+            stats.2 = stats.2.max(r.overlapped);
+        }
+        stats.1 /= self.steps.len() as f64;
+        stats
+    }
+
     /// Render a compact text report.
     #[must_use]
     pub fn report(&self) -> String {
@@ -189,6 +209,13 @@ impl Trace {
                 mx * 1e6
             ));
         }
+        let (omn, omean, omx) = self.overlap_stats();
+        out.push_str(&format!(
+            "Overlap {:>8.2}us {:>8.2}us {:>8.2}us (comm hidden behind interior compute)\n",
+            omn * 1e6,
+            omean * 1e6,
+            omx * 1e6
+        ));
         if let Some(ratio) = self.rebuild_cost_ratio() {
             out.push_str(&format!(
                 "reneighbor steps cost {ratio:.2}x a forward step\n"
@@ -227,7 +254,24 @@ mod tests {
             stages: [10e-6, if rebuilt { 5e-6 } else { 0.0 }, comm, 2e-6, 1e-6],
             max_clock_delta: 20e-6,
             rebuilt,
+            overlapped: 0.5e-6,
         }
+    }
+
+    #[test]
+    fn overlap_column_renders_and_folds() {
+        let mut t = Trace::default();
+        t.push(rec(1, 4e-6, false));
+        t.push(StepRecord {
+            overlapped: 1.5e-6,
+            ..rec(2, 4e-6, false)
+        });
+        let (mn, mean, mx) = t.overlap_stats();
+        assert_eq!(mn, 0.5e-6);
+        assert_eq!(mx, 1.5e-6);
+        assert!((mean - 1.0e-6).abs() < 1e-18);
+        assert!(t.report().contains("Overlap"), "report misses the column");
+        assert_eq!(Trace::default().overlap_stats(), (0.0, 0.0, 0.0));
     }
 
     #[test]
