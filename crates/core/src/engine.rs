@@ -7,7 +7,7 @@
 //! every rank `complete`s its receives — mirroring a bulk-synchronous MD
 //! timestep while letting virtual time flow through the simulated fabric.
 
-use crate::plan::CommPlan;
+use crate::sf::CommGraph;
 use serde::{Deserialize, Serialize};
 use tofumd_md::atom::Atoms;
 use tofumd_tofu::TofuError;
@@ -246,8 +246,8 @@ impl OpStats {
 pub struct RankState {
     /// The rank's atoms (locals + ghosts).
     pub atoms: Atoms,
-    /// The rank's communication plan.
-    pub plan: CommPlan,
+    /// The rank's star-forest communication graph.
+    pub graph: CommGraph,
     /// Virtual clock (seconds of simulated Fugaku time).
     pub clock: f64,
     /// Time attributed to the Comm stage this step (Table 3 breakdown).
@@ -268,10 +268,10 @@ pub struct RankState {
 impl RankState {
     /// Fresh state with a zero clock.
     #[must_use]
-    pub fn new(atoms: Atoms, plan: CommPlan) -> Self {
+    pub fn new(atoms: Atoms, graph: CommGraph) -> Self {
         RankState {
             atoms,
-            plan,
+            graph,
             clock: 0.0,
             comm_time: 0.0,
             pair_comm_time: 0.0,
@@ -296,7 +296,7 @@ impl RankState {
     /// Ghosts must have been cleared. Returns `[toward -dim, toward +dim]`.
     pub fn pack_exchange(&mut self, dim: usize) -> [Vec<f64>; 2] {
         assert_eq!(self.atoms.nghost(), 0, "exchange runs before border");
-        let (lo, hi) = (self.plan.sub.lo[dim], self.plan.sub.hi[dim]);
+        let (lo, hi) = (self.graph.sub.lo[dim], self.graph.sub.hi[dim]);
         let mut out = [Vec::new(), Vec::new()];
         let mut i = 0;
         while i < self.atoms.nlocal {
@@ -309,7 +309,7 @@ impl RankState {
                 i += 1;
                 continue;
             };
-            let link = &self.plan.face_links[dim][dir];
+            let link = *self.graph.face_link(dim, dir);
             let mut nx = [
                 x[0] + link.shift[0],
                 x[1] + link.shift[1],
@@ -339,6 +339,59 @@ impl RankState {
                 self.atoms.v[i],
             );
             self.atoms.swap_remove_local(i);
+        }
+        out
+    }
+
+    /// Exchange-stage packing for irregular graphs: one owner-directed
+    /// round instead of three staged sweeps. Local atoms that left the
+    /// sub-box are wrapped into the global box, resolved to their new
+    /// owner through the decomposition, and encoded toward the matching
+    /// migrate peer; periodic self-wraps are rewritten in place. Returns
+    /// one payload per entry of [`CommGraph::migrate_peers`].
+    pub fn pack_exchange_graph(&mut self) -> Vec<Vec<f64>> {
+        assert_eq!(self.atoms.nghost(), 0, "exchange runs before border");
+        let peers = self.graph.migrate_peers().to_vec();
+        let global = *self.graph.global_box();
+        let mut out = vec![Vec::new(); peers.len()];
+        let mut i = 0;
+        while i < self.atoms.nlocal {
+            let x = self.atoms.x[i];
+            if self.graph.sub.contains(&x) {
+                i += 1;
+                continue;
+            }
+            let (mut w, _) = global.wrap(x);
+            for d in 0..3 {
+                // The periodic wrap of a coordinate marginally below the
+                // global lower face can round onto the upper face itself;
+                // nudge it inside the half-open box (see pack_exchange).
+                if w[d] >= global.hi[d] {
+                    w[d] = global.hi[d].next_down();
+                }
+            }
+            let owner = self.graph.owner_of(&w);
+            if owner == self.graph.me {
+                self.atoms.x[i] = w;
+                i += 1;
+            } else if let Some(p) = peers.iter().position(|p| p.rank == owner) {
+                crate::wire::push_exchange_record(
+                    &mut out[p],
+                    self.atoms.tag[i],
+                    self.atoms.typ[i],
+                    w,
+                    self.atoms.v[i],
+                );
+                self.atoms.swap_remove_local(i);
+            } else {
+                // Within one rebuild interval atoms cannot outrun the
+                // ghost cutoff, so the new owner is always a halo peer;
+                // keep the atom (wrapped) rather than lose it if that
+                // invariant is ever violated.
+                debug_assert!(false, "migrant outran the halo at {w:?}");
+                self.atoms.x[i] = w;
+                i += 1;
+            }
         }
         out
     }
@@ -413,7 +466,7 @@ pub fn run_op_single(engine: &mut dyn GhostEngine, op: Op, st: &mut RankState) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::PlanConfig;
+    use crate::plan::{CommPlan, PlanConfig};
     use crate::topo_map::{Placement, RankMap};
     use tofumd_md::region::Box3;
     use tofumd_tofu::CellGrid;
@@ -423,7 +476,10 @@ mod tests {
         let map = RankMap::new(grid, Placement::TopoAware);
         let global = Box3::from_lengths([80.0, 240.0, 160.0]);
         let plan = CommPlan::build(0, &map, &global, 2.8, PlanConfig::NEWTON);
-        RankState::new(Atoms::from_positions(vec![[1.0; 3]], 1), plan)
+        RankState::new(
+            Atoms::from_positions(vec![[1.0; 3]], 1),
+            CommGraph::from_grid(plan),
+        )
     }
 
     #[test]
@@ -474,10 +530,10 @@ mod tests {
     fn exchange_wrap_never_lands_on_the_receiving_upper_face() {
         let mut st = state();
         assert_eq!(
-            st.plan.sub.lo[0], 0.0,
+            st.graph.sub.lo[0], 0.0,
             "rank 0 sits on the global lower face"
         );
-        let shift = st.plan.face_links[0][0].shift[0];
+        let shift = st.graph.face_link(0, 0).shift[0];
         assert!(shift > 0.0, "lower-face link wraps by +L");
         // An atom marginally below the global lower face: x + L rounds to
         // exactly L, the global (and receiving sub-box's) upper face.
@@ -507,7 +563,15 @@ mod tests {
         let global = Box3::from_lengths([80.0, 240.0, 160.0]);
         let rg = map.rank_grid;
         let top = map.rank_at([i64::from(rg[0]) - 1, 0, 0]);
-        let mk = |rank| CommPlan::build(rank, &map, &global, 2.8, PlanConfig::NEWTON);
+        let mk = |rank| {
+            CommGraph::from_grid(CommPlan::build(
+                rank,
+                &map,
+                &global,
+                2.8,
+                PlanConfig::NEWTON,
+            ))
+        };
         let mut sender = RankState::new(Atoms::from_positions(vec![[-1e-18, 1.0, 1.0]], 7), mk(0));
         let mut receiver = RankState::new(Atoms::default(), mk(top));
         let out = sender.pack_exchange(0);
@@ -521,5 +585,63 @@ mod tests {
             "migrant must not ping-pong off the receiver"
         );
         assert_eq!(receiver.atoms.nlocal, 1);
+    }
+
+    #[test]
+    fn irregular_migration_routes_atoms_to_their_owner() {
+        use std::sync::Arc;
+        use tofumd_md::domain::RcbDecomposition;
+        let grid = CellGrid::new([1, 1, 1]);
+        let map = RankMap::new(grid, Placement::TopoAware);
+        let global = Box3::from_lengths([20.0, 16.0, 12.0]);
+        let pts: Vec<[f64; 3]> = (0..200)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let u = |s: u32| ((h >> s) & 0xffff) as f64 / 65536.0;
+                [u(0) * 20.0, u(16) * 16.0, u(32) * 12.0]
+            })
+            .collect();
+        let rcb = Arc::new(RcbDecomposition::build(4, &pts, &global));
+        let graphs: Vec<CommGraph> = (0..4)
+            .map(|r| CommGraph::from_rcb(r, &rcb, &map, 2.5))
+            .collect();
+        // Give rank 0 every atom plus one out-of-box straggler; one
+        // migrate round must leave each atom on its owner.
+        let mut states: Vec<RankState> = graphs
+            .iter()
+            .enumerate()
+            .map(|(r, g)| {
+                let mine: Vec<[f64; 3]> = if r == 0 {
+                    let mut v = pts.clone();
+                    v.push([-0.5, 1.0, 1.0]); // wraps to the +x edge
+                    v
+                } else {
+                    Vec::new()
+                };
+                RankState::new(Atoms::from_positions(mine, 1), g.clone())
+            })
+            .collect();
+        let payloads = states[0].pack_exchange_graph();
+        let peers = states[0].graph.migrate_peers().to_vec();
+        for (p, payload) in peers.iter().zip(&payloads) {
+            states[p.rank].unpack_exchange(payload);
+        }
+        let total: usize = states.iter().map(|s| s.atoms.nlocal).sum();
+        assert_eq!(total, pts.len() + 1, "no atom lost in migration");
+        for st in &states {
+            for i in 0..st.atoms.nlocal {
+                assert!(
+                    st.graph.sub.contains(&st.atoms.x[i]),
+                    "atom {:?} not owned by rank {}",
+                    st.atoms.x[i],
+                    st.graph.me
+                );
+            }
+        }
+        // A second round is a fixed point.
+        for st in &mut states {
+            let again = st.pack_exchange_graph();
+            assert!(again.iter().all(Vec::is_empty), "migration must converge");
+        }
     }
 }

@@ -58,6 +58,7 @@ pub mod fine;
 pub mod mpi_engine;
 pub mod p2p;
 pub mod plan;
+pub mod sf;
 pub mod three_stage;
 pub mod topo_map;
 pub mod utofu_engine;
@@ -67,5 +68,6 @@ pub use border_bin::BorderBins;
 pub use engine::{CommStats, GhostEngine, Op, RankState};
 pub use mpi_engine::{MpiP2p, MpiThreeStage};
 pub use plan::{CommPlan, NeighborLink, PlanConfig};
+pub use sf::{CommGraph, GraphEdge, MigratePeer, SendSelector};
 pub use topo_map::{Placement, RankMap, RANKS_PER_NODE_SPLIT};
 pub use utofu_engine::{AddressBook, UtofuConfig, UtofuP2p, UtofuThreeStage};

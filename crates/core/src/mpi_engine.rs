@@ -2,10 +2,10 @@
 //! pattern ("ref") and the naive MPI p2p pattern that §3.2 shows is
 //! *slower* than the baseline because of MPI's per-message software cost.
 
-use crate::border_bin::BorderBins;
 use crate::engine::{GhostEngine, Op, OpStats, RankState};
 use crate::p2p::P2pGhosts;
 use crate::plan::NeighborLink;
+use crate::sf::SendSelector;
 use crate::three_stage::{round_to_sweep, staged_links, StagedGhosts};
 use crate::topo_map::RankMap;
 use crate::wire;
@@ -30,7 +30,8 @@ fn staged_tag(op: Op, dim: usize, dir: usize) -> u32 {
     op_base(op) * 64 + (dim as u32) * 2 + dir as u32
 }
 
-/// Tag for a p2p message: op and link index (identical on both sides).
+/// Tag for a p2p message: op and the *receiver's* edge index (a sender
+/// tags with its edge's `peer_index`; on grid graphs the two coincide).
 fn p2p_tag(op: Op, link: usize) -> u32 {
     op_base(op) * 1024 + link as u32
 }
@@ -248,34 +249,46 @@ impl GhostEngine for MpiThreeStage {
     }
 }
 
-/// Naive peer-to-peer over MPI: direct exchange with every plan neighbor.
+/// Naive peer-to-peer over MPI: direct exchange with every graph neighbor.
+/// The only engine that also speaks *irregular* graphs (RCB): ghost ops
+/// walk the edge lists either way, and migration switches from the three
+/// staged face sweeps to one owner-directed round.
 pub struct MpiP2p {
     comm: Arc<Communicator>,
     me: usize,
-    bins: Option<BorderBins>,
+    sel: Option<SendSelector>,
     ghosts: P2pGhosts,
     stats: OpStats,
+    migrate_rounds: usize,
 }
 
 impl MpiP2p {
-    /// Build the engine for one rank (bins are created lazily from the
-    /// plan carried by the first `RankState`).
+    /// Build the engine for one rank of a grid graph (the selector is
+    /// created lazily from the graph carried by the first `RankState`).
     #[must_use]
     pub fn new(comm: Arc<Communicator>, rank: usize) -> Self {
         MpiP2p {
             comm,
             me: rank,
-            bins: None,
+            sel: None,
             ghosts: P2pGhosts::default(),
             stats: OpStats::default(),
+            migrate_rounds: 3,
         }
     }
 
-    fn bins<'a>(bins: &'a mut Option<BorderBins>, st: &RankState) -> &'a BorderBins {
-        bins.get_or_insert_with(|| {
-            let offsets: Vec<_> = st.plan.send_to.iter().map(|l| l.offset).collect();
-            BorderBins::new(st.plan.sub, st.plan.r_ghost, &offsets)
-        })
+    /// Build the engine for one rank of an irregular graph (single-round
+    /// owner-directed migration).
+    #[must_use]
+    pub fn new_irregular(comm: Arc<Communicator>, rank: usize) -> Self {
+        MpiP2p {
+            migrate_rounds: 1,
+            ..Self::new(comm, rank)
+        }
+    }
+
+    fn sel<'a>(sel: &'a mut Option<SendSelector>, st: &RankState) -> &'a SendSelector {
+        sel.get_or_insert_with(|| st.graph.selector())
     }
 
     fn send_all(
@@ -291,15 +304,15 @@ impl MpiP2p {
         let mut now = st.clock + p.pack_cost(bytes);
         for (k, payload) in payloads.iter().enumerate() {
             self.stats.count(op, round, payload.len() * 8);
-            let link = if to_recv_side {
-                &st.plan.recv_from[k]
+            let edge = if to_recv_side {
+                &st.graph.recv[k]
             } else {
-                &st.plan.send_to[k]
+                &st.graph.send[k]
             };
             self.comm.send(
                 self.me,
-                link.rank,
-                p2p_tag(op, k),
+                edge.rank,
+                p2p_tag(op, edge.peer_index),
                 &wire::encode_f64s(payload),
                 &mut now,
             );
@@ -308,16 +321,16 @@ impl MpiP2p {
     }
 
     fn recv_all(&self, st: &mut RankState, op: Op, from_recv_side: bool) -> Vec<Vec<f64>> {
-        let n = st.plan.recv_from.len();
+        let n = st.graph.recv.len();
         let mut out = Vec::with_capacity(n);
         let mut now = st.clock;
         for k in 0..n {
-            let link = if from_recv_side {
-                &st.plan.recv_from[k]
+            let edge = if from_recv_side {
+                &st.graph.recv[k]
             } else {
-                &st.plan.send_to[k]
+                &st.graph.send[k]
             };
-            let m = self.comm.recv(self.me, link.rank, p2p_tag(op, k), now);
+            let m = self.comm.recv(self.me, edge.rank, p2p_tag(op, k), now);
             now = m.now;
             st.arrival_horizon = st.arrival_horizon.max(m.arrival);
             out.push(wire::decode_f64s(&m.data));
@@ -333,9 +346,10 @@ impl GhostEngine for MpiP2p {
     }
 
     fn rounds(&self, op: Op) -> usize {
-        // Migration sweeps the three dimensions even under p2p ghosts.
+        // Grid graphs migrate by sweeping the three dimensions even under
+        // p2p ghosts; irregular graphs migrate owner-directed in one round.
         if op == Op::Exchange {
-            3
+            self.migrate_rounds
         } else {
             1
         }
@@ -348,35 +362,35 @@ impl GhostEngine for MpiP2p {
     fn post(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
         match op {
             Op::Border => {
-                let bins = Self::bins(&mut self.bins, st);
-                let payloads = self.ghosts.pack_border(st, bins);
+                let sel = Self::sel(&mut self.sel, st);
+                let payloads = self.ghosts.pack_border(st, sel);
                 self.send_all(st, op, round, &payloads, false);
             }
             Op::Forward => {
-                let payloads: Vec<_> = (0..st.plan.send_to.len())
+                let payloads: Vec<_> = (0..st.graph.send.len())
                     .map(|k| self.ghosts.pack_forward(st, k))
                     .collect();
                 self.send_all(st, op, round, &payloads, false);
             }
             Op::ForwardScalar => {
-                let payloads: Vec<_> = (0..st.plan.send_to.len())
+                let payloads: Vec<_> = (0..st.graph.send.len())
                     .map(|k| self.ghosts.pack_forward_scalar(st, k))
                     .collect();
                 self.send_all(st, op, round, &payloads, false);
             }
             Op::Reverse => {
-                let payloads: Vec<_> = (0..st.plan.recv_from.len())
+                let payloads: Vec<_> = (0..st.graph.recv.len())
                     .map(|k| self.ghosts.pack_reverse(st, k))
                     .collect();
                 self.send_all(st, op, round, &payloads, true);
             }
             Op::ReverseScalar => {
-                let payloads: Vec<_> = (0..st.plan.recv_from.len())
+                let payloads: Vec<_> = (0..st.graph.recv.len())
                     .map(|k| self.ghosts.pack_reverse_scalar(st, k))
                     .collect();
                 self.send_all(st, op, round, &payloads, true);
             }
-            Op::Exchange => {
+            Op::Exchange if st.graph.is_grid() => {
                 let dim = round;
                 let payloads = st.pack_exchange(dim);
                 let p = *self.comm.net().params();
@@ -384,11 +398,32 @@ impl GhostEngine for MpiP2p {
                 let mut now = st.clock + p.pack_cost(bytes);
                 for (dir, payload) in payloads.iter().enumerate() {
                     self.stats.count(op, round, payload.len() * 8);
-                    let link = st.plan.face_links[dim][dir];
+                    let link = *st.graph.face_link(dim, dir);
                     self.comm.send(
                         self.me,
                         link.rank,
                         staged_tag(op, dim, dir),
+                        &wire::encode_f64s(payload),
+                        &mut now,
+                    );
+                }
+                st.charge(now - st.clock, op);
+            }
+            Op::Exchange => {
+                // Irregular single round: every out-of-box atom goes
+                // straight to its new owner, tagged with my slot in the
+                // owner's migrate list.
+                let payloads = st.pack_exchange_graph();
+                let peers = st.graph.migrate_peers().to_vec();
+                let p = *self.comm.net().params();
+                let bytes: usize = payloads.iter().map(|v| v.len() * 8).sum();
+                let mut now = st.clock + p.pack_cost(bytes);
+                for (peer, payload) in peers.iter().zip(&payloads) {
+                    self.stats.count(op, round, payload.len() * 8);
+                    self.comm.send(
+                        self.me,
+                        peer.rank,
+                        p2p_tag(op, peer.tag_index),
                         &wire::encode_f64s(payload),
                         &mut now,
                     );
@@ -406,14 +441,24 @@ impl GhostEngine for MpiP2p {
                 self.ghosts.unpack_border(st, &payloads);
                 st.scalar.resize(st.atoms.ntotal(), 0.0);
             }
-            Op::Exchange => {
+            Op::Exchange if st.graph.is_grid() => {
                 let dim = round;
                 let mut now = st.clock;
                 for dir in 0..2 {
-                    let link = st.plan.face_links[dim][dir];
+                    let link = *st.graph.face_link(dim, dir);
                     let m = self
                         .comm
                         .recv(self.me, link.rank, staged_tag(op, dim, 1 - dir), now);
+                    now = m.now;
+                    st.unpack_exchange(&wire::decode_f64s(&m.data));
+                }
+                st.charge(now - st.clock, op);
+            }
+            Op::Exchange => {
+                let peers = st.graph.migrate_peers().to_vec();
+                let mut now = st.clock;
+                for (k, peer) in peers.iter().enumerate() {
+                    let m = self.comm.recv(self.me, peer.rank, p2p_tag(op, k), now);
                     now = m.now;
                     st.unpack_exchange(&wire::decode_f64s(&m.data));
                 }
@@ -453,6 +498,7 @@ mod tests {
     use super::*;
     use crate::engine::run_op_single;
     use crate::plan::{CommPlan, PlanConfig};
+    use crate::sf::CommGraph;
     use crate::topo_map::Placement;
     use std::sync::Arc;
     use tofumd_md::atom::Atoms;
@@ -487,7 +533,10 @@ mod tests {
                 .into_iter()
                 .map(|p| [sub.lo[0] + p[0], sub.lo[1] + p[1], sub.lo[2] + p[2]])
                 .collect();
-            RankState::new(Atoms::from_positions(pos, rank as u64 * 1000 + 1), plan)
+            RankState::new(
+                Atoms::from_positions(pos, rank as u64 * 1000 + 1),
+                CommGraph::from_grid(plan),
+            )
         };
         let states = [
             mk(0, positions[0].clone(), &map),
@@ -527,7 +576,7 @@ mod tests {
         for r in 0..nranks {
             engines.push(mk_engine(t.comm.clone(), &t.map, r, &t.global));
             let plan = CommPlan::build(r, &t.map, &t.global, 2.8, PlanConfig::NEWTON);
-            states.push(RankState::new(Atoms::default(), plan));
+            states.push(RankState::new(Atoms::default(), CommGraph::from_grid(plan)));
         }
         let [s0, s1] = t.states;
         states[0] = s0;

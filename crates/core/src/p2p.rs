@@ -4,37 +4,37 @@
 //! uTofu engines both drive a [`P2pGhosts`] and differ only in how the
 //! payload bytes travel and what the transfer costs.
 //!
-//! Index discipline: `CommPlan::recv_from[i]` and `CommPlan::send_to[i]`
-//! are built from the same offset table, so link index `i` means the same
-//! pairing on both sides of every exchange — messages are tagged with the
-//! link index, which also disambiguates small periodic grids where one
-//! rank is a neighbor in several directions.
+//! Index discipline: `CommGraph::recv[i]` and `CommGraph::send[i]` mirror
+//! each other, and every edge carries the `peer_index` of its mirror on
+//! the other side — messages are tagged with the receiver's edge index,
+//! which also disambiguates small periodic grids (and irregular graphs)
+//! where one rank is a neighbor along several edges.
 
-use crate::border_bin::BorderBins;
 use crate::engine::RankState;
+use crate::sf::SendSelector;
 use crate::wire;
 
 /// Send lists and ghost layout for the p2p pattern.
 #[derive(Debug, Clone, Default)]
 pub struct P2pGhosts {
-    /// Per `send_to` link: indices of my local atoms the neighbor needs.
+    /// Per send edge: indices of my local atoms the neighbor needs.
     pub send_lists: Vec<Vec<u32>>,
-    /// Per `recv_from` link: (first ghost index, count) in the atom array.
+    /// Per recv edge: (first ghost index, count) in the atom array.
     pub ghost_seg: Vec<(usize, usize)>,
 }
 
 impl P2pGhosts {
-    /// Build send lists from the border bins and produce the border
-    /// payloads (tag + shifted position per atom), one per `send_to` link.
-    pub fn pack_border(&mut self, st: &RankState, bins: &BorderBins) -> Vec<Vec<f64>> {
-        let n_links = st.plan.send_to.len();
+    /// Build send lists from the graph's selector and produce the border
+    /// payloads (tag + shifted position per atom), one per send edge.
+    pub fn pack_border(&mut self, st: &RankState, sel: &SendSelector) -> Vec<Vec<f64>> {
+        let n_links = st.graph.send.len();
         self.send_lists = vec![Vec::new(); n_links];
         let mut payloads = vec![Vec::new(); n_links];
         for i in 0..st.atoms.nlocal {
             let x = st.atoms.x[i];
-            bins.for_each_target(&x, |k| {
+            sel.for_each_target(&x, |k| {
                 let k = k as usize;
-                let link = &st.plan.send_to[k];
+                let link = &st.graph.send[k];
                 self.send_lists[k].push(i as u32);
                 wire::push_border_record(
                     &mut payloads[k],
@@ -52,7 +52,7 @@ impl P2pGhosts {
     }
 
     /// Append received border records as ghosts. `per_link[k]` is the
-    /// payload from `recv_from[k]` (empty if that neighbor sent nothing).
+    /// payload from `recv[k]` (empty if that neighbor sent nothing).
     /// Ghosts are laid out in link order — deterministic across runs.
     pub fn unpack_border(&mut self, st: &mut RankState, per_link: &[Vec<f64>]) {
         st.atoms.clear_ghosts();
@@ -70,7 +70,7 @@ impl P2pGhosts {
     /// Pack current positions of send list `k` (forward stage).
     #[must_use]
     pub fn pack_forward(&self, st: &RankState, k: usize) -> Vec<f64> {
-        let link = &st.plan.send_to[k];
+        let link = &st.graph.send[k];
         let mut out = Vec::with_capacity(self.send_lists[k].len() * 3);
         for &i in &self.send_lists[k] {
             let x = st.atoms.x[i as usize];
@@ -161,13 +161,14 @@ impl P2pGhosts {
 mod tests {
     use super::*;
     use crate::plan::{CommPlan, PlanConfig};
+    use crate::sf::CommGraph;
     use crate::topo_map::{Placement, RankMap};
     use tofumd_md::atom::Atoms;
     use tofumd_md::region::Box3;
     use tofumd_tofu::CellGrid;
 
     /// Build a single-rank state with a 10^3 sub-box at the grid origin.
-    fn state_with_atoms(pos: Vec<[f64; 3]>) -> (RankState, BorderBins) {
+    fn state_with_atoms(pos: Vec<[f64; 3]>) -> (RankState, SendSelector) {
         let grid = CellGrid::from_node_mesh([8, 12, 8]).unwrap();
         let map = RankMap::new(grid, Placement::TopoAware);
         let rg = map.rank_grid;
@@ -177,19 +178,16 @@ mod tests {
             10.0 * f64::from(rg[2]),
         ]);
         let plan = CommPlan::build(0, &map, &global, 2.0, PlanConfig::NEWTON);
-        let bins = BorderBins::new(
-            plan.sub,
-            plan.r_ghost,
-            &plan.send_to.iter().map(|l| l.offset).collect::<Vec<_>>(),
-        );
-        (RankState::new(Atoms::from_positions(pos, 1), plan), bins)
+        let graph = CommGraph::from_grid(plan);
+        let sel = graph.selector();
+        (RankState::new(Atoms::from_positions(pos, 1), graph), sel)
     }
 
     #[test]
     fn interior_atoms_are_not_packed() {
-        let (st, bins) = state_with_atoms(vec![[5.0, 5.0, 5.0]]);
+        let (st, sel) = state_with_atoms(vec![[5.0, 5.0, 5.0]]);
         let mut g = P2pGhosts::default();
-        let payloads = g.pack_border(&st, &bins);
+        let payloads = g.pack_border(&st, &sel);
         assert!(payloads.iter().all(Vec::is_empty));
         assert_eq!(g.total_send_atoms(), 0);
     }
@@ -198,9 +196,9 @@ mod tests {
     fn border_atom_packed_toward_matching_links() {
         // Atom near the low-x low-y low-z corner: goes to every send link
         // whose offset has non-positive components matching those faces.
-        let (st, bins) = state_with_atoms(vec![[0.5, 0.5, 0.5]]);
+        let (st, sel) = state_with_atoms(vec![[0.5, 0.5, 0.5]]);
         let mut g = P2pGhosts::default();
-        let payloads = g.pack_border(&st, &bins);
+        let payloads = g.pack_border(&st, &sel);
         let sent: usize = payloads.iter().filter(|p| !p.is_empty()).count();
         // send_to = lower-half offsets; the --- corner matches 7 of 13.
         assert_eq!(sent, 7);
@@ -214,13 +212,13 @@ mod tests {
     fn forward_reverse_roundtrip_between_two_states() {
         // Rank A (grid 0,0,0) border-packs toward its -x neighbor; simulate
         // the neighbor side with a second state and check force return.
-        let (mut a, bins) = state_with_atoms(vec![[0.5, 5.0, 5.0]]);
+        let (mut a, sel) = state_with_atoms(vec![[0.5, 5.0, 5.0]]);
         let mut ga = P2pGhosts::default();
-        let payloads = ga.pack_border(&a, &bins);
+        let payloads = ga.pack_border(&a, &sel);
         // Find the link with offset (-1, 0, 0).
         let k = a
-            .plan
-            .send_to
+            .graph
+            .send
             .iter()
             .position(|l| l.offset.d == [-1, 0, 0])
             .unwrap();
@@ -229,7 +227,7 @@ mod tests {
         // Neighbor state B receives the border payload on its recv side
         // (same link index by construction).
         let (mut b, _) = state_with_atoms(vec![[9.5, 5.0, 5.0]]);
-        let n_links = b.plan.recv_from.len();
+        let n_links = b.graph.recv.len();
         let mut per_link = vec![Vec::new(); n_links];
         per_link[k] = payloads[k].clone();
         let mut gb = P2pGhosts::default();
@@ -243,7 +241,7 @@ mod tests {
         let fwd = ga.pack_forward(&a, k);
         gb.unpack_forward(&mut b, k, &fwd);
         let g_idx = b.atoms.nlocal;
-        let shift = a.plan.send_to[k].shift;
+        let shift = a.graph.send[k].shift;
         assert!((b.atoms.x[g_idx][0] - (0.25 + shift[0])).abs() < 1e-12);
         assert!((b.atoms.x[g_idx][1] - 5.5).abs() < 1e-12);
 
@@ -258,17 +256,17 @@ mod tests {
 
     #[test]
     fn scalar_roundtrip() {
-        let (mut a, bins) = state_with_atoms(vec![[0.5, 5.0, 5.0]]);
+        let (mut a, sel) = state_with_atoms(vec![[0.5, 5.0, 5.0]]);
         let mut ga = P2pGhosts::default();
-        let payloads = ga.pack_border(&a, &bins);
+        let payloads = ga.pack_border(&a, &sel);
         let k = a
-            .plan
-            .send_to
+            .graph
+            .send
             .iter()
             .position(|l| l.offset.d == [-1, 0, 0])
             .unwrap();
         let (mut b, _) = state_with_atoms(vec![[9.5, 5.0, 5.0]]);
-        let mut per_link = vec![Vec::new(); b.plan.recv_from.len()];
+        let mut per_link = vec![Vec::new(); b.graph.recv.len()];
         per_link[k] = payloads[k].clone();
         let mut gb = P2pGhosts::default();
         gb.unpack_border(&mut b, &per_link);
@@ -292,7 +290,7 @@ mod tests {
     fn ghost_layout_is_deterministic() {
         let (mut st, _) = state_with_atoms(vec![[5.0; 3]]);
         let mut g = P2pGhosts::default();
-        let mut per_link = vec![Vec::new(); st.plan.recv_from.len()];
+        let mut per_link = vec![Vec::new(); st.graph.recv.len()];
         let mut p0 = Vec::new();
         wire::push_border_record(&mut p0, 11, 1, [1.0; 3]);
         wire::push_border_record(&mut p0, 12, 1, [2.0; 3]);

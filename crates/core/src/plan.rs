@@ -219,20 +219,51 @@ mod tests {
         (map, global)
     }
 
+    /// The four paper instances of the one graph family: Newton-halved
+    /// and full neighbor sets at one and two halo shells.
+    const INSTANCES: [(PlanConfig, usize); 4] = [
+        (PlanConfig::NEWTON, 13),
+        (
+            PlanConfig {
+                shells: 1,
+                half: false,
+            },
+            26,
+        ),
+        (
+            PlanConfig {
+                shells: 2,
+                half: true,
+            },
+            62,
+        ),
+        (
+            PlanConfig {
+                shells: 2,
+                half: false,
+            },
+            124,
+        ),
+    ];
+
     #[test]
-    fn newton_plan_has_13_neighbors() {
+    fn plan_instances_have_paper_neighbor_counts() {
         let (map, global) = setup();
-        let p = CommPlan::build(0, &map, &global, 2.8, PlanConfig::NEWTON);
-        assert_eq!(p.neighbor_count(), 13);
-        assert_eq!(p.send_to.len(), 13);
+        for (cfg, expect) in INSTANCES {
+            let p = CommPlan::build(0, &map, &global, 2.8, cfg);
+            assert_eq!(p.neighbor_count(), expect, "{cfg:?}");
+            assert_eq!(p.send_to.len(), expect, "{cfg:?}");
+        }
     }
 
     #[test]
     fn send_and_recv_sets_are_opposite() {
         let (map, global) = setup();
-        let p = CommPlan::build(5, &map, &global, 2.8, PlanConfig::NEWTON);
-        for (r, s) in p.recv_from.iter().zip(&p.send_to) {
-            assert_eq!(r.offset.opposite(), s.offset);
+        for (cfg, _) in INSTANCES {
+            let p = CommPlan::build(5, &map, &global, 2.8, cfg);
+            for (r, s) in p.recv_from.iter().zip(&p.send_to) {
+                assert_eq!(r.offset.opposite(), s.offset, "{cfg:?}");
+            }
         }
     }
 
@@ -242,14 +273,16 @@ mod tests {
         // rank at offset -o from itself — which is A.
         let (map, global) = setup();
         let a = 123;
-        let pa = CommPlan::build(a, &map, &global, 2.8, PlanConfig::NEWTON);
-        for l in &pa.recv_from {
-            let pb = CommPlan::build(l.rank, &map, &global, 2.8, PlanConfig::NEWTON);
-            assert!(
-                pb.send_to.iter().any(|s| s.rank == a),
-                "neighbor {} does not send to {a}",
-                l.rank
-            );
+        for (cfg, _) in INSTANCES {
+            let pa = CommPlan::build(a, &map, &global, 2.8, cfg);
+            for l in &pa.recv_from {
+                let pb = CommPlan::build(l.rank, &map, &global, 2.8, cfg);
+                assert!(
+                    pb.send_to.iter().any(|s| s.rank == a),
+                    "{cfg:?}: neighbor {} does not send to {a}",
+                    l.rank
+                );
+            }
         }
     }
 

@@ -1,0 +1,800 @@
+//! The star-forest communication graph (PetscSF-style).
+//!
+//! A [`CommGraph`] describes one rank's halo relationships over an
+//! *arbitrary* neighbor set: `recv` edges are leaves rooted on a peer
+//! (ghosts I hold), `send` edges are roots whose leaves live on a peer
+//! (my border atoms the peer mirrors). The three star-forest primitives
+//! map onto the engine operations: **bcast** (root → leaf) is the
+//! border/forward family, **reduce** (leaf → root) is the reverse family,
+//! and **migrate** moves root ownership itself on reneighbor steps.
+//!
+//! Two constructors exist today:
+//!
+//! * [`CommGraph::from_grid`] wraps the uniform-grid [`CommPlan`]
+//!   unchanged — same edge order, same pairing index on both sides
+//!   (`peer_index == k`), same estimates — so every engine that consumed a
+//!   plan is bit-identical by construction when driven through the graph.
+//! * [`CommGraph::from_rcb`] derives the edge set from a
+//!   recursive-coordinate-bisection decomposition: an edge exists for each
+//!   `(peer, periodic image)` whose box comes within `r_ghost` of mine.
+//!
+//! Determinism contract: edge lists are ordered by `(peer rank, image
+//! vector)`, pairing indices are computed by reconstructing the peer's
+//! edge list with the same pure function, and the lockstep driver
+//! completes receives in edge order — so completion order (and the
+//! virtual clock) is a pure function of the decomposition, never of
+//! thread scheduling.
+
+use crate::border_bin::BorderBins;
+use crate::plan::{CommPlan, NeighborLink, PlanConfig};
+use crate::topo_map::RankMap;
+use std::sync::Arc;
+use tofumd_md::domain::{NeighborOffset, RcbDecomposition};
+use tofumd_md::region::Box3;
+use tofumd_tofu::{FaultKind, FaultRule};
+
+/// One directed halo edge of the star forest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphEdge {
+    /// Grid offset to the peer (zero for irregular graphs, where the edge
+    /// geometry lives in `region` instead).
+    pub offset: NeighborOffset,
+    /// The peer's rank id.
+    pub rank: usize,
+    /// The peer's node id.
+    pub node: usize,
+    /// Network hops to the peer.
+    pub hops: u32,
+    /// Periodic shift added to *my* atom positions when they travel along
+    /// this edge (send edges); for recv edges, the shift the peer adds, so
+    /// arriving ghosts are already in my frame.
+    pub shift: [f64; 3],
+    /// The peer's sub-box translated into my frame: for send edges the
+    /// region whose `r_ghost`-expansion selects my border atoms; for recv
+    /// edges the region arriving ghosts land in.
+    pub region: Box3,
+    /// Index of this relationship in the peer's opposite edge list: my
+    /// `send[k]` is the peer's `recv[send[k].peer_index]` and vice versa.
+    /// Message tags and address-book slots use this, so irregular graphs
+    /// (where the pairing is not index-symmetric) stay unambiguous. On
+    /// grid graphs `peer_index == k` by construction.
+    pub peer_index: usize,
+}
+
+/// One partner of the single-round irregular migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigratePeer {
+    /// The peer's rank id.
+    pub rank: usize,
+    /// The peer's node id.
+    pub node: usize,
+    /// My index in the peer's own migrate list — the tag the peer expects
+    /// my migrants under.
+    pub tag_index: usize,
+}
+
+/// What the graph was built from: the uniform grid keeps its staged
+/// face-sweep machinery; irregular graphs carry the owner lookup instead.
+#[derive(Debug, Clone)]
+enum Topology {
+    Grid {
+        config: PlanConfig,
+        face_links: Box<[[GraphEdge; 2]; 3]>,
+    },
+    Irregular {
+        rcb: Arc<RcbDecomposition>,
+        migrate: Vec<MigratePeer>,
+    },
+}
+
+/// A rank's star-forest communication graph.
+#[derive(Debug, Clone)]
+pub struct CommGraph {
+    /// This rank.
+    pub me: usize,
+    /// This rank's sub-box.
+    pub sub: Box3,
+    /// Ghost cutoff (force cutoff + skin).
+    pub r_ghost: f64,
+    /// Edges I receive ghost atoms along (and reduce forces back along).
+    pub recv: Vec<GraphEdge>,
+    /// Edges I broadcast my border atoms along. `send[k]` mirrors
+    /// `recv[k]`: same peer rank, opposite periodic image.
+    pub send: Vec<GraphEdge>,
+    topology: Topology,
+}
+
+/// Grow a box by `r` on every face.
+#[must_use]
+pub fn expand(b: &Box3, r: f64) -> Box3 {
+    Box3::new(
+        [b.lo[0] - r, b.lo[1] - r, b.lo[2] - r],
+        [b.hi[0] + r, b.hi[1] + r, b.hi[2] + r],
+    )
+}
+
+/// Volume of the intersection of two boxes (0 when disjoint).
+#[must_use]
+pub fn overlap_volume(a: &Box3, b: &Box3) -> f64 {
+    let mut v = 1.0;
+    for d in 0..3 {
+        let lo = a.lo[d].max(b.lo[d]);
+        let hi = a.hi[d].min(b.hi[d]);
+        if hi <= lo {
+            return 0.0;
+        }
+        v *= hi - lo;
+    }
+    v
+}
+
+/// Do two boxes come strictly within `r` of each other?
+fn within(a: &Box3, b: &Box3, r: f64) -> bool {
+    (0..3).all(|d| a.lo[d] - r < b.hi[d] && b.lo[d] - r < a.hi[d])
+}
+
+/// The 27 periodic image vectors in a fixed lexicographic order.
+fn images() -> impl Iterator<Item = [i32; 3]> {
+    (-1..=1).flat_map(|sx| (-1..=1).flat_map(move |sy| (-1..=1).map(move |sz| [sx, sy, sz])))
+}
+
+/// Receive pairs of `rank` under an RCB decomposition: every
+/// `(peer, image)` whose shifted box comes within `r_ghost` of mine,
+/// ordered by `(peer, image)`. Pure function of the decomposition — both
+/// sides of every edge recompute it to agree on pairing indices.
+fn rcb_recv_pairs(rcb: &RcbDecomposition, rank: usize, r_ghost: f64) -> Vec<(usize, [i32; 3])> {
+    let l = rcb.global.lengths();
+    let mine = rcb.boxes[rank];
+    let mut out = Vec::new();
+    for (peer, pb) in rcb.boxes.iter().enumerate() {
+        for img in images() {
+            if peer == rank && img == [0, 0, 0] {
+                continue;
+            }
+            let shifted = Box3 {
+                lo: [
+                    pb.lo[0] + f64::from(img[0]) * l[0],
+                    pb.lo[1] + f64::from(img[1]) * l[1],
+                    pb.lo[2] + f64::from(img[2]) * l[2],
+                ],
+                hi: [
+                    pb.hi[0] + f64::from(img[0]) * l[0],
+                    pb.hi[1] + f64::from(img[1]) * l[1],
+                    pb.hi[2] + f64::from(img[2]) * l[2],
+                ],
+            };
+            if within(&mine, &shifted, r_ghost) {
+                out.push((peer, img));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(p, img)| (p, img));
+    out
+}
+
+/// Migrate partners of `rank`: the deduplicated rank set of its edges
+/// (excluding itself — self-wraps are resolved locally), sorted.
+fn rcb_migrate_ranks(rcb: &RcbDecomposition, rank: usize, r_ghost: f64) -> Vec<usize> {
+    let mut ranks: Vec<usize> = rcb_recv_pairs(rcb, rank, r_ghost)
+        .iter()
+        .map(|&(p, _)| p)
+        .filter(|&p| p != rank)
+        .collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    ranks
+}
+
+impl CommGraph {
+    /// Re-express a uniform-grid [`CommPlan`] as a star forest. Edge
+    /// order, pairing indices, shifts and size estimates all match the
+    /// plan exactly, so engines driven through the graph are bit-identical
+    /// to the plan-driven baseline.
+    #[must_use]
+    pub fn from_grid(plan: CommPlan) -> Self {
+        let len = plan.sub.lengths();
+        let edge = |l: &NeighborLink, k: usize| -> GraphEdge {
+            // The peer's box translated adjacent to mine (my frame):
+            // one sub-box length per offset step.
+            let mut lo = [0.0; 3];
+            let mut hi = [0.0; 3];
+            for d in 0..3 {
+                let t = f64::from(l.offset.d[d]) * len[d];
+                lo[d] = plan.sub.lo[d] + t;
+                hi[d] = plan.sub.hi[d] + t;
+            }
+            GraphEdge {
+                offset: l.offset,
+                rank: l.rank,
+                node: l.node,
+                hops: l.hops,
+                shift: l.shift,
+                region: Box3 { lo, hi },
+                peer_index: k,
+            }
+        };
+        let recv: Vec<GraphEdge> = plan
+            .recv_from
+            .iter()
+            .enumerate()
+            .map(|(k, l)| edge(l, k))
+            .collect();
+        let send: Vec<GraphEdge> = plan
+            .send_to
+            .iter()
+            .enumerate()
+            .map(|(k, l)| edge(l, k))
+            .collect();
+        let face_links = Box::new([
+            [
+                edge(&plan.face_links[0][0], 0),
+                edge(&plan.face_links[0][1], 0),
+            ],
+            [
+                edge(&plan.face_links[1][0], 0),
+                edge(&plan.face_links[1][1], 0),
+            ],
+            [
+                edge(&plan.face_links[2][0], 0),
+                edge(&plan.face_links[2][1], 0),
+            ],
+        ]);
+        CommGraph {
+            me: plan.me,
+            sub: plan.sub,
+            r_ghost: plan.r_ghost,
+            recv,
+            send,
+            topology: Topology::Grid {
+                config: plan.config(),
+                face_links,
+            },
+        }
+    }
+
+    /// Build the star forest of `rank` over an RCB decomposition: one edge
+    /// per `(peer, periodic image)` whose box comes within `r_ghost` of
+    /// mine. Pairing indices are cross-computed deterministically, so all
+    /// ranks agree without any negotiation round.
+    #[must_use]
+    pub fn from_rcb(rank: usize, rcb: &Arc<RcbDecomposition>, map: &RankMap, r_ghost: f64) -> Self {
+        let l = rcb.global.lengths();
+        let sub = rcb.boxes[rank];
+        assert!(
+            (0..3).all(|d| r_ghost < l[d]),
+            "ghost cutoff must stay below the global box"
+        );
+        let pairs = rcb_recv_pairs(rcb, rank, r_ghost);
+        let shift_of = |img: [i32; 3]| -> [f64; 3] {
+            [
+                f64::from(img[0]) * l[0],
+                f64::from(img[1]) * l[1],
+                f64::from(img[2]) * l[2],
+            ]
+        };
+        let translated = |peer: usize, img: [i32; 3]| -> Box3 {
+            let s = shift_of(img);
+            let pb = rcb.boxes[peer];
+            Box3 {
+                lo: [pb.lo[0] + s[0], pb.lo[1] + s[1], pb.lo[2] + s[2]],
+                hi: [pb.hi[0] + s[0], pb.hi[1] + s[1], pb.hi[2] + s[2]],
+            }
+        };
+        let index_in = |peer: usize, target: (usize, [i32; 3])| -> usize {
+            rcb_recv_pairs(rcb, peer, r_ghost)
+                .iter()
+                .position(|&p| p == target)
+                .unwrap_or_else(|| {
+                    // Mirror-edge existence is a theorem of the symmetric
+                    // `within` test; failure means the decomposition is
+                    // inconsistent across ranks.
+                    panic!("rank {peer} is missing the mirror edge {target:?} of rank {rank}")
+                })
+        };
+        let mut recv = Vec::with_capacity(pairs.len());
+        let mut send = Vec::with_capacity(pairs.len());
+        for &(peer, img) in &pairs {
+            let node = map.node_of(peer);
+            let hops = map.hops(rank, peer);
+            let neg = [-img[0], -img[1], -img[2]];
+            // recv[k]: the peer's atoms arrive shifted by +img·L into my
+            // frame. Mirrors the peer's send edge (me, img), which sits
+            // where (me, -img) sits in the peer's recv list.
+            recv.push(GraphEdge {
+                offset: NeighborOffset { d: [0; 3] },
+                rank: peer,
+                node,
+                hops,
+                shift: shift_of(img),
+                region: translated(peer, img),
+                peer_index: index_in(peer, (rank, neg)),
+            });
+            // send[k]: I ship my atoms shifted by -img·L toward the peer.
+            // Mirrors the peer's recv edge (me, -img).
+            send.push(GraphEdge {
+                offset: NeighborOffset { d: [0; 3] },
+                rank: peer,
+                node,
+                hops,
+                shift: shift_of(neg),
+                region: translated(peer, img),
+                peer_index: index_in(peer, (rank, neg)),
+            });
+        }
+        let migrate = rcb_migrate_ranks(rcb, rank, r_ghost)
+            .into_iter()
+            .map(|peer| MigratePeer {
+                rank: peer,
+                node: map.node_of(peer),
+                tag_index: rcb_migrate_ranks(rcb, peer, r_ghost)
+                    .iter()
+                    .position(|&p| p == rank)
+                    .unwrap_or(usize::MAX),
+            })
+            .collect();
+        CommGraph {
+            me: rank,
+            sub,
+            r_ghost,
+            recv,
+            send,
+            topology: Topology::Irregular {
+                rcb: rcb.clone(),
+                migrate,
+            },
+        }
+    }
+
+    /// True for graphs built from the uniform grid.
+    #[must_use]
+    pub fn is_grid(&self) -> bool {
+        matches!(self.topology, Topology::Grid { .. })
+    }
+
+    /// The grid plan configuration, if this is a grid graph.
+    #[must_use]
+    pub fn config(&self) -> Option<PlanConfig> {
+        match &self.topology {
+            Topology::Grid { config, .. } => Some(*config),
+            Topology::Irregular { .. } => None,
+        }
+    }
+
+    /// Number of halo edges per direction.
+    #[must_use]
+    pub fn neighbor_count(&self) -> usize {
+        self.recv.len()
+    }
+
+    /// The grid face neighbor toward `dim`/`dir` (staged migration only
+    /// runs on grid graphs).
+    #[must_use]
+    pub fn face_link(&self, dim: usize, dir: usize) -> &GraphEdge {
+        match &self.topology {
+            Topology::Grid { face_links, .. } => &face_links[dim][dir],
+            Topology::Irregular { .. } => {
+                panic!("face links exist only on grid graphs; migrate via migrate_peers()")
+            }
+        }
+    }
+
+    /// Post/complete rounds of the migrate primitive: the grid keeps
+    /// LAMMPS's three staged face sweeps; irregular graphs resolve owners
+    /// directly and migrate in one round.
+    #[must_use]
+    pub fn migrate_rounds(&self) -> usize {
+        if self.is_grid() {
+            3
+        } else {
+            1
+        }
+    }
+
+    /// Partners of the single-round irregular migration (empty on grid
+    /// graphs, which sweep faces instead).
+    #[must_use]
+    pub fn migrate_peers(&self) -> &[MigratePeer] {
+        match &self.topology {
+            Topology::Grid { .. } => &[],
+            Topology::Irregular { migrate, .. } => migrate,
+        }
+    }
+
+    /// Which rank owns a global position (irregular graphs; the grid
+    /// resolves owners through its staged sweeps instead).
+    #[must_use]
+    pub fn owner_of(&self, x: &[f64; 3]) -> usize {
+        match &self.topology {
+            Topology::Grid { .. } => {
+                panic!("owner_of is only defined on irregular graphs")
+            }
+            Topology::Irregular { rcb, .. } => rcb.owner_of(x),
+        }
+    }
+
+    /// The global box (irregular graphs carry it for migration wrapping).
+    #[must_use]
+    pub fn global_box(&self) -> &Box3 {
+        match &self.topology {
+            Topology::Grid { .. } => panic!("grid graphs do not carry the global box"),
+            Topology::Irregular { rcb, .. } => &rcb.global,
+        }
+    }
+
+    /// Build the border-atom selector for this graph's send edges: the
+    /// O(1) bin table (or exact slab test) on grid graphs, the per-edge
+    /// expanded-region test on irregular graphs.
+    #[must_use]
+    pub fn selector(&self) -> SendSelector {
+        match &self.topology {
+            Topology::Grid { .. } => {
+                let offsets: Vec<_> = self.send.iter().map(|e| e.offset).collect();
+                SendSelector::Grid(BorderBins::new(self.sub, self.r_ghost, &offsets))
+            }
+            Topology::Irregular { .. } => SendSelector::Regions(
+                self.send
+                    .iter()
+                    .map(|e| expand(&e.region, self.r_ghost))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Expected ghost-slab volume toward a grid `offset` (Table 1's
+    /// msg_size column; grid graphs only — same formula as the plan's).
+    #[must_use]
+    pub fn slab_volume(&self, offset: NeighborOffset) -> f64 {
+        let a = self.sub.lengths();
+        let r = self.r_ghost;
+        let mut v = 1.0;
+        for d in 0..3 {
+            let extent = match offset.d[d].unsigned_abs() {
+                0 => a[d],
+                1 => r.min(a[d]),
+                s => (r - (f64::from(s) - 1.0) * a[d]).clamp(0.0, a[d]),
+            };
+            v *= extent;
+        }
+        v
+    }
+
+    /// Estimated *maximum* atoms moved along edge `k` of `edges` at the
+    /// given number density (§3.4 buffer pre-sizing). Grid graphs use the
+    /// offset slab formula (bit-identical to the plan's estimate);
+    /// irregular graphs use the expanded-region overlap.
+    #[must_use]
+    pub fn max_atoms_estimate(&self, offset: NeighborOffset, density: f64) -> usize {
+        (2.0 * density * self.slab_volume(offset)).ceil() as usize + 8
+    }
+
+    /// Total expected ghost atoms received per exchange.
+    #[must_use]
+    pub fn total_ghost_estimate(&self, density: f64) -> f64 {
+        match &self.topology {
+            Topology::Grid { .. } => self
+                .recv
+                .iter()
+                .map(|e| density * self.slab_volume(e.offset))
+                .sum(),
+            Topology::Irregular { .. } => self
+                .recv
+                .iter()
+                .map(|e| density * overlap_volume(&expand(&self.sub, self.r_ghost), &e.region))
+                .sum(),
+        }
+    }
+
+    /// A [`FaultRule`] addressing one send edge of this graph: faults keyed
+    /// this way follow the *edge* (my rank tag → the peer's node) rather
+    /// than any grid offset, so fault plans survive decomposition changes.
+    #[must_use]
+    pub fn edge_fault_rule(&self, k: usize, kind: FaultKind) -> FaultRule {
+        FaultRule {
+            step: None,
+            op: None,
+            src: Some(self.me as u32),
+            dst: Some(self.send[k].node as u32),
+            tni: None,
+            kind,
+        }
+    }
+}
+
+/// Which send edges need a given atom: the per-graph strategy behind
+/// border packing.
+#[derive(Debug, Clone)]
+pub enum SendSelector {
+    /// Grid graphs: the §3.5.2 bin table / exact slab test.
+    Grid(BorderBins),
+    /// Irregular graphs: one expanded peer region per send edge, already
+    /// translated into my frame.
+    Regions(Vec<Box3>),
+}
+
+impl SendSelector {
+    /// Visit the indices of send edges that need an atom at `x`.
+    #[inline]
+    pub fn for_each_target(&self, x: &[f64; 3], mut f: impl FnMut(u16)) {
+        match self {
+            SendSelector::Grid(bins) => bins.for_each_target(x, f),
+            SendSelector::Regions(regions) => {
+                for (k, r) in regions.iter().enumerate() {
+                    if r.contains(x) {
+                        f(k as u16);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collected targets of an atom (convenience for tests).
+    #[must_use]
+    pub fn targets_of(&self, x: &[f64; 3]) -> Vec<u16> {
+        let mut out = Vec::new();
+        self.for_each_target(x, |k| out.push(k));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo_map::Placement;
+    use tofumd_tofu::CellGrid;
+
+    fn grid_setup() -> (RankMap, Box3) {
+        let grid = CellGrid::from_node_mesh([8, 12, 8]).unwrap();
+        let map = RankMap::new(grid, Placement::TopoAware);
+        let rg = map.rank_grid;
+        let global = Box3::from_lengths([
+            10.0 * f64::from(rg[0]),
+            10.0 * f64::from(rg[1]),
+            10.0 * f64::from(rg[2]),
+        ]);
+        (map, global)
+    }
+
+    fn grid_graph(rank: usize, cfg: PlanConfig) -> CommGraph {
+        let (map, global) = grid_setup();
+        CommGraph::from_grid(CommPlan::build(rank, &map, &global, 2.8, cfg))
+    }
+
+    #[test]
+    fn grid_graph_preserves_plan_edges_exactly() {
+        let (map, global) = grid_setup();
+        let plan = CommPlan::build(7, &map, &global, 2.8, PlanConfig::NEWTON);
+        let g = CommGraph::from_grid(plan.clone());
+        assert_eq!(g.me, plan.me);
+        assert_eq!(g.sub, plan.sub);
+        assert_eq!(g.r_ghost, plan.r_ghost);
+        assert_eq!(g.recv.len(), plan.recv_from.len());
+        for (k, (e, l)) in g.recv.iter().zip(&plan.recv_from).enumerate() {
+            assert_eq!(
+                (e.offset, e.rank, e.node, e.hops),
+                (l.offset, l.rank, l.node, l.hops)
+            );
+            assert_eq!(e.shift, l.shift);
+            assert_eq!(e.peer_index, k, "grid pairing must stay index-symmetric");
+        }
+        for (k, (e, l)) in g.send.iter().zip(&plan.send_to).enumerate() {
+            assert_eq!((e.offset, e.rank), (l.offset, l.rank));
+            assert_eq!(e.peer_index, k);
+        }
+        for dim in 0..3 {
+            for dir in 0..2 {
+                assert_eq!(g.face_link(dim, dir).rank, plan.face_links[dim][dir].rank);
+                assert_eq!(g.face_link(dim, dir).shift, plan.face_links[dim][dir].shift);
+            }
+        }
+        assert_eq!(
+            g.max_atoms_estimate(plan.recv_from[0].offset, 0.8442),
+            plan.max_atoms_estimate(plan.recv_from[0].offset, 0.8442)
+        );
+        assert!((g.total_ghost_estimate(0.8442) - plan.total_ghost_estimate(0.8442)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shell_instances_have_paper_neighbor_counts() {
+        // 13/26/62/124: the four regimes of the paper as graph instances.
+        for (shells, half, expect) in [
+            (1, true, 13),
+            (1, false, 26),
+            (2, true, 62),
+            (2, false, 124),
+        ] {
+            let g = grid_graph(0, PlanConfig { shells, half });
+            assert_eq!(g.neighbor_count(), expect);
+            assert_eq!(g.send.len(), expect);
+            assert!(g.is_grid());
+            assert_eq!(g.migrate_rounds(), 3);
+            assert!(g.migrate_peers().is_empty());
+        }
+    }
+
+    #[test]
+    fn grid_send_and_recv_edges_are_opposite() {
+        let g = grid_graph(5, PlanConfig::NEWTON);
+        for (r, s) in g.recv.iter().zip(&g.send) {
+            assert_eq!(r.offset.opposite(), s.offset);
+            assert_eq!(
+                r.rank,
+                g_peer_of(&g, s),
+                "mirror edges share a peer only via offsets"
+            );
+        }
+    }
+
+    /// The rank a send edge's mirror recv edge points at (same index).
+    fn g_peer_of(g: &CommGraph, s: &GraphEdge) -> usize {
+        g.recv[g.send.iter().position(|e| std::ptr::eq(e, s)).unwrap()].rank
+    }
+
+    #[test]
+    fn grid_regions_sit_adjacent_per_offset() {
+        let g = grid_graph(0, PlanConfig::FULL);
+        let len = g.sub.lengths();
+        for e in &g.recv {
+            for d in 0..3 {
+                let t = f64::from(e.offset.d[d]) * len[d];
+                assert!((e.region.lo[d] - (g.sub.lo[d] + t)).abs() < 1e-9);
+            }
+        }
+    }
+
+    fn rcb_fixture(nranks: usize) -> (Arc<RcbDecomposition>, RankMap, Vec<[f64; 3]>) {
+        let grid = CellGrid::new([1, 1, 1]);
+        let map = RankMap::new(grid, Placement::TopoAware);
+        assert!(nranks <= map.nranks());
+        let global = Box3::from_lengths([20.0, 16.0, 12.0]);
+        // Deterministic skewed scatter.
+        let l = global.lengths();
+        let pts: Vec<[f64; 3]> = (0..800)
+            .filter_map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let u = |s: u32| ((h >> s) & 0xffff) as f64 / 65536.0;
+                let p = [u(0) * l[0], u(16) * l[1], u(32) * l[2]];
+                // Ramp: denser at low x.
+                if u(48) < 1.0 - 0.8 * (p[0] / l[0]) {
+                    Some(p)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        (
+            Arc::new(RcbDecomposition::build(nranks, &pts, &global)),
+            map,
+            pts,
+        )
+    }
+
+    #[test]
+    fn rcb_edges_mirror_at_equal_indices() {
+        let (rcb, map, _) = rcb_fixture(8);
+        for rank in 0..8 {
+            let g = CommGraph::from_rcb(rank, &rcb, &map, 2.5);
+            assert!(!g.is_grid());
+            assert_eq!(g.recv.len(), g.send.len());
+            for (r, s) in g.recv.iter().zip(&g.send) {
+                assert_eq!(r.rank, s.rank);
+                for d in 0..3 {
+                    assert!((r.shift[d] + s.shift[d]).abs() < 1e-12, "shifts negate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rcb_graph_is_globally_consistent() {
+        // My send[k] must be the peer's recv[send[k].peer_index], with the
+        // peer agreeing on rank, shift and pairing back to me.
+        let (rcb, map, _) = rcb_fixture(8);
+        let graphs: Vec<CommGraph> = (0..8)
+            .map(|r| CommGraph::from_rcb(r, &rcb, &map, 2.5))
+            .collect();
+        for g in &graphs {
+            for (k, s) in g.send.iter().enumerate() {
+                let peer = &graphs[s.rank];
+                let mirror = &peer.recv[s.peer_index];
+                assert_eq!(mirror.rank, g.me, "peer's recv edge must point back");
+                assert_eq!(mirror.peer_index, k, "pairing is an involution");
+                for d in 0..3 {
+                    // The shift I apply sending is the shift the peer
+                    // records as applied by its sender.
+                    assert!((mirror.shift[d] - s.shift[d]).abs() < 1e-12);
+                }
+            }
+            for (k, r) in g.recv.iter().enumerate() {
+                let peer = &graphs[r.rank];
+                let mirror = &peer.send[r.peer_index];
+                assert_eq!(mirror.rank, g.me);
+                assert_eq!(mirror.peer_index, k);
+            }
+        }
+    }
+
+    #[test]
+    fn rcb_migrate_tags_are_consistent() {
+        let (rcb, map, _) = rcb_fixture(6);
+        let graphs: Vec<CommGraph> = (0..6)
+            .map(|r| CommGraph::from_rcb(r, &rcb, &map, 2.5))
+            .collect();
+        for g in &graphs {
+            assert_eq!(g.migrate_rounds(), 1);
+            for p in g.migrate_peers() {
+                let back = graphs[p.rank].migrate_peers();
+                assert_eq!(back[p.tag_index].rank, g.me, "peer expects me at tag_index");
+            }
+        }
+    }
+
+    #[test]
+    fn rcb_selector_matches_brute_force_membership() {
+        // An atom must be selected for edge k exactly when it lies within
+        // r_ghost of the peer's (translated) box.
+        let (rcb, map, pts) = rcb_fixture(8);
+        let r = 2.5;
+        for rank in [0, 3, 7] {
+            let g = CommGraph::from_rcb(rank, &rcb, &map, r);
+            let sel = g.selector();
+            for p in pts.iter().filter(|p| g.sub.contains(p)) {
+                let want: Vec<u16> = g
+                    .send
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| expand(&e.region, r).contains(p))
+                    .map(|(k, _)| k as u16)
+                    .collect();
+                assert_eq!(sel.targets_of(p), want, "atom {p:?} on rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn rcb_ghost_regions_cover_the_cutoff_sphere() {
+        // Union coverage: every position within r of my box but outside it
+        // belongs to some recv edge's arrival region (no lost ghosts).
+        let (rcb, map, pts) = rcb_fixture(8);
+        let r = 2.5;
+        let g = CommGraph::from_rcb(2, &rcb, &map, r);
+        let exp = expand(&g.sub, r);
+        let global = rcb.global;
+        for p in &pts {
+            // Try all images of p that land in my expanded shell.
+            let l = global.lengths();
+            for img in images() {
+                let q = [
+                    p[0] + f64::from(img[0]) * l[0],
+                    p[1] + f64::from(img[1]) * l[1],
+                    p[2] + f64::from(img[2]) * l[2],
+                ];
+                if !exp.contains(&q) || g.sub.contains(&q) {
+                    continue;
+                }
+                let covered = g.recv.iter().any(|e| e.region.contains(&q));
+                assert!(covered, "ghost at {q:?} (image {img:?}) uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_fault_rules_address_edges_not_offsets() {
+        let (rcb, map, _) = rcb_fixture(4);
+        let g = CommGraph::from_rcb(1, &rcb, &map, 2.5);
+        let rule = g.edge_fault_rule(0, FaultKind::Drop { times: 1 });
+        assert_eq!(rule.src, Some(1));
+        assert_eq!(rule.dst, Some(g.send[0].node as u32));
+        let g2 = grid_graph(1, PlanConfig::NEWTON);
+        let rule2 = g2.edge_fault_rule(3, FaultKind::Duplicate);
+        assert_eq!(rule2.dst, Some(g2.send[3].node as u32));
+    }
+
+    #[test]
+    fn overlap_volume_basics() {
+        let a = Box3::from_lengths([2.0; 3]);
+        let b = Box3::new([1.0, 0.0, 0.0], [3.0, 2.0, 2.0]);
+        assert!((overlap_volume(&a, &b) - 4.0).abs() < 1e-12);
+        let c = Box3::new([5.0; 3], [6.0; 3]);
+        assert_eq!(overlap_volume(&a, &c), 0.0);
+    }
+}

@@ -101,8 +101,8 @@ impl StagedGhosts {
         dim: usize,
         swap: usize,
     ) -> [Vec<f64>; 2] {
-        let r = st.plan.r_ghost;
-        let (lo, hi) = (st.plan.sub.lo[dim], st.plan.sub.hi[dim]);
+        let r = st.graph.r_ghost;
+        let (lo, hi) = (st.graph.sub.lo[dim], st.graph.sub.hi[dim]);
         let mut payloads = [Vec::new(), Vec::new()];
         for dir in 0..2 {
             let candidates: Box<dyn Iterator<Item = usize>> = if swap == 0 {
@@ -321,7 +321,13 @@ mod tests {
         ]);
         let links = staged_links(&map, 0, &global);
         let plan = CommPlan::build(0, &map, &global, 2.0, PlanConfig::NEWTON);
-        (RankState::new(Atoms::from_positions(pos, 1), plan), links)
+        (
+            RankState::new(
+                Atoms::from_positions(pos, 1),
+                crate::sf::CommGraph::from_grid(plan),
+            ),
+            links,
+        )
     }
 
     #[test]

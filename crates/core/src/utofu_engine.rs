@@ -17,11 +17,11 @@
 //! addresses of receive buffers and atom position arrays are sent to
 //! neighbors") is modeled by a shared [`AddressBook`].
 
-use crate::border_bin::BorderBins;
 use crate::engine::{GhostEngine, Op, OpStats, RankState};
 use crate::fine;
 use crate::p2p::P2pGhosts;
-use crate::plan::{CommPlan, NeighborLink};
+use crate::plan::NeighborLink;
+use crate::sf::{CommGraph, GraphEdge, SendSelector};
 use crate::three_stage::{round_to_sweep, staged_links, StagedGhosts};
 use crate::topo_map::RankMap;
 use crate::wire;
@@ -38,10 +38,10 @@ use tofumd_tofu::{
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum BufKind {
     /// Receives border/forward/forward-scalar payloads (ghost-side inflow,
-    /// from `recv_from[k]`).
+    /// from `recv[k]`).
     GhostIn,
     /// Receives reverse/reverse-scalar payloads and piggybacks (owner-side
-    /// inflow, from `send_to[k]`).
+    /// inflow, from `send[k]`).
     OwnerIn,
     /// The registered atom-position region (pre-registered direct writes).
     XRegion,
@@ -57,7 +57,9 @@ impl BufKind {
     }
 }
 
-/// Key of one published buffer: (rank, kind, link index, slot).
+/// Key of one published buffer: (rank, kind, the *owner's* edge index,
+/// slot) — senders address a peer's buffer through their edge's
+/// `peer_index`, which is that index by construction.
 type AddrKey = (u32, BufKind, u16, u8);
 
 /// Shared registry of every rank's registered buffer addresses — the
@@ -344,7 +346,7 @@ pub struct UtofuP2p {
     node: usize,
     cfg: UtofuConfig,
     vcqs: Vec<Vcq>,
-    bins: Option<BorderBins>,
+    sel: Option<SendSelector>,
     ghosts: P2pGhosts,
     ghost_in: LinkBuffers,
     owner_in: LinkBuffers,
@@ -377,14 +379,14 @@ impl UtofuP2p {
     pub fn new(
         net: Arc<TofuNet>,
         book: Arc<AddressBook>,
-        plan: &CommPlan,
+        graph: &CommGraph,
         node: usize,
         density: f64,
         cfg: UtofuConfig,
     ) -> Self {
         assert!(cfg.vcqs >= 1 && cfg.vcqs <= TNIS_PER_NODE);
         assert!(cfg.comm_threads == 1 || cfg.comm_threads == cfg.vcqs);
-        let me = plan.me;
+        let me = graph.me;
         let mut cfg = cfg;
         let mut setup_cost = 0.0;
         let mut cq_fallback = None;
@@ -417,11 +419,11 @@ impl UtofuP2p {
             let (v, _) = create_vcq_scan(&net, node, me % 4, me as u32);
             vcqs.push(v);
         }
-        let n = plan.recv_from.len();
-        let mut mk_bufs = |links: &[NeighborLink], kind: BufKind| -> LinkBuffers {
+        let n = graph.recv.len();
+        let mut mk_bufs = |links: &[GraphEdge], kind: BufKind| -> LinkBuffers {
             let mut bufs = Vec::with_capacity(n);
             for (k, link) in links.iter().enumerate() {
-                let est_atoms = plan.max_atoms_estimate(link.offset, density);
+                let est_atoms = graph.max_atoms_estimate(link.offset, density);
                 let full = wire::combined_size(est_atoms * MAX_RECORD_F64S);
                 let size = if cfg.prereg {
                     full
@@ -439,15 +441,15 @@ impl UtofuP2p {
             }
             LinkBuffers { bufs }
         };
-        // Ghost-side inflow arrives from recv_from; its max size mirrors my
-        // own outgoing slab toward the opposite side — symmetric volumes.
-        let ghost_in = mk_bufs(&plan.recv_from, BufKind::GhostIn);
-        let owner_in = mk_bufs(&plan.send_to, BufKind::OwnerIn);
+        // Ghost-side inflow arrives along recv edges; its max size mirrors
+        // my own outgoing slab toward the opposite side — symmetric volumes.
+        let ghost_in = mk_bufs(&graph.recv, BufKind::GhostIn);
+        let owner_in = mk_bufs(&graph.send, BufKind::OwnerIn);
         let x_region = if cfg.prereg {
             // Position array registered once at its theoretical maximum:
             // locals + full ghost shell, with the plan's 2x headroom.
-            let local_est = (density * plan.sub.volume() * 2.0) as usize + 64;
-            let ghost_est = (plan.total_ghost_estimate(density) * 2.0) as usize + 64;
+            let local_est = (density * graph.sub.volume() * 2.0) as usize + 64;
+            let ghost_est = (graph.total_ghost_estimate(density) * 2.0) as usize + 64;
             let bytes = (local_est + ghost_est) * 24;
             let stadd = register_with_retry(&net, node, bytes, cfg.retry_budget, &mut setup_cost);
             book.publish(me as u32, BufKind::XRegion, 0, 0, stadd, bytes);
@@ -461,7 +463,7 @@ impl UtofuP2p {
             node,
             cfg,
             vcqs,
-            bins: None,
+            sel: None,
             ghosts: P2pGhosts::default(),
             ghost_in,
             owner_in,
@@ -484,11 +486,8 @@ impl UtofuP2p {
         self.cq_fallback
     }
 
-    fn bins<'a>(bins: &'a mut Option<BorderBins>, st: &RankState) -> &'a BorderBins {
-        bins.get_or_insert_with(|| {
-            let offsets: Vec<_> = st.plan.send_to.iter().map(|l| l.offset).collect();
-            BorderBins::new(st.plan.sub, st.plan.r_ghost, &offsets)
-        })
+    fn sel<'a>(sel: &'a mut Option<SendSelector>, st: &RankState) -> &'a SendSelector {
+        sel.get_or_insert_with(|| st.graph.selector())
     }
 
     /// Destination buffer for a payload to link `k` of `op`.
@@ -500,11 +499,13 @@ impl UtofuP2p {
         slot: u8,
     ) -> Result<(usize, Stadd, usize), TofuError> {
         let (link, kind) = match op {
-            Op::Border | Op::Forward | Op::ForwardScalar => (&st.plan.send_to[k], BufKind::GhostIn),
-            Op::Reverse | Op::ReverseScalar => (&st.plan.recv_from[k], BufKind::OwnerIn),
+            Op::Border | Op::Forward | Op::ForwardScalar => (&st.graph.send[k], BufKind::GhostIn),
+            Op::Reverse | Op::ReverseScalar => (&st.graph.recv[k], BufKind::OwnerIn),
             Op::Exchange => unreachable!("exchange uses its own buffer path"),
         };
-        let (stadd, size) = self.book.lookup(link.rank as u32, kind, k as u16, slot)?;
+        let (stadd, size) =
+            self.book
+                .lookup(link.rank as u32, kind, link.peer_index as u16, slot)?;
         Ok((link.node, stadd, size))
     }
 
@@ -523,8 +524,8 @@ impl UtofuP2p {
     ) {
         let p = *self.net.params();
         let (link, kind) = match op {
-            Op::Border | Op::Forward | Op::ForwardScalar => (st.plan.send_to[k], BufKind::GhostIn),
-            Op::Reverse | Op::ReverseScalar => (st.plan.recv_from[k], BufKind::OwnerIn),
+            Op::Border | Op::Forward | Op::ForwardScalar => (st.graph.send[k], BufKind::GhostIn),
+            Op::Reverse | Op::ReverseScalar => (st.graph.recv[k], BufKind::OwnerIn),
             Op::Exchange => unreachable!("exchange uses its own buffer path"),
         };
         let new_size = need.next_power_of_two();
@@ -532,8 +533,13 @@ impl UtofuP2p {
         // Handshake round-trip + the remote registration stall.
         let dt = 2.0 * p.wire_time(0, link.hops) + cost;
         st.charge(dt, op);
-        self.book
-            .update_size(link.rank as u32, kind, k as u16, slot, new_size);
+        self.book.update_size(
+            link.rank as u32,
+            kind,
+            link.peer_index as u16,
+            slot,
+            new_size,
+        );
         self.growth_events += 1;
         self.stats.growth(op, 0);
     }
@@ -575,8 +581,8 @@ impl UtofuP2p {
             .enumerate()
             .map(|(k, pl)| {
                 let link = match op {
-                    Op::Border | Op::Forward | Op::ForwardScalar => &st.plan.send_to[k],
-                    _ => &st.plan.recv_from[k],
+                    Op::Border | Op::Forward | Op::ForwardScalar => &st.graph.send[k],
+                    _ => &st.graph.recv[k],
                 };
                 fine::link_cost(pl.len() * 8, link.hops, &p)
             })
@@ -601,6 +607,11 @@ impl UtofuP2p {
                 stats_counter.push((k, payload.len() * 8, bytes.len()));
                 now += p.pack_cost(bytes.len());
                 let (dst_node, dst_stadd) = dsts[k];
+                // The receiver indexes payloads by *its own* edge list.
+                let peer_k = match op {
+                    Op::Border | Op::Forward | Op::ForwardScalar => st.graph.send[k].peer_index,
+                    _ => st.graph.recv[k].peer_index,
+                };
                 let vcq = &mut self.vcqs[t % self.cfg.vcqs.max(1)];
                 if direct_x {
                     // An empty forward (no atoms cross this link) sends
@@ -617,7 +628,7 @@ impl UtofuP2p {
                     let raw = wire::encode_f64s(payload);
                     let (xs, _) =
                         self.book
-                            .lookup(st.plan.send_to[k].rank as u32, BufKind::XRegion, 0, 0)?;
+                            .lookup(st.graph.send[k].rank as u32, BufKind::XRegion, 0, 0)?;
                     put_with_retry(
                         vcq,
                         self.cfg.retry_budget,
@@ -630,7 +641,7 @@ impl UtofuP2p {
                         xs,
                         off,
                         &raw,
-                        k as u64,
+                        peer_k as u64,
                         seq_base + 1 + k as u64,
                         true,
                     );
@@ -648,7 +659,7 @@ impl UtofuP2p {
                     dst_stadd,
                     0,
                     &bytes,
-                    k as u64,
+                    peer_k as u64,
                     seq_base + 1 + k as u64,
                     true,
                 );
@@ -674,7 +685,7 @@ impl UtofuP2p {
     /// Wait for the `n` messages of `op` and return payloads in link order.
     fn wait_payloads(&mut self, st: &mut RankState, op: Op) -> Result<Vec<Vec<f64>>, TofuError> {
         let p = *self.net.params();
-        let n = st.plan.recv_from.len();
+        let n = st.graph.recv.len();
         // Identify which stadds we expect for this op.
         let expected: Vec<Stadd> = match op {
             Op::Border | Op::Forward | Op::ForwardScalar => {
@@ -766,17 +777,20 @@ impl UtofuP2p {
     /// atoms landed (8-byte piggyback, §3.4).
     fn send_ghost_offsets(&mut self, st: &mut RankState) -> Result<(), TofuError> {
         let mut now = st.clock;
-        let n = st.plan.recv_from.len();
+        let n = st.graph.recv.len();
         let seq_base = self.send_seq;
         self.send_seq += n as u64;
         for k in 0..n {
             let (start, _count) = self.ghosts.ghost_seg[k];
-            let link = &st.plan.recv_from[k];
+            let link = &st.graph.recv[k];
             // Target the provider's OwnerIn buffer (same inflow direction
             // as a reverse message); zero-length write, descriptor-only.
-            let (stadd, _) = self
-                .book
-                .lookup(link.rank as u32, BufKind::OwnerIn, k as u16, 0)?;
+            let (stadd, _) = self.book.lookup(
+                link.rank as u32,
+                BufKind::OwnerIn,
+                link.peer_index as u16,
+                0,
+            )?;
             put_with_retry(
                 &mut self.vcqs[0],
                 self.cfg.retry_budget,
@@ -789,7 +803,7 @@ impl UtofuP2p {
                 stadd,
                 0,
                 &[],
-                (k as u64) << 48 | (start * 24) as u64,
+                (link.peer_index as u64) << 48 | (start * 24) as u64,
                 seq_base + 1 + k as u64,
                 false,
             );
@@ -803,7 +817,7 @@ impl UtofuP2p {
     /// four ranks share each node's MRQ, so the address filter is what
     /// keeps a rank from stealing its node-mates' descriptors.
     fn recv_ghost_offsets(&mut self, st: &mut RankState) -> Result<(), TofuError> {
-        let n = st.plan.send_to.len();
+        let n = st.graph.send.len();
         let mine: Vec<Stadd> = self.owner_in.bufs.iter().map(|slots| slots[0]).collect();
         let (arrivals, t, anomalies) = wait_deduped(&self.net, self.node, st.clock, n, |a| {
             a.len == 0 && mine.contains(&a.stadd)
@@ -824,32 +838,32 @@ impl UtofuP2p {
 
 impl UtofuP2p {
     /// Indices of the pure-face links for sweep `dim`: the -face in
-    /// `send_to`, the +face in `recv_from` (present for every plan config;
-    /// their absence is a malformed plan, reported rather than panicking).
+    /// `send`, the +face in `recv` (present for every grid graph; their
+    /// absence is a malformed graph, reported rather than panicking).
     fn face_indices(st: &RankState, dim: usize) -> Result<(usize, usize), TofuError> {
         let mut want_minus = [0i8; 3];
         want_minus[dim] = -1;
         let mut want_plus = [0i8; 3];
         want_plus[dim] = 1;
         let k_minus = st
-            .plan
-            .send_to
+            .graph
+            .send
             .iter()
             .position(|l| l.offset.d == want_minus)
             .ok_or(TofuError::PhaseOrder {
-                node: st.plan.me,
+                node: st.graph.me,
                 phase: "exchange",
-                missing: "-face link in send_to",
+                missing: "-face link in send edges",
             })?;
         let k_plus = st
-            .plan
-            .recv_from
+            .graph
+            .recv
             .iter()
             .position(|l| l.offset.d == want_plus)
             .ok_or(TofuError::PhaseOrder {
-                node: st.plan.me,
+                node: st.graph.me,
                 phase: "exchange",
-                missing: "+face link in recv_from",
+                missing: "+face link in recv edges",
             })?;
         Ok((k_minus, k_plus))
     }
@@ -867,11 +881,12 @@ impl UtofuP2p {
         self.send_seq += 2;
         let mut now = st.clock;
         for (dir, payload) in payloads.iter().enumerate() {
-            let (link, kind, k) = if dir == 0 {
-                (st.plan.send_to[k_minus], BufKind::GhostIn, k_minus)
+            let (link, kind) = if dir == 0 {
+                (st.graph.send[k_minus], BufKind::GhostIn)
             } else {
-                (st.plan.recv_from[k_plus], BufKind::OwnerIn, k_plus)
+                (st.graph.recv[k_plus], BufKind::OwnerIn)
             };
+            let k = link.peer_index;
             let bytes = wire::frame_combined(payload);
             let (stadd, size) = self.book.lookup(link.rank as u32, kind, k as u16, slot)?;
             if bytes.len() > size {
@@ -957,33 +972,33 @@ impl GhostEngine for UtofuP2p {
         match op {
             Op::Exchange => self.post_exchange(st, round),
             Op::Border => {
-                let bins = Self::bins(&mut self.bins, st);
-                let payloads = self.ghosts.pack_border(st, bins);
+                let sel = Self::sel(&mut self.sel, st);
+                let payloads = self.ghosts.pack_border(st, sel);
                 self.post_payloads(st, op, &payloads)
             }
             Op::Forward => {
                 if self.cfg.prereg && self.remote_ghost_off.iter().any(Option::is_none) {
                     self.recv_ghost_offsets(st)?;
                 }
-                let payloads: Vec<_> = (0..st.plan.send_to.len())
+                let payloads: Vec<_> = (0..st.graph.send.len())
                     .map(|k| self.ghosts.pack_forward(st, k))
                     .collect();
                 self.post_payloads(st, op, &payloads)
             }
             Op::ForwardScalar => {
-                let payloads: Vec<_> = (0..st.plan.send_to.len())
+                let payloads: Vec<_> = (0..st.graph.send.len())
                     .map(|k| self.ghosts.pack_forward_scalar(st, k))
                     .collect();
                 self.post_payloads(st, op, &payloads)
             }
             Op::Reverse => {
-                let payloads: Vec<_> = (0..st.plan.recv_from.len())
+                let payloads: Vec<_> = (0..st.graph.recv.len())
                     .map(|k| self.ghosts.pack_reverse(st, k))
                     .collect();
                 self.post_payloads(st, op, &payloads)
             }
             Op::ReverseScalar => {
-                let payloads: Vec<_> = (0..st.plan.recv_from.len())
+                let payloads: Vec<_> = (0..st.graph.recv.len())
                     .map(|k| self.ghosts.pack_reverse_scalar(st, k))
                     .collect();
                 self.post_payloads(st, op, &payloads)
@@ -1073,13 +1088,16 @@ impl UtofuThreeStage {
         net: Arc<TofuNet>,
         book: Arc<AddressBook>,
         map: &RankMap,
-        plan: &CommPlan,
+        graph: &CommGraph,
         node: usize,
         density: f64,
         global: &Box3,
     ) -> Self {
-        let me = plan.me;
-        let shells = plan.config().shells;
+        let me = graph.me;
+        let shells = match graph.config() {
+            Some(c) => c.shells,
+            None => panic!("the staged engine requires a grid graph"),
+        };
         let links = staged_links(map, me, global);
         // Prefer the rank's own TNI; a transiently or persistently
         // exhausted CQ pool shifts the binding to any TNI with room.
@@ -1087,8 +1105,8 @@ impl UtofuThreeStage {
         let mut setup_cost = 0.0;
         // Face messages carry up to the staged slab: (a+2r)^2 * r volume at
         // the largest stage — size generously from the whole-shell estimate.
-        let a = plan.sub.lengths();
-        let r = plan.r_ghost;
+        let a = graph.sub.lengths();
+        let r = graph.r_ghost;
         let max_slab = (a[0] + 2.0 * r) * (a[1] + 2.0 * r) * r;
         let est_atoms = (2.0 * density * max_slab) as usize + 16;
         let size = wire::combined_size(est_atoms * MAX_RECORD_F64S) / BASELINE_UNDERSIZE;
@@ -1376,25 +1394,26 @@ mod tests {
         let mut states = Vec::new();
         for r in 0..map.nranks() {
             let plan = crate::plan::CommPlan::build(r, &map, &global, 2.8, plan_cfg);
+            let graph = CommGraph::from_grid(plan);
             let node = map.node_of(r);
             engines.push(UtofuP2p::new(
                 net.clone(),
                 book.clone(),
-                &plan,
+                &graph,
                 node,
                 0.8442,
                 cfg,
             ));
             let atoms = match r {
                 0 => {
-                    let sub = plan.sub;
+                    let sub = graph.sub;
                     Atoms::from_positions(
                         vec![[sub.hi[0] - 0.5, sub.lo[1] + 5.0, sub.lo[2] + 5.0]],
                         1,
                     )
                 }
                 1 => {
-                    let sub = plan.sub;
+                    let sub = graph.sub;
                     Atoms::from_positions(
                         vec![[sub.lo[0] + 0.5, sub.lo[1] + 5.0, sub.lo[2] + 5.0]],
                         1001,
@@ -1402,7 +1421,7 @@ mod tests {
                 }
                 _ => Atoms::default(),
             };
-            states.push(RankState::new(atoms, plan));
+            states.push(RankState::new(atoms, graph));
         }
         Fixture {
             net,
@@ -1510,7 +1529,7 @@ mod tests {
         let mut f = fixture(UtofuConfig::coarse4());
         // Overstuff rank 1's sub-box so its border payload exceeds the
         // undersized baseline buffer on some link.
-        let sub = f.states[1].plan.sub;
+        let sub = f.states[1].graph.sub;
         let mut pos = Vec::new();
         for i in 0..600 {
             let t = i as f64 / 600.0;
@@ -1544,12 +1563,13 @@ mod tests {
                 2.8,
                 crate::plan::PlanConfig::NEWTON,
             );
+            let graph = CommGraph::from_grid(plan);
             let node = map.node_of(r);
             engines.push(UtofuThreeStage::new(
                 net.clone(),
                 book.clone(),
                 &map,
-                &plan,
+                &graph,
                 node,
                 0.8442,
                 &global,
@@ -1557,23 +1577,23 @@ mod tests {
             let atoms = match r {
                 0 => Atoms::from_positions(
                     vec![[
-                        plan.sub.hi[0] - 0.5,
-                        plan.sub.lo[1] + 5.0,
-                        plan.sub.lo[2] + 5.0,
+                        graph.sub.hi[0] - 0.5,
+                        graph.sub.lo[1] + 5.0,
+                        graph.sub.lo[2] + 5.0,
                     ]],
                     1,
                 ),
                 1 => Atoms::from_positions(
                     vec![[
-                        plan.sub.lo[0] + 0.5,
-                        plan.sub.lo[1] + 5.0,
-                        plan.sub.lo[2] + 5.0,
+                        graph.sub.lo[0] + 0.5,
+                        graph.sub.lo[1] + 5.0,
+                        graph.sub.lo[2] + 5.0,
                     ]],
                     1001,
                 ),
                 _ => Atoms::default(),
             };
-            states.push(RankState::new(atoms, plan));
+            states.push(RankState::new(atoms, graph));
         }
         for round in 0..3 {
             for (e, st) in engines.iter_mut().zip(states.iter_mut()) {
@@ -1626,7 +1646,7 @@ mod tests {
             // (complete() takes one generation of arrivals per link; with
             // two queued per link it reads whatever bytes sit in the
             // buffers the arrivals point to.)
-            let n = f.states[0].plan.recv_from.len();
+            let n = f.states[0].graph.recv.len();
             let expected: Vec<Stadd> = f.engines[0]
                 .ghost_in
                 .bufs

@@ -206,6 +206,208 @@ pub fn neighbor_offsets(shells: usize, half: bool) -> Vec<NeighborOffset> {
     out
 }
 
+/// A node of the RCB split tree: either a final rank or a coordinate cut.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum RcbNode {
+    /// Subtree is a single rank.
+    Leaf(usize),
+    /// Binary split: positions with `x[dim] < cut` descend into `below`,
+    /// the rest into `above` (indices into the tree's node vector).
+    Split {
+        dim: usize,
+        cut: f64,
+        below: usize,
+        above: usize,
+    },
+}
+
+/// A recursive-coordinate-bisection decomposition: the global box is split
+/// by weighted-median cuts along the longest axis until every rank owns one
+/// half-open box. Unlike [`Decomposition`], sub-boxes are not congruent —
+/// each holds (close to) the same number of atoms, which is what balances
+/// density-skewed systems.
+///
+/// The construction is deterministic: cuts are exact order statistics of
+/// the coordinates (`sort_by(total_cmp)`), so the same positions always
+/// yield the same boxes on any thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RcbDecomposition {
+    /// The global simulation box.
+    pub global: Box3,
+    /// Per-rank half-open sub-box; the boxes tile `global` exactly.
+    pub boxes: Vec<Box3>,
+    /// Split tree for `owner_of` descent; node 0 is the root.
+    tree: Vec<RcbNode>,
+}
+
+impl RcbDecomposition {
+    /// Build an RCB decomposition of `global` into `nranks` boxes balanced
+    /// over `positions` (which need not be wrapped; they are wrapped here).
+    #[must_use]
+    pub fn build(nranks: usize, positions: &[[f64; 3]], global: &Box3) -> Self {
+        assert!(nranks > 0, "RCB needs at least one rank");
+        let mut pts: Vec<[f64; 3]> = positions.iter().map(|p| global.wrap(*p).0).collect();
+        let mut boxes = vec![Box3::from_lengths([1.0; 3]); nranks];
+        let mut tree = Vec::new();
+        let n = pts.len();
+        Self::split(&mut tree, &mut boxes, &mut pts, 0..n, *global, 0, nranks);
+        RcbDecomposition {
+            global: *global,
+            boxes,
+            tree,
+        }
+    }
+
+    /// Recursively split `pts[range]` (in-place partitioned) over ranks
+    /// `[rank0, rank0 + count)` inside `bounds`, appending tree nodes.
+    /// Returns the index of the subtree's root node.
+    #[allow(clippy::too_many_arguments)]
+    fn split(
+        tree: &mut Vec<RcbNode>,
+        boxes: &mut [Box3],
+        pts: &mut [[f64; 3]],
+        range: std::ops::Range<usize>,
+        bounds: Box3,
+        rank0: usize,
+        count: usize,
+    ) -> usize {
+        if count == 1 {
+            boxes[rank0] = bounds;
+            tree.push(RcbNode::Leaf(rank0));
+            return tree.len() - 1;
+        }
+        let n_below = count / 2;
+        let l = bounds.lengths();
+        let slice = &mut pts[range.clone()];
+        let npts = slice.len();
+        // A coordinate cut can only fall *between* distinct values, and
+        // lattices hold whole planes of tied coordinates, so the
+        // achievable below-counts are quantized — differently per
+        // dimension. Score every dimension by the tie boundary closest
+        // to the ideal weighted split and keep the best (ties broken
+        // toward the longest edge), cutting midway between the two
+        // distinct values so owner_of never sits on an atom coordinate.
+        let target = npts as f64 * n_below as f64 / count as f64;
+        let mut best: Option<(f64, f64, usize, f64)> = None; // (err, -len, dim, cut)
+        for d in 0..3 {
+            let mut coords: Vec<f64> = slice.iter().map(|p| p[d]).collect();
+            coords.sort_by(f64::total_cmp);
+            for m in 1..npts {
+                if coords[m] > coords[m - 1] {
+                    let err = (m as f64 - target).abs();
+                    let key = (err, -l[d], d, 0.5 * (coords[m - 1] + coords[m]));
+                    if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
+                        best = Some(key);
+                    }
+                }
+            }
+        }
+        let (dim, mut cut) = match best {
+            Some((_, _, d, c)) => (d, c),
+            None => {
+                // Empty or fully degenerate point set: halve the longest
+                // edge so the recursion still tiles the bounds.
+                let d = (0..3).fold(0, |b, d| if l[d] > l[b] { d } else { b });
+                (d, 0.5 * (bounds.lo[d] + bounds.hi[d]))
+            }
+        };
+        let eps = 1e-9 * (bounds.hi[dim] - bounds.lo[dim]);
+        cut = cut.clamp(bounds.lo[dim] + eps, bounds.hi[dim] - eps);
+        // Stable in-place partition: everything `< cut` first.
+        let mut lo_side: Vec<[f64; 3]> = Vec::with_capacity(npts);
+        let mut hi_side: Vec<[f64; 3]> = Vec::with_capacity(npts);
+        for p in slice.iter() {
+            if p[dim] < cut {
+                lo_side.push(*p);
+            } else {
+                hi_side.push(*p);
+            }
+        }
+        let n_lo = lo_side.len();
+        slice[..n_lo].copy_from_slice(&lo_side);
+        slice[n_lo..].copy_from_slice(&hi_side);
+        let mut below_bounds = bounds;
+        below_bounds.hi[dim] = cut;
+        let mut above_bounds = bounds;
+        above_bounds.lo[dim] = cut;
+        let here = tree.len();
+        tree.push(RcbNode::Split {
+            dim,
+            cut,
+            below: 0,
+            above: 0,
+        });
+        let below = Self::split(
+            tree,
+            boxes,
+            pts,
+            range.start..range.start + n_lo,
+            below_bounds,
+            rank0,
+            n_below,
+        );
+        let above = Self::split(
+            tree,
+            boxes,
+            pts,
+            range.start + n_lo..range.end,
+            above_bounds,
+            rank0 + n_below,
+            count - n_below,
+        );
+        if let RcbNode::Split {
+            below: b, above: a, ..
+        } = &mut tree[here]
+        {
+            *b = below;
+            *a = above;
+        }
+        here
+    }
+
+    /// Total rank count.
+    #[must_use]
+    pub fn nranks(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Which rank owns a wrapped global position (tree descent; positions
+    /// outside the global box are wrapped first).
+    #[must_use]
+    pub fn owner_of(&self, x: &[f64; 3]) -> usize {
+        let (w, _) = self.global.wrap(*x);
+        let mut node = 0;
+        loop {
+            match self.tree[node] {
+                RcbNode::Leaf(rank) => return rank,
+                RcbNode::Split {
+                    dim,
+                    cut,
+                    below,
+                    above,
+                } => node = if w[dim] < cut { below } else { above },
+            }
+        }
+    }
+
+    /// Max-over-mean atom-count imbalance of `positions` under this
+    /// decomposition (1.0 = perfect balance).
+    #[must_use]
+    pub fn imbalance_of(&self, positions: &[[f64; 3]]) -> f64 {
+        let mut counts = vec![0usize; self.nranks()];
+        for p in positions {
+            counts[self.owner_of(p)] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap_or(0) as f64;
+        let mean = positions.len() as f64 / self.nranks() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,5 +502,99 @@ mod tests {
         assert_eq!(d.shells_for_cutoff(3.0), 1);
         assert_eq!(d.shells_for_cutoff(3.1), 2);
         assert_eq!(d.shells_for_cutoff(6.5), 3);
+    }
+
+    /// Deterministic pseudo-uniform positions (no RNG dependency).
+    fn scatter(n: usize, global: &Box3) -> Vec<[f64; 3]> {
+        let l = global.lengths();
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let u = |s: u32| ((h >> s) & 0xffff) as f64 / 65536.0;
+                [
+                    global.lo[0] + u(0) * l[0],
+                    global.lo[1] + u(16) * l[1],
+                    global.lo[2] + u(32) * l[2],
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rcb_boxes_tile_the_global_box() {
+        let global = Box3::from_lengths([12.0, 8.0, 6.0]);
+        let pts = scatter(500, &global);
+        for nranks in [1, 2, 3, 5, 8, 48] {
+            let rcb = RcbDecomposition::build(nranks, &pts, &global);
+            let vol: f64 = rcb.boxes.iter().map(Box3::volume).sum();
+            assert!(
+                (vol - global.volume()).abs() < 1e-6 * global.volume(),
+                "{nranks} ranks: volume {vol} vs {}",
+                global.volume()
+            );
+        }
+    }
+
+    #[test]
+    fn rcb_owner_matches_boxes() {
+        let global = Box3::from_lengths([10.0; 3]);
+        let pts = scatter(300, &global);
+        let rcb = RcbDecomposition::build(7, &pts, &global);
+        for p in &pts {
+            let r = rcb.owner_of(p);
+            assert!(rcb.boxes[r].contains(p), "{p:?} not in box of rank {r}");
+        }
+    }
+
+    #[test]
+    fn rcb_balances_a_density_gradient() {
+        // Density ramp along x: pile most atoms into low x. A uniform grid
+        // leaves the high-x ranks nearly empty; RCB stays near 1.0.
+        let global = Box3::from_lengths([16.0, 4.0, 4.0]);
+        let mut pts = Vec::new();
+        for p in scatter(2000, &global) {
+            let frac = (p[0] - global.lo[0]) / global.lengths()[0];
+            let h = ((pts.len() as u64 + 17).wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as f64
+                / 4294967296.0;
+            if h > 0.9 * frac {
+                pts.push(p);
+            }
+        }
+        let nranks = 8;
+        let rcb = RcbDecomposition::build(nranks, &pts, &global);
+        let grid = Decomposition::new([8, 1, 1], global);
+        let mut grid_counts = vec![0usize; nranks];
+        for p in &pts {
+            grid_counts[grid.owner_of(p)] += 1;
+        }
+        let grid_imb =
+            *grid_counts.iter().max().unwrap() as f64 / (pts.len() as f64 / nranks as f64);
+        let rcb_imb = rcb.imbalance_of(&pts);
+        assert!(rcb_imb < 1.15, "RCB imbalance {rcb_imb} should be near 1.0");
+        assert!(
+            rcb_imb < 0.75 * grid_imb,
+            "RCB {rcb_imb} must clearly beat the grid {grid_imb}"
+        );
+    }
+
+    #[test]
+    fn rcb_is_deterministic() {
+        let global = Box3::from_lengths([9.0; 3]);
+        let pts = scatter(400, &global);
+        let a = RcbDecomposition::build(6, &pts, &global);
+        let b = RcbDecomposition::build(6, &pts, &global);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rcb_handles_empty_and_tiny_inputs() {
+        let global = Box3::from_lengths([4.0; 3]);
+        let rcb = RcbDecomposition::build(4, &[], &global);
+        assert_eq!(rcb.nranks(), 4);
+        let vol: f64 = rcb.boxes.iter().map(Box3::volume).sum();
+        assert!((vol - global.volume()).abs() < 1e-9);
+        // One atom, many ranks: every position still resolves to an owner.
+        let rcb = RcbDecomposition::build(5, &[[1.0; 3]], &global);
+        assert!(rcb.owner_of(&[3.9, 0.1, 2.0]) < 5);
     }
 }

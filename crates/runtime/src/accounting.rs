@@ -168,7 +168,7 @@ mod tests {
                         half: false,
                     },
                 );
-                RankState::new(Atoms::default(), plan)
+                RankState::new(Atoms::default(), tofumd_core::CommGraph::from_grid(plan))
             })
             .collect()
     }

@@ -272,8 +272,14 @@ impl Cluster {
             threading: variant.threading(),
             cutoff: potential.cutoff(),
             skin: cfg.skin(),
+            // The one-sided rule requires the grid's half ghost shell;
+            // irregular (RCB) graphs carry ghosts on every side, so they
+            // keep the coordinate-ordering rule to own each cross-rank
+            // pair exactly once.
             list_kind: match potential.list_kind() {
-                tofumd_md::neighbor::ListKind::HalfNewton if variant.is_p2p() => {
+                tofumd_md::neighbor::ListKind::HalfNewton
+                    if variant.is_p2p() && cfg.comm.decomp == crate::config::Decomp::Grid =>
+                {
                     tofumd_md::neighbor::ListKind::HalfOneSided
                 }
                 k => k,

@@ -5,7 +5,7 @@
 //! façade's private fields without widening their visibility.
 
 use super::Cluster;
-use crate::config::RunConfig;
+use crate::config::{Decomp, RunConfig};
 use crate::driver::{Lane, Phase, PlanMode, Team};
 use crate::variant::CommVariant;
 use std::sync::Arc;
@@ -14,7 +14,9 @@ use tofumd_core::mpi_engine::{MpiP2p, MpiThreeStage};
 use tofumd_core::plan::{CommPlan, PlanConfig};
 use tofumd_core::topo_map::{Placement, RankMap};
 use tofumd_core::utofu_engine::{AddressBook, UtofuConfig, UtofuP2p, UtofuThreeStage};
+use tofumd_core::CommGraph;
 use tofumd_md::atom::Atoms;
+use tofumd_md::domain::RcbDecomposition;
 use tofumd_md::integrate::NveIntegrator;
 use tofumd_md::region::Box3;
 use tofumd_md::velocity;
@@ -67,6 +69,15 @@ impl Cluster {
             (cells_per_rank * f64::from(rg_pre[2])).ceil() as usize,
         );
         let (global, pos) = cfg.build_lattice(cx.max(1), cy.max(1), cz.max(1));
+        // Optional density ramp: thin the lattice along +x by a per-tag
+        // hash so the surviving set is identical under any decomposition.
+        let glx = global.lengths()[0];
+        let kept: Vec<([f64; 3], u64)> = pos
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i as u64 + 1))
+            .filter(|(p, tag)| cfg.comm.keeps_atom(*tag, (p[0] - global.lo[0]) / glx))
+            .collect();
 
         // Fabric + MPI layer. A fault plan must be live before the first
         // engine is built so registration / CQ faults hit the build too.
@@ -83,17 +94,38 @@ impl Cluster {
         let min_edge = (0..3)
             .map(|d| gl[d] / f64::from(rg[d]))
             .fold(f64::INFINITY, f64::min);
-        let shells = ((r_ghost / min_edge).ceil() as usize).max(1);
+        let auto_shells = ((r_ghost / min_edge).ceil() as usize).max(1);
+        // A requested halo depth may widen the exchange (62/124-neighbor
+        // scenarios) but never narrow it below the cutoff-derived floor.
+        let shells = cfg.comm.shells.map_or(auto_shells, |s| s.max(auto_shells));
         let plan_cfg = PlanConfig {
             shells,
             half: cfg.newton_half(),
         };
 
+        // Decomposition: uniform bricks, or RCB over the initial atom
+        // positions. RCB's irregular graph rides the reliable MPI p2p
+        // engine; the staged and uTofu engines stay grid-only.
+        let rcb = match cfg.comm.decomp {
+            Decomp::Grid => None,
+            Decomp::Rcb => {
+                assert!(
+                    matches!(variant, CommVariant::MpiP2p),
+                    "RCB decomposition requires the MpiP2p engine (got {variant:?})"
+                );
+                let xs: Vec<[f64; 3]> = kept.iter().map(|(x, _)| *x).collect();
+                Some(Arc::new(RcbDecomposition::build(nranks, &xs, &global)))
+            }
+        };
+
         // Distribute atoms to owners.
         let mut per_rank: Vec<Vec<([f64; 3], u64)>> = vec![Vec::new(); nranks];
-        for (i, p) in pos.iter().enumerate() {
-            let owner = owner_of(&global, rg, &map, p);
-            per_rank[owner].push((*p, i as u64 + 1));
+        for (p, tag) in &kept {
+            let owner = match &rcb {
+                Some(r) => r.owner_of(p),
+                None => owner_of(&global, rg, &map, p),
+            };
+            per_rank[owner].push((*p, *tag));
         }
 
         let potential = Arc::new(cfg.build_potential());
@@ -104,7 +136,12 @@ impl Cluster {
         let mut states = Vec::with_capacity(nranks);
         let mut lanes: Vec<Lane> = Vec::with_capacity(nranks);
         for rank in 0..nranks {
-            let plan = CommPlan::build(rank, &map, &global, r_ghost, plan_cfg);
+            let graph = match &rcb {
+                Some(r) => CommGraph::from_rcb(rank, r, &map, r_ghost),
+                None => {
+                    CommGraph::from_grid(CommPlan::build(rank, &map, &global, r_ghost, plan_cfg))
+                }
+            };
             let node = map.node_of(rank);
             let mut atoms = Atoms::default();
             for (x, tag) in &per_rank[rank] {
@@ -121,12 +158,18 @@ impl Cluster {
                 CommVariant::Ref => {
                     Box::new(MpiThreeStage::new(mpi.clone(), &map, rank, &global, shells))
                 }
-                CommVariant::MpiP2p => Box::new(MpiP2p::new(mpi.clone(), rank)),
+                CommVariant::MpiP2p => {
+                    if rcb.is_some() {
+                        Box::new(MpiP2p::new_irregular(mpi.clone(), rank))
+                    } else {
+                        Box::new(MpiP2p::new(mpi.clone(), rank))
+                    }
+                }
                 CommVariant::Utofu3Stage => Box::new(UtofuThreeStage::new(
                     net.clone(),
                     book.clone(),
                     &map,
-                    &plan,
+                    &graph,
                     node,
                     density,
                     &global,
@@ -134,7 +177,7 @@ impl Cluster {
                 CommVariant::Utofu4TniP2p => Box::new(UtofuP2p::new(
                     net.clone(),
                     book.clone(),
-                    &plan,
+                    &graph,
                     node,
                     density,
                     UtofuConfig::coarse4(),
@@ -142,7 +185,7 @@ impl Cluster {
                 CommVariant::Utofu6TniP2p => Box::new(UtofuP2p::new(
                     net.clone(),
                     book.clone(),
-                    &plan,
+                    &graph,
                     node,
                     density,
                     UtofuConfig::single6(),
@@ -150,13 +193,13 @@ impl Cluster {
                 CommVariant::Opt => Box::new(UtofuP2p::new(
                     net.clone(),
                     book.clone(),
-                    &plan,
+                    &graph,
                     node,
                     density,
                     UtofuConfig::pool6(),
                 )),
             };
-            states.push(RankState::new(atoms, plan));
+            states.push(RankState::new(atoms, graph));
             lanes.push(Lane::new(engine));
         }
 

@@ -38,6 +38,20 @@ impl Cluster {
         }
     }
 
+    /// Per-rank local atom counts — the load each rank carries right now.
+    #[must_use]
+    pub fn atom_counts(&self) -> Vec<usize> {
+        self.states.iter().map(|s| s.atoms.nlocal).collect()
+    }
+
+    /// Max/mean of the per-rank atom counts (1.0 = perfectly balanced) —
+    /// the decomposition-quality counterpart of the virtual-clock
+    /// [`Cluster::imbalance`].
+    #[must_use]
+    pub fn atom_imbalance(&self) -> f64 {
+        crate::trace::atom_imbalance(&self.atom_counts())
+    }
+
     /// Run `n` steps recording a per-step stage trace.
     pub fn run_traced(&mut self, n: u64) -> crate::trace::Trace {
         let mut trace = crate::trace::Trace::default();
@@ -73,6 +87,7 @@ impl Cluster {
         }
         let delta = self.op_stats().since(&ops_before);
         trace.comm = crate::trace::comm_rows(&delta, nranks * n as f64);
+        trace.set_atom_counts(self.atom_counts());
         trace
     }
 

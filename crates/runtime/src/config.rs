@@ -35,6 +35,70 @@ pub enum PotentialKind {
     LjBinary,
 }
 
+/// Spatial decomposition strategy (LAMMPS `comm_style`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Decomp {
+    /// Uniform bricks aligned with the rank mesh (`comm_style brick`).
+    #[default]
+    Grid,
+    /// Recursive coordinate bisection over the initial atom positions
+    /// (`comm_style tiled` + `balance rcb`): rank boxes follow the atom
+    /// density, so skewed systems start balanced.
+    Rcb,
+}
+
+/// Communication-layer tuning riding along with a [`RunConfig`]. The
+/// default reproduces the historical behavior exactly (uniform grid,
+/// cutoff-derived halo, uniform lattice).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommTuning {
+    /// Decomposition strategy.
+    pub decomp: Decomp,
+    /// Force at least this many halo shells (1 -> 13/26 neighbors,
+    /// 2 -> 62, 3 -> 124); the cutoff-derived minimum always wins when
+    /// larger. Grid decomposition only.
+    pub shells: Option<usize>,
+    /// Extend the ghost cutoff beyond force cutoff + skin (LAMMPS
+    /// `comm_modify cutoff`); values below the derived cutoff are ignored.
+    pub ghost_cutoff: Option<f64>,
+    /// Linear density thinning along +x: the kept fraction falls from 1
+    /// at the low face to `1 - density_gradient` at the high face,
+    /// decided per atom by a tag hash so the system is identical under
+    /// any decomposition. 0 = uniform lattice.
+    pub density_gradient: f64,
+}
+
+impl Default for CommTuning {
+    fn default() -> Self {
+        CommTuning {
+            decomp: Decomp::Grid,
+            shells: None,
+            ghost_cutoff: None,
+            density_gradient: 0.0,
+        }
+    }
+}
+
+impl CommTuning {
+    /// Should the atom with this global tag survive the density ramp?
+    /// `frac_x` is the atom's fractional position along x. Deterministic
+    /// in (tag, gradient) only, so grid and RCB runs build the same
+    /// system.
+    #[must_use]
+    pub fn keeps_atom(&self, tag: u64, frac_x: f64) -> bool {
+        if self.density_gradient <= 0.0 {
+            return true;
+        }
+        // splitmix64: a well-mixed draw in [0, 1) per tag.
+        let mut z = tag.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let draw = (z >> 11) as f64 / (1u64 << 53) as f64;
+        draw >= self.density_gradient * frac_x
+    }
+}
+
 /// A complete run configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunConfig {
@@ -46,6 +110,9 @@ pub struct RunConfig {
     pub temperature: f64,
     /// Velocity seed.
     pub seed: u64,
+    /// Communication tuning (decomposition, halo depth, density ramp).
+    #[serde(default)]
+    pub comm: CommTuning,
 }
 
 impl RunConfig {
@@ -58,6 +125,7 @@ impl RunConfig {
             natoms_target: natoms,
             temperature: 1.44,
             seed: 20230612,
+            comm: CommTuning::default(),
         }
     }
 
@@ -70,6 +138,7 @@ impl RunConfig {
             natoms_target: natoms,
             temperature: 1600.0,
             seed: 20230612,
+            comm: CommTuning::default(),
         }
     }
 
@@ -81,6 +150,7 @@ impl RunConfig {
             natoms_target: natoms,
             temperature: 1000.0,
             seed: 20230612,
+            comm: CommTuning::default(),
         }
     }
 
@@ -219,10 +289,15 @@ impl RunConfig {
         }
     }
 
-    /// Ghost cutoff: force cutoff + skin.
+    /// Ghost cutoff: force cutoff + skin, extended by `comm.ghost_cutoff`
+    /// when that asks for more (never less — correctness floor).
     #[must_use]
     pub fn ghost_cutoff(&self) -> f64 {
-        self.build_potential().cutoff() + self.skin()
+        let derived = self.build_potential().cutoff() + self.skin();
+        match self.comm.ghost_cutoff {
+            Some(r) => derived.max(r),
+            None => derived,
+        }
     }
 }
 

@@ -74,8 +74,8 @@ pub fn rank_work(lane: &Lane, st: &RankState, eam: bool) -> Option<RankWork> {
 /// A host-side layout optimization only — no virtual time is charged.
 pub fn spatial_sort(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [RankState]) {
     team.for_each(lanes, states, &|_, _lane, st| {
-        let sub = st.plan.sub;
-        let rg = st.plan.r_ghost;
+        let sub = st.graph.sub;
+        let rg = st.graph.r_ghost;
         let lo = [sub.lo[0] - rg, sub.lo[1] - rg, sub.lo[2] - rg];
         let hi = [sub.hi[0] + rg, sub.hi[1] + rg, sub.hi[2] + rg];
         sort_locals_by_bin(&mut st.atoms, lo, hi, ctx.cutoff + ctx.skin);
@@ -86,8 +86,8 @@ pub fn spatial_sort(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [Ra
 /// serial build) and charge Neigh time.
 pub fn rebuild_lists(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [RankState]) {
     team.for_each_chunk(lanes, states, &|_, lane, st, exec| {
-        let sub = st.plan.sub;
-        let rg = st.plan.r_ghost;
+        let sub = st.graph.sub;
+        let rg = st.graph.r_ghost;
         let lo = [sub.lo[0] - rg, sub.lo[1] - rg, sub.lo[2] - rg];
         let hi = [sub.hi[0] + rg, sub.hi[1] + rg, sub.hi[2] + rg];
         let list = NeighborList::build_chunked(
@@ -298,8 +298,8 @@ fn split_sel(part: &Partition, rebuild: bool) -> (&[bool], usize, usize) {
 /// flight. Charges the interior share of Neigh.
 pub fn build_interior_lists(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: &mut [RankState]) {
     team.for_each_chunk(lanes, states, &|_, lane, st, exec| {
-        let sub = st.plan.sub;
-        let rg = st.plan.r_ghost;
+        let sub = st.graph.sub;
+        let rg = st.graph.r_ghost;
         let lo = [sub.lo[0] - rg, sub.lo[1] - rg, sub.lo[2] - rg];
         let hi = [sub.hi[0] + rg, sub.hi[1] + rg, sub.hi[2] + rg];
         let geo =
@@ -347,8 +347,8 @@ pub fn build_boundary_lists(team: &Team, ctx: &Ctx, lanes: &mut [Lane], states: 
             fail_missing(lane, r, "boundary_build", "row partition");
             return;
         };
-        let sub = st.plan.sub;
-        let rg = st.plan.r_ghost;
+        let sub = st.graph.sub;
+        let rg = st.graph.r_ghost;
         let lo = [sub.lo[0] - rg, sub.lo[1] - rg, sub.lo[2] - rg];
         let hi = [sub.hi[0] + rg, sub.hi[1] + rg, sub.hi[2] + rg];
         let full = NeighborList::build_boundary(&st.atoms, lo, hi, &ilist, &part.geo, exec);

@@ -6,10 +6,10 @@
 //! covering: `units`, `atom_style`, `lattice` (fcc, diamond),
 //! `region ... block`, `create_box`, `create_atoms`, `mass`,
 //! `velocity ... create`, `pair_style` (lj/cut, eam, sw), `pair_coeff`,
-//! `neighbor`, `neigh_modify`, `fix ... nve`, `timestep`, `thermo`, and
-//! `run`.
+//! `neighbor`, `neigh_modify`, `comm_style` (brick, tiled),
+//! `comm_modify cutoff`, `fix ... nve`, `timestep`, `thermo`, and `run`.
 
-use crate::config::{PotentialKind, RunConfig};
+use crate::config::{CommTuning, Decomp, PotentialKind, RunConfig};
 use tofumd_md::neighbor::RebuildPolicy;
 
 /// A parsed run: what to simulate and for how long.
@@ -65,6 +65,8 @@ struct State {
     neigh_every: Option<u32>,
     neigh_check: Option<bool>,
     timestep: Option<f64>,
+    comm_style: Option<Decomp>,
+    comm_cutoff: Option<f64>,
     fix_nve: bool,
     run_steps: Option<u64>,
     thermo_every: u64,
@@ -253,6 +255,41 @@ pub fn parse_script(text: &str) -> Result<ScriptRun, ScriptError> {
                     .map_err(|_| err(lineno, "bad thermo interval"))?;
             }
             "thermo_style" | "thermo_modify" => st.ignored.push(line.to_string()),
+            "comm_style" => {
+                st.comm_style = Some(match tokens.get(1) {
+                    Some(&"brick") => Decomp::Grid,
+                    Some(&"tiled") => Decomp::Rcb,
+                    other => return Err(err(lineno, format!("unsupported comm_style {other:?}"))),
+                });
+            }
+            "comm_modify" => {
+                let mut i = 1;
+                while i < tokens.len() {
+                    match tokens.get(i) {
+                        Some(&"cutoff") => {
+                            st.comm_cutoff = Some(
+                                tokens
+                                    .get(i + 1)
+                                    .ok_or_else(|| err(lineno, "cutoff needs a value"))?
+                                    .parse()
+                                    .map_err(|_| err(lineno, "bad comm cutoff"))?,
+                            );
+                            i += 2;
+                        }
+                        Some(other) => {
+                            return Err(err(lineno, format!("unknown comm_modify key '{other}'")))
+                        }
+                        None => break,
+                    }
+                }
+            }
+            "balance" => {
+                // balance <thresh> rcb — pairs with comm_style tiled.
+                if tokens.last() != Some(&"rcb") {
+                    return Err(err(lineno, "only 'balance ... rcb' supported"));
+                }
+                st.comm_style = Some(Decomp::Rcb);
+            }
             "run" => {
                 st.run_steps = Some(
                     tokens
@@ -315,6 +352,11 @@ fn finalize(st: State) -> Result<ScriptRun, ScriptError> {
         natoms_target: natoms,
         temperature: st.temperature.unwrap_or(base.temperature),
         seed: st.seed.unwrap_or(base.seed),
+        comm: CommTuning {
+            decomp: st.comm_style.unwrap_or_default(),
+            ghost_cutoff: st.comm_cutoff,
+            ..CommTuning::default()
+        },
     };
     // Cross-validate script values against the Table-2 constants baked
     // into RunConfig: the fidelity contract is that scripts *match* the

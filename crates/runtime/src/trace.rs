@@ -96,6 +96,27 @@ pub struct Trace {
     pub steps: Vec<StepRecord>,
     /// Per-op comm counters over the traced window (per rank-step).
     pub comm: Vec<OpCommRow>,
+    /// Per-rank local atom counts at the end of the traced window — the
+    /// load the decomposition handed each rank (RCB's win over the grid
+    /// on skewed systems shows up here).
+    #[serde(default)]
+    pub atom_counts: Vec<usize>,
+    /// Max/mean of `atom_counts` (1.0 = perfectly balanced).
+    #[serde(default)]
+    pub atom_imbalance: f64,
+}
+
+/// Max-over-mean of a per-rank atom distribution; 1.0 when empty or
+/// perfectly balanced.
+#[must_use]
+pub fn atom_imbalance(counts: &[usize]) -> f64 {
+    let max = counts.iter().copied().max().unwrap_or(0) as f64;
+    let mean = counts.iter().sum::<usize>() as f64 / counts.len().max(1) as f64;
+    if mean <= 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
 }
 
 /// Stage names in breakdown order.
@@ -117,6 +138,13 @@ impl Trace {
     /// Append a record.
     pub fn push(&mut self, rec: StepRecord) {
         self.steps.push(rec);
+    }
+
+    /// Record the per-rank atom distribution (and its max/mean
+    /// imbalance) the traced run ended with.
+    pub fn set_atom_counts(&mut self, counts: Vec<usize>) {
+        self.atom_imbalance = atom_imbalance(&counts);
+        self.atom_counts = counts;
     }
 
     /// Mean breakdown over all recorded steps.
@@ -219,6 +247,16 @@ impl Trace {
         if let Some(ratio) = self.rebuild_cost_ratio() {
             out.push_str(&format!(
                 "reneighbor steps cost {ratio:.2}x a forward step\n"
+            ));
+        }
+        if !self.atom_counts.is_empty() {
+            let min = self.atom_counts.iter().copied().min().unwrap_or(0);
+            let max = self.atom_counts.iter().copied().max().unwrap_or(0);
+            let mean =
+                self.atom_counts.iter().sum::<usize>() as f64 / self.atom_counts.len() as f64;
+            out.push_str(&format!(
+                "atoms/rank min {min} mean {mean:.1} max {max}  imbalance {:.3} (max/mean)\n",
+                self.atom_imbalance
             ));
         }
         if !self.comm.is_empty() {
@@ -347,6 +385,20 @@ mod tests {
         assert!(rep.contains("forward"), "per-op table missing: {rep}");
         assert!(rep.contains("msg/rank/step"));
         assert!(rep.contains("retries"), "retry column missing: {rep}");
+    }
+
+    #[test]
+    fn atom_counts_render_with_imbalance() {
+        let mut t = Trace::default();
+        t.push(rec(1, 4e-6, false));
+        t.set_atom_counts(vec![100, 100, 200]);
+        assert!((t.atom_imbalance - 1.5).abs() < 1e-12);
+        let rep = t.report();
+        assert!(rep.contains("atoms/rank"), "{rep}");
+        assert!(rep.contains("imbalance 1.500"), "{rep}");
+        // Empty distribution stays silent and degenerates to balanced.
+        assert_eq!(atom_imbalance(&[]), 1.0);
+        assert!(!Trace::default().report().contains("atoms/rank"));
     }
 
     #[test]

@@ -185,3 +185,101 @@ fn permanent_cq_exhaustion_on_one_tni_degrades_gracefully() {
     assert!(c.fault_counters().cq_rejections > 0);
     assert!(!c.demoted());
 }
+
+/// Fault plans keyed on *graph edges* (`CommGraph::edge_fault_rule`): the
+/// rules follow (my rank → peer node) pairs, so the same addressing works
+/// on the 62-neighbor extended-halo graph. Drops, duplicates and
+/// truncations on specific edges must be absorbed by retries and dedupe
+/// with physics bit-identical to the clean run.
+#[test]
+fn edge_keyed_faults_recover_on_62_neighbor_graphs() {
+    let cfg = RunConfig {
+        comm: tofumd_runtime::config::CommTuning {
+            shells: Some(2),
+            ..tofumd_runtime::config::CommTuning::default()
+        },
+        ..RunConfig::lj(4_000)
+    };
+    let mut clean = Cluster::new(MESH, cfg, CommVariant::Opt);
+    assert_eq!(clean.states()[0].graph.neighbor_count(), 62);
+
+    // Address one edge per kind, on three different ranks, straight off
+    // the graphs the clean cluster built.
+    let mut plan = FaultPlan::new();
+    for (rank, edge, kind) in [
+        (0usize, 0usize, FaultKind::Drop { times: 2 }),
+        (17, 30, FaultKind::Duplicate),
+        (41, 61, FaultKind::Truncate { len: 8, times: 1 }),
+    ] {
+        let g = &clean.states()[rank].graph;
+        assert_eq!(g.send.len(), 62);
+        plan = plan.with_rule(g.edge_fault_rule(edge, kind));
+    }
+
+    let mut faulty = Cluster::with_fault_plan(MESH, cfg, CommVariant::Opt, plan);
+    clean.set_thermo_every(5);
+    faulty.set_thermo_every(5);
+    clean.run(20);
+    faulty.run(20);
+
+    assert!(
+        faulty.fault_counters().total() > 0,
+        "edge-keyed rules must fire on the 62-neighbor graph: {:?}",
+        faulty.fault_counters()
+    );
+    assert!(!faulty.demoted(), "bounded edge faults are recoverable");
+    assert_eq!(
+        thermo_bits(clean.thermo_log()),
+        thermo_bits(faulty.thermo_log())
+    );
+    assert_eq!(state_fingerprint(&clean), state_fingerprint(&faulty));
+}
+
+/// The same edge addressing on an *irregular* RCB graph. RCB runs on the
+/// MPI p2p engine, whose transport is the reliable stack — the one layer
+/// the fault plan never reaches (DESIGN.md §10) — so edge-keyed drops and
+/// truncations are absorbed below the engine: the run completes with
+/// physics bit-identical to the clean run and zero injected faults.
+#[test]
+fn edge_keyed_faults_are_absorbed_on_rcb_graphs() {
+    let cfg = RunConfig {
+        comm: tofumd_runtime::config::CommTuning {
+            decomp: tofumd_runtime::config::Decomp::Rcb,
+            density_gradient: 0.5,
+            ..tofumd_runtime::config::CommTuning::default()
+        },
+        ..RunConfig::lj(4_000)
+    };
+    let mut clean = Cluster::new(MESH, cfg, CommVariant::MpiP2p);
+
+    let mut plan = FaultPlan::new();
+    for rank in [0usize, 11, 23, 47] {
+        let g = &clean.states()[rank].graph;
+        assert!(
+            g.config().is_none(),
+            "RCB graphs must be irregular (no grid config)"
+        );
+        assert!(!g.send.is_empty());
+        plan = plan.with_rule(g.edge_fault_rule(0, FaultKind::Drop { times: 2 }));
+        let last = g.send.len() - 1;
+        plan = plan.with_rule(g.edge_fault_rule(last, FaultKind::Truncate { len: 4, times: 1 }));
+    }
+
+    let mut faulty = Cluster::with_fault_plan(MESH, cfg, CommVariant::MpiP2p, plan);
+    clean.set_thermo_every(5);
+    faulty.set_thermo_every(5);
+    clean.run(20);
+    faulty.run(20);
+
+    assert_eq!(
+        faulty.fault_counters().total(),
+        0,
+        "the reliable MPI stack sits below the fault plan"
+    );
+    assert!(!faulty.demoted());
+    assert_eq!(
+        thermo_bits(clean.thermo_log()),
+        thermo_bits(faulty.thermo_log())
+    );
+    assert_eq!(state_fingerprint(&clean), state_fingerprint(&faulty));
+}

@@ -1,0 +1,176 @@
+//! The scenarios the star-forest graph unlocks: the paper's 62/124-neighbor
+//! extended exchange (grid graphs with deeper halo shells) and RCB
+//! decomposition for density-skewed systems, with load imbalance surfaced
+//! through `Trace::report`.
+
+use tofumd_runtime::config::{CommTuning, Decomp, PotentialKind};
+use tofumd_runtime::{Cluster, CommVariant, RunConfig};
+
+/// Smallest foldable machine: one cell = 12 nodes = 48 ranks.
+const MESH: [u32; 3] = [2, 3, 2];
+
+/// An LJ system thinned along +x: the kept fraction falls linearly to
+/// `1 - gradient` at the high face, so uniform bricks are systematically
+/// imbalanced while RCB is not.
+fn skewed_lj(natoms: usize, decomp: Decomp) -> RunConfig {
+    RunConfig {
+        comm: CommTuning {
+            decomp,
+            density_gradient: 0.8,
+            ..CommTuning::default()
+        },
+        ..RunConfig::lj(natoms)
+    }
+}
+
+#[test]
+fn rcb_balances_a_density_ramp() {
+    let mut grid = Cluster::new(MESH, skewed_lj(8000, Decomp::Grid), CommVariant::MpiP2p);
+    let mut rcb = Cluster::new(MESH, skewed_lj(8000, Decomp::Rcb), CommVariant::MpiP2p);
+
+    // The thinned system is identical under both decompositions.
+    assert_eq!(grid.natoms(), rcb.natoms());
+    let natoms = grid.natoms();
+
+    let imb_grid = grid.atom_imbalance();
+    let imb_rcb = rcb.atom_imbalance();
+    assert!(
+        imb_grid > 1.15,
+        "the ramp should imbalance uniform bricks: {imb_grid}"
+    );
+    assert!(
+        imb_rcb < 1.0 + 0.5 * (imb_grid - 1.0),
+        "RCB should recover at least half the imbalance: grid {imb_grid}, rcb {imb_rcb}"
+    );
+
+    // Both run end-to-end through rebuild/migration steps without losing
+    // atoms, and the report surfaces the distribution in one table.
+    let tg = grid.run_traced(25);
+    let tr = rcb.run_traced(25);
+    assert_eq!(grid.natoms(), natoms, "grid run lost atoms");
+    assert_eq!(rcb.natoms(), natoms, "rcb run lost atoms");
+    assert!(tr.report().contains("imbalance"), "{}", tr.report());
+    assert_eq!(tr.atom_counts.len(), rcb.nranks());
+    assert!(tr.atom_imbalance < tg.atom_imbalance);
+
+    // Same physics to summation-order accuracy: the decompositions
+    // partition identical pair sums differently, nothing more.
+    let (sg, sr) = (grid.thermo(), rcb.thermo());
+    let scale = sg.pe.abs().max(1.0);
+    assert!(
+        (sg.pe - sr.pe).abs() / scale < 1e-6,
+        "pe diverged: grid {} vs rcb {}",
+        sg.pe,
+        sr.pe
+    );
+    assert!(
+        (sg.ke - sr.ke).abs() / sg.ke.abs().max(1.0) < 1e-6,
+        "ke diverged: grid {} vs rcb {}",
+        sg.ke,
+        sr.ke
+    );
+}
+
+#[test]
+fn rcb_runs_the_silicon_system() {
+    let cfg = RunConfig {
+        comm: CommTuning {
+            decomp: Decomp::Rcb,
+            density_gradient: 0.6,
+            ..CommTuning::default()
+        },
+        ..RunConfig::sw(4000)
+    };
+    let mut c = Cluster::new(MESH, cfg, CommVariant::MpiP2p);
+    let natoms = c.natoms();
+    assert!(c.atom_imbalance() < 1.5);
+    c.run(10);
+    assert_eq!(c.natoms(), natoms);
+    let s = c.thermo();
+    assert!(s.pe.is_finite() && s.ke > 0.0);
+}
+
+/// Deeper halo shells on the *grid* graph: shells = 2 gives the paper's
+/// 62-neighbor (Newton-halved) and 124-neighbor (full-list) exchanges on
+/// every engine variant.
+#[test]
+fn wider_halos_reach_62_and_124_neighbors() {
+    let with_shells = |kind, shells| RunConfig {
+        kind,
+        comm: CommTuning {
+            shells: Some(shells),
+            ..CommTuning::default()
+        },
+        ..RunConfig::lj(6000)
+    };
+
+    let half = with_shells(PotentialKind::Lj, 2);
+    let full = with_shells(PotentialKind::LjFull, 2);
+    let c62 = Cluster::new(MESH, half, CommVariant::MpiP2p);
+    let c124 = Cluster::new(MESH, full, CommVariant::MpiP2p);
+    assert_eq!(c62.states()[0].graph.neighbor_count(), 62);
+    assert_eq!(c124.states()[0].graph.neighbor_count(), 124);
+
+    // The wider exchange is pure over-provisioning: forces only reach the
+    // force cutoff, so the physics matches the 13-neighbor run to
+    // summation-order accuracy (extra ghosts rebin the same pair sums).
+    let thermo_after = |cfg, variant| {
+        let mut c = Cluster::new(MESH, cfg, variant);
+        c.run(6);
+        c.thermo()
+    };
+    let narrow = thermo_after(RunConfig::lj(6000), CommVariant::MpiP2p);
+    let wide = thermo_after(half, CommVariant::MpiP2p);
+    let scale = narrow.pe.abs().max(1.0);
+    assert!(
+        (wide.pe - narrow.pe).abs() / scale < 1e-10,
+        "62-neighbor run diverged from 13-neighbor physics: {} vs {}",
+        wide.pe,
+        narrow.pe
+    );
+    assert!((wide.ke - narrow.ke).abs() / narrow.ke.abs().max(1.0) < 1e-10);
+    // Across engine variants at the wide config: trajectories (hence ke)
+    // are bit-identical; the pe *reduction* may differ in the last ulp
+    // because variants deliver the over-provisioned ghosts in different
+    // arrival orders.
+    for variant in [CommVariant::Ref, CommVariant::Opt] {
+        let other = thermo_after(half, variant);
+        assert_eq!(
+            other.ke, wide.ke,
+            "62-neighbor trajectories disagree: {variant:?} vs MpiP2p"
+        );
+        assert!(
+            (other.pe - wide.pe).abs() / scale < 1e-12,
+            "62-neighbor energies disagree: {variant:?} {} vs MpiP2p {}",
+            other.pe,
+            wide.pe
+        );
+    }
+}
+
+/// `comm_modify cutoff`-style ghost extension widens the halo through the
+/// same path (cutoff -> shells) and stays bit-identical too.
+#[test]
+fn extended_ghost_cutoff_widens_the_halo() {
+    let cfg = RunConfig {
+        comm: CommTuning {
+            ghost_cutoff: Some(6.0),
+            ..CommTuning::default()
+        },
+        ..RunConfig::lj(6000)
+    };
+    let c = Cluster::new(MESH, cfg, CommVariant::MpiP2p);
+    assert!(
+        c.states()[0].graph.neighbor_count() > 13,
+        "a 6-sigma ghost cutoff must need more than one shell"
+    );
+    let mut wide = Cluster::new(MESH, cfg, CommVariant::MpiP2p);
+    let mut narrow = Cluster::new(MESH, RunConfig::lj(6000), CommVariant::MpiP2p);
+    wide.run(6);
+    narrow.run(6);
+    let (wp, np) = (wide.thermo().pe, narrow.thermo().pe);
+    assert!(
+        (wp - np).abs() / np.abs().max(1.0) < 1e-10,
+        "extended-cutoff run diverged: {wp} vs {np}"
+    );
+}

@@ -7,13 +7,45 @@
 //! radial distribution function and mean-squared displacement, and writes
 //! an extended-XYZ trajectory.
 //!
-//!     cargo run --release --example silicon_melt [-- --hot]
+//!     cargo run --release --example silicon_melt [-- --hot] [--rcb]
 //!
 //! Default run holds 800 K (solid); `--hot` drives 3500 K (melt) — watch
-//! the RDF second shell wash out and the MSD turn diffusive.
+//! the RDF second shell wash out and the MSD turn diffusive. `--rcb`
+//! appends a decomposition study: the same SW system with a density ramp,
+//! distributed over 48 ranks under uniform bricks vs recursive coordinate
+//! bisection, with the per-rank atom imbalance of both.
 
 use tofumd::md::{lattice::FccLattice, neighbor::RebuildPolicy, units::UnitSystem, velocity};
 use tofumd::md::{thermostat::Berendsen, Atoms, Msd, Potential, Rdf, SerialSim, StillingerWeber};
+use tofumd::runtime::config::{CommTuning, Decomp};
+use tofumd::runtime::{Cluster, CommVariant, RunConfig};
+
+fn rcb_study() {
+    println!("\nDecomposition study: SW silicon with a +x density ramp, 48 ranks");
+    let mk = |decomp| RunConfig {
+        comm: CommTuning {
+            decomp,
+            density_gradient: 0.6,
+            ..CommTuning::default()
+        },
+        ..RunConfig::sw(4_000)
+    };
+    let mut grid = Cluster::new([2, 3, 2], mk(Decomp::Grid), CommVariant::MpiP2p);
+    let mut rcb = Cluster::new([2, 3, 2], mk(Decomp::Rcb), CommVariant::MpiP2p);
+    println!(
+        "atoms/rank imbalance (max/mean): grid {:.3}, rcb {:.3}",
+        grid.atom_imbalance(),
+        rcb.atom_imbalance()
+    );
+    grid.run(20);
+    let trace = rcb.run_traced(20);
+    print!("{}", trace.report());
+    println!(
+        "after 20 steps: grid pe {:.4}, rcb pe {:.4}",
+        grid.thermo().pe,
+        rcb.thermo().pe
+    );
+}
 
 fn main() {
     let hot = std::env::args().any(|a| a == "--hot");
@@ -89,4 +121,8 @@ fn main() {
         "trajectory: {frames} extended-XYZ frames buffered ({} bytes)",
         traj.into_inner().len()
     );
+
+    if std::env::args().any(|a| a == "--rcb") {
+        rcb_study();
+    }
 }

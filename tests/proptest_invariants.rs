@@ -5,9 +5,10 @@ use tofumd::comm::border_bin::BorderBins;
 use tofumd::comm::engine::RankState;
 use tofumd::comm::p2p::P2pGhosts;
 use tofumd::comm::plan::{CommPlan, PlanConfig};
+use tofumd::comm::sf::CommGraph;
 use tofumd::comm::topo_map::{Placement, RankMap};
 use tofumd::comm::wire;
-use tofumd::md::domain::neighbor_offsets;
+use tofumd::md::domain::{neighbor_offsets, RcbDecomposition};
 use tofumd::md::potential::eam::EamParams;
 use tofumd::md::potential::spline::Spline;
 use tofumd::md::{Atoms, Box3};
@@ -130,16 +131,16 @@ proptest! {
             10.0 * f64::from(rg[2]),
         ]);
         let plan = CommPlan::build(0, &map, &global, 2.5, PlanConfig::NEWTON);
+        let graph = CommGraph::from_grid(plan);
         let pos: Vec<[f64; 3]> = atoms.iter().map(|&(x, y, z)| [x, y, z]).collect();
-        let mut st = RankState::new(Atoms::from_positions(pos, 1), plan);
-        let offsets: Vec<_> = st.plan.send_to.iter().map(|l| l.offset).collect();
-        let bins = BorderBins::new(st.plan.sub, st.plan.r_ghost, &offsets);
+        let mut st = RankState::new(Atoms::from_positions(pos, 1), graph);
+        let sel = st.graph.selector();
         let mut g = P2pGhosts::default();
-        let payloads = g.pack_border(&st, &bins);
+        let payloads = g.pack_border(&st, &sel);
         // Feed the payloads back as if we were our own neighbor: parse and
         // confirm every record preserves the tag and the shifted position.
         for (k, payload) in payloads.iter().enumerate() {
-            let shift = st.plan.send_to[k].shift;
+            let shift = st.graph.send[k].shift;
             for (tag, _typ, x) in wire::parse_border_records(payload) {
                 let i = (tag - 1) as usize;
                 for d in 0..3 {
@@ -148,7 +149,7 @@ proptest! {
             }
         }
         // Forward payload lengths always match send-list lengths.
-        for k in 0..st.plan.send_to.len() {
+        for k in 0..st.graph.send.len() {
             let fwd = g.pack_forward(&st, k);
             prop_assert_eq!(fwd.len(), g.send_lists[k].len() * 3);
         }
@@ -331,4 +332,81 @@ fn wire_edge_cases_exact() {
         back,
         vec![(max_tag, max_typ, [f64::MIN, 0.0, f64::MAX], [0.0; 3])]
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Star-forest invariants over random folded node meshes: the paper's
+    /// 13/26/62/124-neighbor exchanges are four instances of one graph
+    /// family, and the grid pairing is index-symmetric on every mesh.
+    #[test]
+    fn graph_invariants_on_random_meshes(
+        cx in 1u32..3, cy in 1u32..3, cz in 1u32..3,
+        pat in 0usize..3,
+        shells in 1usize..3,
+        half in any::<bool>(),
+        r in 0.5f64..2.5,
+        seed in 0usize..1000,
+    ) {
+        let intra = [[2u32, 3, 2], [3, 2, 2], [2, 2, 3]][pat];
+        let mesh = [cx * intra[0], cy * intra[1], cz * intra[2]];
+        let grid = CellGrid::from_node_mesh(mesh).unwrap();
+        let map = RankMap::new(grid, Placement::TopoAware);
+        let rg = map.rank_grid;
+        let global = Box3::from_lengths([
+            10.0 * f64::from(rg[0]),
+            10.0 * f64::from(rg[1]),
+            10.0 * f64::from(rg[2]),
+        ]);
+        let cfg = PlanConfig { shells, half };
+        let expected = [[26, 13], [124, 62]][shells - 1][usize::from(half)];
+        let me = seed % map.nranks();
+        let g = CommGraph::from_grid(CommPlan::build(me, &map, &global, r, cfg));
+        prop_assert_eq!(g.neighbor_count(), expected);
+        prop_assert_eq!(g.send.len(), g.recv.len());
+        for (k, (s, rv)) in g.send.iter().zip(&g.recv).enumerate() {
+            prop_assert_eq!(rv.offset, s.offset.opposite());
+            // Grid pairing is index-symmetric by construction.
+            prop_assert_eq!(s.peer_index, k);
+            prop_assert_eq!(rv.peer_index, k);
+        }
+        // Mirror one edge through the peer's own graph: my send[k] must be
+        // the peer's recv[peer_index], pointing back at me.
+        if !g.send.is_empty() {
+            let k = seed % g.send.len();
+            let e = g.send[k];
+            let pg = CommGraph::from_grid(CommPlan::build(e.rank, &map, &global, r, cfg));
+            let back = pg.recv[e.peer_index];
+            prop_assert_eq!(back.rank, me);
+            prop_assert_eq!(back.offset, e.offset.opposite());
+        }
+    }
+
+    /// RCB decompositions tile the global box, own every (wrapped) input
+    /// point, and rebuild deterministically.
+    #[test]
+    fn rcb_owns_every_point(
+        pts in prop::collection::vec(
+            (0.0f64..12.0, 0.0f64..9.0, 0.0f64..6.0), 1..150),
+        nranks in 1usize..17,
+    ) {
+        let global = Box3::from_lengths([12.0, 9.0, 6.0]);
+        let xs: Vec<[f64; 3]> = pts.iter().map(|&(x, y, z)| [x, y, z]).collect();
+        let rcb = RcbDecomposition::build(nranks, &xs, &global);
+        prop_assert_eq!(rcb.boxes.len(), nranks);
+        let vol: f64 = rcb.boxes.iter().map(Box3::volume).sum();
+        prop_assert!((vol - global.volume()).abs() < 1e-6 * global.volume());
+        for p in &xs {
+            let r = rcb.owner_of(p);
+            prop_assert!(r < nranks);
+            let (w, _) = global.wrap(*p);
+            prop_assert!(rcb.boxes[r].contains(&w), "{:?} not in {:?}", w, rcb.boxes[r]);
+        }
+        let again = RcbDecomposition::build(nranks, &xs, &global);
+        for (a, b) in rcb.boxes.iter().zip(&again.boxes) {
+            prop_assert_eq!(a.lo, b.lo);
+            prop_assert_eq!(a.hi, b.hi);
+        }
+    }
 }
