@@ -241,6 +241,23 @@ impl OpStats {
     }
 }
 
+/// The coordinate `pack_exchange_graph` routes migrants by: the periodic
+/// wrap of `x` into the global box, nudged one ulp off the upper face when
+/// the wrap rounds onto it (the half-open boxes exclude their `hi` face —
+/// see `pack_exchange` for the rounding hazard). The mid-run rebalance
+/// uses the same function to predict destinations, so its migrate peer
+/// lists agree bit-for-bit with what the exchange actually routes.
+#[must_use]
+pub fn wrap_for_exchange(global: &tofumd_md::region::Box3, x: [f64; 3]) -> [f64; 3] {
+    let (mut w, _) = global.wrap(x);
+    for d in 0..3 {
+        if w[d] >= global.hi[d] {
+            w[d] = global.hi[d].next_down();
+        }
+    }
+    w
+}
+
 /// Per-rank simulation-side state an engine operates on.
 #[derive(Debug)]
 pub struct RankState {
@@ -361,15 +378,7 @@ impl RankState {
                 i += 1;
                 continue;
             }
-            let (mut w, _) = global.wrap(x);
-            for d in 0..3 {
-                // The periodic wrap of a coordinate marginally below the
-                // global lower face can round onto the upper face itself;
-                // nudge it inside the half-open box (see pack_exchange).
-                if w[d] >= global.hi[d] {
-                    w[d] = global.hi[d].next_down();
-                }
-            }
+            let w = wrap_for_exchange(&global, x);
             let owner = self.graph.owner_of(&w);
             if owner == self.graph.me {
                 self.atoms.x[i] = w;
@@ -451,6 +460,12 @@ pub trait GhostEngine: Send {
     fn fallback_requested(&self) -> bool {
         false
     }
+
+    /// Drop any caches keyed off `st.graph` — the driver calls this after
+    /// swapping the rank's graph during a mid-run rebalance, before the
+    /// next communication op runs. Engines whose per-edge state is rebuilt
+    /// each Border (or who keep none) use the default no-op.
+    fn rebind_graph(&mut self, _st: &RankState) {}
 }
 
 /// Run one complete ghost operation through an engine for a *single rank

@@ -359,6 +359,14 @@ impl GhostEngine for MpiP2p {
         self.stats.clone()
     }
 
+    fn rebind_graph(&mut self, _st: &RankState) {
+        // The send selector is derived from the graph's send regions;
+        // rebuild it lazily against the swapped graph. Ghost send lists
+        // and segment tables are refreshed by the next Border, which the
+        // rebalance always schedules.
+        self.sel = None;
+    }
+
     fn post(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
         match op {
             Op::Border => {

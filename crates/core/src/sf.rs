@@ -185,6 +185,43 @@ fn rcb_migrate_ranks(rcb: &RcbDecomposition, rank: usize, r_ghost: f64) -> Vec<u
     ranks
 }
 
+/// Migration peer lists for a decomposition swap. `needs[r]` is the set of
+/// ranks that `r` must ship migrants to under the *new* decomposition; the
+/// result is the symmetric closure (if r ships to p, both list each other,
+/// so every pair posts matching sends and recvs even when one direction is
+/// empty), sorted, with cross-consistent `tag_index` values — rank r's
+/// entry for p records r's position in p's own list.
+#[must_use]
+pub fn rebalance_migrate_peers(needs: &[Vec<usize>], map: &RankMap) -> Vec<Vec<MigratePeer>> {
+    let n = needs.len();
+    let mut adj = vec![Vec::new(); n];
+    for (r, dests) in needs.iter().enumerate() {
+        for &d in dests {
+            assert!(d < n, "migrant destination {d} outside the rank set");
+            if d != r {
+                adj[r].push(d);
+                adj[d].push(r);
+            }
+        }
+    }
+    for peers in &mut adj {
+        peers.sort_unstable();
+        peers.dedup();
+    }
+    (0..n)
+        .map(|r| {
+            adj[r]
+                .iter()
+                .map(|&p| MigratePeer {
+                    rank: p,
+                    node: map.node_of(p),
+                    tag_index: adj[p].binary_search(&r).unwrap_or(usize::MAX),
+                })
+                .collect()
+        })
+        .collect()
+}
+
 impl CommGraph {
     /// Re-express a uniform-grid [`CommPlan`] as a star forest. Edge
     /// order, pairing indices, shifts and size estimates all match the
@@ -343,6 +380,20 @@ impl CommGraph {
                 migrate,
             },
         }
+    }
+
+    /// Replace the migrate-peer list (irregular graphs only). A mid-run
+    /// rebalance routes its one-round migration over an explicitly
+    /// computed peer set — after a decomposition swap an atom's new owner
+    /// can lie far beyond the new graph's halo-derived peers — then
+    /// restores the halo-derived list for steady-state exchanges.
+    #[must_use]
+    pub fn with_migrate_peers(mut self, peers: Vec<MigratePeer>) -> Self {
+        match &mut self.topology {
+            Topology::Grid { .. } => panic!("migrate peers exist only on irregular graphs"),
+            Topology::Irregular { migrate, .. } => *migrate = peers,
+        }
+        self
     }
 
     /// True for graphs built from the uniform grid.
@@ -726,6 +777,57 @@ mod tests {
                 assert_eq!(back[p.tag_index].rank, g.me, "peer expects me at tag_index");
             }
         }
+    }
+
+    #[test]
+    fn rebalance_peer_lists_are_symmetric_and_tag_consistent() {
+        let (_, map, _) = rcb_fixture(6);
+        // Asymmetric needs: 0 ships to 3, 3 ships to nobody, 5 ships to 0
+        // and 1; rank 2 ships only to itself (resolved locally).
+        let needs = vec![vec![3], vec![], vec![2], vec![], vec![], vec![0, 1]];
+        let lists = rebalance_migrate_peers(&needs, &map);
+        assert_eq!(lists.len(), 6);
+        // Symmetric closure: 3 lists 0 even though it ships nothing.
+        assert_eq!(lists[3].iter().map(|p| p.rank).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(
+            lists[0].iter().map(|p| p.rank).collect::<Vec<_>>(),
+            vec![3, 5]
+        );
+        // Self-needs never become peers.
+        assert!(lists[2].is_empty());
+        assert!(lists[4].is_empty());
+        for (r, list) in lists.iter().enumerate() {
+            for p in list {
+                assert_eq!(p.node, map.node_of(p.rank));
+                let back = &lists[p.rank];
+                assert_eq!(back[p.tag_index].rank, r, "peer expects me at tag_index");
+            }
+        }
+    }
+
+    #[test]
+    fn with_migrate_peers_swaps_the_list_and_keeps_edges() {
+        let (rcb, map, _) = rcb_fixture(4);
+        let g = CommGraph::from_rcb(1, &rcb, &map, 2.5);
+        let swapped = g.clone().with_migrate_peers(vec![MigratePeer {
+            rank: 3,
+            node: map.node_of(3),
+            tag_index: 0,
+        }]);
+        assert_eq!(swapped.migrate_peers().len(), 1);
+        assert_eq!(swapped.migrate_peers()[0].rank, 3);
+        assert_eq!(swapped.recv, g.recv, "halo edges untouched by the swap");
+        assert_eq!(swapped.send, g.send);
+        // Restoring is just another swap back to the halo-derived list.
+        let restored = swapped.with_migrate_peers(g.migrate_peers().to_vec());
+        assert_eq!(restored.migrate_peers(), g.migrate_peers());
+    }
+
+    #[test]
+    #[should_panic(expected = "irregular")]
+    fn grid_graphs_reject_migrate_peer_swaps() {
+        let g = grid_graph(0, PlanConfig::NEWTON);
+        let _ = g.with_migrate_peers(Vec::new());
     }
 
     #[test]

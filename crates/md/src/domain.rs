@@ -240,22 +240,75 @@ pub struct RcbDecomposition {
     tree: Vec<RcbNode>,
 }
 
+/// Typed failure of an RCB build. The `split` partition tests
+/// `p[dim] < cut`, which a NaN coordinate always fails — it would land on
+/// the hi side of *every* cut and silently corrupt ownership. Matching the
+/// lockstep bisector's NaN-is-divergence rule, a non-finite input is a
+/// detected error, never a quietly mis-owned atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RcbError {
+    /// `positions[index]` has a NaN or infinite component along `dim`.
+    NonFiniteCoordinate {
+        /// Index into the positions slice handed to the build.
+        index: usize,
+        /// Offending dimension (0 = x, 1 = y, 2 = z).
+        dim: usize,
+    },
+}
+
+impl std::fmt::Display for RcbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RcbError::NonFiniteCoordinate { index, dim } => write!(
+                f,
+                "RCB input position {index} has a non-finite coordinate along dim {dim}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RcbError {}
+
 impl RcbDecomposition {
     /// Build an RCB decomposition of `global` into `nranks` boxes balanced
     /// over `positions` (which need not be wrapped; they are wrapped here).
+    ///
+    /// # Panics
+    /// On a non-finite coordinate; rebuilds from untrusted mid-run
+    /// positions should use [`RcbDecomposition::try_build`].
     #[must_use]
     pub fn build(nranks: usize, positions: &[[f64; 3]], global: &Box3) -> Self {
+        match Self::try_build(nranks, positions, global) {
+            Ok(rcb) => rcb,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible build: rejects NaN/infinite coordinates with a typed
+    /// error instead of letting them land hi-side of every cut.
+    pub fn try_build(
+        nranks: usize,
+        positions: &[[f64; 3]],
+        global: &Box3,
+    ) -> Result<Self, RcbError> {
         assert!(nranks > 0, "RCB needs at least one rank");
+        for (index, p) in positions.iter().enumerate() {
+            for (dim, c) in p.iter().enumerate() {
+                if !c.is_finite() {
+                    return Err(RcbError::NonFiniteCoordinate { index, dim });
+                }
+            }
+        }
         let mut pts: Vec<[f64; 3]> = positions.iter().map(|p| global.wrap(*p).0).collect();
         let mut boxes = vec![Box3::from_lengths([1.0; 3]); nranks];
         let mut tree = Vec::new();
         let n = pts.len();
         Self::split(&mut tree, &mut boxes, &mut pts, 0..n, *global, 0, nranks);
-        RcbDecomposition {
+        Ok(RcbDecomposition {
             global: *global,
             boxes,
             tree,
-        }
+        })
     }
 
     /// Recursively split `pts[range]` (in-place partitioned) over ranks
@@ -584,6 +637,26 @@ mod tests {
         let a = RcbDecomposition::build(6, &pts, &global);
         let b = RcbDecomposition::build(6, &pts, &global);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rcb_rejects_non_finite_coordinates() {
+        let global = Box3::from_lengths([8.0; 3]);
+        let mut pts = scatter(50, &global);
+        pts[13][1] = f64::NAN;
+        assert_eq!(
+            RcbDecomposition::try_build(4, &pts, &global),
+            Err(RcbError::NonFiniteCoordinate { index: 13, dim: 1 })
+        );
+        pts[13][1] = f64::INFINITY;
+        assert_eq!(
+            RcbDecomposition::try_build(4, &pts, &global),
+            Err(RcbError::NonFiniteCoordinate { index: 13, dim: 1 })
+        );
+        pts[13][1] = 2.0;
+        assert!(RcbDecomposition::try_build(4, &pts, &global).is_ok());
+        let msg = RcbError::NonFiniteCoordinate { index: 13, dim: 1 }.to_string();
+        assert!(msg.contains("13") && msg.contains("dim 1"), "{msg}");
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub use crate::accounting::StageBreakdown;
 // surface. Split out so this file stays the step driver alone.
 #[path = "cluster_build.rs"]
 mod build;
+#[path = "cluster_rebalance.rs"]
+mod rebalance;
 #[path = "cluster_report.rs"]
 mod report;
 
@@ -94,6 +96,11 @@ pub struct Cluster {
     /// Forces the next step to reneighbor (set on demotion: the fresh
     /// engines have no ghost send lists until a Border pass runs).
     pub(crate) force_rebuild: bool,
+    /// Armed by the check phase when the dynamic-balance trigger fires;
+    /// consumed by this step's Rebalance phase.
+    pub(crate) rebalance_now: bool,
+    /// Mid-run rebalances performed since construction.
+    pub(crate) rebalance_count: u64,
     /// How timesteps are sequenced (barrier plan or overlap DAG).
     plan_mode: PlanMode,
 }
@@ -438,6 +445,7 @@ impl Cluster {
         );
         let potential = self.potential.clone();
         match phase {
+            DagPhase::Rebalance => self.run_phase(Phase::Rebalance),
             DagPhase::Exchange => self.run_phase(Phase::Exchange),
             DagPhase::SpatialSort => self.run_phase(Phase::SpatialSort),
             DagPhase::BorderPost => self.window_post(Op::Border),
@@ -580,8 +588,38 @@ impl Cluster {
 
     /// Decide whether this step reneighbors: rebuild-policy schedule plus
     /// (for EAM) the every-5-step displacement check, whose allreduce is
-    /// booked into Other at the target machine's scale.
+    /// booked into Other at the target machine's scale. Afterwards the
+    /// dynamic-balance trigger is evaluated — at `fix balance` interval
+    /// steps the atom imbalance is globally reduced (one more allreduce
+    /// into Other) and compared with the balance threshold; firing arms
+    /// this step's Rebalance phase and forces a reneighbor so the fresh
+    /// decomposition rebuilds ghosts and lists. Skipped after a demotion
+    /// (the reference engines are grid-only).
     fn reneighbor_check(&mut self) {
+        self.reneighbor_verdict();
+        if self.demoted || !self.cfg.comm.rebalance_check_due(self.step) {
+            return;
+        }
+        let imbalance = self.atom_imbalance();
+        if self.cfg.comm.rebalance_due(self.step, imbalance) {
+            self.rebalance_now = true;
+            self.rebuild = true;
+        }
+        let cost = accounting::allreduce_cost_target(
+            self.net.params(),
+            self.target_mesh,
+            self.target_ranks,
+            1,
+        );
+        accounting::global_sync(
+            &mut self.states,
+            self.lanes.iter_mut().map(|l| &mut l.acc),
+            cost,
+            SyncBucket::Other,
+        );
+    }
+
+    fn reneighbor_verdict(&mut self) {
         if self.force_rebuild {
             // A demotion swapped in engines with empty ghost send lists;
             // only a full exchange + border pass can populate them.
@@ -689,6 +727,7 @@ impl Cluster {
                 &mut self.states,
             ),
             Phase::ReneighborCheck => self.reneighbor_check(),
+            Phase::Rebalance => self.run_rebalance(),
             Phase::Exchange => {
                 // Positions are deliberately *not* wrapped into the global
                 // box first: the face link's periodic shift re-wraps a

@@ -268,6 +268,8 @@ impl Cluster {
             retired_stats: tofumd_core::engine::OpStats::default(),
             demoted: false,
             force_rebuild: false,
+            rebalance_now: false,
+            rebalance_count: 0,
             plan_mode: PlanMode::default(),
         };
         // Setup stage: sort locals into bin order (no ghosts exist yet),

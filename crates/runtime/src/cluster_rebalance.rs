@@ -1,0 +1,113 @@
+//! Mid-run dynamic domain rebalancing (LAMMPS `fix balance N <thresh>
+//! rcb`). Child module of [`crate::cluster`].
+//!
+//! When the check phase arms it (interval step, global atom imbalance
+//! above the balance threshold), the Rebalance phase rebuilds the RCB
+//! decomposition from the *current* wrapped positions, swaps every rank's
+//! star forest for one built over the new cuts, and migrates atoms to
+//! their new owners in a single owner-directed exchange over the new
+//! graph. Because an atom's new owner can be any rank — not just a halo
+//! neighbor of the new graph — the migration runs over a transient,
+//! symmetric migrate-peer set computed from the actual destination matrix
+//! ([`rebalance_migrate_peers`]); the halo-derived peer list is restored
+//! afterwards for steady-state exchanges.
+//!
+//! Determinism: the phase is a barrier point (every rank swaps before any
+//! rank exchanges), its inputs are rank-ordered position sweeps, and the
+//! trigger is a pure function of (step, config, globally reduced
+//! imbalance) — so runs are bit-identical at any `--threads`.
+
+use super::Cluster;
+use std::sync::Arc;
+use tofumd_core::engine::{wrap_for_exchange, Op};
+use tofumd_core::sf::rebalance_migrate_peers;
+use tofumd_core::CommGraph;
+use tofumd_md::domain::RcbDecomposition;
+
+impl Cluster {
+    /// Mid-run rebalances performed since construction.
+    #[must_use]
+    pub fn rebalance_count(&self) -> u64 {
+        self.rebalance_count
+    }
+
+    /// The Rebalance phase body: a no-op unless the check phase armed it
+    /// this step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any atom position has gone non-finite — a diverged
+    /// integration cannot be decomposed, and silently keeping the old
+    /// cuts would hide the corruption.
+    pub(super) fn run_rebalance(&mut self) {
+        if !self.rebalance_now {
+            return;
+        }
+        self.rebalance_now = false;
+        let nranks = self.nranks();
+        let global = self.global;
+
+        // Owned positions, pre-wrapped exactly the way the exchange
+        // routes migrants, in rank order (deterministic input).
+        let wrapped: Vec<Vec<[f64; 3]>> = self
+            .states
+            .iter()
+            .map(|st| {
+                (0..st.atoms.nlocal)
+                    .map(|i| wrap_for_exchange(&global, st.atoms.x[i]))
+                    .collect()
+            })
+            .collect();
+        let all: Vec<[f64; 3]> = wrapped.iter().flatten().copied().collect();
+        let rcb = match RcbDecomposition::try_build(nranks, &all, &global) {
+            Ok(r) => Arc::new(r),
+            Err(e) => panic!("rebalance at step {}: {e}", self.step),
+        };
+
+        // Fresh star forests over the new cuts.
+        let r_ghost = self.cfg.ghost_cutoff();
+        let graphs: Vec<CommGraph> = (0..nranks)
+            .map(|r| CommGraph::from_rcb(r, &rcb, &self.map, r_ghost))
+            .collect();
+
+        // Destination matrix under the new decomposition → the transient
+        // migrate-peer set covering every actual move.
+        let needs: Vec<Vec<usize>> = wrapped
+            .iter()
+            .enumerate()
+            .map(|(r, ws)| {
+                let mut d: Vec<usize> = ws
+                    .iter()
+                    .map(|w| rcb.owner_of(w))
+                    .filter(|&owner| owner != r)
+                    .collect();
+                d.sort_unstable();
+                d.dedup();
+                d
+            })
+            .collect();
+        let peers = rebalance_migrate_peers(&needs, &self.map);
+
+        // Barrier point: every rank installs its new graph (with the
+        // transient peers) and drops graph-keyed engine caches before any
+        // rank communicates.
+        for (rank, (st, lane)) in self.states.iter_mut().zip(&mut self.lanes).enumerate() {
+            st.atoms.clear_ghosts();
+            st.graph = graphs[rank].clone().with_migrate_peers(peers[rank].clone());
+            lane.engine.rebind_graph(st);
+        }
+
+        // One owner-directed migration over the *new* graph. Runs through
+        // the ordinary op path, so it is fault-injectable under
+        // (step, Op::Exchange) and charged to Comm like any exchange.
+        self.run_op(Op::Exchange);
+
+        // Restore the halo-derived migrate peers for steady-state
+        // exchanges; send/recv edges are identical, so the engines'
+        // freshly rebuilt caches stand.
+        for (rank, st) in self.states.iter_mut().enumerate() {
+            st.graph = graphs[rank].clone();
+        }
+        self.rebalance_count += 1;
+    }
+}

@@ -65,8 +65,13 @@ impl Cluster {
                 .map(|s| s.clock)
                 .fold(f64::NEG_INFINITY, f64::max);
             let rebuilds_before = self.rebuild_count;
+            let rebalances_before = self.rebalance_count;
             let overlapped_before = self.overlapped_total();
             self.run_step();
+            trace.push_imbalance_sample(self.step, self.atom_imbalance());
+            if self.rebalance_count > rebalances_before {
+                trace.push_rebalance_step(self.step);
+            }
             let after = self.stage_sums();
             let clock_after = self
                 .states

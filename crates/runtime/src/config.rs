@@ -66,6 +66,16 @@ pub struct CommTuning {
     /// decided per atom by a tag hash so the system is identical under
     /// any decomposition. 0 = uniform lattice.
     pub density_gradient: f64,
+    /// Imbalance threshold of `balance <thresh> rcb`: a mid-run rebalance
+    /// fires only while max/mean atom imbalance exceeds this. `None`
+    /// means 1.0 (any measurable imbalance qualifies). RCB only.
+    #[serde(default)]
+    pub balance_thresh: Option<f64>,
+    /// Check the rebalance trigger every this many steps (LAMMPS
+    /// `fix balance N`). `None` keeps the decomposition static for the
+    /// whole run — the historical behavior. RCB only.
+    #[serde(default)]
+    pub rebalance_every: Option<u64>,
 }
 
 impl Default for CommTuning {
@@ -75,11 +85,31 @@ impl Default for CommTuning {
             shells: None,
             ghost_cutoff: None,
             density_gradient: 0.0,
+            balance_thresh: None,
+            rebalance_every: None,
         }
     }
 }
 
 impl CommTuning {
+    /// Is this a step where the rebalance trigger is *evaluated* (and its
+    /// imbalance allreduce charged)? Pure in (config, step).
+    #[must_use]
+    pub fn rebalance_check_due(&self, step: u64) -> bool {
+        self.decomp == Decomp::Rcb
+            && self
+                .rebalance_every
+                .is_some_and(|every| every > 0 && step.is_multiple_of(every))
+    }
+
+    /// Does the dynamic-balance trigger fire at this step with this
+    /// measured atom imbalance? Pure in (config, step, imbalance) so
+    /// every rank — at every thread count — reaches the same decision.
+    #[must_use]
+    pub fn rebalance_due(&self, step: u64, imbalance: f64) -> bool {
+        self.rebalance_check_due(step) && imbalance > self.balance_thresh.unwrap_or(1.0)
+    }
+
     /// Should the atom with this global tag survive the density ramp?
     /// `frac_x` is the atom's fractional position along x. Deterministic
     /// in (tag, gradient) only, so grid and RCB runs build the same
@@ -359,6 +389,37 @@ mod tests {
         assert_eq!(c.type_of_tag(2), 1);
         assert!(c.newton_half());
         assert_eq!(RunConfig::lj(10).type_of_tag(7), 1);
+    }
+
+    #[test]
+    fn rebalance_trigger_is_interval_and_threshold_gated() {
+        let tuned = CommTuning {
+            decomp: Decomp::Rcb,
+            balance_thresh: Some(1.2),
+            rebalance_every: Some(10),
+            ..CommTuning::default()
+        };
+        assert!(tuned.rebalance_due(10, 1.5));
+        assert!(!tuned.rebalance_due(10, 1.2), "threshold is exclusive");
+        assert!(!tuned.rebalance_due(11, 1.5), "off-interval step");
+        assert!(!tuned.rebalance_due(10, 1.01), "below threshold");
+        // No interval -> static decomposition; grid never rebalances.
+        assert!(!CommTuning {
+            rebalance_every: None,
+            ..tuned
+        }
+        .rebalance_due(10, 9.0));
+        assert!(!CommTuning {
+            decomp: Decomp::Grid,
+            ..tuned
+        }
+        .rebalance_due(10, 9.0));
+        // Without an explicit threshold any excess over 1.0 fires.
+        assert!(CommTuning {
+            balance_thresh: None,
+            ..tuned
+        }
+        .rebalance_due(20, 1.05));
     }
 
     #[test]

@@ -136,6 +136,12 @@ pub enum Phase {
     /// Decide whether this step reneighbors (policy + displacement
     /// allreduce).
     ReneighborCheck,
+    /// Mid-run domain rebalance (reneighbor steps only; a no-op unless
+    /// the check phase armed it): rebuild the RCB decomposition from the
+    /// current positions, swap every rank's graph and migrate atoms to
+    /// their new owners. A global barrier point — every rank swaps before
+    /// any rank exchanges.
+    Rebalance,
     /// Staged atom migration (reneighbor steps only).
     Exchange,
     /// Spatial sort of local atoms into bin order (reneighbor steps only,
@@ -195,6 +201,10 @@ impl Phase {
             PlannedPhase {
                 phase: Phase::ReneighborCheck,
                 cond: Cond::Always,
+            },
+            PlannedPhase {
+                phase: Phase::Rebalance,
+                cond: Cond::IfRebuild,
             },
             PlannedPhase {
                 phase: Phase::Exchange,
@@ -270,6 +280,9 @@ pub enum PlanMode {
 /// potential cannot overlap).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DagPhase {
+    /// Mid-run domain rebalance (no-op unless armed); the Exchange node
+    /// depends on it, making it a barrier point of every rebuild shape.
+    Rebalance,
     /// Staged atom migration (3 rounds, never split).
     Exchange,
     /// Bin-order sort of locals between Exchange and Border.
@@ -361,7 +374,8 @@ impl StepDag {
         };
         let pair_done = if !overlap {
             let prev = if rebuild {
-                let ex = push(&mut nodes, DagPhase::Exchange, vec![]);
+                let rb = push(&mut nodes, DagPhase::Rebalance, vec![]);
+                let ex = push(&mut nodes, DagPhase::Exchange, vec![rb]);
                 let sort = push(&mut nodes, DagPhase::SpatialSort, vec![ex]);
                 let border = push(&mut nodes, DagPhase::BorderOp, vec![sort]);
                 push(&mut nodes, DagPhase::RebuildLists, vec![border])
@@ -370,7 +384,8 @@ impl StepDag {
             };
             push(&mut nodes, DagPhase::PairCompute, vec![prev])
         } else if rebuild {
-            let ex = push(&mut nodes, DagPhase::Exchange, vec![]);
+            let rb = push(&mut nodes, DagPhase::Rebalance, vec![]);
+            let ex = push(&mut nodes, DagPhase::Exchange, vec![rb]);
             let sort = push(&mut nodes, DagPhase::SpatialSort, vec![ex]);
             let bpost = push(&mut nodes, DagPhase::BorderPost, vec![sort]);
             let ibuild = push(&mut nodes, DagPhase::InteriorBuild, vec![sort]);
@@ -671,9 +686,18 @@ mod tests {
         let no_rev = Phase::step_plan(false);
         assert!(no_rev.iter().all(|p| p.phase != Phase::Reverse));
         // The rebuild and forward paths are mutually exclusive.
+        // The rebalance barrier point sits between the verdict and the
+        // migration it may redirect.
+        let reb = phases.iter().position(|&p| p == Phase::Rebalance).unwrap();
+        let ex = phases.iter().position(|&p| p == Phase::Exchange).unwrap();
+        assert!(reb < ex && reb > 1);
         for p in &plan {
             match p.phase {
-                Phase::Exchange | Phase::SpatialSort | Phase::Border | Phase::RebuildLists => {
+                Phase::Rebalance
+                | Phase::Exchange
+                | Phase::SpatialSort
+                | Phase::Border
+                | Phase::RebuildLists => {
                     assert_eq!(p.cond, Cond::IfRebuild);
                 }
                 Phase::Forward => assert_eq!(p.cond, Cond::IfNoRebuild),
@@ -714,6 +738,7 @@ mod tests {
         assert_eq!(
             order,
             vec![
+                DagPhase::Rebalance,
                 DagPhase::Exchange,
                 DagPhase::SpatialSort,
                 DagPhase::BorderOp,

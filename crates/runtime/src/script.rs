@@ -7,7 +7,9 @@
 //! `region ... block`, `create_box`, `create_atoms`, `mass`,
 //! `velocity ... create`, `pair_style` (lj/cut, eam, sw), `pair_coeff`,
 //! `neighbor`, `neigh_modify`, `comm_style` (brick, tiled),
-//! `comm_modify cutoff`, `fix ... nve`, `timestep`, `thermo`, and `run`.
+//! `comm_modify cutoff`, `balance <thresh> rcb`, `fix ... nve`,
+//! `fix ... balance N <thresh> rcb` (dynamic rebalancing), `timestep`,
+//! `thermo`, and `run`.
 
 use crate::config::{CommTuning, Decomp, PotentialKind, RunConfig};
 use tofumd_md::neighbor::RebuildPolicy;
@@ -50,6 +52,23 @@ fn err(line: usize, message: impl Into<String>) -> ScriptError {
     }
 }
 
+/// Parse the `<thresh>` token of `balance <thresh> rcb` / `fix ...
+/// balance N <thresh> rcb`. Max/mean imbalance is >= 1 by definition, so
+/// anything non-numeric, non-finite or <= 0 is a script error, not a
+/// silently-dropped token.
+fn parse_balance_thresh(lineno: usize, tok: &str) -> Result<f64, ScriptError> {
+    let thresh: f64 = tok
+        .parse()
+        .map_err(|_| err(lineno, format!("non-numeric balance threshold '{tok}'")))?;
+    if !thresh.is_finite() || thresh <= 0.0 {
+        return Err(err(
+            lineno,
+            format!("balance threshold must be a positive finite number, got '{tok}'"),
+        ));
+    }
+    Ok(thresh)
+}
+
 /// Intermediate parse state.
 #[derive(Debug, Default)]
 struct State {
@@ -67,6 +86,8 @@ struct State {
     timestep: Option<f64>,
     comm_style: Option<Decomp>,
     comm_cutoff: Option<f64>,
+    balance_thresh: Option<f64>,
+    rebalance_every: Option<u64>,
     fix_nve: bool,
     run_steps: Option<u64>,
     thermo_every: u64,
@@ -232,10 +253,34 @@ pub fn parse_script(text: &str) -> Result<ScriptRun, ScriptError> {
                 }
             }
             "fix" => {
-                if tokens.get(3) == Some(&"nve") {
-                    st.fix_nve = true;
-                } else {
-                    return Err(err(lineno, "only 'fix ... nve' supported (Table 2)"));
+                // fix <id> <group> nve | fix <id> <group> balance N <thresh> rcb
+                match tokens.get(3) {
+                    Some(&"nve") => st.fix_nve = true,
+                    Some(&"balance") => {
+                        if tokens.last() != Some(&"rcb") {
+                            return Err(err(lineno, "only 'fix ... balance ... rcb' supported"));
+                        }
+                        let every: u64 = tokens
+                            .get(4)
+                            .ok_or_else(|| err(lineno, "fix balance needs an interval"))?
+                            .parse()
+                            .map_err(|_| err(lineno, "bad fix balance interval"))?;
+                        if every == 0 {
+                            return Err(err(lineno, "fix balance interval must be positive"));
+                        }
+                        let tok = *tokens
+                            .get(5)
+                            .ok_or_else(|| err(lineno, "fix balance needs a threshold"))?;
+                        st.balance_thresh = Some(parse_balance_thresh(lineno, tok)?);
+                        st.rebalance_every = Some(every);
+                        st.comm_style = Some(Decomp::Rcb);
+                    }
+                    _ => {
+                        return Err(err(
+                            lineno,
+                            "only 'fix ... nve' and 'fix ... balance' supported",
+                        ))
+                    }
                 }
             }
             "timestep" => {
@@ -288,6 +333,10 @@ pub fn parse_script(text: &str) -> Result<ScriptRun, ScriptError> {
                 if tokens.last() != Some(&"rcb") {
                     return Err(err(lineno, "only 'balance ... rcb' supported"));
                 }
+                let tok = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "balance needs a threshold"))?;
+                st.balance_thresh = Some(parse_balance_thresh(lineno, tok)?);
                 st.comm_style = Some(Decomp::Rcb);
             }
             "run" => {
@@ -355,6 +404,8 @@ fn finalize(st: State) -> Result<ScriptRun, ScriptError> {
         comm: CommTuning {
             decomp: st.comm_style.unwrap_or_default(),
             ghost_cutoff: st.comm_cutoff,
+            balance_thresh: st.balance_thresh,
+            rebalance_every: st.rebalance_every,
             ..CommTuning::default()
         },
     };
@@ -520,6 +571,54 @@ mod tests {
         let s = IN_THREADPOOL_LJ.replace("timestep        0.005", "timestep 0.01");
         let e = parse_script(&s).unwrap_err();
         assert!(e.message.contains("timestep"), "{e}");
+    }
+
+    #[test]
+    fn balance_threshold_reaches_the_config() {
+        let s = IN_THREADPOOL_LJ.replace(
+            "fix             1 all nve",
+            "comm_style tiled\nbalance 1.2 rcb\nfix 1 all nve",
+        );
+        let run = parse_script(&s).expect("parse");
+        assert_eq!(run.config.comm.decomp, Decomp::Rcb);
+        assert_eq!(run.config.comm.balance_thresh, Some(1.2));
+        assert_eq!(run.config.comm.rebalance_every, None, "one-shot balance");
+    }
+
+    #[test]
+    fn fix_balance_sets_interval_and_threshold() {
+        let s = IN_THREADPOOL_LJ.replace(
+            "fix             1 all nve",
+            "fix 1 all nve\nfix 2 all balance 25 1.1 rcb",
+        );
+        let run = parse_script(&s).expect("parse");
+        assert_eq!(run.config.comm.decomp, Decomp::Rcb);
+        assert_eq!(run.config.comm.balance_thresh, Some(1.1));
+        assert_eq!(run.config.comm.rebalance_every, Some(25));
+    }
+
+    #[test]
+    fn bad_balance_thresholds_are_rejected_with_line_numbers() {
+        // Non-numeric threshold: previously silently accepted.
+        let e = parse_script("units lj\nbalance garbage rcb\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("garbage"), "{e}");
+        // Non-positive and non-finite thresholds.
+        for bad in ["0", "-1.5", "nan", "inf"] {
+            let e = parse_script(&format!("units lj\nbalance {bad} rcb\n")).unwrap_err();
+            assert_eq!(e.line, 2, "threshold '{bad}' must fail on its line");
+            assert!(e.message.contains("positive"), "{e}");
+        }
+        // A missing threshold (`balance rcb`) no longer slips through.
+        let e = parse_script("units lj\nbalance rcb\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        // fix balance validates its interval too.
+        let e = parse_script("units lj\nfix 2 all balance 0 1.2 rcb\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("interval"), "{e}");
+        let e = parse_script("units lj\nfix 2 all balance 10 bogus rcb\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"), "{e}");
     }
 
     #[test]

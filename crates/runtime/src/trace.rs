@@ -104,6 +104,16 @@ pub struct Trace {
     /// Max/mean of `atom_counts` (1.0 = perfectly balanced).
     #[serde(default)]
     pub atom_imbalance: f64,
+    /// Per-step `(step, max/mean imbalance)` history. The end-of-run
+    /// `atom_counts` snapshot alone would let a mid-run rebalance
+    /// masquerade as a run that was balanced throughout; the sample
+    /// series is the actual evidence (each rebalance shows as a drop
+    /// back toward 1.0).
+    #[serde(default)]
+    pub imbalance_samples: Vec<ImbalanceSample>,
+    /// Steps at which a mid-run rebalance rebuilt the decomposition.
+    #[serde(default)]
+    pub rebalance_steps: Vec<u64>,
 }
 
 /// Max-over-mean of a per-rank atom distribution; 1.0 when empty or
@@ -121,6 +131,9 @@ pub fn atom_imbalance(counts: &[usize]) -> f64 {
 
 /// Stage names in breakdown order.
 pub const STAGE_NAMES: [&str; 5] = ["Pair", "Neigh", "Comm", "Modify", "Other"];
+
+/// One `(step, max/mean atom imbalance)` point of the traced history.
+pub type ImbalanceSample = (u64, f64);
 
 impl Trace {
     /// Record count.
@@ -145,6 +158,30 @@ impl Trace {
     pub fn set_atom_counts(&mut self, counts: Vec<usize>) {
         self.atom_imbalance = atom_imbalance(&counts);
         self.atom_counts = counts;
+    }
+
+    /// Append one `(step, imbalance)` sample to the history.
+    pub fn push_imbalance_sample(&mut self, step: u64, imbalance: f64) {
+        self.imbalance_samples.push((step, imbalance));
+    }
+
+    /// Record that a rebalance rebuilt the decomposition at `step`.
+    pub fn push_rebalance_step(&mut self, step: u64) {
+        self.rebalance_steps.push(step);
+    }
+
+    /// (first, worst, final) of the imbalance history, each as a
+    /// `(step, imbalance)` pair; `None` until a sample is recorded.
+    #[must_use]
+    pub fn imbalance_history(&self) -> Option<(ImbalanceSample, ImbalanceSample, ImbalanceSample)> {
+        let first = *self.imbalance_samples.first()?;
+        let last = *self.imbalance_samples.last()?;
+        let worst =
+            self.imbalance_samples
+                .iter()
+                .copied()
+                .fold(first, |w, s| if s.1 > w.1 { s } else { w });
+        Some((first, worst, last))
     }
 
     /// Mean breakdown over all recorded steps.
@@ -258,6 +295,16 @@ impl Trace {
                 "atoms/rank min {min} mean {mean:.1} max {max}  imbalance {:.3} (max/mean)\n",
                 self.atom_imbalance
             ));
+        }
+        if let Some(((fs, fi), (ws, wi), (ls, li))) = self.imbalance_history() {
+            out.push_str(&format!(
+                "imbalance history: first {fi:.3} @step {fs}, worst {wi:.3} @step {ws}, \
+                 final {li:.3} @step {ls}\n"
+            ));
+            if !self.rebalance_steps.is_empty() {
+                let steps: Vec<String> = self.rebalance_steps.iter().map(u64::to_string).collect();
+                out.push_str(&format!("rebalanced at steps {}\n", steps.join(", ")));
+            }
         }
         if !self.comm.is_empty() {
             out.push_str(
@@ -399,6 +446,26 @@ mod tests {
         // Empty distribution stays silent and degenerates to balanced.
         assert_eq!(atom_imbalance(&[]), 1.0);
         assert!(!Trace::default().report().contains("atoms/rank"));
+    }
+
+    #[test]
+    fn imbalance_history_reports_first_worst_final() {
+        let mut t = Trace::default();
+        assert!(t.imbalance_history().is_none());
+        assert!(!t.report().contains("imbalance history"));
+        t.push(rec(1, 4e-6, false));
+        for (step, imb) in [(1, 1.10), (2, 1.34), (3, 1.02)] {
+            t.push_imbalance_sample(step, imb);
+        }
+        t.push_rebalance_step(3);
+        let ((fs, fi), (ws, wi), (ls, li)) = t.imbalance_history().unwrap();
+        assert_eq!((fs, ws, ls), (1, 2, 3));
+        assert_eq!((fi, wi, li), (1.10, 1.34, 1.02));
+        let rep = t.report();
+        assert!(rep.contains("first 1.100 @step 1"), "{rep}");
+        assert!(rep.contains("worst 1.340 @step 2"), "{rep}");
+        assert!(rep.contains("final 1.020 @step 3"), "{rep}");
+        assert!(rep.contains("rebalanced at steps 3"), "{rep}");
     }
 
     #[test]

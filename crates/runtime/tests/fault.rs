@@ -283,3 +283,57 @@ fn edge_keyed_faults_are_absorbed_on_rcb_graphs() {
     );
     assert_eq!(state_fingerprint(&clean), state_fingerprint(&faulty));
 }
+
+/// Drop and duplicate faults keyed to the *rebalance* step's migration
+/// exchange: the owner-directed migration over the freshly swapped graph
+/// rides the reliable MPI transport, so injected faults are absorbed
+/// below the fault plan — no migrant is lost or duplicated, no demotion,
+/// and physics stays bit-identical to the clean rebalanced run.
+#[test]
+fn faults_during_rebalance_migration_are_absorbed() {
+    let cfg = RunConfig {
+        comm: tofumd_runtime::config::CommTuning {
+            decomp: tofumd_runtime::config::Decomp::Rcb,
+            density_gradient: 0.8,
+            balance_thresh: Some(1.05),
+            rebalance_every: Some(20),
+            ..tofumd_runtime::config::CommTuning::default()
+        },
+        ..RunConfig::lj(8_000)
+    };
+    let mut clean = Cluster::new(MESH, cfg, CommVariant::MpiP2p);
+    let natoms = clean.natoms();
+
+    let mut plan = FaultPlan::new();
+    for rank in [0u32, 7, 23, 47] {
+        for kind in [FaultKind::Drop { times: 2 }, FaultKind::Duplicate] {
+            plan = plan.with_rule(FaultRule {
+                step: Some(20),
+                op: Some(Op::Exchange.index() as u8),
+                src: Some(rank),
+                ..FaultRule::any(kind)
+            });
+        }
+    }
+
+    let mut faulty = Cluster::with_fault_plan(MESH, cfg, CommVariant::MpiP2p, plan);
+    clean.set_thermo_every(5);
+    faulty.set_thermo_every(5);
+    clean.run(40);
+    faulty.run(40);
+
+    assert!(clean.rebalance_count() >= 1, "the trigger must fire");
+    assert_eq!(faulty.rebalance_count(), clean.rebalance_count());
+    assert_eq!(faulty.natoms(), natoms, "migrants lost or duplicated");
+    assert_eq!(
+        faulty.fault_counters().total(),
+        0,
+        "the reliable MPI stack sits below the fault plan"
+    );
+    assert!(!faulty.demoted(), "an absorbed fault must not demote");
+    assert_eq!(
+        thermo_bits(clean.thermo_log()),
+        thermo_bits(faulty.thermo_log())
+    );
+    assert_eq!(state_fingerprint(&clean), state_fingerprint(&faulty));
+}

@@ -174,3 +174,123 @@ fn extended_ghost_cutoff_widens_the_halo() {
         "extended-cutoff run diverged: {wp} vs {np}"
     );
 }
+
+/// The density-ramp melt drifts mass into the sparse region, so a
+/// decomposition frozen at step 0 degrades while `fix balance` keeps
+/// cutting the imbalance back down.
+fn rebalance_lj(every: Option<u64>) -> RunConfig {
+    RunConfig {
+        comm: CommTuning {
+            decomp: Decomp::Rcb,
+            density_gradient: 0.8,
+            balance_thresh: Some(1.05),
+            rebalance_every: every,
+            ..CommTuning::default()
+        },
+        ..RunConfig::lj(8000)
+    }
+}
+
+#[test]
+fn dynamic_rebalance_decays_a_growing_imbalance() {
+    let mut fixed = Cluster::new(MESH, rebalance_lj(None), CommVariant::MpiP2p);
+    let mut dynamic = Cluster::new(MESH, rebalance_lj(Some(40)), CommVariant::MpiP2p);
+    let natoms = fixed.natoms();
+    let steps = 200;
+    let tf = fixed.run_traced(steps);
+    let td = dynamic.run_traced(steps);
+
+    // The static decomposition only degrades: the per-step imbalance
+    // samples never decrease, and no rebalance ever fires.
+    assert!(tf.rebalance_steps.is_empty());
+    assert_eq!(fixed.rebalance_count(), 0);
+    // (Natural reneighbor migrations can nudge a sample down by a few
+    // atoms, hence the small slack on "monotonic".)
+    assert!(
+        tf.imbalance_samples
+            .windows(2)
+            .all(|w| w[1].1 >= w[0].1 - 0.02),
+        "static imbalance should grow monotonically: {:?}",
+        tf.imbalance_samples
+    );
+    let (first, worst, last) = tf.imbalance_history().unwrap();
+    assert!(
+        last.1 > first.1 + 0.2,
+        "ramp melt must drift: {first:?} -> {last:?}"
+    );
+    assert!(worst.1 - last.1 < 0.02, "static worst stays near the end");
+
+    // The dynamic run fires on schedule and each rebalance cuts the
+    // imbalance excess to at most half of its pre-rebalance peak.
+    assert_eq!(td.rebalance_steps, vec![40, 80, 120, 160, 200]);
+    assert_eq!(dynamic.rebalance_count(), 5);
+    let sample_at = |step: u64| -> f64 {
+        td.imbalance_samples
+            .iter()
+            .find(|s| s.0 == step)
+            .map(|s| s.1)
+            .unwrap()
+    };
+    let mut window_start = 0;
+    for &rb in &td.rebalance_steps {
+        let peak = td
+            .imbalance_samples
+            .iter()
+            .filter(|s| s.0 > window_start && s.0 < rb)
+            .map(|s| s.1)
+            .fold(1.0f64, f64::max);
+        let post = sample_at(rb);
+        assert!(
+            post - 1.0 <= 0.5 * (peak - 1.0),
+            "rebalance at {rb} only cut {peak} to {post}"
+        );
+        window_start = rb;
+    }
+    let (_, dworst, dlast) = td.imbalance_history().unwrap();
+    assert!(dlast.1 < last.1, "rebalanced run must end better balanced");
+    assert!(dworst.1 <= worst.1);
+    assert!(
+        td.report().contains("rebalanced at steps"),
+        "{}",
+        td.report()
+    );
+
+    // Migration conserves atoms and leaves the same physics to
+    // summation-order accuracy (the decompositions only rebin pair sums).
+    assert_eq!(fixed.natoms(), natoms);
+    assert_eq!(dynamic.natoms(), natoms);
+    let (sf, sd) = (fixed.thermo(), dynamic.thermo());
+    assert!(
+        (sf.pe - sd.pe).abs() / sf.pe.abs().max(1.0) < 1e-6,
+        "pe diverged: fixed {} vs dynamic {}",
+        sf.pe,
+        sd.pe
+    );
+    assert!((sf.ke - sd.ke).abs() / sf.ke.abs().max(1.0) < 1e-6);
+}
+
+#[test]
+fn rebalanced_runs_are_bit_identical_at_any_thread_count() {
+    let fingerprint = |threads: usize| {
+        let mut c = Cluster::new(MESH, rebalance_lj(Some(25)), CommVariant::MpiP2p);
+        c.set_driver_threads(threads);
+        c.run(60);
+        assert!(c.rebalance_count() > 0, "trigger must fire in this window");
+        let mut rows: Vec<(u64, [u64; 3], [u64; 3])> = Vec::new();
+        for st in c.states() {
+            for i in 0..st.atoms.nlocal {
+                rows.push((
+                    st.atoms.tag[i],
+                    st.atoms.x[i].map(f64::to_bits),
+                    st.atoms.v[i].map(f64::to_bits),
+                ));
+            }
+        }
+        rows.sort_unstable_by_key(|r| r.0);
+        rows
+    };
+    let base = fingerprint(1);
+    for threads in [2, 8] {
+        assert_eq!(base, fingerprint(threads), "threads={threads} diverged");
+    }
+}

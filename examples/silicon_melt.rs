@@ -7,13 +7,16 @@
 //! radial distribution function and mean-squared displacement, and writes
 //! an extended-XYZ trajectory.
 //!
-//!     cargo run --release --example silicon_melt [-- --hot] [--rcb]
+//!     cargo run --release --example silicon_melt [-- --hot] [--rcb] [--rebalance]
 //!
 //! Default run holds 800 K (solid); `--hot` drives 3500 K (melt) — watch
 //! the RDF second shell wash out and the MSD turn diffusive. `--rcb`
 //! appends a decomposition study: the same SW system with a density ramp,
 //! distributed over 48 ranks under uniform bricks vs recursive coordinate
-//! bisection, with the per-rank atom imbalance of both.
+//! bisection, with the per-rank atom imbalance of both. `--rebalance`
+//! appends a dynamic-balancing study: the ramped melt drifts mass off the
+//! step-0 cuts, and `fix balance 40 1.05 rcb` keeps cutting the imbalance
+//! back down while a static decomposition only degrades.
 
 use tofumd::md::{lattice::FccLattice, neighbor::RebuildPolicy, units::UnitSystem, velocity};
 use tofumd::md::{thermostat::Berendsen, Atoms, Msd, Potential, Rdf, SerialSim, StillingerWeber};
@@ -45,6 +48,67 @@ fn rcb_study() {
         grid.thermo().pe,
         rcb.thermo().pe
     );
+}
+
+fn rebalance_study() {
+    println!("\nDynamic rebalance study: SW silicon melt on a +x density ramp, 48 ranks");
+    let mk = |every| RunConfig {
+        comm: CommTuning {
+            decomp: Decomp::Rcb,
+            density_gradient: 0.8,
+            balance_thresh: Some(1.05),
+            rebalance_every: every,
+            ..CommTuning::default()
+        },
+        ..RunConfig::sw(4_000)
+    };
+    let mut fixed = Cluster::new([2, 3, 2], mk(None), CommVariant::MpiP2p);
+    let mut dynamic = Cluster::new([2, 3, 2], mk(Some(40)), CommVariant::MpiP2p);
+    let steps = 200;
+    let tf = fixed.run_traced(steps);
+    let td = dynamic.run_traced(steps);
+    println!("static decomposition (step 0 cuts kept):");
+    print!("{}", tf.report());
+    println!(
+        "fix balance 40 1.05 rcb ({} rebalances):",
+        dynamic.rebalance_count()
+    );
+    print!("{}", td.report());
+
+    // Self-check: every rebalance must cut the imbalance excess to at
+    // most half of its pre-rebalance peak.
+    assert!(
+        dynamic.rebalance_count() > 0,
+        "the ramp melt must trip the threshold"
+    );
+    let mut window_start = 0;
+    for &rb in &td.rebalance_steps {
+        let peak = td
+            .imbalance_samples
+            .iter()
+            .filter(|s| s.0 > window_start && s.0 < rb)
+            .map(|s| s.1)
+            .fold(1.0f64, f64::max);
+        let post = td
+            .imbalance_samples
+            .iter()
+            .find(|s| s.0 == rb)
+            .map(|s| s.1)
+            .unwrap();
+        println!("  step {rb:>4}: peak {peak:.4} -> {post:.4}");
+        assert!(
+            post - 1.0 <= 0.5 * (peak - 1.0),
+            "rebalance at {rb} only cut {peak} to {post}"
+        );
+        window_start = rb;
+    }
+    let (_, _, flast) = tf.imbalance_history().unwrap();
+    let (_, _, dlast) = td.imbalance_history().unwrap();
+    println!(
+        "final imbalance after {steps} steps: static {:.4}, rebalanced {:.4}",
+        flast.1, dlast.1
+    );
+    assert!(dlast.1 < flast.1, "rebalancing must end better balanced");
 }
 
 fn main() {
@@ -124,5 +188,8 @@ fn main() {
 
     if std::env::args().any(|a| a == "--rcb") {
         rcb_study();
+    }
+    if std::env::args().any(|a| a == "--rebalance") {
+        rebalance_study();
     }
 }
