@@ -12,6 +12,9 @@
 //! Usage: `ablations [--iters N] [--threads N]` (default 300 iterations,
 //! all host cores).
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use tofumd_bench::{fmt_time, render_table, threads_arg, PROXY_MESH};
 use tofumd_core::border_bin::BorderBins;
 use tofumd_core::fine;
@@ -218,7 +221,8 @@ fn main() {
 
     // 6. Topology map.
     {
-        let grid = CellGrid::from_node_mesh(target).unwrap();
+        let grid = CellGrid::from_node_mesh(target)
+            .unwrap_or_else(|| panic!("node mesh {target:?} does not fold onto TofuD cells"));
         let topo = RankMap::new(grid, Placement::TopoAware);
         let rand = RankMap::new(grid, Placement::Shuffled { seed: 7 });
         let p = NetParams::default();

@@ -12,10 +12,49 @@
 //! Usage: `bench_cluster [--steps N] [--out PATH]` (default 15 steps,
 //! `BENCH_cluster.json` in the working directory).
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::time::Instant;
+use tofumd_md::{Atoms, SerialSim};
 use tofumd_runtime::{Cluster, CommVariant, RunConfig};
 
 const MESH: [u32; 3] = [2, 3, 2];
+
+/// Total energy (pe + ke) of a serial twin carrying the cluster's initial
+/// state after `steps` steps — the physics oracle every benchmarked row
+/// must agree with. A benchmark over a broken engine is worse than no
+/// benchmark: the throughput column would look healthy while the physics
+/// silently rot.
+fn serial_twin_energy(cfg: RunConfig, steps: u64) -> f64 {
+    let c = Cluster::new(MESH, cfg, CommVariant::Ref);
+    let mut rows = Vec::new();
+    for st in c.states() {
+        for i in 0..st.atoms.nlocal {
+            rows.push((st.atoms.tag[i], st.atoms.x[i], st.atoms.v[i]));
+        }
+    }
+    rows.sort_unstable_by_key(|e| e.0);
+    let mut atoms = Atoms::from_positions(rows.iter().map(|e| e.1).collect(), 1);
+    for (i, e) in rows.iter().enumerate() {
+        atoms.v[i] = e.2;
+    }
+    let mut serial = SerialSim::new(
+        atoms,
+        c.global_box(),
+        cfg.build_potential(),
+        cfg.units(),
+        cfg.skin(),
+        cfg.policy(),
+        cfg.timestep(),
+        cfg.mass(),
+    );
+    for _ in 0..steps {
+        serial.run_step();
+    }
+    let s = serial.snapshot();
+    s.pe + s.ke
+}
 
 struct Row {
     name: String,
@@ -41,6 +80,7 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     for (pot, mk) in potentials {
+        let e_serial = serial_twin_energy(mk(6_000), steps + 2);
         for variant in variants {
             for threads in [1usize, 8] {
                 let mut c = Cluster::new(MESH, mk(6_000), variant);
@@ -51,6 +91,17 @@ fn main() {
                 let t0 = Instant::now();
                 c.run(steps);
                 let wall = t0.elapsed().as_secs_f64();
+                // Energy sanity against the serial twin: cross-engine fp
+                // summation noise only, never a physics divergence.
+                let t = c.thermo();
+                let diff = ((t.pe + t.ke) - e_serial).abs() / e_serial.abs();
+                assert!(
+                    diff < 1e-6,
+                    "{}_{pot}_t{threads}: total energy {} differs from the serial twin {e_serial} \
+                     (rel {diff:.2e}) — refusing to benchmark broken physics",
+                    variant.label(),
+                    t.pe + t.ke,
+                );
                 let row = Row {
                     name: format!("{}_{}_t{}", variant.label(), pot, threads),
                     timesteps_per_sec: steps as f64 / wall,

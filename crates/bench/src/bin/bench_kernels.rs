@@ -8,6 +8,9 @@
 //! Usage: `bench_kernels [--iters N] [--out PATH]` (default 30 iterations,
 //! `BENCH_kernels.json` in the working directory).
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::time::Instant;
 use tofumd_md::kernels::PairScratch;
 use tofumd_md::lattice::FccLattice;
@@ -193,6 +196,59 @@ fn main() {
                 eam.compute_force_chunked(&mut eam_atoms, &eam_list, &fp, &exec, &mut scratch);
             }),
         );
+    }
+
+    // Energy sanity against the serial twin kernels: the chunked passes
+    // contract bit-identity with the serial ones at any worker count, so
+    // a single differing bit means the timed kernel is broken and the
+    // throughput numbers above are meaningless.
+    {
+        let mut twin = atoms.clone();
+        twin.zero_forces();
+        let ev_serial = lj.compute(&mut twin, &list);
+        let pe_atom = ev_serial.energy / n as f64;
+        assert!(
+            pe_atom.is_finite() && pe_atom < 0.0,
+            "serial LJ twin energy/atom {pe_atom} is not a bound crystal"
+        );
+        let mut rho_twin = Vec::new();
+        let mut fp_twin = Vec::new();
+        let mut scratch = PairScratch::new();
+        eam.compute_rho(&eam_atoms, &eam_list, &mut rho_twin);
+        let embed_serial = eam.compute_embedding(&eam_atoms, &rho_twin, &mut fp_twin);
+        let mut eam_twin = eam_atoms.clone();
+        eam_twin.zero_forces();
+        let eam_serial = eam.compute_force(&mut eam_twin, &eam_list, &fp_twin);
+        for threads in [1usize, 8] {
+            let exec = if threads == 1 {
+                ChunkExec::Serial
+            } else {
+                ChunkExec::Pool(&pool)
+            };
+            atoms.zero_forces();
+            let ev = lj.compute_chunked(&mut atoms, &list, &exec, &mut scratch);
+            assert_eq!(
+                ev.energy.to_bits(),
+                ev_serial.energy.to_bits(),
+                "lj_chunked_t{threads} energy {} != serial twin {}",
+                ev.energy,
+                ev_serial.energy
+            );
+            let mut rho = Vec::new();
+            let mut fp = Vec::new();
+            eam_atoms.zero_forces();
+            eam.compute_rho_chunked(&eam_atoms, &eam_list, &mut rho, &exec, &mut scratch);
+            let embed = eam.compute_embedding_chunked(&eam_atoms, &rho, &mut fp, &exec);
+            let ev = eam.compute_force_chunked(&mut eam_atoms, &eam_list, &fp, &exec, &mut scratch);
+            assert_eq!(
+                (embed + ev.energy).to_bits(),
+                (embed_serial + eam_serial.energy).to_bits(),
+                "eam_chunked_t{threads} energy {} != serial twin {}",
+                embed + ev.energy,
+                embed_serial + eam_serial.energy
+            );
+        }
+        println!("energy sanity: chunked kernels bit-match their serial twins");
     }
 
     // Hand-formatted JSON: no serde_json in the workspace, and the shape

@@ -20,6 +20,9 @@
 //! time), so a divergence under a seed is a recovery-path bug. The fault
 //! totals side A absorbed are printed with the report.
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use tofumd_runtime::lockstep::{bisect_cluster_against_serial, bisect_clusters, LockstepOptions};
 use tofumd_runtime::{Cluster, CommVariant, RunConfig};
 use tofumd_tofu::{FaultPlan, FaultRates};

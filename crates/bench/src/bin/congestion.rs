@@ -9,12 +9,16 @@
 //!
 //! Usage: `congestion`.
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use tofumd_bench::render_table;
 use tofumd_tofu::{CellGrid, CongestionModel, NetParams};
 
 fn main() {
     println!("§3.1 no-blocking assumption check — 768-node exchange, all rank pairs\n");
-    let grid = CellGrid::from_node_mesh([8, 12, 8]).unwrap();
+    let grid = CellGrid::from_node_mesh([8, 12, 8])
+        .unwrap_or_else(|| panic!("node mesh [8, 12, 8] does not fold onto TofuD cells"));
     let mesh = grid.node_mesh();
     let mut model = CongestionModel::new(&grid, NetParams::default());
     let offsets: [(u32, u32, u32); 13] = [

@@ -8,6 +8,9 @@
 //!
 //! Usage: `equations`.
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use tofumd_bench::{fmt_time, render_table};
 use tofumd_model::equations::{pattern_times, Transport};
 use tofumd_model::table1::Geometry;

@@ -9,6 +9,9 @@
 //! Usage: `fig06 [--iters N] [--threads N]` (default 2000 iterations — the
 //! paper used 10000 — and all host cores).
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use tofumd_bench::{fmt_time, render_table, threads_arg, PROXY_MESH};
 use tofumd_runtime::{Cluster, CommVariant, RunConfig};
 

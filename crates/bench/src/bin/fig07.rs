@@ -7,6 +7,9 @@
 //!
 //! Usage: `fig07`.
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::sync::Arc;
 use tofumd_bench::render_table;
 use tofumd_tofu::{CellGrid, NetParams, TofuNet, Vcq, CQS_PER_TNI, TNIS_PER_NODE};
@@ -18,7 +21,8 @@ fn main() {
     let net = Arc::new(TofuNet::new(CellGrid::new([1, 1, 1]), NetParams::default()));
     let mut rows = Vec::new();
     for rank in 0..4u32 {
-        let v = Vcq::create(net.clone(), 0, rank as usize % 4, rank).unwrap();
+        let v = Vcq::create(net.clone(), 0, rank as usize % 4, rank)
+            .unwrap_or_else(|e| panic!("VCQ for rank {rank}: {e:?}"));
         rows.push(vec![
             format!("rank {rank}"),
             format!("TNI {}", v.tni()),
@@ -33,7 +37,8 @@ fn main() {
     for rank in 0..4u32 {
         let mut cells = vec![format!("rank {rank}")];
         for tni in 0..TNIS_PER_NODE {
-            let v = Vcq::create(net.clone(), 0, tni, rank).unwrap();
+            let v = Vcq::create(net.clone(), 0, tni, rank)
+                .unwrap_or_else(|e| panic!("VCQ for rank {rank} TNI {tni}: {e:?}"));
             cells.push(format!("CQ{}", v.cq()));
         }
         rows.push(cells);

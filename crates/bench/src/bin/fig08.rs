@@ -9,6 +9,9 @@
 //!
 //! Usage: `fig08 [--msgs N]` messages per rank per size (default 200).
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::sync::Arc;
 use tofumd_bench::render_table;
 use tofumd_tofu::{CellGrid, NetParams, TofuNet, Vcq, TNIS_PER_NODE};
@@ -25,10 +28,14 @@ fn send_burst(size: usize, msgs: usize, vcqs_per_rank: usize, threads: usize) ->
     for rank in 0..4u32 {
         // Build this rank's VCQs: its own TNI, or all six.
         let mut vcqs: Vec<Vcq> = if vcqs_per_rank == 1 {
-            vec![Vcq::create(net.clone(), 0, rank as usize % 4, rank).unwrap()]
+            vec![Vcq::create(net.clone(), 0, rank as usize % 4, rank)
+                .unwrap_or_else(|e| panic!("VCQ for rank {rank}: {e:?}"))]
         } else {
             (0..TNIS_PER_NODE)
-                .map(|t| Vcq::create(net.clone(), 0, t, rank).unwrap())
+                .map(|t| {
+                    Vcq::create(net.clone(), 0, t, rank)
+                        .unwrap_or_else(|e| panic!("VCQ for rank {rank} TNI {t}: {e:?}"))
+                })
                 .collect()
         };
         // Virtual comm threads: thread t posts messages t, t+T, t+2T...

@@ -10,6 +10,9 @@
 //! steps, 4000 atoms, all host cores; pass `--steps 50000 --atoms 65536`
 //! for the paper's full setting).
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use tofumd_bench::{render_table, threads_arg, PROXY_MESH};
 use tofumd_md::{velocity, Atoms, SerialSim};
 use tofumd_runtime::{Cluster, CommVariant, RunConfig};

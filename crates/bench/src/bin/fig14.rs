@@ -9,6 +9,9 @@
 //!
 //! Usage: `fig14`.
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use tofumd_bench::render_table;
 use tofumd_model::analytic::{opt_step_time, AnalyticWorkload};
 use tofumd_model::{scaling, StageCosts};

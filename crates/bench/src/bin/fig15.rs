@@ -14,6 +14,9 @@
 //! Usage: `fig15 [--iters N] [--threads N]` (default 500 iterations, all
 //! host cores).
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use tofumd_bench::{fmt_time, render_table, threads_arg, PROXY_MESH};
 use tofumd_runtime::{Cluster, CommVariant, PotentialKind, RunConfig};
 

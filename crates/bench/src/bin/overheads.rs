@@ -7,6 +7,9 @@
 //!
 //! Usage: `overheads [--threads N] [--iters N]`.
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use tofumd_bench::render_table;
 use tofumd_threadpool::measure_overheads;
 use tofumd_tofu::NetParams;

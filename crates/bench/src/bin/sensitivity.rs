@@ -6,6 +6,9 @@
 //!
 //! Usage: `sensitivity`.
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use tofumd_bench::render_table;
 use tofumd_model::sensitivity::{headline_speedup, sweep, Knob};
 use tofumd_model::StageCosts;

@@ -7,6 +7,9 @@
 //!
 //! Usage: `table1`.
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use tofumd_bench::render_table;
 use tofumd_core::plan::{CommPlan, PlanConfig};
 use tofumd_core::topo_map::{Placement, RankMap};
@@ -70,7 +73,8 @@ fn main() {
     );
 
     // Cross-check: the concrete CommPlan reproduces the symbolic volumes.
-    let grid = CellGrid::from_node_mesh([8, 12, 8]).unwrap();
+    let grid = CellGrid::from_node_mesh([8, 12, 8])
+        .unwrap_or_else(|| panic!("node mesh [8, 12, 8] does not fold onto TofuD cells"));
     let map = RankMap::new(grid, Placement::TopoAware);
     let rg = map.rank_grid;
     let global = Box3::from_lengths([

@@ -7,6 +7,9 @@
 //! Usage: `table3 [--steps N] [--threads N]` (default 99 steps, all host
 //! cores).
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use tofumd_bench::{fmt_time, render_table, run_proxy, PAPER_STEPS};
 use tofumd_runtime::{CommVariant, RunConfig, StageBreakdown};
 

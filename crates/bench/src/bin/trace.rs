@@ -5,6 +5,9 @@
 //! Usage: `trace [--steps N] [--threads N]` (default 40 steps, all host
 //! cores).
 
+// The bins share the library crate's no-unwrap contract.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use tofumd_bench::{threads_arg, PROXY_MESH};
 use tofumd_runtime::{Cluster, CommVariant, RunConfig};
 

@@ -6,6 +6,9 @@
 //! plain-text table rendering.
 
 #![warn(missing_docs)]
+// Panicking escape hatches are reserved for tests; report failures with a
+// message naming the input instead (the bins inherit the same contract).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 // Dimension loops (`for d in 0..3`) index by physical dimension on fixed
 // [f64; 3] vectors; the index is the semantics, so the iterator rewrite the
 // lint suggests would be less clear.

@@ -97,23 +97,37 @@ impl MpiThreeStage {
     }
 
     /// Receive the two sweep-`dim` messages: from `links[dim][dir]`, tagged
-    /// by the sender with direction `1 - dir`.
-    fn recv_both(&self, st: &mut RankState, op: Op, dim: usize) -> [Vec<f64>; 2] {
+    /// by the sender with direction `1 - dir`. A shortfall (dead peer /
+    /// protocol bug) surfaces as the typed error; the clock is still
+    /// charged for the messages that did arrive.
+    fn recv_both(
+        &self,
+        st: &mut RankState,
+        op: Op,
+        dim: usize,
+    ) -> Result<[Vec<f64>; 2], TofuError> {
         let mut out = [Vec::new(), Vec::new()];
         let mut now = st.clock;
         for dir in 0..2 {
-            let m = self.comm.recv(
+            let r = self.comm.try_recv(
                 self.me,
                 self.links[dim][dir].rank,
                 staged_tag(op, dim, 1 - dir),
                 now,
             );
+            let m = match r {
+                Ok(m) => m,
+                Err(e) => {
+                    st.charge(now - st.clock, op);
+                    return Err(e);
+                }
+            };
             now = m.now;
             out[dir] = wire::decode_f64s(&m.data);
         }
         let dt = now - st.clock;
         st.charge(dt, op);
-        out
+        Ok(out)
     }
 }
 
@@ -199,20 +213,20 @@ impl GhostEngine for MpiThreeStage {
         match op {
             Op::Border => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
-                let payloads = self.recv_both(st, op, dim);
+                let payloads = self.recv_both(st, op, dim)?;
                 self.ghosts.unpack_border(st, dim, swap, &payloads);
                 // EAM scalar buffers must track the growing ghost tail.
                 st.scalar.resize(st.atoms.ntotal(), 0.0);
             }
             Op::Exchange => {
-                let payloads = self.recv_both(st, op, round);
+                let payloads = self.recv_both(st, op, round)?;
                 for p in &payloads {
                     st.unpack_exchange(p);
                 }
             }
             Op::Forward => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
-                let payloads = self.recv_both(st, op, dim);
+                let payloads = self.recv_both(st, op, dim)?;
                 for dir in 0..2 {
                     self.ghosts
                         .unpack_forward(st, dim, swap, dir, &payloads[dir]);
@@ -220,7 +234,7 @@ impl GhostEngine for MpiThreeStage {
             }
             Op::ForwardScalar => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
-                let payloads = self.recv_both(st, op, dim);
+                let payloads = self.recv_both(st, op, dim)?;
                 for dir in 0..2 {
                     self.ghosts
                         .unpack_forward_scalar(st, dim, swap, dir, &payloads[dir]);
@@ -229,7 +243,7 @@ impl GhostEngine for MpiThreeStage {
             Op::Reverse => {
                 let idx = 3 * self.shells - 1 - round;
                 let (dim, swap) = round_to_sweep(idx, self.shells);
-                let payloads = self.recv_both(st, op, dim);
+                let payloads = self.recv_both(st, op, dim)?;
                 for dir in 0..2 {
                     self.ghosts
                         .unpack_reverse(st, dim, swap, dir, &payloads[dir]);
@@ -238,7 +252,7 @@ impl GhostEngine for MpiThreeStage {
             Op::ReverseScalar => {
                 let idx = 3 * self.shells - 1 - round;
                 let (dim, swap) = round_to_sweep(idx, self.shells);
-                let payloads = self.recv_both(st, op, dim);
+                let payloads = self.recv_both(st, op, dim)?;
                 for dir in 0..2 {
                     self.ghosts
                         .unpack_reverse_scalar(st, dim, swap, dir, &payloads[dir]);
@@ -320,7 +334,12 @@ impl MpiP2p {
         st.charge(now - st.clock, op);
     }
 
-    fn recv_all(&self, st: &mut RankState, op: Op, from_recv_side: bool) -> Vec<Vec<f64>> {
+    fn recv_all(
+        &self,
+        st: &mut RankState,
+        op: Op,
+        from_recv_side: bool,
+    ) -> Result<Vec<Vec<f64>>, TofuError> {
         let n = st.graph.recv.len();
         let mut out = Vec::with_capacity(n);
         let mut now = st.clock;
@@ -330,13 +349,19 @@ impl MpiP2p {
             } else {
                 &st.graph.send[k]
             };
-            let m = self.comm.recv(self.me, edge.rank, p2p_tag(op, k), now);
+            let m = match self.comm.try_recv(self.me, edge.rank, p2p_tag(op, k), now) {
+                Ok(m) => m,
+                Err(e) => {
+                    st.charge(now - st.clock, op);
+                    return Err(e);
+                }
+            };
             now = m.now;
             st.arrival_horizon = st.arrival_horizon.max(m.arrival);
             out.push(wire::decode_f64s(&m.data));
         }
         st.charge(now - st.clock, op);
-        out
+        Ok(out)
     }
 }
 
@@ -445,7 +470,7 @@ impl GhostEngine for MpiP2p {
     fn complete(&mut self, op: Op, round: usize, st: &mut RankState) -> Result<(), TofuError> {
         match op {
             Op::Border => {
-                let payloads = self.recv_all(st, op, true);
+                let payloads = self.recv_all(st, op, true)?;
                 self.ghosts.unpack_border(st, &payloads);
                 st.scalar.resize(st.atoms.ntotal(), 0.0);
             }
@@ -454,9 +479,18 @@ impl GhostEngine for MpiP2p {
                 let mut now = st.clock;
                 for dir in 0..2 {
                     let link = *st.graph.face_link(dim, dir);
-                    let m = self
-                        .comm
-                        .recv(self.me, link.rank, staged_tag(op, dim, 1 - dir), now);
+                    let m = match self.comm.try_recv(
+                        self.me,
+                        link.rank,
+                        staged_tag(op, dim, 1 - dir),
+                        now,
+                    ) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            st.charge(now - st.clock, op);
+                            return Err(e);
+                        }
+                    };
                     now = m.now;
                     st.unpack_exchange(&wire::decode_f64s(&m.data));
                 }
@@ -466,32 +500,38 @@ impl GhostEngine for MpiP2p {
                 let peers = st.graph.migrate_peers().to_vec();
                 let mut now = st.clock;
                 for (k, peer) in peers.iter().enumerate() {
-                    let m = self.comm.recv(self.me, peer.rank, p2p_tag(op, k), now);
+                    let m = match self.comm.try_recv(self.me, peer.rank, p2p_tag(op, k), now) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            st.charge(now - st.clock, op);
+                            return Err(e);
+                        }
+                    };
                     now = m.now;
                     st.unpack_exchange(&wire::decode_f64s(&m.data));
                 }
                 st.charge(now - st.clock, op);
             }
             Op::Forward => {
-                let payloads = self.recv_all(st, op, true);
+                let payloads = self.recv_all(st, op, true)?;
                 for (k, v) in payloads.iter().enumerate() {
                     self.ghosts.unpack_forward(st, k, v);
                 }
             }
             Op::ForwardScalar => {
-                let payloads = self.recv_all(st, op, true);
+                let payloads = self.recv_all(st, op, true)?;
                 for (k, v) in payloads.iter().enumerate() {
                     self.ghosts.unpack_forward_scalar(st, k, v);
                 }
             }
             Op::Reverse => {
-                let payloads = self.recv_all(st, op, false);
+                let payloads = self.recv_all(st, op, false)?;
                 for (k, v) in payloads.iter().enumerate() {
                     self.ghosts.unpack_reverse(st, k, v);
                 }
             }
             Op::ReverseScalar => {
-                let payloads = self.recv_all(st, op, false);
+                let payloads = self.recv_all(st, op, false)?;
                 for (k, v) in payloads.iter().enumerate() {
                     self.ghosts.unpack_reverse_scalar(st, k, v);
                 }

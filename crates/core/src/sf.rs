@@ -84,6 +84,10 @@ enum Topology {
     Irregular {
         rcb: Arc<RcbDecomposition>,
         migrate: Vec<MigratePeer>,
+        /// Physical rank of each RCB part. Identity for full-width graphs;
+        /// a shrunken recovery graph maps part `p` to the `p`-th survivor,
+        /// so `owner_of` keeps answering in physical-rank space.
+        rank_of: Vec<usize>,
     },
 }
 
@@ -295,6 +299,33 @@ impl CommGraph {
     /// ranks agree without any negotiation round.
     #[must_use]
     pub fn from_rcb(rank: usize, rcb: &Arc<RcbDecomposition>, map: &RankMap, r_ghost: f64) -> Self {
+        let identity: Vec<usize> = (0..rcb.boxes.len()).collect();
+        Self::from_rcb_mapped(rank, rcb, map, r_ghost, &identity)
+    }
+
+    /// [`CommGraph::from_rcb`] with an explicit part → physical-rank map:
+    /// the graph of *part* `part` whose peers live at `rank_of[p]`. Edge
+    /// lists, pairing indices, and migrate tags are all computed in part
+    /// space (every survivor reconstructs the same lists, so they stay
+    /// cross-consistent), then rank and node fields are remapped so the
+    /// transport addresses real ranks. Shrinking recovery uses this to
+    /// rebuild an N−1 decomposition over the survivors of a dead rank.
+    ///
+    /// `rank_of` must assign each part a distinct physical rank.
+    #[must_use]
+    pub fn from_rcb_mapped(
+        part: usize,
+        rcb: &Arc<RcbDecomposition>,
+        map: &RankMap,
+        r_ghost: f64,
+        rank_of: &[usize],
+    ) -> Self {
+        assert_eq!(
+            rank_of.len(),
+            rcb.boxes.len(),
+            "rank_of must cover every RCB part"
+        );
+        let rank = part;
         let l = rcb.global.lengths();
         let sub = rcb.boxes[rank];
         assert!(
@@ -331,15 +362,15 @@ impl CommGraph {
         let mut recv = Vec::with_capacity(pairs.len());
         let mut send = Vec::with_capacity(pairs.len());
         for &(peer, img) in &pairs {
-            let node = map.node_of(peer);
-            let hops = map.hops(rank, peer);
+            let node = map.node_of(rank_of[peer]);
+            let hops = map.hops(rank_of[rank], rank_of[peer]);
             let neg = [-img[0], -img[1], -img[2]];
             // recv[k]: the peer's atoms arrive shifted by +img·L into my
             // frame. Mirrors the peer's send edge (me, img), which sits
             // where (me, -img) sits in the peer's recv list.
             recv.push(GraphEdge {
                 offset: NeighborOffset { d: [0; 3] },
-                rank: peer,
+                rank: rank_of[peer],
                 node,
                 hops,
                 shift: shift_of(img),
@@ -350,7 +381,7 @@ impl CommGraph {
             // Mirrors the peer's recv edge (me, -img).
             send.push(GraphEdge {
                 offset: NeighborOffset { d: [0; 3] },
-                rank: peer,
+                rank: rank_of[peer],
                 node,
                 hops,
                 shift: shift_of(neg),
@@ -361,8 +392,8 @@ impl CommGraph {
         let migrate = rcb_migrate_ranks(rcb, rank, r_ghost)
             .into_iter()
             .map(|peer| MigratePeer {
-                rank: peer,
-                node: map.node_of(peer),
+                rank: rank_of[peer],
+                node: map.node_of(rank_of[peer]),
                 tag_index: rcb_migrate_ranks(rcb, peer, r_ghost)
                     .iter()
                     .position(|&p| p == rank)
@@ -370,7 +401,7 @@ impl CommGraph {
             })
             .collect();
         CommGraph {
-            me: rank,
+            me: rank_of[rank],
             sub,
             r_ghost,
             recv,
@@ -378,6 +409,7 @@ impl CommGraph {
             topology: Topology::Irregular {
                 rcb: rcb.clone(),
                 migrate,
+                rank_of: rank_of.to_vec(),
             },
         }
     }
@@ -452,14 +484,25 @@ impl CommGraph {
     }
 
     /// Which rank owns a global position (irregular graphs; the grid
-    /// resolves owners through its staged sweeps instead).
+    /// resolves owners through its staged sweeps instead). Answers in
+    /// physical-rank space even on shrunken recovery graphs.
     #[must_use]
     pub fn owner_of(&self, x: &[f64; 3]) -> usize {
         match &self.topology {
             Topology::Grid { .. } => {
                 panic!("owner_of is only defined on irregular graphs")
             }
-            Topology::Irregular { rcb, .. } => rcb.owner_of(x),
+            Topology::Irregular { rcb, rank_of, .. } => rank_of[rcb.owner_of(x)],
+        }
+    }
+
+    /// The RCB decomposition behind an irregular graph (checkpointing
+    /// captures it so a restore can rebuild identical graphs).
+    #[must_use]
+    pub fn rcb(&self) -> Option<&Arc<RcbDecomposition>> {
+        match &self.topology {
+            Topology::Grid { .. } => None,
+            Topology::Irregular { rcb, .. } => Some(rcb),
         }
     }
 
@@ -777,6 +820,53 @@ mod tests {
                 assert_eq!(back[p.tag_index].rank, g.me, "peer expects me at tag_index");
             }
         }
+    }
+
+    #[test]
+    fn mapped_rcb_graphs_address_survivors_and_stay_consistent() {
+        // Rank 2 of 6 died: five survivor parts map onto physical ranks
+        // {0, 1, 3, 4, 5}. Edges, pairing, migrate tags, and owner lookup
+        // must all answer in physical-rank space while staying mutually
+        // consistent across the survivor set.
+        let (_, map, pts) = rcb_fixture(6);
+        let global = Box3::from_lengths([20.0, 16.0, 12.0]);
+        let rcb = Arc::new(RcbDecomposition::build(5, &pts, &global));
+        let rank_of: Vec<usize> = vec![0, 1, 3, 4, 5];
+        let graphs: Vec<CommGraph> = (0..5)
+            .map(|p| CommGraph::from_rcb_mapped(p, &rcb, &map, 2.5, &rank_of))
+            .collect();
+        let part_of = |rank: usize| rank_of.iter().position(|&r| r == rank).unwrap();
+        for (part, g) in graphs.iter().enumerate() {
+            assert_eq!(g.me, rank_of[part]);
+            assert!(g.rcb().is_some());
+            for (k, s) in g.send.iter().enumerate() {
+                assert_ne!(s.rank, 2, "dead rank must never be addressed");
+                assert_eq!(s.node, map.node_of(s.rank));
+                let peer = &graphs[part_of(s.rank)];
+                let mirror = &peer.recv[s.peer_index];
+                assert_eq!(mirror.rank, g.me, "peer's recv edge must point back");
+                assert_eq!(mirror.peer_index, k, "pairing is an involution");
+            }
+            for p in g.migrate_peers() {
+                assert_ne!(p.rank, 2);
+                let back = graphs[part_of(p.rank)].migrate_peers();
+                assert_eq!(back[p.tag_index].rank, g.me, "peer expects me at tag_index");
+            }
+        }
+        // Owner lookup answers in physical-rank space.
+        for p in pts.iter().take(64) {
+            let owner = graphs[0].owner_of(p);
+            assert_ne!(owner, 2);
+            assert_eq!(owner, rank_of[rcb.owner_of(p)]);
+        }
+        // Identity mapping reproduces from_rcb exactly.
+        let plain = CommGraph::from_rcb(3, &rcb, &map, 2.5);
+        let ident: Vec<usize> = (0..5).collect();
+        let mapped = CommGraph::from_rcb_mapped(3, &rcb, &map, 2.5, &ident);
+        assert_eq!(plain.me, mapped.me);
+        assert_eq!(plain.recv, mapped.recv);
+        assert_eq!(plain.send, mapped.send);
+        assert_eq!(plain.migrate_peers(), mapped.migrate_peers());
     }
 
     #[test]

@@ -200,11 +200,7 @@ fn wait_deduped(
     let (mut arrivals, t) = try_wait_arrivals(net, node, now, count, pred)?;
     let anomalies = dedupe_arrivals(&mut arrivals);
     if arrivals.len() < count {
-        return Err(TofuError::Deadlock {
-            node,
-            expected: count,
-            found: arrivals.len(),
-        });
+        return Err(net.shortfall_error(node, count, arrivals.len()));
     }
     Ok((arrivals, t, anomalies))
 }

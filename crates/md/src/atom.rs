@@ -6,6 +6,7 @@
 //! optimization of §3.4 depends on this contiguity: forward-stage RDMA puts
 //! write directly into the ghost tail of the remote position array.
 
+use crate::wirefmt;
 use serde::{Deserialize, Serialize};
 
 /// SoA storage for one rank's (or the serial engine's) atoms.
@@ -136,6 +137,44 @@ impl Atoms {
         }
     }
 
+    /// Append the *local* atoms (positions, velocities, types, tags) to a
+    /// checkpoint payload in the [`crate::wirefmt`] format. Ghosts and
+    /// forces are deliberately omitted: both are pure functions of the
+    /// local state and are regenerated by the border/rebuild/pair replay
+    /// after a restore, so storing them would only widen the corruption
+    /// surface.
+    pub fn wire_encode(&self, out: &mut Vec<u8>) {
+        wirefmt::put_usize(out, self.nlocal);
+        for i in 0..self.nlocal {
+            wirefmt::put_f64x3(out, &self.x[i]);
+            wirefmt::put_f64x3(out, &self.v[i]);
+            wirefmt::put_u32(out, self.typ[i]);
+            wirefmt::put_u64(out, self.tag[i]);
+        }
+    }
+
+    /// Decode atoms written by [`Atoms::wire_encode`]: `nlocal` owned
+    /// atoms, zero ghosts, zero forces.
+    pub fn wire_decode(r: &mut wirefmt::WireReader<'_>) -> Result<Self, wirefmt::WireError> {
+        let nlocal = r.usize_(true)?;
+        let mut a = Atoms {
+            x: Vec::with_capacity(nlocal),
+            v: Vec::with_capacity(nlocal),
+            f: Vec::new(),
+            typ: Vec::with_capacity(nlocal),
+            tag: Vec::with_capacity(nlocal),
+            nlocal,
+        };
+        for _ in 0..nlocal {
+            a.x.push(r.f64x3()?);
+            a.v.push(r.f64x3()?);
+            a.typ.push(r.u32_()?);
+            a.tag.push(r.u64_()?);
+        }
+        a.f = vec![[0.0; 3]; nlocal];
+        Ok(a)
+    }
+
     /// Internal consistency check used by debug assertions and tests.
     #[must_use]
     pub fn is_consistent(&self) -> bool {
@@ -212,6 +251,30 @@ mod tests {
         let mut a = three_atoms();
         a.push_ghost([9.0; 3], 1, 7);
         a.reorder_locals(&[0, 1, 2]);
+    }
+
+    #[test]
+    fn wire_round_trip_keeps_locals_and_drops_ghosts() {
+        let mut a = three_atoms();
+        a.v[1] = [0.5, -0.25, 8.0];
+        a.typ[2] = 3;
+        a.push_ghost([9.0; 3], 1, 77);
+        let mut bytes = Vec::new();
+        a.wire_encode(&mut bytes);
+        let mut r = wirefmt::WireReader::new(&bytes);
+        let b = Atoms::wire_decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(b.nlocal, 3);
+        assert_eq!(b.nghost(), 0);
+        assert_eq!(b.x[..3], a.x[..3]);
+        assert_eq!(b.v[1], [0.5, -0.25, 8.0]);
+        assert_eq!(b.typ, vec![1, 1, 3]);
+        assert_eq!(b.tag, vec![1, 2, 3]);
+        assert_eq!(b.f, vec![[0.0; 3]; 3]);
+        assert!(b.is_consistent());
+        // Truncated payloads are typed errors, never panics.
+        let mut r = wirefmt::WireReader::new(&bytes[..bytes.len() - 1]);
+        assert!(Atoms::wire_decode(&mut r).is_err());
     }
 
     #[test]

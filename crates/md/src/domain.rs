@@ -8,6 +8,7 @@
 //! sub-box edge — Fig. 15).
 
 use crate::region::Box3;
+use crate::wirefmt;
 use serde::{Deserialize, Serialize};
 
 /// A static decomposition of a global periodic box into a grid of sub-boxes.
@@ -459,6 +460,105 @@ impl RcbDecomposition {
             max / mean
         }
     }
+
+    /// Append this decomposition (boxes *and* the private split tree) to a
+    /// checkpoint payload in the [`crate::wirefmt`] format.
+    pub fn wire_encode(&self, out: &mut Vec<u8>) {
+        wirefmt::put_f64x3(out, &self.global.lo);
+        wirefmt::put_f64x3(out, &self.global.hi);
+        wirefmt::put_usize(out, self.boxes.len());
+        for b in &self.boxes {
+            wirefmt::put_f64x3(out, &b.lo);
+            wirefmt::put_f64x3(out, &b.hi);
+        }
+        wirefmt::put_usize(out, self.tree.len());
+        for node in &self.tree {
+            match node {
+                RcbNode::Leaf(rank) => {
+                    wirefmt::put_u8(out, 0);
+                    wirefmt::put_usize(out, *rank);
+                }
+                RcbNode::Split {
+                    dim,
+                    cut,
+                    below,
+                    above,
+                } => {
+                    wirefmt::put_u8(out, 1);
+                    wirefmt::put_usize(out, *dim);
+                    wirefmt::put_f64(out, *cut);
+                    wirefmt::put_usize(out, *below);
+                    wirefmt::put_usize(out, *above);
+                }
+            }
+        }
+    }
+
+    /// Decode a decomposition previously written by
+    /// [`RcbDecomposition::wire_encode`]. Tree structure is validated
+    /// (node indices in range, leaf ranks within the box count, child
+    /// links strictly forward) so a corrupt payload can never send
+    /// [`RcbDecomposition::owner_of`] out of bounds or into a cycle.
+    pub fn wire_decode(r: &mut wirefmt::WireReader<'_>) -> Result<Self, wirefmt::WireError> {
+        let global = Box3 {
+            lo: r.f64x3()?,
+            hi: r.f64x3()?,
+        };
+        let nboxes = r.usize_(true)?;
+        let mut boxes = Vec::with_capacity(nboxes);
+        for _ in 0..nboxes {
+            boxes.push(Box3 {
+                lo: r.f64x3()?,
+                hi: r.f64x3()?,
+            });
+        }
+        let nnodes = r.usize_(true)?;
+        let mut tree = Vec::with_capacity(nnodes);
+        let bad = |what: String| wirefmt::WireError { at: 0, what };
+        for i in 0..nnodes {
+            match r.u8_()? {
+                0 => {
+                    let rank = r.usize_(false)?;
+                    if rank >= nboxes {
+                        return Err(bad(format!("RCB leaf rank {rank} >= {nboxes} boxes")));
+                    }
+                    tree.push(RcbNode::Leaf(rank));
+                }
+                1 => {
+                    let dim = r.usize_(false)?;
+                    let cut = r.f64_()?;
+                    let below = r.usize_(false)?;
+                    let above = r.usize_(false)?;
+                    if dim >= 3 {
+                        return Err(bad(format!("RCB split dim {dim} out of range")));
+                    }
+                    // Children are appended after their parent by `split`,
+                    // so strictly-forward links are both a format invariant
+                    // and the cycle guard for `owner_of`'s descent.
+                    if below <= i || above <= i || below >= nnodes || above >= nnodes {
+                        return Err(bad(format!(
+                            "RCB split node {i} has non-forward children {below}/{above} of {nnodes}"
+                        )));
+                    }
+                    tree.push(RcbNode::Split {
+                        dim,
+                        cut,
+                        below,
+                        above,
+                    });
+                }
+                t => return Err(bad(format!("unknown RCB node tag {t}"))),
+            }
+        }
+        if tree.is_empty() && !boxes.is_empty() {
+            return Err(bad("RCB tree empty but boxes present".to_owned()));
+        }
+        Ok(RcbDecomposition {
+            global,
+            boxes,
+            tree,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -669,5 +769,51 @@ mod tests {
         // One atom, many ranks: every position still resolves to an owner.
         let rcb = RcbDecomposition::build(5, &[[1.0; 3]], &global);
         assert!(rcb.owner_of(&[3.9, 0.1, 2.0]) < 5);
+    }
+
+    #[test]
+    fn rcb_wire_round_trip_is_lossless() {
+        let global = Box3::from_lengths([9.0; 3]);
+        let pts = scatter(300, &global);
+        let rcb = RcbDecomposition::build(7, &pts, &global);
+        let mut bytes = Vec::new();
+        rcb.wire_encode(&mut bytes);
+        let mut r = wirefmt::WireReader::new(&bytes);
+        let back = RcbDecomposition::wire_decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, rcb);
+        for p in &pts {
+            assert_eq!(back.owner_of(p), rcb.owner_of(p));
+        }
+    }
+
+    #[test]
+    fn rcb_wire_decode_rejects_malformed_trees() {
+        let global = Box3::from_lengths([9.0; 3]);
+        let pts = scatter(64, &global);
+        let rcb = RcbDecomposition::build(4, &pts, &global);
+        let mut bytes = Vec::new();
+        rcb.wire_encode(&mut bytes);
+        // Truncation is typed, not a panic.
+        let mut r = wirefmt::WireReader::new(&bytes[..bytes.len() - 3]);
+        assert!(RcbDecomposition::wire_decode(&mut r).is_err());
+        // A self-referential split (cycle) is rejected before owner_of
+        // could ever spin on it: re-encode with the root's children
+        // pointing at itself.
+        let mut hostile = Vec::new();
+        wirefmt::put_f64x3(&mut hostile, &global.lo);
+        wirefmt::put_f64x3(&mut hostile, &global.hi);
+        wirefmt::put_usize(&mut hostile, 1);
+        wirefmt::put_f64x3(&mut hostile, &global.lo);
+        wirefmt::put_f64x3(&mut hostile, &global.hi);
+        wirefmt::put_usize(&mut hostile, 1);
+        wirefmt::put_u8(&mut hostile, 1);
+        wirefmt::put_usize(&mut hostile, 0); // dim
+        wirefmt::put_f64(&mut hostile, 4.5); // cut
+        wirefmt::put_usize(&mut hostile, 0); // below -> itself
+        wirefmt::put_usize(&mut hostile, 0); // above -> itself
+        let mut r = wirefmt::WireReader::new(&hostile);
+        let e = RcbDecomposition::wire_decode(&mut r).unwrap_err();
+        assert!(e.to_string().contains("non-forward"), "{e}");
     }
 }

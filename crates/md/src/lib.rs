@@ -76,6 +76,7 @@ pub mod thermo;
 pub mod thermostat;
 pub mod units;
 pub mod velocity;
+pub mod wirefmt;
 
 pub use atom::Atoms;
 pub use domain::{neighbor_offsets, Decomposition, NeighborOffset};

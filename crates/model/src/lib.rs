@@ -12,6 +12,9 @@
 //!   efficiency (Figs. 13, 14).
 
 #![warn(missing_docs)]
+// Panicking escape hatches are reserved for tests; library paths report
+// failures with a message naming the offending input instead.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 // Dimension loops (`for d in 0..3`) index by physical dimension on fixed
 // [f64; 3] vectors; the index is the semantics, so the iterator rewrite the
 // lint suggests would be less clear.

@@ -8,7 +8,7 @@
 
 use parking_lot::Mutex;
 use std::sync::Arc;
-use tofumd_tofu::{wait_arrivals, Stadd, TofuNet, TNIS_PER_NODE};
+use tofumd_tofu::{try_wait_arrivals, Stadd, TofuError, TofuNet, TNIS_PER_NODE};
 
 /// Per-destination bounce-buffer capacity. Stage traffic into one rank must
 /// fit; the bump allocator panics otherwise (a real MPI would fall back to
@@ -151,41 +151,73 @@ impl Communicator {
 
     /// Blocking receive of one message matching `(src, tag)`. Returns the
     /// payload and advances the receiver clock past arrival + matching +
-    /// bounce-buffer copy.
+    /// bounce-buffer copy. Panics on a shortfall (protocol bug);
+    /// recovery-aware callers use [`Communicator::try_recv`].
     #[must_use]
     pub fn recv(&self, dst: usize, src: usize, tag: u32, now: f64) -> RecvMsg {
+        match self.try_recv(dst, src, tag, now) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Communicator::recv`]: a missing message surfaces
+    /// as [`TofuError::Deadlock`] — or [`TofuError::PeerDead`] when the
+    /// fault plan has killed a rank — instead of panicking.
+    pub fn try_recv(
+        &self,
+        dst: usize,
+        src: usize,
+        tag: u32,
+        now: f64,
+    ) -> Result<RecvMsg, TofuError> {
         let p = *self.net.params();
         let node = self.node_of(dst);
-        let (mut arr, t) = wait_arrivals(&self.net, node, now, 1, |a| {
+        let (mut arr, t) = try_wait_arrivals(&self.net, node, now, 1, |a| {
             a.src_rank == src as u32
                 && a.piggyback == u64::from(tag)
                 && a.stadd == self.mailbox[dst]
-        });
-        // wait_arrivals blocks until `count` matches exist, so one is
+        })?;
+        // try_wait_arrivals errors below `count` matches, so one is
         // always present here.
         let a = arr
             .pop()
-            .unwrap_or_else(|| unreachable!("wait_arrivals(.., 1, ..) returned empty"));
+            .unwrap_or_else(|| unreachable!("try_wait_arrivals(.., 1, ..) returned empty"));
         let data = self.net.read_local(node, a.stadd, a.offset, a.len);
         let now = t + p.mpi_match_cost + p.pack_cost(a.len);
-        RecvMsg {
+        Ok(RecvMsg {
             data,
             src,
             tag,
             now,
             arrival: a.time,
-        }
+        })
     }
 
     /// Receive `count` messages with tag `tag` from any source; returns them
-    /// with the advanced clock.
+    /// with the advanced clock. Panics on a shortfall; recovery-aware
+    /// callers use [`Communicator::try_recv_any`].
     #[must_use]
     pub fn recv_any(&self, dst: usize, tag: u32, count: usize, now: f64) -> (Vec<RecvMsg>, f64) {
+        match self.try_recv_any(dst, tag, count, now) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Communicator::recv_any`].
+    pub fn try_recv_any(
+        &self,
+        dst: usize,
+        tag: u32,
+        count: usize,
+        now: f64,
+    ) -> Result<(Vec<RecvMsg>, f64), TofuError> {
         let p = *self.net.params();
         let node = self.node_of(dst);
-        let (arrs, t) = wait_arrivals(&self.net, node, now, count, |a| {
+        let (arrs, t) = try_wait_arrivals(&self.net, node, now, count, |a| {
             a.piggyback == u64::from(tag) && a.stadd == self.mailbox[dst]
-        });
+        })?;
         let mut clock = t + (p.mpi_match_cost * arrs.len() as f64);
         let msgs = arrs
             .into_iter()
@@ -200,7 +232,7 @@ impl Communicator {
                 }
             })
             .collect();
-        (msgs, clock)
+        Ok((msgs, clock))
     }
 }
 

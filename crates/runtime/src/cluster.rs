@@ -22,6 +22,7 @@ use crate::accounting::{self, SyncBucket};
 use crate::config::RunConfig;
 use crate::driver::{DagPhase, Lane, Phase, PlanMode, StepDag, Team};
 use crate::physics;
+use crate::trace::RecoveryStats;
 use crate::variant::CommVariant;
 use std::sync::Arc;
 use tofumd_core::engine::{GhostEngine, Op, OpStats, RankState};
@@ -33,7 +34,7 @@ use tofumd_md::region::Box3;
 use tofumd_md::thermo::ThermoSnapshot;
 use tofumd_model::StageCosts;
 use tofumd_mpi::Communicator;
-use tofumd_tofu::{FaultCounters, FaultPlan, NetParams, TofuNet};
+use tofumd_tofu::{FaultCounters, FaultPlan, NetParams, TofuError, TofuNet};
 
 pub use crate::accounting::StageBreakdown;
 
@@ -42,6 +43,8 @@ pub use crate::accounting::StageBreakdown;
 // surface. Split out so this file stays the step driver alone.
 #[path = "cluster_build.rs"]
 mod build;
+#[path = "cluster_checkpoint.rs"]
+mod checkpoint_impl;
 #[path = "cluster_rebalance.rs"]
 mod rebalance;
 #[path = "cluster_report.rs"]
@@ -103,6 +106,34 @@ pub struct Cluster {
     pub(crate) rebalance_count: u64,
     /// How timesteps are sequenced (barrier plan or overlap DAG).
     plan_mode: PlanMode,
+    /// The proxy mesh this cluster was built on (needed to restore: the
+    /// [`RankMap`] does not expose its cell grid).
+    pub(crate) proxy_mesh: [u32; 3],
+    /// Auto-checkpoint cadence in steps (0 = manual checkpoints only).
+    /// Checkpoints land at the first reneighbor step at or past the due
+    /// step, so the dump is always at a list-rebuild boundary.
+    pub(crate) checkpoint_every: u64,
+    /// First step at or after which the next auto checkpoint is due.
+    pub(crate) next_checkpoint: u64,
+    /// Where auto checkpoints are written (`restart N <file>`); `None`
+    /// keeps them in memory only.
+    pub(crate) checkpoint_path: Option<std::path::PathBuf>,
+    /// The sealed container bytes of the most recent checkpoint — the
+    /// rollback target when a peer dies.
+    pub(crate) last_checkpoint: Option<Vec<u8>>,
+    /// Set when a communication op surfaced [`TofuError::PeerDead`]
+    /// mid-step; consumed by `run_step`, which aborts the step and runs
+    /// the shrinking recovery.
+    pub(crate) pending_peer_death: Option<u32>,
+    /// The rank a shrinking recovery removed from the run, if any. Its
+    /// lane stays allocated but is skipped by every phase.
+    pub(crate) dead: Option<u32>,
+    /// Checkpoint/recovery counters, surfaced through
+    /// [`Trace::report`](crate::trace::Trace::report).
+    pub(crate) recovery: RecoveryStats,
+    /// True exactly when the current state is a consistent checkpoint
+    /// boundary (end of a reneighbor step, or right after setup/restore).
+    pub(crate) at_rebuild_boundary: bool,
 }
 
 impl Cluster {
@@ -297,16 +328,40 @@ impl Cluster {
 
     /// After a parallel phase region joined, raise the first captured
     /// engine failure. Recoverable faults never reach here (the engines
-    /// absorb them by retry or reliable-stack fallback); anything left is
-    /// a protocol violation a real run could not survive either, so the
-    /// typed context is surfaced as a panic message rather than silently
-    /// corrupting physics.
+    /// absorb them by retry or reliable-stack fallback). A
+    /// [`TofuError::PeerDead`] is the one survivable escalation: it marks
+    /// the dead rank for the shrinking recovery and lets the step driver
+    /// abort the step. Anything else is a protocol violation a real run
+    /// could not survive either, so the typed context is surfaced as a
+    /// panic message rather than silently corrupting physics.
     fn raise_lane_failures(&mut self, op: Op, round: usize, stage: &str) {
         for (rank, lane) in self.lanes.iter_mut().enumerate() {
             if let Some(e) = lane.failed.take() {
+                if let TofuError::PeerDead { rank: dead, .. } = e {
+                    // Every survivor reports the same dead peer; keep the
+                    // first sighting and drain the rest.
+                    if self.pending_peer_death.is_none() {
+                        self.pending_peer_death = Some(dead);
+                    }
+                    continue;
+                }
                 panic!("rank {rank}: {stage}({op:?}, round {round}) failed: {e}");
             }
         }
+    }
+
+    /// Lanes excluded from every communication phase: ranks the fault
+    /// plan has killed by the current fault-context step, plus a rank a
+    /// completed shrinking recovery removed (the plan's kill step is in
+    /// the rolled-back past, so the recovery keeps its own record).
+    fn dead_lanes(&self) -> Vec<u32> {
+        let mut dead = self.net.dead_ranks();
+        if let Some(d) = self.dead {
+            dead.push(d);
+            dead.sort_unstable();
+            dead.dedup();
+        }
+        dead
     }
 
     /// Raise the first typed failure a physics phase recorded (a phase
@@ -322,6 +377,7 @@ impl Cluster {
     fn run_op(&mut self, op: Op) {
         // Key every fault decision this op makes on (step, op).
         self.net.set_fault_context(self.step, op.index() as u8);
+        let dead = self.dead_lanes();
         let rounds = self.lanes[0].engine.rounds(op);
         let barrier = self.lanes[0].engine.barrier_between_rounds();
         // A wrapper that fails to delegate rounds()/barrier_between_rounds()
@@ -337,19 +393,31 @@ impl Cluster {
         );
         for round in 0..rounds {
             self.team
-                .for_each(&mut self.lanes, &mut self.states, &|_, lane, st| {
+                .for_each(&mut self.lanes, &mut self.states, &|rank, lane, st| {
+                    if dead.contains(&(rank as u32)) {
+                        return;
+                    }
                     if let Err(e) = lane.engine.post(op, round, st) {
                         lane.failed = Some(e);
                     }
                 });
             self.raise_lane_failures(op, round, "post");
+            if self.pending_peer_death.is_some() {
+                break;
+            }
             self.team
-                .for_each(&mut self.lanes, &mut self.states, &|_, lane, st| {
+                .for_each(&mut self.lanes, &mut self.states, &|rank, lane, st| {
+                    if dead.contains(&(rank as u32)) {
+                        return;
+                    }
                     if let Err(e) = lane.engine.complete(op, round, st) {
                         lane.failed = Some(e);
                     }
                 });
             self.raise_lane_failures(op, round, "complete");
+            if self.pending_peer_death.is_some() {
+                break;
+            }
             if barrier && round + 1 < rounds {
                 // Stage synchronization of the 3-stage pattern ("an MPI
                 // barrier is mandatory between stages", §3.1), realized by
@@ -397,9 +465,13 @@ impl Cluster {
     /// which its halo went out (the start of the overlap window).
     fn window_post(&mut self, op: Op) {
         self.net.set_fault_context(self.step, op.index() as u8);
+        let dead = self.dead_lanes();
         debug_assert_eq!(self.lanes[0].engine.rounds(op), 1);
         self.team
-            .for_each(&mut self.lanes, &mut self.states, &|_, lane, st| {
+            .for_each(&mut self.lanes, &mut self.states, &|rank, lane, st| {
+                if dead.contains(&(rank as u32)) {
+                    return;
+                }
                 if let Err(e) = lane.engine.post(op, 0, st) {
                     lane.failed = Some(e);
                 }
@@ -416,8 +488,12 @@ impl Cluster {
     /// barrier plan would have waited out, booked into `acc.overlapped`.
     fn window_complete(&mut self, op: Op) {
         self.net.set_fault_context(self.step, op.index() as u8);
+        let dead = self.dead_lanes();
         self.team
-            .for_each(&mut self.lanes, &mut self.states, &|_, lane, st| {
+            .for_each(&mut self.lanes, &mut self.states, &|rank, lane, st| {
+                if dead.contains(&(rank as u32)) {
+                    return;
+                }
                 let c1 = st.clock;
                 st.arrival_horizon = f64::NEG_INFINITY;
                 if let Err(e) = lane.engine.complete(op, 0, st) {
@@ -427,6 +503,10 @@ impl Cluster {
                 lane.acc.overlapped += hidden;
             });
         self.raise_lane_failures(op, 0, "complete");
+        if self.pending_peer_death.is_some() {
+            self.mpi.reset_mailboxes();
+            return;
+        }
         if let Some(mut obs) = self.op_observer.take() {
             obs(op, 0, 1, &self.states);
             self.op_observer = Some(obs);
@@ -558,6 +638,9 @@ impl Cluster {
             self.overlap_eligible() && partitioned,
         );
         for phase in dag.execution_order() {
+            if self.pending_peer_death.is_some() {
+                break;
+            }
             self.run_dag_phase(phase);
         }
     }
@@ -597,7 +680,10 @@ impl Cluster {
     /// (the reference engines are grid-only).
     fn reneighbor_check(&mut self) {
         self.reneighbor_verdict();
-        if self.demoted || !self.cfg.comm.rebalance_check_due(self.step) {
+        // A post-recovery run keeps its shrunken decomposition static:
+        // `run_rebalance` rebuilds full-width graphs, which would
+        // resurrect the dead rank.
+        if self.demoted || self.dead.is_some() || !self.cfg.comm.rebalance_check_due(self.step) {
             return;
         }
         let imbalance = self.atom_imbalance();
@@ -671,8 +757,14 @@ impl Cluster {
                 physics::eam_rho(&self.team, &potential, &mut self.lanes, &mut self.states);
                 self.raise_physics_failures("eam_rho");
                 self.run_op(Op::ReverseScalar);
+                if self.pending_peer_death.is_some() {
+                    return;
+                }
                 physics::eam_embed(&self.team, &potential, &mut self.lanes, &mut self.states);
                 self.run_op(Op::ForwardScalar);
+                if self.pending_peer_death.is_some() {
+                    return;
+                }
                 physics::eam_force(&self.team, &potential, &mut self.lanes, &mut self.states);
                 self.raise_physics_failures("eam_force");
             }
@@ -792,9 +884,13 @@ impl Cluster {
     /// 3-stage reference before the next step.
     pub fn run_step(&mut self) {
         self.step += 1;
+        self.at_rebuild_boundary = false;
         match self.plan_mode {
             PlanMode::Barrier => {
                 for planned in Phase::step_plan(self.reverse_needed) {
+                    if self.pending_peer_death.is_some() {
+                        break;
+                    }
                     if planned.cond.applies(self.rebuild) {
                         self.run_phase(planned.phase);
                     }
@@ -802,9 +898,21 @@ impl Cluster {
             }
             PlanMode::Dag => self.run_step_dag(),
         }
+        // A peer died mid-step: abandon the partial step and roll every
+        // survivor back to the last checkpoint on a shrunken star forest.
+        if let Some(dead) = self.pending_peer_death.take() {
+            self.recover_from_rank_death(dead);
+            return;
+        }
         self.steps_run += 1;
         if !self.demoted && self.lanes.iter().any(|l| l.engine.fallback_requested()) {
             self.demote_to_ref();
+        }
+        if self.rebuild {
+            self.at_rebuild_boundary = true;
+            if self.checkpoint_every > 0 && self.step >= self.next_checkpoint {
+                self.auto_checkpoint();
+            }
         }
     }
 

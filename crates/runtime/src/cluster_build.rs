@@ -271,6 +271,17 @@ impl Cluster {
             rebalance_now: false,
             rebalance_count: 0,
             plan_mode: PlanMode::default(),
+            proxy_mesh,
+            checkpoint_every: 0,
+            next_checkpoint: 0,
+            checkpoint_path: None,
+            last_checkpoint: None,
+            pending_peer_death: None,
+            dead: None,
+            recovery: crate::trace::RecoveryStats::default(),
+            // The setup phases below end at a freshly-built-lists state —
+            // a valid checkpoint boundary.
+            at_rebuild_boundary: true,
         };
         // Setup stage: sort locals into bin order (no ghosts exist yet),
         // then establish ghosts, lists, initial forces.

@@ -1,0 +1,441 @@
+//! Checkpoint/restart and shrinking rank-death recovery. Child module of
+//! [`crate::cluster`].
+//!
+//! Three capabilities live here:
+//!
+//! * **Deterministic checkpoints** — [`Cluster::checkpoint_now`] seals the
+//!   complete run state (per-rank atoms in on-rank order, decomposition,
+//!   counters, clocks, thermo log) into the versioned container of
+//!   [`crate::checkpoint`]. Dumps are only legal at a reneighbor boundary,
+//!   where the neighbor lists are a pure function of the saved positions;
+//!   that is what makes a restore *bit-identical* to the uninterrupted
+//!   run (the lockstep bisector is the verifier).
+//! * **Restore** — [`Cluster::restore_from_bytes`] rebuilds the cluster
+//!   from a container: fresh fabric, the *saved* decomposition's star
+//!   forests, saved atoms, then a Border + list + force replay that lands
+//!   exactly where the original run stood.
+//! * **Shrinking recovery** — when a peer dies mid-step
+//!   ([`TofuError::PeerDead`](tofumd_tofu::TofuError::PeerDead)), the
+//!   survivors roll back to the last checkpoint, re-decompose the *whole*
+//!   system over N−1 ranks with RCB, swap every lane onto the irregular
+//!   MPI p2p engine, and continue. The dead lane stays allocated but is
+//!   skipped by every communication phase. Costs are tracked in
+//!   [`RecoveryStats`] and surface in `Trace::report`.
+
+use super::Cluster;
+use crate::checkpoint::{CheckpointData, CheckpointError, RankDump};
+use crate::config::Decomp;
+use crate::driver::Phase;
+use crate::trace::RecoveryStats;
+use crate::variant::CommVariant;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tofumd_core::engine::{wrap_for_exchange, Op};
+use tofumd_core::mpi_engine::MpiP2p;
+use tofumd_core::topo_map::Placement;
+use tofumd_core::CommGraph;
+use tofumd_md::atom::Atoms;
+use tofumd_md::domain::RcbDecomposition;
+
+/// Fixed virtual-time cost of sealing one checkpoint, charged to every
+/// live rank (the barrier + metadata write), before the per-byte term.
+const CHECKPOINT_BASE_COST: f64 = 1.0e-3;
+
+/// Virtual seconds per container byte — a ~1 GB/s parallel-filesystem
+/// drain, amortized across ranks.
+const CHECKPOINT_BYTE_COST: f64 = 1.0e-9;
+
+impl Cluster {
+    /// Enable auto-checkpointing every `every` steps (LAMMPS
+    /// `restart N <file>` without the file). The dump lands at the first
+    /// reneighbor step at or past each due step. 0 disables.
+    pub fn set_checkpoint_every(&mut self, every: u64) {
+        self.checkpoint_every = every;
+        self.next_checkpoint = if every == 0 { 0 } else { self.step + every };
+    }
+
+    /// Also write every auto checkpoint to `path` (LAMMPS
+    /// `restart N <file>`).
+    pub fn set_checkpoint_path(&mut self, path: impl Into<PathBuf>) {
+        self.checkpoint_path = Some(path.into());
+    }
+
+    /// The sealed container bytes of the most recent checkpoint, if any.
+    #[must_use]
+    pub fn last_checkpoint(&self) -> Option<&[u8]> {
+        self.last_checkpoint.as_deref()
+    }
+
+    /// Checkpoint/recovery counters of this run so far.
+    #[must_use]
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// The rank a shrinking recovery removed, if any.
+    #[must_use]
+    pub fn dead_rank(&self) -> Option<u32> {
+        self.dead
+    }
+
+    /// The current step counter (rewinds to the checkpoint step during a
+    /// shrinking recovery — pair with [`Cluster::run_to`]).
+    #[must_use]
+    pub fn current_step(&self) -> u64 {
+        self.step
+    }
+
+    /// Physical ranks still alive, in rank order. Index in this list is
+    /// the rank's RCB *part* after a shrinking recovery.
+    fn survivors(&self) -> Vec<usize> {
+        (0..self.nranks())
+            .filter(|&r| Some(r as u32) != self.dead)
+            .collect()
+    }
+
+    /// The RCB decomposition currently installed (from any live rank's
+    /// graph — they all share one `Arc`), or `None` on a uniform grid.
+    fn current_rcb(&self) -> Option<RcbDecomposition> {
+        let live = self.survivors();
+        live.first()
+            .and_then(|&r| self.states[r].graph.rcb())
+            .map(|arc| (**arc).clone())
+    }
+
+    /// Snapshot the complete run state into checkpoint data.
+    fn dump(&self) -> CheckpointData {
+        let ranks = self
+            .states
+            .iter()
+            .zip(&self.lanes)
+            .map(|(st, lane)| {
+                let mut atoms = st.atoms.clone();
+                atoms.clear_ghosts();
+                RankDump {
+                    atoms,
+                    clock: st.clock,
+                    comm_time: st.comm_time,
+                    pair_comm_time: st.pair_comm_time,
+                    acc: [
+                        lane.acc.pair,
+                        lane.acc.neigh,
+                        lane.acc.modify,
+                        lane.acc.other,
+                        lane.acc.overlapped,
+                    ],
+                }
+            })
+            .collect();
+        CheckpointData {
+            proxy_mesh: self.proxy_mesh,
+            target_mesh: self.target_mesh,
+            cfg: self.cfg,
+            variant: self.variant,
+            step: self.step,
+            rebuild_count: self.rebuild_count,
+            steps_run: self.steps_run,
+            rebalance_count: self.rebalance_count,
+            checkpoint_every: self.checkpoint_every,
+            next_checkpoint: self.next_checkpoint,
+            thermo_every: self.thermo_every,
+            thermo_log: self.thermo_log.clone(),
+            dead: self.dead,
+            rcb: self.current_rcb(),
+            ranks,
+            recovery: self.recovery,
+        }
+    }
+
+    /// Seal a checkpoint right now. Errors with
+    /// [`CheckpointError::NotCheckpointable`] unless the cluster is at a
+    /// reneighbor boundary (end of a rebuild step, or right after
+    /// setup/restore/recovery) — mid-epoch dumps could not be restored
+    /// bit-identically, so they are refused rather than silently wrong.
+    ///
+    /// Charges every live rank the modeled checkpoint cost (barrier +
+    /// state drain) and returns the container size in bytes.
+    pub fn checkpoint_now(&mut self) -> Result<usize, CheckpointError> {
+        if !self.at_rebuild_boundary {
+            return Err(CheckpointError::NotCheckpointable(format!(
+                "step {} is mid-neighbor-epoch; checkpoints land at reneighbor steps",
+                self.step
+            )));
+        }
+        let bytes = self.dump().to_container();
+        let size = bytes.len();
+        if let Some(path) = &self.checkpoint_path {
+            std::fs::write(path, &bytes)
+                .map_err(|e| CheckpointError::Io(format!("write {}: {e}", path.display())))?;
+        }
+        // Synchronous cost model: every live rank stalls for the barrier
+        // plus its share of the container drain.
+        let cost = CHECKPOINT_BASE_COST + size as f64 * CHECKPOINT_BYTE_COST;
+        let dead = self.dead;
+        for (rank, (st, lane)) in self.states.iter_mut().zip(&mut self.lanes).enumerate() {
+            if Some(rank as u32) == dead {
+                continue;
+            }
+            st.clock += cost;
+            lane.acc.other += cost;
+        }
+        self.recovery.checkpoints += 1;
+        self.recovery.checkpoint_cost += cost;
+        if self.checkpoint_every > 0 {
+            self.next_checkpoint = self.step + self.checkpoint_every;
+        }
+        self.last_checkpoint = Some(bytes);
+        Ok(size)
+    }
+
+    /// Auto-checkpoint hook called by `run_step` at due reneighbor steps.
+    /// Failures here are I/O or logic errors the run cannot continue
+    /// safely past (a later rank death would have no rollback target), so
+    /// they surface as a panic with the typed context.
+    pub(super) fn auto_checkpoint(&mut self) {
+        if let Err(e) = self.checkpoint_now() {
+            panic!("auto checkpoint at step {} failed: {e}", self.step);
+        }
+    }
+
+    /// Run until the step counter reaches `target`. Unlike
+    /// [`Cluster::run`], this is rollback-aware: a mid-run rank death
+    /// rolls the counter back to the last checkpoint, and the loop
+    /// replays the lost steps on the shrunken cluster.
+    pub fn run_to(&mut self, target: u64) {
+        while self.step < target {
+            self.run_step();
+        }
+    }
+
+    /// Rebuild a cluster from sealed container bytes. The restored run
+    /// continues bit-identically to the run that took the checkpoint.
+    pub fn restore_from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let data = CheckpointData::from_container(bytes)?;
+        let mut c = Cluster::build(
+            data.proxy_mesh,
+            data.target_mesh,
+            data.cfg,
+            data.variant,
+            Placement::TopoAware,
+        );
+        if c.nranks() != data.ranks.len() {
+            return Err(CheckpointError::Decode(format!(
+                "checkpoint holds {} ranks but mesh {:?} builds {}",
+                data.ranks.len(),
+                data.proxy_mesh,
+                c.nranks()
+            )));
+        }
+        // Install the *saved* decomposition's star forests (the build
+        // derived its own from the initial lattice, which is wrong after
+        // any rebalance or recovery).
+        if let Some(rcb) = &data.rcb {
+            let rcb = Arc::new(rcb.clone());
+            let r_ghost = c.cfg.ghost_cutoff();
+            match data.dead {
+                None => {
+                    for rank in 0..c.nranks() {
+                        c.states[rank].graph = CommGraph::from_rcb(rank, &rcb, &c.map, r_ghost);
+                    }
+                }
+                Some(d) => {
+                    let survivors: Vec<usize> =
+                        (0..c.nranks()).filter(|&r| r != d as usize).collect();
+                    for (part, &rank) in survivors.iter().enumerate() {
+                        c.states[rank].graph =
+                            CommGraph::from_rcb_mapped(part, &rcb, &c.map, r_ghost, &survivors);
+                    }
+                }
+            }
+        }
+        // Saved atoms (already in post-sort on-rank order — no
+        // SpatialSort on replay), fresh engine caches.
+        for (rank, dump) in data.ranks.iter().enumerate() {
+            let st = &mut c.states[rank];
+            st.atoms = dump.atoms.clone();
+            st.scalar.clear();
+            c.lanes[rank].engine.rebind_graph(st);
+        }
+        c.dead = data.dead;
+        c.net.reset_clocks();
+        c.mpi.reset_mailboxes();
+        // Replay ghosts, lists and forces from the saved positions. At a
+        // reneighbor boundary these are pure functions of the dump, so
+        // the state after this replay is the uninterrupted run's, bit for
+        // bit.
+        c.run_op(Op::Border);
+        c.run_phase(Phase::RebuildLists);
+        c.compute_pair();
+        if c.reverse_needed {
+            c.run_op(Op::Reverse);
+        }
+        // Counters and clocks last: the replay above charged virtual time
+        // that the original run charged at its own rebuild step.
+        for (rank, dump) in data.ranks.iter().enumerate() {
+            let st = &mut c.states[rank];
+            st.clock = dump.clock;
+            st.comm_time = dump.comm_time;
+            st.pair_comm_time = dump.pair_comm_time;
+            let acc = &mut c.lanes[rank].acc;
+            acc.pair = dump.acc[0];
+            acc.neigh = dump.acc[1];
+            acc.modify = dump.acc[2];
+            acc.other = dump.acc[3];
+            acc.overlapped = dump.acc[4];
+        }
+        c.net.reset_clocks();
+        c.step = data.step;
+        c.rebuild_count = data.rebuild_count;
+        c.steps_run = data.steps_run;
+        c.rebalance_count = data.rebalance_count;
+        c.checkpoint_every = data.checkpoint_every;
+        c.next_checkpoint = data.next_checkpoint;
+        c.thermo_every = data.thermo_every;
+        c.thermo_log = data.thermo_log;
+        c.recovery = data.recovery;
+        c.rebuild = false;
+        c.at_rebuild_boundary = true;
+        c.last_checkpoint = Some(bytes.to_vec());
+        Ok(c)
+    }
+
+    /// Read a checkpoint file (LAMMPS `read_restart`) and rebuild the
+    /// cluster from it.
+    pub fn restore_from_file(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+        Self::restore_from_bytes(&bytes)
+    }
+
+    /// Shrinking recovery from the death of physical rank `dead`: roll
+    /// every survivor back to the last checkpoint, re-decompose the whole
+    /// system over the N−1 survivors with RCB, swap every lane onto the
+    /// irregular MPI p2p engine, and rebuild ghosts/lists/forces. The
+    /// step counter rewinds to the checkpoint step; `run_to` replays the
+    /// lost steps. Virtual time does *not* rewind — the gap between the
+    /// death and the rebuilt state is the recovery's MTTR contribution.
+    pub(super) fn recover_from_rank_death(&mut self, dead: u32) {
+        if let Some(prev) = self.dead {
+            panic!(
+                "rank {dead} died at step {} but rank {prev} was already lost; \
+                 surviving more than one rank death is unsupported",
+                self.step
+            );
+        }
+        let bytes = match self.last_checkpoint.clone() {
+            Some(b) => b,
+            None => panic!(
+                "rank {dead} died at step {} with no checkpoint to roll back to \
+                 (enable checkpoints with `restart N <file>` / set_checkpoint_every)",
+                self.step
+            ),
+        };
+        let data = match CheckpointData::from_container(&bytes) {
+            Ok(d) => d,
+            Err(e) => panic!(
+                "rank {dead} died at step {} and the last checkpoint is unreadable: {e}",
+                self.step
+            ),
+        };
+        let step_at_death = self.step;
+        let t_death = self
+            .states
+            .iter()
+            .map(|s| s.clock)
+            .fold(f64::NEG_INFINITY, f64::max);
+        // Drain everything in flight: puts from (or addressed to) the
+        // dead rank must not leak into the replay.
+        for node in 0..self.net.node_count() {
+            let _ = self.net.take_arrivals(node, |_| true);
+        }
+        self.mpi.reset_mailboxes();
+
+        // Re-decompose the checkpointed system over the survivors. The
+        // checkpoint is global state, so the dead rank's atoms are not
+        // lost — they redistribute onto the new cuts like everyone
+        // else's.
+        let survivors: Vec<usize> = (0..self.nranks()).filter(|&r| r != dead as usize).collect();
+        let global = self.global;
+        let wrapped: Vec<Vec<[f64; 3]>> = data
+            .ranks
+            .iter()
+            .map(|d| {
+                (0..d.atoms.nlocal)
+                    .map(|i| wrap_for_exchange(&global, d.atoms.x[i]))
+                    .collect()
+            })
+            .collect();
+        let all: Vec<[f64; 3]> = wrapped.iter().flatten().copied().collect();
+        let rcb = match RcbDecomposition::try_build(survivors.len(), &all, &global) {
+            Ok(r) => Arc::new(r),
+            Err(e) => panic!("recovery at step {step_at_death}: {e}"),
+        };
+        // Deterministic redistribution: checkpoint (rank, slot) order.
+        let mut per_part: Vec<Atoms> = (0..survivors.len()).map(|_| Atoms::default()).collect();
+        for (d, ws) in data.ranks.iter().zip(&wrapped) {
+            for i in 0..d.atoms.nlocal {
+                let part = rcb.owner_of(&ws[i]);
+                per_part[part].push_local(
+                    d.atoms.x[i],
+                    d.atoms.v[i],
+                    d.atoms.typ[i],
+                    d.atoms.tag[i],
+                );
+            }
+        }
+
+        // Every lane moves to the irregular MPI p2p engine — the one
+        // topology that can express N−1 parts. The dead lane gets one
+        // too (engine types must agree for the round bookkeeping) but is
+        // skipped by every phase from here on.
+        self.cfg.comm.decomp = Decomp::Rcb;
+        self.variant = CommVariant::MpiP2p;
+        let r_ghost = self.cfg.ghost_cutoff();
+        for (rank, (st, lane)) in self.states.iter_mut().zip(&mut self.lanes).enumerate() {
+            st.atoms = Atoms::default();
+            st.scalar.clear();
+            lane.engine = Box::new(MpiP2p::new_irregular(self.mpi.clone(), rank));
+            if let Some(part) = survivors.iter().position(|&r| r == rank) {
+                st.atoms = std::mem::take(&mut per_part[part]);
+                st.graph = CommGraph::from_rcb_mapped(part, &rcb, &self.map, r_ghost, &survivors);
+            }
+            lane.engine.rebind_graph(st);
+            lane.part = None;
+            lane.interior_list = None;
+        }
+        self.dead = Some(dead);
+        // Rewind the run counters (not the clocks — elapsed virtual time
+        // is real) and replay the setup on the shrunken forest.
+        self.step = data.step;
+        self.steps_run = data.steps_run;
+        self.rebalance_count = data.rebalance_count;
+        self.thermo_log = data.thermo_log;
+        self.rebuild = false;
+        self.rebalance_now = false;
+        self.force_rebuild = false;
+        self.pending_peer_death = None;
+        self.run_op(Op::Border);
+        self.run_phase(Phase::RebuildLists);
+        self.compute_pair();
+        if self.reverse_needed {
+            self.run_op(Op::Reverse);
+        }
+        self.rebuild_count = data.rebuild_count;
+        self.at_rebuild_boundary = true;
+        let t_after = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| r != dead as usize)
+            .map(|(_, s)| s.clock)
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.recovery.recoveries += 1;
+        self.recovery.steps_lost += step_at_death - data.step;
+        self.recovery.recovery_time += (t_after - t_death).max(0.0);
+        // Reseal immediately: the pre-death checkpoint describes a world
+        // with N ranks and must never be the rollback target again.
+        if let Err(e) = self.checkpoint_now() {
+            panic!("post-recovery checkpoint at step {} failed: {e}", self.step);
+        }
+    }
+}

@@ -93,6 +93,7 @@ impl Cluster {
         let delta = self.op_stats().since(&ops_before);
         trace.comm = crate::trace::comm_rows(&delta, nranks * n as f64);
         trace.set_atom_counts(self.atom_counts());
+        trace.recovery = self.recovery;
         trace
     }
 

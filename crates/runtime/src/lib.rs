@@ -43,6 +43,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod accounting;
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod driver;
@@ -53,6 +54,7 @@ pub mod trace;
 pub mod variant;
 
 pub use accounting::{StageAcc, SyncBucket};
+pub use checkpoint::{CheckpointData, CheckpointError, RankDump};
 pub use cluster::{Cluster, StageBreakdown};
 pub use config::{PotentialKind, RunConfig};
 pub use driver::{DagPhase, Lane, Partition, Phase, PlanMode, StepDag, Team};
@@ -61,5 +63,5 @@ pub use lockstep::{
     AtomDelta, Divergence, DivergenceReport, FaultInjector, LockstepOptions,
 };
 pub use script::{parse_script, ScriptError, ScriptRun};
-pub use trace::{OpCommRow, StepRecord, Trace};
+pub use trace::{OpCommRow, RecoveryStats, StepRecord, Trace};
 pub use variant::CommVariant;

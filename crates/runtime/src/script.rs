@@ -9,7 +9,10 @@
 //! `neighbor`, `neigh_modify`, `comm_style` (brick, tiled),
 //! `comm_modify cutoff`, `balance <thresh> rcb`, `fix ... nve`,
 //! `fix ... balance N <thresh> rcb` (dynamic rebalancing), `timestep`,
-//! `thermo`, and `run`.
+//! `thermo`, `restart N <file>` (periodic checkpoint dumps),
+//! `read_restart <file>` (resume from a checkpoint; the file's embedded
+//! configuration governs, so the usual setup commands become optional),
+//! and `run`.
 
 use crate::config::{CommTuning, Decomp, PotentialKind, RunConfig};
 use tofumd_md::neighbor::RebuildPolicy;
@@ -23,6 +26,13 @@ pub struct ScriptRun {
     pub steps: u64,
     /// `thermo N` output interval (0 = never).
     pub thermo_every: u64,
+    /// `restart N <file>`: dump a checkpoint to `<file>` at every
+    /// reneighbor step at or past each multiple of `N`.
+    pub restart: Option<(u64, String)>,
+    /// `read_restart <file>`: resume from a checkpoint instead of
+    /// building the system from the setup commands. When set, `config`
+    /// holds only defaults — the file's embedded configuration governs.
+    pub read_restart: Option<String>,
     /// Commands that were recognized but intentionally ignored
     /// (e.g. `atom_style atomic`), for diagnostics.
     pub ignored: Vec<String>,
@@ -91,6 +101,8 @@ struct State {
     fix_nve: bool,
     run_steps: Option<u64>,
     thermo_every: u64,
+    restart: Option<(u64, String)>,
+    read_restart: Option<String>,
     ignored: Vec<String>,
 }
 
@@ -339,6 +351,27 @@ pub fn parse_script(text: &str) -> Result<ScriptRun, ScriptError> {
                 st.balance_thresh = Some(parse_balance_thresh(lineno, tok)?);
                 st.comm_style = Some(Decomp::Rcb);
             }
+            "restart" => {
+                // restart N <file>
+                let every: u64 = tokens
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "restart needs an interval"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad restart interval"))?;
+                if every == 0 {
+                    return Err(err(lineno, "restart interval must be positive"));
+                }
+                let file = *tokens
+                    .get(2)
+                    .ok_or_else(|| err(lineno, "restart needs a file name"))?;
+                st.restart = Some((every, file.to_string()));
+            }
+            "read_restart" => {
+                let file = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "read_restart needs a file name"))?;
+                st.read_restart = Some(file.to_string());
+            }
             "run" => {
                 st.run_steps = Some(
                     tokens
@@ -355,6 +388,21 @@ pub fn parse_script(text: &str) -> Result<ScriptRun, ScriptError> {
 }
 
 fn finalize(st: State) -> Result<ScriptRun, ScriptError> {
+    // A resumed run takes its system from the checkpoint file, so the
+    // setup commands (units/region/pair_style/fix nve) become optional —
+    // only `run` itself is still required.
+    if let Some(file) = st.read_restart {
+        return Ok(ScriptRun {
+            config: RunConfig::lj(4_000),
+            steps: st
+                .run_steps
+                .ok_or_else(|| err(0, "script never issued 'run'"))?,
+            thermo_every: st.thermo_every,
+            restart: st.restart,
+            read_restart: Some(file),
+            ignored: st.ignored,
+        });
+    }
     let units = st.units.ok_or_else(|| err(0, "script never set units"))?;
     let (nx, ny, nz) = st
         .region_cells
@@ -447,6 +495,8 @@ fn finalize(st: State) -> Result<ScriptRun, ScriptError> {
             .run_steps
             .ok_or_else(|| err(0, "script never issued 'run'"))?,
         thermo_every: st.thermo_every,
+        restart: st.restart,
+        read_restart: None,
         ignored: st.ignored,
     })
 }
@@ -619,6 +669,44 @@ mod tests {
         let e = parse_script("units lj\nfix 2 all balance 10 bogus rcb\n").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("bogus"), "{e}");
+    }
+
+    #[test]
+    fn restart_command_reaches_the_run() {
+        let s = IN_THREADPOOL_LJ.replace(
+            "fix             1 all nve",
+            "restart 50 lj.restart\nfix 1 all nve",
+        );
+        let run = parse_script(&s).expect("parse");
+        assert_eq!(run.restart, Some((50, "lj.restart".to_string())));
+        assert_eq!(run.read_restart, None);
+    }
+
+    #[test]
+    fn read_restart_needs_no_setup_commands() {
+        let run = parse_script("read_restart lj.restart\nthermo 10\nrun 25\n").expect("parse");
+        assert_eq!(run.read_restart, Some("lj.restart".to_string()));
+        assert_eq!(run.steps, 25);
+        assert_eq!(run.thermo_every, 10);
+        // `run` stays mandatory even for a resumed script.
+        let e = parse_script("read_restart lj.restart\n").unwrap_err();
+        assert!(e.message.contains("run"), "{e}");
+    }
+
+    #[test]
+    fn bad_restart_commands_fail_with_line_numbers() {
+        let e = parse_script("units lj\nrestart 0 x.restart\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("positive"), "{e}");
+        let e = parse_script("units lj\nrestart 50\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("file"), "{e}");
+        let e = parse_script("units lj\nrestart soon x.restart\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("interval"), "{e}");
+        let e = parse_script("units lj\nread_restart\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("file"), "{e}");
     }
 
     #[test]

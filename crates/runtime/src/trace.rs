@@ -114,6 +114,37 @@ pub struct Trace {
     /// Steps at which a mid-run rebalance rebuilt the decomposition.
     #[serde(default)]
     pub rebalance_steps: Vec<u64>,
+    /// Checkpoint and rank-death recovery counters of the traced run.
+    #[serde(default)]
+    pub recovery: RecoveryStats,
+}
+
+/// Checkpoint-cost and shrinking-recovery counters (Table 3's robustness
+/// companion: what surviving a rank death cost in virtual time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Checkpoints taken (auto + manual).
+    pub checkpoints: u64,
+    /// Total virtual time charged for writing checkpoints (per rank).
+    pub checkpoint_cost: f64,
+    /// Rank-death recoveries performed.
+    pub recoveries: u64,
+    /// Timesteps rolled back and replayed across all recoveries.
+    pub steps_lost: u64,
+    /// Virtual time from each death to the end of its recovery, summed.
+    pub recovery_time: f64,
+}
+
+impl RecoveryStats {
+    /// Mean time to recovery in virtual seconds (0 when no recovery ran).
+    #[must_use]
+    pub fn mttr(&self) -> f64 {
+        if self.recoveries == 0 {
+            0.0
+        } else {
+            self.recovery_time / self.recoveries as f64
+        }
+    }
 }
 
 /// Max-over-mean of a per-rank atom distribution; 1.0 when empty or
@@ -306,6 +337,19 @@ impl Trace {
                 out.push_str(&format!("rebalanced at steps {}\n", steps.join(", ")));
             }
         }
+        if self.recovery.checkpoints > 0 || self.recovery.recoveries > 0 {
+            out.push_str(&format!(
+                "checkpoints {} ({:.2}us charged/rank)\n",
+                self.recovery.checkpoints,
+                self.recovery.checkpoint_cost * 1e6
+            ));
+            out.push_str(&format!(
+                "recoveries {}  steps lost {}  virtual-time MTTR {:.2}us\n",
+                self.recovery.recoveries,
+                self.recovery.steps_lost,
+                self.recovery.mttr() * 1e6
+            ));
+        }
         if !self.comm.is_empty() {
             out.push_str(
                 "op          msg/rank/step  atoms/rank/step  bytes/rank/step  max_msg  growth  \
@@ -466,6 +510,27 @@ mod tests {
         assert!(rep.contains("worst 1.340 @step 2"), "{rep}");
         assert!(rep.contains("final 1.020 @step 3"), "{rep}");
         assert!(rep.contains("rebalanced at steps 3"), "{rep}");
+    }
+
+    #[test]
+    fn recovery_stats_render_and_compute_mttr() {
+        let mut t = Trace::default();
+        t.push(rec(1, 4e-6, false));
+        assert!(!t.report().contains("recoveries"), "silent when unused");
+        t.recovery = RecoveryStats {
+            checkpoints: 3,
+            checkpoint_cost: 6e-6,
+            recoveries: 2,
+            steps_lost: 14,
+            recovery_time: 8e-6,
+        };
+        assert!((t.recovery.mttr() - 4e-6).abs() < 1e-18);
+        assert_eq!(RecoveryStats::default().mttr(), 0.0);
+        let rep = t.report();
+        assert!(rep.contains("checkpoints 3"), "{rep}");
+        assert!(rep.contains("recoveries 2"), "{rep}");
+        assert!(rep.contains("steps lost 14"), "{rep}");
+        assert!(rep.contains("MTTR 4.00us"), "{rep}");
     }
 
     #[test]

@@ -284,6 +284,115 @@ fn edge_keyed_faults_are_absorbed_on_rcb_graphs() {
     assert_eq!(state_fingerprint(&clean), state_fingerprint(&faulty));
 }
 
+/// Rank death on an RCB LJ run: the kill escalates as a typed `PeerDead`
+/// (not a deadlock), the survivors roll back to the last checkpoint,
+/// re-decompose over N−1 ranks and finish the run, with the recovery
+/// accounted in `Trace::report`.
+#[test]
+fn rank_death_rolls_back_and_recovers_on_survivors() {
+    let cfg = RunConfig {
+        comm: tofumd_runtime::config::CommTuning {
+            decomp: tofumd_runtime::config::Decomp::Rcb,
+            density_gradient: 0.5,
+            ..tofumd_runtime::config::CommTuning::default()
+        },
+        ..RunConfig::lj(4_000)
+    };
+    let plan =
+        FaultPlan::new().with_rule(FaultRule::any(FaultKind::KillRank { step: 30, rank: 17 }));
+    let mut c = Cluster::with_fault_plan(MESH, cfg, CommVariant::MpiP2p, plan);
+    let natoms = c.natoms();
+    c.set_thermo_every(5);
+    c.set_checkpoint_every(10);
+    c.run_to(60);
+
+    assert_eq!(c.dead_rank(), Some(17), "the kill must have been recovered");
+    assert_eq!(c.current_step(), 60, "the shrunken run must finish");
+    assert_eq!(c.nranks(), 48, "lanes stay allocated; one is just dead");
+    assert_eq!(
+        c.states()[17].atoms.nlocal,
+        0,
+        "the dead rank must own nothing after recovery"
+    );
+    assert_eq!(
+        c.natoms(),
+        natoms,
+        "every atom (including the dead rank's) must survive via the checkpoint"
+    );
+    let stats = c.recovery_stats();
+    assert_eq!(stats.recoveries, 1);
+    assert!(
+        stats.steps_lost > 0 && stats.steps_lost <= 30,
+        "rollback must lose the steps since the checkpoint: {stats:?}"
+    );
+    assert!(stats.recovery_time > 0.0, "MTTR must be visible: {stats:?}");
+    assert!(stats.checkpoints >= 2, "pre-kill + post-recovery reseal");
+
+    // Physics stays sane across the shrink: the recovered run's total
+    // energy matches an undisturbed N-rank twin to fp-noise precision —
+    // the N−1 summation order only perturbs the bits, not the physics.
+    let mut clean = Cluster::new(MESH, cfg, CommVariant::MpiP2p);
+    clean.run_to(60);
+    let (e, e_clean) = (
+        {
+            let t = c.thermo();
+            t.pe + t.ke
+        },
+        {
+            let t = clean.thermo();
+            t.pe + t.ke
+        },
+    );
+    let diff = (e - e_clean).abs() / e_clean.abs();
+    assert!(
+        diff < 1e-6,
+        "energy diff {diff} (clean {e_clean}, recovered {e})"
+    );
+
+    let report = c.run_traced(2).report();
+    assert!(
+        report.contains("recoveries 1") && report.contains("steps lost"),
+        "recovery must surface in the trace report:\n{report}"
+    );
+}
+
+/// The same kill on a *grid* run under the uTofu-optimized engine: every
+/// variant escalates `PeerDead`, and recovery lands the survivors on the
+/// one topology that can express N−1 parts — RCB over the irregular MPI
+/// p2p engine.
+#[test]
+fn rank_death_on_grid_engines_shrinks_onto_rcb() {
+    let plan =
+        FaultPlan::new().with_rule(FaultRule::any(FaultKind::KillRank { step: 25, rank: 5 }));
+    let cfg = RunConfig::lj(4_000);
+    let mut c = Cluster::with_fault_plan(MESH, cfg, CommVariant::Opt, plan);
+    let natoms = c.natoms();
+    c.set_checkpoint_every(10);
+    c.run_to(40);
+
+    assert_eq!(c.dead_rank(), Some(5));
+    assert_eq!(c.current_step(), 40);
+    assert_eq!(
+        c.variant(),
+        CommVariant::MpiP2p,
+        "recovery must swap the whole cluster onto the irregular engine"
+    );
+    assert!(!c.demoted(), "recovery is not the demotion path");
+    assert_eq!(c.natoms(), natoms);
+    assert_eq!(c.recovery_stats().recoveries, 1);
+}
+
+/// A kill with no checkpoint to roll back to is a hard, *typed* stop —
+/// the panic names the missing checkpoint, not a deadlock or a poisoned
+/// lock.
+#[test]
+#[should_panic(expected = "no checkpoint to roll back to")]
+fn rank_death_without_checkpoint_names_the_gap() {
+    let plan = FaultPlan::new().with_rule(FaultRule::any(FaultKind::KillRank { step: 3, rank: 1 }));
+    let mut c = Cluster::with_fault_plan(MESH, RunConfig::lj(4_000), CommVariant::MpiP2p, plan);
+    c.run(10);
+}
+
 /// Drop and duplicate faults keyed to the *rebalance* step's migration
 /// exchange: the owner-directed migration over the freshly swapped graph
 /// rides the reliable MPI transport, so injected faults are absorbed

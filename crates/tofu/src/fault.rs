@@ -79,6 +79,16 @@ pub enum FaultKind {
         /// How many allocation attempts per `(node, tni)` to reject.
         times: u32,
     },
+    /// From the start of `step` on, `rank` is dead: it services no puts
+    /// and posts none. Peers that wait on it observe a receive shortfall
+    /// that escalates to [`TofuError::PeerDead`] instead of a deadlock.
+    /// Rule key fields are ignored — the kind carries its own coordinates.
+    KillRank {
+        /// First step at which the rank is dead.
+        step: u64,
+        /// The rank that dies.
+        rank: u32,
+    },
 }
 
 /// One explicit fault rule: wildcard-matchable key plus a [`FaultKind`].
@@ -262,7 +272,9 @@ impl FaultPlan {
                         FaultAction::Truncate(cut.min(len))
                     });
                 }
-                FaultKind::FailRegistration { .. } | FaultKind::ExhaustCq { .. } => continue,
+                FaultKind::FailRegistration { .. }
+                | FaultKind::ExhaustCq { .. }
+                | FaultKind::KillRank { .. } => continue,
             }
         }
         let s = self.seeded?;
@@ -321,6 +333,32 @@ impl FaultPlan {
             }
         }
         false
+    }
+
+    /// Ranks dead at `step`: every [`FaultKind::KillRank`] whose kill step
+    /// has been reached. Sorted and deduplicated. Pure in (plan, step).
+    #[must_use]
+    pub fn dead_ranks(&self, step: u64) -> Vec<u32> {
+        let mut dead: Vec<u32> = self
+            .rules
+            .iter()
+            .filter_map(|r| match r.kind {
+                FaultKind::KillRank { step: s, rank } if s <= step => Some(rank),
+                _ => None,
+            })
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+
+    /// True when the plan contains any [`FaultKind::KillRank`] rule,
+    /// regardless of its kill step.
+    #[must_use]
+    pub fn has_kill_rules(&self) -> bool {
+        self.rules
+            .iter()
+            .any(|r| matches!(r.kind, FaultKind::KillRank { .. }))
     }
 }
 
@@ -404,6 +442,17 @@ pub enum TofuError {
         /// Arrivals actually queued.
         found: usize,
     },
+    /// A receive stage came up short because a peer rank is dead — the
+    /// recoverable escalation of what would otherwise be a deadlock.
+    /// Survivors roll back to a checkpoint and rebuild over N−1 ranks.
+    PeerDead {
+        /// The waiting node.
+        node: usize,
+        /// The dead rank.
+        rank: u32,
+        /// The step at which the rank died.
+        step: u64,
+    },
     /// A physics phase ran before the per-rank state it consumes was built
     /// (e.g. a force pass before the neighbor list) — a driver sequencing
     /// bug, reported instead of panicking mid-phase.
@@ -461,6 +510,10 @@ impl std::fmt::Display for TofuError {
                 f,
                 "deadlock: node {node} expected {expected} arrivals, found {found}"
             ),
+            TofuError::PeerDead { node, rank, step } => write!(
+                f,
+                "peer rank {rank} dead since step {step}: node {node} will never receive from it"
+            ),
             TofuError::PhaseOrder {
                 node,
                 phase,
@@ -497,6 +550,8 @@ pub struct FaultCounters {
     pub reg_failures: u64,
     /// CQ allocations rejected.
     pub cq_rejections: u64,
+    /// Ranks killed (counted once per rank when its kill step arrives).
+    pub kills: u64,
 }
 
 impl FaultCounters {
@@ -509,6 +564,7 @@ impl FaultCounters {
             + self.truncations
             + self.reg_failures
             + self.cq_rejections
+            + self.kills
     }
 }
 
@@ -627,6 +683,23 @@ mod tests {
             plan.decide_put(&key(0, 0), 0, 64, 0),
             Some(FaultAction::Truncate(4))
         );
+    }
+
+    #[test]
+    fn kill_rules_never_fault_puts_and_report_dead_ranks() {
+        let plan = FaultPlan::new()
+            .with_rule(FaultRule::any(FaultKind::KillRank { step: 5, rank: 3 }))
+            .with_rule(FaultRule::any(FaultKind::KillRank { step: 9, rank: 1 }))
+            .with_rule(FaultRule::any(FaultKind::KillRank { step: 9, rank: 1 }));
+        // Kill rules are not put faults: the message path stays clean.
+        assert_eq!(plan.decide_put(&key(5, 3), 0, 96, 0), None);
+        assert!(!plan.decide_registration(&key(5, 3), 0));
+        assert!(!plan.decide_cq(&key(5, 3), 0));
+        assert!(plan.has_kill_rules());
+        assert!(plan.dead_ranks(4).is_empty());
+        assert_eq!(plan.dead_ranks(5), vec![3]);
+        assert_eq!(plan.dead_ranks(9), vec![1, 3], "sorted and deduped");
+        assert!(!FaultPlan::new().has_kill_rules());
     }
 
     #[test]

@@ -59,6 +59,8 @@ struct FaultState {
     reg_failures: HashMap<usize, u32>,
     /// Rejected CQ allocations so far, per `(node, tni)`.
     cq_failures: HashMap<(usize, usize), u32>,
+    /// Ranks whose kill has already been tallied in `counters.kills`.
+    counted_kills: Vec<u32>,
 }
 
 impl FaultState {
@@ -70,6 +72,7 @@ impl FaultState {
             counters: FaultCounters::default(),
             reg_failures: HashMap::new(),
             cq_failures: HashMap::new(),
+            counted_kills: Vec::new(),
         }
     }
 }
@@ -172,6 +175,50 @@ impl TofuNet {
         let mut fs = self.fault.lock();
         fs.step = step;
         fs.op = op;
+        if fs.plan.has_kill_rules() {
+            for rank in fs.plan.dead_ranks(step) {
+                if !fs.counted_kills.contains(&rank) {
+                    fs.counted_kills.push(rank);
+                    fs.counters.kills += 1;
+                }
+            }
+        }
+    }
+
+    /// The lowest-numbered rank dead at the current fault-context step,
+    /// if any. Pure in (plan, stamped step).
+    #[must_use]
+    pub fn first_dead_rank(&self) -> Option<u32> {
+        let fs = self.fault.lock();
+        fs.plan.dead_ranks(fs.step).first().copied()
+    }
+
+    /// All ranks dead at the current fault-context step (sorted).
+    #[must_use]
+    pub fn dead_ranks(&self) -> Vec<u32> {
+        let fs = self.fault.lock();
+        fs.plan.dead_ranks(fs.step)
+    }
+
+    /// Classify a receive shortfall on `node`: [`TofuError::PeerDead`]
+    /// when a rank is dead at the current step (the missing arrivals will
+    /// never come — recoverable by shrinking), else the protocol-bug
+    /// [`TofuError::Deadlock`].
+    #[must_use]
+    pub fn shortfall_error(&self, node: usize, expected: usize, found: usize) -> TofuError {
+        let fs = self.fault.lock();
+        if let Some(&rank) = fs.plan.dead_ranks(fs.step).first() {
+            return TofuError::PeerDead {
+                node,
+                rank,
+                step: fs.step,
+            };
+        }
+        TofuError::Deadlock {
+            node,
+            expected,
+            found,
+        }
     }
 
     /// Totals of every fault injected so far.

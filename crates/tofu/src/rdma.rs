@@ -224,7 +224,9 @@ pub fn wait_arrivals(
 
 /// Fallible form of [`wait_arrivals`]: a shortfall returns
 /// [`TofuError::Deadlock`] instead of panicking, so engines can surface
-/// the protocol violation as a typed error.
+/// the protocol violation as a typed error — or [`TofuError::PeerDead`]
+/// when the active fault plan has killed a rank at the current step (the
+/// missing arrivals will never come; survivors can shrink and recover).
 pub fn try_wait_arrivals(
     net: &TofuNet,
     node: usize,
@@ -234,11 +236,7 @@ pub fn try_wait_arrivals(
 ) -> Result<(Vec<Arrival>, f64), TofuError> {
     let arrivals = net.take_arrivals(node, pred);
     if arrivals.len() < count {
-        return Err(TofuError::Deadlock {
-            node,
-            expected: count,
-            found: arrivals.len(),
-        });
+        return Err(net.shortfall_error(node, count, arrivals.len()));
     }
     let latest = arrivals
         .iter()
@@ -436,6 +434,35 @@ mod tests {
                 found: 0
             }
         );
+    }
+
+    #[test]
+    fn shortfall_with_a_dead_rank_escalates_to_peer_dead() {
+        use crate::fault::{FaultKind, FaultPlan, FaultRule};
+        let net = net();
+        net.set_fault_plan(
+            FaultPlan::new().with_rule(FaultRule::any(FaultKind::KillRank { step: 4, rank: 2 })),
+        );
+        // Before the kill step a shortfall is still a protocol bug.
+        net.set_fault_context(3, 1);
+        let err = try_wait_arrivals(&net, 0, 0.0, 1, |_| true).unwrap_err();
+        assert!(matches!(err, TofuError::Deadlock { .. }), "{err}");
+        // From the kill step on, the same shortfall names the dead peer.
+        net.set_fault_context(4, 1);
+        let err = try_wait_arrivals(&net, 0, 0.0, 1, |_| true).unwrap_err();
+        assert_eq!(
+            err,
+            TofuError::PeerDead {
+                node: 0,
+                rank: 2,
+                step: 4
+            }
+        );
+        assert_eq!(net.fault_counters().kills, 1, "kill counted once");
+        net.set_fault_context(5, 2);
+        assert_eq!(net.fault_counters().kills, 1, "not re-counted per step");
+        assert_eq!(net.dead_ranks(), vec![2]);
+        assert_eq!(net.first_dead_rank(), Some(2));
     }
 
     #[test]

@@ -30,7 +30,21 @@ fn main() {
         println!("  (ignored: {line})");
     }
 
-    let mut cluster = Cluster::proxy([4, 3, 2], [8, 12, 8], run.config, CommVariant::Opt);
+    // `read_restart` resumes from a checkpoint (its embedded config
+    // governs); otherwise the setup commands build the system.
+    let mut cluster = match &run.read_restart {
+        Some(file) => {
+            let c = Cluster::restore_from_file(std::path::Path::new(file))
+                .unwrap_or_else(|e| panic!("read_restart {file}: {e}"));
+            println!("resumed from {file} at step {}", c.current_step());
+            c
+        }
+        None => Cluster::proxy([4, 3, 2], [8, 12, 8], run.config, CommVariant::Opt),
+    };
+    if let Some((every, file)) = &run.restart {
+        cluster.set_checkpoint_every(*every);
+        cluster.set_checkpoint_path(file);
+    }
     println!(
         "\nrunning on the simulated 768-node machine ({} proxy ranks)...",
         cluster.nranks()

@@ -7,7 +7,7 @@
 //! radial distribution function and mean-squared displacement, and writes
 //! an extended-XYZ trajectory.
 //!
-//!     cargo run --release --example silicon_melt [-- --hot] [--rcb] [--rebalance]
+//!     cargo run --release --example silicon_melt [-- --hot] [--rcb] [--rebalance] [--kill-rank]
 //!
 //! Default run holds 800 K (solid); `--hot` drives 3500 K (melt) — watch
 //! the RDF second shell wash out and the MSD turn diffusive. `--rcb`
@@ -16,7 +16,11 @@
 //! bisection, with the per-rank atom imbalance of both. `--rebalance`
 //! appends a dynamic-balancing study: the ramped melt drifts mass off the
 //! step-0 cuts, and `fix balance 40 1.05 rcb` keeps cutting the imbalance
-//! back down while a static decomposition only degrades.
+//! back down while a static decomposition only degrades. `--kill-rank`
+//! appends a fault-tolerance study: one rank dies mid-melt, the survivors
+//! roll back to the last checkpoint, re-cut the system over N−1 ranks and
+//! finish the run (self-asserting: every atom survives and the final
+//! energy matches an undisturbed twin).
 
 use tofumd::md::{lattice::FccLattice, neighbor::RebuildPolicy, units::UnitSystem, velocity};
 use tofumd::md::{thermostat::Berendsen, Atoms, Msd, Potential, Rdf, SerialSim, StillingerWeber};
@@ -111,6 +115,63 @@ fn rebalance_study() {
     assert!(dlast.1 < flast.1, "rebalancing must end better balanced");
 }
 
+fn kill_rank_study() {
+    use tofumd::tofu::{FaultKind, FaultPlan, FaultRule};
+    println!("\nRank-death study: SW silicon on RCB, 48 ranks, rank 17 dies at step 30");
+    let cfg = RunConfig {
+        comm: CommTuning {
+            decomp: Decomp::Rcb,
+            density_gradient: 0.6,
+            ..CommTuning::default()
+        },
+        ..RunConfig::sw(4_000)
+    };
+    let plan =
+        FaultPlan::new().with_rule(FaultRule::any(FaultKind::KillRank { step: 30, rank: 17 }));
+    let mut faulty = Cluster::with_fault_plan([2, 3, 2], cfg, CommVariant::MpiP2p, plan);
+    let natoms = faulty.natoms();
+    faulty.set_checkpoint_every(10); // LAMMPS: restart 10 <file>
+    faulty.run_to(60);
+    let trace = faulty.run_traced(2);
+    print!("{}", trace.report());
+
+    let stats = faulty.recovery_stats();
+    println!(
+        "recovered: rank {} removed, {} steps replayed, MTTR {:.2}us virtual",
+        faulty.dead_rank().map_or(-1, i64::from),
+        stats.steps_lost,
+        stats.mttr() * 1e6
+    );
+    assert_eq!(
+        faulty.dead_rank(),
+        Some(17),
+        "the kill must trigger recovery"
+    );
+    assert_eq!(stats.recoveries, 1);
+    assert_eq!(faulty.natoms(), natoms, "atoms lost in the shrink");
+    assert_eq!(
+        faulty.states()[17].atoms.nlocal,
+        0,
+        "dead rank still owns atoms"
+    );
+
+    // The shrunken run's physics must match an undisturbed 48-rank twin
+    // to fp-noise precision (summation order differs, the trajectory
+    // does not).
+    let mut clean = Cluster::new([2, 3, 2], cfg, CommVariant::MpiP2p);
+    clean.run_to(62);
+    faulty.run_to(62);
+    let (ef, ec) = (faulty.thermo(), clean.thermo());
+    let diff = ((ef.pe + ef.ke) - (ec.pe + ec.ke)).abs() / (ec.pe + ec.ke).abs();
+    println!(
+        "final energy: clean {:.6}, recovered {:.6} (rel diff {diff:.2e})",
+        ec.pe + ec.ke,
+        ef.pe + ef.ke
+    );
+    assert!(diff < 1e-6, "recovered physics drifted: {diff}");
+    println!("kill-rank study passed: N-1 recovery is physics-faithful");
+}
+
 fn main() {
     let hot = std::env::args().any(|a| a == "--hot");
     let t_target = if hot { 3500.0 } else { 800.0 };
@@ -191,5 +252,8 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--rebalance") {
         rebalance_study();
+    }
+    if std::env::args().any(|a| a == "--kill-rank") {
+        kill_rank_study();
     }
 }
