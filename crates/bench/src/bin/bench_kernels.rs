@@ -12,7 +12,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::time::Instant;
-use tofumd_md::kernels::PairScratch;
+use tofumd_md::kernels::{KernelMode, PairScratch};
 use tofumd_md::lattice::FccLattice;
 use tofumd_md::neighbor::{sort_locals_by_bin, CellBins, ListKind, NeighborList};
 use tofumd_md::potential::{EamCu, LjCut, ManyBodyPotential, PairPotential};
@@ -196,6 +196,76 @@ fn main() {
                 eam.compute_force_chunked(&mut eam_atoms, &eam_list, &fp, &exec, &mut scratch);
             }),
         );
+    }
+
+    // Scaling curves: scalar vs lane-blocked chunked kernels at three
+    // system sizes. The curves compare kernel implementations, not pool
+    // scaling, so they run on the serial chunk executor — on a machine
+    // with fewer cores than the pool has workers, pool scheduling noise
+    // would swamp the kernel-level signal. The curve shape (not just one
+    // point) is the perf-regression baseline: CI bands every row by
+    // name, so each curve point is held to the -10% band independently.
+    {
+        let lj_blocked = LjCut::lammps_bench().with_kernel_mode(KernelMode::Blocked);
+        let eam_blocked = EamCu::lammps_bench().with_kernel_mode(KernelMode::Blocked);
+        let exec = ChunkExec::Serial;
+        for (nx, ny, nz) in [(8usize, 8usize, 8usize), (16, 16, 16), (32, 32, 16)] {
+            let natoms = 4 * nx * ny * nz;
+            // Larger systems amortize per-iteration cost; fewer samples
+            // keep the smoke run quick. The floor stays high enough that
+            // the median is stable against scheduler noise.
+            let curve_iters = (iters * 2048 / natoms).max(15);
+
+            let (bx, pos) = lat.build(nx, ny, nz);
+            let l = bx.lengths();
+            let mut atoms = Atoms::from_positions(pos, 1);
+            sort_locals_by_bin(&mut atoms, [0.0; 3], l, 2.5 + 0.3);
+            let list = NeighborList::build(&atoms, [0.0; 3], l, ListKind::HalfNewton, 2.5, 0.3);
+            let mut scratch = PairScratch::new();
+            for (tag, pot) in [("scalar", &lj), ("blocked", &lj_blocked)] {
+                push(
+                    &format!("lj_{tag}_n{natoms}"),
+                    natoms,
+                    time_median(curve_iters, || {
+                        atoms.zero_forces();
+                        pot.compute_chunked(&mut atoms, &list, &exec, &mut scratch);
+                    }),
+                );
+            }
+
+            let (cbx, cpos) = cu.build(nx, ny, nz);
+            let cl = cbx.lengths();
+            let mut eam_atoms = Atoms::from_positions(cpos, 1);
+            sort_locals_by_bin(&mut eam_atoms, [0.0; 3], cl, 4.95 + 1.0);
+            let eam_list =
+                NeighborList::build(&eam_atoms, [0.0; 3], cl, ListKind::HalfNewton, 4.95, 1.0);
+            let mut rho = Vec::new();
+            let mut fp = Vec::new();
+            for (tag, pot) in [("scalar", &eam), ("blocked", &eam_blocked)] {
+                push(
+                    &format!("eam_{tag}_n{natoms}"),
+                    natoms,
+                    time_median(curve_iters, || {
+                        eam_atoms.zero_forces();
+                        pot.compute_rho_chunked(
+                            &eam_atoms,
+                            &eam_list,
+                            &mut rho,
+                            &exec,
+                            &mut scratch,
+                        );
+                        pot.compute_embedding_chunked(&eam_atoms, &rho, &mut fp, &exec);
+                        pot.compute_force_chunked(
+                            &mut eam_atoms,
+                            &eam_list,
+                            &fp,
+                            &exec,
+                            &mut scratch,
+                        );
+                    }),
+                );
+            }
+        }
     }
 
     // Energy sanity against the serial twin kernels: the chunked passes

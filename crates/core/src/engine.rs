@@ -97,6 +97,12 @@ pub struct CommStats {
     /// Receive-buffer overwrites detected (a newer sequence landed on an
     /// unconsumed round-robin slot).
     pub overwrites: u64,
+    /// Send-side staging bytes: payload bytes that passed through an
+    /// intermediate CPU copy before reaching the transport. The zero-copy
+    /// wire path serializes straight into a registered region and counts
+    /// nothing here — the acceptance signal that the copy is really gone.
+    #[serde(default)]
+    pub bytes_copied: u64,
 }
 
 impl CommStats {
@@ -105,6 +111,11 @@ impl CommStats {
         self.messages += 1;
         self.bytes += bytes as u64;
         self.max_msg_bytes = self.max_msg_bytes.max(bytes as u64);
+    }
+
+    /// Count `bytes` staged through an intermediate send-side copy.
+    pub fn copied(&mut self, bytes: usize) {
+        self.bytes_copied += bytes as u64;
     }
 
     /// Transport-anomaly total: everything that is not plain traffic.
@@ -124,6 +135,7 @@ impl CommStats {
         self.fallback_sends += other.fallback_sends;
         self.dup_drops += other.dup_drops;
         self.overwrites += other.overwrites;
+        self.bytes_copied += other.bytes_copied;
     }
 
     /// Counter-wise difference against an earlier reading of the same
@@ -139,6 +151,7 @@ impl CommStats {
             fallback_sends: self.fallback_sends - earlier.fallback_sends,
             dup_drops: self.dup_drops - earlier.dup_drops,
             overwrites: self.overwrites - earlier.overwrites,
+            bytes_copied: self.bytes_copied - earlier.bytes_copied,
         }
     }
 }
@@ -164,6 +177,11 @@ impl OpStats {
     /// Count one message of `bytes` bytes under `(op, round)`.
     pub fn count(&mut self, op: Op, round: usize, bytes: usize) {
         self.slot(op, round).count(bytes);
+    }
+
+    /// Count `bytes` staged through a send-side copy under `(op, round)`.
+    pub fn copied(&mut self, op: Op, round: usize, bytes: usize) {
+        self.slot(op, round).copied(bytes);
     }
 
     /// Record one dynamic buffer-growth event under `(op, round)`.
@@ -524,7 +542,14 @@ mod tests {
         s.count(Op::Forward, 0, 300);
         s.count(Op::Exchange, 2, 50);
         s.growth(Op::Border, 1);
+        s.copied(Op::Forward, 0, 400);
         assert_eq!(s.op_total(Op::Forward).messages, 2);
+        assert_eq!(s.op_total(Op::Forward).bytes_copied, 400);
+        assert_eq!(
+            s.op_total(Op::Reverse).bytes_copied,
+            0,
+            "zero-copy ops stay at zero"
+        );
         assert_eq!(s.op_total(Op::Forward).max_msg_bytes, 300);
         assert_eq!(s.rounds_of(Op::Exchange).len(), 3);
         assert_eq!(s.rounds_of(Op::Exchange)[2].bytes, 50);

@@ -84,6 +84,7 @@ impl MpiThreeStage {
         now += p.pack_cost(bytes);
         for (dir, payload) in payloads.iter().enumerate() {
             self.stats.count(op, round, payload.len() * 8);
+            self.stats.copied(op, round, payload.len() * 8);
             self.comm.send(
                 self.me,
                 self.links[dim][dir].rank,
@@ -318,6 +319,7 @@ impl MpiP2p {
         let mut now = st.clock + p.pack_cost(bytes);
         for (k, payload) in payloads.iter().enumerate() {
             self.stats.count(op, round, payload.len() * 8);
+            self.stats.copied(op, round, payload.len() * 8);
             let edge = if to_recv_side {
                 &st.graph.recv[k]
             } else {
@@ -431,6 +433,7 @@ impl GhostEngine for MpiP2p {
                 let mut now = st.clock + p.pack_cost(bytes);
                 for (dir, payload) in payloads.iter().enumerate() {
                     self.stats.count(op, round, payload.len() * 8);
+                    self.stats.copied(op, round, payload.len() * 8);
                     let link = *st.graph.face_link(dim, dir);
                     self.comm.send(
                         self.me,
@@ -453,6 +456,7 @@ impl GhostEngine for MpiP2p {
                 let mut now = st.clock + p.pack_cost(bytes);
                 for (peer, payload) in peers.iter().zip(&payloads) {
                     self.stats.count(op, round, payload.len() * 8);
+                    self.stats.copied(op, round, payload.len() * 8);
                     self.comm.send(
                         self.me,
                         peer.rank,

@@ -70,15 +70,28 @@ impl P2pGhosts {
     /// Pack current positions of send list `k` (forward stage).
     #[must_use]
     pub fn pack_forward(&self, st: &RankState, k: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.forward_f64s(k));
+        self.pack_forward_into(st, k, &mut out);
+        out
+    }
+
+    /// Stream send list `k`'s positions into any [`wire::F64Sink`] — the
+    /// zero-copy path points this at a `CombinedWriter` over a registered
+    /// send region; the staged path at a `Vec`. Same values, same order.
+    pub fn pack_forward_into(&self, st: &RankState, k: usize, out: &mut impl wire::F64Sink) {
         let link = &st.graph.send[k];
-        let mut out = Vec::with_capacity(self.send_lists[k].len() * 3);
         for &i in &self.send_lists[k] {
             let x = st.atoms.x[i as usize];
-            out.push(x[0] + link.shift[0]);
-            out.push(x[1] + link.shift[1]);
-            out.push(x[2] + link.shift[2]);
+            out.put_f64(x[0] + link.shift[0]);
+            out.put_f64(x[1] + link.shift[1]);
+            out.put_f64(x[2] + link.shift[2]);
         }
-        out
+    }
+
+    /// Payload size (f64s) of `pack_forward` for send edge `k`.
+    #[must_use]
+    pub fn forward_f64s(&self, k: usize) -> usize {
+        self.send_lists[k].len() * 3
     }
 
     /// Write received positions into ghost segment `k`.
@@ -93,13 +106,23 @@ impl P2pGhosts {
     /// Pack ghost forces of segment `k` (reverse stage: back to the owner).
     #[must_use]
     pub fn pack_reverse(&self, st: &RankState, k: usize) -> Vec<f64> {
-        let (start, count) = self.ghost_seg[k];
-        let mut out = Vec::with_capacity(count * 3);
-        for g in 0..count {
-            let f = st.atoms.f[start + g];
-            out.extend_from_slice(&f);
-        }
+        let mut out = Vec::with_capacity(self.reverse_f64s(k));
+        self.pack_reverse_into(st, k, &mut out);
         out
+    }
+
+    /// Sink-generic form of [`P2pGhosts::pack_reverse`].
+    pub fn pack_reverse_into(&self, st: &RankState, k: usize, out: &mut impl wire::F64Sink) {
+        let (start, count) = self.ghost_seg[k];
+        for g in 0..count {
+            out.put_f64s(&st.atoms.f[start + g]);
+        }
+    }
+
+    /// Payload size (f64s) of `pack_reverse` for recv edge `k`.
+    #[must_use]
+    pub fn reverse_f64s(&self, k: usize) -> usize {
+        self.ghost_seg[k].1 * 3
     }
 
     /// Accumulate received forces into the atoms of send list `k`.
@@ -121,10 +144,16 @@ impl P2pGhosts {
     /// Pack local scalars (EAM fp) of send list `k` (forward-scalar).
     #[must_use]
     pub fn pack_forward_scalar(&self, st: &RankState, k: usize) -> Vec<f64> {
-        self.send_lists[k]
-            .iter()
-            .map(|&i| st.scalar[i as usize])
-            .collect()
+        let mut out = Vec::with_capacity(self.send_lists[k].len());
+        self.pack_forward_scalar_into(st, k, &mut out);
+        out
+    }
+
+    /// Sink-generic form of [`P2pGhosts::pack_forward_scalar`].
+    pub fn pack_forward_scalar_into(&self, st: &RankState, k: usize, out: &mut impl wire::F64Sink) {
+        for &i in &self.send_lists[k] {
+            out.put_f64(st.scalar[i as usize]);
+        }
     }
 
     /// Write received scalars into ghost segment `k` of `st.scalar`.
@@ -137,8 +166,26 @@ impl P2pGhosts {
     /// Pack ghost scalars (EAM rho) of segment `k` (reverse-scalar).
     #[must_use]
     pub fn pack_reverse_scalar(&self, st: &RankState, k: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.ghost_seg[k].1);
+        self.pack_reverse_scalar_into(st, k, &mut out);
+        out
+    }
+
+    /// Sink-generic form of [`P2pGhosts::pack_reverse_scalar`].
+    pub fn pack_reverse_scalar_into(&self, st: &RankState, k: usize, out: &mut impl wire::F64Sink) {
         let (start, count) = self.ghost_seg[k];
-        st.scalar[start..start + count].to_vec()
+        out.put_f64s(&st.scalar[start..start + count]);
+    }
+
+    /// Payload size (f64s) of the scalar ops for edge `k`: the send list
+    /// on the forward side, the ghost segment on the reverse side.
+    #[must_use]
+    pub fn scalar_f64s(&self, k: usize, reverse: bool) -> usize {
+        if reverse {
+            self.ghost_seg[k].1
+        } else {
+            self.send_lists[k].len()
+        }
     }
 
     /// Accumulate received scalars into send list `k` of `st.scalar`.

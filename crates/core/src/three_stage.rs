@@ -168,16 +168,35 @@ impl StagedGhosts {
         swap: usize,
         dir: usize,
     ) -> Vec<f64> {
-        let link = &links[dim][dir];
-        let list = &self.send_lists[dim][swap][dir];
-        let mut out = Vec::with_capacity(list.len() * 3);
-        for &i in list {
-            let x = st.atoms.x[i as usize];
-            out.push(x[0] + link.shift[0]);
-            out.push(x[1] + link.shift[1]);
-            out.push(x[2] + link.shift[2]);
-        }
+        let mut out = Vec::with_capacity(self.forward_f64s(dim, swap, dir));
+        self.pack_forward_into(st, links, dim, swap, dir, &mut out);
         out
+    }
+
+    /// Stream the forward payload into any [`wire::F64Sink`] — zero-copy
+    /// engines point this at a `CombinedWriter` over a registered region.
+    pub fn pack_forward_into(
+        &self,
+        st: &RankState,
+        links: &[[NeighborLink; 2]; 3],
+        dim: usize,
+        swap: usize,
+        dir: usize,
+        out: &mut impl wire::F64Sink,
+    ) {
+        let link = &links[dim][dir];
+        for &i in &self.send_lists[dim][swap][dir] {
+            let x = st.atoms.x[i as usize];
+            out.put_f64(x[0] + link.shift[0]);
+            out.put_f64(x[1] + link.shift[1]);
+            out.put_f64(x[2] + link.shift[2]);
+        }
+    }
+
+    /// Payload size (f64s) of `pack_forward` for `(dim, swap, dir)`.
+    #[must_use]
+    pub fn forward_f64s(&self, dim: usize, swap: usize, dir: usize) -> usize {
+        self.send_lists[dim][swap][dir].len() * 3
     }
 
     /// Write received positions into ghost segment `(dim, swap, dir)`.
@@ -200,12 +219,30 @@ impl StagedGhosts {
     /// runs in the opposite sweep order).
     #[must_use]
     pub fn pack_reverse(&self, st: &RankState, dim: usize, swap: usize, dir: usize) -> Vec<f64> {
-        let (start, count) = self.ghost_seg[dim][swap][dir];
-        let mut out = Vec::with_capacity(count * 3);
-        for g in 0..count {
-            out.extend_from_slice(&st.atoms.f[start + g]);
-        }
+        let mut out = Vec::with_capacity(self.reverse_f64s(dim, swap, dir));
+        self.pack_reverse_into(st, dim, swap, dir, &mut out);
         out
+    }
+
+    /// Sink-generic form of [`StagedGhosts::pack_reverse`].
+    pub fn pack_reverse_into(
+        &self,
+        st: &RankState,
+        dim: usize,
+        swap: usize,
+        dir: usize,
+        out: &mut impl wire::F64Sink,
+    ) {
+        let (start, count) = self.ghost_seg[dim][swap][dir];
+        for g in 0..count {
+            out.put_f64s(&st.atoms.f[start + g]);
+        }
+    }
+
+    /// Payload size (f64s) of `pack_reverse` for `(dim, swap, dir)`.
+    #[must_use]
+    pub fn reverse_f64s(&self, dim: usize, swap: usize, dir: usize) -> usize {
+        self.ghost_seg[dim][swap][dir].1 * 3
     }
 
     /// Accumulate received forces into send list `(dim, swap, dir)` —
@@ -242,10 +279,23 @@ impl StagedGhosts {
         swap: usize,
         dir: usize,
     ) -> Vec<f64> {
-        self.send_lists[dim][swap][dir]
-            .iter()
-            .map(|&i| st.scalar[i as usize])
-            .collect()
+        let mut out = Vec::with_capacity(self.send_lists[dim][swap][dir].len());
+        self.pack_forward_scalar_into(st, dim, swap, dir, &mut out);
+        out
+    }
+
+    /// Sink-generic form of [`StagedGhosts::pack_forward_scalar`].
+    pub fn pack_forward_scalar_into(
+        &self,
+        st: &RankState,
+        dim: usize,
+        swap: usize,
+        dir: usize,
+        out: &mut impl wire::F64Sink,
+    ) {
+        for &i in &self.send_lists[dim][swap][dir] {
+            out.put_f64(st.scalar[i as usize]);
+        }
     }
 
     /// Write received scalars into ghost segment `(dim, swap, dir)`.
@@ -271,8 +321,33 @@ impl StagedGhosts {
         swap: usize,
         dir: usize,
     ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.ghost_seg[dim][swap][dir].1);
+        self.pack_reverse_scalar_into(st, dim, swap, dir, &mut out);
+        out
+    }
+
+    /// Sink-generic form of [`StagedGhosts::pack_reverse_scalar`].
+    pub fn pack_reverse_scalar_into(
+        &self,
+        st: &RankState,
+        dim: usize,
+        swap: usize,
+        dir: usize,
+        out: &mut impl wire::F64Sink,
+    ) {
         let (start, count) = self.ghost_seg[dim][swap][dir];
-        st.scalar[start..start + count].to_vec()
+        out.put_f64s(&st.scalar[start..start + count]);
+    }
+
+    /// Payload size (f64s) of the scalar ops for `(dim, swap, dir)`: the
+    /// send list forward, the ghost segment on the reverse side.
+    #[must_use]
+    pub fn scalar_f64s(&self, dim: usize, swap: usize, dir: usize, reverse: bool) -> usize {
+        if reverse {
+            self.ghost_seg[dim][swap][dir].1
+        } else {
+            self.send_lists[dim][swap][dir].len()
+        }
     }
 
     /// Accumulate received scalars into send list `(dim, swap, dir)`.

@@ -268,6 +268,72 @@ fn put_with_retry(
     }
 }
 
+/// [`put_with_retry`] for the zero-copy path: the payload was serialized
+/// in place into a local registered region (`src_stadd`/`src_offset`), so
+/// there is no staging buffer — the NIC reads the region directly. Same
+/// backoff/fallback protocol.
+#[allow(clippy::too_many_arguments)]
+fn put_region_with_retry(
+    vcq: &mut Vcq,
+    budget: u32,
+    stats: &mut OpStats,
+    op: Op,
+    round: usize,
+    fallback_wanted: &mut bool,
+    now: &mut f64,
+    dst_node: usize,
+    dst_stadd: Stadd,
+    dst_offset: usize,
+    src_stadd: Stadd,
+    src_offset: usize,
+    len: usize,
+    piggyback: u64,
+    seq: u64,
+    cache_injection: bool,
+) -> PutResult {
+    let p = *vcq.net().params();
+    let mut attempt = 0u32;
+    loop {
+        match vcq.try_put_from_region(
+            now,
+            dst_node,
+            dst_stadd,
+            dst_offset,
+            src_stadd,
+            src_offset,
+            len,
+            piggyback,
+            seq,
+            attempt,
+            cache_injection,
+        ) {
+            Ok(r) => return r,
+            Err(_) if attempt < budget => {
+                stats.retry(op, round);
+                *now += p.retry_backoff * f64::from(1u32 << attempt.min(16));
+                attempt += 1;
+            }
+            Err(_) => {
+                stats.fallback(op, round);
+                *fallback_wanted = true;
+                *now += p.fallback_penalty + p.cpu_per_put_mpi;
+                return vcq.put_reliable_from_region(
+                    now,
+                    dst_node,
+                    dst_stadd,
+                    dst_offset,
+                    src_stadd,
+                    src_offset,
+                    len,
+                    piggyback,
+                    seq,
+                    cache_injection,
+                );
+            }
+        }
+    }
+}
+
 /// Register memory through the faultable path, absorbing transient
 /// registration refusals: each refused attempt still pays the kernel
 /// transition (`mem_reg_base`), charged to `setup_cost`. After `budget`
@@ -346,6 +412,12 @@ pub struct UtofuP2p {
     ghosts: P2pGhosts,
     ghost_in: LinkBuffers,
     owner_in: LinkBuffers,
+    /// Per edge index: *local* registered send region the ghost-op frames
+    /// are serialized into in place (zero-copy wire path). Never published
+    /// — only this rank's NIC reads them.
+    send_out: Vec<Stadd>,
+    /// Current byte size of each `send_out` region.
+    send_out_size: Vec<usize>,
     x_region: Option<Stadd>,
     /// Per send link: byte offset in the neighbor's x-region where our
     /// forwarded positions land (learned via piggyback at border time).
@@ -441,6 +513,19 @@ impl UtofuP2p {
         // my own outgoing slab toward the opposite side — symmetric volumes.
         let ghost_in = mk_bufs(&graph.recv, BufKind::GhostIn);
         let owner_in = mk_bufs(&graph.send, BufKind::OwnerIn);
+        // Local send regions, always full-size (they are this rank's own
+        // memory — the undersize experiment concerns *remote* receive
+        // buffers). Forward ops pack here per send edge, reverse ops per
+        // recv edge; volumes are symmetric, so one set serves both.
+        let mut send_out = Vec::with_capacity(n);
+        let mut send_out_size = Vec::with_capacity(n);
+        for link in &graph.send {
+            let est_atoms = graph.max_atoms_estimate(link.offset, density);
+            let size = wire::combined_size(est_atoms * MAX_RECORD_F64S);
+            let stadd = register_with_retry(&net, node, size, cfg.retry_budget, &mut setup_cost);
+            send_out.push(stadd);
+            send_out_size.push(size);
+        }
         let x_region = if cfg.prereg {
             // Position array registered once at its theoretical maximum:
             // locals + full ghost shell, with the plan's 2x headroom.
@@ -463,6 +548,8 @@ impl UtofuP2p {
             ghosts: P2pGhosts::default(),
             ghost_in,
             owner_in,
+            send_out,
+            send_out_size,
             x_region,
             remote_ghost_off: vec![None; n],
             seq: 0,
@@ -665,13 +752,188 @@ impl UtofuP2p {
         let end = thread_ends.into_iter().fold(start, f64::max);
         // Count payload messages (raw bytes for direct x-writes, framed
         // otherwise; skipped empties under direct_x are not counted).
+        // Framed messages passed through `frame_combined`'s staging copy;
+        // direct x-writes staged through `encode_f64s`.
         for (k, raw, framed) in stats_counter {
             if direct_x {
                 if !payloads[k].is_empty() {
                     self.stats.count(op, 0, raw);
+                    self.stats.copied(op, 0, raw);
                 }
             } else {
                 self.stats.count(op, 0, framed);
+                self.stats.copied(op, 0, framed);
+            }
+        }
+        st.charge(end - start, op);
+        Ok(())
+    }
+
+    /// Zero-copy post for the repeated ghost ops (forward/reverse and the
+    /// EAM scalars): the payload sizes are known from the ghost layout, so
+    /// each frame is serialized *in place* into this rank's registered
+    /// `send_out` region and put straight from there — no intermediate
+    /// `Vec`, no staging `frame_combined` copy, no pack cost charged, and
+    /// `bytes_copied` stays at zero for these ops. Border and exchange
+    /// (which discover their payloads while packing) stay on the staged
+    /// [`UtofuP2p::post_payloads`] path, measured for comparison.
+    fn post_direct(&mut self, st: &mut RankState, op: Op) -> Result<(), TofuError> {
+        let p = *self.net.params();
+        let slot = (self.seq % self.cfg.slots) as u8;
+        self.seq += 1;
+        let n = match op {
+            Op::Forward | Op::ForwardScalar => st.graph.send.len(),
+            _ => st.graph.recv.len(),
+        };
+        let seq_base = self.send_seq;
+        self.send_seq += n as u64;
+        // Payload sizes fall out of the ghost layout before any packing.
+        let f64s: Vec<usize> = (0..n)
+            .map(|k| match op {
+                Op::Forward => self.ghosts.forward_f64s(k),
+                Op::Reverse => self.ghosts.reverse_f64s(k),
+                Op::ForwardScalar => self.ghosts.scalar_f64s(k, false),
+                Op::ReverseScalar => self.ghosts.scalar_f64s(k, true),
+                _ => unreachable!("post_direct handles only the ghost ops"),
+            })
+            .collect();
+        // Pre-resolve destinations, growing undersized remote buffers.
+        let mut dsts = Vec::with_capacity(n);
+        for (k, &len) in f64s.iter().enumerate() {
+            let need = wire::combined_size(len);
+            let (node, stadd, size) = self.dst_of(st, op, k, slot)?;
+            if need > size {
+                self.grow_remote(st, op, k, slot, node, stadd, need);
+            }
+            let (node, stadd, _) = self.dst_of(st, op, k, slot)?;
+            dsts.push((node, stadd));
+        }
+        // Serialize every frame in place. Local regions are sized to the
+        // theoretical maximum at build; growth here is a local
+        // re-registration, charged but not a remote handshake.
+        let mut framed = Vec::with_capacity(n);
+        for (k, &len) in f64s.iter().enumerate() {
+            let need = wire::combined_size(len);
+            if need > self.send_out_size[k] {
+                let new_size = need.next_power_of_two();
+                let cost = self.net.grow_mem(self.node, self.send_out[k], new_size);
+                self.send_out_size[k] = new_size;
+                st.charge(cost, op);
+            }
+            let ghosts = &self.ghosts;
+            let bytes = self
+                .net
+                .write_local_with(self.node, self.send_out[k], 0, need, |buf| {
+                    let mut w = wire::CombinedWriter::new(buf);
+                    match op {
+                        Op::Forward => ghosts.pack_forward_into(st, k, &mut w),
+                        Op::Reverse => ghosts.pack_reverse_into(st, k, &mut w),
+                        Op::ForwardScalar => ghosts.pack_forward_scalar_into(st, k, &mut w),
+                        Op::ReverseScalar => ghosts.pack_reverse_scalar_into(st, k, &mut w),
+                        _ => unreachable!("post_direct handles only the ghost ops"),
+                    }
+                    w.finish()
+                });
+            framed.push(bytes);
+        }
+        // Forward under prereg writes straight into the remote x-region:
+        // the raw values start right after the frame header, so the same
+        // in-place serialization serves both put shapes.
+        let direct_x = self.cfg.prereg && op == Op::Forward;
+        let start = st.clock;
+        let costs: Vec<f64> = f64s
+            .iter()
+            .enumerate()
+            .map(|(k, &len)| {
+                let link = match op {
+                    Op::Forward | Op::ForwardScalar => &st.graph.send[k],
+                    _ => &st.graph.recv[k],
+                };
+                fine::link_cost(len * 8, link.hops, &p)
+            })
+            .collect();
+        let assignment = if self.cfg.comm_threads > 1 {
+            fine::balance_lpt(&costs, self.cfg.comm_threads)
+        } else {
+            vec![(0..n).collect::<Vec<_>>()]
+        };
+        let region_overhead = if self.cfg.comm_threads > 1 {
+            p.pool_region_overhead
+        } else {
+            p.vcq_drive_overhead * self.cfg.vcqs as f64
+        };
+        let mut thread_ends = Vec::new();
+        for (t, links) in assignment.iter().enumerate() {
+            let mut now = start + region_overhead;
+            for &k in links {
+                let (dst_node, dst_stadd) = dsts[k];
+                let peer_k = match op {
+                    Op::Forward | Op::ForwardScalar => st.graph.send[k].peer_index,
+                    _ => st.graph.recv[k].peer_index,
+                };
+                let vcq = &mut self.vcqs[t % self.cfg.vcqs.max(1)];
+                if direct_x {
+                    if f64s[k] == 0 {
+                        continue;
+                    }
+                    let off = self.remote_ghost_off[k].ok_or(TofuError::PhaseOrder {
+                        node: self.node,
+                        phase: "forward",
+                        missing: "ghost offsets from border",
+                    })?;
+                    let (xs, _) =
+                        self.book
+                            .lookup(st.graph.send[k].rank as u32, BufKind::XRegion, 0, 0)?;
+                    put_region_with_retry(
+                        vcq,
+                        self.cfg.retry_budget,
+                        &mut self.stats,
+                        op,
+                        0,
+                        &mut self.fallback_wanted,
+                        &mut now,
+                        dst_node,
+                        xs,
+                        off,
+                        self.send_out[k],
+                        wire::COMBINED_HEADER_BYTES,
+                        f64s[k] * 8,
+                        peer_k as u64,
+                        seq_base + 1 + k as u64,
+                        true,
+                    );
+                    continue;
+                }
+                put_region_with_retry(
+                    vcq,
+                    self.cfg.retry_budget,
+                    &mut self.stats,
+                    op,
+                    0,
+                    &mut self.fallback_wanted,
+                    &mut now,
+                    dst_node,
+                    dst_stadd,
+                    0,
+                    self.send_out[k],
+                    0,
+                    framed[k],
+                    peer_k as u64,
+                    seq_base + 1 + k as u64,
+                    true,
+                );
+            }
+            thread_ends.push(now);
+        }
+        let end = thread_ends.into_iter().fold(start, f64::max);
+        // Count messages; nothing staged, so `bytes_copied` stays 0.
+        for (k, &len) in f64s.iter().enumerate() {
+            if direct_x {
+                if len > 0 {
+                    self.stats.count(op, 0, len * 8);
+                }
+            } else {
+                self.stats.count(op, 0, framed[k]);
             }
         }
         st.charge(end - start, op);
@@ -896,6 +1158,7 @@ impl UtofuP2p {
             }
             now += p.pack_cost(bytes.len());
             self.stats.count(Op::Exchange, dim, bytes.len());
+            self.stats.copied(Op::Exchange, dim, bytes.len());
             put_with_retry(
                 &mut self.vcqs[0],
                 self.cfg.retry_budget,
@@ -976,29 +1239,9 @@ impl GhostEngine for UtofuP2p {
                 if self.cfg.prereg && self.remote_ghost_off.iter().any(Option::is_none) {
                     self.recv_ghost_offsets(st)?;
                 }
-                let payloads: Vec<_> = (0..st.graph.send.len())
-                    .map(|k| self.ghosts.pack_forward(st, k))
-                    .collect();
-                self.post_payloads(st, op, &payloads)
+                self.post_direct(st, op)
             }
-            Op::ForwardScalar => {
-                let payloads: Vec<_> = (0..st.graph.send.len())
-                    .map(|k| self.ghosts.pack_forward_scalar(st, k))
-                    .collect();
-                self.post_payloads(st, op, &payloads)
-            }
-            Op::Reverse => {
-                let payloads: Vec<_> = (0..st.graph.recv.len())
-                    .map(|k| self.ghosts.pack_reverse(st, k))
-                    .collect();
-                self.post_payloads(st, op, &payloads)
-            }
-            Op::ReverseScalar => {
-                let payloads: Vec<_> = (0..st.graph.recv.len())
-                    .map(|k| self.ghosts.pack_reverse_scalar(st, k))
-                    .collect();
-                self.post_payloads(st, op, &payloads)
-            }
+            Op::ForwardScalar | Op::Reverse | Op::ReverseScalar => self.post_direct(st, op),
         }
     }
 
@@ -1066,6 +1309,10 @@ pub struct UtofuThreeStage {
     /// `[dim*2+dir][0]` inflow buffers (single slot).
     ghost_in: Vec<Stadd>,
     owner_in: Vec<Stadd>,
+    /// Local registered send regions `[dim*2+dir]` — never published;
+    /// ghost-op frames are serialized in place and put straight from here.
+    send_out: Vec<Stadd>,
+    send_out_size: Vec<usize>,
     vcq: Vcq,
     /// Sequence stamp for the next logical message (see [`UtofuP2p`]).
     send_seq: u64,
@@ -1105,9 +1352,14 @@ impl UtofuThreeStage {
         let r = graph.r_ghost;
         let max_slab = (a[0] + 2.0 * r) * (a[1] + 2.0 * r) * r;
         let est_atoms = (2.0 * density * max_slab) as usize + 16;
-        let size = wire::combined_size(est_atoms * MAX_RECORD_F64S) / BASELINE_UNDERSIZE;
+        let full = wire::combined_size(est_atoms * MAX_RECORD_F64S);
+        let size = full / BASELINE_UNDERSIZE;
         let mut ghost_in = Vec::with_capacity(6);
         let mut owner_in = Vec::with_capacity(6);
+        // Local send regions are always full-size: the undersize baseline
+        // experiment models *remote receive* buffers; this rank's own
+        // staging memory is registered once at the theoretical maximum.
+        let mut send_out = Vec::with_capacity(6);
         let budget = UtofuConfig::DEFAULT_RETRY_BUDGET;
         for idx in 0..6u16 {
             let s1 = register_with_retry(&net, node, size, budget, &mut setup_cost);
@@ -1116,6 +1368,13 @@ impl UtofuThreeStage {
             book.publish(me as u32, BufKind::OwnerIn, idx, 0, s2, size);
             ghost_in.push(s1);
             owner_in.push(s2);
+            send_out.push(register_with_retry(
+                &net,
+                node,
+                full,
+                budget,
+                &mut setup_cost,
+            ));
         }
         UtofuThreeStage {
             net,
@@ -1126,6 +1385,8 @@ impl UtofuThreeStage {
             shells,
             ghost_in,
             owner_in,
+            send_out,
+            send_out_size: vec![full; 6],
             vcq,
             send_seq: 0,
             fallback_wanted: false,
@@ -1171,6 +1432,7 @@ impl UtofuThreeStage {
             }
             now += p.pack_cost(bytes.len());
             self.stats.count(op, round, bytes.len());
+            self.stats.copied(op, round, bytes.len());
             put_with_retry(
                 &mut self.vcq,
                 UtofuConfig::DEFAULT_RETRY_BUDGET,
@@ -1183,6 +1445,101 @@ impl UtofuThreeStage {
                 stadd,
                 0,
                 &bytes,
+                rx_idx as u64,
+                seq_base + 1 + dir as u64,
+                true,
+            );
+        }
+        st.charge(now - st.clock, op);
+        Ok(())
+    }
+
+    /// Zero-copy variant of [`UtofuThreeStage::send_pair`] for the
+    /// repeated ghost ops: payload sizes follow from the staged ghost
+    /// layout, so each frame is serialized in place into this rank's
+    /// registered `send_out` region and put straight from there — no
+    /// staging copy, no pack cost, and `bytes_copied` stays 0. Border
+    /// and exchange (which discover their payloads while packing) stay
+    /// on the staged [`UtofuThreeStage::send_pair`] path, measured.
+    fn send_pair_direct(
+        &mut self,
+        st: &mut RankState,
+        op: Op,
+        round: usize,
+        dim: usize,
+        swap: usize,
+    ) -> Result<(), TofuError> {
+        let p = *self.net.params();
+        let kind = match op {
+            Op::Forward | Op::ForwardScalar => BufKind::GhostIn,
+            _ => BufKind::OwnerIn,
+        };
+        let seq_base = self.send_seq;
+        self.send_seq += 2;
+        let mut now = st.clock;
+        for dir in 0..2 {
+            let link = self.links[dim][dir];
+            let rx_idx = (dim * 2 + (1 - dir)) as u16;
+            let f64s = match op {
+                Op::Forward => self.ghosts.forward_f64s(dim, swap, dir),
+                Op::Reverse => self.ghosts.reverse_f64s(dim, swap, dir),
+                Op::ForwardScalar => self.ghosts.scalar_f64s(dim, swap, dir, false),
+                Op::ReverseScalar => self.ghosts.scalar_f64s(dim, swap, dir, true),
+                _ => unreachable!("send_pair_direct handles only the ghost ops"),
+            };
+            let need = wire::combined_size(f64s);
+            let (stadd, size) = self.book.lookup(link.rank as u32, kind, rx_idx, 0)?;
+            if need > size {
+                let new_size = need.next_power_of_two();
+                let cost = self.net.grow_mem(link.node, stadd, new_size);
+                now += 2.0 * p.wire_time(0, link.hops) + cost;
+                self.book
+                    .update_size(link.rank as u32, kind, rx_idx, 0, new_size);
+                self.growth_events += 1;
+                self.stats.growth(op, round);
+            }
+            let out = dim * 2 + dir;
+            if need > self.send_out_size[out] {
+                let new_size = need.next_power_of_two();
+                now += self.net.grow_mem(self.node, self.send_out[out], new_size);
+                self.send_out_size[out] = new_size;
+            }
+            let ghosts = &self.ghosts;
+            let links = &self.links;
+            let framed = self
+                .net
+                .write_local_with(self.node, self.send_out[out], 0, need, |buf| {
+                    let mut w = wire::CombinedWriter::new(buf);
+                    match op {
+                        Op::Forward => {
+                            ghosts.pack_forward_into(st, links, dim, swap, dir, &mut w);
+                        }
+                        Op::Reverse => ghosts.pack_reverse_into(st, dim, swap, dir, &mut w),
+                        Op::ForwardScalar => {
+                            ghosts.pack_forward_scalar_into(st, dim, swap, dir, &mut w);
+                        }
+                        Op::ReverseScalar => {
+                            ghosts.pack_reverse_scalar_into(st, dim, swap, dir, &mut w);
+                        }
+                        _ => unreachable!("send_pair_direct handles only the ghost ops"),
+                    }
+                    w.finish()
+                });
+            self.stats.count(op, round, framed);
+            put_region_with_retry(
+                &mut self.vcq,
+                UtofuConfig::DEFAULT_RETRY_BUDGET,
+                &mut self.stats,
+                op,
+                round,
+                &mut self.fallback_wanted,
+                &mut now,
+                link.node,
+                stadd,
+                0,
+                self.send_out[out],
+                0,
+                framed,
                 rx_idx as u64,
                 seq_base + 1 + dir as u64,
                 true,
@@ -1248,39 +1605,14 @@ impl GhostEngine for UtofuThreeStage {
                 let payloads = self.ghosts.pack_border(st, &self.links, dim, swap);
                 self.send_pair(st, op, round, dim, &payloads)
             }
-            Op::Forward => {
+            Op::Forward | Op::ForwardScalar => {
                 let (dim, swap) = round_to_sweep(round, self.shells);
-                let payloads = [
-                    self.ghosts.pack_forward(st, &self.links, dim, swap, 0),
-                    self.ghosts.pack_forward(st, &self.links, dim, swap, 1),
-                ];
-                self.send_pair(st, op, round, dim, &payloads)
+                self.send_pair_direct(st, op, round, dim, swap)
             }
-            Op::ForwardScalar => {
-                let (dim, swap) = round_to_sweep(round, self.shells);
-                let payloads = [
-                    self.ghosts.pack_forward_scalar(st, dim, swap, 0),
-                    self.ghosts.pack_forward_scalar(st, dim, swap, 1),
-                ];
-                self.send_pair(st, op, round, dim, &payloads)
-            }
-            Op::Reverse => {
+            Op::Reverse | Op::ReverseScalar => {
                 let idx = 3 * self.shells - 1 - round;
                 let (dim, swap) = round_to_sweep(idx, self.shells);
-                let payloads = [
-                    self.ghosts.pack_reverse(st, dim, swap, 0),
-                    self.ghosts.pack_reverse(st, dim, swap, 1),
-                ];
-                self.send_pair(st, op, round, dim, &payloads)
-            }
-            Op::ReverseScalar => {
-                let idx = 3 * self.shells - 1 - round;
-                let (dim, swap) = round_to_sweep(idx, self.shells);
-                let payloads = [
-                    self.ghosts.pack_reverse_scalar(st, dim, swap, 0),
-                    self.ghosts.pack_reverse_scalar(st, dim, swap, 1),
-                ];
-                self.send_pair(st, op, round, dim, &payloads)
+                self.send_pair_direct(st, op, round, dim, swap)
             }
             Op::Exchange => {
                 let payloads = st.pack_exchange(round);
@@ -1491,6 +1823,43 @@ mod tests {
         f.states[1].scalar[0] = 1.0;
         drive(&mut f, Op::ReverseScalar);
         assert!((f.states[1].scalar[0] - 1.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_copy_ghost_ops_stage_no_bytes() {
+        // The repeated ghost ops serialize frames in place inside the
+        // registered send regions: wire bytes move, but `bytes_copied`
+        // stays at zero on both the direct-x (pool6) and framed (coarse4)
+        // variants. Border stays on the staged path and is measured.
+        for cfg in [UtofuConfig::pool6(), UtofuConfig::coarse4()] {
+            let mut f = fixture(cfg);
+            drive(&mut f, Op::Border);
+            for st in f.states.iter_mut() {
+                let n = st.atoms.ntotal();
+                st.scalar.clear();
+                st.scalar.resize(n, 0.0);
+            }
+            drive(&mut f, Op::Forward);
+            drive(&mut f, Op::ForwardScalar);
+            drive(&mut f, Op::Reverse);
+            drive(&mut f, Op::ReverseScalar);
+            let mut total = OpStats::default();
+            for e in &f.engines {
+                total.merge(&e.op_stats());
+            }
+            let border = total.op_total(Op::Border);
+            assert!(border.bytes_copied > 0, "staged border must count copies");
+            for op in [
+                Op::Forward,
+                Op::ForwardScalar,
+                Op::Reverse,
+                Op::ReverseScalar,
+            ] {
+                let t = total.op_total(op);
+                assert!(t.bytes > 0, "{op:?} must move wire bytes");
+                assert_eq!(t.bytes_copied, 0, "{op:?} must not stage a copy");
+            }
+        }
     }
 
     #[test]

@@ -66,6 +66,93 @@ pub fn combined_size(n: usize) -> usize {
     8 + n * 8
 }
 
+/// Bytes of the combined frame's count header.
+pub const COMBINED_HEADER_BYTES: usize = 8;
+
+/// Destination for streamed `f64` payloads. The pack routines are written
+/// once against this trait and run unchanged over either a staging `Vec`
+/// (classic path, later copied by [`frame_combined`]) or a
+/// [`CombinedWriter`] over a registered region (zero-copy path, no staging
+/// copy at all).
+pub trait F64Sink {
+    /// Append one value.
+    fn put_f64(&mut self, v: f64);
+
+    /// Append a run of values.
+    fn put_f64s(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+}
+
+impl F64Sink for Vec<f64> {
+    fn put_f64(&mut self, v: f64) {
+        self.push(v);
+    }
+
+    fn put_f64s(&mut self, vs: &[f64]) {
+        self.extend_from_slice(vs);
+    }
+}
+
+/// Serializes a combined frame *in place* into a caller-provided byte
+/// buffer — in the zero-copy wire path that buffer is a slice of a
+/// registered RDMA region, so the frame is built exactly where the NIC
+/// reads it and never passes through an intermediate `Vec`.
+///
+/// The 8-byte count header is reserved up front and patched by
+/// [`CombinedWriter::finish`], so the element count need not be known
+/// before packing starts. Output bytes are identical to
+/// [`frame_combined`] over the same values.
+pub struct CombinedWriter<'a> {
+    buf: &'a mut [u8],
+    count: usize,
+}
+
+impl<'a> CombinedWriter<'a> {
+    /// Start a frame at the head of `buf`. Panics if the buffer cannot
+    /// even hold the header — a sizing bug, not a recoverable condition.
+    #[must_use]
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        assert!(
+            buf.len() >= COMBINED_HEADER_BYTES,
+            "region slice shorter than the combined-frame header"
+        );
+        CombinedWriter { buf, count: 0 }
+    }
+
+    /// Values appended so far.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// How many values fit in the underlying buffer.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        (self.buf.len() - COMBINED_HEADER_BYTES) / 8
+    }
+
+    /// Patch the count header and return the framed length in bytes
+    /// (`combined_size(count)`). The puttable frame is `buf[..len]`.
+    #[must_use]
+    pub fn finish(self) -> usize {
+        self.buf[..COMBINED_HEADER_BYTES].copy_from_slice(&(self.count as u64).to_le_bytes());
+        combined_size(self.count)
+    }
+}
+
+impl F64Sink for CombinedWriter<'_> {
+    /// Panics past capacity — writing beyond a registered region is a
+    /// hard fault on real hardware too.
+    fn put_f64(&mut self, v: f64) {
+        let at = COMBINED_HEADER_BYTES + self.count * 8;
+        self.buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+        self.count += 1;
+    }
+}
+
 /// Encode one border-stage atom record: tag and type packed into one f64
 /// (tag in the low 48 bits, type in the next 8 — both exact in a double's
 /// 53-bit mantissa), followed by x, y, z.
@@ -172,6 +259,47 @@ mod tests {
         let frame = frame_combined(&[]);
         assert_eq!(frame.len(), 8);
         assert!(parse_combined(&frame).is_empty());
+    }
+
+    #[test]
+    fn writer_bytes_match_frame_combined() {
+        let vals = [1.0, -2.5, 3.25e10, -0.0, f64::MIN_POSITIVE];
+        let mut buf = vec![0xAAu8; combined_size(vals.len()) + 16]; // slack
+        let mut w = CombinedWriter::new(&mut buf);
+        w.put_f64(vals[0]);
+        w.put_f64s(&vals[1..]);
+        assert_eq!(w.count(), vals.len());
+        let len = w.finish();
+        assert_eq!(len, combined_size(vals.len()));
+        assert_eq!(&buf[..len], frame_combined(&vals).as_ref());
+        // Slack past the frame is untouched and tolerated by the parser.
+        assert_eq!(parse_combined(&buf), vals);
+    }
+
+    #[test]
+    fn writer_empty_frame() {
+        let mut buf = [0u8; 8];
+        let w = CombinedWriter::new(&mut buf);
+        assert_eq!(w.capacity(), 0);
+        assert_eq!(w.finish(), combined_size(0));
+        assert_eq!(&buf[..], frame_combined(&[]).as_ref());
+    }
+
+    #[test]
+    fn vec_sink_matches_push_order() {
+        let mut v: Vec<f64> = Vec::new();
+        v.put_f64(1.0);
+        v.put_f64s(&[2.0, 3.0]);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn writer_overflow_faults() {
+        let mut buf = [0u8; 16]; // header + one value
+        let mut w = CombinedWriter::new(&mut buf);
+        w.put_f64(1.0);
+        w.put_f64(2.0);
     }
 
     #[test]

@@ -23,10 +23,78 @@
 //! design exists to rule out. The chunk size and bucket count affect only
 //! wall-clock, never results.
 
+use serde::{Deserialize, Serialize};
 use tofumd_threadpool::ChunkExec;
 
 /// Rows per dispatch chunk for neighbor builds and force passes.
 pub const CHUNK_ROWS: usize = 256;
+
+/// Lanes per block in the blocked kernels: 8 × f64 fills one 512-bit SVE
+/// vector (the paper's A64FX target). Blocks are full-width only — the
+/// `len % LANE_WIDTH` remainder always runs the scalar tail — so the lane
+/// loops have constant trip counts the compiler can keep branch-free.
+pub const LANE_WIDTH: usize = 8;
+
+/// Which inner-loop implementation the force/density/neighbor kernels run.
+///
+/// Both modes are bit-identical at any `--threads`: the blocked path
+/// batches only the *per-pair* arithmetic (each lane performs the same
+/// IEEE-754 op sequence on its own pair's data as the scalar path), while
+/// every accumulation into `f`/`rho`, every log push, and every
+/// energy/virial fold still happens one pair at a time in neighbor order.
+/// `Scalar` stays the lockstep anchor; `Blocked` is the perf path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum KernelMode {
+    /// One pair at a time — the original reference inner loops.
+    #[default]
+    Scalar,
+    /// Fixed-width lane blocks (distance + cutoff mask per
+    /// [`LANE_WIDTH`]-wide group, deterministic scalar tail).
+    Blocked,
+}
+
+impl KernelMode {
+    /// Parse a `--kernel` flag value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<KernelMode> {
+        match s {
+            "scalar" => Some(KernelMode::Scalar),
+            "blocked" => Some(KernelMode::Blocked),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (bench row labels, report lines).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelMode::Scalar => "scalar",
+            KernelMode::Blocked => "blocked",
+        }
+    }
+}
+
+/// Gather one [`LANE_WIDTH`]-wide block of candidate pairs: for each lane
+/// `k`, the displacement `xi - x[idx[k]]` and its squared norm, computed
+/// with exactly the scalar kernels' op sequence (`d0*d0 + d1*d1 + d2*d2`,
+/// left-to-right) so an accepted lane's values are bit-identical to what
+/// the scalar path would have produced for that pair.
+#[inline]
+pub fn gather_dx_r2(
+    xi: [f64; 3],
+    x: &[[f64; 3]],
+    idx: &[u32],
+    dx: &mut [[f64; 3]; LANE_WIDTH],
+    r2: &mut [f64; LANE_WIDTH],
+) {
+    debug_assert_eq!(idx.len(), LANE_WIDTH);
+    for k in 0..LANE_WIDTH {
+        let xj = x[idx[k] as usize];
+        let d = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
+        dx[k] = d;
+        r2[k] = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+    }
+}
 
 /// Number of disjoint target-index ranges the scatter replay splits the
 /// output array into (the replay's parallelism ceiling).
@@ -35,7 +103,12 @@ pub const SCATTER_BUCKETS: usize = 16;
 /// Width of each scatter bucket for an output array of `ntotal` elements.
 #[must_use]
 pub fn bucket_size(ntotal: usize) -> usize {
-    ntotal.div_ceil(SCATTER_BUCKETS).max(1)
+    // Rounded up to a power of two so the per-push bucket lookup is a
+    // shift rather than a hardware division — the push sits on every
+    // logged pair update, where an integer divide would be the single
+    // most expensive instruction in the loop. The round-up can only
+    // shrink the bucket count (never past the replay's slice count).
+    ntotal.div_ceil(SCATTER_BUCKETS).max(1).next_power_of_two()
 }
 
 /// One chunk's logged updates: scatter entries bucketed by target range,
@@ -65,19 +138,29 @@ impl ChunkLog {
     /// bucket width is `bs` (from [`bucket_size`] of the array length).
     #[inline]
     pub fn push_force(&mut self, bs: usize, target: u32, delta: [f64; 3]) {
-        self.vec_buckets[target as usize / bs].push((target, delta));
+        debug_assert!(bs.is_power_of_two());
+        self.vec_buckets[target as usize >> bs.trailing_zeros()].push((target, delta));
     }
 
     /// Log `out[target] += delta` for a scalar output array.
     #[inline]
     pub fn push_scalar(&mut self, bs: usize, target: u32, delta: f64) {
-        self.scalar_buckets[target as usize / bs].push((target, delta));
+        debug_assert!(bs.is_power_of_two());
+        self.scalar_buckets[target as usize >> bs.trailing_zeros()].push((target, delta));
     }
 
     /// Log one pair's energy and virial contribution.
     #[inline]
     pub fn push_ev(&mut self, energy: f64, virial: f64) {
         self.ev.push((energy, virial));
+    }
+
+    /// Log a batch of pair energy/virial contributions in iteration order.
+    /// One reservation for the whole batch instead of a capacity check per
+    /// pair — the blocked kernels feed a slab at a time through this.
+    #[inline]
+    pub fn extend_ev<I: IntoIterator<Item = (f64, f64)>>(&mut self, evs: I) {
+        self.ev.extend(evs);
     }
 }
 
@@ -137,6 +220,7 @@ fn bucket_slices_with<T>(out: &mut [T], bs: usize) -> Vec<(usize, &mut [T])> {
 /// ascending order, so each element receives its updates in exactly the
 /// serial kernel's sequence.
 pub fn replay_forces(chunks: &[ChunkLog], out: &mut [[f64; 3]], exec: &ChunkExec<'_>) {
+    let exec = &exec.floored(out.len());
     let mut slices = bucket_slices(out);
     exec.for_each_mut(&mut slices, &|b, (base, slice)| {
         for log in chunks {
@@ -152,6 +236,7 @@ pub fn replay_forces(chunks: &[ChunkLog], out: &mut [[f64; 3]], exec: &ChunkExec
 
 /// Scalar-array variant of [`replay_forces`] (EAM electron density).
 pub fn replay_scalars(chunks: &[ChunkLog], out: &mut [f64], exec: &ChunkExec<'_>) {
+    let exec = &exec.floored(out.len());
     let mut slices = bucket_slices(out);
     exec.for_each_mut(&mut slices, &|b, (base, slice)| {
         for log in chunks {
@@ -219,19 +304,36 @@ impl SplitLog {
     /// Log `out[target] += delta` from neighbor row `row`.
     #[inline]
     pub fn push_force(&mut self, bs: usize, row: u32, target: u32, delta: [f64; 3]) {
-        Self::bucket(&mut self.vec_buckets, target as usize / bs).push((row, target, delta));
+        debug_assert!(bs.is_power_of_two());
+        Self::bucket(
+            &mut self.vec_buckets,
+            target as usize >> bs.trailing_zeros(),
+        )
+        .push((row, target, delta));
     }
 
     /// Scalar-array variant of [`SplitLog::push_force`].
     #[inline]
     pub fn push_scalar(&mut self, bs: usize, row: u32, target: u32, delta: f64) {
-        Self::bucket(&mut self.scalar_buckets, target as usize / bs).push((row, target, delta));
+        debug_assert!(bs.is_power_of_two());
+        Self::bucket(
+            &mut self.scalar_buckets,
+            target as usize >> bs.trailing_zeros(),
+        )
+        .push((row, target, delta));
     }
 
     /// Log one pair's energy/virial contribution from row `row`.
     #[inline]
     pub fn push_ev(&mut self, row: u32, energy: f64, virial: f64) {
         self.ev.push((row, energy, virial));
+    }
+
+    /// Batch variant of [`SplitLog::push_ev`]: log a slab of energy/virial
+    /// contributions from one row, in iteration order.
+    #[inline]
+    pub fn extend_ev<I: IntoIterator<Item = (f64, f64)>>(&mut self, row: u32, evs: I) {
+        self.ev.extend(evs.into_iter().map(|(e, v)| (row, e, v)));
     }
 }
 
@@ -260,7 +362,7 @@ impl SplitScratch {
     /// Reset for a pass over `nlocal` rows (both sides cleared, capacity
     /// retained). Call once per pass, before logging either side.
     pub fn prepare(&mut self, nlocal: usize) {
-        self.bs = nlocal.div_ceil(SCATTER_BUCKETS).max(1);
+        self.bs = bucket_size(nlocal);
         self.nchunks = nlocal.div_ceil(CHUNK_ROWS);
         if self.interior.len() < self.nchunks {
             self.interior.resize_with(self.nchunks, SplitLog::default);
@@ -318,6 +420,7 @@ fn merge_rows<T: Copy>(ia: &[(u32, u32, T)], ba: &[(u32, u32, T)], mut f: impl F
 /// with the two sides of each chunk merged by row, so every element's
 /// update sequence is exactly the unpartitioned serial kernel's.
 pub fn replay_forces_split(scratch: &SplitScratch, out: &mut [[f64; 3]], exec: &ChunkExec<'_>) {
+    let exec = &exec.floored(out.len());
     let mut slices = bucket_slices_with(out, scratch.bs);
     exec.for_each_mut(&mut slices, &|b, (base, slice)| {
         for c in 0..scratch.nchunks {
@@ -341,6 +444,7 @@ pub fn replay_forces_split(scratch: &SplitScratch, out: &mut [[f64; 3]], exec: &
 
 /// Scalar-array variant of [`replay_forces_split`] (EAM electron density).
 pub fn replay_scalars_split(scratch: &SplitScratch, out: &mut [f64], exec: &ChunkExec<'_>) {
+    let exec = &exec.floored(out.len());
     let mut slices = bucket_slices_with(out, scratch.bs);
     exec.for_each_mut(&mut slices, &|b, (base, slice)| {
         for c in 0..scratch.nchunks {
@@ -491,7 +595,9 @@ mod tests {
     fn split_replay_matches_direct_application_bitwise() {
         let nrows = 700; // > 2 chunks of 256
         let ntotal = 900; // targets include a "ghost" range past nlocal
-        let interior: Vec<bool> = (0..nrows).map(|i| (i * 2654435761usize) % 3 != 0).collect();
+        let interior: Vec<bool> = (0..nrows)
+            .map(|i| !(i * 2654435761usize).is_multiple_of(3))
+            .collect();
         // Per row: a few scatter updates + one ev entry, serial row order.
         let mut s = 0x243f6a8885a308d3u64;
         let mut rnd = move || {

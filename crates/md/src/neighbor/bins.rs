@@ -9,6 +9,16 @@
 /// ghosts in [`crate::atom::Atoms`], every bin's slice is automatically
 /// partitioned locals-first; `ghost_start` records the split so traversals
 /// can visit only a bin's ghost segment.
+///
+/// The rebuild is inherently two-pass, so it runs 10-20% behind a
+/// single-pass Vec-of-Vec scatter (`bins_csr_rebuild` vs
+/// `bins_vec_of_vec_rebuild` in `BENCH_kernels.json`). That constant is
+/// paid back downstream, where the time actually goes (the neighbor build
+/// costs ~50x the binning): contiguous ascending bin slices are what let
+/// the build take whole segments at a time — the half-stencil lower-bin
+/// skip, the ghost-segment slicing, and the lane-blocked distance scan
+/// all consume `&[u32]` segments that a Vec-of-Vec layout could only
+/// yield bin-by-bin through a pointer chase.
 #[derive(Debug, Clone)]
 pub struct CellBins {
     lo: [f64; 3],
@@ -100,22 +110,26 @@ impl CellBins {
     /// `nlocal` positions are local atoms, the rest ghosts.
     pub fn fill(&mut self, positions: &[[f64; 3]], nlocal: usize) {
         let nbins = self.nbins();
-        // Counting pass (starts[b + 1] accumulates bin b's population), plus
-        // the sorted-locals detection on this grid's flat order.
+        // Counting pass (starts[b + 1] accumulates bin b's population),
+        // split locals/ghosts so the sorted-locals detection runs only
+        // where it applies and neither loop carries the other's branch.
         self.starts.iter_mut().for_each(|s| *s = 0);
-        let mut sorted = true;
-        let mut prev = 0usize;
         let mut flats = std::mem::take(&mut self.flat_scratch);
         flats.clear();
         flats.reserve(positions.len());
-        for (i, x) in positions.iter().enumerate() {
+        let mut sorted = true;
+        let mut prev = 0usize;
+        for x in &positions[..nlocal] {
             let b = self.bin_of(x);
             flats.push(b as u32);
             self.starts[b + 1] += 1;
-            if i < nlocal {
-                sorted &= b >= prev;
-                prev = b;
-            }
+            sorted &= b >= prev;
+            prev = b;
+        }
+        for x in &positions[nlocal..] {
+            let b = self.bin_of(x);
+            flats.push(b as u32);
+            self.starts[b + 1] += 1;
         }
         self.sorted_locals = sorted;
         // Prefix sum.
@@ -123,22 +137,29 @@ impl CellBins {
             self.starts[b + 1] += self.starts[b];
         }
         // Scatter pass in index order: within a bin, indices ascend and
-        // locals (smaller indices) precede ghosts. `ghost_start` starts at
-        // the bin head and advances past each local as it lands, ending at
-        // the local/ghost boundary.
-        self.ghost_start.copy_from_slice(&self.starts[..nbins]);
+        // locals (smaller indices) precede ghosts. Scattering the locals
+        // first means the cursors *are* the local/ghost boundary when that
+        // loop finishes — one bulk snapshot instead of a per-atom store —
+        // and the ghosts then continue from the same cursors.
         let mut cursor = std::mem::take(&mut self.cursor_scratch);
         cursor.clear();
         cursor.extend_from_slice(&self.starts[..nbins]);
-        self.atoms.clear();
-        self.atoms.resize(positions.len(), 0);
-        for (i, &b) in flats.iter().enumerate() {
+        // Every slot is overwritten by the scatter (the counts sum to the
+        // atom total), so steady-state rebuilds at the same size skip the
+        // resize's memset entirely.
+        if self.atoms.len() != positions.len() {
+            self.atoms.resize(positions.len(), 0);
+        }
+        for (i, &b) in flats[..nlocal].iter().enumerate() {
             let b = b as usize;
             self.atoms[cursor[b] as usize] = i as u32;
             cursor[b] += 1;
-            if i < nlocal {
-                self.ghost_start[b] = cursor[b];
-            }
+        }
+        self.ghost_start.copy_from_slice(&cursor);
+        for (i, &b) in flats.iter().enumerate().skip(nlocal) {
+            let b = b as usize;
+            self.atoms[cursor[b] as usize] = i as u32;
+            cursor[b] += 1;
         }
         self.flat_scratch = flats;
         self.cursor_scratch = cursor;

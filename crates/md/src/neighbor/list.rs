@@ -3,7 +3,7 @@
 
 use super::bins::CellBins;
 use crate::atom::Atoms;
-use crate::kernels::CHUNK_ROWS;
+use crate::kernels::{self, KernelMode, CHUNK_ROWS, LANE_WIDTH};
 use tofumd_threadpool::ChunkExec;
 
 /// Which pairs a list stores.
@@ -56,6 +56,35 @@ pub fn ghost_pair_belongs_to_i(xi: &[f64; 3], xj: &[f64; 3]) -> bool {
     xj[0] > xi[0]
 }
 
+/// The non-geometric half of the candidate filter: does the pair (i, j)
+/// belong in row `i` under this list kind? (Pure control flow — no
+/// floating-point accumulation, so factoring it out of the scan cannot
+/// change any bits.)
+#[inline]
+fn kind_accepts(
+    kind: ListKind,
+    nlocal: usize,
+    i: usize,
+    j: usize,
+    xi: &[f64; 3],
+    xj: &[f64; 3],
+) -> bool {
+    match kind {
+        ListKind::Full => true,
+        ListKind::HalfNewton => {
+            if j < nlocal {
+                // local-local: store once under the lower index
+                j >= i
+            } else {
+                ghost_pair_belongs_to_i(xi, xj)
+            }
+        }
+        // Ghost pairs always belong to the local side; the half ghost
+        // shell guarantees uniqueness.
+        ListKind::HalfOneSided => j >= nlocal || j >= i,
+    }
+}
+
 /// Append row `i`'s accepted neighbors to `out`, in exactly the order the
 /// 27-bin stencil scan produces (bins in ascending `(dz, dy, dx)` order,
 /// atoms in ascending index order within each bin).
@@ -69,6 +98,12 @@ pub fn ghost_pair_belongs_to_i(xi: &[f64; 3], xj: &[f64; 3]) -> bool {
 /// rule can assign a pair to `i` even when the ghost sits in a lower bin —
 /// so the accepted-neighbor sequence is *identical* to the full scan, and
 /// the resulting forces are bit-for-bit the same.
+///
+/// With `mode == KernelMode::Blocked` each candidate segment's distance
+/// checks run in [`LANE_WIDTH`]-wide blocks (the r² arithmetic per lane is
+/// the scalar check's exact IEEE op sequence; acceptance still walks lanes
+/// in candidate order), with the segment remainder on the scalar tail —
+/// the accepted stream is bit-identical either way.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn append_row_neighbors(
@@ -78,6 +113,7 @@ fn append_row_neighbors(
     kind: ListKind,
     cutsq: f64,
     skip_lower_locals: bool,
+    mode: KernelMode,
     i: usize,
     out: &mut Vec<u32>,
 ) {
@@ -85,6 +121,8 @@ fn append_row_neighbors(
     let c = bins.coord_of(&xi);
     let c = [c[0] as i64, c[1] as i64, c[2] as i64];
     let nb = bins.nbin();
+    let mut dxs = [[0.0f64; 3]; LANE_WIDTH];
+    let mut r2s = [0.0f64; LANE_WIDTH];
     for dz in -1..=1i64 {
         let z = c[2] + dz;
         if z < 0 || z >= nb[2] as i64 {
@@ -106,32 +144,33 @@ fn append_row_neighbors(
                 } else {
                     bins.bin(b)
                 };
-                for &ju in cand {
+                let scalar_from = if mode == KernelMode::Blocked {
+                    let full = cand.len() - cand.len() % LANE_WIDTH;
+                    for blk in cand[..full].chunks_exact(LANE_WIDTH) {
+                        kernels::gather_dx_r2(xi, x, blk, &mut dxs, &mut r2s);
+                        for k in 0..LANE_WIDTH {
+                            let ju = blk[k];
+                            let j = ju as usize;
+                            if j != i
+                                && r2s[k] < cutsq
+                                && kind_accepts(kind, nlocal, i, j, &xi, &x[j])
+                            {
+                                out.push(ju);
+                            }
+                        }
+                    }
+                    full
+                } else {
+                    0
+                };
+                for &ju in &cand[scalar_from..] {
                     let j = ju as usize;
                     if j == i {
                         continue;
                     }
                     let xj = x[j];
-                    match kind {
-                        ListKind::Full => {}
-                        ListKind::HalfNewton => {
-                            if j < nlocal {
-                                // local-local: store once under the lower
-                                // index
-                                if j < i {
-                                    continue;
-                                }
-                            } else if !ghost_pair_belongs_to_i(&xi, &xj) {
-                                continue;
-                            }
-                        }
-                        ListKind::HalfOneSided => {
-                            // Ghost pairs always belong to the local side;
-                            // the half ghost shell guarantees uniqueness.
-                            if j < nlocal && j < i {
-                                continue;
-                            }
-                        }
+                    if !kind_accepts(kind, nlocal, i, j, &xi, &xj) {
+                        continue;
                     }
                     let dd0 = xi[0] - xj[0];
                     let dd1 = xi[1] - xj[1];
@@ -183,6 +222,21 @@ impl NeighborList {
         cutoff_force: f64,
         skin: f64,
     ) -> Self {
+        Self::build_with_mode(atoms, lo, hi, kind, cutoff_force, skin, KernelMode::Scalar)
+    }
+
+    /// [`NeighborList::build`] with an explicit inner-loop mode (the list
+    /// is bit-identical either way).
+    #[must_use]
+    pub fn build_with_mode(
+        atoms: &Atoms,
+        lo: [f64; 3],
+        hi: [f64; 3],
+        kind: ListKind,
+        cutoff_force: f64,
+        skin: f64,
+        mode: KernelMode,
+    ) -> Self {
         let cutoff_list = cutoff_force + skin;
         let cutsq = cutoff_list * cutoff_list;
         let mut bins = CellBins::new(lo, hi, cutoff_list);
@@ -196,7 +250,7 @@ impl NeighborList {
 
         for i in 0..nlocal {
             append_row_neighbors(
-                &bins, &atoms.x, nlocal, kind, cutsq, skip_lower, i, &mut neigh,
+                &bins, &atoms.x, nlocal, kind, cutsq, skip_lower, mode, i, &mut neigh,
             );
             offsets.push(neigh.len() as u32);
         }
@@ -224,6 +278,32 @@ impl NeighborList {
         skin: f64,
         exec: &ChunkExec<'_>,
     ) -> Self {
+        Self::build_chunked_mode(
+            atoms,
+            lo,
+            hi,
+            kind,
+            cutoff_force,
+            skin,
+            exec,
+            KernelMode::Scalar,
+        )
+    }
+
+    /// [`NeighborList::build_chunked`] with an explicit inner-loop mode
+    /// (the list is bit-identical either way).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_chunked_mode(
+        atoms: &Atoms,
+        lo: [f64; 3],
+        hi: [f64; 3],
+        kind: ListKind,
+        cutoff_force: f64,
+        skin: f64,
+        exec: &ChunkExec<'_>,
+        mode: KernelMode,
+    ) -> Self {
         let cutoff_list = cutoff_force + skin;
         let cutsq = cutoff_list * cutoff_list;
         let mut bins = CellBins::new(lo, hi, cutoff_list);
@@ -240,6 +320,7 @@ impl NeighborList {
             .collect();
         let bins_ref = &bins;
         let x = &atoms.x;
+        let exec = &exec.floored(nlocal);
         exec.for_each_mut(&mut chunks, &|c, chunk| {
             let row_lo = c * CHUNK_ROWS;
             let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
@@ -252,6 +333,7 @@ impl NeighborList {
                     kind,
                     cutsq,
                     skip_lower,
+                    mode,
                     i,
                     &mut chunk.neigh,
                 );
@@ -289,6 +371,34 @@ impl NeighborList {
         interior: &[bool],
         exec: &ChunkExec<'_>,
     ) -> Self {
+        Self::build_interior_mode(
+            atoms,
+            lo,
+            hi,
+            kind,
+            cutoff_force,
+            skin,
+            interior,
+            exec,
+            KernelMode::Scalar,
+        )
+    }
+
+    /// [`NeighborList::build_interior`] with an explicit inner-loop mode
+    /// (the list is bit-identical either way).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_interior_mode(
+        atoms: &Atoms,
+        lo: [f64; 3],
+        hi: [f64; 3],
+        kind: ListKind,
+        cutoff_force: f64,
+        skin: f64,
+        interior: &[bool],
+        exec: &ChunkExec<'_>,
+        mode: KernelMode,
+    ) -> Self {
         debug_assert_eq!(atoms.nghost(), 0, "interior build runs pre-ghost");
         let cutoff_list = cutoff_force + skin;
         let cutsq = cutoff_list * cutoff_list;
@@ -306,6 +416,7 @@ impl NeighborList {
             .collect();
         let bins_ref = &bins;
         let x = &atoms.x;
+        let exec = &exec.floored(nlocal);
         exec.for_each_mut(&mut chunks, &|c, chunk| {
             let row_lo = c * CHUNK_ROWS;
             let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
@@ -319,6 +430,7 @@ impl NeighborList {
                         kind,
                         cutsq,
                         skip_lower,
+                        mode,
                         i,
                         &mut chunk.neigh,
                     );
@@ -347,6 +459,30 @@ impl NeighborList {
         interior: &[bool],
         exec: &ChunkExec<'_>,
     ) -> Self {
+        Self::build_boundary_mode(
+            atoms,
+            lo,
+            hi,
+            interior_list,
+            interior,
+            exec,
+            KernelMode::Scalar,
+        )
+    }
+
+    /// [`NeighborList::build_boundary`] with an explicit inner-loop mode
+    /// (the list is bit-identical either way).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_boundary_mode(
+        atoms: &Atoms,
+        lo: [f64; 3],
+        hi: [f64; 3],
+        interior_list: &NeighborList,
+        interior: &[bool],
+        exec: &ChunkExec<'_>,
+        mode: KernelMode,
+    ) -> Self {
         let kind = interior_list.kind;
         let cutoff_list = interior_list.cutoff_list;
         let cutsq = cutoff_list * cutoff_list;
@@ -364,6 +500,7 @@ impl NeighborList {
             .collect();
         let bins_ref = &bins;
         let x = &atoms.x;
+        let exec = &exec.floored(nlocal);
         exec.for_each_mut(&mut chunks, &|c, chunk| {
             let row_lo = c * CHUNK_ROWS;
             let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
@@ -377,6 +514,7 @@ impl NeighborList {
                         kind,
                         cutsq,
                         skip_lower,
+                        mode,
                         i,
                         &mut chunk.neigh,
                     );
@@ -681,8 +819,7 @@ mod tests {
                 );
                 // The halo lands: ghosts in the shell just outside.
                 let mut full = bare.clone();
-                let mut tag = 10_000;
-                for k in 0..160 {
+                for (k, tag) in (0..160).zip(10_000u64..) {
                     let face = k % 6;
                     let off = 0.2 + 1.0 * rnd();
                     let mut g = [1.0 + 4.0 * rnd(), 1.0 + 4.0 * rnd(), 1.0 + 4.0 * rnd()];
@@ -692,7 +829,6 @@ mod tests {
                         g[face - 3] = sub_hi[face - 3] + off;
                     }
                     full.push_ghost(g, 1, tag);
-                    tag += 1;
                 }
                 let split =
                     NeighborList::build_boundary(&full, lo, hi, &int, &flags, &ChunkExec::Serial);
@@ -717,6 +853,84 @@ mod tests {
                     one.pairs_in(&flags, true) + one.pairs_in(&flags, false),
                     one.npairs()
                 );
+            }
+        }
+    }
+
+    /// Blocked-mode builds (one-pass, chunked, and split interior/boundary)
+    /// must produce exactly the scalar build's rows — same neighbors, same
+    /// order — for every list kind, sorted or not.
+    #[test]
+    fn blocked_build_matches_scalar_build() {
+        use crate::neighbor::sort_locals_by_bin;
+        let (cut, skin) = (1.1, 0.3);
+        let r = cut + skin;
+        let lo = [-r; 3];
+        let hi = [6.0 + r; 3];
+        let mut pos = Vec::new();
+        let mut s = 0x1f83_d9ab_fb41_bd6bu64;
+        let mut rnd = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for gz in 0..7 {
+            for gy in 0..7 {
+                for gx in 0..7 {
+                    pos.push([
+                        0.3 + 0.8 * f64::from(gx) + 0.2 * rnd(),
+                        0.3 + 0.8 * f64::from(gy) + 0.2 * rnd(),
+                        0.3 + 0.8 * f64::from(gz) + 0.2 * rnd(),
+                    ]);
+                }
+            }
+        }
+        for sorted in [false, true] {
+            for kind in [ListKind::HalfNewton, ListKind::HalfOneSided, ListKind::Full] {
+                let mut a = Atoms::from_positions(pos.clone(), 1);
+                if sorted {
+                    sort_locals_by_bin(&mut a, lo, hi, r);
+                }
+                for tag in 20_000usize..20_120 {
+                    let face = tag % 6;
+                    let off = 0.2 + 1.0 * rnd();
+                    let mut g = [1.0 + 4.0 * rnd(), 1.0 + 4.0 * rnd(), 1.0 + 4.0 * rnd()];
+                    if face < 3 {
+                        g[face] = -off;
+                    } else {
+                        g[face - 3] = 6.0 + off;
+                    }
+                    a.push_ghost(g, 1, tag as u64);
+                }
+                let scalar = NeighborList::build(&a, lo, hi, kind, cut, skin);
+                let blocked =
+                    NeighborList::build_with_mode(&a, lo, hi, kind, cut, skin, KernelMode::Blocked);
+                assert_eq!(
+                    blocked.npairs(),
+                    scalar.npairs(),
+                    "{kind:?} sorted={sorted}"
+                );
+                for i in 0..scalar.nlocal() {
+                    assert_eq!(
+                        blocked.neighbors(i),
+                        scalar.neighbors(i),
+                        "row {i} {kind:?} sorted={sorted}"
+                    );
+                }
+                let chunked = NeighborList::build_chunked_mode(
+                    &a,
+                    lo,
+                    hi,
+                    kind,
+                    cut,
+                    skin,
+                    &ChunkExec::Serial,
+                    KernelMode::Blocked,
+                );
+                for i in 0..scalar.nlocal() {
+                    assert_eq!(chunked.neighbors(i), scalar.neighbors(i));
+                }
             }
         }
     }

@@ -2,9 +2,34 @@
 
 use super::{PairEnergyVirial, PairPotential, SplitPairKernel};
 use crate::atom::Atoms;
-use crate::kernels::{self, PairScratch, SplitScratch, CHUNK_ROWS};
+use crate::kernels::{self, KernelMode, PairScratch, SplitScratch, CHUNK_ROWS};
 use crate::neighbor::{ListKind, NeighborList};
 use tofumd_threadpool::ChunkExec;
+
+/// Slab width of the blocked row loops: long enough that the vectorized
+/// lane loops dominate their setup and LLVM's own epilogue handles short
+/// remainders, small enough that the slab buffers stay in L1.
+const ROW_BLOCK: usize = 64;
+
+/// Slab buffers of the blocked row loops, hoisted out of the per-row call
+/// so they are initialized once per chunk, not zeroed once per row.
+struct BlockedScratch {
+    jc: [u32; ROW_BLOCK],
+    r2c: [f64; ROW_BLOCK],
+    fp: [f64; ROW_BLOCK],
+    en: [f64; ROW_BLOCK],
+}
+
+impl Default for BlockedScratch {
+    fn default() -> Self {
+        BlockedScratch {
+            jc: [0; ROW_BLOCK],
+            r2c: [0.0; ROW_BLOCK],
+            fp: [0.0; ROW_BLOCK],
+            en: [0.0; ROW_BLOCK],
+        }
+    }
+}
 
 /// `pair_style lj/cut` equivalent: U(r) = 4 eps [ (sigma/r)^12 - (sigma/r)^6 ]
 /// for r < r_cut, unshifted (LAMMPS default).
@@ -31,6 +56,8 @@ pub struct LjCut {
     /// Energy shift making U(r_cut) = 0 (LAMMPS `pair_modify shift yes`).
     /// Zero when unshifted (the benchmark default).
     eshift: f64,
+    /// Inner-loop implementation (bit-identical either way).
+    mode: KernelMode,
 }
 
 impl LjCut {
@@ -51,7 +78,22 @@ impl LjCut {
             lj4: 4.0 * epsilon * s6,
             cutsq: cutoff * cutoff,
             eshift: 0.0,
+            mode: KernelMode::Scalar,
         }
+    }
+
+    /// Select the inner-loop implementation ([`KernelMode::Blocked`] for
+    /// the lane-structured path; results are bit-identical either way).
+    #[must_use]
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The active inner-loop implementation.
+    #[must_use]
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mode
     }
 
     /// Enable the energy shift so the pair energy is continuous at the
@@ -82,6 +124,19 @@ impl LjCut {
         self.lj3 * inv6 * inv6 - self.lj4 * inv6 - self.eshift
     }
 
+    /// Pair energy at squared distance r² — the kernel-path formulation.
+    /// Like LAMMPS `pair_lj_cut`, the energy is built from `1/r²` (which
+    /// the force prefactor also needs, so the division is shared) rather
+    /// than from the distance: no sqrt, one division. Callers gate on
+    /// `r2 < cutsq`; there is no cutoff branch here.
+    #[inline]
+    #[must_use]
+    pub fn pair_energy_r2(&self, r2: f64) -> f64 {
+        let inv2 = 1.0 / r2;
+        let inv6 = inv2 * inv2 * inv2;
+        self.lj3 * inv6 * inv6 - self.lj4 * inv6 - self.eshift
+    }
+
     /// Magnitude of -dU/dr divided by r ("fpair" in LAMMPS terms):
     /// force vector on i from j is `fpair * (xi - xj)`.
     #[inline]
@@ -90,6 +145,109 @@ impl LjCut {
         let inv2 = 1.0 / r2;
         let inv6 = inv2 * inv2 * inv2;
         inv6 * (self.lj1 * inv6 - self.lj2) * inv2
+    }
+
+    /// Blocked inner loop of one neighbor row: process the list in
+    /// [`ROW_BLOCK`]-wide slabs of branch-free lane loops (gather,
+    /// displacement, r², then a fused force-prefactor / pair-energy loop
+    /// whose shared `1.0 / r2` costs one division per lane), handing each
+    /// slab's accepted pairs — neighbor indices, r², force prefactors,
+    /// pair energies, compacted and in neighbor order — to the `slab`
+    /// visitor. Every lane runs the exact IEEE op sequence the scalar
+    /// path runs on that pair — a short final slab just runs the same
+    /// loops with a shorter trip count — and rejected lanes' values are
+    /// never read, so the visited stream is the scalar kernel's accept
+    /// stream bit-for-bit. The visitor is inlined at each consumer and
+    /// sees whole slabs, so consumers can batch their per-pair logging.
+    #[inline]
+    fn blocked_row(
+        &self,
+        xi: [f64; 3],
+        x: &[[f64; 3]],
+        neigh: &[u32],
+        scr: &mut BlockedScratch,
+        mut slab: impl FnMut(&[u32], &[f64], &[f64], &[f64]),
+    ) {
+        let cutsq = self.cutsq;
+        let BlockedScratch {
+            jc,
+            r2c,
+            fp: fpb,
+            en: enb,
+        } = scr;
+        let (lj1, lj2) = (self.lj1, self.lj2);
+        let (lj3, lj4, eshift) = (self.lj3, self.lj4, self.eshift);
+        for blk in neigh.chunks(ROW_BLOCK) {
+            // Gather + filter: r² for every candidate (the scalar op
+            // sequence exactly), with neighbor index and r² compressed to
+            // the accepted lanes. The cursor advances via a flag add, so
+            // the loop is branch-free — a rejected lane's slot is simply
+            // overwritten by the next candidate. The displacement is NOT
+            // buffered: the visit loop re-derives it from `x[j]`, still
+            // hot in L1 from this pass, with the same subtractions.
+            let mut na = 0usize;
+            for &j in blk {
+                let xj = x[j as usize];
+                let d = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
+                let rr = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                jc[na] = j;
+                r2c[na] = rr;
+                na += usize::from(rr < cutsq);
+            }
+            // The straight-line bodies of `fpair` and `pair_energy_r2`,
+            // fused so the `1.0 / r2` both start with is computed once
+            // per lane, over the compacted accepted lanes only — dense,
+            // branch-free, and exactly the ops the scalar path runs on
+            // those pairs.
+            let (fp, en) = (&mut fpb[..na], &mut enb[..na]);
+            let r2a = &r2c[..na];
+            for k in 0..na {
+                let inv2 = 1.0 / r2a[k];
+                let inv6 = inv2 * inv2 * inv2;
+                fp[k] = inv6 * (lj1 * inv6 - lj2) * inv2;
+                en[k] = lj3 * inv6 * inv6 - lj4 * inv6 - eshift;
+            }
+            slab(&jc[..na], r2a, fp, en);
+        }
+    }
+
+    /// Blocked twin of the serial [`PairPotential::compute`] pass.
+    fn compute_blocked(&self, atoms: &mut Atoms, list: &NeighborList) -> PairEnergyVirial {
+        let mut energy = 0.0;
+        let mut virial = 0.0;
+        let half = !matches!(list.kind, ListKind::Full);
+        let nlocal = atoms.nlocal;
+        let (x, f) = (&atoms.x, &mut atoms.f);
+        let mut bscr = BlockedScratch::default();
+        for i in 0..nlocal {
+            let xi = x[i];
+            let mut fi = [0.0f64; 3];
+            self.blocked_row(xi, x, list.neighbors(i), &mut bscr, |jc, r2, fp, en| {
+                for k in 0..jc.len() {
+                    let j = jc[k] as usize;
+                    let xj = x[j];
+                    let dx = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
+                    let fpair = fp[k];
+                    fi[0] += dx[0] * fpair;
+                    fi[1] += dx[1] * fpair;
+                    fi[2] += dx[2] * fpair;
+                    if half {
+                        f[j][0] -= dx[0] * fpair;
+                        f[j][1] -= dx[1] * fpair;
+                        f[j][2] -= dx[2] * fpair;
+                        energy += en[k];
+                        virial += r2[k] * fpair;
+                    } else {
+                        energy += 0.5 * en[k];
+                        virial += 0.5 * r2[k] * fpair;
+                    }
+                }
+            });
+            for d in 0..3 {
+                f[i][d] += fi[d];
+            }
+        }
+        PairEnergyVirial { energy, virial }
     }
 }
 
@@ -103,6 +261,9 @@ impl PairPotential for LjCut {
     }
 
     fn compute(&self, atoms: &mut Atoms, list: &NeighborList) -> PairEnergyVirial {
+        if self.mode == KernelMode::Blocked {
+            return self.compute_blocked(atoms, list);
+        }
         let mut energy = 0.0;
         let mut virial = 0.0;
         let half = !matches!(list.kind, ListKind::Full);
@@ -129,11 +290,11 @@ impl PairPotential for LjCut {
                     atoms.f[j][0] -= dx[0] * fpair;
                     atoms.f[j][1] -= dx[1] * fpair;
                     atoms.f[j][2] -= dx[2] * fpair;
-                    energy += self.pair_energy(r2.sqrt());
+                    energy += self.pair_energy_r2(r2);
                     virial += r2 * fpair;
                 } else {
                     // Full list: each pair visited twice machine-wide.
-                    energy += 0.5 * self.pair_energy(r2.sqrt());
+                    energy += 0.5 * self.pair_energy_r2(r2);
                     virial += 0.5 * r2 * fpair;
                 }
             }
@@ -156,16 +317,58 @@ impl PairPotential for LjCut {
         let ntotal = atoms.ntotal();
         let bs = kernels::bucket_size(ntotal);
         let cutsq = self.cutsq;
+        let exec = &exec.floored(nlocal);
         let chunks = scratch.prepare(nlocal.div_ceil(CHUNK_ROWS));
         let x = &atoms.x;
         // Phase 1: each chunk logs the updates its rows would perform, in
         // the serial kernel's order — no shared mutation.
+        let blocked = self.mode == KernelMode::Blocked;
         exec.for_each_mut(chunks, &|c, log| {
             let row_lo = c * CHUNK_ROWS;
             let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
+            let mut bscr = BlockedScratch::default();
             for i in row_lo..row_hi {
                 let xi = x[i];
                 let mut fi = [0.0f64; 3];
+                if blocked {
+                    self.blocked_row(xi, x, list.neighbors(i), &mut bscr, |jc, r2, fp, en| {
+                        // One reservation per slab for the ev stream; the
+                        // products match the scalar push sites' op order.
+                        if half {
+                            log.extend_ev(
+                                en.iter()
+                                    .zip(r2)
+                                    .zip(fp)
+                                    .map(|((&e, &rr), &fpk)| (e, rr * fpk)),
+                            );
+                        } else {
+                            log.extend_ev(
+                                en.iter()
+                                    .zip(r2)
+                                    .zip(fp)
+                                    .map(|((&e, &rr), &fpk)| (0.5 * e, 0.5 * rr * fpk)),
+                            );
+                        }
+                        for k in 0..jc.len() {
+                            let j = jc[k];
+                            let xj = x[j as usize];
+                            let dx = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
+                            let fpair = fp[k];
+                            fi[0] += dx[0] * fpair;
+                            fi[1] += dx[1] * fpair;
+                            fi[2] += dx[2] * fpair;
+                            if half {
+                                log.push_force(
+                                    bs,
+                                    j,
+                                    [-(dx[0] * fpair), -(dx[1] * fpair), -(dx[2] * fpair)],
+                                );
+                            }
+                        }
+                    });
+                    log.push_force(bs, i as u32, fi);
+                    continue;
+                }
                 for &j in list.neighbors(i) {
                     let j = j as usize;
                     let xj = x[j];
@@ -184,9 +387,9 @@ impl PairPotential for LjCut {
                             j as u32,
                             [-(dx[0] * fpair), -(dx[1] * fpair), -(dx[2] * fpair)],
                         );
-                        log.push_ev(self.pair_energy(r2.sqrt()), r2 * fpair);
+                        log.push_ev(self.pair_energy_r2(r2), r2 * fpair);
                     } else {
-                        log.push_ev(0.5 * self.pair_energy(r2.sqrt()), 0.5 * r2 * fpair);
+                        log.push_ev(0.5 * self.pair_energy_r2(r2), 0.5 * r2 * fpair);
                     }
                 }
                 log.push_force(bs, i as u32, fi);
@@ -219,10 +422,13 @@ impl SplitPairKernel for LjCut {
         let cutsq = self.cutsq;
         let bs = scratch.bs();
         let x = &atoms.x;
+        let blocked = self.mode == KernelMode::Blocked;
+        let exec = &exec.floored(nlocal);
         let logs = scratch.side_mut(select);
         exec.for_each_mut(logs, &|c, log| {
             let row_lo = c * CHUNK_ROWS;
             let row_hi = (row_lo + CHUNK_ROWS).min(nlocal);
+            let mut bscr = BlockedScratch::default();
             for i in row_lo..row_hi {
                 if flags[i] != select {
                     continue;
@@ -230,6 +436,46 @@ impl SplitPairKernel for LjCut {
                 let row = i as u32;
                 let xi = x[i];
                 let mut fi = [0.0f64; 3];
+                if blocked {
+                    self.blocked_row(xi, x, list.neighbors(i), &mut bscr, |jc, r2, fp, en| {
+                        if half {
+                            log.extend_ev(
+                                row,
+                                en.iter()
+                                    .zip(r2)
+                                    .zip(fp)
+                                    .map(|((&e, &rr), &fpk)| (e, rr * fpk)),
+                            );
+                        } else {
+                            log.extend_ev(
+                                row,
+                                en.iter()
+                                    .zip(r2)
+                                    .zip(fp)
+                                    .map(|((&e, &rr), &fpk)| (0.5 * e, 0.5 * rr * fpk)),
+                            );
+                        }
+                        for k in 0..jc.len() {
+                            let j = jc[k];
+                            let xj = x[j as usize];
+                            let dx = [xi[0] - xj[0], xi[1] - xj[1], xi[2] - xj[2]];
+                            let fpair = fp[k];
+                            fi[0] += dx[0] * fpair;
+                            fi[1] += dx[1] * fpair;
+                            fi[2] += dx[2] * fpair;
+                            if half {
+                                log.push_force(
+                                    bs,
+                                    row,
+                                    j,
+                                    [-(dx[0] * fpair), -(dx[1] * fpair), -(dx[2] * fpair)],
+                                );
+                            }
+                        }
+                    });
+                    log.push_force(bs, row, row, fi);
+                    continue;
+                }
                 for &j in list.neighbors(i) {
                     let j = j as usize;
                     let xj = x[j];
@@ -249,9 +495,9 @@ impl SplitPairKernel for LjCut {
                             j as u32,
                             [-(dx[0] * fpair), -(dx[1] * fpair), -(dx[2] * fpair)],
                         );
-                        log.push_ev(row, self.pair_energy(r2.sqrt()), r2 * fpair);
+                        log.push_ev(row, self.pair_energy_r2(r2), r2 * fpair);
                     } else {
-                        log.push_ev(row, 0.5 * self.pair_energy(r2.sqrt()), 0.5 * r2 * fpair);
+                        log.push_ev(row, 0.5 * self.pair_energy_r2(r2), 0.5 * r2 * fpair);
                     }
                 }
                 log.push_force(bs, row, row, fi);
@@ -396,6 +642,68 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    /// The blocked inner loop must reproduce the scalar kernel bit for
+    /// bit across serial, chunked, and split entry points, including rows
+    /// whose neighbor count is not a multiple of the lane width.
+    #[test]
+    fn blocked_mode_matches_scalar_bitwise() {
+        use crate::kernels::{self, KernelMode, PairScratch, SplitScratch};
+        use tofumd_threadpool::SpinPool;
+        let mut s = 0x0123_4567_89ab_cdefu64;
+        let mut rnd = move || {
+            s = s
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (s >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut pos = Vec::new();
+        for ix in 0..5 {
+            for iy in 0..5 {
+                for iz in 0..5 {
+                    pos.push([
+                        ix as f64 * 1.05 + 0.3 * rnd(),
+                        iy as f64 * 1.05 + 0.3 * rnd(),
+                        iz as f64 * 1.05 + 0.3 * rnd(),
+                    ]);
+                }
+            }
+        }
+        let base = Atoms::from_positions(pos, 1);
+        let nlocal = base.nlocal;
+        let flags: Vec<bool> = (0..nlocal).map(|i| (i * 2_654_435_761) % 4 != 0).collect();
+        let pool = SpinPool::new(4);
+        for kind in [ListKind::HalfNewton, ListKind::Full] {
+            let scalar = LjCut::new(1.0, 1.0, 2.5, kind);
+            let blocked = scalar.with_kernel_mode(KernelMode::Blocked);
+            let list = NeighborList::build(&base, [-1.0; 3], [7.0; 3], kind, 2.5, 0.3);
+            let mut a_ref = base.clone();
+            let ev_ref = scalar.compute(&mut a_ref, &list);
+            let mut a_blk = base.clone();
+            let ev_blk = blocked.compute(&mut a_blk, &list);
+            assert_eq!(ev_blk.energy.to_bits(), ev_ref.energy.to_bits(), "{kind:?}");
+            assert_eq!(ev_blk.virial.to_bits(), ev_ref.virial.to_bits(), "{kind:?}");
+            assert_eq!(a_blk.f, a_ref.f, "{kind:?} serial forces");
+            for exec in [ChunkExec::Serial, ChunkExec::Pool(&pool)] {
+                let mut a = base.clone();
+                let mut scratch = PairScratch::new();
+                let ev = blocked.compute_chunked(&mut a, &list, &exec, &mut scratch);
+                assert_eq!(ev.energy.to_bits(), ev_ref.energy.to_bits(), "{kind:?}");
+                assert_eq!(ev.virial.to_bits(), ev_ref.virial.to_bits(), "{kind:?}");
+                assert_eq!(a.f, a_ref.f, "{kind:?} chunked forces");
+                let mut a = base.clone();
+                let mut split = SplitScratch::new();
+                split.prepare(nlocal);
+                blocked.log_rows(&a, &list, &flags, true, &exec, &mut split);
+                blocked.log_rows(&a, &list, &flags, false, &exec, &mut split);
+                kernels::replay_forces_split(&split, &mut a.f, &exec);
+                let (e, v) = kernels::fold_ev_split(&split);
+                assert_eq!(e.to_bits(), ev_ref.energy.to_bits(), "{kind:?}");
+                assert_eq!(v.to_bits(), ev_ref.virial.to_bits(), "{kind:?}");
+                assert_eq!(a.f, a_ref.f, "{kind:?} split forces");
             }
         }
     }

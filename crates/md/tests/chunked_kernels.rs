@@ -7,7 +7,7 @@
 //! changing which pairs exist.
 
 use proptest::prelude::*;
-use tofumd_md::kernels::PairScratch;
+use tofumd_md::kernels::{KernelMode, PairScratch};
 use tofumd_md::neighbor::{sort_locals_by_bin, ListKind, NeighborList};
 use tofumd_md::potential::{EamCu, LjCut, ManyBodyPotential, PairPotential};
 use tofumd_md::Atoms;
@@ -22,6 +22,18 @@ fn cloud(nlocal: usize, nghost: usize) -> impl Strategy<Value = (Vec<[f64; 3]>, 
     let local = prop::collection::vec(prop::array::uniform3(0.05f64..9.95), nlocal..nlocal + 1);
     let ghost = prop::collection::vec(prop::array::uniform3(-2.5f64..12.5), nghost..nghost + 1);
     (local, ghost)
+}
+
+/// A cloud whose local count sweeps every residue mod the lane width, so
+/// the blocked kernels exercise every scalar-tail length 0..=7 (and the
+/// random densities scatter per-row neighbor counts across all residues
+/// as well).
+fn lane_cloud(base: usize) -> impl Strategy<Value = (Vec<[f64; 3]>, Vec<[f64; 3]>)> {
+    (cloud(base + 7, 71), 0usize..8).prop_map(move |((mut l, mut g), res)| {
+        l.truncate(base + res);
+        g.truncate(64 + res);
+        (l, g)
+    })
 }
 
 fn make_atoms(locals: &[[f64; 3]], ghosts: &[[f64; 3]], sorted: bool, cell: f64) -> Atoms {
@@ -142,6 +154,112 @@ proptest! {
         }
     }
 
+    /// The lane-blocked LJ kernel is bitwise equal to the scalar one —
+    /// energy, virial, and every force component — in the serial path and
+    /// under the chunked executor at 1, 2 and 8 threads, across every
+    /// scalar-tail residue.
+    #[test]
+    fn lj_blocked_is_bitwise_scalar(atoms_in in lane_cloud(152), sorted in any::<bool>()) {
+        let (locals, ghosts) = atoms_in;
+        let scalar = LjCut::lammps_bench();
+        let blocked = LjCut::lammps_bench().with_kernel_mode(KernelMode::Blocked);
+        let cell = 2.5 + 0.3;
+        let atoms0 = make_atoms(&locals, &ghosts, sorted, cell);
+        let list = NeighborList::build(&atoms0, LO, HI, ListKind::HalfNewton, 2.5, 0.3);
+
+        let mut ref_atoms = atoms0.clone();
+        ref_atoms.zero_forces();
+        let ref_ev = scalar.compute(&mut ref_atoms, &list);
+
+        let mut serial = atoms0.clone();
+        serial.zero_forces();
+        let ev = blocked.compute(&mut serial, &list);
+        prop_assert_eq!(ev.energy.to_bits(), ref_ev.energy.to_bits());
+        prop_assert_eq!(ev.virial.to_bits(), ref_ev.virial.to_bits());
+        assert_forces_bitwise(&serial, &ref_atoms, "lj blocked serial");
+
+        for threads in [1usize, 2, 8] {
+            let pool;
+            let exec = if threads == 1 {
+                ChunkExec::Serial
+            } else {
+                pool = SpinPool::new(threads);
+                ChunkExec::Pool(&pool)
+            };
+            let mut atoms = atoms0.clone();
+            atoms.zero_forces();
+            let mut scratch = PairScratch::new();
+            let ev = blocked.compute_chunked(&mut atoms, &list, &exec, &mut scratch);
+            prop_assert_eq!(ev.energy.to_bits(), ref_ev.energy.to_bits(), "threads {}", threads);
+            prop_assert_eq!(ev.virial.to_bits(), ref_ev.virial.to_bits(), "threads {}", threads);
+            assert_forces_bitwise(&atoms, &ref_atoms, &format!("lj blocked threads {threads}"));
+        }
+    }
+
+    /// All three lane-blocked EAM passes (rho, embedding, force) are
+    /// bitwise equal to the scalar ones, serial and chunked at 1, 2 and 8
+    /// threads, across every scalar-tail residue.
+    #[test]
+    fn eam_blocked_is_bitwise_scalar(atoms_in in lane_cloud(120), sorted in any::<bool>()) {
+        let (locals, ghosts) = atoms_in;
+        let scalar = EamCu::lammps_bench();
+        let blocked = EamCu::lammps_bench().with_kernel_mode(KernelMode::Blocked);
+        let cell = 4.95 + 1.0;
+        let atoms0 = make_atoms(&locals, &ghosts, sorted, cell);
+        let list = NeighborList::build(&atoms0, LO, HI, ListKind::HalfNewton, 4.95, 1.0);
+
+        let mut ref_atoms = atoms0.clone();
+        ref_atoms.zero_forces();
+        let mut ref_rho = Vec::new();
+        let mut ref_fp = Vec::new();
+        scalar.compute_rho(&ref_atoms, &list, &mut ref_rho);
+        let ref_embed = scalar.compute_embedding(&ref_atoms, &ref_rho, &mut ref_fp);
+        let ref_ev = scalar.compute_force(&mut ref_atoms, &list, &ref_fp);
+
+        let mut serial = atoms0.clone();
+        serial.zero_forces();
+        let mut rho_s = Vec::new();
+        let mut fp_s = Vec::new();
+        blocked.compute_rho(&serial, &list, &mut rho_s);
+        for (i, (a, b)) in rho_s.iter().zip(&ref_rho).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "serial rho atom {}", i);
+        }
+        let embed_s = blocked.compute_embedding(&serial, &rho_s, &mut fp_s);
+        prop_assert_eq!(embed_s.to_bits(), ref_embed.to_bits());
+        let ev_s = blocked.compute_force(&mut serial, &list, &fp_s);
+        prop_assert_eq!(ev_s.energy.to_bits(), ref_ev.energy.to_bits());
+        prop_assert_eq!(ev_s.virial.to_bits(), ref_ev.virial.to_bits());
+        assert_forces_bitwise(&serial, &ref_atoms, "eam blocked serial");
+
+        for threads in [1usize, 2, 8] {
+            let pool;
+            let exec = if threads == 1 {
+                ChunkExec::Serial
+            } else {
+                pool = SpinPool::new(threads);
+                ChunkExec::Pool(&pool)
+            };
+            let mut atoms = atoms0.clone();
+            atoms.zero_forces();
+            let mut scratch = PairScratch::new();
+            let mut rho = Vec::new();
+            let mut fp = Vec::new();
+            blocked.compute_rho_chunked(&atoms, &list, &mut rho, &exec, &mut scratch);
+            for (i, (a, b)) in rho.iter().zip(&ref_rho).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "rho atom {} threads {}", i, threads);
+            }
+            let embed = blocked.compute_embedding_chunked(&atoms, &rho, &mut fp, &exec);
+            prop_assert_eq!(embed.to_bits(), ref_embed.to_bits(), "threads {}", threads);
+            for (i, (a, b)) in fp.iter().zip(&ref_fp).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "fp atom {} threads {}", i, threads);
+            }
+            let ev = blocked.compute_force_chunked(&mut atoms, &list, &fp, &exec, &mut scratch);
+            prop_assert_eq!(ev.energy.to_bits(), ref_ev.energy.to_bits(), "threads {}", threads);
+            prop_assert_eq!(ev.virial.to_bits(), ref_ev.virial.to_bits(), "threads {}", threads);
+            assert_forces_bitwise(&atoms, &ref_atoms, &format!("eam blocked threads {threads}"));
+        }
+    }
+
     /// Spatial sorting permutes atoms but never changes which pairs the
     /// half-one-sided list contains: same pair count, same (tag, tag)
     /// pair set.
@@ -168,4 +286,51 @@ proptest! {
         prop_assert_eq!(pu.len(), ps.len(), "pair count changed by sorting");
         prop_assert_eq!(pu, ps, "pair set changed by sorting");
     }
+}
+
+/// Small-N thread scaling: with the work floor in [`ChunkExec`], an
+/// 8-thread pool must not be meaningfully slower than serial at 2048
+/// atoms (the floor routes tiny systems to the serial loop, so the pool
+/// dispatch overhead never dominates). Order-of-magnitude pin only —
+/// wall-clock, so the bound is deliberately loose.
+#[test]
+fn small_system_pool_not_slower_than_serial() {
+    let mut locals = Vec::new();
+    for ix in 0..16 {
+        for iy in 0..16 {
+            for iz in 0..8 {
+                locals.push([
+                    0.05 + 0.6 * f64::from(ix),
+                    0.05 + 0.6 * f64::from(iy),
+                    0.05 + 1.2 * f64::from(iz),
+                ]);
+            }
+        }
+    }
+    assert_eq!(locals.len(), 2048);
+    let atoms0 = Atoms::from_positions(locals, 1);
+    let lj = LjCut::lammps_bench();
+    let list = NeighborList::build(&atoms0, LO, HI, ListKind::HalfNewton, 2.5, 0.3);
+    let pool = SpinPool::new(8);
+
+    let time_with = |exec: &ChunkExec<'_>| {
+        let mut atoms = atoms0.clone();
+        let mut scratch = PairScratch::default();
+        // Warm-up fills the scratch allocations.
+        atoms.zero_forces();
+        lj.compute_chunked(&mut atoms, &list, exec, &mut scratch);
+        let reps = 10;
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            atoms.zero_forces();
+            lj.compute_chunked(&mut atoms, &list, exec, &mut scratch);
+        }
+        start.elapsed().as_secs_f64() / f64::from(reps)
+    };
+    let t1 = time_with(&ChunkExec::Serial);
+    let t8 = time_with(&ChunkExec::Pool(&pool));
+    assert!(
+        t8 <= t1 * 10.0,
+        "8-thread pool at 2048 atoms is >10x slower than serial: t8={t8:.3e}s t1={t1:.3e}s"
+    );
 }

@@ -33,6 +33,7 @@ use crate::variant::CommVariant;
 use std::fmt;
 use tofumd_md::atom::Atoms;
 use tofumd_md::domain::RcbDecomposition;
+use tofumd_md::kernels::KernelMode;
 use tofumd_md::thermo::ThermoSnapshot;
 use tofumd_md::wirefmt::{self, WireError, WireReader};
 
@@ -293,6 +294,13 @@ fn put_cfg(out: &mut Vec<u8>, cfg: &RunConfig) {
     wirefmt::put_f64(out, cfg.temperature);
     wirefmt::put_u64(out, cfg.seed);
     put_comm(out, &cfg.comm);
+    wirefmt::put_u8(
+        out,
+        match cfg.kernel {
+            KernelMode::Scalar => 0,
+            KernelMode::Blocked => 1,
+        },
+    );
 }
 
 fn get_cfg(r: &mut WireReader<'_>) -> Result<RunConfig, CheckpointError> {
@@ -302,6 +310,11 @@ fn get_cfg(r: &mut WireReader<'_>) -> Result<RunConfig, CheckpointError> {
         temperature: r.f64_()?,
         seed: r.u64_()?,
         comm: get_comm(r)?,
+        kernel: match r.u8_()? {
+            0 => KernelMode::Scalar,
+            1 => KernelMode::Blocked,
+            t => return Err(CheckpointError::Decode(format!("unknown kernel tag {t}"))),
+        },
     })
 }
 

@@ -323,6 +323,7 @@ impl Cluster {
                 k => k,
             },
             eam: cfg.is_eam(),
+            kernel_mode: cfg.kernel,
         }
     }
 

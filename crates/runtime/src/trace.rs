@@ -43,6 +43,10 @@ pub struct OpCommRow {
     /// Transport anomalies over the whole trace: reliable-stack fallback
     /// sends + duplicate deliveries dropped + overwrites detected.
     pub faults: u64,
+    /// Send-side staging bytes per rank per step — 0.0 on the zero-copy
+    /// registered-region wire path, `bytes` on fully staged transports.
+    #[serde(default)]
+    pub copied: f64,
 }
 
 /// Fold an [`OpStats`] delta into per-op rows normalized by `rank_steps`
@@ -67,6 +71,7 @@ pub fn comm_rows(stats: &OpStats, rank_steps: f64) -> Vec<OpCommRow> {
                 growth_events: t.growth_events,
                 retries: t.retries,
                 faults: t.faults(),
+                copied: t.bytes_copied as f64 / norm,
             })
         })
         .collect()
@@ -352,16 +357,17 @@ impl Trace {
         }
         if !self.comm.is_empty() {
             out.push_str(
-                "op          msg/rank/step  atoms/rank/step  bytes/rank/step  max_msg  growth  \
-                 retries  faults\n",
+                "op          msg/rank/step  atoms/rank/step  bytes/rank/step  copied/rank/step  \
+                 max_msg  growth  retries  faults\n",
             );
             for r in &self.comm {
                 out.push_str(&format!(
-                    "{:<11} {:>13.2} {:>16.1} {:>16.1} {:>8} {:>7} {:>8} {:>7}\n",
+                    "{:<11} {:>13.2} {:>16.1} {:>16.1} {:>17.1} {:>8} {:>7} {:>8} {:>7}\n",
                     r.op,
                     r.messages,
                     r.atoms,
                     r.bytes,
+                    r.copied,
                     r.max_msg_bytes,
                     r.growth_events,
                     r.retries,
@@ -455,6 +461,7 @@ mod tests {
         stats.retry(Op::Forward, 0);
         stats.fallback(Op::Forward, 0);
         stats.add_dup_drops(Op::Exchange, 0, 3);
+        stats.copied(Op::Forward, 0, 30 * 3 * 8);
         let rows = comm_rows(&stats, 2.0);
         assert_eq!(
             rows.len(),
@@ -467,6 +474,10 @@ mod tests {
         assert_eq!(fwd.max_msg_bytes, 720);
         assert_eq!(fwd.retries, 2);
         assert_eq!(fwd.faults, 1, "fallback send counts as a fault");
+        assert!(
+            (fwd.copied - 360.0).abs() < 1e-12,
+            "staged bytes normalize per rank-step"
+        );
         let exch = rows.iter().find(|r| r.op == "exchange").unwrap();
         assert_eq!(exch.faults, 3, "duplicate drops count as faults");
         let mut t = Trace::default();
@@ -476,6 +487,10 @@ mod tests {
         assert!(rep.contains("forward"), "per-op table missing: {rep}");
         assert!(rep.contains("msg/rank/step"));
         assert!(rep.contains("retries"), "retry column missing: {rep}");
+        assert!(
+            rep.contains("copied/rank/step"),
+            "copied column missing: {rep}"
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ fn assert_restore_bit_identical(
     restored.set_plan_mode(mode);
     restored.set_driver_threads(threads);
     let cp_step = restored.current_step();
-    assert!(cp_step >= 8 && cp_step <= 20, "checkpoint step {cp_step}");
+    assert!((8..=20).contains(&cp_step), "checkpoint step {cp_step}");
 
     // The uninterrupted twin: same build, same steps, no checkpointing
     // (the checkpoint itself must not perturb physics).
@@ -124,7 +124,7 @@ fn restart_file_round_trips_and_continues_bit_identically() {
     let mut b = Cluster::restore_from_file(&path).expect("file restore");
     let cp_step = b.current_step();
     assert!(
-        cp_step >= 10 && cp_step <= 25,
+        (10..=25).contains(&cp_step),
         "auto dump expected in [10, 25], got {cp_step}"
     );
     b.set_thermo_every(5);

@@ -16,6 +16,7 @@
 
 use proptest::prelude::*;
 use tofumd_md::domain::RcbDecomposition;
+use tofumd_md::kernels::KernelMode;
 use tofumd_md::region::Box3;
 use tofumd_md::thermo::ThermoSnapshot;
 use tofumd_md::Atoms;
@@ -55,7 +56,6 @@ fn comm_tuning() -> impl Strategy<Value = CommTuning> {
                     density_gradient,
                     balance_thresh: balance_thresh.0.then_some(balance_thresh.1),
                     rebalance_every: rebalance_every.0.then_some(rebalance_every.1),
-                    ..CommTuning::default()
                 }
             },
         )
@@ -68,14 +68,22 @@ fn run_config() -> impl Strategy<Value = RunConfig> {
         0.1f64..4.0,
         any::<u64>(),
         comm_tuning(),
+        any::<bool>(),
     )
-        .prop_map(|(kind, natoms_target, temperature, seed, comm)| RunConfig {
-            kind,
-            natoms_target,
-            temperature,
-            seed,
-            comm,
-        })
+        .prop_map(
+            |(kind, natoms_target, temperature, seed, comm, blocked)| RunConfig {
+                kind,
+                natoms_target,
+                temperature,
+                seed,
+                comm,
+                kernel: if blocked {
+                    KernelMode::Blocked
+                } else {
+                    KernelMode::Scalar
+                },
+            },
+        )
 }
 
 fn comm_variant() -> impl Strategy<Value = CommVariant> {
@@ -112,9 +120,7 @@ fn rank_dump() -> impl Strategy<Value = RankDump> {
     (pos, vel, 0.0f64..10.0).prop_map(|(pos, vel, clock)| {
         let n = pos.len();
         let mut atoms = Atoms::from_positions(pos, 1);
-        for i in 0..n {
-            atoms.v[i] = vel[i];
-        }
+        atoms.v[..n].copy_from_slice(&vel[..n]);
         RankDump {
             atoms,
             clock,

@@ -139,7 +139,7 @@ fn faulted_demotion_mid_overlap_matches_barrier() {
         })
     };
     let cfg = RunConfig::lj(4000);
-    let mut run = |mode: PlanMode| {
+    let run = |mode: PlanMode| {
         let mut c = Cluster::with_fault_plan(MESH, cfg, CommVariant::Opt, unrecoverable());
         c.set_plan_mode(mode);
         c.set_thermo_every(2);

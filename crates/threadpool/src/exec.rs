@@ -12,6 +12,7 @@ use crate::SpinPool;
 
 /// How a kernel's per-chunk closures run. The pool variant must never be
 /// used from inside another pool region: the spin pool is not reentrant.
+#[derive(Clone, Copy)]
 pub enum ChunkExec<'a> {
     /// Run chunks one after another on the calling thread.
     Serial,
@@ -34,13 +35,38 @@ impl<T> SendPtr<T> {
     }
 }
 
-impl ChunkExec<'_> {
+impl<'a> ChunkExec<'a> {
+    /// Minimum work items (atoms/rows) each pool thread must own before
+    /// the fan-out pays for its synchronization; below this the dispatch
+    /// latency exceeds the chunk compute time on small systems.
+    pub const MIN_WORK_PER_THREAD: usize = 1024;
+
     /// Parallelism of this executor (1 for the serial variant).
     #[must_use]
     pub fn threads(&self) -> usize {
         match self {
             ChunkExec::Serial => 1,
             ChunkExec::Pool(p) => p.threads(),
+        }
+    }
+
+    /// The executor a kernel touching `work` items should actually use:
+    /// the pool engages only when every worker would own at least
+    /// [`Self::MIN_WORK_PER_THREAD`] items, otherwise the serial loop
+    /// wins. Serial and pooled execution combine per-chunk results in
+    /// the same order, so the floor moves wall-clock only — results stay
+    /// bit-identical at any thread count.
+    #[must_use]
+    pub fn floored(&self, work: usize) -> ChunkExec<'a> {
+        match *self {
+            ChunkExec::Serial => ChunkExec::Serial,
+            ChunkExec::Pool(p) => {
+                if work < p.threads().saturating_mul(Self::MIN_WORK_PER_THREAD) {
+                    ChunkExec::Serial
+                } else {
+                    ChunkExec::Pool(p)
+                }
+            }
         }
     }
 
@@ -93,6 +119,18 @@ mod tests {
         let mut hits = vec![0u32; 103];
         exec.for_each_mut(&mut hits, &|_k, v| *v += 1);
         assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn floor_falls_back_to_serial_on_small_work() {
+        let pool = SpinPool::new(8);
+        let exec = ChunkExec::Pool(&pool);
+        // 2048 atoms over 8 threads is below the floor: serial wins.
+        assert_eq!(exec.floored(2048).threads(), 1);
+        // A large system keeps the pool.
+        assert_eq!(exec.floored(16384).threads(), 8);
+        // Serial stays serial regardless.
+        assert_eq!(ChunkExec::Serial.floored(1 << 20).threads(), 1);
     }
 
     #[test]

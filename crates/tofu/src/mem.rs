@@ -78,6 +78,28 @@ impl MemRegistry {
         region[offset..offset + data.len()].copy_from_slice(data);
     }
 
+    /// Hand a region's bytes to `f` for in-place serialization — the
+    /// zero-copy wire path packs frames directly here instead of staging
+    /// them in a `Vec` first. Panics if `offset + len` overruns the
+    /// region, like [`MemRegistry::write`].
+    pub fn write_with<R>(
+        &mut self,
+        stadd: Stadd,
+        offset: usize,
+        len: usize,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> R {
+        let region = &mut self.regions[stadd.0 as usize];
+        assert!(
+            offset + len <= region.len(),
+            "RDMA write beyond registered region: {} + {} > {}",
+            offset,
+            len,
+            region.len()
+        );
+        f(&mut region[offset..offset + len])
+    }
+
     /// Read a slice of a region.
     #[must_use]
     pub fn read(&self, stadd: Stadd, offset: usize, len: usize) -> &[u8] {
@@ -114,6 +136,20 @@ mod tests {
         m.write(a, 0, &[7; 4]);
         assert_eq!(m.read(b, 0, 4), &[0; 4]);
         assert_eq!(m.reg_calls, 2);
+    }
+
+    #[test]
+    fn write_with_serializes_in_place() {
+        let mut m = MemRegistry::default();
+        let p = NetParams::default();
+        let (s, _) = m.register(32, &p);
+        let n = m.write_with(s, 4, 8, |buf| {
+            buf.copy_from_slice(&[9u8; 8]);
+            buf.len()
+        });
+        assert_eq!(n, 8);
+        assert_eq!(m.read(s, 4, 8), &[9; 8]);
+        assert_eq!(m.read(s, 0, 4), &[0; 4]);
     }
 
     #[test]

@@ -338,6 +338,24 @@ impl TofuNet {
         self.nodes[node].mem.lock().write(stadd, offset, data);
     }
 
+    /// Serialize directly into one's own registered region: `f` receives
+    /// the `len` bytes at `offset` and builds the wire frame in place.
+    /// This is the zero-copy pack path — there is no staging buffer for
+    /// the NIC source data, so callers charge no pack cost for it.
+    pub fn write_local_with<R>(
+        &self,
+        node: usize,
+        stadd: Stadd,
+        offset: usize,
+        len: usize,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> R {
+        self.nodes[node]
+            .mem
+            .lock()
+            .write_with(stadd, offset, len, f)
+    }
+
     /// Read from one's own registered region (unpacking).
     pub fn read_local(&self, node: usize, stadd: Stadd, offset: usize, len: usize) -> Vec<u8> {
         self.nodes[node]

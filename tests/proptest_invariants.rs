@@ -7,7 +7,7 @@ use tofumd::comm::p2p::P2pGhosts;
 use tofumd::comm::plan::{CommPlan, PlanConfig};
 use tofumd::comm::sf::CommGraph;
 use tofumd::comm::topo_map::{Placement, RankMap};
-use tofumd::comm::wire;
+use tofumd::comm::wire::{self, F64Sink};
 use tofumd::md::domain::{neighbor_offsets, RcbDecomposition};
 use tofumd::md::potential::eam::EamParams;
 use tofumd::md::potential::spline::Spline;
@@ -299,6 +299,34 @@ proptest! {
         prop_assert_eq!(framed.len(), wire::combined_size(values.len()));
         framed.extend(std::iter::repeat_n(0xAAu8, slack * 8));
         prop_assert_eq!(wire::parse_combined(&framed), values);
+    }
+
+    /// The zero-copy writer produces byte-for-byte the staged frame on any
+    /// payload, in any oversized registered region, and the frame parses
+    /// back to the same values — so the in-place wire path and the staged
+    /// path are interchangeable on the receiver.
+    #[test]
+    fn zero_copy_writer_matches_staged_frame(
+        values in prop::collection::vec(-1e12f64..1e12, 0..200),
+        slack in 0usize..64,
+    ) {
+        let staged = wire::frame_combined(&values);
+        // A registered region is at least frame-sized, usually bigger.
+        let mut region = vec![0xAAu8; wire::combined_size(values.len()) + slack * 8];
+        let written = {
+            let mut w = wire::CombinedWriter::new(&mut region);
+            // Mixed single-value and slice pushes, as the pack sinks emit.
+            for chunk in values.chunks(3) {
+                match chunk {
+                    [a] => w.put_f64(*a),
+                    rest => w.put_f64s(rest),
+                }
+            }
+            w.finish()
+        };
+        prop_assert_eq!(written, staged.len());
+        prop_assert_eq!(&region[..written], &staged[..]);
+        prop_assert_eq!(wire::parse_combined(&region), values);
     }
 }
 
